@@ -1,0 +1,89 @@
+// Shared helpers for the figure-reproduction benches: wall-clock timing,
+// enumeration-delay measurement, log-log slope fitting, and table printing.
+#ifndef IVME_BENCH_BENCH_COMMON_H_
+#define IVME_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace ivme {
+namespace bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct DelayStats {
+  double open_us = 0;   ///< time to open the enumerator and grounding
+  double mean_us = 0;   ///< mean time per Next() over the measured prefix
+  double max_us = 0;    ///< worst single Next()
+  size_t tuples = 0;    ///< tuples measured
+};
+
+/// Measures the enumeration delay over at most `max_tuples` result tuples.
+inline DelayStats MeasureDelay(const Engine& engine, size_t max_tuples) {
+  DelayStats stats;
+  Timer open_timer;
+  auto it = engine.Enumerate();
+  Tuple t;
+  Mult m = 0;
+  // The first Next carries the grounding/opening costs.
+  const bool has_first = it->Next(&t, &m);
+  stats.open_us = open_timer.Seconds() * 1e6;
+  if (!has_first) return stats;
+  stats.tuples = 1;
+  stats.max_us = stats.open_us;
+  Timer total;
+  while (stats.tuples < max_tuples) {
+    Timer one;
+    if (!it->Next(&t, &m)) break;
+    const double us = one.Seconds() * 1e6;
+    if (us > stats.max_us) stats.max_us = us;
+    ++stats.tuples;
+  }
+  stats.mean_us = stats.tuples > 1
+                      ? total.Seconds() * 1e6 / static_cast<double>(stats.tuples - 1)
+                      : stats.open_us;
+  return stats;
+}
+
+/// Least-squares slope of log(y) against log(x).
+inline double FitLogLogSlope(const std::vector<std::pair<double, double>>& points) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(points.size());
+  for (const auto& [x, y] : points) {
+    const double lx = std::log(x), ly = std::log(y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  return denom != 0 ? (n * sxy - sx * sy) / denom : 0.0;
+}
+
+/// PASS/FAIL marker for shape checks.
+inline const char* Verdict(bool ok) { return ok ? "PASS" : "FAIL"; }
+
+inline void PrintRule(int width = 96) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace ivme
+
+#endif  // IVME_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,96 @@
+// Corollary 9: for a δi-hierarchical query the amortized update time is
+// O(N^{iε}) — the exponent grows with the delta rank. Measured on the
+// paper's witness family Q(Y0..Yi) = R0(X,Y0), ..., Ri(X,Yi) with all
+// X-keys light at degree ≈ θ (worst case: an update to R0 joins the ≈θ
+// matching tuples of every other relation). Slopes fitted on operation
+// counters at ε = 0.25 over an N-ladder.
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/common/counters.h"
+#include "src/common/rng.h"
+
+using namespace ivme;
+using namespace ivme::bench;
+
+namespace {
+
+std::string StarQueryText(int i) {
+  std::string head = "Q(";
+  std::string body;
+  for (int j = 0; j <= i; ++j) {
+    if (j > 0) {
+      head += ", ";
+      body += ", ";
+    }
+    head += "Y" + std::to_string(j);
+    body += "R" + std::to_string(j) + "(X, Y" + std::to_string(j) + ")";
+  }
+  return head + ") = " + body;
+}
+
+double MeasureUpdateSlope(int i, double eps) {
+  const auto query = *ConjunctiveQuery::Parse(StarQueryText(i));
+  std::vector<std::pair<double, double>> points;
+  for (const size_t t : {2000ul, 4000ul, 8000ul}) {  // tuples per relation
+    const double n_est = static_cast<double>((static_cast<size_t>(i) + 1) * t);
+    const size_t degree = std::max<size_t>(
+        1, static_cast<size_t>(0.8 * std::pow(1.5 * n_est, eps)));
+    const size_t keys = t / degree;
+
+    EngineOptions opts;
+    opts.epsilon = eps;
+    opts.mode = EvalMode::kDynamic;
+    Engine engine(query, opts);
+    Value partner = 1000000;
+    for (int j = 0; j <= i; ++j) {
+      std::vector<std::pair<Tuple, Mult>> tuples;
+      for (size_t k = 0; k < keys; ++k) {
+        for (size_t d = 0; d < degree; ++d) {
+          tuples.push_back({Tuple{static_cast<Value>(k), partner++}, 1});
+        }
+      }
+      engine.Load("R" + std::to_string(j), tuples);
+    }
+    engine.Preprocess();
+
+    Rng rng(23);
+    ResetCounters();
+    const size_t pairs = 200;
+    for (size_t p = 0; p < pairs; ++p) {
+      const Value key = static_cast<Value>(rng.Below(keys));
+      const Tuple tup{key, static_cast<Value>(9000000 + p)};
+      engine.ApplyUpdate("R0", tup, 1);
+      engine.ApplyUpdate("R0", tup, -1);
+    }
+    const double ops = static_cast<double>(GlobalCounters().delta_steps +
+                                           GlobalCounters().materialize_steps) /
+                       (2.0 * pairs);
+    points.push_back({static_cast<double>((static_cast<size_t>(i) + 1) * keys * degree),
+                      ops + 1.0});
+  }
+  return FitLogLogSlope(points);
+}
+
+}  // namespace
+
+int main() {
+  const double eps = 0.25;
+  std::printf("Corollary 9: update exponent vs delta rank — star family "
+              "Q(Y0..Yi)=R0(X,Y0),...,Ri(X,Yi), eps=%.2f\n", eps);
+  PrintRule();
+  std::printf("%3s | %12s | %12s | %6s\n", "i", "update slope", "pred (i*eps)", "ok");
+  PrintRule();
+  bool all_ok = true;
+  for (int i = 1; i <= 3; ++i) {
+    const double slope = MeasureUpdateSlope(i, eps);
+    const double pred = i * eps;
+    const bool ok = slope < pred + 0.15 && slope > pred - 0.3;
+    all_ok = all_ok && ok;
+    std::printf("%3d | %12.2f | %12.2f | %6s\n", i, slope, pred, Verdict(ok));
+  }
+  PrintRule();
+  std::printf("update cost exponent grows linearly with the delta rank: %s\n",
+              Verdict(all_ok));
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Figure 1 (right): the dynamic trade-off — preprocessing, amortized
+// update time, and enumeration delay as ε sweeps, all on one database.
+// ε=1 recovers eager view maintenance (O(N^δ) updates, O(1) delay); ε=0
+// recovers lazy evaluation (O(1)-ish updates, O(N) delay).
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/workload/generator.h"
+#include "src/workload/update_stream.h"
+
+using namespace ivme;
+using namespace ivme::bench;
+
+int main() {
+  const auto query = *ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
+  const size_t n = 15000;
+  const auto r = workload::ZipfTuples(n, 2, 1, 2000, 1.1, 4000000, 1);
+  const auto s = workload::ZipfTuples(n, 2, 0, 2000, 1.1, 4000000, 2);
+  // A mixed stream against R: inserts drawn from the same Zipf key
+  // distribution, deletes of live tuples.
+  const auto stream = workload::MixedStream(
+      "R", r, 8000, 0.45,
+      [](Rng& rng) {
+        const Value key = static_cast<Value>(rng.Below(64));  // frequently heavy keys
+        return Tuple{rng.Range(5000000, 9000000), key};
+      },
+      7);
+
+  std::printf(
+      "Figure 1 (right): dynamic trade-off — Q(A,C)=R(A,B),S(B,C), N=%zu, 8k-update stream\n",
+      2 * n);
+  PrintRule();
+  std::printf("%5s | %13s | %15s | %14s | %7s %7s\n", "eps", "preprocess(s)",
+              "amort update(us)", "mean delay(us)", "minor", "major");
+  PrintRule();
+
+  std::vector<double> update_us, delay_us;
+  for (const double eps : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EngineOptions opts;
+    opts.epsilon = eps;
+    opts.mode = EvalMode::kDynamic;
+    Engine engine(query, opts);
+    for (const auto& t : r) engine.LoadTuple("R", t, 1);
+    for (const auto& t : s) engine.LoadTuple("S", t, 1);
+    Timer timer;
+    engine.Preprocess();
+    const double preprocess_s = timer.Seconds();
+
+    Timer utimer;
+    for (const auto& update : stream) {
+      engine.ApplyUpdate(update.relation, update.tuple, update.mult);
+    }
+    const double per_update_us = utimer.Seconds() * 1e6 / static_cast<double>(stream.size());
+    const DelayStats stats = MeasureDelay(engine, 2000);
+    update_us.push_back(per_update_us);
+    delay_us.push_back(stats.mean_us);
+    const auto engine_stats = engine.GetStats();
+    std::printf("%5.2f | %13.3f | %15.3f | %14.3f | %7zu %7zu\n", eps, preprocess_s,
+                per_update_us, stats.mean_us, engine_stats.minor_rebalances,
+                engine_stats.major_rebalances);
+  }
+  PrintRule();
+
+  const bool update_grows = update_us.back() > 1.5 * update_us.front();
+  const bool delay_shrinks = delay_us.front() > 2.0 * delay_us.back();
+  std::printf("update cost grows with eps:   %s (x%.1f from eps=0 to eps=1)\n",
+              Verdict(update_grows), update_us.back() / std::max(update_us.front(), 1e-9));
+  std::printf("delay shrinks with eps:       %s (x%.1f from eps=1 to eps=0)\n",
+              Verdict(delay_shrinks), delay_us.front() / std::max(delay_us.back(), 1e-9));
+  return 0;
+}

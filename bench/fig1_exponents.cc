@@ -1,0 +1,174 @@
+// Figure 1 (left) / Theorems 2 and 4: the three cost exponents of IVM^ε as
+// functions of ε, fitted as log-log slopes over an N-ladder on worst-case
+// data for Q(A, C) = R(A, B), S(B, C) (w = 2, δ = 1):
+//
+//   preprocessing time  O(N^{1+(w−1)ε}) = O(N^{1+ε})
+//   amortized update    O(N^{δε})       = O(N^{ε})
+//   enumeration delay   O(N^{1−ε})
+//
+// Data: per ε, (a) an all-light instance whose join-key degrees sit just
+// below θ (tight for preprocessing and updates), and (b) an all-heavy
+// instance with degrees above the heavy threshold (tight for delay).
+//
+// Slopes are fitted on the engine's operation counters (machine-independent;
+// wall-clock slopes drift with the cache regime and are reported for
+// reference only).
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/common/counters.h"
+#include "src/common/rng.h"
+#include "src/workload/generator.h"
+
+using namespace ivme;
+using namespace ivme::bench;
+
+namespace {
+
+const char* kQuery = "Q(A, C) = R(A, B), S(B, C)";
+
+// Builds R and S with `keys` join keys of degree `degree` each (distinct
+// partner values).
+void LoadDegreeData(Engine* engine, size_t keys, size_t degree) {
+  std::vector<std::pair<Tuple, Mult>> r, s;
+  Value partner = 1000000;
+  for (size_t k = 0; k < keys; ++k) {
+    for (size_t d = 0; d < degree; ++d) {
+      r.push_back({Tuple{partner++, static_cast<Value>(k)}, 1});
+      s.push_back({Tuple{static_cast<Value>(k), partner++}, 1});
+    }
+  }
+  engine->Load("R", r);
+  engine->Load("S", s);
+}
+
+struct Metric {
+  double ops_slope = 0;
+  double wall_slope = 0;
+};
+
+struct EpsResult {
+  Metric preproc, update, delay;
+};
+
+EpsResult MeasureEps(double eps) {
+  const auto query = *ConjunctiveQuery::Parse(kQuery);
+  // Smaller ladders for larger ε (the worst-case light-view row count is
+  // n·degree ≈ N^{1+ε} and genuinely blows up).
+  std::vector<size_t> ladder;  // tuples per relation
+  if (eps <= 0.5) {
+    ladder = {8000, 16000, 32000};
+  } else if (eps <= 0.75) {
+    ladder = {2000, 4000, 8000};
+  } else {
+    ladder = {1000, 2000, 4000};
+  }
+
+  std::vector<std::pair<double, double>> preproc_ops, preproc_wall, update_ops, update_wall,
+      delay_ops, delay_wall;
+  for (const size_t n : ladder) {
+    const double x = static_cast<double>(2 * n);
+    // Degrees target the θ computed from the ACTUAL loaded size (key·degree
+    // truncation shrinks N, so aim with a 0.8·(3n)^ε margin to stay
+    // strictly below θ on the light side).
+    const double theta_floor = std::pow(3.0 * static_cast<double>(n), eps);
+
+    // ---- all-light instance: degrees just below θ ----
+    const size_t light_degree =
+        std::max<size_t>(1, std::min(static_cast<size_t>(0.8 * theta_floor), n / 4));
+    const size_t light_keys = n / light_degree;
+    {
+      EngineOptions opts;
+      opts.epsilon = eps;
+      opts.mode = EvalMode::kDynamic;
+      Engine engine(query, opts);
+      LoadDegreeData(&engine, light_keys, light_degree);
+      ResetCounters();
+      Timer timer;
+      engine.Preprocess();
+      preproc_wall.push_back({x, timer.Seconds() + 1e-9});
+      preproc_ops.push_back({x, static_cast<double>(GlobalCounters().materialize_steps) + 1});
+
+      // Updates: insert/delete round trips on random light keys. Each pair
+      // touches a key whose sibling degree is ≈ θ.
+      const size_t pairs = 500;
+      Rng rng(17);
+      ResetCounters();
+      Timer utimer;
+      for (size_t i = 0; i < pairs; ++i) {
+        const Value key = static_cast<Value>(rng.Below(light_keys));
+        const Tuple t{static_cast<Value>(5000000 + i), key};
+        engine.ApplyUpdate("R", t, 1);
+        engine.ApplyUpdate("R", t, -1);
+      }
+      update_wall.push_back({x, utimer.Seconds() / (2.0 * pairs) + 1e-12});
+      update_ops.push_back(
+          {x, static_cast<double>(GlobalCounters().delta_steps +
+                                  GlobalCounters().materialize_steps) /
+                      (2.0 * pairs) +
+                  1});
+    }
+
+    // ---- all-heavy instance: degrees comfortably above θ ----
+    const size_t heavy_degree =
+        std::max<size_t>(2, std::min(static_cast<size_t>(2.5 * theta_floor) + 1, n / 2));
+    const size_t heavy_keys = std::max<size_t>(1, n / heavy_degree);
+    {
+      EngineOptions opts;
+      opts.epsilon = eps;
+      opts.mode = EvalMode::kStatic;
+      Engine engine(query, opts);
+      LoadDegreeData(&engine, heavy_keys, heavy_degree);
+      engine.Preprocess();
+      ResetCounters();
+      const DelayStats delay = MeasureDelay(engine, 200);
+      delay_wall.push_back({x, delay.mean_us + 1e-3});
+      delay_ops.push_back({x, static_cast<double>(GlobalCounters().enum_steps) /
+                                  static_cast<double>(std::max<size_t>(delay.tuples, 1)) +
+                              1});
+    }
+  }
+
+  EpsResult result;
+  result.preproc = {FitLogLogSlope(preproc_ops), FitLogLogSlope(preproc_wall)};
+  result.update = {FitLogLogSlope(update_ops), FitLogLogSlope(update_wall)};
+  result.delay = {FitLogLogSlope(delay_ops), FitLogLogSlope(delay_wall)};
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1 (left): cost exponents vs eps — %s (w=2, delta=1)\n", kQuery);
+  std::printf("slopes fitted on operation counters over a 3-size N-ladder; [wall] for "
+              "reference\n");
+  PrintRule(104);
+  std::printf("%5s | %7s %7s %5s %5s | %7s %7s %5s %5s | %7s %7s %5s %5s\n", "eps", "prep",
+              "[wall]", "pred", "ok", "upd", "[wall]", "pred", "ok", "delay", "[wall]", "pred",
+              "ok");
+  PrintRule(104);
+  bool all_ok = true;
+  for (const double eps : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const EpsResult r = MeasureEps(eps);
+    const double pred_preproc = 1.0 + eps;
+    const double pred_update = eps;
+    const double pred_delay = 1.0 - eps;
+    // Tolerances: counters remove machine noise but boundary effects
+    // (capped degrees at tiny N, constant offsets) remain.
+    const bool ok_p = r.preproc.ops_slope < pred_preproc + 0.15 &&
+                      r.preproc.ops_slope > pred_preproc - 0.3;
+    const bool ok_u =
+        r.update.ops_slope < pred_update + 0.15 && r.update.ops_slope > pred_update - 0.3;
+    const bool ok_d =
+        r.delay.ops_slope < pred_delay + 0.15 && r.delay.ops_slope > pred_delay - 0.3;
+    all_ok = all_ok && ok_p && ok_u && ok_d;
+    std::printf("%5.2f | %7.2f %7.2f %5.2f %5s | %7.2f %7.2f %5.2f %5s | %7.2f %7.2f %5.2f %5s\n",
+                eps, r.preproc.ops_slope, r.preproc.wall_slope, pred_preproc, Verdict(ok_p),
+                r.update.ops_slope, r.update.wall_slope, pred_update, Verdict(ok_u),
+                r.delay.ops_slope, r.delay.wall_slope, pred_delay, Verdict(ok_d));
+  }
+  PrintRule(104);
+  std::printf("shape verdict: %s — measured exponents track 1+(w-1)eps / delta*eps / 1-eps\n",
+              Verdict(all_ok));
+  return all_ok ? 0 : 1;
+}

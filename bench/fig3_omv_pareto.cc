@@ -1,0 +1,107 @@
+// Figure 3 / Proposition 10: the update-delay Pareto frontier for
+// δ1-hierarchical queries under OMv-style workloads. The reduction encodes
+// an n×n Boolean matrix in R(A,B) and streams vectors into S(B); unless
+// the OMv conjecture fails, no algorithm gets both amortized update time
+// and delay to O(N^{1/2−γ}). IVM^ε traces the frontier: at ε the costs are
+// O(N^ε) and O(N^{1−ε}) — with the matrix's √N-degree columns, the
+// observable costs are (O(1), ~√N) for ε<1/2 and (~√N, O(1)) for ε>1/2, so
+// max(update, delay) is minimized (≈√N, weakly Pareto optimal) at ε=1/2
+// and never drops meaningfully below √N for any ε.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+
+using namespace ivme;
+using namespace ivme::bench;
+
+namespace {
+
+struct RoundCosts {
+  double update_us = 0;  ///< amortized per vector-entry update
+  double delay_us = 0;   ///< mean enumeration delay per output row
+};
+
+RoundCosts RunOmv(int n, double eps, int rounds) {
+  const auto query = *ConjunctiveQuery::Parse("Q(A) = R(A, B), S(B)");
+  EngineOptions opts;
+  opts.epsilon = eps;
+  opts.mode = EvalMode::kDynamic;
+  Engine engine(query, opts);
+  engine.Preprocess();
+
+  Rng rng(314159);
+  // Dense-ish matrix: every column has ~n/2 entries (degree √N in N=n²/2).
+  for (Value i = 0; i < n; ++i) {
+    for (Value j = 0; j < n; ++j) {
+      if (rng.Chance(0.5)) engine.ApplyUpdate("R", Tuple{i, j}, 1);
+    }
+  }
+
+  std::vector<bool> current(static_cast<size_t>(n), false);
+  double update_seconds = 0;
+  size_t updates = 0;
+  double delay_seconds = 0;
+  size_t outputs = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (Value j = 0; j < n; ++j) {
+      const bool next = rng.Chance(0.5);
+      const bool cur = current[static_cast<size_t>(j)];
+      if (next == cur) continue;
+      Timer timer;
+      engine.ApplyUpdate("S", Tuple{j}, next ? 1 : -1);
+      update_seconds += timer.Seconds();
+      ++updates;
+      current[static_cast<size_t>(j)] = next;
+    }
+    Timer timer;
+    auto it = engine.Enumerate();
+    Tuple t;
+    Mult mult = 0;
+    size_t count = 0;
+    while (it->Next(&t, &mult)) ++count;
+    delay_seconds += timer.Seconds();
+    outputs += std::max<size_t>(count, 1);
+  }
+  RoundCosts costs;
+  costs.update_us = update_seconds * 1e6 / static_cast<double>(std::max<size_t>(updates, 1));
+  costs.delay_us = delay_seconds * 1e6 / static_cast<double>(outputs);
+  return costs;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 300;  // N ≈ n²/2 matrix entries
+  const int rounds = 12;
+  std::printf("Figure 3: OMv Pareto frontier — Q(A)=R(A,B),S(B), %dx%d matrix, %d vector rounds\n",
+              n, n, rounds);
+  PrintRule();
+  std::printf("%5s | %12s | %12s | %14s\n", "eps", "update(us)", "delay(us)",
+              "max(update,delay)");
+  PrintRule();
+  std::vector<double> max_cost;
+  std::vector<double> update_costs, delay_costs;
+  for (const double eps : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const RoundCosts costs = RunOmv(n, eps, rounds);
+    update_costs.push_back(costs.update_us);
+    delay_costs.push_back(costs.delay_us);
+    max_cost.push_back(std::max(costs.update_us, costs.delay_us));
+    std::printf("%5.2f | %12.3f | %12.3f | %14.3f\n", eps, costs.update_us, costs.delay_us,
+                max_cost.back());
+  }
+  PrintRule();
+  // Shape checks mirroring the cuboid: both extremes pay ~√N somewhere, and
+  // the balanced point does not beat the frontier by a large factor (that
+  // would contradict the conditional lower bound).
+  const double best = *std::min_element(max_cost.begin(), max_cost.end());
+  const bool update_monotone = update_costs.front() <= update_costs.back();
+  const bool delay_monotone = delay_costs.front() >= delay_costs.back();
+  const bool no_free_lunch = best > 0.05 * max_cost[2];  // nothing far inside the cuboid
+  std::printf("update grows / delay shrinks with eps: %s / %s\n", Verdict(update_monotone),
+              Verdict(delay_monotone));
+  std::printf("no eps beats the balanced point by >20x in max-cost: %s\n",
+              Verdict(no_free_lunch));
+  std::printf("(weak Pareto optimality at eps=1/2, Proposition 10)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Micro-benchmarks for the Section-3 computational model: the dictionary
+// and index operations the paper's constant-time claims rest on. All ops
+// should be O(1): the reported ns/op must stay roughly flat as relations
+// grow (modulo cache effects).
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/storage/relation.h"
+
+namespace ivme {
+namespace {
+
+void BM_RelationInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Relation r(Schema({0, 1}), "R");
+    state.ResumeTiming();
+    for (size_t i = 0; i < n; ++i) {
+      r.Apply(Tuple{static_cast<Value>(i), static_cast<Value>(i % 97)}, 1);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_RelationInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RelationLookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Relation r(Schema({0, 1}), "R");
+  for (size_t i = 0; i < n; ++i) {
+    r.Apply(Tuple{static_cast<Value>(i), static_cast<Value>(i % 97)}, 1);
+  }
+  Rng rng(2);
+  Mult sink = 0;
+  for (auto _ : state) {
+    const Value key = static_cast<Value>(rng.Below(n));
+    sink += r.Multiplicity(Tuple{key, key % 97});
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelationLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_IndexedInsertDelete(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Relation r(Schema({0, 1}), "R");
+  r.EnsureIndex(Schema({1}));
+  for (size_t i = 0; i < n; ++i) {
+    r.Apply(Tuple{static_cast<Value>(i), static_cast<Value>(i % 97)}, 1);
+  }
+  Value next = static_cast<Value>(n);
+  for (auto _ : state) {
+    r.Apply(Tuple{next, next % 97}, 1);
+    r.Apply(Tuple{next, next % 97}, -1);
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_IndexedInsertDelete)->Arg(1000)->Arg(100000);
+
+void BM_IndexCountForKey(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Relation r(Schema({0, 1}), "R");
+  const int idx = r.EnsureIndex(Schema({1}));
+  for (size_t i = 0; i < n; ++i) {
+    r.Apply(Tuple{static_cast<Value>(i), static_cast<Value>(i % 97)}, 1);
+  }
+  Rng rng(3);
+  size_t sink = 0;
+  for (auto _ : state) {
+    sink += r.index(idx).CountForKey(Tuple{static_cast<Value>(rng.Below(97))});
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexCountForKey)->Arg(1000)->Arg(100000);
+
+void BM_IndexScanPerTuple(benchmark::State& state) {
+  // Constant-delay σ_{S=t}R enumeration: ns per scanned tuple must not
+  // depend on |R|.
+  const size_t n = static_cast<size_t>(state.range(0));
+  Relation r(Schema({0, 1}), "R");
+  const int idx = r.EnsureIndex(Schema({1}));
+  for (size_t i = 0; i < n; ++i) {
+    r.Apply(Tuple{static_cast<Value>(i), static_cast<Value>(i % 97)}, 1);
+  }
+  size_t sink = 0, scanned = 0;
+  Rng rng(4);
+  for (auto _ : state) {
+    const Tuple key{static_cast<Value>(rng.Below(97))};
+    for (const auto* link = r.index(idx).FirstForKey(key); link != nullptr;
+         link = link->next) {
+      sink += static_cast<size_t>(link->entry->key[0]);
+      ++scanned;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(scanned));
+}
+BENCHMARK(BM_IndexScanPerTuple)->Arg(9700)->Arg(97000);
+
+}  // namespace
+}  // namespace ivme
+
+BENCHMARK_MAIN();

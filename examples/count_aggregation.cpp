@@ -1,0 +1,72 @@
+// Group-by COUNT aggregation through multiplicities — the ℤ-ring extension
+// sketched in the paper's conclusion. The multiplicity the engine maintains
+// for each result tuple *is* the aggregate
+//
+//   SELECT A, COUNT(*) FROM R NATURAL JOIN S GROUP BY A
+//
+// so a δ1-hierarchical counting dashboard gets O(N^ε) amortized updates and
+// O(N^{1−ε}) delay — far below recomputation.
+//
+//   ./examples/count_aggregation
+#include <cstdio>
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+
+using namespace ivme;
+
+int main() {
+  // Orders(Customer, Item), Stock(Item): count per customer how many of
+  // their ordered items are stocked, weighted by stock multiplicity.
+  const auto query = *ConjunctiveQuery::Parse("Q(Customer) = Orders(Customer, Item), Stock(Item)");
+  EngineOptions options;
+  options.epsilon = 0.5;
+  options.mode = EvalMode::kDynamic;
+  Engine engine(query, options);
+  engine.Preprocess();
+
+  Rng rng(11);
+  const Value customers = 8, items = 12;
+  std::map<std::pair<Value, Value>, long long> orders;  // reference counts
+  std::map<Value, long long> stock;
+
+  for (int step = 0; step < 400; ++step) {
+    if (rng.Chance(0.6)) {
+      const Value c = rng.Range(0, customers - 1), i = rng.Range(0, items - 1);
+      engine.ApplyUpdate("Orders", Tuple{c, i}, 1);
+      orders[{c, i}] += 1;
+    } else if (rng.Chance(0.7)) {
+      const Value i = rng.Range(0, items - 1);
+      engine.ApplyUpdate("Stock", Tuple{i}, 1);
+      stock[i] += 1;
+    } else {
+      const Value i = rng.Range(0, items - 1);
+      if (engine.ApplyUpdate("Stock", Tuple{i}, -1)) stock[i] -= 1;
+    }
+  }
+
+  std::printf("customer | stocked-order count (engine) | (reference)\n");
+  bool all_match = true;
+  std::map<Value, long long> reference;
+  for (const auto& [key, count] : orders) {
+    reference[key.first] += count * stock[key.second];
+  }
+  auto it = engine.Enumerate();
+  Tuple t;
+  Mult mult = 0;
+  std::map<Value, long long> engine_counts;
+  while (it->Next(&t, &mult)) engine_counts[t[0]] = mult;
+  for (Value c = 0; c < customers; ++c) {
+    const long long expected = reference.count(c) != 0 ? reference[c] : 0;
+    const long long actual = engine_counts.count(c) != 0 ? engine_counts[c] : 0;
+    if (expected != 0 || actual != 0) {
+      std::printf("%8lld | %28lld | %lld%s\n", static_cast<long long>(c), actual, expected,
+                  actual == expected ? "" : "   <-- MISMATCH");
+    }
+    if (actual != expected) all_match = false;
+  }
+  std::printf("\n%s\n", all_match ? "all aggregates maintained exactly."
+                                  : "aggregate mismatch!");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Example 28 as an application: integer matrix multiplication through the
+// query Q(A, C) = R(A, B), S(B, C), where the multiplicity of (i, k) in the
+// result is exactly (R·S)[i][k]. Sweeps ε to show the preprocessing/delay
+// trade-off on the same input.
+//
+//   ./examples/matrix_multiply [n]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+
+using namespace ivme;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Value n = argc > 1 ? std::atoll(argv[1]) : 120;
+  const auto query = *ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
+  Rng rng(42);
+
+  // Two random 0/1 matrices with ~35% density, encoded as relations.
+  std::vector<std::pair<Tuple, Mult>> r, s;
+  for (Value i = 0; i < n; ++i) {
+    for (Value j = 0; j < n; ++j) {
+      if (rng.Chance(0.35)) r.push_back({Tuple{i, j}, 1});
+      if (rng.Chance(0.35)) s.push_back({Tuple{i, j}, 1});
+    }
+  }
+  std::printf("multiplying two %lldx%lld Boolean matrices (|R|=%zu, |S|=%zu, N=%zu)\n",
+              static_cast<long long>(n), static_cast<long long>(n), r.size(), s.size(),
+              r.size() + s.size());
+  std::printf("%6s %14s %14s %14s %12s\n", "eps", "preprocess(s)", "enumerate(s)",
+              "mean delay(us)", "result size");
+
+  for (const double eps : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EngineOptions options;
+    options.epsilon = eps;
+    options.mode = EvalMode::kStatic;
+    Engine engine(query, options);
+    engine.Load("R", r);
+    engine.Load("S", s);
+
+    auto start = std::chrono::steady_clock::now();
+    engine.Preprocess();
+    const double preprocess_s = Seconds(start);
+
+    start = std::chrono::steady_clock::now();
+    auto it = engine.Enumerate();
+    Tuple t;
+    Mult mult = 0;
+    size_t count = 0;
+    long long checksum = 0;
+    while (it->Next(&t, &mult)) {
+      ++count;
+      checksum += mult;  // Σ over cells of (R·S)[i][k]
+    }
+    const double enumerate_s = Seconds(start);
+    std::printf("%6.2f %14.3f %14.3f %14.3f %12zu\n", eps, preprocess_s, enumerate_s,
+                count > 0 ? enumerate_s / static_cast<double>(count) * 1e6 : 0.0, count);
+    static long long reference = -1;
+    if (reference < 0) reference = checksum;
+    if (checksum != reference) {
+      std::printf("checksum mismatch across eps!\n");
+      return 1;
+    }
+  }
+  std::printf("\nlower eps = cheaper preprocessing, slower enumeration; "
+              "eps=1 materializes the full product.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "src/baselines/brute_force.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+namespace {
+
+struct Binder {
+  const ConjunctiveQuery& q;
+  const Database& db;
+  std::vector<Value> binding;       // per variable id
+  std::vector<bool> bound;          // per variable id
+  QueryResult result;
+
+  Binder(const ConjunctiveQuery& query, const Database& database)
+      : q(query), db(database), binding(query.num_vars(), 0), bound(query.num_vars(), false) {}
+
+  void Recurse(size_t atom_idx, Mult mult) {
+    if (atom_idx == q.num_atoms()) {
+      Tuple out;
+      out.Reserve(q.free_vars().size());
+      for (VarId v : q.free_vars()) {
+        IVME_CHECK(bound[static_cast<size_t>(v)]);
+        out.PushBack(binding[static_cast<size_t>(v)]);
+      }
+      result[out] += mult;
+      return;
+    }
+    const Atom& atom = q.atom(atom_idx);
+    const Relation* rel = db.Find(atom.relation);
+    IVME_CHECK_MSG(rel != nullptr, "missing relation " << atom.relation);
+    IVME_CHECK(rel->schema().size() == atom.schema.size());
+    for (const Relation::Entry* e = rel->First(); e != nullptr; e = e->next) {
+      bool consistent = true;
+      std::vector<VarId> newly_bound;
+      for (size_t i = 0; i < atom.schema.size() && consistent; ++i) {
+        const VarId v = atom.schema[i];
+        const Value val = e->key[i];
+        if (bound[static_cast<size_t>(v)]) {
+          consistent = binding[static_cast<size_t>(v)] == val;
+        } else {
+          bound[static_cast<size_t>(v)] = true;
+          binding[static_cast<size_t>(v)] = val;
+          newly_bound.push_back(v);
+        }
+      }
+      if (consistent) Recurse(atom_idx + 1, mult * e->value.mult);
+      for (VarId v : newly_bound) bound[static_cast<size_t>(v)] = false;
+    }
+  }
+};
+
+}  // namespace
+
+QueryResult BruteForceEvaluate(const ConjunctiveQuery& q, const Database& db) {
+  Binder binder(q, db);
+  binder.Recurse(0, 1);
+  // Drop zero-multiplicity tuples (possible only with negative inputs).
+  for (auto it = binder.result.begin(); it != binder.result.end();) {
+    if (it->second == 0) {
+      it = binder.result.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return binder.result;
+}
+
+}  // namespace ivme

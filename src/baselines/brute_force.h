@@ -1,0 +1,27 @@
+// Brute-force conjunctive query evaluation by backtracking over atoms.
+// Exponential in query size, linear passes over relations — used as ground
+// truth in tests and as the recompute step of the naive baseline.
+#ifndef IVME_BASELINES_BRUTE_FORCE_H_
+#define IVME_BASELINES_BRUTE_FORCE_H_
+
+#include <map>
+#include <string>
+
+#include "src/data/tuple.h"
+#include "src/query/query.h"
+#include "src/storage/database.h"
+
+namespace ivme {
+
+/// Result of evaluating a query: distinct free-variable tuples with their
+/// multiplicities (sum over bound-variable valuations of the product of
+/// atom multiplicities). Tuples are over free_vars() in head order.
+using QueryResult = std::map<Tuple, Mult>;
+
+/// Evaluates `q` over `db` by naive backtracking join. Every relation named
+/// by the query must exist in `db` with a matching arity.
+QueryResult BruteForceEvaluate(const ConjunctiveQuery& q, const Database& db);
+
+}  // namespace ivme
+
+#endif  // IVME_BASELINES_BRUTE_FORCE_H_

@@ -1,0 +1,139 @@
+#include "src/baselines/first_order_ivm.h"
+
+#include <functional>
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+FirstOrderIvmEngine::FirstOrderIvmEngine(ConjunctiveQuery q) : query_(std::move(q)) {
+  for (const auto& name : query_.RelationNames()) {
+    for (const auto& atom : query_.atoms()) {
+      if (atom.relation == name) {
+        db_.AddRelation(name, atom.schema);
+        break;
+      }
+    }
+  }
+  result_ = std::make_unique<Relation>(query_.free_vars(), query_.name() + "_result");
+}
+
+void FirstOrderIvmEngine::LoadTuple(const std::string& relation, const Tuple& tuple,
+                                    Mult mult) {
+  IVME_CHECK_MSG(!preprocessed_, "LoadTuple must precede Preprocess");
+  Relation* rel = db_.Find(relation);
+  IVME_CHECK_MSG(rel != nullptr, "unknown relation " << relation);
+  rel->Apply(tuple, mult);
+}
+
+void FirstOrderIvmEngine::Preprocess() {
+  IVME_CHECK(!preprocessed_);
+  preprocessed_ = true;
+  for (const auto& [tuple, mult] : BruteForceEvaluate(query_, db_)) {
+    result_->Apply(tuple, mult);
+  }
+}
+
+void FirstOrderIvmEngine::ApplyDeltaForOccurrence(size_t skip, const Tuple& tuple, Mult mult) {
+  // Variable bindings seeded from the updated atom.
+  std::vector<Value> binding(query_.num_vars(), 0);
+  std::vector<bool> bound(query_.num_vars(), false);
+  const Schema& skip_schema = query_.atom(skip).schema;
+  for (size_t i = 0; i < skip_schema.size(); ++i) {
+    binding[static_cast<size_t>(skip_schema[i])] = tuple[i];
+    bound[static_cast<size_t>(skip_schema[i])] = true;
+  }
+
+  std::function<void(size_t, Mult)> recurse = [&](size_t atom_idx, Mult m) {
+    if (atom_idx == query_.num_atoms()) {
+      Tuple out;
+      out.Reserve(query_.free_vars().size());
+      for (VarId v : query_.free_vars()) out.PushBack(binding[static_cast<size_t>(v)]);
+      result_->Apply(out, m);
+      return;
+    }
+    if (atom_idx == skip) {
+      recurse(atom_idx + 1, m);
+      return;
+    }
+    const Atom& atom = query_.atom(atom_idx);
+    Relation* rel = db_.Find(atom.relation);
+    // Probe on the currently bound variables of the atom via a (lazily
+    // created) index; unbound variables enumerate.
+    std::vector<VarId> bound_vars;
+    for (VarId v : atom.schema) {
+      if (bound[static_cast<size_t>(v)]) bound_vars.push_back(v);
+    }
+    const Schema key_schema{std::vector<VarId>(bound_vars)};
+    Tuple key;
+    key.Reserve(bound_vars.size());
+    for (VarId v : bound_vars) key.PushBack(binding[static_cast<size_t>(v)]);
+
+    auto process_row = [&](const Tuple& row, Mult row_mult) {
+      std::vector<VarId> newly;
+      for (size_t i = 0; i < atom.schema.size(); ++i) {
+        const VarId v = atom.schema[i];
+        if (!bound[static_cast<size_t>(v)]) {
+          bound[static_cast<size_t>(v)] = true;
+          binding[static_cast<size_t>(v)] = row[i];
+          newly.push_back(v);
+        }
+      }
+      recurse(atom_idx + 1, m * row_mult);
+      for (VarId v : newly) bound[static_cast<size_t>(v)] = false;
+    };
+
+    if (key_schema.size() == atom.schema.size()) {
+      const Mult row_mult = rel->Multiplicity(key);
+      if (row_mult != 0) recurse(atom_idx + 1, m * row_mult);
+    } else if (key_schema.empty()) {
+      for (const Relation::Entry* e = rel->First(); e != nullptr; e = e->next) {
+        process_row(e->key, e->value.mult);
+      }
+    } else {
+      const int index_id = rel->EnsureIndex(key_schema);
+      for (const auto* link = rel->index(index_id).FirstForKey(key); link != nullptr;
+           link = link->next) {
+        process_row(link->entry->key, link->entry->value.mult);
+      }
+    }
+  };
+  recurse(0, mult);
+}
+
+bool FirstOrderIvmEngine::ApplyUpdate(const std::string& relation, const Tuple& tuple,
+                                      Mult mult) {
+  IVME_CHECK_MSG(preprocessed_, "Preprocess before updating");
+  Relation* rel = db_.Find(relation);
+  IVME_CHECK_MSG(rel != nullptr, "unknown relation " << relation);
+  if (mult < 0 && rel->Multiplicity(tuple) < -mult) return false;
+
+  // Per occurrence (repeated symbols): δ applied against the partially
+  // updated database, matching δ(R1 ⋈ R2) = δR1 ⋈ R2 + R1' ⋈ δR2.
+  bool applied_storage = false;
+  for (size_t a = 0; a < query_.num_atoms(); ++a) {
+    if (query_.atom(a).relation != relation) continue;
+    if (!applied_storage) {
+      // The delta for the first occurrence joins the *old* other relations;
+      // since the delta join skips the occurrence itself, applying the
+      // storage update first is safe for single-occurrence queries and
+      // matches the leapfrog expansion for repeated ones.
+      ApplyDeltaForOccurrence(a, tuple, mult);
+      rel->Apply(tuple, mult);
+      applied_storage = true;
+    } else {
+      ApplyDeltaForOccurrence(a, tuple, mult);
+    }
+  }
+  return true;
+}
+
+QueryResult FirstOrderIvmEngine::EvaluateToMap() const {
+  QueryResult out;
+  for (const Relation::Entry* e = result_->First(); e != nullptr; e = e->next) {
+    out[e->key] = e->value.mult;
+  }
+  return out;
+}
+
+}  // namespace ivme

@@ -1,0 +1,69 @@
+// Classical first-order IVM baseline [16]: a single materialized result
+// view maintained with delta queries δQ = π_F(δR ⋈ ⨝ others), computed by
+// index-nested-loop joins. Constant-delay enumeration from the view;
+// update cost grows with the delta size (up to O(N^{w−1}) per update) —
+// the prior-work point the paper's Figure 2 compares against.
+#ifndef IVME_BASELINES_FIRST_ORDER_IVM_H_
+#define IVME_BASELINES_FIRST_ORDER_IVM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/brute_force.h"
+#include "src/query/query.h"
+#include "src/storage/database.h"
+
+namespace ivme {
+
+class FirstOrderIvmEngine {
+ public:
+  explicit FirstOrderIvmEngine(ConjunctiveQuery q);
+
+  /// Loads a base tuple; call Preprocess() once afterwards.
+  void LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Computes the initial result view.
+  void Preprocess();
+
+  /// Maintains base relations and the result view. Returns false when a
+  /// delete exceeds the current multiplicity.
+  bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Constant-delay iteration over the materialized result.
+  class Iterator {
+   public:
+    explicit Iterator(const Relation* result) : entry_(result->First()) {}
+    bool Next(Tuple* out, Mult* mult) {
+      if (entry_ == nullptr) return false;
+      *out = entry_->key;
+      *mult = entry_->value.mult;
+      entry_ = entry_->next;
+      return true;
+    }
+
+   private:
+    const Relation::Entry* entry_;
+  };
+
+  Iterator Enumerate() const { return Iterator(result_.get()); }
+
+  QueryResult EvaluateToMap() const;
+
+  size_t result_size() const { return result_->size(); }
+  size_t database_size() const { return db_.TotalSize(); }
+
+ private:
+  /// Adds π_F(δ-binding ⋈ remaining atoms) into the result, starting from
+  /// atom occurrence `skip` bound to `tuple`.
+  void ApplyDeltaForOccurrence(size_t skip, const Tuple& tuple, Mult mult);
+
+  ConjunctiveQuery query_;
+  Database db_;
+  std::unique_ptr<Relation> result_;
+  bool preprocessed_ = false;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_BASELINES_FIRST_ORDER_IVM_H_

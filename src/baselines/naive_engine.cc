@@ -1,0 +1,62 @@
+#include "src/baselines/naive_engine.h"
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+NaiveRecomputeEngine::NaiveRecomputeEngine(ConjunctiveQuery q) : query_(std::move(q)) {
+  for (const auto& name : query_.RelationNames()) {
+    // All atoms of one symbol share arity by construction of our queries.
+    for (const auto& atom : query_.atoms()) {
+      if (atom.relation == name) {
+        db_.AddRelation(name, atom.schema);
+        break;
+      }
+    }
+  }
+}
+
+void NaiveRecomputeEngine::LoadTuple(const std::string& relation, const Tuple& tuple,
+                                     Mult mult) {
+  Relation* rel = db_.Find(relation);
+  IVME_CHECK_MSG(rel != nullptr, "unknown relation " << relation);
+  rel->Apply(tuple, mult);
+  dirty_ = true;
+}
+
+bool NaiveRecomputeEngine::ApplyUpdate(const std::string& relation, const Tuple& tuple,
+                                       Mult mult) {
+  Relation* rel = db_.Find(relation);
+  IVME_CHECK_MSG(rel != nullptr, "unknown relation " << relation);
+  if (mult < 0 && rel->Multiplicity(tuple) < -mult) return false;
+  rel->Apply(tuple, mult);
+  dirty_ = true;
+  return true;
+}
+
+void NaiveRecomputeEngine::Refresh() {
+  if (!dirty_ && snapshot_ != nullptr) return;
+  EngineOptions options;
+  options.epsilon = 1.0;  // full materialization: O(1) delay after O(N^w)
+  options.mode = EvalMode::kStatic;
+  snapshot_ = std::make_unique<Engine>(query_, options);
+  for (const auto& rel : db_.relations()) {
+    for (const Relation::Entry* e = rel->First(); e != nullptr; e = e->next) {
+      snapshot_->LoadTuple(rel->name(), e->key, e->value.mult);
+    }
+  }
+  snapshot_->Preprocess();
+  dirty_ = false;
+}
+
+std::unique_ptr<ResultEnumerator> NaiveRecomputeEngine::Enumerate() {
+  Refresh();
+  return snapshot_->Enumerate();
+}
+
+QueryResult NaiveRecomputeEngine::EvaluateToMap() {
+  Refresh();
+  return snapshot_->EvaluateToMap();
+}
+
+}  // namespace ivme

@@ -1,0 +1,45 @@
+// Naive recompute baseline: keeps only the base relations; on demand (first
+// enumeration after a change) recomputes the full query result from scratch
+// by running the static evaluator at ε = 1 (full materialization, O(N^w)
+// recompute time, O(1) delay) — the classical "recompute then list"
+// strategy the paper's dynamic approaches are measured against.
+#ifndef IVME_BASELINES_NAIVE_ENGINE_H_
+#define IVME_BASELINES_NAIVE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/engine.h"
+
+namespace ivme {
+
+class NaiveRecomputeEngine {
+ public:
+  explicit NaiveRecomputeEngine(ConjunctiveQuery q);
+
+  /// Loads a tuple (positive multiplicities, before or after Prepare).
+  void LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Applies an update; O(1) — the recompute happens lazily.
+  bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Recomputes if needed and enumerates the full result.
+  std::unique_ptr<ResultEnumerator> Enumerate();
+
+  QueryResult EvaluateToMap();
+
+  /// Forces the recompute (so benches can time it separately).
+  void Refresh();
+
+  size_t database_size() const { return db_.TotalSize(); }
+
+ private:
+  ConjunctiveQuery query_;
+  Database db_;
+  std::unique_ptr<Engine> snapshot_;
+  bool dirty_ = true;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_BASELINES_NAIVE_ENGINE_H_

@@ -1,0 +1,47 @@
+// Fatal assertion macros, used for internal invariants (the library does not
+// use exceptions, following the Google C++ style guide).
+#ifndef IVME_COMMON_CHECK_H_
+#define IVME_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace ivme {
+namespace internal {
+
+// Prints the failure message to stderr and aborts. Marked noreturn so that
+// CHECK macros can be used on paths the compiler must treat as terminating.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& message);
+
+}  // namespace internal
+}  // namespace ivme
+
+/// Aborts with a diagnostic when `cond` does not hold. Always enabled; the
+/// checks guard data-structure invariants whose violation would silently
+/// corrupt query results.
+#define IVME_CHECK(cond)                                                        \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::ivme::internal::CheckFailed(__FILE__, __LINE__,                         \
+                                    "IVME_CHECK failed: " #cond);               \
+    }                                                                           \
+  } while (0)
+
+/// Like IVME_CHECK but appends a formatted message built with stream syntax:
+/// IVME_CHECK_MSG(x > 0, "x was " << x).
+#define IVME_CHECK_MSG(cond, msg)                                               \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::ostringstream ivme_check_stream_;                                    \
+      ivme_check_stream_ << "IVME_CHECK failed: " #cond << " — " << msg;        \
+      ::ivme::internal::CheckFailed(__FILE__, __LINE__,                         \
+                                    ivme_check_stream_.str());                  \
+    }                                                                           \
+  } while (0)
+
+/// Marks unreachable code paths.
+#define IVME_UNREACHABLE(msg)                                                   \
+  ::ivme::internal::CheckFailed(__FILE__, __LINE__,                             \
+                                std::string("unreachable: ") + (msg))
+
+#endif  // IVME_COMMON_CHECK_H_

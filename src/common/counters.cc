@@ -1,0 +1,13 @@
+#include "src/common/counters.h"
+
+namespace ivme {
+
+namespace {
+CostCounters g_counters;
+}  // namespace
+
+CostCounters& GlobalCounters() { return g_counters; }
+
+void ResetCounters() { g_counters = CostCounters(); }
+
+}  // namespace ivme

@@ -1,0 +1,35 @@
+// Global operation counters for machine-independent cost accounting. The
+// benches fit the paper's complexity exponents on these counters (wall
+// clock is reported alongside but suffers cache-regime drift: the per
+// -operation cost of a hash probe grows with the working set, which skews
+// log-log slopes on small ladders).
+#ifndef IVME_COMMON_COUNTERS_H_
+#define IVME_COMMON_COUNTERS_H_
+
+#include <cstdint>
+
+namespace ivme {
+
+struct CostCounters {
+  /// Materialization work: child tuples aggregated/scanned plus output rows
+  /// accumulated (the InsideOut + join steps of Proposition 21).
+  uint64_t materialize_steps = 0;
+
+  /// Maintenance work: delta rows emitted and sibling index links visited
+  /// (the Figure 17/19 propagation).
+  uint64_t delta_steps = 0;
+
+  /// Enumeration work: row-scan advances, grounding lookups, and union
+  /// bucket probes (the Figures 13-16 machinery).
+  uint64_t enum_steps = 0;
+};
+
+/// The process-wide counters (single-threaded engine).
+CostCounters& GlobalCounters();
+
+/// Zeroes all counters.
+void ResetCounters();
+
+}  // namespace ivme
+
+#endif  // IVME_COMMON_COUNTERS_H_

@@ -1,0 +1,21 @@
+// Small string-formatting helpers shared by diagnostics, benches, and tests.
+#ifndef IVME_COMMON_FMT_H_
+#define IVME_COMMON_FMT_H_
+
+#include <string>
+#include <vector>
+
+namespace ivme {
+
+/// Joins the string forms of a container's elements with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Human-friendly number with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithThousands(long long value);
+
+/// Fixed-precision double rendering (printf "%.*f").
+std::string DoubleToString(double value, int precision);
+
+}  // namespace ivme
+
+#endif  // IVME_COMMON_FMT_H_

@@ -1,0 +1,38 @@
+// 64-bit hashing utilities used by the storage layer. The mixers are
+// variants of splitmix64/murmur finalizers: cheap, well distributed, and
+// deterministic across runs (useful for reproducible benchmarks).
+#ifndef IVME_COMMON_HASH_H_
+#define IVME_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ivme {
+
+/// Mixes a 64-bit value (splitmix64 finalizer).
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines an accumulated hash with the hash of the next component.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // boost::hash_combine-style with a 64-bit golden-ratio constant.
+  seed ^= HashMix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+/// Hashes a span of 64-bit values.
+inline uint64_t HashSpan64(const int64_t* data, size_t n) {
+  uint64_t h = 0x51ed2701a8e3c2f4ULL ^ (static_cast<uint64_t>(n) << 1);
+  for (size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, static_cast<uint64_t>(data[i]));
+  }
+  return h;
+}
+
+}  // namespace ivme
+
+#endif  // IVME_COMMON_HASH_H_

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. A thin wrapper over xoshiro256** so that results do not
+// depend on the standard library's distribution implementations.
+#ifndef IVME_COMMON_RNG_H_
+#define IVME_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ivme {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seedable and portable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) for bound >= 1.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  size_t Weighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ivme
+
+#endif  // IVME_COMMON_RNG_H_

@@ -1,0 +1,80 @@
+#include "src/core/aggregate_view.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/enumerate/cursor.h"
+
+namespace ivme {
+
+GroupedAggregateEngine::GroupedAggregateEngine(ConjunctiveQuery q,
+                                               std::string measure_relation,
+                                               EngineOptions options)
+    : query_(std::move(q)), measure_relation_(std::move(measure_relation)) {
+  bool found = false;
+  for (const auto& atom : query_.atoms()) {
+    if (atom.relation == measure_relation_) found = true;
+  }
+  IVME_CHECK_MSG(found, "measure relation " << measure_relation_ << " not in the query");
+  count_engine_ = std::make_unique<Engine>(query_, options);
+  sum_engine_ = std::make_unique<Engine>(query_, options);
+}
+
+void GroupedAggregateEngine::LoadTuple(const std::string& relation, const Tuple& tuple,
+                                       Mult count, Mult measure) {
+  count_engine_->LoadTuple(relation, tuple, count);
+  sum_engine_->LoadTuple(relation, tuple, relation == measure_relation_ ? measure : count);
+}
+
+void GroupedAggregateEngine::Preprocess() {
+  count_engine_->Preprocess();
+  sum_engine_->Preprocess();
+}
+
+bool GroupedAggregateEngine::ApplyUpdate(const std::string& relation, const Tuple& tuple,
+                                         Mult count, Mult measure) {
+  const Mult sum_delta = relation == measure_relation_ ? measure : count;
+  // All-or-nothing: the engines validate deletes themselves; on a sum-side
+  // rejection the count-side update is rolled back.
+  if (!count_engine_->ApplyUpdate(relation, tuple, count)) return false;
+  if (!sum_engine_->ApplyUpdate(relation, tuple, sum_delta)) {
+    const bool rolled_back = count_engine_->ApplyUpdate(relation, tuple, -count);
+    IVME_CHECK_MSG(rolled_back, "rollback of a just-applied update cannot fail");
+    return false;
+  }
+  return true;
+}
+
+GroupedAggregateEngine::Iterator::Iterator(std::unique_ptr<ResultEnumerator> counts,
+                                           const Engine* sum_engine)
+    : counts_(std::move(counts)), sum_engine_(sum_engine) {}
+
+bool GroupedAggregateEngine::Iterator::Next(Tuple* group, Aggregates* aggregates) {
+  Mult count = 0;
+  if (!counts_->Next(group, &count)) return false;
+  aggregates->count = count;
+  // Per-group sum from the sum engine via stateless tree lookups: within a
+  // connected component the trees' contributions add (Proposition 20);
+  // across components they multiply (Cartesian product).
+  const auto& plan = sum_engine_->plan();
+  const Schema& free = sum_engine_->query().free_vars();
+  Mult sum = 1;
+  for (int c = 0; c < plan.num_components; ++c) {
+    Mult component_sum = 0;
+    for (const auto& tree : plan.trees) {
+      if (tree->component != c) continue;
+      component_sum +=
+          LookupTree(tree->root.get(), Tuple{},
+                     ProjectTuple(*group, ProjectionPositions(free, tree->root->emit_schema)));
+    }
+    sum *= component_sum;
+  }
+  aggregates->sum = sum;
+  return true;
+}
+
+GroupedAggregateEngine::Iterator GroupedAggregateEngine::Enumerate() const {
+  return Iterator(count_engine_->Enumerate(), sum_engine_.get());
+}
+
+}  // namespace ivme

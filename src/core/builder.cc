@@ -1,0 +1,477 @@
+#include "src/core/builder.h"
+
+#include <functional>
+
+#include "src/common/check.h"
+#include "src/query/classify.h"
+#include "src/query/hypergraph.h"
+
+namespace ivme {
+
+namespace {
+
+using NodePtr = std::unique_ptr<ViewNode>;
+
+/// Shared construction state: query, mode, storage, and a name counter so
+/// every view gets a unique diagnostic name.
+struct Builder {
+  const ConjunctiveQuery& q;
+  EvalMode mode;
+  StorageProvider* storage;
+  int name_counter = 0;
+
+  std::vector<std::unique_ptr<IndicatorTriple>> triples;
+
+  std::string FreshName(const std::string& base) {
+    return base + "#" + std::to_string(name_counter++);
+  }
+
+  // -------------------------------------------------------------------------
+  // Leaves
+  // -------------------------------------------------------------------------
+
+  NodePtr MakeLeaf(int atom_index, const std::optional<Schema>& light_keys) {
+    auto node = std::make_unique<ViewNode>();
+    node->kind = NodeKind::kLeaf;
+    node->atom_index = atom_index;
+    node->schema = q.atom(static_cast<size_t>(atom_index)).schema;
+    if (light_keys.has_value()) {
+      RelationPartition* part = storage->AtomPartition(atom_index, *light_keys);
+      node->partition = part;
+      node->storage = part->light();
+      node->name = part->light()->name();
+    } else {
+      node->storage = storage->AtomStorage(atom_index);
+      node->name = node->storage->name();
+    }
+    return node;
+  }
+
+  // -------------------------------------------------------------------------
+  // NewVT (Figure 7)
+  // -------------------------------------------------------------------------
+
+  NodePtr NewVT(const std::string& base_name, const Schema& schema, const Schema& keys,
+                std::vector<NodePtr> children) {
+    IVME_CHECK(!children.empty());
+    if (children.size() == 1 && children[0]->schema.SameSet(schema)) {
+      return std::move(children[0]);  // the view would replicate its child
+    }
+    auto node = std::make_unique<ViewNode>();
+    node->kind = NodeKind::kView;
+    node->name = FreshName(base_name);
+    node->schema = schema;
+    node->key_schema = keys;
+    node->owned_storage = std::make_unique<Relation>(schema, node->name);
+    node->storage = node->owned_storage.get();
+    for (auto& child : children) {
+      IVME_CHECK_MSG(child->schema.ContainsAll(keys.Intersect(child->schema)), "internal");
+      if (child->IsIndicator()) {
+        IVME_CHECK(node->indicator_child < 0);
+        node->indicator_child = static_cast<int>(node->children.size());
+      }
+      node->children.push_back(std::move(child));
+    }
+    return node;
+  }
+
+  // -------------------------------------------------------------------------
+  // AuxView (Figure 8)
+  // -------------------------------------------------------------------------
+
+  NodePtr AuxView(const VONode* z, NodePtr tree) {
+    const Schema& anc = z->anc;
+    if (mode == EvalMode::kDynamic && z->HasSiblings() && anc.size() < tree->schema.size() &&
+        tree->schema.ContainsAll(anc)) {
+      std::vector<NodePtr> kids;
+      const std::string base = tree->name.substr(0, tree->name.find('#')) + "'";
+      kids.push_back(std::move(tree));
+      return NewVT(base, anc, anc, std::move(kids));
+    }
+    return tree;
+  }
+
+  // -------------------------------------------------------------------------
+  // BuildVT (Figure 6)
+  // -------------------------------------------------------------------------
+
+  NodePtr BuildVT(const std::string& prefix, const VONode* node, const Schema& free,
+                  const std::optional<Schema>& light_keys) {
+    if (node->IsAtom()) return MakeLeaf(node->atom_index, light_keys);
+
+    std::vector<NodePtr> child_trees;
+    child_trees.reserve(node->children.size());
+    for (const auto& child : node->children) {
+      child_trees.push_back(BuildVT(prefix, child.get(), free, light_keys));
+    }
+    const Schema keys = node->anc.Union(Schema({node->var}));
+    const std::string base = prefix + "_" + q.var_name(node->var);
+
+    if (free.ContainsAll(keys)) {
+      // anc(X) ∪ {X} ⊆ F: aggregate each child to the keys where useful.
+      std::vector<NodePtr> subtrees;
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        subtrees.push_back(AuxView(node->children[i].get(), std::move(child_trees[i])));
+      }
+      return NewVT(base, keys, keys, std::move(subtrees));
+    }
+    const Schema fx = node->anc.Union(free.Intersect(node->subtree_vars));
+    return NewVT(base, fx, keys, std::move(child_trees));
+  }
+
+  // -------------------------------------------------------------------------
+  // IndicatorVTs (Figure 10)
+  // -------------------------------------------------------------------------
+
+  IndicatorTriple* BuildIndicatorTriple(const VONode* node) {
+    const Schema keys = node->anc.Union(Schema({node->var}));
+    auto triple = std::make_unique<IndicatorTriple>();
+    triple->keys = keys;
+    triple->name = FreshName("H_" + q.var_name(node->var));
+    triple->all_tree = BuildVT("All", node, keys, std::nullopt);
+    triple->light_tree = BuildVT("L", node, keys, keys);
+    triple->h = std::make_unique<Relation>(keys, triple->name);
+    IVME_CHECK(triple->all_tree->schema.SameSet(keys));
+    IVME_CHECK(triple->light_tree->schema.SameSet(keys));
+    triples.push_back(std::move(triple));
+    return triples.back().get();
+  }
+
+  NodePtr MakeIndicatorRef(IndicatorTriple* triple) {
+    auto node = std::make_unique<ViewNode>();
+    node->kind = NodeKind::kIndicator;
+    node->name = "∃" + triple->name;
+    node->schema = triple->keys;
+    node->storage = triple->h.get();
+    node->triple = triple;
+    return node;
+  }
+
+  // -------------------------------------------------------------------------
+  // Deep copy (combinations in τ share child prototypes)
+  // -------------------------------------------------------------------------
+
+  NodePtr CloneTree(const ViewNode* node) {
+    auto copy = std::make_unique<ViewNode>();
+    copy->kind = node->kind;
+    copy->name = node->kind == NodeKind::kView ? FreshName(node->name.substr(0, node->name.find('#')))
+                                               : node->name;
+    copy->schema = node->schema;
+    copy->key_schema = node->key_schema;
+    copy->atom_index = node->atom_index;
+    copy->partition = node->partition;
+    copy->triple = node->triple;
+    copy->indicator_child = node->indicator_child;
+    if (node->kind == NodeKind::kView) {
+      copy->owned_storage = std::make_unique<Relation>(node->schema, copy->name);
+      copy->storage = copy->owned_storage.get();
+    } else {
+      copy->storage = node->storage;
+    }
+    for (const auto& child : node->children) {
+      copy->children.push_back(CloneTree(child.get()));
+    }
+    return copy;
+  }
+
+  // -------------------------------------------------------------------------
+  // τ (Figure 11)
+  // -------------------------------------------------------------------------
+
+  std::vector<NodePtr> Tau(const VONode* node, const Schema& free) {
+    if (node->IsAtom()) {
+      std::vector<NodePtr> out;
+      out.push_back(MakeLeaf(node->atom_index, std::nullopt));
+      return out;
+    }
+
+    const Schema keys = node->anc.Union(Schema({node->var}));
+    const Schema fx = node->anc.Union(free.Intersect(node->subtree_vars));
+    std::vector<Schema> residual_atoms;
+    for (int a : node->subtree_atoms) {
+      residual_atoms.push_back(q.atom(static_cast<size_t>(a)).schema);
+    }
+
+    const bool residual_easy = (mode == EvalMode::kStatic && IsFreeConnex(residual_atoms, fx)) ||
+                               (mode == EvalMode::kDynamic && IsQHierarchical(residual_atoms, fx));
+    if (residual_easy) {
+      std::vector<NodePtr> out;
+      out.push_back(BuildVT("V", node, fx, std::nullopt));
+      return out;
+    }
+
+    // Prototype tree sets per child of X; combinations are cloned.
+    std::vector<std::vector<NodePtr>> child_sets;
+    for (const auto& child : node->children) {
+      child_sets.push_back(Tau(child.get(), free));
+    }
+
+    const std::string base = "V_" + q.var_name(node->var);
+    std::vector<NodePtr> result;
+
+    // Enumerate the Cartesian product of child prototype choices.
+    std::vector<size_t> choice(child_sets.size(), 0);
+    const bool is_free = q.IsFree(node->var);
+    IndicatorTriple* triple = is_free ? nullptr : BuildIndicatorTriple(node);
+    while (true) {
+      std::vector<NodePtr> kids;
+      if (triple != nullptr) kids.push_back(MakeIndicatorRef(triple));
+      for (size_t i = 0; i < child_sets.size(); ++i) {
+        NodePtr child_copy = CloneTree(child_sets[i][choice[i]].get());
+        kids.push_back(AuxView(node->children[i].get(), std::move(child_copy)));
+      }
+      result.push_back(NewVT(base, keys, keys, std::move(kids)));
+      // Advance the odometer.
+      size_t pos = 0;
+      while (pos < choice.size()) {
+        if (++choice[pos] < child_sets[pos].size()) break;
+        choice[pos] = 0;
+        ++pos;
+      }
+      if (pos == choice.size()) break;
+    }
+
+    if (!is_free) {
+      // The all-light strategy (Line 16 of Figure 11).
+      result.push_back(BuildVT("V", node, fx, keys));
+    }
+    return result;
+  }
+};
+
+void SetParents(ViewNode* node) {
+  for (auto& child : node->children) {
+    child->parent = node;
+    SetParents(child.get());
+  }
+}
+
+void RegisterIndicatorRefs(ViewNode* node) {
+  if (node->IsIndicator()) node->triple->h_refs.push_back(node);
+  for (auto& child : node->children) RegisterIndicatorRefs(child.get());
+}
+
+// ---------------------------------------------------------------------------
+// Compile pass
+// ---------------------------------------------------------------------------
+
+Schema ComputeSubtreeFree(const ConjunctiveQuery& q, ViewNode* node, const Schema& free) {
+  Schema out;
+  if (node->IsLeaf()) {
+    out = node->schema.Intersect(free);
+  }
+  for (auto& child : node->children) {
+    if (child->IsIndicator()) continue;
+    out = out.Union(ComputeSubtreeFree(q, child.get(), free));
+  }
+  node->subtree_free = out;
+  return out;
+}
+
+void CompileNode(const ConjunctiveQuery& q, ViewNode* node, const Schema& ctx,
+                 const Schema& free, bool enumerable) {
+  node->ctx_schema = ctx;
+  node->bound_schema = node->schema.Intersect(ctx);
+  node->ctx_to_bound = ProjectionPositions(ctx, node->bound_schema);
+
+  // Enumeration mode and emitted variables. A node with a heavy-indicator
+  // gate can never cover all free variables below it: the gate exists only
+  // when the residual query at its (bound) variable was neither free-connex
+  // nor δ0-hierarchical, which requires uncovered free variables underneath.
+  const bool covering = node->schema.ContainsAll(node->subtree_free);
+  if (covering) {
+    node->enum_mode = EnumMode::kCovering;
+  } else if (node->indicator_child >= 0) {
+    node->enum_mode = EnumMode::kUnion;
+  } else {
+    node->enum_mode = EnumMode::kProduct;
+  }
+  if (enumerable) {
+    IVME_CHECK_MSG(!covering || node->indicator_child < 0,
+                   "covering view with heavy indicator: " << node->name);
+    // Scan index on the bound part (only when it is a proper, non-empty
+    // subset of the schema; empty → full scan, full → point lookup).
+    if (!node->bound_schema.empty() && node->bound_schema.size() < node->schema.size()) {
+      node->scan_index_id = node->storage->EnsureIndex(node->bound_schema);
+    }
+  }
+
+  // Row-emitted variables: free vars of the subtree present in S, not fixed
+  // by the context.
+  {
+    std::vector<VarId> row_emit;
+    for (VarId v : node->schema) {
+      if (node->subtree_free.Contains(v) && !ctx.Contains(v)) row_emit.push_back(v);
+    }
+    node->row_emit_schema = Schema(std::move(row_emit));
+    node->row_emit_positions = ProjectionPositions(node->schema, node->row_emit_schema);
+  }
+
+  if (enumerable && node->enum_mode == EnumMode::kProduct) {
+    // Product rows may only vary over free variables (bound ones are either
+    // in the context or aggregated away below; for union nodes the heavy
+    // grounding pins them instead).
+    for (VarId v : node->schema.Minus(ctx)) {
+      IVME_CHECK_MSG(node->subtree_free.Contains(v),
+                     "bound variable in enumerable rows of " << node->name);
+    }
+  }
+
+  // emit_schema: covering → subtree_free ∩ S − ctx; otherwise row part then
+  // children in order (completed after children are compiled).
+  node->emit_schema = node->row_emit_schema;
+
+  // Indicator grounding scan.
+  if (enumerable && node->indicator_child >= 0) {
+    ViewNode* ind = node->children[static_cast<size_t>(node->indicator_child)].get();
+    IVME_CHECK_MSG(ind->schema == node->schema,
+                   "indicator keys must equal the union view schema in " << node->name);
+    const Schema ind_bound = ind->schema.Intersect(ctx);
+    node->ctx_to_indicator_bound = ProjectionPositions(ctx, ind_bound);
+    if (!ind_bound.empty() && ind_bound.size() < ind->schema.size()) {
+      node->indicator_scan_index_id = ind->storage->EnsureIndex(ind_bound);
+    } else {
+      node->indicator_scan_index_id = -1;
+    }
+  }
+
+  // Children (context for them is this node's row schema). Children of
+  // covering nodes are never visited by enumeration or lookups, so their
+  // enumeration metadata is skipped (their delta plans still compile).
+  const bool children_enumerable = enumerable && node->enum_mode != EnumMode::kCovering;
+  for (auto& child : node->children) {
+    CompileNode(q, child.get(), node->schema, free,
+                children_enumerable && !child->IsIndicator());
+  }
+
+  // Complete emit schema and child slices for non-covering nodes.
+  if (node->enum_mode != EnumMode::kCovering) {
+    Schema emit = node->row_emit_schema;
+    for (auto& child : node->children) {
+      if (child->IsIndicator()) continue;
+      emit = emit.Union(child->emit_schema);
+    }
+    node->emit_schema = emit;
+  }
+  node->child_emit_slices.clear();
+  for (auto& child : node->children) {
+    if (child->IsIndicator()) {
+      node->child_emit_slices.push_back({});
+    } else {
+      node->child_emit_slices.push_back(
+          ProjectionPositions(node->emit_schema, child->emit_schema));
+    }
+  }
+
+  // Lookup row sources: build an S-row from (ctx, emit). Union nodes take
+  // their rows from the heavy groundings instead.
+  node->lookup_row_sources.clear();
+  if (enumerable && node->enum_mode != EnumMode::kUnion) {
+    for (VarId v : node->schema) {
+      const int ctx_pos = ctx.PositionOf(v);
+      if (ctx_pos >= 0) {
+        node->lookup_row_sources.push_back(SourceRef{-1, ctx_pos});
+      } else {
+        const int emit_pos = node->emit_schema.PositionOf(v);
+        IVME_CHECK_MSG(emit_pos >= 0, "variable of " << node->name
+                                                     << " not derivable from context or output");
+        node->lookup_row_sources.push_back(SourceRef{-2, emit_pos});
+      }
+    }
+  }
+
+  // Delta plans: one per child position.
+  node->delta_plans.clear();
+  if (node->kind == NodeKind::kView) {
+    const Schema& keys = node->key_schema;
+    for (size_t j = 0; j < node->children.size(); ++j) {
+      DeltaPlan plan;
+      const ViewNode* dchild = node->children[j].get();
+      plan.key_from_delta = ProjectionPositions(dchild->schema, keys.Intersect(dchild->schema));
+      IVME_CHECK_MSG(keys.Intersect(dchild->schema).SameSet(keys) || node->children.size() == 1,
+                     "join keys must be contained in every child of " << node->name);
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        if (i == j) continue;
+        ViewNode* sib = node->children[i].get();
+        if (sib->IsIndicator()) {
+          plan.gate_children.push_back(static_cast<int>(i));
+        } else {
+          plan.probe_children.push_back(static_cast<int>(i));
+          plan.probe_index_ids.push_back(sib->storage->EnsureIndex(keys));
+        }
+      }
+      // Row assembly: prefer the delta tuple, then probe children in order.
+      for (VarId v : node->schema) {
+        int pos = dchild->schema.PositionOf(v);
+        if (pos >= 0) {
+          plan.row_sources.push_back(SourceRef{-1, pos});
+          continue;
+        }
+        bool found = false;
+        for (size_t pi = 0; pi < plan.probe_children.size() && !found; ++pi) {
+          const ViewNode* sib = node->children[static_cast<size_t>(plan.probe_children[pi])].get();
+          pos = sib->schema.PositionOf(v);
+          if (pos >= 0) {
+            plan.row_sources.push_back(SourceRef{static_cast<int>(pi), pos});
+            found = true;
+          }
+        }
+        IVME_CHECK_MSG(found, "view variable unreachable in delta plan of " << node->name);
+      }
+      node->delta_plans.push_back(std::move(plan));
+    }
+  }
+}
+
+}  // namespace
+
+void CompileTree(const ConjunctiveQuery& q, ViewNode* root, const Schema& free) {
+  SetParents(root);
+  ComputeSubtreeFree(q, root, free);
+  CompileNode(q, root, Schema(), free, /*enumerable=*/true);
+}
+
+CompiledPlan BuildPlan(const ConjunctiveQuery& q, EvalMode mode, StorageProvider* storage) {
+  IVME_CHECK_MSG(IsHierarchical(q), "the engine supports hierarchical queries only: "
+                                        << q.ToString());
+  Builder builder{q, mode, storage, 0, {}};
+  const VariableOrder vo = VariableOrder::Canonical(q);
+
+  CompiledPlan plan;
+  plan.num_components = static_cast<int>(vo.roots().size());
+  for (size_t c = 0; c < vo.roots().size(); ++c) {
+    auto trees = builder.Tau(vo.roots()[c].get(), q.free_vars());
+    for (auto& root : trees) {
+      auto tree = std::make_unique<ViewTree>();
+      tree->root = std::move(root);
+      tree->component = static_cast<int>(c);
+      plan.trees.push_back(std::move(tree));
+    }
+  }
+  plan.triples = std::move(builder.triples);
+
+  // Compile: main trees with the query's free variables; indicator trees
+  // with their keys as outputs (they are maintained, not enumerated, but
+  // the same metadata drives delta plans).
+  for (auto& tree : plan.trees) {
+    CompileTree(q, tree->root.get(), q.free_vars());
+    RegisterIndicatorRefs(tree->root.get());
+  }
+  for (auto& triple : plan.triples) {
+    CompileTree(q, triple->all_tree.get(), triple->keys);
+    CompileTree(q, triple->light_tree.get(), triple->keys);
+  }
+  return plan;
+}
+
+std::unique_ptr<ViewNode> BuildVTForTest(const ConjunctiveQuery& q, const VONode* node,
+                                         const Schema& free,
+                                         const std::optional<Schema>& light_keys, EvalMode mode,
+                                         StorageProvider* storage) {
+  Builder builder{q, mode, storage, 0, {}};
+  auto tree = builder.BuildVT("V", node, free, light_keys);
+  SetParents(tree.get());
+  return tree;
+}
+
+}  // namespace ivme

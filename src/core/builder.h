@@ -1,0 +1,68 @@
+// Construction of the skew-aware view trees (Section 4): BuildVT (Fig. 6),
+// NewVT (Fig. 7), AuxView (Fig. 8), IndicatorVTs (Fig. 10), and τ (Fig. 11),
+// followed by a compile pass that precomputes enumeration and maintenance
+// plans (index declarations, projection maps, delta plans).
+#ifndef IVME_CORE_BUILDER_H_
+#define IVME_CORE_BUILDER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/view_node.h"
+#include "src/query/query.h"
+#include "src/query/variable_order.h"
+
+namespace ivme {
+
+/// Evaluation mode (the `mode` global of Figure 11).
+enum class EvalMode { kStatic, kDynamic };
+
+/// Supplies the engine-owned storage for leaves: the full relation of each
+/// atom occurrence and its light parts per partition schema.
+class StorageProvider {
+ public:
+  virtual ~StorageProvider() = default;
+
+  /// Full-relation storage backing atom occurrence `atom_index`.
+  virtual Relation* AtomStorage(int atom_index) = 0;
+
+  /// Light part of occurrence `atom_index` partitioned on `keys`
+  /// (created on first request).
+  virtual RelationPartition* AtomPartition(int atom_index, const Schema& keys) = 0;
+};
+
+/// Everything the preprocessing stage constructs for one query.
+struct CompiledPlan {
+  /// Skew-aware view trees (τ output), grouped by connected component via
+  /// ViewTree::component. Proposition 20: the query is the union of the
+  /// joins of each tree's leaves.
+  std::vector<std::unique_ptr<ViewTree>> trees;
+
+  /// Indicator triples, one per violating bound variable.
+  std::vector<std::unique_ptr<IndicatorTriple>> triples;
+
+  /// Number of connected components of the query.
+  int num_components = 0;
+};
+
+/// Runs τ over the canonical variable order of `q` and compiles the result.
+/// `q` must be hierarchical. Registers ∃H references in their triples.
+CompiledPlan BuildPlan(const ConjunctiveQuery& q, EvalMode mode, StorageProvider* storage);
+
+/// BuildVT alone over (a subtree of) the canonical variable order — exposed
+/// for tests reproducing Figures 9, 23, 24. `free` plays the role of F;
+/// `light_keys`, when set, replaces each atom with its light part on those
+/// keys (the ω^keys of the paper).
+std::unique_ptr<ViewNode> BuildVTForTest(const ConjunctiveQuery& q, const VONode* node,
+                                         const Schema& free,
+                                         const std::optional<Schema>& light_keys, EvalMode mode,
+                                         StorageProvider* storage);
+
+/// Compiles enumeration/maintenance metadata for a tree rooted at `root`
+/// whose output variables are `free`. Creates all indexes the plans need.
+void CompileTree(const ConjunctiveQuery& q, ViewNode* root, const Schema& free);
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_BUILDER_H_

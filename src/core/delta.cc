@@ -1,0 +1,84 @@
+#include "src/core/delta.h"
+
+#include <functional>
+#include <map>
+
+#include "src/common/check.h"
+#include "src/common/counters.h"
+
+namespace ivme {
+
+DeltaVec ApplyDeltaAtNode(ViewNode* node, int child_idx, const DeltaVec& delta) {
+  IVME_CHECK(node->kind == NodeKind::kView);
+  const DeltaPlan& plan = node->delta_plans[static_cast<size_t>(child_idx)];
+
+  std::map<Tuple, Mult> acc;
+  std::vector<const Tuple*> probe_rows(plan.probe_children.size(), nullptr);
+  Tuple row;
+  row.Reserve(node->schema.size());
+
+  auto emit_row = [&](const Tuple& dtuple, Mult mult) {
+    ++GlobalCounters().delta_steps;
+    row.Clear();
+    for (const auto& src : plan.row_sources) {
+      if (src.child < 0) {
+        row.PushBack(dtuple[static_cast<size_t>(src.pos)]);
+      } else {
+        row.PushBack((*probe_rows[static_cast<size_t>(src.child)])[static_cast<size_t>(src.pos)]);
+      }
+    }
+    acc[row] += mult;
+  };
+
+  for (const auto& [dtuple, dmult] : delta) {
+    if (dmult == 0) continue;
+    const Tuple key = ProjectTuple(dtuple, plan.key_from_delta);
+    // Indicator gates.
+    bool gated_out = false;
+    for (int gi : plan.gate_children) {
+      const ViewNode* gate = node->children[static_cast<size_t>(gi)].get();
+      if (gate->storage->Multiplicity(key) == 0) {
+        gated_out = true;
+        break;
+      }
+    }
+    if (gated_out) continue;
+    // Nested index probes over the non-indicator siblings.
+    std::function<void(size_t, Mult)> probe = [&](size_t pi, Mult mult) {
+      if (pi == plan.probe_children.size()) {
+        emit_row(dtuple, mult);
+        return;
+      }
+      const ViewNode* sib = node->children[static_cast<size_t>(plan.probe_children[pi])].get();
+      const auto& index = sib->storage->index(plan.probe_index_ids[pi]);
+      for (const auto* link = index.FirstForKey(key); link != nullptr; link = link->next) {
+        ++GlobalCounters().delta_steps;
+        probe_rows[pi] = &link->entry->key;
+        probe(pi + 1, mult * link->entry->value.mult);
+      }
+    };
+    probe(0, dmult);
+  }
+
+  DeltaVec result;
+  result.reserve(acc.size());
+  for (auto& [tuple, mult] : acc) {
+    if (mult == 0) continue;
+    node->storage->Apply(tuple, mult);
+    result.emplace_back(tuple, mult);
+  }
+  return result;
+}
+
+void PropagateUp(ViewNode* child, DeltaVec delta) {
+  ViewNode* node = child->parent;
+  while (node != nullptr && !delta.empty()) {
+    const int idx = node->ChildIndex(child);
+    IVME_CHECK(idx >= 0);
+    delta = ApplyDeltaAtNode(node, idx, delta);
+    child = node;
+    node = node->parent;
+  }
+}
+
+}  // namespace ivme

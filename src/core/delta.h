@@ -1,0 +1,37 @@
+// Delta propagation through view trees (Figure 17) and indicator
+// maintenance (Figure 18). Engine-level orchestration (Figure 19/22) lives
+// in engine.cc.
+#ifndef IVME_CORE_DELTA_H_
+#define IVME_CORE_DELTA_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/core/view_node.h"
+
+namespace ivme {
+
+/// A set of changed tuples with signed multiplicities, over one schema.
+using DeltaVec = std::vector<std::pair<Tuple, Mult>>;
+
+/// Computes δV at `node` for `delta` arriving from children[child_idx]
+/// (standard delta rule: δV = π_S(δC_j ⋈ ⨝_{i≠j} C_i), with indicator
+/// siblings as 0/1 gates), applies it to the node's storage, and returns it.
+/// Sibling views must not have been updated for this logical change yet.
+DeltaVec ApplyDeltaAtNode(ViewNode* node, int child_idx, const DeltaVec& delta);
+
+/// Propagates a delta that already hit `child`'s storage up through all
+/// ancestor views (stops early when a delta becomes empty). `child` may be
+/// a leaf, an indicator reference (support change ±1), or an inner view.
+void PropagateUp(ViewNode* child, DeltaVec delta);
+
+/// Support change of an indicator view: +1 (appeared), -1 (vanished), or 0.
+inline int SupportChange(Mult before, Mult after) {
+  if (before == 0 && after != 0) return 1;
+  if (before != 0 && after == 0) return -1;
+  return 0;
+}
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_DELTA_H_

@@ -1,0 +1,150 @@
+// The public engine: builds the skew-aware view trees for a hierarchical
+// query, materializes them (preprocessing, Theorem 2/4), maintains them
+// under single-tuple updates with minor/major rebalancing (Section 6), and
+// enumerates the distinct result tuples (Section 5).
+#ifndef IVME_CORE_ENGINE_H_
+#define IVME_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/brute_force.h"
+#include "src/core/builder.h"
+#include "src/core/view_node.h"
+#include "src/enumerate/enumerator.h"
+#include "src/query/query.h"
+
+namespace ivme {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// The ε knob of Theorems 2 and 4: heavy/light threshold θ = M^ε.
+  double epsilon = 0.5;
+
+  /// Static evaluation (no updates accepted) or dynamic (IVM^ε).
+  EvalMode mode = EvalMode::kDynamic;
+
+  /// Disables minor/major rebalancing (ablation only — partitions then
+  /// drift from their thresholds, which voids the amortized guarantees but
+  /// keeps results correct).
+  bool enable_rebalancing = true;
+};
+
+/// Evaluation/maintenance engine for one hierarchical query.
+///
+/// Lifecycle: construct → Load base tuples → Preprocess() → interleave
+/// ApplyUpdate (dynamic mode) and Enumerate().
+class Engine : public StorageProvider {
+ public:
+  /// `q` must be hierarchical (checked).
+  Engine(ConjunctiveQuery q, EngineOptions options);
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- StorageProvider (used by the builder) ---
+  Relation* AtomStorage(int atom_index) override;
+  RelationPartition* AtomPartition(int atom_index, const Schema& keys) override;
+
+  /// Bulk-loads base tuples before preprocessing. Tuples accumulate
+  /// multiplicities; every relation symbol of the query is addressable.
+  void Load(const std::string& relation, const std::vector<std::pair<Tuple, Mult>>& tuples);
+  void LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Partitions the relations (θ = M^ε with M = 2N+1) and materializes all
+  /// views. Call exactly once, after loading.
+  void Preprocess();
+
+  /// Applies a single-tuple insert (m > 0) or delete (m < 0), maintaining
+  /// all views and rebalancing partitions. Returns false (and changes
+  /// nothing) when a delete exceeds the current multiplicity. Requires
+  /// dynamic mode and a preprocessed engine.
+  bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Opens an enumeration session over the current result.
+  std::unique_ptr<ResultEnumerator> Enumerate() const;
+
+  /// Drains a full enumeration into a map (convenience for tests/examples).
+  QueryResult EvaluateToMap() const;
+
+  // --- introspection ---
+  const ConjunctiveQuery& query() const { return query_; }
+  double epsilon() const { return options_.epsilon; }
+  EvalMode mode() const { return options_.mode; }
+
+  /// Current database size N (sum of distinct tuples over atom storages).
+  size_t database_size() const { return n_; }
+
+  /// Threshold base M with invariant ⌊M/4⌋ ≤ N < M (Definition 51).
+  size_t threshold_base() const { return m_; }
+
+  /// Current heavy/light threshold θ = M^ε.
+  double theta() const;
+
+  struct Stats {
+    size_t updates = 0;
+    size_t minor_rebalances = 0;
+    size_t major_rebalances = 0;
+    size_t num_trees = 0;
+    size_t num_triples = 0;
+    size_t view_tuples = 0;  ///< total tuples stored across all views
+  };
+  Stats GetStats() const;
+
+  const CompiledPlan& plan() const { return plan_; }
+
+  /// Renders every view tree and indicator tree (tests, debugging).
+  std::string DebugString() const;
+
+  /// Verifies all internal invariants: partition bands (Definition 11), the
+  /// size invariant, view-equals-join-of-children for every view, and
+  /// H = All ∧ ¬L for every triple. Returns false and fills `error` on the
+  /// first violation. O(database) — test use only.
+  bool CheckInvariants(std::string* error);
+
+ private:
+  struct SlotPartition {
+    RelationPartition* partition = nullptr;
+    IndicatorTriple* triple = nullptr;
+    ViewNode* all_leaf = nullptr;  ///< this slot's leaf in triple->all_tree
+    ViewNode* light_leaf = nullptr;  ///< this slot's leaf in triple->light_tree
+    std::vector<ViewNode*> main_light_leaves;
+  };
+
+  /// One atom occurrence with its own storage (repeated relation symbols
+  /// become independent occurrences, updated in sequence — footnote 2).
+  struct Slot {
+    int atom_index = -1;
+    std::string relation;
+    std::unique_ptr<Relation> storage;
+    std::vector<std::unique_ptr<RelationPartition>> partitions;
+    std::vector<SlotPartition> infos;
+    std::vector<ViewNode*> main_full_leaves;
+  };
+
+  void RegisterLeaves();
+  void ApplyUpdateToSlot(Slot& slot, const Tuple& tuple, Mult mult);
+  void ApplyLightDelta(SlotPartition& info, const Tuple& tuple, Mult mult);
+  void ApplyAllChangeToH(IndicatorTriple* triple, const Tuple& key, Mult all_change);
+  void ApplyNotLChangeToH(IndicatorTriple* triple, const Tuple& key, int not_l_change);
+  void PropagateIndicatorChange(IndicatorTriple* triple, const Tuple& key, int change);
+  void Rebalance(Slot& slot, const Tuple& tuple);
+  void MinorRebalancing(SlotPartition& info, const Tuple& key, bool insert);
+  void MajorRebalancing();
+  void RecomputeThresholdViews();
+
+  ConjunctiveQuery query_;
+  EngineOptions options_;
+  std::vector<Slot> slots_;
+  CompiledPlan plan_;
+  bool preprocessed_ = false;
+  size_t n_ = 0;
+  size_t m_ = 1;
+  Stats stats_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_ENGINE_H_

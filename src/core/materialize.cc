@@ -1,0 +1,173 @@
+#include "src/core/materialize.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/counters.h"
+#include "src/storage/tuple_map.h"
+
+namespace ivme {
+
+namespace {
+
+bool g_inside_out_enabled = true;
+
+// A materialization input: either a child's storage directly or a transient
+// aggregate of it onto (S ∪ K) ∩ S_i.
+struct MatInput {
+  const Relation* relation = nullptr;     // the relation to read
+  std::unique_ptr<Relation> temp;         // owns the aggregate, when created
+  Schema schema;
+  std::vector<int> key_positions;         // K positions in `schema`
+  int key_index_id = -1;                  // index on K (probe inputs only)
+};
+
+MatInput PrepareInput(ViewNode* child, const Schema& out_schema, const Schema& keys) {
+  MatInput input;
+  const Schema& child_schema = child->schema;
+  Schema keep = child_schema.Intersect(out_schema.Union(keys));
+  if (keep.size() == child_schema.size() || !g_inside_out_enabled) {
+    input.relation = child->storage;
+    input.schema = child_schema;
+  } else {
+    // Aggregate away the variables that neither the output nor the join
+    // needs — the InsideOut step; keeps the join inputs degree-bounded.
+    input.temp = std::make_unique<Relation>(keep, child->name + "~agg");
+    const auto positions = ProjectionPositions(child_schema, keep);
+    for (const Relation::Entry* e = child->storage->First(); e != nullptr; e = e->next) {
+      ++GlobalCounters().materialize_steps;
+      input.temp->Apply(ProjectTuple(e->key, positions), e->value.mult);
+    }
+    input.relation = input.temp.get();
+    input.schema = keep;
+  }
+  input.key_positions = ProjectionPositions(input.schema, keys.Intersect(input.schema));
+  return input;
+}
+
+}  // namespace
+
+void MaterializeNode(ViewNode* node) {
+  if (node->kind != NodeKind::kView) return;
+  node->storage->Clear();
+
+  // Split children into gates (∃H) and join inputs.
+  std::vector<ViewNode*> join_children;
+  std::vector<const Relation*> gates;
+  for (auto& child : node->children) {
+    if (child->IsIndicator()) {
+      gates.push_back(child->storage);
+    } else {
+      join_children.push_back(child.get());
+    }
+  }
+  IVME_CHECK_MSG(!join_children.empty(), "view " << node->name << " has no join children");
+
+  const Schema& keys = node->key_schema;
+  std::vector<MatInput> inputs;
+  inputs.reserve(join_children.size());
+  for (ViewNode* child : join_children) {
+    inputs.push_back(PrepareInput(child, node->schema, keys));
+  }
+  // Probe inputs get an index on their key part.
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    Schema key_part;
+    for (int pos : inputs[i].key_positions) key_part.Append(inputs[i].schema[static_cast<size_t>(pos)]);
+    // Index only useful when the key is a proper subset of the input schema.
+    if (!key_part.empty() && key_part.size() < inputs[i].schema.size()) {
+      inputs[i].key_index_id = const_cast<Relation*>(inputs[i].relation)->EnsureIndex(key_part);
+    }
+  }
+
+  // Row assembly: for each output variable, the first input providing it.
+  struct OutSource {
+    size_t input;
+    int pos;
+  };
+  std::vector<OutSource> out_sources;
+  for (VarId v : node->schema) {
+    bool found = false;
+    for (size_t i = 0; i < inputs.size() && !found; ++i) {
+      const int pos = inputs[i].schema.PositionOf(v);
+      if (pos >= 0) {
+        out_sources.push_back(OutSource{i, pos});
+        found = true;
+      }
+    }
+    IVME_CHECK_MSG(found, "output variable unreachable while materializing " << node->name);
+  }
+
+  // Nested-loop join: driver input 0, probes on K for the others.
+  std::vector<const Tuple*> current(inputs.size(), nullptr);
+  Tuple out_row;
+  out_row.Reserve(node->schema.size());
+
+  std::function<void(size_t, Mult)> probe = [&](size_t i, Mult mult) {
+    if (i == inputs.size()) {
+      ++GlobalCounters().materialize_steps;
+      out_row.Clear();
+      for (const auto& src : out_sources) {
+        out_row.PushBack((*current[src.input])[static_cast<size_t>(src.pos)]);
+      }
+      node->storage->Apply(out_row, mult);
+      return;
+    }
+    const MatInput& input = inputs[i];
+    const Tuple key = ProjectTuple(*current[0], inputs[0].key_positions);
+    if (input.key_index_id >= 0) {
+      for (const auto* link = input.relation->index(input.key_index_id).FirstForKey(key);
+           link != nullptr; link = link->next) {
+        current[i] = &link->entry->key;
+        probe(i + 1, mult * link->entry->value.mult);
+      }
+    } else if (input.key_positions.size() == input.schema.size()) {
+      // The input is exactly the key: point lookup.
+      const Mult m = input.relation->Multiplicity(key);
+      if (m != 0) {
+        current[i] = &key;
+        probe(i + 1, mult * m);
+      }
+    } else {
+      // No shared key (Cartesian-ish, only for empty K): full scan.
+      for (const Relation::Entry* e = input.relation->First(); e != nullptr; e = e->next) {
+        current[i] = &e->key;
+        probe(i + 1, mult * e->value.mult);
+      }
+    }
+  };
+
+  for (const Relation::Entry* e = inputs[0].relation->First(); e != nullptr; e = e->next) {
+    ++GlobalCounters().materialize_steps;
+    // Gates: all ∃H children must hold for this row's key.
+    const Tuple key = ProjectTuple(e->key, inputs[0].key_positions);
+    bool gated_out = false;
+    for (const Relation* gate : gates) {
+      if (gate->Multiplicity(key) == 0) {
+        gated_out = true;
+        break;
+      }
+    }
+    if (gated_out) continue;
+    current[0] = &e->key;
+    probe(1, e->value.mult);
+  }
+}
+
+void MaterializeTree(ViewNode* root) {
+  for (auto& child : root->children) MaterializeTree(child.get());
+  MaterializeNode(root);
+}
+
+void SetMaterializeInsideOut(bool enabled) { g_inside_out_enabled = enabled; }
+
+bool MaterializeInsideOutEnabled() { return g_inside_out_enabled; }
+
+size_t TreeStorageSize(const ViewNode* root) {
+  size_t total = root->kind == NodeKind::kView ? root->storage->size() : 0;
+  for (const auto& child : root->children) total += TreeStorageSize(child.get());
+  return total;
+}
+
+}  // namespace ivme

@@ -1,0 +1,32 @@
+// Bottom-up materialization of view trees (preprocessing stage, Section 4 /
+// Proposition 21). Inner views are computed by first aggregating each child
+// onto the output-plus-join-key variables (the InsideOut step of the
+// paper's proofs), then joining the aggregates with index probes on the
+// join keys, driver first.
+#ifndef IVME_CORE_MATERIALIZE_H_
+#define IVME_CORE_MATERIALIZE_H_
+
+#include "src/core/view_node.h"
+
+namespace ivme {
+
+/// Recomputes the storage of a single view node from its (already
+/// materialized) children. Leaves and indicator references are left alone.
+void MaterializeNode(ViewNode* node);
+
+/// Postorder materialization of a whole tree.
+void MaterializeTree(ViewNode* root);
+
+/// Number of tuples summed over all views of the tree (diagnostics).
+size_t TreeStorageSize(const ViewNode* root);
+
+/// Ablation switch (benchmarks only): disables the InsideOut
+/// pre-aggregation step of MaterializeNode, falling back to plain
+/// nested-loop joins over the raw children. Correct but loses the
+/// Proposition 21 complexity guarantees. Default: enabled.
+void SetMaterializeInsideOut(bool enabled);
+bool MaterializeInsideOutEnabled();
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_MATERIALIZE_H_

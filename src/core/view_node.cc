@@ -1,0 +1,38 @@
+#include "src/core/view_node.h"
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+std::string ViewNode::ToString(const std::vector<std::string>& var_names, int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind) {
+    case NodeKind::kLeaf:
+      out += name + schema.ToString(var_names);
+      break;
+    case NodeKind::kView:
+      out += name.substr(0, name.find('#')) + schema.ToString(var_names);
+      break;
+    case NodeKind::kIndicator:
+      out += name.substr(0, name.find('#')) + schema.ToString(var_names);
+      break;
+  }
+  out += "\n";
+  for (const auto& child : children) {
+    out += child->ToString(var_names, indent + 1);
+  }
+  return out;
+}
+
+void IndicatorTriple::RecomputeH() {
+  h->Clear();
+  const Relation* all = all_tree->storage;
+  const Relation* light = light_tree->storage;
+  for (const Relation::Entry* e = all->First(); e != nullptr; e = e->next) {
+    if (light->Multiplicity(e->key) == 0) {
+      h->Apply(e->key, e->value.mult);
+    }
+  }
+}
+
+}  // namespace ivme

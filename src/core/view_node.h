@@ -1,0 +1,134 @@
+// View trees: the materialized data structure produced by the preprocessing
+// stage (Section 4). A view tree is a tree of views; each inner view is
+// defined as the join of its children projected onto the view schema, and
+// leaves are base relations or light parts. Heavy indicators ∃H appear as
+// set-semantics gate children (Section 4.2).
+#ifndef IVME_CORE_VIEW_NODE_H_
+#define IVME_CORE_VIEW_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/storage/partition.h"
+#include "src/storage/relation.h"
+
+namespace ivme {
+
+struct IndicatorTriple;
+
+enum class NodeKind {
+  kLeaf,       ///< base relation or light part; storage owned by the engine
+  kView,       ///< inner view: V(S) = join of children; storage owned here
+  kIndicator,  ///< ∃H gate: set-semantics reference to a triple's H relation
+};
+
+/// How a node is enumerated (compiled from schemas; Figures 13–14).
+enum class EnumMode {
+  kCovering,  ///< schema covers all free vars below: scan σ_ctx V directly
+  kProduct,   ///< iterate rows of σ_ctx V, Product over children (Fig. 16)
+  kUnion,     ///< ground the heavy indicator, Union over buckets (Fig. 15)
+};
+
+/// Where a value of the output row comes from when assembling a delta row:
+/// child == -1 refers to the delta tuple, otherwise to the probe tuple of
+/// children[child].
+struct SourceRef {
+  int child = -1;
+  int pos = 0;
+};
+
+/// Compiled plan for propagating a delta arriving from children[child].
+struct DeltaPlan {
+  std::vector<int> key_from_delta;   ///< positions of K in the delta schema
+  std::vector<int> probe_children;   ///< sibling indices joined by index probe
+  std::vector<int> probe_index_ids;  ///< per probe child: index on K
+  std::vector<int> gate_children;    ///< indicator siblings (0/1 factors)
+  std::vector<SourceRef> row_sources;  ///< one per variable of the view schema
+};
+
+/// A node of a view tree.
+struct ViewNode {
+  NodeKind kind = NodeKind::kView;
+  std::string name;
+  Schema schema;  ///< S — the view/relation/indicator schema
+
+  /// Materialized contents. For kView this points at owned_storage; for
+  /// kLeaf at an engine-owned relation (full relation or light part); for
+  /// kIndicator at the owning triple's H relation.
+  Relation* storage = nullptr;
+  std::unique_ptr<Relation> owned_storage;
+
+  ViewNode* parent = nullptr;
+  std::vector<std::unique_ptr<ViewNode>> children;
+  int indicator_child = -1;  ///< index of the ∃H child, or -1
+
+  // Provenance.
+  int atom_index = -1;                        ///< leaf: atom occurrence index
+  RelationPartition* partition = nullptr;     ///< leaf: set when a light part
+  IndicatorTriple* triple = nullptr;          ///< indicator: owning triple
+
+  // --- compiled metadata (Compile() in builder.cc) ---
+  Schema key_schema;   ///< K: pairwise intersection of children schemas
+  Schema ctx_schema;   ///< schema of enumeration contexts from the parent
+  Schema bound_schema; ///< S ∩ ctx: the part of S fixed by the context
+  Schema emit_schema;  ///< free variables emitted by this subtree
+  Schema subtree_free; ///< free variables among the subtree's leaf atoms
+  EnumMode enum_mode = EnumMode::kCovering;
+
+  // Enumeration plumbing.
+  int scan_index_id = -1;             ///< index on bound_schema (when proper)
+  std::vector<int> ctx_to_bound;      ///< positions in ctx of bound_schema vars
+  std::vector<int> row_emit_positions;  ///< positions in S of row-emitted vars
+  Schema row_emit_schema;               ///< the row-emitted vars, in S order
+  std::vector<std::vector<int>> child_emit_slices;  ///< emit positions per child
+  std::vector<SourceRef> lookup_row_sources;  ///< build S row from (ctx, emit)
+  int indicator_scan_index_id = -1;   ///< on H: index on (H.schema ∩ ctx)
+  std::vector<int> ctx_to_indicator_bound;  ///< ctx positions for that index
+
+  // Maintenance plumbing.
+  std::vector<DeltaPlan> delta_plans;  ///< one per child position
+
+  bool IsLeaf() const { return kind == NodeKind::kLeaf; }
+  bool IsIndicator() const { return kind == NodeKind::kIndicator; }
+
+  /// Position of `child` among this node's children.
+  int ChildIndex(const ViewNode* child) const {
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i].get() == child) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Pretty-prints the subtree, e.g. "VA(A) <- {∃HA(A), VB(A)}".
+  std::string ToString(const std::vector<std::string>& var_names, int indent = 0) const;
+};
+
+/// The triple of indicator structures built at a violating bound variable X
+/// (Figure 10): the All view tree over the full relations, the L view tree
+/// over light parts, and H(keys) with multiplicity All(t)·[L(t) = 0]. ∃H is
+/// H with set semantics; the engine maintains H incrementally from changes
+/// to All and L (Figure 18).
+struct IndicatorTriple {
+  Schema keys;
+  std::unique_ptr<ViewNode> all_tree;
+  std::unique_ptr<ViewNode> light_tree;
+  std::unique_ptr<Relation> h;
+  std::vector<ViewNode*> h_refs;  ///< ∃H gate nodes in the main trees
+  std::string name;               ///< e.g. "H_B"
+
+  /// Recomputes H from the current All and L roots (used by preprocessing
+  /// and major rebalancing).
+  void RecomputeH();
+};
+
+/// A complete view tree (one strategy of the union; Proposition 20).
+struct ViewTree {
+  std::unique_ptr<ViewNode> root;
+  int component = 0;  ///< connected component of the query this tree covers
+};
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_VIEW_NODE_H_

@@ -1,0 +1,86 @@
+#include "src/data/schema.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+Schema::Schema(std::vector<VarId> vars) : vars_(std::move(vars)) {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    for (size_t j = i + 1; j < vars_.size(); ++j) {
+      IVME_CHECK_MSG(vars_[i] != vars_[j], "schema has duplicate variable id " << vars_[i]);
+    }
+  }
+}
+
+int Schema::PositionOf(VarId var) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::ContainsAll(const Schema& other) const {
+  for (VarId v : other.vars_) {
+    if (!Contains(v)) return false;
+  }
+  return true;
+}
+
+bool Schema::SameSet(const Schema& other) const {
+  return size() == other.size() && ContainsAll(other);
+}
+
+Schema Schema::Intersect(const Schema& other) const {
+  std::vector<VarId> out;
+  for (VarId v : vars_) {
+    if (other.Contains(v)) out.push_back(v);
+  }
+  return Schema(std::move(out));
+}
+
+Schema Schema::Minus(const Schema& other) const {
+  std::vector<VarId> out;
+  for (VarId v : vars_) {
+    if (!other.Contains(v)) out.push_back(v);
+  }
+  return Schema(std::move(out));
+}
+
+Schema Schema::Union(const Schema& other) const {
+  std::vector<VarId> out = vars_;
+  for (VarId v : other.vars_) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return Schema(std::move(out));
+}
+
+void Schema::Append(VarId var) {
+  IVME_CHECK_MSG(!Contains(var), "appending duplicate variable id " << var);
+  vars_.push_back(var);
+}
+
+std::string Schema::ToString(const std::vector<std::string>& var_names) const {
+  std::string out = "(";
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const auto v = static_cast<size_t>(vars_[i]);
+    out += v < var_names.size() ? var_names[v] : ("?" + std::to_string(vars_[i]));
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<int> ProjectionPositions(const Schema& super, const Schema& sub) {
+  std::vector<int> positions;
+  positions.reserve(sub.size());
+  for (VarId v : sub) {
+    const int pos = super.PositionOf(v);
+    IVME_CHECK_MSG(pos >= 0, "projection target variable " << v << " missing from source");
+    positions.push_back(pos);
+  }
+  return positions;
+}
+
+}  // namespace ivme

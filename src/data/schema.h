@@ -1,0 +1,83 @@
+// Variables and schemas. A schema is an ordered tuple of distinct variables
+// (Section 3); sets of variables and schemas are used interchangeably by
+// fixing the variable ordering.
+#ifndef IVME_DATA_SCHEMA_H_
+#define IVME_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ivme {
+
+/// Identifier of a query variable. Ids are dense and assigned by the
+/// ConjunctiveQuery that owns the variable names.
+using VarId = int32_t;
+
+inline constexpr VarId kInvalidVar = -1;
+
+/// An ordered list of distinct variables.
+///
+/// Schemas support both positional access (tuples are laid out in schema
+/// order) and set-style queries (containment, intersection, difference).
+/// All operations preserve the order of the left-hand operand, matching the
+/// paper's convention that a set of variables is read as a schema under a
+/// fixed global ordering.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<VarId> vars);
+
+  static Schema Empty() { return Schema(); }
+
+  size_t size() const { return vars_.size(); }
+  bool empty() const { return vars_.empty(); }
+  VarId operator[](size_t i) const { return vars_[i]; }
+  const std::vector<VarId>& vars() const { return vars_; }
+
+  auto begin() const { return vars_.begin(); }
+  auto end() const { return vars_.end(); }
+
+  /// Position of `var` in this schema, or -1 when absent. O(arity).
+  int PositionOf(VarId var) const;
+
+  bool Contains(VarId var) const { return PositionOf(var) >= 0; }
+
+  /// True when every variable of `other` occurs in this schema.
+  bool ContainsAll(const Schema& other) const;
+
+  /// True when both schemas contain exactly the same set of variables
+  /// (order-insensitive).
+  bool SameSet(const Schema& other) const;
+
+  /// Variables of this schema that also occur in `other`, in this schema's
+  /// order.
+  Schema Intersect(const Schema& other) const;
+
+  /// Variables of this schema that do not occur in `other`, in this schema's
+  /// order.
+  Schema Minus(const Schema& other) const;
+
+  /// This schema followed by the variables of `other` not already present.
+  Schema Union(const Schema& other) const;
+
+  /// Appends a variable; must not already be present.
+  void Append(VarId var);
+
+  bool operator==(const Schema& other) const { return vars_ == other.vars_; }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  /// Renders as e.g. "(A, B)" using the supplied variable namer.
+  std::string ToString(const std::vector<std::string>& var_names) const;
+
+ private:
+  std::vector<VarId> vars_;
+};
+
+/// Positions of `sub`'s variables inside `super`; every variable of `sub`
+/// must occur in `super`. Used to compile projections once.
+std::vector<int> ProjectionPositions(const Schema& super, const Schema& sub);
+
+}  // namespace ivme
+
+#endif  // IVME_DATA_SCHEMA_H_

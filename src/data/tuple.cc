@@ -1,0 +1,30 @@
+#include "src/data/tuple.h"
+
+namespace ivme {
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<int>& positions) {
+  std::vector<Value> values;
+  values.reserve(positions.size());
+  for (int pos : positions) values.push_back(tuple[static_cast<size_t>(pos)]);
+  return Tuple(std::move(values));
+}
+
+Tuple ConcatTuples(const Tuple& prefix, const Tuple& suffix) {
+  std::vector<Value> values;
+  values.reserve(prefix.size() + suffix.size());
+  values.insert(values.end(), prefix.begin(), prefix.end());
+  values.insert(values.end(), suffix.begin(), suffix.end());
+  return Tuple(std::move(values));
+}
+
+}  // namespace ivme

@@ -1,0 +1,61 @@
+// Tuples of data values, laid out in schema order.
+#ifndef IVME_DATA_TUPLE_H_
+#define IVME_DATA_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/data/value.h"
+
+namespace ivme {
+
+/// A tuple of values over some schema. The schema itself is tracked by the
+/// containing relation/view; tuples only store values in schema order.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  Value operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  void PushBack(Value v) { values_.push_back(v); }
+  void Clear() { values_.clear(); }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  uint64_t Hash() const { return HashSpan64(values_.data(), values_.size()); }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Restriction x[S]: picks `positions` out of `tuple`, in order.
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<int>& positions);
+
+/// Appends `suffix` to a copy of `prefix` (tuple concatenation, the ◦
+/// operator of the Product algorithm).
+Tuple ConcatTuples(const Tuple& prefix, const Tuple& suffix);
+
+/// std::hash adapter so tuples can key standard containers in tests.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return static_cast<size_t>(t.Hash()); }
+};
+
+}  // namespace ivme
+
+#endif  // IVME_DATA_TUPLE_H_

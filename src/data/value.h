@@ -1,0 +1,20 @@
+// Domain values. The data model of Section 3 works over discrete domains;
+// values are encoded as 64-bit integers (dictionary-encode strings upstream).
+#ifndef IVME_DATA_VALUE_H_
+#define IVME_DATA_VALUE_H_
+
+#include <cstdint>
+
+namespace ivme {
+
+/// A data value drawn from a variable's discrete domain.
+using Value = int64_t;
+
+/// Tuple multiplicity. Base relations keep strictly positive multiplicities;
+/// deltas may carry negative ones (Section 3, "Modeling Updates Using
+/// Multiplicities").
+using Mult = int64_t;
+
+}  // namespace ivme
+
+#endif  // IVME_DATA_VALUE_H_

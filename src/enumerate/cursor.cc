@@ -1,0 +1,380 @@
+#include "src/enumerate/cursor.h"
+
+#include "src/common/check.h"
+#include "src/common/counters.h"
+
+namespace ivme {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// RowScanner: iterates the rows of σ_{ctx}(V) using the compiled scan mode
+// (full scan / index scan / point lookup).
+// ---------------------------------------------------------------------------
+
+class RowScanner {
+ public:
+  explicit RowScanner(const ViewNode* node) : node_(node) {}
+
+  void Open(const Tuple& ctx) {
+    const size_t bound = node_->bound_schema.size();
+    if (bound == 0) {
+      mode_ = Mode::kFull;
+      entry_ = node_->storage->First();
+    } else if (bound == node_->schema.size()) {
+      mode_ = Mode::kPoint;
+      point_row_ = ProjectTuple(ctx, node_->ctx_to_bound);
+      point_mult_ = node_->storage->Multiplicity(point_row_);
+      point_done_ = point_mult_ == 0;
+    } else {
+      mode_ = Mode::kIndex;
+      IVME_CHECK(node_->scan_index_id >= 0);
+      const Tuple key = ProjectTuple(ctx, node_->ctx_to_bound);
+      link_ = node_->storage->index(node_->scan_index_id).FirstForKey(key);
+    }
+  }
+
+  /// Returns the next row (pointer valid until the next call) or nullptr.
+  const Tuple* Next(Mult* mult) {
+    ++GlobalCounters().enum_steps;
+    switch (mode_) {
+      case Mode::kFull: {
+        if (entry_ == nullptr) return nullptr;
+        const Tuple* row = &entry_->key;
+        *mult = entry_->value.mult;
+        entry_ = entry_->next;
+        return row;
+      }
+      case Mode::kIndex: {
+        if (link_ == nullptr) return nullptr;
+        const Tuple* row = &link_->entry->key;
+        *mult = link_->entry->value.mult;
+        link_ = link_->next;
+        return row;
+      }
+      case Mode::kPoint: {
+        if (point_done_) return nullptr;
+        point_done_ = true;
+        *mult = point_mult_;
+        return &point_row_;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  enum class Mode { kFull, kIndex, kPoint };
+
+  const ViewNode* node_;
+  Mode mode_ = Mode::kFull;
+  const Relation::Entry* entry_ = nullptr;
+  const Relation::IndexLink* link_ = nullptr;
+  Tuple point_row_;
+  Mult point_mult_ = 0;
+  bool point_done_ = true;
+};
+
+// Scans the heavy-indicator keys σ_{ctx}(∃H) of a union node.
+class IndicatorScanner {
+ public:
+  explicit IndicatorScanner(const ViewNode* node)
+      : node_(node),
+        indicator_(node->children[static_cast<size_t>(node->indicator_child)].get()) {}
+
+  void Open(const Tuple& ctx) {
+    const Relation* h = indicator_->storage;
+    const size_t bound = node_->ctx_to_indicator_bound.size();
+    if (bound == 0) {
+      mode_ = Mode::kFull;
+      entry_ = h->First();
+    } else if (bound == indicator_->schema.size()) {
+      mode_ = Mode::kPoint;
+      point_row_ = ProjectTuple(ctx, node_->ctx_to_indicator_bound);
+      point_done_ = h->Multiplicity(point_row_) == 0;
+    } else {
+      mode_ = Mode::kIndex;
+      IVME_CHECK(node_->indicator_scan_index_id >= 0);
+      const Tuple key = ProjectTuple(ctx, node_->ctx_to_indicator_bound);
+      link_ = h->index(node_->indicator_scan_index_id).FirstForKey(key);
+    }
+  }
+
+  const Tuple* Next() {
+    switch (mode_) {
+      case Mode::kFull: {
+        if (entry_ == nullptr) return nullptr;
+        const Tuple* row = &entry_->key;
+        entry_ = entry_->next;
+        return row;
+      }
+      case Mode::kIndex: {
+        if (link_ == nullptr) return nullptr;
+        const Tuple* row = &link_->entry->key;
+        link_ = link_->next;
+        return row;
+      }
+      case Mode::kPoint: {
+        if (point_done_) return nullptr;
+        point_done_ = true;
+        return &point_row_;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  enum class Mode { kFull, kIndex, kPoint };
+
+  const ViewNode* node_;
+  const ViewNode* indicator_;
+  Mode mode_ = Mode::kFull;
+  const Relation::Entry* entry_ = nullptr;
+  const Relation::IndexLink* link_ = nullptr;
+  Tuple point_row_;
+  bool point_done_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// RowProductIter: the Product algorithm (Figure 16) for one fixed row of a
+// product/union node: odometer over the non-indicator children within the
+// context given by the row.
+// ---------------------------------------------------------------------------
+
+class RowProductIter {
+ public:
+  explicit RowProductIter(const ViewNode* node) : node_(node) {
+    for (const auto& child : node->children) {
+      if (child->IsIndicator()) continue;
+      kids_.push_back(MakeCursor(child.get()));
+    }
+    kid_emits_.resize(kids_.size());
+    kid_mults_.assign(kids_.size(), 0);
+  }
+
+  void Open(const Tuple& row) {
+    row_ = row;
+    row_part_ = ProjectTuple(row, node_->row_emit_positions);
+    primed_ = false;
+    dead_ = false;
+  }
+
+  bool Next(Tuple* emit, Mult* mult) {
+    if (dead_) return false;
+    if (!primed_) {
+      for (size_t i = 0; i < kids_.size(); ++i) {
+        kids_[i]->Open(row_);
+        if (!kids_[i]->Next(&kid_emits_[i], &kid_mults_[i])) {
+          dead_ = true;
+          return false;
+        }
+      }
+      primed_ = true;
+      Combine(emit, mult);
+      return true;
+    }
+    // Advance the odometer from the last child.
+    for (size_t i = kids_.size(); i-- > 0;) {
+      if (kids_[i]->Next(&kid_emits_[i], &kid_mults_[i])) {
+        for (size_t j = i + 1; j < kids_.size(); ++j) {
+          kids_[j]->Open(row_);
+          const bool ok = kids_[j]->Next(&kid_emits_[j], &kid_mults_[j]);
+          IVME_CHECK_MSG(ok, "child became empty during enumeration");
+        }
+        Combine(emit, mult);
+        return true;
+      }
+    }
+    dead_ = true;
+    return false;
+  }
+
+ private:
+  void Combine(Tuple* emit, Mult* mult) {
+    *emit = row_part_;
+    Mult m = 1;
+    for (size_t i = 0; i < kids_.size(); ++i) {
+      for (Value v : kid_emits_[i]) emit->PushBack(v);
+      m *= kid_mults_[i];
+    }
+    *mult = m;
+  }
+
+  const ViewNode* node_;
+  std::vector<std::unique_ptr<Cursor>> kids_;
+  std::vector<Tuple> kid_emits_;
+  std::vector<Mult> kid_mults_;
+  Tuple row_;
+  Tuple row_part_;
+  bool primed_ = false;
+  bool dead_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Cursors
+// ---------------------------------------------------------------------------
+
+class CoveringCursor : public Cursor {
+ public:
+  explicit CoveringCursor(const ViewNode* node) : node_(node), scanner_(node) {}
+
+  void Open(const Tuple& ctx) override { scanner_.Open(ctx); }
+
+  bool Next(Tuple* emit, Mult* mult) override {
+    const Tuple* row = scanner_.Next(mult);
+    if (row == nullptr) return false;
+    *emit = ProjectTuple(*row, node_->row_emit_positions);
+    return true;
+  }
+
+ private:
+  const ViewNode* node_;
+  RowScanner scanner_;
+};
+
+class ProductCursor : public Cursor {
+ public:
+  explicit ProductCursor(const ViewNode* node)
+      : node_(node), scanner_(node), prod_(node) {}
+
+  void Open(const Tuple& ctx) override {
+    scanner_.Open(ctx);
+    row_valid_ = false;
+  }
+
+  bool Next(Tuple* emit, Mult* mult) override {
+    while (true) {
+      if (!row_valid_) {
+        Mult row_mult = 0;
+        const Tuple* row = scanner_.Next(&row_mult);
+        if (row == nullptr) return false;
+        prod_.Open(*row);
+        row_valid_ = true;
+      }
+      if (prod_.Next(emit, mult)) return true;
+      row_valid_ = false;  // row exhausted; move to the next one
+    }
+  }
+
+ private:
+  const ViewNode* node_;
+  RowScanner scanner_;
+  RowProductIter prod_;
+  bool row_valid_ = false;
+};
+
+// The Union algorithm (Figure 15) over the heavy groundings of a union
+// node, implemented iteratively (level j consumes the union of levels < j).
+class UnionCursor : public Cursor {
+ public:
+  explicit UnionCursor(const ViewNode* node) : node_(node) {}
+
+  void Open(const Tuple& ctx) override {
+    buckets_.clear();
+    IndicatorScanner heavies(node_);
+    heavies.Open(ctx);
+    while (const Tuple* h = heavies.Next()) {
+      // The grounding contributes only when the gated join view has the
+      // key: V(h) ≠ 0 guarantees every child has matching tuples.
+      if (node_->storage->Multiplicity(*h) == 0) continue;
+      buckets_.push_back(std::make_unique<BucketState>(node_, *h));
+    }
+  }
+
+  bool Next(Tuple* emit, Mult* mult) override {
+    bool have = false;
+    Tuple t;
+    Mult ignored = 0;
+    for (auto& bucket : buckets_) {
+      if (!have) {
+        have = bucket->iter.Next(&t, &ignored);  // drain this level
+      } else if (LookupGrounded(node_, bucket->row, t) != 0) {
+        // The prefix tuple also occurs in this bucket: emit this bucket's
+        // next tuple instead. It always exists (Durand–Strozecki: the
+        // number of such replacements is bounded by the bucket size).
+        const bool ok = bucket->iter.Next(&t, &ignored);
+        IVME_CHECK_MSG(ok, "union bucket exhausted during replacement");
+      }
+    }
+    if (!have) return false;
+    Mult m = 0;
+    for (auto& bucket : buckets_) m += LookupGrounded(node_, bucket->row, t);
+    *emit = t;
+    *mult = m;
+    return true;
+  }
+
+ private:
+  struct BucketState {
+    Tuple row;
+    RowProductIter iter;
+
+    BucketState(const ViewNode* node, const Tuple& h) : row(h), iter(node) { iter.Open(row); }
+  };
+
+  const ViewNode* node_;
+  std::vector<std::unique_ptr<BucketState>> buckets_;
+};
+
+}  // namespace
+
+std::unique_ptr<Cursor> MakeCursor(const ViewNode* node) {
+  switch (node->enum_mode) {
+    case EnumMode::kCovering:
+      return std::make_unique<CoveringCursor>(node);
+    case EnumMode::kProduct:
+      return std::make_unique<ProductCursor>(node);
+    case EnumMode::kUnion:
+      return std::make_unique<UnionCursor>(node);
+  }
+  IVME_UNREACHABLE("unknown enum mode");
+}
+
+Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t) {
+  ++GlobalCounters().enum_steps;
+  if (node->storage->Multiplicity(row) == 0) return 0;
+  Mult m = 1;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const ViewNode* child = node->children[i].get();
+    if (child->IsIndicator()) continue;
+    const Tuple slice = ProjectTuple(t, node->child_emit_slices[i]);
+    const Mult cm = LookupTree(child, row, slice);
+    if (cm == 0) return 0;
+    m *= cm;
+  }
+  return m;
+}
+
+Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t) {
+  switch (node->enum_mode) {
+    case EnumMode::kCovering: {
+      Tuple row;
+      row.Reserve(node->schema.size());
+      for (const auto& src : node->lookup_row_sources) {
+        row.PushBack(src.child == -1 ? ctx[static_cast<size_t>(src.pos)]
+                                     : t[static_cast<size_t>(src.pos)]);
+      }
+      return node->storage->Multiplicity(row);
+    }
+    case EnumMode::kProduct: {
+      Tuple row;
+      row.Reserve(node->schema.size());
+      for (const auto& src : node->lookup_row_sources) {
+        row.PushBack(src.child == -1 ? ctx[static_cast<size_t>(src.pos)]
+                                     : t[static_cast<size_t>(src.pos)]);
+      }
+      return LookupGrounded(node, row, t);
+    }
+    case EnumMode::kUnion: {
+      IndicatorScanner heavies(node);
+      heavies.Open(ctx);
+      Mult m = 0;
+      while (const Tuple* h = heavies.Next()) {
+        m += LookupGrounded(node, *h, t);
+      }
+      return m;
+    }
+  }
+  IVME_UNREACHABLE("unknown enum mode");
+}
+
+}  // namespace ivme

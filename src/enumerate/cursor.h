@@ -1,0 +1,47 @@
+// Enumeration cursors over view trees: the open/next iterator model of
+// Figures 13–14, with the Union algorithm (Figure 15) for heavy-indicator
+// groundings and the Product algorithm (Figure 16) for sibling subtrees.
+//
+// A cursor enumerates the distinct tuples (with multiplicities) that its
+// subtree contributes over the node's emit schema, within a context tuple
+// fixed by the parent. Lookup* are the stateless membership/multiplicity
+// probes the Union algorithm needs for deduplication.
+#ifndef IVME_ENUMERATE_CURSOR_H_
+#define IVME_ENUMERATE_CURSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/view_node.h"
+
+namespace ivme {
+
+/// Abstract iterator over the emit tuples of a view (sub)tree.
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+
+  /// (Re)positions the cursor to the first tuple within `ctx`, a tuple over
+  /// the node's ctx_schema.
+  virtual void Open(const Tuple& ctx) = 0;
+
+  /// Produces the next distinct tuple over the node's emit_schema together
+  /// with its multiplicity; false at the end.
+  virtual bool Next(Tuple* emit, Mult* mult) = 0;
+};
+
+/// Creates the cursor matching the node's compiled EnumMode.
+std::unique_ptr<Cursor> MakeCursor(const ViewNode* node);
+
+/// Multiplicity of emit tuple `t` in the subtree of `node` under context
+/// `ctx` — full tree semantics (sums over heavy groundings at union nodes).
+/// O(1) per materialized-view probe; O(#heavy keys) at union nodes.
+Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t);
+
+/// Multiplicity of `t` in one heavy grounding of a union node: the bucket
+/// whose root row is `row` (a tuple over the node's schema = keys).
+Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t);
+
+}  // namespace ivme
+
+#endif  // IVME_ENUMERATE_CURSOR_H_

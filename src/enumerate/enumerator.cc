@@ -1,0 +1,135 @@
+#include "src/enumerate/enumerator.h"
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+// ---------------------------------------------------------------------------
+// ComponentUnion
+// ---------------------------------------------------------------------------
+
+ResultEnumerator::ComponentUnion::ComponentUnion(const std::vector<const ViewNode*>& roots)
+    : roots_(roots) {
+  IVME_CHECK(!roots_.empty());
+  emit_ = roots_[0]->emit_schema;
+  for (const ViewNode* root : roots_) {
+    IVME_CHECK_MSG(root->emit_schema.SameSet(emit_),
+                   "trees of one component must emit the same variables");
+    comp_to_tree_.push_back(ProjectionPositions(emit_, root->emit_schema));
+    tree_to_comp_.push_back(ProjectionPositions(root->emit_schema, emit_));
+    cursors_.push_back(MakeCursor(root));
+  }
+}
+
+void ResultEnumerator::ComponentUnion::Open() {
+  for (auto& cursor : cursors_) cursor->Open(Tuple{});
+}
+
+Mult ResultEnumerator::ComponentUnion::LookupInTree(size_t i, const Tuple& comp_tuple) const {
+  return LookupTree(roots_[i], Tuple{}, ProjectTuple(comp_tuple, comp_to_tree_[i]));
+}
+
+bool ResultEnumerator::ComponentUnion::Next(Tuple* out, Mult* mult) {
+  // The Union algorithm (Figure 15) across trees, exactly as at heavy
+  // groundings: level i consumes the deduplicated union of levels < i.
+  bool have = false;
+  Tuple t;  // in component order
+  Tuple raw;
+  Mult ignored = 0;
+  for (size_t i = 0; i < cursors_.size(); ++i) {
+    if (!have) {
+      if (cursors_[i]->Next(&raw, &ignored)) {
+        t = ProjectTuple(raw, tree_to_comp_[i]);
+        have = true;
+      }
+    } else if (LookupInTree(i, t) != 0) {
+      const bool ok = cursors_[i]->Next(&raw, &ignored);
+      IVME_CHECK_MSG(ok, "tree stream exhausted during union replacement");
+      t = ProjectTuple(raw, tree_to_comp_[i]);
+    }
+  }
+  if (!have) return false;
+  Mult m = 0;
+  for (size_t i = 0; i < cursors_.size(); ++i) m += LookupInTree(i, t);
+  *out = t;
+  *mult = m;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ResultEnumerator
+// ---------------------------------------------------------------------------
+
+ResultEnumerator::ResultEnumerator(const ConjunctiveQuery& q, const CompiledPlan& plan)
+    : query_(q) {
+  std::vector<std::vector<const ViewNode*>> roots(static_cast<size_t>(plan.num_components));
+  for (const auto& tree : plan.trees) {
+    roots[static_cast<size_t>(tree->component)].push_back(tree->root.get());
+  }
+  for (auto& group : roots) {
+    components_.push_back(std::make_unique<ComponentUnion>(group));
+  }
+  current_.resize(components_.size());
+  mults_.assign(components_.size(), 0);
+
+  for (VarId v : q.free_vars()) {
+    bool found = false;
+    for (size_t c = 0; c < components_.size() && !found; ++c) {
+      const int pos = components_[c]->emit_schema().PositionOf(v);
+      if (pos >= 0) {
+        out_sources_.emplace_back(c, static_cast<size_t>(pos));
+        found = true;
+      }
+    }
+    IVME_CHECK_MSG(found, "free variable not produced by any component");
+  }
+}
+
+bool ResultEnumerator::AdvanceComponent(size_t i) {
+  return components_[i]->Next(&current_[i], &mults_[i]);
+}
+
+bool ResultEnumerator::Next(Tuple* out, Mult* mult) {
+  if (done_) return false;
+  if (!primed_) {
+    // Prime the odometer: every component must produce a first tuple.
+    for (size_t i = 0; i < components_.size(); ++i) {
+      components_[i]->Open();
+      if (!AdvanceComponent(i)) {
+        done_ = true;
+        return false;
+      }
+    }
+    primed_ = true;
+  } else {
+    // Advance the odometer from the last component; reset the ones behind.
+    bool advanced = false;
+    size_t i = components_.size();
+    while (i-- > 0) {
+      if (AdvanceComponent(i)) {
+        for (size_t j = i + 1; j < components_.size(); ++j) {
+          components_[j]->Open();
+          const bool ok = AdvanceComponent(j);
+          IVME_CHECK_MSG(ok, "component stream became empty during enumeration");
+        }
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      done_ = true;
+      return false;
+    }
+  }
+  out->Clear();
+  out->Reserve(out_sources_.size());
+  Mult m = 1;
+  for (size_t c = 0; c < components_.size(); ++c) m *= mults_[c];
+  for (const auto& [c, pos] : out_sources_) {
+    out->PushBack(current_[c][pos]);
+  }
+  *mult = m;
+  return true;
+}
+
+}  // namespace ivme

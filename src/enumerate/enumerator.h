@@ -1,0 +1,63 @@
+// Top-level result enumeration: per connected component, the Union
+// algorithm deduplicates across the component's view trees (Proposition 20:
+// the query is the union of the trees' joins); across components, the
+// Product algorithm combines the per-component streams. Output tuples are
+// over the query's free variables in head order; multiplicities sum over
+// trees within a component and multiply across components.
+#ifndef IVME_ENUMERATE_ENUMERATOR_H_
+#define IVME_ENUMERATE_ENUMERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/builder.h"
+#include "src/enumerate/cursor.h"
+#include "src/query/query.h"
+
+namespace ivme {
+
+/// Streams the distinct tuples of the query result. Create one per
+/// enumeration session (cheap relative to a full pass); concurrent updates
+/// invalidate open enumerators.
+class ResultEnumerator {
+ public:
+  ResultEnumerator(const ConjunctiveQuery& q, const CompiledPlan& plan);
+
+  /// Next distinct result tuple (over free_vars() in head order) and its
+  /// multiplicity; false at the end of the result.
+  bool Next(Tuple* out, Mult* mult);
+
+ private:
+  /// Union across the view trees of one connected component.
+  class ComponentUnion {
+   public:
+    ComponentUnion(const std::vector<const ViewNode*>& roots);
+    void Open();
+    bool Next(Tuple* out, Mult* mult);  // over the component emit schema
+    const Schema& emit_schema() const { return emit_; }
+
+   private:
+    Mult LookupInTree(size_t i, const Tuple& comp_tuple) const;
+
+    std::vector<const ViewNode*> roots_;
+    std::vector<std::unique_ptr<Cursor>> cursors_;
+    std::vector<std::vector<int>> comp_to_tree_;  // reorder comp → tree emit
+    std::vector<std::vector<int>> tree_to_comp_;  // reorder tree → comp emit
+    Schema emit_;
+  };
+
+  bool AdvanceComponent(size_t i);
+
+  const ConjunctiveQuery& query_;
+  std::vector<std::unique_ptr<ComponentUnion>> components_;
+  std::vector<Tuple> current_;
+  std::vector<Mult> mults_;
+  // For each free variable: which component and which emit position.
+  std::vector<std::pair<size_t, size_t>> out_sources_;
+  bool primed_ = false;
+  bool done_ = false;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_ENUMERATE_ENUMERATOR_H_

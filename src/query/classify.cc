@@ -1,0 +1,153 @@
+#include "src/query/classify.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+namespace {
+
+// atoms(X) for every variable occurring in `atoms`, as sorted index sets.
+std::map<VarId, std::vector<int>> AtomsOfMap(const std::vector<Schema>& atoms) {
+  std::map<VarId, std::vector<int>> atoms_of;
+  for (size_t a = 0; a < atoms.size(); ++a) {
+    for (VarId v : atoms[a]) atoms_of[v].push_back(static_cast<int>(a));
+  }
+  return atoms_of;
+}
+
+bool IsSubset(const std::vector<int>& a, const std::vector<int>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool Intersects(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsHierarchical(const std::vector<Schema>& atoms) {
+  const auto atoms_of = AtomsOfMap(atoms);
+  for (auto it1 = atoms_of.begin(); it1 != atoms_of.end(); ++it1) {
+    for (auto it2 = std::next(it1); it2 != atoms_of.end(); ++it2) {
+      const auto& a = it1->second;
+      const auto& b = it2->second;
+      if (!Intersects(a, b)) continue;
+      if (!IsSubset(a, b) && !IsSubset(b, a)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsHierarchical(const ConjunctiveQuery& q) {
+  std::vector<Schema> atoms;
+  for (const auto& atom : q.atoms()) atoms.push_back(atom.schema);
+  return IsHierarchical(atoms);
+}
+
+bool IsQHierarchical(const std::vector<Schema>& atoms, const Schema& free) {
+  if (!IsHierarchical(atoms)) return false;
+  const auto atoms_of = AtomsOfMap(atoms);
+  for (const auto& [a_var, a_atoms] : atoms_of) {
+    if (!free.Contains(a_var)) continue;
+    for (const auto& [b_var, b_atoms] : atoms_of) {
+      if (a_var == b_var) continue;
+      const bool strict = IsSubset(a_atoms, b_atoms) && a_atoms.size() < b_atoms.size();
+      if (strict && !free.Contains(b_var)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsQHierarchical(const ConjunctiveQuery& q) {
+  std::vector<Schema> atoms;
+  for (const auto& atom : q.atoms()) atoms.push_back(atom.schema);
+  return IsQHierarchical(atoms, q.free_vars());
+}
+
+int MinAtomCover(const std::vector<Schema>& atoms, const Schema& targets) {
+  if (targets.empty()) return 0;
+  const auto atoms_of = AtomsOfMap(atoms);
+  // Group target variables into atom-set equivalence classes, then count
+  // the classes that have no strictly smaller class below them. For
+  // hierarchical queries this equals ρ(targets) = ρ*(targets): one atom
+  // below each minimal class covers the whole chain of classes above it,
+  // and two minimal classes can never share an atom (their atom sets would
+  // be comparable otherwise).
+  std::vector<std::vector<int>> class_sets;
+  for (VarId v : targets) {
+    auto it = atoms_of.find(v);
+    IVME_CHECK_MSG(it != atoms_of.end(), "cover target variable " << v << " occurs in no atom");
+    bool found = false;
+    for (const auto& cls : class_sets) {
+      if (cls == it->second) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) class_sets.push_back(it->second);
+  }
+  int minimal = 0;
+  for (size_t i = 0; i < class_sets.size(); ++i) {
+    bool has_strict_subset = false;
+    for (size_t j = 0; j < class_sets.size(); ++j) {
+      if (i == j) continue;
+      if (class_sets[j].size() < class_sets[i].size() &&
+          IsSubset(class_sets[j], class_sets[i])) {
+        has_strict_subset = true;
+        break;
+      }
+    }
+    if (!has_strict_subset) ++minimal;
+  }
+  return minimal;
+}
+
+Schema FreeVarsOfAtomsOf(const std::vector<Schema>& atoms, const Schema& free, VarId v) {
+  Schema result;
+  for (const auto& schema : atoms) {
+    if (!schema.Contains(v)) continue;
+    for (VarId u : schema) {
+      if (free.Contains(u) && !result.Contains(u)) result.Append(u);
+    }
+  }
+  return result;
+}
+
+int DeltaRank(const std::vector<Schema>& atoms, const Schema& free) {
+  IVME_CHECK_MSG(IsHierarchical(atoms), "delta rank is defined for hierarchical queries");
+  // Collect all variables.
+  Schema all;
+  for (const auto& schema : atoms) all = all.Union(schema);
+  int rank = 0;
+  for (VarId x : all) {
+    if (free.Contains(x)) continue;  // only bound variables constrain the rank
+    const Schema free_of_x = FreeVarsOfAtomsOf(atoms, free, x);
+    for (const auto& schema : atoms) {
+      if (!schema.Contains(x)) continue;
+      const Schema residual = free_of_x.Minus(schema);
+      rank = std::max(rank, MinAtomCover(atoms, residual));
+    }
+  }
+  return rank;
+}
+
+int DeltaRank(const ConjunctiveQuery& q) {
+  std::vector<Schema> atoms;
+  for (const auto& atom : q.atoms()) atoms.push_back(atom.schema);
+  return DeltaRank(atoms, q.free_vars());
+}
+
+}  // namespace ivme

@@ -1,0 +1,48 @@
+// Syntactic classification of conjunctive queries:
+//   * hierarchical (Definition 1),
+//   * q-hierarchical ([10]; Section 3),
+//   * δi-hierarchical (Definition 5) via the delta rank,
+// plus the minimal atom cover used throughout (for hierarchical queries the
+// integral and fractional edge cover numbers coincide, Lemma 30).
+#ifndef IVME_QUERY_CLASSIFY_H_
+#define IVME_QUERY_CLASSIFY_H_
+
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/query/query.h"
+
+namespace ivme {
+
+/// Definition 1: for any two variables, their atom sets are disjoint or one
+/// contains the other. Works on raw atom schemas (used for residual queries).
+bool IsHierarchical(const std::vector<Schema>& atoms);
+
+bool IsHierarchical(const ConjunctiveQuery& q);
+
+/// q-hierarchical: hierarchical, and whenever atoms(A) ⊂ atoms(B) for a free
+/// A, B is also free (Section 3). Equal to δ0-hierarchical (Proposition 6).
+bool IsQHierarchical(const std::vector<Schema>& atoms, const Schema& free);
+
+bool IsQHierarchical(const ConjunctiveQuery& q);
+
+/// Minimal number of atoms covering `targets` (the integral edge cover
+/// number ρ). Requires the atoms to form a hierarchical query; for those,
+/// ρ = ρ* (Lemma 30) and the optimum equals the number of minimal
+/// atom-set-equivalence classes among the target variables. Returns 0 for
+/// empty targets. Every target must occur in at least one atom.
+int MinAtomCover(const std::vector<Schema>& atoms, const Schema& targets);
+
+/// Delta rank: the i for which the query is δi-hierarchical (Definition 5).
+/// Requires a hierarchical query. By Proposition 8 this equals the dynamic
+/// width; by Proposition 6 rank 0 characterizes q-hierarchical queries.
+int DeltaRank(const std::vector<Schema>& atoms, const Schema& free);
+
+int DeltaRank(const ConjunctiveQuery& q);
+
+/// Free variables occurring in the atoms of variable `v` (free(atoms(X))).
+Schema FreeVarsOfAtomsOf(const std::vector<Schema>& atoms, const Schema& free, VarId v);
+
+}  // namespace ivme
+
+#endif  // IVME_QUERY_CLASSIFY_H_

@@ -1,0 +1,179 @@
+#include "src/query/edge_cover.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Simplex over the tableau rows (basis maintained explicitly). Minimizes
+// c·x for the current basic feasible solution; returns false on
+// unboundedness (cannot happen for the bounded edge-cover LPs).
+bool RunSimplex(std::vector<std::vector<double>>& a, std::vector<double>& b,
+                std::vector<double>& c, std::vector<int>& basis, double& objective) {
+  const size_t m = a.size();
+  const size_t n = c.size();
+  while (true) {
+    // Reduced costs: c_j - c_B · B^{-1} A_j. The tableau is kept in
+    // canonical form (basis columns are unit vectors), so the reduced cost
+    // is just c[j] after eliminations.
+    int enter = -1;
+    for (size_t j = 0; j < n; ++j) {
+      if (c[j] < -kEps) {
+        enter = static_cast<int>(j);  // Bland: first improving column
+        break;
+      }
+    }
+    if (enter < 0) return true;  // optimal
+    // Ratio test (Bland: smallest basis variable index on ties).
+    int leave_row = -1;
+    double best_ratio = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (a[i][static_cast<size_t>(enter)] > kEps) {
+        const double ratio = b[i] / a[i][static_cast<size_t>(enter)];
+        if (leave_row < 0 || ratio < best_ratio - kEps ||
+            (std::fabs(ratio - best_ratio) <= kEps &&
+             basis[i] < basis[static_cast<size_t>(leave_row)])) {
+          leave_row = static_cast<int>(i);
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave_row < 0) return false;  // unbounded
+    // Pivot.
+    const size_t r = static_cast<size_t>(leave_row);
+    const size_t e = static_cast<size_t>(enter);
+    const double pivot = a[r][e];
+    for (size_t j = 0; j < n; ++j) a[r][j] /= pivot;
+    b[r] /= pivot;
+    for (size_t i = 0; i < m; ++i) {
+      if (i == r || std::fabs(a[i][e]) <= kEps) continue;
+      const double factor = a[i][e];
+      for (size_t j = 0; j < n; ++j) a[i][j] -= factor * a[r][j];
+      b[i] -= factor * b[r];
+    }
+    const double cfactor = c[e];
+    if (std::fabs(cfactor) > kEps) {
+      for (size_t j = 0; j < n; ++j) c[j] -= cfactor * a[r][j];
+      objective -= cfactor * b[r];
+    }
+    basis[r] = enter;
+  }
+}
+
+}  // namespace
+
+std::optional<double> SolveSimplexEq(std::vector<std::vector<double>> a, std::vector<double> b,
+                                     std::vector<double> c) {
+  const size_t m = a.size();
+  const size_t n = c.size();
+  for (size_t i = 0; i < m; ++i) {
+    IVME_CHECK(a[i].size() == n);
+    IVME_CHECK_MSG(b[i] >= 0, "SolveSimplexEq requires b >= 0");
+  }
+
+  // Phase 1: add one artificial variable per row; minimize their sum.
+  std::vector<std::vector<double>> a1(m, std::vector<double>(n + m, 0.0));
+  std::vector<double> c1(n + m, 0.0);
+  std::vector<int> basis(m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) a1[i][j] = a[i][j];
+    a1[i][n + i] = 1.0;
+    c1[n + i] = 1.0;
+    basis[i] = static_cast<int>(n + i);
+  }
+  // Put phase-1 costs in canonical form (eliminate basis columns).
+  double phase1_obj = 0;
+  std::vector<double> b1 = b;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n + m; ++j) c1[j] -= a1[i][j];
+    phase1_obj -= b1[i];
+  }
+  if (!RunSimplex(a1, b1, c1, basis, phase1_obj)) return std::nullopt;
+  if (phase1_obj < -kEps * 100) return std::nullopt;  // infeasible (residual > 0)
+
+  // Drive artificial variables out of the basis where possible; rows whose
+  // basis stays artificial are redundant (b must be ~0) and kept harmless.
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < static_cast<int>(n)) continue;
+    int pivot_col = -1;
+    for (size_t j = 0; j < n; ++j) {
+      if (std::fabs(a1[i][j]) > kEps) {
+        pivot_col = static_cast<int>(j);
+        break;
+      }
+    }
+    if (pivot_col < 0) continue;
+    const size_t e = static_cast<size_t>(pivot_col);
+    const double pivot = a1[i][e];
+    for (size_t j = 0; j < n + m; ++j) a1[i][j] /= pivot;
+    b1[i] /= pivot;
+    for (size_t r = 0; r < m; ++r) {
+      if (r == i || std::fabs(a1[r][e]) <= kEps) continue;
+      const double factor = a1[r][e];
+      for (size_t j = 0; j < n + m; ++j) a1[r][j] -= factor * a1[i][j];
+      b1[r] -= factor * b1[i];
+    }
+    basis[i] = pivot_col;
+  }
+
+  // Phase 2 on the original costs, restricted to the structural columns.
+  std::vector<std::vector<double>> a2(m, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) a2[i][j] = a1[i][j];
+  }
+  std::vector<double> c2 = c;
+  double objective = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] >= static_cast<int>(n)) continue;  // redundant row
+    const size_t bj = static_cast<size_t>(basis[i]);
+    const double factor = c2[bj];
+    if (std::fabs(factor) <= kEps) continue;
+    for (size_t j = 0; j < n; ++j) c2[j] -= factor * a2[i][j];
+    objective -= factor * b1[i];
+  }
+  if (!RunSimplex(a2, b1, c2, basis, objective)) return std::nullopt;
+  return -objective;
+}
+
+std::optional<double> FractionalEdgeCoverLP(const std::vector<Schema>& atoms,
+                                            const Schema& targets) {
+  if (targets.empty()) return 0.0;
+  const size_t n = atoms.size();
+  const size_t m = targets.size();
+  // Variables: λ_1..λ_n, surplus s_1..s_m (coverage), slack t_1..t_n (λ ≤ 1).
+  const size_t cols = n + m + n;
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  std::vector<double> c(cols, 0.0);
+  for (size_t j = 0; j < n; ++j) c[j] = 1.0;
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<double> row(cols, 0.0);
+    bool covered = false;
+    for (size_t j = 0; j < n; ++j) {
+      if (atoms[j].Contains(targets[i])) {
+        row[j] = 1.0;
+        covered = true;
+      }
+    }
+    if (!covered) return std::nullopt;
+    row[n + i] = -1.0;  // surplus
+    a.push_back(std::move(row));
+    b.push_back(1.0);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> row(cols, 0.0);
+    row[j] = 1.0;
+    row[n + m + j] = 1.0;  // slack
+    a.push_back(std::move(row));
+    b.push_back(1.0);
+  }
+  return SolveSimplexEq(std::move(a), std::move(b), std::move(c));
+}
+
+}  // namespace ivme

@@ -1,0 +1,30 @@
+// Fractional edge covers (Section 3, "Width Measures"). The engine itself
+// only needs integral covers of hierarchical queries (classify.h's
+// MinAtomCover); the exact LP here validates Lemma 30 (ρ* = ρ for
+// hierarchical queries) in tests and supports arbitrary conjunctive queries.
+#ifndef IVME_QUERY_EDGE_COVER_H_
+#define IVME_QUERY_EDGE_COVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/data/schema.h"
+
+namespace ivme {
+
+/// Minimizes Σ λ_R subject to Σ_{R: X ∈ R} λ_R ≥ 1 for each X in `targets`
+/// and λ_R ∈ [0, 1], via a dense two-phase simplex. Returns ρ*(targets), or
+/// std::nullopt when some target occurs in no atom (infeasible). Exact up to
+/// floating-point round-off; intended for the small LPs of query analysis.
+std::optional<double> FractionalEdgeCoverLP(const std::vector<Schema>& atoms,
+                                            const Schema& targets);
+
+/// Generic two-phase simplex: min c·x s.t. A x = b, x ≥ 0 (b ≥ 0 required).
+/// Returns the optimal objective value; std::nullopt when infeasible.
+/// Uses Bland's rule, so it terminates on degenerate inputs.
+std::optional<double> SolveSimplexEq(std::vector<std::vector<double>> a, std::vector<double> b,
+                                     std::vector<double> c);
+
+}  // namespace ivme
+
+#endif  // IVME_QUERY_EDGE_COVER_H_

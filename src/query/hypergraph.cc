@@ -1,0 +1,120 @@
+#include "src/query/hypergraph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ivme {
+
+namespace {
+
+// One GYO (Graham/Yu–Özsoyoğlu) reduction pass over a working copy of the
+// edges, as variable sets. The hypergraph is α-acyclic iff repeating
+//   (a) remove variables that occur in at most one edge, and
+//   (b) remove edges contained in another edge
+// empties every edge.
+bool GyoReduces(std::vector<std::set<VarId>> edges) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // (a) Remove variables occurring in exactly one edge.
+    std::map<VarId, int> occurrence_count;
+    for (const auto& e : edges) {
+      for (VarId v : e) ++occurrence_count[v];
+    }
+    for (auto& e : edges) {
+      for (auto it = e.begin(); it != e.end();) {
+        if (occurrence_count[*it] <= 1) {
+          it = e.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // (b) Remove edges contained in another edge (including empty ones and
+    // duplicates; keep one representative of duplicate pairs).
+    for (size_t i = 0; i < edges.size();) {
+      bool contained = false;
+      for (size_t j = 0; j < edges.size(); ++j) {
+        if (i == j) continue;
+        const bool subset =
+            std::includes(edges[j].begin(), edges[j].end(), edges[i].begin(), edges[i].end());
+        if (subset && (edges[i] != edges[j] || i > j)) {
+          contained = true;
+          break;
+        }
+      }
+      if (contained) {
+        edges.erase(edges.begin() + static_cast<long>(i));
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (const auto& e : edges) {
+    if (!e.empty()) return false;
+  }
+  return true;
+}
+
+std::vector<std::set<VarId>> ToSets(const std::vector<Schema>& edges) {
+  std::vector<std::set<VarId>> out;
+  out.reserve(edges.size());
+  for (const auto& e : edges) out.emplace_back(e.begin(), e.end());
+  return out;
+}
+
+}  // namespace
+
+bool IsAlphaAcyclic(const std::vector<Schema>& edges) { return GyoReduces(ToSets(edges)); }
+
+bool IsAlphaAcyclic(const ConjunctiveQuery& q) {
+  std::vector<Schema> edges;
+  for (const auto& atom : q.atoms()) edges.push_back(atom.schema);
+  return IsAlphaAcyclic(edges);
+}
+
+bool IsFreeConnex(const std::vector<Schema>& edges, const Schema& free) {
+  if (!IsAlphaAcyclic(edges)) return false;
+  std::vector<Schema> extended = edges;
+  extended.push_back(free);
+  return IsAlphaAcyclic(extended);
+}
+
+bool IsFreeConnex(const ConjunctiveQuery& q) {
+  std::vector<Schema> edges;
+  for (const auto& atom : q.atoms()) edges.push_back(atom.schema);
+  return IsFreeConnex(edges, q.free_vars());
+}
+
+std::vector<std::vector<int>> ConnectedComponents(const std::vector<Schema>& edges) {
+  const int n = static_cast<int>(edges.size());
+  std::vector<int> component(static_cast<size_t>(n), -1);
+  std::vector<std::vector<int>> groups;
+  for (int i = 0; i < n; ++i) {
+    if (component[static_cast<size_t>(i)] >= 0) continue;
+    const int id = static_cast<int>(groups.size());
+    groups.push_back({});
+    // BFS over atoms sharing variables.
+    std::vector<int> queue = {i};
+    component[static_cast<size_t>(i)] = id;
+    while (!queue.empty()) {
+      const int a = queue.back();
+      queue.pop_back();
+      groups[static_cast<size_t>(id)].push_back(a);
+      for (int b = 0; b < n; ++b) {
+        if (component[static_cast<size_t>(b)] >= 0) continue;
+        if (!edges[static_cast<size_t>(a)].Intersect(edges[static_cast<size_t>(b)]).empty()) {
+          component[static_cast<size_t>(b)] = id;
+          queue.push_back(b);
+        }
+      }
+    }
+    std::sort(groups[static_cast<size_t>(id)].begin(), groups[static_cast<size_t>(id)].end());
+  }
+  return groups;
+}
+
+}  // namespace ivme

@@ -1,0 +1,35 @@
+// Hypergraph acyclicity via GYO reduction, plus the free-connex test
+// (Section 3, "Queries"; [14]). These work for arbitrary conjunctive
+// queries, not only hierarchical ones, and serve as the ground truth the
+// hierarchical shortcuts are tested against.
+#ifndef IVME_QUERY_HYPERGRAPH_H_
+#define IVME_QUERY_HYPERGRAPH_H_
+
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/query/query.h"
+
+namespace ivme {
+
+/// True when the hypergraph with the given hyperedges is α-acyclic
+/// (GYO reduction succeeds). Empty edge sets are acyclic.
+bool IsAlphaAcyclic(const std::vector<Schema>& edges);
+
+/// α-acyclicity of a query's body.
+bool IsAlphaAcyclic(const ConjunctiveQuery& q);
+
+/// Free-connex test for α-acyclic queries: Q is free-connex iff Q is
+/// α-acyclic and Q extended with a head atom over free(Q) is α-acyclic [14].
+bool IsFreeConnex(const std::vector<Schema>& edges, const Schema& free);
+
+bool IsFreeConnex(const ConjunctiveQuery& q);
+
+/// Connected components of the hypergraph (atoms grouped by shared
+/// variables); isolated atoms form their own components. Returns atom-index
+/// groups in first-occurrence order.
+std::vector<std::vector<int>> ConnectedComponents(const std::vector<Schema>& edges);
+
+}  // namespace ivme
+
+#endif  // IVME_QUERY_HYPERGRAPH_H_

@@ -1,0 +1,199 @@
+#include "src/query/query.h"
+
+#include <cctype>
+#include <map>
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+namespace {
+
+// Minimal recursive-descent tokenizer for the textual query format.
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  void SkipSpace() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+
+  // Identifier: [A-Za-z_][A-Za-z0-9_']*
+  std::optional<std::string> Ident() {
+    SkipSpace();
+    size_t start = pos;
+    if (pos < text.size() &&
+        (std::isalpha(static_cast<unsigned char>(text[pos])) || text[pos] == '_')) {
+      ++pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) || text[pos] == '_' ||
+              text[pos] == '\'')) {
+        ++pos;
+      }
+      return text.substr(start, pos - start);
+    }
+    return std::nullopt;
+  }
+
+  // Parses "Name ( v1, v2, ... )" with a possibly empty variable list.
+  std::optional<std::pair<std::string, std::vector<std::string>>> AtomText() {
+    auto name = Ident();
+    if (!name.has_value()) return std::nullopt;
+    if (!Eat('(')) return std::nullopt;
+    std::vector<std::string> vars;
+    if (!Eat(')')) {
+      while (true) {
+        auto v = Ident();
+        if (!v.has_value()) return std::nullopt;
+        vars.push_back(*v);
+        if (Eat(')')) break;
+        if (!Eat(',')) return std::nullopt;
+      }
+    }
+    return std::make_pair(*name, std::move(vars));
+  }
+};
+
+}  // namespace
+
+std::optional<ConjunctiveQuery> ConjunctiveQuery::Parse(const std::string& text) {
+  Parser p(text);
+  auto head = p.AtomText();
+  if (!head.has_value()) return std::nullopt;
+  if (!p.Eat('=')) return std::nullopt;
+  std::vector<std::pair<std::string, std::vector<std::string>>> atoms;
+  while (true) {
+    auto atom = p.AtomText();
+    if (!atom.has_value()) return std::nullopt;
+    atoms.push_back(std::move(*atom));
+    if (p.AtEnd()) break;
+    if (!p.Eat(',')) return std::nullopt;
+  }
+  if (atoms.empty()) return std::nullopt;
+  // Head variables must occur in the body, and atoms must not be nullary
+  // (footnote 1 of the paper: at least one atom has a non-empty schema; we
+  // require it of every atom).
+  for (const auto& [name, vars] : atoms) {
+    if (vars.empty()) return std::nullopt;
+    // Variables within an atom must be distinct.
+    for (size_t i = 0; i < vars.size(); ++i) {
+      for (size_t j = i + 1; j < vars.size(); ++j) {
+        if (vars[i] == vars[j]) return std::nullopt;
+      }
+    }
+  }
+  for (const auto& hv : head->second) {
+    bool found = false;
+    for (const auto& [name, vars] : atoms) {
+      for (const auto& v : vars) {
+        if (v == hv) found = true;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  // Head variables must be distinct.
+  for (size_t i = 0; i < head->second.size(); ++i) {
+    for (size_t j = i + 1; j < head->second.size(); ++j) {
+      if (head->second[i] == head->second[j]) return std::nullopt;
+    }
+  }
+  return Make(head->first, head->second, atoms);
+}
+
+ConjunctiveQuery ConjunctiveQuery::Make(
+    const std::string& name, const std::vector<std::string>& head,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>& atoms) {
+  ConjunctiveQuery q;
+  q.name_ = name;
+  auto var_id = [&q](const std::string& var_name) -> VarId {
+    for (size_t i = 0; i < q.var_names_.size(); ++i) {
+      if (q.var_names_[i] == var_name) return static_cast<VarId>(i);
+    }
+    q.var_names_.push_back(var_name);
+    return static_cast<VarId>(q.var_names_.size() - 1);
+  };
+  // Assign ids to body variables in order of first occurrence, then build
+  // the head (head vars are checked to exist by Parse; Make trusts callers).
+  for (const auto& [rel, vars] : atoms) {
+    std::vector<VarId> ids;
+    ids.reserve(vars.size());
+    for (const auto& v : vars) ids.push_back(var_id(v));
+    q.atoms_.push_back(Atom{rel, Schema(std::move(ids))});
+  }
+  std::vector<VarId> head_ids;
+  head_ids.reserve(head.size());
+  for (const auto& v : head) head_ids.push_back(var_id(v));
+  q.free_ = Schema(std::move(head_ids));
+  q.Finalize();
+  return q;
+}
+
+void ConjunctiveQuery::Finalize() {
+  std::vector<VarId> all;
+  for (size_t i = 0; i < var_names_.size(); ++i) all.push_back(static_cast<VarId>(i));
+  all_vars_ = Schema(std::move(all));
+  atoms_of_.assign(var_names_.size(), {});
+  for (size_t a = 0; a < atoms_.size(); ++a) {
+    for (VarId v : atoms_[a].schema) {
+      atoms_of_[static_cast<size_t>(v)].push_back(static_cast<int>(a));
+    }
+  }
+  for (VarId v : free_) {
+    IVME_CHECK_MSG(!atoms_of_[static_cast<size_t>(v)].empty(),
+                   "free variable " << var_name(v) << " does not occur in the body");
+  }
+}
+
+VarId ConjunctiveQuery::FindVar(const std::string& name) const {
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    if (var_names_[i] == name) return static_cast<VarId>(i);
+  }
+  return kInvalidVar;
+}
+
+std::vector<std::string> ConjunctiveQuery::RelationNames() const {
+  std::vector<std::string> names;
+  for (const auto& atom : atoms_) {
+    bool seen = false;
+    for (const auto& n : names) {
+      if (n == atom.relation) seen = true;
+    }
+    if (!seen) names.push_back(atom.relation);
+  }
+  return names;
+}
+
+bool ConjunctiveQuery::HasRepeatedSymbol(const std::string& rel) const {
+  int count = 0;
+  for (const auto& atom : atoms_) {
+    if (atom.relation == rel) ++count;
+  }
+  return count > 1;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = name_ + free_.ToString(var_names_) + " = ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms_[i].relation + atoms_[i].schema.ToString(var_names_);
+  }
+  return out;
+}
+
+}  // namespace ivme

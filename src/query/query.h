@@ -1,0 +1,86 @@
+// Conjunctive queries (Section 3): Q(F) = R1(X1), ..., Rn(Xn).
+#ifndef IVME_QUERY_QUERY_H_
+#define IVME_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/data/schema.h"
+
+namespace ivme {
+
+/// A query atom R(X): relation symbol plus schema. The same relation symbol
+/// may appear in several atoms (repeating relation symbols / self-joins).
+struct Atom {
+  std::string relation;
+  Schema schema;
+};
+
+/// A conjunctive query with a fixed set of named variables. Variable ids are
+/// dense indexes into `var_names()`.
+class ConjunctiveQuery {
+ public:
+  /// Parses "Q(A, C) = R(A, B), S(B, C)". Variables are single identifiers;
+  /// the head may be empty ("Q() = ...") for Boolean queries. Returns
+  /// std::nullopt on malformed input.
+  static std::optional<ConjunctiveQuery> Parse(const std::string& text);
+
+  /// Programmatic construction; atom schemas and the head use variable
+  /// names, resolved (and created) in order of first occurrence.
+  static ConjunctiveQuery Make(
+      const std::string& name, const std::vector<std::string>& head,
+      const std::vector<std::pair<std::string, std::vector<std::string>>>& atoms);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const Atom& atom(size_t i) const { return atoms_[i]; }
+  size_t num_atoms() const { return atoms_.size(); }
+
+  /// The free variables F (the head schema).
+  const Schema& free_vars() const { return free_; }
+
+  /// vars(Q), ordered by variable id.
+  const Schema& all_vars() const { return all_vars_; }
+
+  size_t num_vars() const { return var_names_.size(); }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  const std::string& var_name(VarId v) const { return var_names_[static_cast<size_t>(v)]; }
+
+  /// Id of a variable name, or kInvalidVar.
+  VarId FindVar(const std::string& name) const;
+
+  bool IsFree(VarId v) const { return free_.Contains(v); }
+  bool IsBound(VarId v) const { return !IsFree(v); }
+
+  /// atoms(X): indices of atoms whose schema contains `v`.
+  const std::vector<int>& AtomsOf(VarId v) const {
+    return atoms_of_[static_cast<size_t>(v)];
+  }
+
+  /// free(Q) = vars(Q): no bound variables.
+  bool IsFull() const { return free_.size() == all_vars_.size(); }
+
+  /// Distinct relation symbols, in order of first occurrence.
+  std::vector<std::string> RelationNames() const;
+
+  /// True when `rel` names more than one atom.
+  bool HasRepeatedSymbol(const std::string& rel) const;
+
+  std::string ToString() const;
+
+ private:
+  ConjunctiveQuery() = default;
+  void Finalize();
+
+  std::string name_;
+  std::vector<std::string> var_names_;
+  Schema free_;
+  Schema all_vars_;
+  std::vector<Atom> atoms_;
+  std::vector<std::vector<int>> atoms_of_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_QUERY_QUERY_H_

@@ -1,0 +1,451 @@
+#include "src/query/variable_order.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/query/classify.h"
+
+namespace ivme {
+
+namespace {
+
+// Connected components of `atom_indices` where two atoms are adjacent when
+// they share an *active* (not yet placed) variable.
+std::vector<std::vector<int>> ActiveComponents(const ConjunctiveQuery& q,
+                                               const std::vector<int>& atom_indices,
+                                               const std::set<VarId>& placed) {
+  std::vector<std::vector<int>> groups;
+  std::vector<bool> done(atom_indices.size(), false);
+  auto shares_active = [&](int a, int b) {
+    for (VarId v : q.atom(static_cast<size_t>(a)).schema) {
+      if (placed.count(v) > 0) continue;
+      if (q.atom(static_cast<size_t>(b)).schema.Contains(v)) return true;
+    }
+    return false;
+  };
+  for (size_t i = 0; i < atom_indices.size(); ++i) {
+    if (done[i]) continue;
+    std::vector<int> group = {atom_indices[i]};
+    done[i] = true;
+    // BFS by repeated scans (atom counts are tiny).
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (size_t j = 0; j < atom_indices.size(); ++j) {
+        if (done[j]) continue;
+        for (int a : group) {
+          if (shares_active(a, atom_indices[j])) {
+            group.push_back(atom_indices[j]);
+            done[j] = true;
+            grew = true;
+            break;
+          }
+        }
+      }
+    }
+    std::sort(group.begin(), group.end());
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+// Recursively builds canonical subtrees for the given atoms; `placed` holds
+// the variables already fixed on the path above.
+std::vector<std::unique_ptr<VONode>> BuildCanonical(const ConjunctiveQuery& q,
+                                                    const std::vector<int>& atom_indices,
+                                                    std::set<VarId>* placed) {
+  std::vector<std::unique_ptr<VONode>> result;
+  for (const auto& component : ActiveComponents(q, atom_indices, *placed)) {
+    // Active variables occurring in every atom of the component.
+    std::vector<VarId> top;
+    {
+      const Schema& first = q.atom(static_cast<size_t>(component[0])).schema;
+      for (VarId v : first) {
+        if (placed->count(v) > 0) continue;
+        bool in_all = true;
+        for (int a : component) {
+          if (!q.atom(static_cast<size_t>(a)).schema.Contains(v)) {
+            in_all = false;
+            break;
+          }
+        }
+        if (in_all) top.push_back(v);
+      }
+      std::sort(top.begin(), top.end());
+    }
+
+    if (top.empty()) {
+      // No shared active variable: only possible for a lone atom whose
+      // variables are all placed (its leaf hangs directly here).
+      IVME_CHECK_MSG(component.size() == 1,
+                     "non-hierarchical query passed to canonical variable order");
+      auto leaf = std::make_unique<VONode>();
+      leaf->kind = VONode::Kind::kAtom;
+      leaf->atom_index = component[0];
+      result.push_back(std::move(leaf));
+      continue;
+    }
+
+    // Chain of top variables.
+    std::unique_ptr<VONode> chain_root;
+    VONode* chain_tail = nullptr;
+    for (VarId v : top) {
+      auto node = std::make_unique<VONode>();
+      node->kind = VONode::Kind::kVariable;
+      node->var = v;
+      VONode* raw = node.get();
+      if (chain_tail == nullptr) {
+        chain_root = std::move(node);
+      } else {
+        chain_tail->children.push_back(std::move(node));
+      }
+      chain_tail = raw;
+      placed->insert(v);
+    }
+
+    // Atoms fully consumed by the chain become leaves of the chain tail;
+    // the rest recurse with the top variables placed. Variable subtrees are
+    // attached before atom leaves, matching the paper's figures.
+    std::vector<int> remaining;
+    std::vector<std::unique_ptr<VONode>> atom_leaves;
+    for (int a : component) {
+      bool consumed = true;
+      for (VarId v : q.atom(static_cast<size_t>(a)).schema) {
+        if (placed->count(v) == 0) {
+          consumed = false;
+          break;
+        }
+      }
+      if (consumed) {
+        auto leaf = std::make_unique<VONode>();
+        leaf->kind = VONode::Kind::kAtom;
+        leaf->atom_index = a;
+        atom_leaves.push_back(std::move(leaf));
+      } else {
+        remaining.push_back(a);
+      }
+    }
+    for (auto& subtree : BuildCanonical(q, remaining, placed)) {
+      chain_tail->children.push_back(std::move(subtree));
+    }
+    for (auto& leaf : atom_leaves) chain_tail->children.push_back(std::move(leaf));
+    // The placed top variables stay placed for ancestors' bookkeeping only
+    // within this path; siblings in other components never see them since
+    // components do not share variables. Unplace for safety.
+    for (VarId v : top) placed->erase(v);
+    result.push_back(std::move(chain_root));
+  }
+  return result;
+}
+
+void AnnotateNode(const ConjunctiveQuery& q, VONode* node, VONode* parent, const Schema& anc,
+                  int depth) {
+  node->parent = parent;
+  node->anc = anc;
+  node->depth = depth;
+  node->subtree_vars = Schema();
+  node->subtree_atoms.clear();
+  if (node->IsVariable()) {
+    node->subtree_vars.Append(node->var);
+  } else {
+    node->subtree_atoms.push_back(node->atom_index);
+  }
+  Schema child_anc = anc;
+  if (node->IsVariable()) child_anc.Append(node->var);
+  const int child_depth = node->IsVariable() ? depth + 1 : depth;
+  for (auto& child : node->children) {
+    AnnotateNode(q, child.get(), node, child_anc, child_depth);
+    node->subtree_vars = node->subtree_vars.Union(child->subtree_vars);
+    for (int a : child->subtree_atoms) node->subtree_atoms.push_back(a);
+  }
+  // dep(X) = ancestors on which the subtree's atoms depend.
+  Schema atom_vars;
+  for (int a : node->subtree_atoms) {
+    atom_vars = atom_vars.Union(q.atom(static_cast<size_t>(a)).schema);
+  }
+  node->dep = node->anc.Intersect(atom_vars);
+}
+
+// Deep copy of a subtree (annotations are recomputed afterwards).
+std::unique_ptr<VONode> CloneNode(const VONode* node) {
+  auto copy = std::make_unique<VONode>();
+  copy->kind = node->kind;
+  copy->var = node->var;
+  copy->atom_index = node->atom_index;
+  for (const auto& child : node->children) {
+    copy->children.push_back(CloneNode(child.get()));
+  }
+  return copy;
+}
+
+// Restriction ω|keep (Appendix B.1): removes variable nodes not in `keep`,
+// hoisting their children; atoms are dropped entirely (they are re-attached
+// under their lowest variable afterwards). Returns the resulting forest.
+std::vector<std::unique_ptr<VONode>> RestrictVars(std::unique_ptr<VONode> node,
+                                                  const std::set<VarId>& keep) {
+  std::vector<std::unique_ptr<VONode>> hoisted;
+  std::vector<std::unique_ptr<VONode>> children = std::move(node->children);
+  node->children.clear();
+  for (auto& child : children) {
+    for (auto& sub : RestrictVars(std::move(child), keep)) {
+      hoisted.push_back(std::move(sub));
+    }
+  }
+  if (node->IsAtom()) {
+    // Atoms re-attached later.
+    return hoisted;
+  }
+  if (keep.count(node->var) == 0) {
+    return hoisted;  // eliminate this variable; children float up
+  }
+  for (auto& sub : hoisted) node->children.push_back(std::move(sub));
+  std::vector<std::unique_ptr<VONode>> result;
+  result.push_back(std::move(node));
+  return result;
+}
+
+// Collects variable nodes of a subtree in (depth, name)-order — a
+// topological order of ω_X with lexicographic tie-breaks.
+void CollectVars(const ConjunctiveQuery& q, const VONode* node,
+                 std::vector<const VONode*>* out) {
+  if (node->IsVariable()) out->push_back(node);
+  for (const auto& child : node->children) CollectVars(q, child.get(), out);
+}
+
+}  // namespace
+
+VariableOrder VariableOrder::Canonical(const ConjunctiveQuery& q) {
+  IVME_CHECK_MSG(IsHierarchical(q),
+                 "canonical variable orders exist only for hierarchical queries: "
+                     << q.ToString());
+  std::vector<int> all_atoms;
+  for (size_t a = 0; a < q.num_atoms(); ++a) all_atoms.push_back(static_cast<int>(a));
+  std::set<VarId> placed;
+  VariableOrder vo;
+  vo.roots_ = BuildCanonical(q, all_atoms, &placed);
+  vo.Annotate(q);
+  return vo;
+}
+
+VariableOrder VariableOrder::FreeTopOfCanonical(const ConjunctiveQuery& q) {
+  VariableOrder vo = Canonical(q);
+
+  // hBF: bound variables that have a free variable below and no bound
+  // variable above.
+  std::vector<VONode*> hbf;
+  std::function<void(VONode*, bool)> scan = [&](VONode* node, bool bound_above) {
+    if (node->IsVariable() && q.IsBound(node->var)) {
+      bool free_below = false;
+      for (VarId v : node->subtree_vars) {
+        if (v != node->var && q.IsFree(v)) free_below = true;
+      }
+      if (!bound_above && free_below) {
+        hbf.push_back(node);
+        return;  // descendants have a bound ancestor now
+      }
+      bound_above = true;
+    }
+    for (auto& child : node->children) scan(child.get(), bound_above);
+  };
+  for (auto& root : vo.roots_) scan(root.get(), false);
+
+  for (VONode* x : hbf) {
+    // Free variables of ω_X in (depth, name) order.
+    std::vector<const VONode*> vars;
+    CollectVars(q, x, &vars);
+    std::vector<const VONode*> free_nodes;
+    for (const VONode* n : vars) {
+      if (q.IsFree(n->var)) free_nodes.push_back(n);
+    }
+    std::sort(free_nodes.begin(), free_nodes.end(), [&](const VONode* a, const VONode* b) {
+      if (a->depth != b->depth) return a->depth < b->depth;
+      return q.var_name(a->var) < q.var_name(b->var);
+    });
+    if (free_nodes.empty()) continue;
+
+    // Detach ω_X from its parent slot.
+    std::unique_ptr<VONode> subtree;
+    std::vector<std::unique_ptr<VONode>>* slot_owner;
+    size_t slot_index = 0;
+    if (x->parent != nullptr) {
+      slot_owner = &x->parent->children;
+    } else {
+      slot_owner = &vo.roots_;
+    }
+    for (size_t i = 0; i < slot_owner->size(); ++i) {
+      if ((*slot_owner)[i].get() == x) {
+        subtree = std::move((*slot_owner)[i]);
+        slot_index = i;
+        break;
+      }
+    }
+    IVME_CHECK(subtree != nullptr);
+
+    // Remember the atoms of the subtree for re-attachment.
+    const std::vector<int> atoms = subtree->subtree_atoms;
+
+    // Build the free chain F1 → ... → Fn.
+    std::set<VarId> bound_keep;
+    for (VarId v : subtree->subtree_vars) {
+      if (q.IsBound(v)) bound_keep.insert(v);
+    }
+    auto chain_root = std::make_unique<VONode>();
+    chain_root->kind = VONode::Kind::kVariable;
+    chain_root->var = free_nodes[0]->var;
+    VONode* tail = chain_root.get();
+    for (size_t i = 1; i < free_nodes.size(); ++i) {
+      auto node = std::make_unique<VONode>();
+      node->kind = VONode::Kind::kVariable;
+      node->var = free_nodes[i]->var;
+      VONode* raw = node.get();
+      tail->children.push_back(std::move(node));
+      tail = raw;
+    }
+
+    // Restriction of ω_X to its bound variables, hung below the chain.
+    auto restricted = RestrictVars(std::move(subtree), bound_keep);
+    IVME_CHECK_MSG(restricted.size() == 1, "restriction must keep the bound root connected");
+    tail->children.push_back(std::move(restricted[0]));
+
+    // Re-attach the atoms of ω_X under their lowest variable in the new
+    // subtree. All schema variables above the chain stay ancestors, so the
+    // lowest variable is within this subtree.
+    (*slot_owner)[slot_index] = std::move(chain_root);
+    VONode* new_subtree = (*slot_owner)[slot_index].get();
+    // Depth of each variable within the new subtree.
+    std::vector<std::pair<VONode*, int>> var_depth;
+    std::function<void(VONode*, int)> collect = [&](VONode* node, int d) {
+      if (node->IsVariable()) var_depth.push_back({node, d});
+      for (auto& child : node->children) collect(child.get(), d + 1);
+    };
+    collect(new_subtree, 0);
+    for (int a : atoms) {
+      VONode* lowest = nullptr;
+      int lowest_depth = -1;
+      for (auto& [node, d] : var_depth) {
+        if (q.atom(static_cast<size_t>(a)).schema.Contains(node->var) && d > lowest_depth) {
+          lowest = node;
+          lowest_depth = d;
+        }
+      }
+      IVME_CHECK_MSG(lowest != nullptr, "atom has no variable inside its transformed subtree");
+      auto leaf = std::make_unique<VONode>();
+      leaf->kind = VONode::Kind::kAtom;
+      leaf->atom_index = a;
+      lowest->children.push_back(std::move(leaf));
+    }
+  }
+
+  vo.Annotate(q);
+  return vo;
+}
+
+VONode* VariableOrder::FindVar(VarId v) const {
+  std::function<VONode*(VONode*)> find = [&](VONode* node) -> VONode* {
+    if (node->IsVariable() && node->var == v) return node;
+    for (auto& child : node->children) {
+      if (VONode* hit = find(child.get())) return hit;
+    }
+    return nullptr;
+  };
+  for (const auto& root : roots_) {
+    if (VONode* hit = find(root.get())) return hit;
+  }
+  return nullptr;
+}
+
+bool VariableOrder::IsFreeTop(const ConjunctiveQuery& q) const {
+  std::function<bool(const VONode*, bool)> ok = [&](const VONode* node, bool bound_above) {
+    if (node->IsVariable()) {
+      if (q.IsFree(node->var) && bound_above) return false;
+      if (q.IsBound(node->var)) bound_above = true;
+    }
+    for (const auto& child : node->children) {
+      if (!ok(child.get(), bound_above)) return false;
+    }
+    return true;
+  };
+  for (const auto& root : roots_) {
+    if (!ok(root.get(), false)) return false;
+  }
+  return true;
+}
+
+bool VariableOrder::IsValidFor(const ConjunctiveQuery& q) const {
+  std::set<VarId> seen_vars;
+  std::set<int> seen_atoms;
+  bool ok = true;
+  std::function<void(const VONode*)> visit = [&](const VONode* node) {
+    if (node->IsVariable()) {
+      if (!seen_vars.insert(node->var).second) ok = false;
+    } else {
+      if (!seen_atoms.insert(node->atom_index).second) ok = false;
+      const Schema& schema = q.atom(static_cast<size_t>(node->atom_index)).schema;
+      // Variables on the root path.
+      if (!node->anc.ContainsAll(schema)) ok = false;
+      // Atom is a child of its lowest variable: the parent is a variable in
+      // the schema (nullary atoms are rejected upstream).
+      if (node->parent == nullptr || !node->parent->IsVariable() ||
+          !schema.Contains(node->parent->var)) {
+        ok = false;
+      }
+      if (!node->children.empty()) ok = false;
+    }
+    for (const auto& child : node->children) visit(child.get());
+  };
+  for (const auto& root : roots_) visit(root.get());
+  if (seen_vars.size() != q.num_vars()) ok = false;
+  if (seen_atoms.size() != q.num_atoms()) ok = false;
+  return ok;
+}
+
+bool VariableOrder::IsCanonicalFor(const ConjunctiveQuery& q) const {
+  if (!IsValidFor(q)) return false;
+  bool ok = true;
+  std::function<void(const VONode*)> visit = [&](const VONode* node) {
+    if (node->IsAtom()) {
+      const Schema& schema = q.atom(static_cast<size_t>(node->atom_index)).schema;
+      if (!schema.SameSet(node->anc)) ok = false;
+    }
+    for (const auto& child : node->children) visit(child.get());
+  };
+  for (const auto& root : roots_) visit(root.get());
+  return ok;
+}
+
+void VariableOrder::Annotate(const ConjunctiveQuery& q) {
+  for (auto& root : roots_) AnnotateNode(q, root.get(), nullptr, Schema(), 0);
+}
+
+std::string VariableOrder::ToString(const ConjunctiveQuery& q) const {
+  std::function<std::string(const VONode*)> render = [&](const VONode* node) -> std::string {
+    std::string out;
+    if (node->IsVariable()) {
+      out = q.var_name(node->var);
+    } else {
+      const auto& atom = q.atom(static_cast<size_t>(node->atom_index));
+      out = atom.relation + atom.schema.ToString(q.var_names());
+    }
+    if (!node->children.empty()) {
+      out += " - {";
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        if (i > 0) out += "; ";
+        out += render(node->children[i].get());
+      }
+      out += "}";
+    }
+    return out;
+  };
+  std::vector<std::string> parts;
+  for (const auto& root : roots_) parts.push_back(render(root.get()));
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace ivme

@@ -1,0 +1,87 @@
+// Variable orders (Definition 13): forests with one node per variable or
+// atom, where every atom's variables lie on its root path and each atom
+// hangs below its lowest variable. Provides the canonical variable order of
+// a hierarchical query (Section 3) and the canonical → free-top
+// transformation of Appendix B.1.
+#ifndef IVME_QUERY_VARIABLE_ORDER_H_
+#define IVME_QUERY_VARIABLE_ORDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/query/query.h"
+
+namespace ivme {
+
+/// A node of a variable order: either a query variable or an atom leaf.
+struct VONode {
+  enum class Kind { kVariable, kAtom };
+
+  Kind kind = Kind::kVariable;
+  VarId var = kInvalidVar;  // when kVariable
+  int atom_index = -1;      // when kAtom
+  VONode* parent = nullptr;
+  std::vector<std::unique_ptr<VONode>> children;
+
+  // Annotations (filled by VariableOrder::Annotate):
+  Schema anc;                      ///< ancestor variables, root first
+  Schema dep;                      ///< dep_ω(X) = anc(X) ∩ vars(atoms(ω_X))
+  Schema subtree_vars;             ///< variables of ω_X including X
+  std::vector<int> subtree_atoms;  ///< atom indices at the leaves of ω_X
+  int depth = 0;                   ///< #variable ancestors
+
+  bool IsVariable() const { return kind == Kind::kVariable; }
+  bool IsAtom() const { return kind == Kind::kAtom; }
+  bool HasSiblings() const { return parent != nullptr && parent->children.size() > 1; }
+};
+
+/// A variable order for a query: a forest of VONodes (one tree per
+/// connected component of the query hypergraph).
+class VariableOrder {
+ public:
+  VariableOrder() = default;
+  VariableOrder(VariableOrder&&) = default;
+  VariableOrder& operator=(VariableOrder&&) = default;
+
+  /// The canonical variable order (unique up to orderings of variables with
+  /// identical atom sets; ties broken by ascending variable id). The query
+  /// must be hierarchical.
+  static VariableOrder Canonical(const ConjunctiveQuery& q);
+
+  /// free-top(canonical ω): moves free variables above bound ones in each
+  /// subtree rooted at a highest bound ancestor-of-free variable
+  /// (Appendix B.1). Valid and free-top by Lemma 33; achieves the optimal
+  /// static and dynamic widths (Lemmas 36, 37 and Prop. 3).
+  static VariableOrder FreeTopOfCanonical(const ConjunctiveQuery& q);
+
+  const std::vector<std::unique_ptr<VONode>>& roots() const { return roots_; }
+
+  /// The variable node for `v`, or nullptr.
+  VONode* FindVar(VarId v) const;
+
+  /// No bound variable has a free variable below it.
+  bool IsFreeTop(const ConjunctiveQuery& q) const;
+
+  /// Structural validity: every atom's variables on its root path, atoms
+  /// below their lowest variable, every variable/atom exactly once.
+  bool IsValidFor(const ConjunctiveQuery& q) const;
+
+  /// Canonical shape: the variables of the leaf atom of each root-to-leaf
+  /// path are exactly the inner nodes of the path.
+  bool IsCanonicalFor(const ConjunctiveQuery& q) const;
+
+  /// Recomputes all node annotations (anc/dep/subtree/depth/parent).
+  void Annotate(const ConjunctiveQuery& q);
+
+  /// Rendering such as "A - {B - {R(A,B)}; S(A)}" for tests and debugging.
+  std::string ToString(const ConjunctiveQuery& q) const;
+
+ private:
+  std::vector<std::unique_ptr<VONode>> roots_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_QUERY_VARIABLE_ORDER_H_

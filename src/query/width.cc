@@ -1,0 +1,64 @@
+#include "src/query/width.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/common/check.h"
+#include "src/query/classify.h"
+
+namespace ivme {
+
+namespace {
+
+std::vector<Schema> AtomSchemas(const ConjunctiveQuery& q) {
+  std::vector<Schema> atoms;
+  for (const auto& atom : q.atoms()) atoms.push_back(atom.schema);
+  return atoms;
+}
+
+}  // namespace
+
+int StaticWidthOf(const ConjunctiveQuery& q, const VariableOrder& vo) {
+  const auto atoms = AtomSchemas(q);
+  int width = 0;
+  std::function<void(const VONode*)> visit = [&](const VONode* node) {
+    if (node->IsVariable()) {
+      Schema targets = node->dep;
+      targets = targets.Union(Schema({node->var}));
+      width = std::max(width, MinAtomCover(atoms, targets));
+    }
+    for (const auto& child : node->children) visit(child.get());
+  };
+  for (const auto& root : vo.roots()) visit(root.get());
+  return width;
+}
+
+int DynamicWidthOf(const ConjunctiveQuery& q, const VariableOrder& vo) {
+  const auto atoms = AtomSchemas(q);
+  int width = 0;
+  std::function<void(const VONode*)> visit = [&](const VONode* node) {
+    if (node->IsVariable()) {
+      Schema base = node->dep;
+      base = base.Union(Schema({node->var}));
+      for (int a : node->subtree_atoms) {
+        const Schema targets = base.Minus(q.atom(static_cast<size_t>(a)).schema);
+        width = std::max(width, MinAtomCover(atoms, targets));
+      }
+    }
+    for (const auto& child : node->children) visit(child.get());
+  };
+  for (const auto& root : vo.roots()) visit(root.get());
+  return width;
+}
+
+int StaticWidth(const ConjunctiveQuery& q) {
+  const VariableOrder vo = VariableOrder::FreeTopOfCanonical(q);
+  return StaticWidthOf(q, vo);
+}
+
+int DynamicWidth(const ConjunctiveQuery& q) {
+  const VariableOrder vo = VariableOrder::FreeTopOfCanonical(q);
+  return DynamicWidthOf(q, vo);
+}
+
+}  // namespace ivme

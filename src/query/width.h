@@ -1,0 +1,28 @@
+// Static width w (Definition 15) and dynamic width δ (Definition 16) of
+// hierarchical queries. Both are evaluated on free-top(canonical ω), which
+// attains the minimum over all free-top variable orders (Lemmas 33, 36, 37
+// and the proof of Proposition 3). Proposition 17: δ ∈ {w−1, w};
+// Proposition 8: δ equals the delta rank of Definition 5.
+#ifndef IVME_QUERY_WIDTH_H_
+#define IVME_QUERY_WIDTH_H_
+
+#include "src/query/query.h"
+#include "src/query/variable_order.h"
+
+namespace ivme {
+
+/// w(ω) = max_X ρ*({X} ∪ dep_ω(X)).
+int StaticWidthOf(const ConjunctiveQuery& q, const VariableOrder& vo);
+
+/// δ(ω) = max_X max_{R(Y) ∈ atoms(ω_X)} ρ*(({X} ∪ dep_ω(X)) − Y).
+int DynamicWidthOf(const ConjunctiveQuery& q, const VariableOrder& vo);
+
+/// w(Q) for a hierarchical query.
+int StaticWidth(const ConjunctiveQuery& q);
+
+/// δ(Q) for a hierarchical query.
+int DynamicWidth(const ConjunctiveQuery& q);
+
+}  // namespace ivme
+
+#endif  // IVME_QUERY_WIDTH_H_

@@ -1,0 +1,26 @@
+#include "src/storage/database.h"
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+Relation* Database::AddRelation(const std::string& name, Schema schema) {
+  IVME_CHECK_MSG(Find(name) == nullptr, "duplicate relation name " << name);
+  relations_.push_back(std::make_unique<Relation>(std::move(schema), name));
+  return relations_.back().get();
+}
+
+Relation* Database::Find(const std::string& name) const {
+  for (const auto& rel : relations_) {
+    if (rel->name() == name) return rel.get();
+  }
+  return nullptr;
+}
+
+size_t Database::TotalSize() const {
+  size_t total = 0;
+  for (const auto& rel : relations_) total += rel->size();
+  return total;
+}
+
+}  // namespace ivme

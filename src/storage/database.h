@@ -1,0 +1,37 @@
+// A database: named relations plus the total size |D| = Σ |R|.
+#ifndef IVME_STORAGE_DATABASE_H_
+#define IVME_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/relation.h"
+
+namespace ivme {
+
+/// Owns a set of named relations. Names are unique.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a relation; the name must be fresh.
+  Relation* AddRelation(const std::string& name, Schema schema);
+
+  /// Looks up by name; nullptr when absent.
+  Relation* Find(const std::string& name) const;
+
+  /// Total number of distinct tuples across all relations.
+  size_t TotalSize() const;
+
+  const std::vector<std::unique_ptr<Relation>>& relations() const { return relations_; }
+
+ private:
+  std::vector<std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_STORAGE_DATABASE_H_

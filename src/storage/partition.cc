@@ -1,0 +1,44 @@
+#include "src/storage/partition.h"
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+RelationPartition::RelationPartition(Relation* base, Schema keys, std::string light_name)
+    : base_(base),
+      keys_(std::move(keys)),
+      light_(base->schema(), std::move(light_name)),
+      base_index_id_(base->EnsureIndex(keys_)),
+      light_index_id_(light_.EnsureIndex(keys_)) {
+  IVME_CHECK_MSG(base->schema().ContainsAll(keys_),
+                 "partition keys must be a subset of the relation schema");
+}
+
+Tuple RelationPartition::KeyOf(const Tuple& tuple) const {
+  return base_->index(base_index_id_).KeyOf(tuple);
+}
+
+size_t RelationPartition::BaseCountForKey(const Tuple& key) const {
+  return base_->index(base_index_id_).CountForKey(key);
+}
+
+size_t RelationPartition::LightCountForKey(const Tuple& key) const {
+  return light_.index(light_index_id_).CountForKey(key);
+}
+
+bool RelationPartition::KeyInLight(const Tuple& key) const {
+  return light_.index(light_index_id_).ContainsKey(key);
+}
+
+void RelationPartition::StrictRepartition(size_t theta) {
+  light_.Clear();
+  const auto& base_index = base_->index(base_index_id_);
+  for (const Relation::Entry* entry = base_->First(); entry != nullptr; entry = entry->next) {
+    const Tuple key = base_index.KeyOf(entry->key);
+    if (base_index.CountForKey(key) < theta) {
+      light_.Apply(entry->key, entry->value.mult);
+    }
+  }
+}
+
+}  // namespace ivme

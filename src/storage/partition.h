@@ -1,0 +1,60 @@
+// Heavy/light partitioning of base relations (Definition 11). Only the
+// light part R^S is materialized as its own relation; the heavy part is
+// R − R^S and is never stored separately (views over heavy values read the
+// full relation, gated by heavy indicators).
+#ifndef IVME_STORAGE_PARTITION_H_
+#define IVME_STORAGE_PARTITION_H_
+
+#include <string>
+
+#include "src/storage/relation.h"
+
+namespace ivme {
+
+/// The light part R^S of a base relation R partitioned on key schema S,
+/// together with the bookkeeping needed to classify keys in O(1):
+/// an index on S over both R and R^S.
+class RelationPartition {
+ public:
+  RelationPartition(Relation* base, Schema keys, std::string light_name);
+
+  RelationPartition(const RelationPartition&) = delete;
+  RelationPartition& operator=(const RelationPartition&) = delete;
+
+  Relation* base() const { return base_; }
+  Relation* light() { return &light_; }
+  const Relation* light() const { return &light_; }
+  const Schema& keys() const { return keys_; }
+
+  /// Projects a full tuple of R onto the partition key schema.
+  Tuple KeyOf(const Tuple& tuple) const;
+
+  /// |σ_{S=key} R| in O(1).
+  size_t BaseCountForKey(const Tuple& key) const;
+
+  /// |σ_{S=key} R^S| in O(1).
+  size_t LightCountForKey(const Tuple& key) const;
+
+  /// key ∈ π_S R^S in O(1).
+  bool KeyInLight(const Tuple& key) const;
+
+  /// Rebuilds R^S as the strict partition with threshold `theta`:
+  /// key is light iff |σ_{S=key} R| < theta (Definition 11, strict
+  /// conditions). Used by major rebalancing; callers must recompute any
+  /// views over the light part afterwards.
+  void StrictRepartition(size_t theta);
+
+  int base_index_id() const { return base_index_id_; }
+  int light_index_id() const { return light_index_id_; }
+
+ private:
+  Relation* base_;
+  Schema keys_;
+  Relation light_;
+  int base_index_id_;
+  int light_index_id_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_STORAGE_PARTITION_H_

@@ -1,0 +1,134 @@
+#include "src/storage/relation.h"
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+// ---------------------------------------------------------------------------
+// Index
+// ---------------------------------------------------------------------------
+
+Relation::Index::Index(const Schema& relation_schema, Schema key_schema)
+    : key_schema_(std::move(key_schema)),
+      positions_(ProjectionPositions(relation_schema, key_schema_)) {}
+
+Relation::Index::~Index() { ClearAll(); }
+
+size_t Relation::Index::CountForKey(const Tuple& key) const {
+  const BucketNode* node = buckets_.Find(key);
+  return node != nullptr ? node->value.count : 0;
+}
+
+const Relation::IndexLink* Relation::Index::FirstForKey(const Tuple& key) const {
+  const BucketNode* node = buckets_.Find(key);
+  return node != nullptr ? node->value.head : nullptr;
+}
+
+Relation::IndexLink* Relation::Index::Add(Entry* entry) {
+  const Tuple key = KeyOf(entry->key);
+  auto [bucket_node, inserted] = buckets_.Emplace(key);
+  (void)inserted;
+  auto* link = new IndexLink();
+  link->entry = entry;
+  link->bucket_node = bucket_node;
+  // Prepend to the bucket's doubly-linked list (O(1)).
+  link->next = bucket_node->value.head;
+  if (link->next != nullptr) link->next->prev = link;
+  bucket_node->value.head = link;
+  ++bucket_node->value.count;
+  return link;
+}
+
+void Relation::Index::Remove(IndexLink* link) {
+  BucketNode* bucket_node = link->bucket_node;
+  if (link->prev != nullptr) {
+    link->prev->next = link->next;
+  } else {
+    bucket_node->value.head = link->next;
+  }
+  if (link->next != nullptr) link->next->prev = link->prev;
+  --bucket_node->value.count;
+  if (bucket_node->value.count == 0) {
+    IVME_CHECK(bucket_node->value.head == nullptr);
+    buckets_.Erase(bucket_node);
+  }
+  delete link;
+}
+
+void Relation::Index::ClearAll() {
+  for (BucketNode* node = buckets_.First(); node != nullptr; node = node->next) {
+    IndexLink* link = node->value.head;
+    while (link != nullptr) {
+      IndexLink* next = link->next;
+      delete link;
+      link = next;
+    }
+  }
+  buckets_.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Relation
+// ---------------------------------------------------------------------------
+
+Relation::Relation(Schema schema, std::string name)
+    : schema_(std::move(schema)), name_(std::move(name)) {}
+
+Mult Relation::Multiplicity(const Tuple& tuple) const {
+  const Entry* entry = map_.Find(tuple);
+  return entry != nullptr ? entry->value.mult : 0;
+}
+
+Relation::ApplyResult Relation::Apply(const Tuple& tuple, Mult delta) {
+  IVME_CHECK_MSG(tuple.size() == schema_.size(),
+                 "tuple arity " << tuple.size() << " vs schema arity " << schema_.size()
+                                << " in relation " << name_);
+  if (delta == 0) {
+    const Mult m = Multiplicity(tuple);
+    return {m, m};
+  }
+  auto [entry, inserted] = map_.Emplace(tuple);
+  const Mult before = inserted ? 0 : entry->value.mult;
+  const Mult after = before + delta;
+  if (inserted) {
+    entry->value.links.reserve(indexes_.size());
+    for (auto& index : indexes_) {
+      entry->value.links.push_back(index->Add(entry));
+    }
+  }
+  if (after == 0) {
+    for (size_t i = 0; i < indexes_.size(); ++i) {
+      indexes_[i]->Remove(entry->value.links[i]);
+    }
+    map_.Erase(entry);
+  } else {
+    entry->value.mult = after;
+  }
+  return {before, after};
+}
+
+void Relation::Clear() {
+  for (auto& index : indexes_) index->ClearAll();
+  map_.Clear();
+}
+
+int Relation::EnsureIndex(const Schema& key_schema) {
+  const int existing = FindIndexId(key_schema);
+  if (existing >= 0) return existing;
+  indexes_.push_back(std::make_unique<Index>(schema_, key_schema));
+  Index* index = indexes_.back().get();
+  // Backfill: register all current entries.
+  for (Entry* entry = map_.First(); entry != nullptr; entry = entry->next) {
+    entry->value.links.push_back(index->Add(entry));
+  }
+  return static_cast<int>(indexes_.size()) - 1;
+}
+
+int Relation::FindIndexId(const Schema& key_schema) const {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i]->key_schema() == key_schema) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace ivme

@@ -1,0 +1,153 @@
+// Relations with ℤ multiplicities plus secondary indexes, implementing the
+// full computational model of Section 3:
+//   on the primary dictionary —
+//     (1) O(1) expected lookup/insert/delete, (2) constant-delay enumeration,
+//     (3) O(1) |R|;
+//   per index on a schema S ⊂ X —
+//     (4) constant-delay enumeration of σ_{S=t}R, (5) O(1) t ∈ π_S R,
+//     (6) O(1) |σ_{S=t}R|, (7) O(1) index entry insert/delete (via
+//     back-pointers stored in the primary entries).
+#ifndef IVME_STORAGE_RELATION_H_
+#define IVME_STORAGE_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/data/tuple.h"
+#include "src/storage/tuple_map.h"
+
+namespace ivme {
+
+/// A materialized relation (base relation or view) over a fixed schema.
+class Relation {
+ public:
+  struct IndexLink;
+
+  /// Payload of a primary dictionary entry: the multiplicity plus one index
+  /// link (back-pointer) per registered index.
+  struct EntryPayload {
+    Mult mult = 0;
+    std::vector<IndexLink*> links;
+  };
+
+  using Entry = TupleMap<EntryPayload>::Node;
+
+  /// Per-key index bucket: count and head of the doubly-linked entry list.
+  struct Bucket {
+    IndexLink* head = nullptr;
+    size_t count = 0;
+  };
+
+  using BucketNode = TupleMap<Bucket>::Node;
+
+  /// Doubly-linked list node connecting an index bucket to a primary entry.
+  struct IndexLink {
+    Entry* entry = nullptr;
+    IndexLink* prev = nullptr;
+    IndexLink* next = nullptr;
+    BucketNode* bucket_node = nullptr;
+  };
+
+  /// Secondary index on a strict subset (or any subset) of the schema.
+  class Index {
+   public:
+    Index(const Schema& relation_schema, Schema key_schema);
+
+    Index(const Index&) = delete;
+    Index& operator=(const Index&) = delete;
+    ~Index();
+
+    const Schema& key_schema() const { return key_schema_; }
+
+    /// Projects a full relation tuple onto the index key schema.
+    Tuple KeyOf(const Tuple& tuple) const { return ProjectTuple(tuple, positions_); }
+
+    /// |σ_{S=key}R| in O(1).
+    size_t CountForKey(const Tuple& key) const;
+
+    /// key ∈ π_S R in O(1).
+    bool ContainsKey(const Tuple& key) const { return buckets_.Find(key) != nullptr; }
+
+    /// Number of distinct keys |π_S R| in O(1).
+    size_t DistinctKeys() const { return buckets_.size(); }
+
+    /// Head of the entry list for `key` (nullptr if the key is absent);
+    /// iterate with link->next for constant-delay σ_{S=key}R enumeration.
+    const IndexLink* FirstForKey(const Tuple& key) const;
+
+    /// First bucket in key-enumeration order; iterate with node->next.
+    const BucketNode* FirstKey() const { return buckets_.First(); }
+
+   private:
+    friend class Relation;
+
+    /// Registers `entry` under its key; returns the link to store in the
+    /// entry's payload. O(1) expected.
+    IndexLink* Add(Entry* entry);
+
+    /// Unregisters via the back-pointer. O(1).
+    void Remove(IndexLink* link);
+
+    void ClearAll();
+
+    Schema key_schema_;
+    std::vector<int> positions_;
+    TupleMap<Bucket> buckets_;
+  };
+
+  explicit Relation(Schema schema, std::string name = "");
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Number of distinct tuples |R|, O(1).
+  size_t size() const { return map_.size(); }
+
+  /// Multiplicity of `tuple` (0 when absent), O(1) expected.
+  Mult Multiplicity(const Tuple& tuple) const;
+
+  struct ApplyResult {
+    Mult before = 0;
+    Mult after = 0;
+  };
+
+  /// Adds `delta` to the multiplicity of `tuple`; erases the entry when the
+  /// multiplicity reaches 0. All indexes are maintained. O(#indexes)
+  /// expected.
+  ApplyResult Apply(const Tuple& tuple, Mult delta);
+
+  /// Removes every tuple (indexes stay registered but become empty).
+  void Clear();
+
+  /// Creates (or finds) an index on `key_schema`; returns its id.
+  int EnsureIndex(const Schema& key_schema);
+
+  /// Id of the index on `key_schema`, or -1.
+  int FindIndexId(const Schema& key_schema) const;
+
+  const Index& index(int id) const { return *indexes_[static_cast<size_t>(id)]; }
+
+  size_t num_indexes() const { return indexes_.size(); }
+
+  /// First entry in enumeration order; iterate with entry->next.
+  const Entry* First() const { return map_.First(); }
+
+  /// Entry lookup (nullptr when absent).
+  const Entry* Find(const Tuple& tuple) const { return map_.Find(tuple); }
+
+ private:
+  Schema schema_;
+  std::string name_;
+  TupleMap<EntryPayload> map_;
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_STORAGE_RELATION_H_

@@ -1,0 +1,152 @@
+// Chained hash map from Tuple keys to arbitrary payloads with
+//  (1) O(1) expected lookup / insert / delete,
+//  (2) constant-delay enumeration of entries via an intrusive doubly-linked
+//      list, and
+//  (3) O(1) size reporting,
+// i.e., operations (1)-(3) of the computational model in Section 3 of the
+// paper. Chaining (rather than open addressing) keeps node addresses stable,
+// which the secondary-index structures rely on for their back-pointers.
+#ifndef IVME_STORAGE_TUPLE_MAP_H_
+#define IVME_STORAGE_TUPLE_MAP_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/data/tuple.h"
+
+namespace ivme {
+
+template <typename T>
+class TupleMap {
+ public:
+  struct Node {
+    Tuple key;
+    T value{};
+    uint64_t hash = 0;
+    Node* chain = nullptr;  // next node in the same hash bucket
+    Node* prev = nullptr;   // intrusive enumeration list
+    Node* next = nullptr;
+  };
+
+  TupleMap() : buckets_(kInitialBuckets, nullptr) {}
+
+  TupleMap(const TupleMap&) = delete;
+  TupleMap& operator=(const TupleMap&) = delete;
+
+  ~TupleMap() { Clear(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// First node in enumeration order (insertion order), or nullptr.
+  Node* First() const { return head_; }
+
+  /// O(1) expected lookup; nullptr when absent.
+  Node* Find(const Tuple& key) const {
+    const uint64_t h = key.Hash();
+    for (Node* n = buckets_[IndexFor(h)]; n != nullptr; n = n->chain) {
+      if (n->hash == h && n->key == key) return n;
+    }
+    return nullptr;
+  }
+
+  /// Finds or default-constructs the entry for `key`. Returns the node and
+  /// whether it was newly inserted.
+  std::pair<Node*, bool> Emplace(const Tuple& key) {
+    const uint64_t h = key.Hash();
+    const size_t b = IndexFor(h);
+    for (Node* n = buckets_[b]; n != nullptr; n = n->chain) {
+      if (n->hash == h && n->key == key) return {n, false};
+    }
+    if (size_ + 1 > buckets_.size() * 3 / 4) {
+      Grow();
+    }
+    Node* n = new Node();
+    n->key = key;
+    n->hash = h;
+    const size_t b2 = IndexFor(h);
+    n->chain = buckets_[b2];
+    buckets_[b2] = n;
+    LinkBack(n);
+    ++size_;
+    return {n, true};
+  }
+
+  /// Unlinks and frees a node previously returned by Find/Emplace. O(1)
+  /// expected (walks only the node's hash chain).
+  void Erase(Node* node) {
+    const size_t b = IndexFor(node->hash);
+    Node** slot = &buckets_[b];
+    while (*slot != node) {
+      IVME_CHECK_MSG(*slot != nullptr, "node not present in its hash chain");
+      slot = &(*slot)->chain;
+    }
+    *slot = node->chain;
+    Unlink(node);
+    --size_;
+    delete node;
+  }
+
+  /// Removes all entries.
+  void Clear() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+    head_ = tail_ = nullptr;
+    size_ = 0;
+    buckets_.assign(kInitialBuckets, nullptr);
+  }
+
+ private:
+  static constexpr size_t kInitialBuckets = 16;  // power of two
+
+  size_t IndexFor(uint64_t hash) const { return hash & (buckets_.size() - 1); }
+
+  void LinkBack(Node* n) {
+    n->prev = tail_;
+    n->next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+  }
+
+  void Unlink(Node* n) {
+    if (n->prev != nullptr) {
+      n->prev->next = n->next;
+    } else {
+      head_ = n->next;
+    }
+    if (n->next != nullptr) {
+      n->next->prev = n->prev;
+    } else {
+      tail_ = n->prev;
+    }
+  }
+
+  void Grow() {
+    std::vector<Node*> old = std::move(buckets_);
+    buckets_.assign(old.size() * 2, nullptr);
+    for (Node* n = head_; n != nullptr; n = n->next) {
+      const size_t b = IndexFor(n->hash);
+      n->chain = buckets_[b];
+      buckets_[b] = n;
+    }
+  }
+
+  std::vector<Node*> buckets_;
+  size_t size_ = 0;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_STORAGE_TUPLE_MAP_H_

@@ -1,0 +1,114 @@
+#include "src/workload/generator.h"
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace ivme {
+namespace workload {
+
+namespace {
+
+std::vector<Tuple> DistinctTuples(size_t count, Rng& rng,
+                                  const std::function<Tuple()>& gen) {
+  std::set<Tuple> seen;
+  std::vector<Tuple> out;
+  size_t attempts = 0;
+  const size_t max_attempts = count * 64 + 4096;
+  while (out.size() < count) {
+    IVME_CHECK_MSG(++attempts <= max_attempts,
+                   "generator domain too small for the requested tuple count");
+    Tuple t = gen();
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  (void)rng;
+  return out;
+}
+
+}  // namespace
+
+std::vector<Tuple> UniformTuples(size_t count, size_t arity, Value domain, uint64_t seed) {
+  Rng rng(seed);
+  return DistinctTuples(count, rng, [&] {
+    Tuple t;
+    t.Reserve(arity);
+    for (size_t i = 0; i < arity; ++i) t.PushBack(static_cast<Value>(rng.Below(static_cast<uint64_t>(domain))));
+    return t;
+  });
+}
+
+std::vector<Tuple> ZipfTuples(size_t count, size_t arity, int key_col, Value num_keys,
+                              double skew, Value domain, uint64_t seed) {
+  IVME_CHECK(key_col >= 0 && static_cast<size_t>(key_col) < arity);
+  Rng rng(seed);
+  // Precompute the Zipf CDF over [0, num_keys).
+  std::vector<double> cdf(static_cast<size_t>(num_keys));
+  double total = 0;
+  for (size_t k = 0; k < cdf.size(); ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf[k] = total;
+  }
+  auto sample_key = [&]() -> Value {
+    const double pick = rng.NextDouble() * total;
+    // Binary search in the CDF.
+    size_t lo = 0, hi = cdf.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < pick) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<Value>(lo);
+  };
+  return DistinctTuples(count, rng, [&] {
+    Tuple t;
+    t.Reserve(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      if (static_cast<int>(i) == key_col) {
+        t.PushBack(sample_key());
+      } else {
+        t.PushBack(static_cast<Value>(rng.Below(static_cast<uint64_t>(domain))));
+      }
+    }
+    return t;
+  });
+}
+
+std::vector<Tuple> MatrixTuples(Value n, double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  for (Value i = 0; i < n; ++i) {
+    for (Value j = 0; j < n; ++j) {
+      if (rng.Chance(density)) out.push_back(Tuple{i, j});
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> HeavyLightPairs(size_t heavy_keys, size_t degree, size_t light_count,
+                                   bool key_first, uint64_t seed) {
+  (void)seed;
+  std::vector<Tuple> out;
+  Value partner = 0;
+  for (size_t k = 0; k < heavy_keys; ++k) {
+    for (size_t d = 0; d < degree; ++d) {
+      const Value key = static_cast<Value>(k);
+      const Value other = partner++;
+      out.push_back(key_first ? Tuple{key, other} : Tuple{other, key});
+    }
+  }
+  for (size_t k = 0; k < light_count; ++k) {
+    const Value key = static_cast<Value>(heavy_keys + k);
+    const Value other = partner++;
+    out.push_back(key_first ? Tuple{key, other} : Tuple{other, key});
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace ivme

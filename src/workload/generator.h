@@ -1,0 +1,39 @@
+// Synthetic data generators for tests, examples, and the benchmark harness:
+// uniform relations, Zipf-skewed join-key degrees (to exercise heavy/light
+// partitions), Boolean matrix encodings (Example 28), and heavy-hitter
+// mixes.
+#ifndef IVME_WORKLOAD_GENERATOR_H_
+#define IVME_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/tuple.h"
+
+namespace ivme {
+namespace workload {
+
+/// `count` distinct uniform tuples with `arity` columns over [0, domain).
+/// The domain must be large enough (domain^arity ≥ ~2·count).
+std::vector<Tuple> UniformTuples(size_t count, size_t arity, Value domain, uint64_t seed);
+
+/// `count` distinct tuples where column `key_col` follows a Zipf(skew)
+/// distribution over [0, num_keys) — a few heavy join keys, a long light
+/// tail — and the other columns are uniform over [0, domain).
+std::vector<Tuple> ZipfTuples(size_t count, size_t arity, int key_col, Value num_keys,
+                              double skew, Value domain, uint64_t seed);
+
+/// Pairs (i, j) of an n×n Boolean matrix where each cell is present with
+/// probability `density` (Example 28 / OMv encodings).
+std::vector<Tuple> MatrixTuples(Value n, double density, uint64_t seed);
+
+/// Worst-case data for Q(A,C) = R(A,B), S(B,C): `heavy_keys` B-values each
+/// paired with `degree` distinct partners (degree² output pairs per heavy
+/// key), plus `light_count` degree-1 keys.
+std::vector<Tuple> HeavyLightPairs(size_t heavy_keys, size_t degree, size_t light_count,
+                                   bool key_first, uint64_t seed);
+
+}  // namespace workload
+}  // namespace ivme
+
+#endif  // IVME_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,47 @@
+#include "src/workload/update_stream.h"
+
+#include <map>
+
+namespace ivme {
+namespace workload {
+
+std::vector<Update> MixedStream(const std::string& relation, const std::vector<Tuple>& initial,
+                                size_t count, double delete_ratio,
+                                const std::function<Tuple(Rng&)>& fresh, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> live = initial;
+  std::vector<Update> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    if (!live.empty() && rng.Chance(delete_ratio)) {
+      const size_t pick = static_cast<size_t>(rng.Below(live.size()));
+      out.push_back(Update{relation, live[pick], -1});
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      Tuple t = fresh(rng);
+      live.push_back(t);
+      out.push_back(Update{relation, std::move(t), 1});
+    }
+  }
+  return out;
+}
+
+std::vector<Update> InsertDeleteRoundTrip(const std::string& relation,
+                                          const std::vector<Tuple>& tuples, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Update> out;
+  out.reserve(tuples.size() * 2);
+  for (const Tuple& t : tuples) out.push_back(Update{relation, t, 1});
+  std::vector<size_t> order(tuples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.Below(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  for (size_t i : order) out.push_back(Update{relation, tuples[i], -1});
+  return out;
+}
+
+}  // namespace workload
+}  // namespace ivme

@@ -1,0 +1,40 @@
+// Update-stream generation: valid sequences of single-tuple inserts and
+// deletes (deletes always target live tuples).
+#ifndef IVME_WORKLOAD_UPDATE_STREAM_H_
+#define IVME_WORKLOAD_UPDATE_STREAM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/tuple.h"
+
+namespace ivme {
+namespace workload {
+
+/// A single-tuple update δR = {tuple → mult}.
+struct Update {
+  std::string relation;
+  Tuple tuple;
+  Mult mult = 1;
+};
+
+/// Generates `count` updates against one relation: with probability
+/// `delete_ratio` a delete of a uniformly chosen live tuple (skipped when
+/// none are live), otherwise an insert of `fresh(rng)`. `initial` seeds the
+/// live set (the tuples loaded before the stream starts).
+std::vector<Update> MixedStream(const std::string& relation, const std::vector<Tuple>& initial,
+                                size_t count, double delete_ratio,
+                                const std::function<Tuple(Rng&)>& fresh, uint64_t seed);
+
+/// Insert-then-delete round trips: inserts all of `tuples`, then deletes
+/// them in a shuffled order. Exercises growth across both rebalancing
+/// directions.
+std::vector<Update> InsertDeleteRoundTrip(const std::string& relation,
+                                          const std::vector<Tuple>& tuples, uint64_t seed);
+
+}  // namespace workload
+}  // namespace ivme
+
+#endif  // IVME_WORKLOAD_UPDATE_STREAM_H_

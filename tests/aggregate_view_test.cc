@@ -1,0 +1,142 @@
+// Tests for the group-by aggregate extension (paper conclusion): COUNT(*)
+// and SUM(measure) per group, maintained under updates, against reference
+// aggregates computed from a mirror.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/core/aggregate_view.h"
+#include "tests/support/catalog.h"
+
+namespace ivme {
+namespace {
+
+EngineOptions Opts(double eps) {
+  EngineOptions o;
+  o.epsilon = eps;
+  o.mode = EvalMode::kDynamic;
+  return o;
+}
+
+TEST(AggregateViewTest, CountAndSumBasics) {
+  // Orders(Customer, Item) with quantities; Stock(Item).
+  const auto q = testing::MustParse("Q(C) = Orders(C, I), Stock(I)");
+  GroupedAggregateEngine agg(q, "Orders", Opts(0.5));
+  agg.Preprocess();
+
+  // Customer 1 orders 3 of item 10 (one order line), 2 of item 11.
+  ASSERT_TRUE(agg.ApplyUpdate("Orders", Tuple{1, 10}, 1, 3));
+  ASSERT_TRUE(agg.ApplyUpdate("Orders", Tuple{1, 11}, 1, 2));
+  ASSERT_TRUE(agg.ApplyUpdate("Orders", Tuple{2, 10}, 1, 7));
+  ASSERT_TRUE(agg.ApplyUpdate("Stock", Tuple{10}, 1, 0));
+
+  auto it = agg.Enumerate();
+  Tuple group;
+  GroupedAggregateEngine::Aggregates a;
+  std::map<Tuple, std::pair<Mult, Mult>> rows;
+  while (it.Next(&group, &a)) rows[group] = {a.count, a.sum};
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.at(Tuple{1}), (std::pair<Mult, Mult>{1, 3}));  // one stocked line, qty 3
+  EXPECT_EQ(rows.at(Tuple{2}), (std::pair<Mult, Mult>{1, 7}));
+
+  // Stocking item 11 brings customer 1's second line in.
+  ASSERT_TRUE(agg.ApplyUpdate("Stock", Tuple{11}, 1, 0));
+  rows.clear();
+  it = agg.Enumerate();
+  while (it.Next(&group, &a)) rows[group] = {a.count, a.sum};
+  EXPECT_EQ(rows.at(Tuple{1}), (std::pair<Mult, Mult>{2, 5}));
+}
+
+TEST(AggregateViewTest, RejectionIsAtomic) {
+  const auto q = testing::MustParse("Q(C) = Orders(C, I), Stock(I)");
+  GroupedAggregateEngine agg(q, "Orders", Opts(0.5));
+  agg.Preprocess();
+  ASSERT_TRUE(agg.ApplyUpdate("Orders", Tuple{1, 10}, 1, 5));
+  // Deleting 2 lines (only 1 exists): both engines must stay unchanged.
+  EXPECT_FALSE(agg.ApplyUpdate("Orders", Tuple{1, 10}, -2, -10));
+  // Count valid but measure would go negative: rolled back atomically.
+  EXPECT_FALSE(agg.ApplyUpdate("Orders", Tuple{1, 10}, -1, -9));
+  EXPECT_EQ(agg.count_engine().database_size(), agg.sum_engine().database_size());
+  ASSERT_TRUE(agg.ApplyUpdate("Stock", Tuple{10}, 1, 0));
+  auto it = agg.Enumerate();
+  Tuple group;
+  GroupedAggregateEngine::Aggregates a;
+  ASSERT_TRUE(it.Next(&group, &a));
+  EXPECT_EQ(a.count, 1);
+  EXPECT_EQ(a.sum, 5);
+}
+
+TEST(AggregateViewTest, RandomStreamMatchesReferenceAcrossEps) {
+  for (double eps : {0.0, 0.5, 1.0}) {
+    const auto q = testing::MustParse("Q(C) = Orders(C, I), Stock(I)");
+    GroupedAggregateEngine agg(q, "Orders", Opts(eps));
+    agg.Preprocess();
+    Rng rng(555);
+    std::map<std::pair<Value, Value>, std::pair<Mult, Mult>> orders;  // (count, qty)
+    std::map<Value, Mult> stock;
+    for (int step = 0; step < 300; ++step) {
+      if (rng.Chance(0.6)) {
+        const Value c = rng.Range(0, 5), i = rng.Range(0, 8);
+        auto& [count, qty] = orders[{c, i}];
+        if (count > 0 && rng.Chance(0.35)) {
+          // Retract one line at its average quantity share.
+          const Mult dq = qty / count;
+          ASSERT_TRUE(agg.ApplyUpdate("Orders", Tuple{c, i}, -1, -dq));
+          count -= 1;
+          qty -= dq;
+        } else {
+          const Mult dq = rng.Range(1, 9);
+          ASSERT_TRUE(agg.ApplyUpdate("Orders", Tuple{c, i}, 1, dq));
+          count += 1;
+          qty += dq;
+        }
+      } else {
+        const Value i = rng.Range(0, 8);
+        if (stock[i] > 0 && rng.Chance(0.4)) {
+          ASSERT_TRUE(agg.ApplyUpdate("Stock", Tuple{i}, -1, 0));
+          stock[i] -= 1;
+        } else {
+          ASSERT_TRUE(agg.ApplyUpdate("Stock", Tuple{i}, 1, 0));
+          stock[i] += 1;
+        }
+      }
+      if (step % 60 != 59) continue;
+      // Reference aggregates.
+      std::map<Value, std::pair<Mult, Mult>> expected;
+      for (const auto& [key, cq] : orders) {
+        const auto& [count, qty] = cq;
+        const Mult s = stock[key.second];
+        if (count > 0 && s > 0) {
+          expected[key.first].first += count * s;
+          expected[key.first].second += qty * s;
+        }
+      }
+      std::map<Value, std::pair<Mult, Mult>> actual;
+      auto it = agg.Enumerate();
+      Tuple group;
+      GroupedAggregateEngine::Aggregates a;
+      while (it.Next(&group, &a)) actual[group[0]] = {a.count, a.sum};
+      ASSERT_EQ(actual, expected) << "eps=" << eps << " step=" << step;
+    }
+  }
+}
+
+TEST(AggregateViewTest, LoadThenPreprocess) {
+  const auto q = testing::MustParse("Q(C) = Orders(C, I), Stock(I)");
+  GroupedAggregateEngine agg(q, "Orders", Opts(0.5));
+  agg.LoadTuple("Orders", Tuple{3, 4}, 2, 11);
+  agg.LoadTuple("Stock", Tuple{4}, 3, 0);
+  agg.Preprocess();
+  auto it = agg.Enumerate();
+  Tuple group;
+  GroupedAggregateEngine::Aggregates a;
+  ASSERT_TRUE(it.Next(&group, &a));
+  EXPECT_EQ(group, Tuple{3});
+  EXPECT_EQ(a.count, 6);   // 2 lines × stock 3
+  EXPECT_EQ(a.sum, 33);    // qty 11 × stock 3
+  EXPECT_FALSE(it.Next(&group, &a));
+}
+
+}  // namespace
+}  // namespace ivme

@@ -1,0 +1,95 @@
+// Tests for the brute-force evaluator (used as ground truth elsewhere).
+#include <gtest/gtest.h>
+
+#include "src/baselines/brute_force.h"
+#include "tests/support/catalog.h"
+
+namespace ivme {
+namespace {
+
+TEST(BruteForceTest, TwoWayJoinWithProjection) {
+  const auto q = testing::MustParse("Q(A, C) = R(A, B), S(B, C)");
+  Database db;
+  Relation* r = db.AddRelation("R", Schema({0, 1}));
+  Relation* s = db.AddRelation("S", Schema({0, 1}));
+  r->Apply(Tuple{1, 10}, 1);
+  r->Apply(Tuple{2, 10}, 2);
+  s->Apply(Tuple{10, 5}, 3);
+  s->Apply(Tuple{11, 6}, 1);
+
+  const auto result = BruteForceEvaluate(q, db);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result.at(Tuple{1, 5}), 3);
+  EXPECT_EQ(result.at(Tuple{2, 5}), 6);
+}
+
+TEST(BruteForceTest, BoundVariablesSumMultiplicities) {
+  const auto q = testing::MustParse("Q(A) = R(A, B), S(B)");
+  Database db;
+  Relation* r = db.AddRelation("R", Schema({0, 1}));
+  Relation* s = db.AddRelation("S", Schema({0}));
+  r->Apply(Tuple{1, 10}, 1);
+  r->Apply(Tuple{1, 11}, 1);
+  s->Apply(Tuple{10}, 2);
+  s->Apply(Tuple{11}, 5);
+
+  const auto result = BruteForceEvaluate(q, db);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.at(Tuple{1}), 7);  // 1*2 + 1*5
+}
+
+TEST(BruteForceTest, BooleanQuery) {
+  const auto q = testing::MustParse("Q() = R(A, B), S(B)");
+  Database db;
+  Relation* r = db.AddRelation("R", Schema({0, 1}));
+  Relation* s = db.AddRelation("S", Schema({0}));
+  r->Apply(Tuple{1, 10}, 1);
+  auto result = BruteForceEvaluate(q, db);
+  EXPECT_TRUE(result.empty());
+  s->Apply(Tuple{10}, 4);
+  result = BruteForceEvaluate(q, db);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.at(Tuple{}), 4);
+}
+
+TEST(BruteForceTest, SelfJoinWithRepeatedSymbol) {
+  const auto q = testing::MustParse("Q(B, C) = R(A, B), R(A, C)");
+  Database db;
+  Relation* r = db.AddRelation("R", Schema({0, 1}));
+  r->Apply(Tuple{1, 10}, 1);
+  r->Apply(Tuple{1, 11}, 1);
+
+  const auto result = BruteForceEvaluate(q, db);
+  ASSERT_EQ(result.size(), 4u);
+  EXPECT_EQ(result.at(Tuple{10, 10}), 1);
+  EXPECT_EQ(result.at(Tuple{10, 11}), 1);
+  EXPECT_EQ(result.at(Tuple{11, 10}), 1);
+  EXPECT_EQ(result.at(Tuple{11, 11}), 1);
+}
+
+TEST(BruteForceTest, CartesianProduct) {
+  const auto q = testing::MustParse("Q(A, B) = R(A), S(B)");
+  Database db;
+  Relation* r = db.AddRelation("R", Schema({0}));
+  Relation* s = db.AddRelation("S", Schema({0}));
+  r->Apply(Tuple{1}, 2);
+  r->Apply(Tuple{2}, 1);
+  s->Apply(Tuple{7}, 3);
+
+  const auto result = BruteForceEvaluate(q, db);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result.at(Tuple{1, 7}), 6);
+  EXPECT_EQ(result.at(Tuple{2, 7}), 3);
+}
+
+TEST(BruteForceTest, EmptyRelationGivesEmptyResult) {
+  const auto q = testing::MustParse("Q(A, C) = R(A, B), S(B, C)");
+  Database db;
+  db.AddRelation("R", Schema({0, 1}));
+  Relation* s = db.AddRelation("S", Schema({0, 1}));
+  s->Apply(Tuple{1, 2}, 1);
+  EXPECT_TRUE(BruteForceEvaluate(q, db).empty());
+}
+
+}  // namespace
+}  // namespace ivme

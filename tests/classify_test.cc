@@ -1,0 +1,123 @@
+// Tests for hierarchical / q-hierarchical / δi classification.
+#include <gtest/gtest.h>
+
+#include "src/query/classify.h"
+#include "tests/support/catalog.h"
+
+namespace ivme {
+namespace {
+
+TEST(HierarchicalTest, PaperDefinitionExamples) {
+  // From Definition 1's discussion: R(A,B), S(B,C) is hierarchical;
+  // R(A,B), S(B,C), T(C) is not.
+  EXPECT_TRUE(IsHierarchical(testing::MustParse("Q(A) = R(A, B), S(B, C)")));
+  EXPECT_FALSE(IsHierarchical(testing::MustParse("Q(A) = R(A, B), S(B, C), T(C)")));
+}
+
+TEST(HierarchicalTest, CatalogAgreesWithExpectations) {
+  for (const auto& entry : testing::PaperQueryCatalog()) {
+    const auto q = testing::MustParse(entry.text);
+    EXPECT_EQ(IsHierarchical(q), entry.hierarchical) << entry.label;
+  }
+}
+
+TEST(QHierarchicalTest, Example12IsHierarchicalButNotQHierarchical) {
+  // Bound B and E dominate free C and F (Example 12).
+  const auto q = testing::MustParse("Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)");
+  EXPECT_TRUE(IsHierarchical(q));
+  EXPECT_FALSE(IsQHierarchical(q));
+}
+
+TEST(QHierarchicalTest, CatalogAgreesWithExpectations) {
+  for (const auto& entry : testing::PaperQueryCatalog()) {
+    if (!entry.hierarchical) continue;
+    const auto q = testing::MustParse(entry.text);
+    EXPECT_EQ(IsQHierarchical(q), entry.q_hierarchical) << entry.label;
+  }
+}
+
+TEST(QHierarchicalTest, FullHierarchicalQueriesAreQHierarchical) {
+  EXPECT_TRUE(IsQHierarchical(testing::MustParse("Q(A, B, C) = R(A, B), S(A, B, C)")));
+  EXPECT_TRUE(IsQHierarchical(testing::MustParse("Q(X, Y0, Y1) = R0(X, Y0), R1(X, Y1)")));
+}
+
+TEST(MinAtomCoverTest, SingleAtomCoversItsVariables) {
+  std::vector<Schema> atoms = {Schema({0, 1, 2})};
+  EXPECT_EQ(MinAtomCover(atoms, Schema({0, 2})), 1);
+  EXPECT_EQ(MinAtomCover(atoms, Schema()), 0);
+}
+
+TEST(MinAtomCoverTest, StarQueryNeedsOneAtomPerLeaf) {
+  // R0(X,Y0), R1(X,Y1), R2(X,Y2): X=0, Yi=i+1.
+  std::vector<Schema> atoms = {Schema({0, 1}), Schema({0, 2}), Schema({0, 3})};
+  EXPECT_EQ(MinAtomCover(atoms, Schema({1, 2, 3})), 3);
+  EXPECT_EQ(MinAtomCover(atoms, Schema({0, 1, 2, 3})), 3);
+  EXPECT_EQ(MinAtomCover(atoms, Schema({0})), 1);
+  EXPECT_EQ(MinAtomCover(atoms, Schema({0, 1})), 1);
+}
+
+TEST(MinAtomCoverTest, ChainSharesCover) {
+  // R(A,B), S(A,B,C): covering {A,C} needs only S.
+  std::vector<Schema> atoms = {Schema({0, 1}), Schema({0, 1, 2})};
+  EXPECT_EQ(MinAtomCover(atoms, Schema({0, 2})), 1);
+  EXPECT_EQ(MinAtomCover(atoms, Schema({0})), 1);
+}
+
+TEST(MinAtomCoverTest, VariablesWithEqualAtomSetsCountOnce) {
+  std::vector<Schema> atoms = {Schema({0, 1, 2})};
+  EXPECT_EQ(MinAtomCover(atoms, Schema({0, 1, 2})), 1);
+}
+
+TEST(MinAtomCoverTest, DisjointComponentsAdd) {
+  std::vector<Schema> atoms = {Schema({0, 1}), Schema({2, 3})};
+  EXPECT_EQ(MinAtomCover(atoms, Schema({0, 2})), 2);
+}
+
+TEST(DeltaRankTest, PaperFamilyHasRankI) {
+  // Q(Y0..Yi) = R0(X,Y0), ..., Ri(X,Yi) is δi-hierarchical (Definition 5).
+  EXPECT_EQ(DeltaRank(testing::MustParse("Q(Y0) = R0(X, Y0)")), 0);
+  EXPECT_EQ(DeltaRank(testing::MustParse("Q(Y0, Y1) = R0(X, Y0), R1(X, Y1)")), 1);
+  EXPECT_EQ(DeltaRank(testing::MustParse("Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)")), 2);
+  EXPECT_EQ(DeltaRank(testing::MustParse(
+                "Q(Y0, Y1, Y2, Y3) = R0(X, Y0), R1(X, Y1), R2(X, Y2), R3(X, Y3)")),
+            3);
+}
+
+TEST(DeltaRankTest, Proposition6RankZeroIffQHierarchical) {
+  for (const auto& entry : testing::PaperQueryCatalog()) {
+    if (!entry.hierarchical) continue;
+    const auto q = testing::MustParse(entry.text);
+    EXPECT_EQ(DeltaRank(q) == 0, IsQHierarchical(q)) << entry.label;
+  }
+}
+
+TEST(DeltaRankTest, Proposition7FreeConnexIsDelta0Or1) {
+  for (const auto& entry : testing::PaperQueryCatalog()) {
+    if (!entry.hierarchical || !entry.free_connex) continue;
+    const auto q = testing::MustParse(entry.text);
+    EXPECT_LE(DeltaRank(q), 1) << entry.label;
+  }
+}
+
+TEST(DeltaRankTest, CatalogMatchesDynamicWidth) {
+  // Proposition 8: δi-hierarchical iff dynamic width i; the catalog stores
+  // the expected dynamic widths.
+  for (const auto& entry : testing::PaperQueryCatalog()) {
+    if (!entry.hierarchical) continue;
+    const auto q = testing::MustParse(entry.text);
+    EXPECT_EQ(DeltaRank(q), entry.dynamic_width) << entry.label;
+  }
+}
+
+TEST(FreeVarsOfAtomsOfTest, CollectsFreeVariablesOfVariableAtoms) {
+  const auto q = testing::MustParse("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)");
+  std::vector<Schema> atoms;
+  for (const auto& atom : q.atoms()) atoms.push_back(atom.schema);
+  const VarId b = q.FindVar("B");
+  const Schema free_of_b = FreeVarsOfAtomsOf(atoms, q.free_vars(), b);
+  // atoms(B) = {R, S}; their free variables are A and D.
+  EXPECT_TRUE(free_of_b.SameSet(Schema({q.FindVar("A"), q.FindVar("D")})));
+}
+
+}  // namespace
+}  // namespace ivme

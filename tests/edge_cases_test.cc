@@ -1,0 +1,126 @@
+// Edge cases: same relation symbol across connected components, extreme ε,
+// contract violations (death tests), huge multiplicities, and single-atom
+// queries through the full engine.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "tests/support/mirror.h"
+
+namespace ivme {
+namespace {
+
+using testing::MirroredEngine;
+
+EngineOptions DynOpts(double eps) {
+  EngineOptions o;
+  o.epsilon = eps;
+  o.mode = EvalMode::kDynamic;
+  return o;
+}
+
+TEST(EdgeCaseTest, SameSymbolInDifferentComponents) {
+  // R appears in both components of a Cartesian product: one logical
+  // relation, two occurrence slots, updated in sequence.
+  MirroredEngine m("Q(A, B) = R(A), R(B)", DynOpts(0.5));
+  m.Preprocess();
+  m.Update("R", Tuple{1}, 1);
+  m.Update("R", Tuple{2}, 2);
+  const auto result = m.engine().EvaluateToMap();
+  ASSERT_EQ(result.size(), 4u);
+  EXPECT_EQ(result.at(Tuple{1, 1}), 1);
+  EXPECT_EQ(result.at(Tuple{1, 2}), 2);
+  EXPECT_EQ(result.at(Tuple{2, 2}), 4);
+  EXPECT_EQ(m.FullCheck(), "");
+  m.Update("R", Tuple{1}, -1);
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(EdgeCaseTest, TripleSelfJoin) {
+  MirroredEngine m("Q(B, C, D) = R(A, B), R(A, C), R(A, D)", DynOpts(0.5));
+  m.Preprocess();
+  Rng rng(8);
+  for (int step = 0; step < 60; ++step) {
+    m.Update("R", Tuple{rng.Range(0, 3), rng.Range(0, 3)}, rng.Chance(0.3) ? -1 : 1);
+    if (step % 15 == 14) {
+      ASSERT_EQ(m.FullCheck(), "") << "step " << step;
+    }
+  }
+}
+
+TEST(EdgeCaseTest, SingleAtomQueriesThroughEngine) {
+  for (const char* text : {"Q(A, B) = R(A, B)", "Q(A) = R(A, B)", "Q() = R(A, B)"}) {
+    MirroredEngine m(text, DynOpts(0.5));
+    m.Preprocess();
+    Rng rng(4);
+    for (int step = 0; step < 80; ++step) {
+      m.Update("R", Tuple{rng.Range(0, 4), rng.Range(0, 4)}, rng.Chance(0.4) ? -1 : 1);
+    }
+    EXPECT_EQ(m.FullCheck(), "") << text;
+  }
+}
+
+TEST(EdgeCaseTest, LargeMultiplicities) {
+  MirroredEngine m("Q(A) = R(A, B), S(B)", DynOpts(0.5));
+  m.Preprocess();
+  m.Update("R", Tuple{1, 2}, 1000000);
+  m.Update("S", Tuple{2}, 1000000);
+  const auto result = m.engine().EvaluateToMap();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.at(Tuple{1}), 1000000LL * 1000000LL);
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(EdgeCaseTest, ValuesSpanFullRange) {
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", DynOpts(0.5));
+  m.Preprocess();
+  const Value big = 1LL << 60;
+  m.Update("R", Tuple{-big, big}, 1);
+  m.Update("S", Tuple{big, -1}, 1);
+  const auto result = m.engine().EvaluateToMap();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.begin()->first, (Tuple{-big, -1}));
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(EdgeCaseDeathTest, NonHierarchicalQueryRejected) {
+  const auto q = testing::MustParse("Q(A, C) = R(A, B), S(B, C), T(C)");
+  EngineOptions opts;
+  EXPECT_DEATH({ Engine engine(q, opts); }, "hierarchical");
+}
+
+TEST(EdgeCaseDeathTest, UpdateBeforePreprocessRejected) {
+  const auto q = testing::MustParse("Q(A) = R(A, B), S(B)");
+  Engine engine(q, EngineOptions{});
+  EXPECT_DEATH(engine.ApplyUpdate("R", Tuple{1, 2}, 1), "Preprocess");
+}
+
+TEST(EdgeCaseDeathTest, StaticModeRejectsUpdates) {
+  const auto q = testing::MustParse("Q(A) = R(A, B), S(B)");
+  EngineOptions opts;
+  opts.mode = EvalMode::kStatic;
+  Engine engine(q, opts);
+  engine.Preprocess();
+  EXPECT_DEATH(engine.ApplyUpdate("R", Tuple{1, 2}, 1), "dynamic");
+}
+
+TEST(EdgeCaseDeathTest, UnknownRelationRejected) {
+  const auto q = testing::MustParse("Q(A) = R(A, B), S(B)");
+  Engine engine(q, EngineOptions{});
+  EXPECT_DEATH(engine.LoadTuple("T", Tuple{1}, 1), "unknown relation");
+}
+
+TEST(EdgeCaseDeathTest, WrongArityRejected) {
+  const auto q = testing::MustParse("Q(A) = R(A, B), S(B)");
+  Engine engine(q, EngineOptions{});
+  EXPECT_DEATH(engine.LoadTuple("R", Tuple{1}, 1), "arity");
+}
+
+TEST(EdgeCaseDeathTest, InvalidEpsilonRejected) {
+  const auto q = testing::MustParse("Q(A) = R(A, B), S(B)");
+  EngineOptions opts;
+  opts.epsilon = 1.5;
+  EXPECT_DEATH({ Engine engine(q, opts); }, "epsilon");
+}
+
+}  // namespace
+}  // namespace ivme

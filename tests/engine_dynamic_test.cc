@@ -1,0 +1,246 @@
+// Dynamic evaluation (Theorem 4): updates with rebalancing must track brute
+// force exactly, for every hierarchical catalog query and every ε.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/workload/generator.h"
+#include "src/workload/update_stream.h"
+#include "tests/support/mirror.h"
+
+namespace ivme {
+namespace {
+
+using testing::MirroredEngine;
+
+EngineOptions DynOpts(double eps) {
+  EngineOptions o;
+  o.mode = EvalMode::kDynamic;
+  o.epsilon = eps;
+  return o;
+}
+
+size_t ArityOf(const ConjunctiveQuery& q, const std::string& relation) {
+  for (const auto& atom : q.atoms()) {
+    if (atom.relation == relation) return atom.schema.size();
+  }
+  return 0;
+}
+
+class DynamicSweepTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(DynamicSweepTest, RandomUpdateStreamTracksBruteForce) {
+  const auto [query_idx, eps] = GetParam();
+  const auto entry = testing::HierarchicalCatalog()[static_cast<size_t>(query_idx)];
+  MirroredEngine m(entry.text, DynOpts(eps));
+  Rng rng(1234 + static_cast<uint64_t>(query_idx));
+
+  const auto names = m.query().RelationNames();
+  // Small initial load.
+  for (const auto& name : names) {
+    const size_t arity = ArityOf(m.query(), name);
+    for (int i = 0; i < 15; ++i) {
+      Tuple t;
+      for (size_t j = 0; j < arity; ++j) t.PushBack(rng.Range(0, 5));
+      m.Load(name, t, 1);
+    }
+  }
+  m.Preprocess();
+  ASSERT_EQ(m.Diff(), "") << entry.label << " after preprocess";
+
+  // Mixed inserts/deletes across all relations; compare periodically.
+  for (int step = 0; step < 300; ++step) {
+    const auto& name = names[rng.Below(names.size())];
+    const size_t arity = ArityOf(m.query(), name);
+    Tuple t;
+    for (size_t j = 0; j < arity; ++j) t.PushBack(rng.Range(0, 5));
+    const Mult mult = rng.Chance(0.4) ? -1 : 1;
+    m.Update(name, t, mult);  // invalid deletes are rejected by both sides
+    if (step % 50 == 49) {
+      ASSERT_EQ(m.Diff(), "") << entry.label << " eps=" << eps << " step=" << step;
+    }
+  }
+  EXPECT_EQ(m.FullCheck(), "") << entry.label << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQueriesAllEps, DynamicSweepTest,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(testing::HierarchicalCatalog().size())),
+                       ::testing::Values(0.0, 0.5, 1.0)),
+    [](const ::testing::TestParamInfo<std::tuple<int, double>>& info) {
+      const auto entry =
+          testing::HierarchicalCatalog()[static_cast<size_t>(std::get<0>(info.param))];
+      return entry.label + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(EngineDynamicTest, StartsFromEmptyDatabase) {
+  // OMv-style usage: preprocessing on the empty database is O(1), then
+  // everything arrives as updates.
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", DynOpts(0.5));
+  m.Preprocess();
+  EXPECT_EQ(m.Diff(), "");
+  for (Value i = 0; i < 8; ++i) {
+    m.Update("R", Tuple{i, i % 3}, 1);
+    m.Update("S", Tuple{i % 3, i}, 1);
+  }
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(EngineDynamicTest, DeleteToEmptyAndRebuild) {
+  MirroredEngine m("Q(A) = R(A, B), S(B)", DynOpts(0.5));
+  m.Preprocess();
+  const auto tuples = workload::UniformTuples(40, 2, 12, 3);
+  for (const auto& t : tuples) m.Update("R", t, 1);
+  for (const auto& t : tuples) m.Update("S", Tuple{t[1]}, 1);
+  ASSERT_EQ(m.Diff(), "");
+  // Delete everything (S first, duplicates collapse via multiplicities).
+  for (const auto& t : tuples) m.Update("S", Tuple{t[1]}, -1);
+  for (const auto& t : tuples) m.Update("R", t, -1);
+  EXPECT_EQ(m.FullCheck(), "");
+  EXPECT_TRUE(m.engine().EvaluateToMap().empty());
+  EXPECT_EQ(m.engine().database_size(), 0u);
+  // Rebuild after emptying.
+  for (const auto& t : tuples) m.Update("R", t, 1);
+  for (const auto& t : tuples) m.Update("S", Tuple{t[1]}, 1);
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(EngineDynamicTest, RejectsInvalidDeletes) {
+  MirroredEngine m("Q(A) = R(A, B), S(B)", DynOpts(0.5));
+  m.Preprocess();
+  EXPECT_FALSE(m.Update("R", Tuple{1, 2}, -1));
+  ASSERT_TRUE(m.Update("R", Tuple{1, 2}, 2));
+  EXPECT_FALSE(m.Update("R", Tuple{1, 2}, -3));
+  EXPECT_TRUE(m.Update("R", Tuple{1, 2}, -2));
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(EngineDynamicTest, MultiplicityUpdatesAccumulate) {
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", DynOpts(0.5));
+  m.Preprocess();
+  m.Update("R", Tuple{1, 7}, 3);
+  m.Update("S", Tuple{7, 2}, 2);
+  auto result = m.engine().EvaluateToMap();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.at(Tuple{1, 2}), 6);
+  m.Update("R", Tuple{1, 7}, -1);
+  result = m.engine().EvaluateToMap();
+  EXPECT_EQ(result.at(Tuple{1, 2}), 4);
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(EngineDynamicTest, HeavyKeyMigration) {
+  // Grow one join key's degree step by step across the light→heavy
+  // boundary, then shrink it back; results must match at every step.
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", DynOpts(0.5));
+  m.Preprocess();
+  m.Update("S", Tuple{0, 100}, 1);
+  for (Value a = 0; a < 40; ++a) {
+    ASSERT_TRUE(m.Update("R", Tuple{a, 0}, 1));
+    ASSERT_EQ(m.FullCheck(), "") << "insert a=" << a;
+  }
+  for (Value a = 0; a < 40; ++a) {
+    ASSERT_TRUE(m.Update("R", Tuple{a, 0}, -1));
+    ASSERT_EQ(m.FullCheck(), "") << "delete a=" << a;
+  }
+}
+
+TEST(EngineDynamicTest, MajorRebalancingTriggersOnGrowth) {
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", DynOpts(0.5));
+  m.Preprocess();
+  for (Value i = 0; i < 200; ++i) {
+    m.Update("R", Tuple{i, i % 4}, 1);
+    m.Update("S", Tuple{i % 4, i}, 1);
+  }
+  // N grew from 0 to 400: M doubled repeatedly.
+  EXPECT_GT(m.engine().GetStats().major_rebalances, 0u);
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(EngineDynamicTest, MinorRebalancingTriggersOnDegreeSwings) {
+  // Keep N (and hence M and θ) stable while one key's degree swings across
+  // the light/heavy bands: evicted to heavy on the way up, readmitted to
+  // light on the way down.
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", DynOpts(0.5));
+  for (Value i = 0; i < 1000; ++i) m.Load("R", Tuple{i, 100000 + i}, 1);
+  m.Load("S", Tuple{7, 1}, 1);
+  m.Preprocess();  // M ≈ 2002, θ ≈ 45
+  const auto before = m.engine().GetStats();
+  EXPECT_EQ(before.major_rebalances, 0u);
+  for (Value j = 0; j < 100; ++j) {
+    ASSERT_TRUE(m.Update("R", Tuple{2000 + j, 7}, 1));
+  }
+  const auto grown = m.engine().GetStats();
+  EXPECT_GE(grown.minor_rebalances, 1u);  // key 7 evicted from the light part
+  ASSERT_EQ(m.FullCheck(), "");
+  for (Value j = 0; j < 100; ++j) {
+    ASSERT_TRUE(m.Update("R", Tuple{2000 + j, 7}, -1));
+  }
+  const auto shrunk = m.engine().GetStats();
+  EXPECT_GE(shrunk.minor_rebalances, 2u);  // ... and readmitted on the way down
+  EXPECT_EQ(shrunk.major_rebalances, 0u);  // N stayed within [M/4, M)
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(EngineDynamicTest, RebalancingDisabledStillCorrect) {
+  EngineOptions opts = DynOpts(0.5);
+  opts.enable_rebalancing = false;
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", opts);
+  for (Value i = 0; i < 30; ++i) m.Load("R", Tuple{i, i % 3}, 1);
+  for (Value i = 0; i < 30; ++i) m.Load("S", Tuple{i % 3, i}, 1);
+  m.Preprocess();
+  for (Value i = 0; i < 60; ++i) {
+    m.Update("R", Tuple{100 + i, i % 5}, 1);
+    m.Update("S", Tuple{i % 5, 100 + i}, 1);
+  }
+  // Partitions drift (no rebalance), but results stay exact.
+  EXPECT_EQ(m.Diff(), "");
+  EXPECT_EQ(m.engine().GetStats().minor_rebalances, 0u);
+  EXPECT_EQ(m.engine().GetStats().major_rebalances, 0u);
+}
+
+TEST(EngineDynamicTest, SelfJoinUpdates) {
+  MirroredEngine m("Q(B, C) = R(A, B), R(A, C)", DynOpts(0.5));
+  m.Preprocess();
+  Rng rng(9);
+  for (int step = 0; step < 120; ++step) {
+    const Tuple t{rng.Range(0, 5), rng.Range(0, 5)};
+    m.Update("R", t, rng.Chance(0.3) ? -1 : 1);
+    if (step % 20 == 19) {
+      ASSERT_EQ(m.Diff(), "") << "step " << step;
+    }
+  }
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(EngineDynamicTest, Example19UpdateStream) {
+  MirroredEngine m("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)",
+                   DynOpts(0.5));
+  m.Preprocess();
+  Rng rng(42);
+  const std::vector<std::string> names = {"R", "S", "T", "U"};
+  for (int step = 0; step < 400; ++step) {
+    const auto& name = names[rng.Below(4)];
+    Tuple t{rng.Range(0, 3), rng.Range(0, 3), rng.Range(0, 3)};
+    m.Update(name, t, rng.Chance(0.35) ? -1 : 1);
+    if (step % 80 == 79) {
+      ASSERT_EQ(m.FullCheck(), "") << "step " << step;
+    }
+  }
+}
+
+TEST(EngineDynamicTest, InsertDeleteRoundTripRestoresEmptyViews) {
+  MirroredEngine m("Q(A) = R(A, B), S(B)", DynOpts(0.25));
+  m.Preprocess();
+  const auto tuples = workload::UniformTuples(60, 2, 15, 5);
+  const auto stream = workload::InsertDeleteRoundTrip("R", tuples, 6);
+  for (const auto& update : stream) {
+    ASSERT_TRUE(m.Update(update.relation, update.tuple, update.mult));
+  }
+  EXPECT_EQ(m.FullCheck(), "");
+  const auto stats = m.engine().GetStats();
+  EXPECT_EQ(stats.view_tuples, 0u) << "views must be empty after the round trip";
+}
+
+}  // namespace
+}  // namespace ivme

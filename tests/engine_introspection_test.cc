@@ -1,0 +1,119 @@
+// Tests for engine introspection (stats, debug rendering, counters) and the
+// δi-hierarchical star family end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/common/counters.h"
+#include "src/common/rng.h"
+#include "src/query/width.h"
+#include "tests/support/mirror.h"
+
+namespace ivme {
+namespace {
+
+using testing::MirroredEngine;
+
+EngineOptions DynOpts(double eps) {
+  EngineOptions o;
+  o.epsilon = eps;
+  o.mode = EvalMode::kDynamic;
+  return o;
+}
+
+TEST(IntrospectionTest, DebugStringRendersTreesAndIndicators) {
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", DynOpts(0.5));
+  m.Preprocess();
+  const std::string debug = m.engine().DebugString();
+  EXPECT_NE(debug.find("tree (component 0)"), std::string::npos);
+  EXPECT_NE(debug.find("indicator H_B"), std::string::npos);
+  EXPECT_NE(debug.find("R(A, B)"), std::string::npos);
+  EXPECT_NE(debug.find("∃H_B"), std::string::npos);
+}
+
+TEST(IntrospectionTest, StatsTrackUpdatesAndViewTuples) {
+  MirroredEngine m("Q(A) = R(A, B), S(B)", DynOpts(0.5));
+  m.Preprocess();
+  EXPECT_EQ(m.engine().GetStats().updates, 0u);
+  m.Update("R", Tuple{1, 2}, 1);
+  m.Update("S", Tuple{2}, 1);
+  const auto stats = m.engine().GetStats();
+  EXPECT_EQ(stats.updates, 2u);
+  EXPECT_GT(stats.view_tuples, 0u);
+  EXPECT_EQ(stats.num_trees, 2u);
+  EXPECT_EQ(stats.num_triples, 1u);
+}
+
+TEST(IntrospectionTest, ThetaFollowsEpsilon) {
+  for (double eps : {0.0, 0.5, 1.0}) {
+    MirroredEngine m("Q(A) = R(A, B), S(B)", DynOpts(eps));
+    for (Value i = 0; i < 100; ++i) m.Load("R", Tuple{i, i}, 1);
+    m.Preprocess();
+    const double expected = std::pow(static_cast<double>(m.engine().threshold_base()), eps);
+    EXPECT_DOUBLE_EQ(m.engine().theta(), expected);
+  }
+  // θ at the endpoints: 1 and M.
+  MirroredEngine m0("Q(A) = R(A, B), S(B)", DynOpts(0.0));
+  m0.Preprocess();
+  EXPECT_DOUBLE_EQ(m0.engine().theta(), 1.0);
+}
+
+TEST(IntrospectionTest, CountersAdvanceWithWork) {
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", DynOpts(0.5));
+  for (Value i = 0; i < 50; ++i) {
+    m.Load("R", Tuple{i, i % 5}, 1);
+    m.Load("S", Tuple{i % 5, i}, 1);
+  }
+  ResetCounters();
+  m.Preprocess();
+  EXPECT_GT(GlobalCounters().materialize_steps, 0u);
+
+  ResetCounters();
+  m.Update("R", Tuple{1000, 0}, 1);
+  EXPECT_GT(GlobalCounters().delta_steps, 0u);
+
+  ResetCounters();
+  (void)m.engine().EvaluateToMap();
+  EXPECT_GT(GlobalCounters().enum_steps, 0u);
+}
+
+class StarFamilyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StarFamilyTest, EndToEndAtSeveralEps) {
+  // Q(Y0..Yi) = R0(X,Y0), ..., Ri(X,Yi): δi-hierarchical with w = i+1.
+  const int i = GetParam();
+  std::string head = "Q(";
+  std::string body;
+  for (int j = 0; j <= i; ++j) {
+    if (j > 0) {
+      head += ", ";
+      body += ", ";
+    }
+    head += "Y" + std::to_string(j);
+    body += "R" + std::to_string(j) + "(X, Y" + std::to_string(j) + ")";
+  }
+  const std::string text = head + ") = " + body;
+  const auto q = testing::MustParse(text);
+  EXPECT_EQ(DynamicWidth(q), i);
+  EXPECT_EQ(StaticWidth(q), i == 0 ? 1 : i + 1);
+
+  for (double eps : {0.0, 0.5, 1.0}) {
+    MirroredEngine m(text, DynOpts(eps));
+    m.Preprocess();
+    Rng rng(static_cast<uint64_t>(100 + i));
+    for (int step = 0; step < 150; ++step) {
+      const std::string rel = "R" + std::to_string(rng.Below(static_cast<uint64_t>(i) + 1));
+      m.Update(rel, Tuple{rng.Range(0, 2), rng.Range(0, 3)}, rng.Chance(0.3) ? -1 : 1);
+    }
+    ASSERT_EQ(m.FullCheck(), "") << text << " eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaRanks, StarFamilyTest, ::testing::Values(0, 1, 2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "delta" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ivme

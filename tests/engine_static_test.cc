@@ -1,0 +1,154 @@
+// Static evaluation (Theorem 2): engine results must equal brute force for
+// every hierarchical catalog query, every ε, and several data shapes.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/workload/generator.h"
+#include "tests/support/mirror.h"
+
+namespace ivme {
+namespace {
+
+using testing::MirroredEngine;
+
+EngineOptions StaticOpts(double eps) {
+  EngineOptions o;
+  o.mode = EvalMode::kStatic;
+  o.epsilon = eps;
+  return o;
+}
+
+// Loads a small random database into every relation of the mirrored engine.
+void LoadRandom(MirroredEngine* m, size_t tuples_per_relation, Value domain, uint64_t seed) {
+  Rng rng(seed);
+  for (const auto& name : m->query().RelationNames()) {
+    size_t arity = 0;
+    for (const auto& atom : m->query().atoms()) {
+      if (atom.relation == name) arity = atom.schema.size();
+    }
+    for (size_t i = 0; i < tuples_per_relation; ++i) {
+      Tuple t;
+      for (size_t j = 0; j < arity; ++j) {
+        t.PushBack(static_cast<Value>(rng.Below(static_cast<uint64_t>(domain))));
+      }
+      const Mult mult = rng.Chance(0.2) ? 2 : 1;  // exercise multiplicities
+      m->Load(name, t, mult);
+    }
+  }
+}
+
+class StaticSweepTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(StaticSweepTest, MatchesBruteForceOnRandomData) {
+  const auto [query_idx, eps] = GetParam();
+  const auto entry = testing::HierarchicalCatalog()[static_cast<size_t>(query_idx)];
+  for (const uint64_t seed : {11ull, 22ull, 33ull}) {
+    MirroredEngine m(entry.text, StaticOpts(eps));
+    LoadRandom(&m, 60, /*domain=*/8, seed);
+    m.Preprocess();
+    EXPECT_EQ(m.Diff(), "") << entry.label << " eps=" << eps << " seed=" << seed;
+  }
+}
+
+TEST_P(StaticSweepTest, MatchesBruteForceOnSkewedData) {
+  const auto [query_idx, eps] = GetParam();
+  const auto entry = testing::HierarchicalCatalog()[static_cast<size_t>(query_idx)];
+  MirroredEngine m(entry.text, StaticOpts(eps));
+  Rng rng(99);
+  // Heavily skewed: one value dominates every column.
+  for (const auto& name : m.query().RelationNames()) {
+    size_t arity = 0;
+    for (const auto& atom : m.query().atoms()) {
+      if (atom.relation == name) arity = atom.schema.size();
+    }
+    for (size_t i = 0; i < 80; ++i) {
+      Tuple t;
+      for (size_t j = 0; j < arity; ++j) {
+        t.PushBack(rng.Chance(0.6) ? 0 : rng.Range(1, 6));
+      }
+      m.Load(name, t, 1);
+    }
+  }
+  m.Preprocess();
+  EXPECT_EQ(m.Diff(), "") << entry.label << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQueriesAllEps, StaticSweepTest,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(testing::HierarchicalCatalog().size())),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0)),
+    [](const ::testing::TestParamInfo<std::tuple<int, double>>& info) {
+      const auto entry =
+          testing::HierarchicalCatalog()[static_cast<size_t>(std::get<0>(info.param))];
+      return entry.label + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(EngineStaticTest, EmptyDatabaseGivesEmptyResult) {
+  for (const auto& entry : testing::HierarchicalCatalog()) {
+    MirroredEngine m(entry.text, StaticOpts(0.5));
+    m.Preprocess();
+    EXPECT_EQ(m.Diff(), "") << entry.label;
+    EXPECT_TRUE(m.engine().EvaluateToMap().empty()) << entry.label;
+  }
+}
+
+TEST(EngineStaticTest, Example28MatrixMultiplication) {
+  // Q(A,C) = R(A,B), S(B,C) over Boolean matrices computes the product's
+  // support with multiplicities = number of witnesses (inner products).
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", StaticOpts(0.5));
+  const auto r = workload::MatrixTuples(12, 0.4, 7);
+  const auto s = workload::MatrixTuples(12, 0.4, 8);
+  for (const auto& t : r) m.Load("R", t, 1);
+  for (const auto& t : s) m.Load("S", t, 1);
+  m.Preprocess();
+  EXPECT_EQ(m.Diff(), "");
+}
+
+TEST(EngineStaticTest, HeavyLightBoundaryData) {
+  // Degrees straddling the θ threshold on both sides.
+  for (double eps : {0.0, 0.5, 1.0}) {
+    MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", StaticOpts(eps));
+    const auto r = workload::HeavyLightPairs(3, 9, 30, /*key_first=*/false, 1);
+    const auto s = workload::HeavyLightPairs(3, 9, 30, /*key_first=*/true, 2);
+    for (const auto& t : r) m.Load("R", t, 1);
+    for (const auto& t : s) m.Load("S", t, 1);
+    m.Preprocess();
+    EXPECT_EQ(m.Diff(), "") << "eps=" << eps;
+  }
+}
+
+TEST(EngineStaticTest, SelfJoinRepeatedSymbol) {
+  MirroredEngine m("Q(B, C) = R(A, B), R(A, C)", StaticOpts(0.5));
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    m.Load("R", Tuple{rng.Range(0, 6), rng.Range(0, 6)}, 1);
+  }
+  m.Preprocess();
+  EXPECT_EQ(m.Diff(), "");
+}
+
+TEST(EngineStaticTest, DeepHierarchicalQuery) {
+  MirroredEngine m("Q(A, D) = R(A, B, C, D), S(A, B, C), T(A, B), U(A)", StaticOpts(0.5));
+  Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    m.Load("R", Tuple{rng.Range(0, 3), rng.Range(0, 3), rng.Range(0, 3), rng.Range(0, 3)}, 1);
+    m.Load("S", Tuple{rng.Range(0, 3), rng.Range(0, 3), rng.Range(0, 3)}, 1);
+    m.Load("T", Tuple{rng.Range(0, 3), rng.Range(0, 3)}, 1);
+    m.Load("U", Tuple{rng.Range(0, 3)}, 1);
+  }
+  m.Preprocess();
+  EXPECT_EQ(m.Diff(), "");
+}
+
+TEST(EngineStaticTest, InvariantsHoldAfterPreprocess) {
+  for (const auto& entry : testing::HierarchicalCatalog()) {
+    MirroredEngine m(entry.text, StaticOpts(0.5));
+    LoadRandom(&m, 40, 6, 77);
+    m.Preprocess();
+    EXPECT_EQ(m.FullCheck(), "") << entry.label;
+  }
+}
+
+}  // namespace
+}  // namespace ivme

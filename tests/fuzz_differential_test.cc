@@ -1,0 +1,105 @@
+// Differential fuzzing: random hierarchical queries × random databases ×
+// random update streams, engine vs brute force, with invariant checks.
+// This covers query shapes beyond the hand-picked catalog (deep chains,
+// atoms at inner path positions, multi-branch bound nesting, multiple
+// components, Boolean heads).
+#include <gtest/gtest.h>
+
+#include "src/query/classify.h"
+#include "src/query/edge_cover.h"
+#include "src/query/hypergraph.h"
+#include "src/query/width.h"
+#include "tests/support/mirror.h"
+#include "tests/support/random_queries.h"
+
+namespace ivme {
+namespace {
+
+using testing::MirroredEngine;
+using testing::RandomHierarchicalQuery;
+using testing::RandomQueryOptions;
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, RandomQueryRandomStream) {
+  Rng rng(0xF0220000ull + static_cast<uint64_t>(GetParam()));
+  const auto q = RandomHierarchicalQuery(rng, RandomQueryOptions{});
+  ASSERT_TRUE(IsHierarchical(q)) << q.ToString();
+
+  const double eps = std::vector<double>{0.0, 0.3, 0.5, 1.0}[rng.Below(4)];
+  EngineOptions opts;
+  opts.epsilon = eps;
+  opts.mode = EvalMode::kDynamic;
+  MirroredEngine m(q.ToString(), opts);
+
+  // Initial load with small domains (dense joins, frequent heavy keys).
+  const Value domain = static_cast<Value>(2 + rng.Below(4));
+  auto arity_of = [&](const std::string& name) {
+    for (const auto& atom : m.query().atoms()) {
+      if (atom.relation == name) return atom.schema.size();
+    }
+    return size_t{0};
+  };
+  const auto names = m.query().RelationNames();
+  for (const auto& name : names) {
+    const int count = static_cast<int>(rng.Below(25));
+    for (int i = 0; i < count; ++i) {
+      Tuple t;
+      for (size_t j = 0; j < arity_of(name); ++j) t.PushBack(rng.Range(0, domain));
+      m.Load(name, t, 1);
+    }
+  }
+  m.Preprocess();
+  ASSERT_EQ(m.FullCheck(), "") << q.ToString() << " eps=" << eps << " (preprocess)";
+
+  for (int step = 0; step < 150; ++step) {
+    const auto& name = names[rng.Below(names.size())];
+    Tuple t;
+    for (size_t j = 0; j < arity_of(name); ++j) t.PushBack(rng.Range(0, domain));
+    m.Update(name, t, rng.Chance(0.4) ? -1 : 1);
+    if (step % 50 == 49) {
+      ASSERT_EQ(m.FullCheck(), "")
+          << q.ToString() << " eps=" << eps << " step=" << step;
+    }
+  }
+  EXPECT_EQ(m.FullCheck(), "") << q.ToString() << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 40));
+
+TEST(FuzzAnalysisTest, WidthsConsistentOnRandomQueries) {
+  // Structural properties on a larger sample (no data needed):
+  // δ = DeltaRank (Prop. 8), δ ∈ {w−1, w} (Prop. 17), free-connex ⇒ w=1
+  // (Prop. 3), q-hierarchical ⇔ δ0 (Prop. 6), and Lemma 30 on the width
+  // witness sets.
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto q = RandomHierarchicalQuery(rng, RandomQueryOptions{});
+    ASSERT_TRUE(IsHierarchical(q)) << q.ToString();
+    const int w = StaticWidth(q);
+    const int d = DynamicWidth(q);
+    EXPECT_EQ(d, DeltaRank(q)) << q.ToString();
+    EXPECT_TRUE(d == w || d == w - 1) << q.ToString() << " w=" << w << " d=" << d;
+    EXPECT_EQ(IsQHierarchical(q), d == 0) << q.ToString();
+    if (IsFreeConnex(q)) {
+      EXPECT_EQ(w, 1) << q.ToString();
+      EXPECT_LE(d, 1) << q.ToString();
+    }
+  }
+}
+
+TEST(FuzzAnalysisTest, CanonicalAndFreeTopOrdersValidOnRandomQueries) {
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto q = RandomHierarchicalQuery(rng, RandomQueryOptions{});
+    const auto canonical = VariableOrder::Canonical(q);
+    EXPECT_TRUE(canonical.IsValidFor(q)) << q.ToString();
+    EXPECT_TRUE(canonical.IsCanonicalFor(q)) << q.ToString();
+    const auto ft = VariableOrder::FreeTopOfCanonical(q);
+    EXPECT_TRUE(ft.IsValidFor(q)) << q.ToString();
+    EXPECT_TRUE(ft.IsFreeTop(q)) << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ivme

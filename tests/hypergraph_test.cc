@@ -1,0 +1,96 @@
+// Tests for GYO-based α-acyclicity and the free-connex test.
+#include <gtest/gtest.h>
+
+#include "src/query/hypergraph.h"
+#include "tests/support/catalog.h"
+
+namespace ivme {
+namespace {
+
+TEST(AcyclicityTest, PathsAreAcyclic) {
+  EXPECT_TRUE(IsAlphaAcyclic({Schema({0, 1}), Schema({1, 2})}));
+  EXPECT_TRUE(IsAlphaAcyclic({Schema({0, 1}), Schema({1, 2}), Schema({2, 3})}));
+}
+
+TEST(AcyclicityTest, TriangleIsCyclic) {
+  EXPECT_FALSE(IsAlphaAcyclic({Schema({0, 1}), Schema({1, 2}), Schema({0, 2})}));
+}
+
+TEST(AcyclicityTest, TriangleWithCoveringEdgeIsAcyclic) {
+  // α-acyclicity: adding the covering hyperedge {0,1,2} makes it acyclic.
+  EXPECT_TRUE(
+      IsAlphaAcyclic({Schema({0, 1}), Schema({1, 2}), Schema({0, 2}), Schema({0, 1, 2})}));
+}
+
+TEST(AcyclicityTest, SquareIsCyclic) {
+  EXPECT_FALSE(
+      IsAlphaAcyclic({Schema({0, 1}), Schema({1, 2}), Schema({2, 3}), Schema({3, 0})}));
+}
+
+TEST(AcyclicityTest, EmptyAndSingleEdge) {
+  EXPECT_TRUE(IsAlphaAcyclic(std::vector<Schema>{}));
+  EXPECT_TRUE(IsAlphaAcyclic({Schema({0, 1, 2})}));
+  EXPECT_TRUE(IsAlphaAcyclic({Schema()}));
+}
+
+TEST(AcyclicityTest, DuplicateEdges) {
+  EXPECT_TRUE(IsAlphaAcyclic({Schema({0, 1}), Schema({0, 1}), Schema({1, 2})}));
+}
+
+TEST(AcyclicityTest, Example12IsAcyclic) {
+  // R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G) — join tree U-T-R-S (Example 12).
+  const auto q = testing::MustParse("Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)");
+  EXPECT_TRUE(IsAlphaAcyclic(q));
+}
+
+TEST(FreeConnexTest, Example12IsFreeConnex) {
+  const auto q = testing::MustParse("Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)");
+  EXPECT_TRUE(IsFreeConnex(q));
+}
+
+TEST(FreeConnexTest, Example28IsNotFreeConnex) {
+  // Q(A,C) = R(A,B), S(B,C): acyclic but the head {A,C} creates a cycle.
+  const auto q = testing::MustParse("Q(A, C) = R(A, B), S(B, C)");
+  EXPECT_TRUE(IsAlphaAcyclic(q));
+  EXPECT_FALSE(IsFreeConnex(q));
+}
+
+TEST(FreeConnexTest, FullAcyclicQueriesAreFreeConnex) {
+  const auto q = testing::MustParse("Q(A, B, C) = R(A, B), S(B, C)");
+  EXPECT_TRUE(IsFreeConnex(q));
+}
+
+TEST(FreeConnexTest, BooleanAcyclicQueriesAreFreeConnex) {
+  const auto q = testing::MustParse("Q() = R(A, B), S(B, C)");
+  EXPECT_TRUE(IsFreeConnex(q));
+}
+
+TEST(FreeConnexTest, CatalogAgreesWithExpectations) {
+  for (const auto& entry : testing::PaperQueryCatalog()) {
+    const auto q = testing::MustParse(entry.text);
+    EXPECT_EQ(IsFreeConnex(q), entry.free_connex) << entry.label;
+  }
+}
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  const auto groups = ConnectedComponents({Schema({0, 1}), Schema({1, 2})});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 1}));
+}
+
+TEST(ConnectedComponentsTest, TwoComponents) {
+  const auto groups = ConnectedComponents({Schema({0, 1}), Schema({2}), Schema({2, 3})});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0}));
+  EXPECT_EQ(groups[1], (std::vector<int>{1, 2}));
+}
+
+TEST(ConnectedComponentsTest, TransitiveSharing) {
+  const auto groups =
+      ConnectedComponents({Schema({0, 1}), Schema({2, 3}), Schema({1, 2})});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace ivme

@@ -1,0 +1,117 @@
+// Property-style randomized sweeps: for every hierarchical catalog query,
+// every ε, and several data profiles, run long interleaved update/enumerate
+// sessions and check (a) results equal brute force, (b) every engine
+// invariant holds (partition bands, size invariant, view consistency,
+// indicator consistency), (c) enumeration never emits duplicates.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "tests/support/mirror.h"
+
+namespace ivme {
+namespace {
+
+using testing::MirroredEngine;
+
+enum class Profile { kUniform, kSkewed, kAdversarial };
+
+std::string ProfileName(Profile p) {
+  switch (p) {
+    case Profile::kUniform:
+      return "uniform";
+    case Profile::kSkewed:
+      return "skewed";
+    case Profile::kAdversarial:
+      return "adversarial";
+  }
+  return "?";
+}
+
+// Draws a tuple for `relation` under the given profile.
+Tuple DrawTuple(Rng& rng, Profile profile, size_t arity) {
+  Tuple t;
+  t.Reserve(arity);
+  switch (profile) {
+    case Profile::kUniform:
+      for (size_t j = 0; j < arity; ++j) t.PushBack(rng.Range(0, 9));
+      break;
+    case Profile::kSkewed:
+      for (size_t j = 0; j < arity; ++j) {
+        t.PushBack(rng.Chance(0.5) ? 0 : rng.Range(1, 12));
+      }
+      break;
+    case Profile::kAdversarial:
+      // Collapse most columns to a single value: maximal degrees on every
+      // partition key, constant churn across the heavy/light boundary.
+      for (size_t j = 0; j < arity; ++j) {
+        t.PushBack(rng.Chance(0.8) ? 0 : rng.Range(0, 3));
+      }
+      break;
+  }
+  return t;
+}
+
+class PropertySweepTest
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(PropertySweepTest, LongInterleavedSession) {
+  const auto [query_idx, eps, profile_idx] = GetParam();
+  const auto entry = testing::HierarchicalCatalog()[static_cast<size_t>(query_idx)];
+  const Profile profile = static_cast<Profile>(profile_idx);
+
+  EngineOptions opts;
+  opts.mode = EvalMode::kDynamic;
+  opts.epsilon = eps;
+  MirroredEngine m(entry.text, opts);
+  Rng rng(0xABCDEFull + static_cast<uint64_t>(query_idx * 31 + profile_idx * 7) +
+          static_cast<uint64_t>(eps * 100));
+
+  const auto names = m.query().RelationNames();
+  auto arity_of = [&](const std::string& name) {
+    for (const auto& atom : m.query().atoms()) {
+      if (atom.relation == name) return atom.schema.size();
+    }
+    return size_t{0};
+  };
+
+  // Initial load.
+  for (const auto& name : names) {
+    for (int i = 0; i < 20; ++i) {
+      m.Load(name, DrawTuple(rng, profile, arity_of(name)), 1);
+    }
+  }
+  m.Preprocess();
+  ASSERT_EQ(m.FullCheck(), "") << entry.label << " after preprocess";
+
+  // 240 updates with periodic full checks; deletion rate drifts up and down
+  // so the database both grows and shrinks (both rebalancing directions).
+  for (int step = 0; step < 240; ++step) {
+    const double delete_ratio = (step / 60) % 2 == 0 ? 0.25 : 0.65;
+    const auto& name = names[rng.Below(names.size())];
+    const Tuple t = DrawTuple(rng, profile, arity_of(name));
+    m.Update(name, t, rng.Chance(delete_ratio) ? -1 : 1);
+    if (step % 60 == 59) {
+      ASSERT_EQ(m.FullCheck(), "")
+          << entry.label << " eps=" << eps << " " << ProfileName(profile) << " step=" << step;
+    }
+  }
+  EXPECT_EQ(m.FullCheck(), "") << entry.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, PropertySweepTest,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(testing::HierarchicalCatalog().size())),
+                       ::testing::Values(0.0, 0.3, 0.5, 1.0), ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<int, double, int>>& info) {
+      const auto entry =
+          testing::HierarchicalCatalog()[static_cast<size_t>(std::get<0>(info.param))];
+      return entry.label + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) + "_" +
+             ProfileName(static_cast<Profile>(std::get<2>(info.param)));
+    });
+
+}  // namespace
+}  // namespace ivme

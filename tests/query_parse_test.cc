@@ -1,0 +1,107 @@
+// Tests for conjunctive query parsing and accessors.
+#include <gtest/gtest.h>
+
+#include "src/query/query.h"
+#include "tests/support/catalog.h"
+
+namespace ivme {
+namespace {
+
+TEST(QueryParseTest, ParsesTwoAtomQuery) {
+  auto q = ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->name(), "Q");
+  EXPECT_EQ(q->num_atoms(), 2u);
+  EXPECT_EQ(q->num_vars(), 3u);
+  EXPECT_EQ(q->atom(0).relation, "R");
+  EXPECT_EQ(q->atom(1).relation, "S");
+  EXPECT_EQ(q->free_vars().size(), 2u);
+  EXPECT_EQ(q->var_name(q->free_vars()[0]), "A");
+  EXPECT_EQ(q->var_name(q->free_vars()[1]), "C");
+}
+
+TEST(QueryParseTest, VariableIdsFollowBodyFirstOccurrence) {
+  auto q = ConjunctiveQuery::Parse("Q(C) = R(A, B), S(B, C)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->FindVar("A"), 0);
+  EXPECT_EQ(q->FindVar("B"), 1);
+  EXPECT_EQ(q->FindVar("C"), 2);
+  EXPECT_EQ(q->FindVar("Z"), kInvalidVar);
+}
+
+TEST(QueryParseTest, BooleanHead) {
+  auto q = ConjunctiveQuery::Parse("Q() = R(A, B)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(q->free_vars().empty());
+  EXPECT_FALSE(q->IsFull());
+}
+
+TEST(QueryParseTest, FullQuery) {
+  auto q = ConjunctiveQuery::Parse("Q(A, B) = R(A, B)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(q->IsFull());
+}
+
+TEST(QueryParseTest, WhitespaceTolerant) {
+  auto q = ConjunctiveQuery::Parse("  Q ( A ,C )=R( A,B ) , S(B , C)  ");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->num_atoms(), 2u);
+}
+
+TEST(QueryParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ConjunctiveQuery::Parse("").has_value());
+  EXPECT_FALSE(ConjunctiveQuery::Parse("Q(A)").has_value());
+  EXPECT_FALSE(ConjunctiveQuery::Parse("Q(A) = ").has_value());
+  EXPECT_FALSE(ConjunctiveQuery::Parse("Q(A = R(A)").has_value());
+  EXPECT_FALSE(ConjunctiveQuery::Parse("Q(A) = R(A,)").has_value());
+  EXPECT_FALSE(ConjunctiveQuery::Parse("Q(A) = R(A) extra").has_value());
+}
+
+TEST(QueryParseTest, RejectsHeadVariableNotInBody) {
+  EXPECT_FALSE(ConjunctiveQuery::Parse("Q(Z) = R(A, B)").has_value());
+}
+
+TEST(QueryParseTest, RejectsNullaryAtom) {
+  EXPECT_FALSE(ConjunctiveQuery::Parse("Q() = R()").has_value());
+}
+
+TEST(QueryParseTest, RejectsDuplicateVariableInAtomOrHead) {
+  EXPECT_FALSE(ConjunctiveQuery::Parse("Q(A) = R(A, A)").has_value());
+  EXPECT_FALSE(ConjunctiveQuery::Parse("Q(A, A) = R(A, B)").has_value());
+}
+
+TEST(QueryParseTest, RepeatedRelationSymbols) {
+  auto q = ConjunctiveQuery::Parse("Q(B, C) = R(A, B), R(A, C)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(q->HasRepeatedSymbol("R"));
+  EXPECT_EQ(q->RelationNames(), (std::vector<std::string>{"R"}));
+}
+
+TEST(QueryParseTest, AtomsOf) {
+  auto q = ConjunctiveQuery::Parse("Q(A) = R(A, B), S(B)");
+  ASSERT_TRUE(q.has_value());
+  const VarId a = q->FindVar("A");
+  const VarId b = q->FindVar("B");
+  EXPECT_EQ(q->AtomsOf(a), (std::vector<int>{0}));
+  EXPECT_EQ(q->AtomsOf(b), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(q->IsFree(a));
+  EXPECT_TRUE(q->IsBound(b));
+}
+
+TEST(QueryParseTest, ToStringRoundTripParses) {
+  for (const auto& entry : testing::PaperQueryCatalog()) {
+    const auto q = testing::MustParse(entry.text);
+    const auto round = ConjunctiveQuery::Parse(q.ToString());
+    ASSERT_TRUE(round.has_value()) << q.ToString();
+    EXPECT_EQ(round->ToString(), q.ToString());
+  }
+}
+
+TEST(QueryParseTest, WholeCatalogParses) {
+  for (const auto& entry : testing::PaperQueryCatalog()) {
+    EXPECT_TRUE(ConjunctiveQuery::Parse(entry.text).has_value()) << entry.label;
+  }
+}
+
+}  // namespace
+}  // namespace ivme

@@ -1,0 +1,99 @@
+// Tests for the data model: schemas, tuples, projections.
+#include <gtest/gtest.h>
+
+#include "src/data/schema.h"
+#include "src/data/tuple.h"
+
+namespace ivme {
+namespace {
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s({3, 1, 7});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s.PositionOf(1), 1);
+  EXPECT_EQ(s.PositionOf(9), -1);
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(SchemaTest, SetOperationsPreserveLeftOrder) {
+  Schema a({3, 1, 7, 2});
+  Schema b({2, 7, 9});
+  EXPECT_EQ(a.Intersect(b), Schema({7, 2}));
+  EXPECT_EQ(a.Minus(b), Schema({3, 1}));
+  EXPECT_EQ(a.Union(b), Schema({3, 1, 7, 2, 9}));
+}
+
+TEST(SchemaTest, ContainmentAndSetEquality) {
+  Schema a({1, 2, 3});
+  Schema b({3, 1, 2});
+  Schema c({1, 2});
+  EXPECT_TRUE(a.SameSet(b));
+  EXPECT_FALSE(a == b);  // order-sensitive equality
+  EXPECT_TRUE(a.ContainsAll(c));
+  EXPECT_FALSE(c.ContainsAll(a));
+  EXPECT_TRUE(Schema().ContainsAll(Schema()));
+  EXPECT_TRUE(a.ContainsAll(Schema()));
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_TRUE(e.SameSet(Schema::Empty()));
+  EXPECT_EQ(e.Intersect(Schema({1})), Schema());
+  EXPECT_EQ(e.Union(Schema({1})), Schema({1}));
+}
+
+TEST(SchemaTest, AppendMaintainsOrder) {
+  Schema s;
+  s.Append(5);
+  s.Append(2);
+  EXPECT_EQ(s, Schema({5, 2}));
+}
+
+TEST(ProjectionTest, PositionsAndProjection) {
+  Schema super({10, 20, 30, 40});
+  Schema sub({30, 10});
+  const auto pos = ProjectionPositions(super, sub);
+  EXPECT_EQ(pos, (std::vector<int>{2, 0}));
+  // (a, b, c, d)[(C, A)] = (c, a): the paper's restriction example.
+  Tuple t{100, 200, 300, 400};
+  EXPECT_EQ(ProjectTuple(t, pos), (Tuple{300, 100}));
+}
+
+TEST(ProjectionTest, EmptyProjection) {
+  Tuple t{1, 2, 3};
+  EXPECT_EQ(ProjectTuple(t, {}), Tuple{});
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  Tuple a{1, 2, 3};
+  Tuple b{1, 2, 3};
+  Tuple c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  // Different arities never compare equal.
+  EXPECT_NE(Tuple({1}), Tuple({1, 1}));
+}
+
+TEST(TupleTest, Concat) {
+  EXPECT_EQ(ConcatTuples(Tuple{1, 2}, Tuple{3}), (Tuple{1, 2, 3}));
+  EXPECT_EQ(ConcatTuples(Tuple{}, Tuple{3}), (Tuple{3}));
+  EXPECT_EQ(ConcatTuples(Tuple{3}, Tuple{}), (Tuple{3}));
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(Tuple({1, -2}).ToString(), "(1, -2)");
+  EXPECT_EQ(Tuple{}.ToString(), "()");
+}
+
+TEST(SchemaTest, ToStringUsesVariableNames) {
+  Schema s({0, 2});
+  std::vector<std::string> names = {"A", "B", "C"};
+  EXPECT_EQ(s.ToString(names), "(A, C)");
+}
+
+}  // namespace
+}  // namespace ivme

@@ -1,0 +1,266 @@
+// Tests for the Section-3 storage substrate: TupleMap, Relation, secondary
+// indexes, and heavy/light partitions.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/storage/partition.h"
+#include "src/storage/relation.h"
+#include "src/storage/tuple_map.h"
+
+namespace ivme {
+namespace {
+
+TEST(TupleMapTest, EmplaceFindErase) {
+  TupleMap<int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(Tuple{1, 2}), nullptr);
+
+  auto [node, inserted] = map.Emplace(Tuple{1, 2});
+  EXPECT_TRUE(inserted);
+  node->value = 42;
+  EXPECT_EQ(map.size(), 1u);
+
+  auto [again, inserted2] = map.Emplace(Tuple{1, 2});
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(again, node);
+  EXPECT_EQ(again->value, 42);
+
+  EXPECT_NE(map.Find(Tuple{1, 2}), nullptr);
+  map.Erase(node);
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(Tuple{1, 2}), nullptr);
+}
+
+TEST(TupleMapTest, EnumerationFollowsInsertionOrder) {
+  TupleMap<int> map;
+  for (int i = 0; i < 100; ++i) map.Emplace(Tuple{i}).first->value = i;
+  int expected = 0;
+  for (auto* n = map.First(); n != nullptr; n = n->next) {
+    EXPECT_EQ(n->value, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 100);
+}
+
+TEST(TupleMapTest, EnumerationSkipsErasedNodes) {
+  TupleMap<int> map;
+  std::vector<TupleMap<int>::Node*> nodes;
+  for (int i = 0; i < 10; ++i) nodes.push_back(map.Emplace(Tuple{i}).first);
+  map.Erase(nodes[0]);
+  map.Erase(nodes[5]);
+  map.Erase(nodes[9]);
+  std::set<Value> seen;
+  for (auto* n = map.First(); n != nullptr; n = n->next) seen.insert(n->key[0]);
+  EXPECT_EQ(seen, (std::set<Value>{1, 2, 3, 4, 6, 7, 8}));
+}
+
+TEST(TupleMapTest, SurvivesRehashing) {
+  TupleMap<int> map;
+  const int n = 10000;
+  std::vector<TupleMap<int>::Node*> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(map.Emplace(Tuple{i * 7, i * 13}).first);
+    nodes.back()->value = i;
+  }
+  EXPECT_EQ(map.size(), static_cast<size_t>(n));
+  // Node pointers are stable across growth.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(map.Find(Tuple{i * 7, i * 13}), nodes[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(TupleMapTest, DistinguishesTuplesOfDifferentArity) {
+  TupleMap<int> map;
+  map.Emplace(Tuple{1}).first->value = 1;
+  map.Emplace(Tuple{1, 1}).first->value = 2;
+  map.Emplace(Tuple{}).first->value = 3;
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.Find(Tuple{1})->value, 1);
+  EXPECT_EQ(map.Find(Tuple{1, 1})->value, 2);
+  EXPECT_EQ(map.Find(Tuple{})->value, 3);
+}
+
+TEST(RelationTest, ApplyInsertsAndDeletes) {
+  Relation r(Schema({0, 1}), "R");
+  EXPECT_EQ(r.size(), 0u);
+
+  auto res = r.Apply(Tuple{1, 2}, 3);
+  EXPECT_EQ(res.before, 0);
+  EXPECT_EQ(res.after, 3);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.Multiplicity(Tuple{1, 2}), 3);
+
+  res = r.Apply(Tuple{1, 2}, -1);
+  EXPECT_EQ(res.before, 3);
+  EXPECT_EQ(res.after, 2);
+  EXPECT_EQ(r.size(), 1u);
+
+  res = r.Apply(Tuple{1, 2}, -2);
+  EXPECT_EQ(res.after, 0);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.Multiplicity(Tuple{1, 2}), 0);
+}
+
+TEST(RelationTest, ZeroDeltaIsNoOp) {
+  Relation r(Schema({0}), "R");
+  auto res = r.Apply(Tuple{5}, 0);
+  EXPECT_EQ(res.before, 0);
+  EXPECT_EQ(res.after, 0);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RelationTest, IndexCountsAndMembership) {
+  Relation r(Schema({0, 1}), "R");  // R(A, B)
+  const int idx = r.EnsureIndex(Schema({0}));
+  for (Value b = 0; b < 5; ++b) r.Apply(Tuple{1, b}, 1);
+  r.Apply(Tuple{2, 0}, 1);
+
+  EXPECT_EQ(r.index(idx).CountForKey(Tuple{1}), 5u);
+  EXPECT_EQ(r.index(idx).CountForKey(Tuple{2}), 1u);
+  EXPECT_EQ(r.index(idx).CountForKey(Tuple{3}), 0u);
+  EXPECT_TRUE(r.index(idx).ContainsKey(Tuple{1}));
+  EXPECT_FALSE(r.index(idx).ContainsKey(Tuple{3}));
+  EXPECT_EQ(r.index(idx).DistinctKeys(), 2u);
+
+  // Deleting one tuple decrements the count; deleting the last removes the
+  // key.
+  r.Apply(Tuple{2, 0}, -1);
+  EXPECT_FALSE(r.index(idx).ContainsKey(Tuple{2}));
+  EXPECT_EQ(r.index(idx).DistinctKeys(), 1u);
+}
+
+TEST(RelationTest, IndexScanEnumeratesExactlyMatchingTuples) {
+  Relation r(Schema({0, 1}), "R");
+  const int idx = r.EnsureIndex(Schema({1}));  // on B
+  for (Value a = 0; a < 10; ++a) r.Apply(Tuple{a, a % 3}, a + 1);
+
+  std::set<Value> as;
+  Mult total = 0;
+  for (const auto* link = r.index(idx).FirstForKey(Tuple{1}); link != nullptr;
+       link = link->next) {
+    as.insert(link->entry->key[0]);
+    total += link->entry->value.mult;
+  }
+  EXPECT_EQ(as, (std::set<Value>{1, 4, 7}));
+  EXPECT_EQ(total, 2 + 5 + 8);
+}
+
+TEST(RelationTest, EnsureIndexBackfillsExistingTuples) {
+  Relation r(Schema({0, 1}), "R");
+  for (Value a = 0; a < 4; ++a) r.Apply(Tuple{a, 7}, 1);
+  const int idx = r.EnsureIndex(Schema({1}));
+  EXPECT_EQ(r.index(idx).CountForKey(Tuple{7}), 4u);
+  // New tuples keep both pre- and post-created indexes consistent.
+  const int idx0 = r.EnsureIndex(Schema({0}));
+  r.Apply(Tuple{9, 7}, 1);
+  EXPECT_EQ(r.index(idx).CountForKey(Tuple{7}), 5u);
+  EXPECT_EQ(r.index(idx0).CountForKey(Tuple{9}), 1u);
+}
+
+TEST(RelationTest, EnsureIndexIsIdempotent) {
+  Relation r(Schema({0, 1}), "R");
+  const int a = r.EnsureIndex(Schema({1}));
+  const int b = r.EnsureIndex(Schema({1}));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(r.num_indexes(), 1u);
+}
+
+TEST(RelationTest, IndexOnFullSchemaAndEmptySchema) {
+  Relation r(Schema({0, 1}), "R");
+  const int full = r.EnsureIndex(Schema({0, 1}));
+  const int empty = r.EnsureIndex(Schema());
+  r.Apply(Tuple{1, 2}, 1);
+  r.Apply(Tuple{3, 4}, 1);
+  EXPECT_EQ(r.index(full).CountForKey(Tuple{1, 2}), 1u);
+  EXPECT_EQ(r.index(empty).CountForKey(Tuple{}), 2u);
+}
+
+TEST(RelationTest, ClearEmptiesRelationAndIndexes) {
+  Relation r(Schema({0, 1}), "R");
+  const int idx = r.EnsureIndex(Schema({0}));
+  for (Value a = 0; a < 10; ++a) r.Apply(Tuple{a, 0}, 1);
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.index(idx).DistinctKeys(), 0u);
+  // Usable after clearing.
+  r.Apply(Tuple{1, 1}, 1);
+  EXPECT_EQ(r.index(idx).CountForKey(Tuple{1}), 1u);
+}
+
+TEST(RelationTest, RandomizedAgainstReferenceCounts) {
+  Rng rng(77);
+  Relation r(Schema({0, 1}), "R");
+  const int idx = r.EnsureIndex(Schema({0}));
+  std::map<std::pair<Value, Value>, Mult> reference;
+  for (int step = 0; step < 20000; ++step) {
+    const Value a = rng.Range(0, 20);
+    const Value b = rng.Range(0, 20);
+    Mult delta = rng.Chance(0.5) ? 1 : -1;
+    auto key = std::make_pair(a, b);
+    if (reference[key] + delta < 0) delta = 1;  // keep multiplicities valid
+    reference[key] += delta;
+    if (reference[key] == 0) reference.erase(key);
+    r.Apply(Tuple{a, b}, delta);
+  }
+  size_t expected_size = reference.size();
+  EXPECT_EQ(r.size(), expected_size);
+  std::map<Value, size_t> per_key;
+  for (const auto& [key, mult] : reference) {
+    EXPECT_EQ(r.Multiplicity(Tuple{key.first, key.second}), mult);
+    per_key[key.first] += 1;
+  }
+  for (const auto& [a, count] : per_key) {
+    EXPECT_EQ(r.index(idx).CountForKey(Tuple{a}), count);
+  }
+}
+
+TEST(PartitionTest, StrictRepartitionSplitsByDegree) {
+  Relation r(Schema({0, 1}), "R");  // R(A, B), partition on A
+  // Key 1 has degree 5, key 2 degree 2, key 3 degree 1.
+  for (Value b = 0; b < 5; ++b) r.Apply(Tuple{1, b}, 1);
+  for (Value b = 0; b < 2; ++b) r.Apply(Tuple{2, b}, 1);
+  r.Apply(Tuple{3, 0}, 1);
+
+  RelationPartition part(&r, Schema({0}), "R^A");
+  part.StrictRepartition(/*theta=*/3);  // light iff degree < 3
+
+  EXPECT_FALSE(part.KeyInLight(Tuple{1}));
+  EXPECT_TRUE(part.KeyInLight(Tuple{2}));
+  EXPECT_TRUE(part.KeyInLight(Tuple{3}));
+  EXPECT_EQ(part.light()->size(), 3u);
+  EXPECT_EQ(part.BaseCountForKey(Tuple{1}), 5u);
+  EXPECT_EQ(part.LightCountForKey(Tuple{2}), 2u);
+
+  // Thresholds 1 and huge: all-heavy and all-light.
+  part.StrictRepartition(1);
+  EXPECT_EQ(part.light()->size(), 0u);
+  part.StrictRepartition(100);
+  EXPECT_EQ(part.light()->size(), 8u);
+}
+
+TEST(PartitionTest, LightPartPreservesMultiplicities) {
+  Relation r(Schema({0, 1}), "R");
+  r.Apply(Tuple{1, 1}, 4);
+  r.Apply(Tuple{1, 2}, 2);
+  RelationPartition part(&r, Schema({0}), "R^A");
+  part.StrictRepartition(10);
+  EXPECT_EQ(part.light()->Multiplicity(Tuple{1, 1}), 4);
+  EXPECT_EQ(part.light()->Multiplicity(Tuple{1, 2}), 2);
+}
+
+TEST(PartitionTest, PartitionOnFullSchema) {
+  Relation r(Schema({0, 1}), "R");
+  r.Apply(Tuple{1, 1}, 1);
+  r.Apply(Tuple{1, 2}, 1);
+  RelationPartition part(&r, Schema({0, 1}), "R^AB");
+  part.StrictRepartition(2);  // every (a,b) key has degree 1 < 2: all light
+  EXPECT_EQ(part.light()->size(), 2u);
+  part.StrictRepartition(1);
+  EXPECT_EQ(part.light()->size(), 0u);
+}
+
+}  // namespace
+}  // namespace ivme

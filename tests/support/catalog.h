@@ -1,0 +1,84 @@
+// Catalog of the paper's queries, shared by unit, integration, and property
+// tests. Each entry records the classification and widths the paper states
+// (or that follow from its definitions).
+#ifndef IVME_TESTS_SUPPORT_CATALOG_H_
+#define IVME_TESTS_SUPPORT_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/query/query.h"
+
+namespace ivme {
+namespace testing {
+
+struct CatalogEntry {
+  std::string label;
+  std::string text;
+  bool hierarchical;
+  bool q_hierarchical;   // meaningful only when hierarchical
+  bool free_connex;
+  int static_width;      // -1 when not hierarchical (undefined here)
+  int dynamic_width;     // -1 when not hierarchical
+};
+
+inline std::vector<CatalogEntry> PaperQueryCatalog() {
+  return {
+      // label, text, hier, q-hier, free-connex, w, delta
+      {"q_hier_2atom", "Q(A, B) = R(A, B), S(A)", true, true, true, 1, 0},
+      {"ex29_free_connex_d1", "Q(A) = R(A, B), S(B)", true, false, true, 1, 1},
+      {"ex28_matmul", "Q(A, C) = R(A, B), S(B, C)", true, false, false, 2, 1},
+      {"ex18_free_connex", "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)", true, false, true, 1,
+       1},
+      {"ex19_four_atoms", "Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)", true,
+       false, false, 3, 3},
+      {"ex12_free_connex", "Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)", true,
+       false, true, 1, 1},
+      {"star_d1", "Q(Y0, Y1) = R0(X, Y0), R1(X, Y1)", true, false, false, 2, 1},
+      {"star_d2", "Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)", true, false, false, 3, 2},
+      {"star_d3", "Q(Y0, Y1, Y2, Y3) = R0(X, Y0), R1(X, Y1), R2(X, Y2), R3(X, Y3)", true, false,
+       false, 4, 3},
+      {"boolean_hier", "Q() = R(A, B), S(B)", true, true, true, 1, 0},
+      {"full_join", "Q(A, B, C) = R(A, B), S(A, B, C)", true, true, true, 1, 0},
+      {"cartesian_q_hier", "Q(A, B) = R(A), S(B)", true, true, true, 1, 0},
+      {"cartesian_mixed", "Q(A, C) = R(A, B), S(B, C), T(D), U(D, E)", true, false, false, 2, 1},
+      {"path3_nonhier", "Q(A, C) = R(A, B), S(B, C), T(C)", false, false, false, -1, -1},
+      {"triangle", "Q(A, B, C) = R(A, B), S(B, C), T(A, C)", false, false, false, -1, -1},
+      {"single_atom_full", "Q(A, B) = R(A, B)", true, true, true, 1, 0},
+      {"single_atom_proj", "Q(A) = R(A, B)", true, true, true, 1, 0},
+      {"single_atom_bool", "Q() = R(A, B)", true, true, true, 1, 0},
+      // Example 18 with E free instead of D: the bound variables never
+      // dominate free ones, so it is q-hierarchical.
+      {"ex18_variant_qhier", "Q(A, B, E) = R(A, B, C), S(A, B, D), T(A, E)", true, true, true,
+       1, 0},
+      // Deep nested chain with only the deepest variable free: free-connex
+      // but not q-hierarchical (bound C dominates free D).
+      {"deep_chain_d1", "Q(D) = R(A, B, C, D), S(A, B, C), T(A, B), U(A)", true, false, true, 1,
+       1},
+      // Two bound branches under a free root; one branch violates
+      // free-connexness (D, E below bound B), the other does not.
+      {"two_branch_w2", "Q(A, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F)", true, false,
+       false, 2, 1},
+  };
+}
+
+/// Hierarchical entries only (queries the engine accepts).
+inline std::vector<CatalogEntry> HierarchicalCatalog() {
+  std::vector<CatalogEntry> out;
+  for (auto& e : PaperQueryCatalog()) {
+    if (e.hierarchical) out.push_back(e);
+  }
+  return out;
+}
+
+inline ConjunctiveQuery MustParse(const std::string& text) {
+  auto q = ConjunctiveQuery::Parse(text);
+  IVME_CHECK_MSG(q.has_value(), "catalog query failed to parse: " << text);
+  return *q;
+}
+
+}  // namespace testing
+}  // namespace ivme
+
+#endif  // IVME_TESTS_SUPPORT_CATALOG_H_

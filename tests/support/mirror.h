@@ -1,0 +1,86 @@
+// Test harness pairing an Engine with a plain Database mirror; results are
+// compared against the brute-force evaluator after any operation.
+#ifndef IVME_TESTS_SUPPORT_MIRROR_H_
+#define IVME_TESTS_SUPPORT_MIRROR_H_
+
+#include <sstream>
+#include <string>
+
+#include "src/baselines/brute_force.h"
+#include "src/core/engine.h"
+#include "tests/support/catalog.h"
+
+namespace ivme {
+namespace testing {
+
+class MirroredEngine {
+ public:
+  MirroredEngine(const std::string& query_text, EngineOptions options)
+      : query_(MustParse(query_text)), engine_(query_, options) {
+    for (const auto& name : query_.RelationNames()) {
+      for (const auto& atom : query_.atoms()) {
+        if (atom.relation == name) {
+          mirror_.AddRelation(name, atom.schema);
+          break;
+        }
+      }
+    }
+  }
+
+  Engine& engine() { return engine_; }
+  const ConjunctiveQuery& query() const { return query_; }
+  Database& mirror() { return mirror_; }
+
+  void Load(const std::string& relation, const Tuple& tuple, Mult mult = 1) {
+    engine_.LoadTuple(relation, tuple, mult);
+    mirror_.Find(relation)->Apply(tuple, mult);
+  }
+
+  void Preprocess() { engine_.Preprocess(); }
+
+  bool Update(const std::string& relation, const Tuple& tuple, Mult mult) {
+    const bool accepted = engine_.ApplyUpdate(relation, tuple, mult);
+    if (accepted) mirror_.Find(relation)->Apply(tuple, mult);
+    return accepted;
+  }
+
+  /// Compares the engine's enumeration with brute force; empty string on
+  /// success, a diagnostic otherwise.
+  std::string Diff() {
+    const QueryResult expected = BruteForceEvaluate(query_, mirror_);
+    const QueryResult actual = engine_.EvaluateToMap();
+    std::ostringstream out;
+    for (const auto& [tuple, mult] : expected) {
+      auto it = actual.find(tuple);
+      if (it == actual.end()) {
+        out << "missing " << tuple.ToString() << " (mult " << mult << "); ";
+      } else if (it->second != mult) {
+        out << "tuple " << tuple.ToString() << " mult " << it->second << " expected " << mult
+            << "; ";
+      }
+    }
+    for (const auto& [tuple, mult] : actual) {
+      if (expected.find(tuple) == expected.end()) {
+        out << "spurious " << tuple.ToString() << " (mult " << mult << "); ";
+      }
+    }
+    return out.str();
+  }
+
+  /// Engine invariants plus result equality.
+  std::string FullCheck() {
+    std::string error;
+    if (!engine_.CheckInvariants(&error)) return "invariant: " + error;
+    return Diff();
+  }
+
+ private:
+  ConjunctiveQuery query_;
+  Engine engine_;
+  Database mirror_;
+};
+
+}  // namespace testing
+}  // namespace ivme
+
+#endif  // IVME_TESTS_SUPPORT_MIRROR_H_

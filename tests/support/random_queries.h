@@ -1,0 +1,76 @@
+// Random hierarchical query generation for differential testing: build a
+// random canonical-variable-order-shaped forest, place atoms on its
+// root-to-leaf paths, and pick a random set of free variables. Every query
+// produced is hierarchical by construction and exercises shapes the
+// hand-picked catalog misses (chains of shared variables, atoms at inner
+// path positions, bound-under-bound nesting, multiple components).
+#ifndef IVME_TESTS_SUPPORT_RANDOM_QUERIES_H_
+#define IVME_TESTS_SUPPORT_RANDOM_QUERIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/query/query.h"
+
+namespace ivme {
+namespace testing {
+
+struct RandomQueryOptions {
+  int max_components = 2;
+  int max_depth = 3;      ///< variable-path depth per tree
+  int max_branch = 3;     ///< children per variable node
+  int max_atoms = 6;      ///< global atom budget
+  double free_prob = 0.5; ///< probability each variable is free
+};
+
+inline ConjunctiveQuery RandomHierarchicalQuery(Rng& rng, const RandomQueryOptions& opts) {
+  std::vector<std::pair<std::string, std::vector<std::string>>> atoms;
+  int var_counter = 0;
+  int atom_counter = 0;
+  std::vector<std::string> all_vars;
+
+  // Grows one subtree: `path` holds the variables on the root path. Always
+  // places at least one atom per leaf path (canonical shape).
+  std::function<void(std::vector<std::string>, int)> grow =
+      [&](std::vector<std::string> path, int depth) {
+        // Chain of 1..2 fresh variables at this level.
+        const int chain = 1 + static_cast<int>(rng.Below(2));
+        for (int c = 0; c < chain; ++c) {
+          const std::string v = "V" + std::to_string(var_counter++);
+          all_vars.push_back(v);
+          path.push_back(v);
+        }
+        const bool can_descend =
+            depth < opts.max_depth && atom_counter < opts.max_atoms && rng.Chance(0.6);
+        int branches = 0;
+        if (can_descend) {
+          branches = 1 + static_cast<int>(rng.Below(static_cast<uint64_t>(opts.max_branch)));
+        }
+        // An atom covering exactly this path (keeps the order canonical),
+        // mandatory at leaves, optional at inner nodes.
+        if (branches == 0 || rng.Chance(0.5)) {
+          atoms.push_back({"R" + std::to_string(atom_counter++), path});
+        }
+        for (int b = 0; b < branches && atom_counter < opts.max_atoms; ++b) {
+          grow(path, depth + 1);
+        }
+      };
+
+  const int components = 1 + static_cast<int>(rng.Below(static_cast<uint64_t>(opts.max_components)));
+  for (int c = 0; c < components && atom_counter < opts.max_atoms; ++c) {
+    grow({}, 0);
+  }
+
+  std::vector<std::string> head;
+  for (const auto& v : all_vars) {
+    if (rng.Chance(opts.free_prob)) head.push_back(v);
+  }
+  return ConjunctiveQuery::Make("Q", head, atoms);
+}
+
+}  // namespace testing
+}  // namespace ivme
+
+#endif  // IVME_TESTS_SUPPORT_RANDOM_QUERIES_H_

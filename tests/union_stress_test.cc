@@ -1,0 +1,132 @@
+// Stress tests targeting the Union algorithm's replacement invariant
+// (Figure 15 / Durand–Strozecki): buckets of wildly different sizes, heavy
+// overlap, buckets that exhaust at different times, and prefix tuples
+// arriving after a bucket already emitted them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "tests/support/mirror.h"
+
+namespace ivme {
+namespace {
+
+using testing::MirroredEngine;
+
+EngineOptions AllHeavy() {
+  EngineOptions o;
+  o.epsilon = 0.0;  // θ = 1: every join key is heavy → one bucket per key
+  o.mode = EvalMode::kDynamic;
+  return o;
+}
+
+// Helper: load Q(A,C)=R(A,B),S(B,C) so that bucket for key b produces the
+// (a,c) pairs as->cs (cross product).
+void FillBucket(MirroredEngine* m, Value b, const std::vector<Value>& as,
+                const std::vector<Value>& cs) {
+  for (Value a : as) m->Update("R", Tuple{a, b}, 1);
+  for (Value c : cs) m->Update("S", Tuple{b, c}, 1);
+}
+
+TEST(UnionStressTest, IdenticalBuckets) {
+  // Every bucket yields exactly the same tuples: maximal replacement load.
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", AllHeavy());
+  m.Preprocess();
+  for (Value b = 0; b < 20; ++b) FillBucket(&m, b, {1, 2, 3}, {7, 8});
+  auto result = m.engine().EvaluateToMap();
+  EXPECT_EQ(result.size(), 6u);
+  for (const auto& [tuple, mult] : result) EXPECT_EQ(mult, 20);
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(UnionStressTest, NestedSubsetBuckets) {
+  // Bucket i's output strictly contains bucket i+1's.
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", AllHeavy());
+  m.Preprocess();
+  for (Value b = 0; b < 8; ++b) {
+    std::vector<Value> as;
+    for (Value a = 0; a <= b; ++a) as.push_back(a);
+    FillBucket(&m, b, as, {100});
+  }
+  EXPECT_EQ(m.FullCheck(), "");
+  const auto result = m.engine().EvaluateToMap();
+  EXPECT_EQ(result.size(), 8u);
+  EXPECT_EQ(result.at(Tuple{0, 100}), 8);  // in every bucket
+  EXPECT_EQ(result.at(Tuple{7, 100}), 1);  // only in the last
+}
+
+TEST(UnionStressTest, DisjointBucketsOfVaryingSizes) {
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", AllHeavy());
+  m.Preprocess();
+  Value next_a = 0;
+  for (Value b = 0; b < 10; ++b) {
+    std::vector<Value> as;
+    for (Value k = 0; k < (b % 4) * 5 + 1; ++k) as.push_back(next_a++);
+    FillBucket(&m, b, as, {500 + b});
+  }
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(UnionStressTest, EmptySidesLeaveBucketsUngrounded) {
+  // Keys present in R but not in S: no grounding for them (V(h)=0).
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", AllHeavy());
+  m.Preprocess();
+  for (Value b = 0; b < 5; ++b) {
+    m.Update("R", Tuple{b, b}, 1);  // no matching S side for odd keys
+    if (b % 2 == 0) m.Update("S", Tuple{b, 50 + b}, 1);
+  }
+  EXPECT_EQ(m.FullCheck(), "");
+  EXPECT_EQ(m.engine().EvaluateToMap().size(), 3u);
+}
+
+TEST(UnionStressTest, RandomOverlapsAgainstBruteForce) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 10; ++trial) {
+    MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", AllHeavy());
+    m.Preprocess();
+    // Small domains force many shared (a,c) pairs across buckets.
+    for (int i = 0; i < 120; ++i) {
+      m.Update("R", Tuple{rng.Range(0, 4), rng.Range(0, 9)}, 1);
+      m.Update("S", Tuple{rng.Range(0, 9), rng.Range(0, 4)}, 1);
+    }
+    ASSERT_EQ(m.FullCheck(), "") << "trial " << trial;
+  }
+}
+
+TEST(UnionStressTest, NestedUnionsUnderProductExample19) {
+  // ε=0 on Example 19: unions at A nest unions at (A,B) inside product
+  // branches; all values collide on a tiny domain.
+  MirroredEngine m("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)", AllHeavy());
+  m.Preprocess();
+  Rng rng(31415);
+  for (int i = 0; i < 200; ++i) {
+    const std::string rel = std::vector<std::string>{"R", "S", "T", "U"}[rng.Below(4)];
+    m.Update(rel, Tuple{rng.Range(0, 2), rng.Range(0, 2), rng.Range(0, 2)}, 1);
+  }
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+TEST(UnionStressTest, TopLevelUnionAcrossTreesWithSharedTuples) {
+  // ε=0.5 with a mix of heavy and light keys contributing the same output
+  // tuples: exercises the across-trees union (light tree + heavy tree).
+  EngineOptions opts;
+  opts.epsilon = 0.5;
+  opts.mode = EvalMode::kDynamic;
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", opts);
+  for (Value i = 0; i < 300; ++i) m.Load("R", Tuple{1000 + i, 2000 + i}, 1);
+  m.Preprocess();  // θ ≈ 24.5
+  // Heavy key 0 (degree 40) and light keys 1..5 (degree 2) produce
+  // overlapping (a, c) pairs.
+  for (Value a = 0; a < 40; ++a) m.Update("R", Tuple{a % 6, 0}, 1);
+  m.Update("S", Tuple{0, 9}, 1);
+  for (Value b = 1; b <= 5; ++b) {
+    m.Update("R", Tuple{b % 6, b}, 1);
+    m.Update("R", Tuple{(b + 1) % 6, b}, 1);
+    m.Update("S", Tuple{b, 9}, 1);
+  }
+  EXPECT_EQ(m.FullCheck(), "");
+}
+
+}  // namespace
+}  // namespace ivme

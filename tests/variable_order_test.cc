@@ -1,0 +1,209 @@
+// Tests for canonical variable orders and the free-top transformation
+// (Definition 13, Example 14, Appendix B.1 / Figure 25).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/query/classify.h"
+#include "src/query/variable_order.h"
+#include "tests/support/catalog.h"
+
+namespace ivme {
+namespace {
+
+// The child variable names of a variable node, sorted.
+std::vector<std::string> ChildVarNames(const ConjunctiveQuery& q, const VONode* node) {
+  std::vector<std::string> names;
+  for (const auto& child : node->children) {
+    if (child->IsVariable()) names.push_back(q.var_name(child->var));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// Number of atom children of a node.
+int AtomChildCount(const VONode* node) {
+  int count = 0;
+  for (const auto& child : node->children) {
+    if (child->IsAtom()) ++count;
+  }
+  return count;
+}
+
+TEST(CanonicalVOTest, ValidAndCanonicalForWholeCatalog) {
+  for (const auto& entry : testing::HierarchicalCatalog()) {
+    const auto q = testing::MustParse(entry.text);
+    const auto vo = VariableOrder::Canonical(q);
+    EXPECT_TRUE(vo.IsValidFor(q)) << entry.label << ": " << vo.ToString(q);
+    EXPECT_TRUE(vo.IsCanonicalFor(q)) << entry.label << ": " << vo.ToString(q);
+  }
+}
+
+TEST(CanonicalVOTest, Example14Shape) {
+  // A - {B - {C - R(ABC); D - S(ABD)}; E - {F - T(AEF); G - U(AEG)}}.
+  const auto q = testing::MustParse("Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)");
+  const auto vo = VariableOrder::Canonical(q);
+  ASSERT_EQ(vo.roots().size(), 1u);
+  const VONode* a = vo.roots()[0].get();
+  ASSERT_TRUE(a->IsVariable());
+  EXPECT_EQ(q.var_name(a->var), "A");
+  EXPECT_EQ(ChildVarNames(q, a), (std::vector<std::string>{"B", "E"}));
+  const VONode* b = vo.FindVar(q.FindVar("B"));
+  EXPECT_EQ(ChildVarNames(q, b), (std::vector<std::string>{"C", "D"}));
+  const VONode* e = vo.FindVar(q.FindVar("E"));
+  EXPECT_EQ(ChildVarNames(q, e), (std::vector<std::string>{"F", "G"}));
+  // Atoms hang below their lowest variables.
+  const VONode* c = vo.FindVar(q.FindVar("C"));
+  ASSERT_EQ(c->children.size(), 1u);
+  EXPECT_TRUE(c->children[0]->IsAtom());
+  EXPECT_EQ(q.atom(static_cast<size_t>(c->children[0]->atom_index)).relation, "R");
+}
+
+TEST(CanonicalVOTest, Example18Shape) {
+  // Figure 9 (left): A - {B - {C - R(ABC); D - S(ABD)}; E - T(AE)}.
+  const auto q = testing::MustParse("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)");
+  const auto vo = VariableOrder::Canonical(q);
+  ASSERT_EQ(vo.roots().size(), 1u);
+  const VONode* a = vo.roots()[0].get();
+  EXPECT_EQ(q.var_name(a->var), "A");
+  EXPECT_EQ(ChildVarNames(q, a), (std::vector<std::string>{"B", "E"}));
+  const VONode* e = vo.FindVar(q.FindVar("E"));
+  EXPECT_EQ(AtomChildCount(e), 1);
+}
+
+TEST(CanonicalVOTest, ChainOfSharedVariables) {
+  // Both A and B occur in all atoms: they form a chain in id order.
+  const auto q = testing::MustParse("Q(A, B, C) = R(A, B), S(A, B, C)");
+  const auto vo = VariableOrder::Canonical(q);
+  ASSERT_EQ(vo.roots().size(), 1u);
+  const VONode* a = vo.roots()[0].get();
+  EXPECT_EQ(q.var_name(a->var), "A");
+  ASSERT_EQ(a->children.size(), 1u);
+  const VONode* b = a->children[0].get();
+  ASSERT_TRUE(b->IsVariable());
+  EXPECT_EQ(q.var_name(b->var), "B");
+  // R(A,B) hangs below B; S continues below C.
+  EXPECT_EQ(AtomChildCount(b), 1);
+}
+
+TEST(CanonicalVOTest, CartesianProductGivesForest) {
+  const auto q = testing::MustParse("Q(A, B) = R(A), S(B)");
+  const auto vo = VariableOrder::Canonical(q);
+  EXPECT_EQ(vo.roots().size(), 2u);
+}
+
+TEST(CanonicalVOTest, AnnotationsExample18) {
+  const auto q = testing::MustParse("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)");
+  const auto vo = VariableOrder::Canonical(q);
+  const VONode* b = vo.FindVar(q.FindVar("B"));
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->anc.SameSet(Schema({q.FindVar("A")})));
+  EXPECT_TRUE(b->dep.SameSet(Schema({q.FindVar("A")})));
+  // Subtree of B contains C, D and atoms R, S.
+  EXPECT_TRUE(b->subtree_vars.Contains(q.FindVar("C")));
+  EXPECT_TRUE(b->subtree_vars.Contains(q.FindVar("D")));
+  EXPECT_EQ(b->subtree_atoms.size(), 2u);
+  const VONode* c = vo.FindVar(q.FindVar("C"));
+  EXPECT_TRUE(c->anc.SameSet(Schema({q.FindVar("A"), q.FindVar("B")})));
+}
+
+TEST(FreeTopTest, ValidAndFreeTopForWholeCatalog) {
+  for (const auto& entry : testing::HierarchicalCatalog()) {
+    const auto q = testing::MustParse(entry.text);
+    const auto vo = VariableOrder::FreeTopOfCanonical(q);
+    EXPECT_TRUE(vo.IsValidFor(q)) << entry.label << ": " << vo.ToString(q);
+    EXPECT_TRUE(vo.IsFreeTop(q)) << entry.label << ": " << vo.ToString(q);
+  }
+}
+
+TEST(FreeTopTest, CanonicalOfQHierarchicalIsAlreadyFreeTop) {
+  // δ0-hierarchical queries admit canonical free-top variable orders.
+  for (const auto& entry : testing::HierarchicalCatalog()) {
+    if (!entry.q_hierarchical) continue;
+    const auto q = testing::MustParse(entry.text);
+    EXPECT_TRUE(VariableOrder::Canonical(q).IsFreeTop(q)) << entry.label;
+  }
+}
+
+TEST(FreeTopTest, Example28MovesFreeVariablesUp) {
+  // Canonical: B - {A - R; C - S}; free-top: chain A - C - B with both atoms
+  // below B.
+  const auto q = testing::MustParse("Q(A, C) = R(A, B), S(B, C)");
+  const auto canonical = VariableOrder::Canonical(q);
+  ASSERT_EQ(canonical.roots().size(), 1u);
+  EXPECT_EQ(q.var_name(canonical.roots()[0]->var), "B");
+  EXPECT_FALSE(canonical.IsFreeTop(q));
+
+  const auto ft = VariableOrder::FreeTopOfCanonical(q);
+  ASSERT_EQ(ft.roots().size(), 1u);
+  const VONode* a = ft.roots()[0].get();
+  EXPECT_EQ(q.var_name(a->var), "A");
+  ASSERT_EQ(a->children.size(), 1u);
+  const VONode* c = a->children[0].get();
+  EXPECT_EQ(q.var_name(c->var), "C");
+  ASSERT_EQ(c->children.size(), 1u);
+  const VONode* b = c->children[0].get();
+  EXPECT_EQ(q.var_name(b->var), "B");
+  EXPECT_EQ(AtomChildCount(b), 2);
+  // dep(B) = {A, C}: B depends on A through R and on C through S.
+  EXPECT_TRUE(b->dep.SameSet(Schema({q.FindVar("A"), q.FindVar("C")})));
+}
+
+TEST(FreeTopTest, Figure25Transformation) {
+  // The appendix's worked example. Free variables {A,B,D,G,J,K,L,M}.
+  const auto q = testing::MustParse(
+      "Q(A, B, D, G, J, K, L, M) = "
+      "R1(A, B, D, H), R2(A, B, D, I), R3(A, B, E, J), R4(A, B, E, K), "
+      "R5(A, C, F, L), R6(A, C, F, M), R7(A, C, G, N), R8(A, C, G, O)");
+  ASSERT_TRUE(IsHierarchical(q));
+  const auto canonical = VariableOrder::Canonical(q);
+  EXPECT_TRUE(canonical.IsCanonicalFor(q));
+  EXPECT_FALSE(canonical.IsFreeTop(q));
+
+  const auto ft = VariableOrder::FreeTopOfCanonical(q);
+  EXPECT_TRUE(ft.IsValidFor(q));
+  EXPECT_TRUE(ft.IsFreeTop(q));
+
+  // hBF = {E, C}: E's subtree becomes J - K - E, C's becomes G - L - M - C.
+  const VONode* e = ft.FindVar(q.FindVar("E"));
+  ASSERT_NE(e, nullptr);
+  ASSERT_NE(e->parent, nullptr);
+  EXPECT_EQ(q.var_name(e->parent->var), "K");
+  EXPECT_EQ(q.var_name(e->parent->parent->var), "J");
+  const VONode* c = ft.FindVar(q.FindVar("C"));
+  EXPECT_EQ(q.var_name(c->parent->var), "M");
+  EXPECT_EQ(q.var_name(c->parent->parent->var), "L");
+  EXPECT_EQ(q.var_name(c->parent->parent->parent->var), "G");
+  // F keeps N and O's former atoms below C; N, O stay below C.
+  const VONode* n = ft.FindVar(q.FindVar("N"));
+  EXPECT_TRUE(n->anc.Contains(q.FindVar("C")));
+}
+
+TEST(FreeTopTest, BoundOnlySubtreesUntouched) {
+  // No free variable below the bound variables: canonical order unchanged.
+  const auto q = testing::MustParse("Q() = R(A, B), S(B)");
+  const auto canonical = VariableOrder::Canonical(q);
+  const auto ft = VariableOrder::FreeTopOfCanonical(q);
+  EXPECT_EQ(canonical.ToString(q), ft.ToString(q));
+}
+
+TEST(FreeTopTest, DepSetsAreSubsetsOfAncestors) {
+  for (const auto& entry : testing::HierarchicalCatalog()) {
+    const auto q = testing::MustParse(entry.text);
+    const auto vo = VariableOrder::FreeTopOfCanonical(q);
+    std::function<void(const VONode*)> visit = [&](const VONode* node) {
+      EXPECT_TRUE(node->anc.ContainsAll(node->dep)) << entry.label;
+      for (const auto& child : node->children) visit(child.get());
+    };
+    for (const auto& root : vo.roots()) visit(root.get());
+  }
+}
+
+TEST(VOToStringTest, RendersStructure) {
+  const auto q = testing::MustParse("Q(A) = R(A, B), S(B)");
+  const auto vo = VariableOrder::Canonical(q);
+  EXPECT_EQ(vo.ToString(q), "B - {A - {R(A, B)}; S(B)}");
+}
+
+}  // namespace
+}  // namespace ivme

@@ -1,0 +1,272 @@
+// Tests that the constructed view trees match the paper's worked examples:
+// Figure 9 (Example 18), Figure 12 (Example 19), Figure 23 (Example 28),
+// Figure 24 (Example 29).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "src/core/engine.h"
+#include "tests/support/catalog.h"
+
+namespace ivme {
+namespace {
+
+using testing::MustParse;
+
+EngineOptions Opts(EvalMode mode) {
+  EngineOptions o;
+  o.mode = mode;
+  o.epsilon = 0.5;
+  return o;
+}
+
+// Number of view nodes (kView) in a subtree.
+int CountViews(const ViewNode* node) {
+  int count = node->kind == NodeKind::kView ? 1 : 0;
+  for (const auto& child : node->children) count += CountViews(child.get());
+  return count;
+}
+
+// Finds a view whose printable name starts with `prefix`.
+const ViewNode* FindView(const ViewNode* node, const std::string& prefix) {
+  if (node->name.rfind(prefix, 0) == 0) return node;
+  for (const auto& child : node->children) {
+    if (const ViewNode* hit = FindView(child.get(), prefix)) return hit;
+  }
+  return nullptr;
+}
+
+std::string SchemaOf(const ConjunctiveQuery& q, const ViewNode* node) {
+  return node->schema.ToString(q.var_names());
+}
+
+TEST(ViewTreeTest, Example29StaticBuildsSingleFreeConnexTree) {
+  // Q(A) = R(A,B), S(B) is free-connex: the static plan is one view tree
+  // with root VB(A) over {R(A,B), S(B)} (Figure 24 bottom-left), and no
+  // indicator triples.
+  const auto q = MustParse("Q(A) = R(A, B), S(B)");
+  Engine engine(q, Opts(EvalMode::kStatic));
+  const auto& plan = engine.plan();
+  ASSERT_EQ(plan.trees.size(), 1u);
+  EXPECT_TRUE(plan.triples.empty());
+  const ViewNode* root = plan.trees[0]->root.get();
+  EXPECT_EQ(root->kind, NodeKind::kView);
+  EXPECT_EQ(SchemaOf(q, root), "(A)");
+  ASSERT_EQ(root->children.size(), 2u);
+  EXPECT_TRUE(root->children[0]->IsLeaf());
+  EXPECT_TRUE(root->children[1]->IsLeaf());
+}
+
+TEST(ViewTreeTest, Example29DynamicBuildsHeavyAndLightTrees) {
+  // Figure 24: dynamic evaluation partitions on B and keeps two strategies
+  // plus the indicator triple (All/L trees and H_B).
+  const auto q = MustParse("Q(A) = R(A, B), S(B)");
+  Engine engine(q, Opts(EvalMode::kDynamic));
+  const auto& plan = engine.plan();
+  ASSERT_EQ(plan.trees.size(), 2u);
+  ASSERT_EQ(plan.triples.size(), 1u);
+  const IndicatorTriple* triple = plan.triples[0].get();
+  EXPECT_EQ(triple->keys.ToString(q.var_names()), "(B)");
+
+  // Heavy tree: VB(B) <- {∃HB(B), R'(B) <- R(A,B), S(B)} — the first tree
+  // produced by τ.
+  const ViewNode* heavy = plan.trees[0]->root.get();
+  EXPECT_EQ(SchemaOf(q, heavy), "(B)");
+  ASSERT_EQ(heavy->children.size(), 3u);
+  EXPECT_EQ(heavy->indicator_child, 0);
+  const ViewNode* r_aux = heavy->children[1].get();
+  EXPECT_EQ(r_aux->kind, NodeKind::kView);
+  EXPECT_EQ(SchemaOf(q, r_aux), "(B)");
+  ASSERT_EQ(r_aux->children.size(), 1u);
+  EXPECT_TRUE(r_aux->children[0]->IsLeaf());
+  EXPECT_TRUE(heavy->children[2]->IsLeaf());  // S(B) directly
+
+  // Light tree: VB(A) over light parts R^B, S^B.
+  const ViewNode* light = plan.trees[1]->root.get();
+  EXPECT_EQ(SchemaOf(q, light), "(A)");
+  ASSERT_EQ(light->children.size(), 2u);
+  for (const auto& child : light->children) {
+    ASSERT_TRUE(child->IsLeaf());
+    EXPECT_NE(child->partition, nullptr);
+  }
+
+  // Indicator trees: AllB(B) <- {AllA(B) <- R, S}; LB(B) similarly over
+  // light parts.
+  const ViewNode* all_root = triple->all_tree.get();
+  EXPECT_EQ(SchemaOf(q, all_root), "(B)");
+  ASSERT_EQ(all_root->children.size(), 2u);
+  const ViewNode* light_root = triple->light_tree.get();
+  EXPECT_EQ(SchemaOf(q, light_root), "(B)");
+}
+
+TEST(ViewTreeTest, Example28DynamicShape) {
+  // Q(A,C) = R(A,B), S(B,C), Figure 23: heavy tree VB(B) with aux views
+  // R'(B), S'(B); light tree VB(A,C) over R^B, S^B.
+  const auto q = MustParse("Q(A, C) = R(A, B), S(B, C)");
+  Engine engine(q, Opts(EvalMode::kDynamic));
+  const auto& plan = engine.plan();
+  ASSERT_EQ(plan.trees.size(), 2u);
+  ASSERT_EQ(plan.triples.size(), 1u);
+
+  const ViewNode* heavy = plan.trees[0]->root.get();
+  EXPECT_EQ(SchemaOf(q, heavy), "(B)");
+  ASSERT_EQ(heavy->children.size(), 3u);
+  EXPECT_EQ(heavy->indicator_child, 0);
+  // Both non-indicator children are aggregated-away aux views over leaves.
+  for (size_t i = 1; i < 3; ++i) {
+    const ViewNode* aux = heavy->children[i].get();
+    EXPECT_EQ(aux->kind, NodeKind::kView);
+    EXPECT_EQ(SchemaOf(q, aux), "(B)");
+    ASSERT_EQ(aux->children.size(), 1u);
+    EXPECT_TRUE(aux->children[0]->IsLeaf());
+  }
+
+  const ViewNode* light = plan.trees[1]->root.get();
+  EXPECT_EQ(SchemaOf(q, light), "(A, C)");
+  EXPECT_EQ(light->enum_mode, EnumMode::kCovering);
+}
+
+TEST(ViewTreeTest, Example28StaticShape) {
+  // In the static case the heavy tree keeps the full relations under VB(B)
+  // without aux views.
+  const auto q = MustParse("Q(A, C) = R(A, B), S(B, C)");
+  Engine engine(q, Opts(EvalMode::kStatic));
+  const auto& plan = engine.plan();
+  ASSERT_EQ(plan.trees.size(), 2u);
+  const ViewNode* heavy = plan.trees[0]->root.get();
+  ASSERT_EQ(heavy->children.size(), 3u);
+  EXPECT_TRUE(heavy->children[1]->IsLeaf());
+  EXPECT_TRUE(heavy->children[2]->IsLeaf());
+}
+
+TEST(ViewTreeTest, Example18StaticSingleTree) {
+  // Free-connex: one tree, VA(A) <- {VB(A,D), T(A,E)} with VB over
+  // {VC(A,B), S(A,B,D)} (Figure 9, solid nodes).
+  const auto q = MustParse("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)");
+  Engine engine(q, Opts(EvalMode::kStatic));
+  const auto& plan = engine.plan();
+  ASSERT_EQ(plan.trees.size(), 1u);
+  EXPECT_TRUE(plan.triples.empty());
+  const ViewNode* va = plan.trees[0]->root.get();
+  EXPECT_EQ(SchemaOf(q, va), "(A)");
+  ASSERT_EQ(va->children.size(), 2u);
+  const ViewNode* vb = va->children[0].get();
+  EXPECT_EQ(SchemaOf(q, vb), "(A, D)");
+  ASSERT_EQ(vb->children.size(), 2u);
+  const ViewNode* vc = vb->children[0].get();
+  EXPECT_EQ(SchemaOf(q, vc), "(A, B)");
+  EXPECT_TRUE(va->children[1]->IsLeaf());  // T(A,E)
+}
+
+TEST(ViewTreeTest, Example18DynamicAddsAuxViews) {
+  // Figure 9's dashed views V'B(A) and T'(A) appear in dynamic mode, on the
+  // BuildVT tree (exercised through the full plan's heavy branches for the
+  // non-δ0 query; here we call BuildVT directly).
+  const auto q = MustParse("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)");
+  Engine engine(q, Opts(EvalMode::kDynamic));  // provides storage
+  const auto vo = VariableOrder::Canonical(q);
+  auto tree = BuildVTForTest(q, vo.roots()[0].get(), q.free_vars(), std::nullopt,
+                             EvalMode::kDynamic, &engine);
+  // Root VA(A) <- {V'B(A) <- VB(A,D), T'(A) <- T(A,E)}.
+  EXPECT_EQ(SchemaOf(q, tree.get()), "(A)");
+  ASSERT_EQ(tree->children.size(), 2u);
+  const ViewNode* vb_aux = tree->children[0].get();
+  EXPECT_EQ(SchemaOf(q, vb_aux), "(A)");
+  ASSERT_EQ(vb_aux->children.size(), 1u);
+  EXPECT_EQ(SchemaOf(q, vb_aux->children[0].get()), "(A, D)");
+  const ViewNode* t_aux = tree->children[1].get();
+  EXPECT_EQ(SchemaOf(q, t_aux), "(A)");
+  ASSERT_EQ(t_aux->children.size(), 1u);
+  EXPECT_TRUE(t_aux->children[0]->IsLeaf());
+}
+
+TEST(ViewTreeTest, Example19ThreeTreesAndTwoTriples) {
+  // Figure 12: three view trees (light-at-A, heavy-A/light-AB,
+  // heavy-A/heavy-AB) and indicator triples at A and (A,B).
+  const auto q =
+      MustParse("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)");
+  Engine engine(q, Opts(EvalMode::kDynamic));
+  const auto& plan = engine.plan();
+  ASSERT_EQ(plan.trees.size(), 3u);
+  ASSERT_EQ(plan.triples.size(), 2u);
+  // Triples on (A,B) — built during the recursion — and on (A).
+  EXPECT_EQ(plan.triples[0]->keys.ToString(q.var_names()), "(A, B)");
+  EXPECT_EQ(plan.triples[1]->keys.ToString(q.var_names()), "(A)");
+
+  // The two heavy-A trees have root VA(A) with the ∃H_A gate.
+  int heavy_roots = 0;
+  int light_roots = 0;
+  for (const auto& tree : plan.trees) {
+    if (tree->root->indicator_child >= 0) {
+      ++heavy_roots;
+      EXPECT_EQ(SchemaOf(q, tree->root.get()), "(A)");
+    } else {
+      ++light_roots;
+      EXPECT_EQ(SchemaOf(q, tree->root.get()), "(C, D, E, F)");
+      EXPECT_EQ(tree->root->enum_mode, EnumMode::kCovering);
+    }
+  }
+  EXPECT_EQ(heavy_roots, 2);
+  EXPECT_EQ(light_roots, 1);
+
+  // The heavy-A/heavy-AB tree nests the second union: some VA root has a
+  // descendant with the ∃H_B gate.
+  bool found_nested = false;
+  for (const auto& tree : plan.trees) {
+    if (tree->root->indicator_child < 0) continue;
+    std::function<void(const ViewNode*)> scan = [&](const ViewNode* node) {
+      if (node != tree->root.get() && node->indicator_child >= 0) found_nested = true;
+      for (const auto& child : node->children) scan(child.get());
+    };
+    scan(tree->root.get());
+  }
+  EXPECT_TRUE(found_nested);
+}
+
+TEST(ViewTreeTest, QHierarchicalDynamicBuildsSingleTree) {
+  // δ0-hierarchical queries take the BuildVT fast path in dynamic mode too.
+  const auto q = MustParse("Q(A, B) = R(A, B), S(A)");
+  Engine engine(q, Opts(EvalMode::kDynamic));
+  EXPECT_EQ(engine.plan().trees.size(), 1u);
+  EXPECT_TRUE(engine.plan().triples.empty());
+}
+
+TEST(ViewTreeTest, CartesianComponentsGetIndependentTrees) {
+  const auto q = MustParse("Q(A, C) = R(A, B), S(B, C), T(D), U(D, E)");
+  Engine engine(q, Opts(EvalMode::kDynamic));
+  const auto& plan = engine.plan();
+  EXPECT_EQ(plan.num_components, 2);
+  // Component 0 (the matmul-like part) has 2 trees; component 1 is Boolean
+  // δ0 and has 1.
+  int c0 = 0, c1 = 0;
+  for (const auto& tree : plan.trees) {
+    (tree->component == 0 ? c0 : c1)++;
+  }
+  EXPECT_EQ(c0, 2);
+  EXPECT_EQ(c1, 1);
+}
+
+TEST(ViewTreeTest, AllViewsHaveUniqueNamesAndStorage) {
+  const auto q =
+      MustParse("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)");
+  Engine engine(q, Opts(EvalMode::kDynamic));
+  std::set<std::string> names;
+  std::set<const Relation*> storages;
+  std::function<void(const ViewNode*)> scan = [&](const ViewNode* node) {
+    if (node->kind == NodeKind::kView) {
+      EXPECT_TRUE(names.insert(node->name).second) << node->name;
+      EXPECT_TRUE(storages.insert(node->storage).second) << node->name;
+    }
+    for (const auto& child : node->children) scan(child.get());
+  };
+  for (const auto& tree : engine.plan().trees) scan(tree->root.get());
+  for (const auto& triple : engine.plan().triples) {
+    scan(triple->all_tree.get());
+    scan(triple->light_tree.get());
+  }
+  EXPECT_GT(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ivme

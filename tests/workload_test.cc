@@ -1,0 +1,94 @@
+// Tests for the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/workload/generator.h"
+#include "src/workload/update_stream.h"
+
+namespace ivme {
+namespace {
+
+TEST(GeneratorTest, UniformTuplesAreDistinctWithRequestedShape) {
+  const auto tuples = workload::UniformTuples(500, 3, 100, 1);
+  EXPECT_EQ(tuples.size(), 500u);
+  std::set<Tuple> seen(tuples.begin(), tuples.end());
+  EXPECT_EQ(seen.size(), 500u);
+  for (const auto& t : tuples) {
+    ASSERT_EQ(t.size(), 3u);
+    for (Value v : t) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+}
+
+TEST(GeneratorTest, UniformTuplesAreDeterministicPerSeed) {
+  EXPECT_EQ(workload::UniformTuples(50, 2, 40, 9), workload::UniformTuples(50, 2, 40, 9));
+  EXPECT_NE(workload::UniformTuples(50, 2, 40, 9), workload::UniformTuples(50, 2, 40, 10));
+}
+
+TEST(GeneratorTest, ZipfTuplesSkewTheKeyColumn) {
+  const auto tuples = workload::ZipfTuples(4000, 2, 0, 100, 1.3, 100000, 2);
+  std::map<Value, size_t> degree;
+  for (const auto& t : tuples) degree[t[0]]++;
+  // Rank 1 must dominate rank ~20 by a wide margin.
+  EXPECT_GT(degree[0], 10 * std::max<size_t>(degree[20], 1));
+  // All keys within range.
+  for (const auto& [key, count] : degree) {
+    EXPECT_GE(key, 0);
+    EXPECT_LT(key, 100);
+  }
+}
+
+TEST(GeneratorTest, MatrixTuplesRespectDensity) {
+  const auto tuples = workload::MatrixTuples(50, 0.3, 3);
+  const double density = static_cast<double>(tuples.size()) / (50.0 * 50.0);
+  EXPECT_NEAR(density, 0.3, 0.05);
+  std::set<Tuple> seen(tuples.begin(), tuples.end());
+  EXPECT_EQ(seen.size(), tuples.size());
+}
+
+TEST(GeneratorTest, HeavyLightPairsDegrees) {
+  const auto tuples = workload::HeavyLightPairs(4, 10, 25, /*key_first=*/true, 0);
+  EXPECT_EQ(tuples.size(), 4 * 10 + 25u);
+  std::map<Value, size_t> degree;
+  for (const auto& t : tuples) degree[t[0]]++;
+  for (Value k = 0; k < 4; ++k) EXPECT_EQ(degree[k], 10u);
+  for (Value k = 4; k < 29; ++k) EXPECT_EQ(degree[k], 1u);
+  // Partner values are globally distinct: the key_first=false variant joins
+  // bijectively against them.
+  std::set<Value> partners;
+  for (const auto& t : tuples) partners.insert(t[1]);
+  EXPECT_EQ(partners.size(), tuples.size());
+}
+
+TEST(UpdateStreamTest, MixedStreamKeepsDeletesValid) {
+  auto fresh = [](Rng& rng) { return Tuple{rng.Range(0, 1000000), rng.Range(0, 1000000)}; };
+  const auto stream = workload::MixedStream("R", {}, 500, 0.4, fresh, 11);
+  EXPECT_EQ(stream.size(), 500u);
+  std::map<Tuple, int> live;
+  size_t deletes = 0;
+  for (const auto& update : stream) {
+    EXPECT_EQ(update.relation, "R");
+    if (update.mult < 0) {
+      ++deletes;
+      ASSERT_GT(live[update.tuple], 0) << "delete of a dead tuple";
+    }
+    live[update.tuple] += static_cast<int>(update.mult);
+  }
+  EXPECT_GT(deletes, 100u);
+}
+
+TEST(UpdateStreamTest, RoundTripEndsEmpty) {
+  const auto tuples = workload::UniformTuples(100, 2, 1000, 4);
+  const auto stream = workload::InsertDeleteRoundTrip("R", tuples, 5);
+  EXPECT_EQ(stream.size(), 200u);
+  std::map<Tuple, int> live;
+  for (const auto& update : stream) live[update.tuple] += static_cast<int>(update.mult);
+  for (const auto& [tuple, count] : live) EXPECT_EQ(count, 0) << tuple.ToString();
+}
+
+}  // namespace
+}  // namespace ivme

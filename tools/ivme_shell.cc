@@ -1,0 +1,161 @@
+// Interactive shell around the engine: define a hierarchical query on the
+// command line, then stream updates and enumerate results.
+//
+//   ./tools/ivme_shell "Q(A, C) = R(A, B), S(B, C)" [epsilon]
+//
+// Commands (stdin):
+//   + R 1 2 [m]     insert tuple (1,2) into R with multiplicity m (default 1)
+//   - R 1 2 [m]     delete m copies (default 1)
+//   ?               enumerate the result (first 50 tuples)
+//   count           number of distinct result tuples
+//   stats           engine statistics (N, M, θ, views, rebalances)
+//   widths          query classification and widths
+//   trees           print the view trees
+//   check           verify all internal invariants
+//   help            this text
+//   quit            exit
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/common/fmt.h"
+#include "src/core/engine.h"
+#include "src/query/classify.h"
+#include "src/query/hypergraph.h"
+#include "src/query/width.h"
+
+using namespace ivme;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands: + REL v1 v2 .. [m] | - REL v1 v2 .. [m] | ? | count | stats |\n"
+      "          widths | trees | check | help | quit\n");
+}
+
+void PrintWidths(const ConjunctiveQuery& q) {
+  std::printf("query: %s\n", q.ToString().c_str());
+  std::printf("  hierarchical:    %s\n", IsHierarchical(q) ? "yes" : "no");
+  if (!IsHierarchical(q)) return;
+  std::printf("  q-hierarchical:  %s\n", IsQHierarchical(q) ? "yes" : "no");
+  std::printf("  free-connex:     %s\n", IsFreeConnex(q) ? "yes" : "no");
+  std::printf("  delta rank:      delta_%d-hierarchical\n", DeltaRank(q));
+  std::printf("  static width w:  %d\n", StaticWidth(q));
+  std::printf("  dynamic width d: %d\n", DynamicWidth(q));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s \"Q(A, C) = R(A, B), S(B, C)\" [epsilon]\n", argv[0]);
+    return 2;
+  }
+  auto query = ConjunctiveQuery::Parse(argv[1]);
+  if (!query.has_value()) {
+    std::fprintf(stderr, "could not parse query: %s\n", argv[1]);
+    return 2;
+  }
+  if (!IsHierarchical(*query)) {
+    std::fprintf(stderr, "query is not hierarchical; the engine does not support it.\n");
+    PrintWidths(*query);
+    return 2;
+  }
+
+  EngineOptions options;
+  options.epsilon = argc > 2 ? std::atof(argv[2]) : 0.5;
+  options.mode = EvalMode::kDynamic;
+  Engine engine(*query, options);
+  engine.Preprocess();
+
+  PrintWidths(*query);
+  std::printf("engine ready at eps=%.2f; type 'help' for commands\n", options.epsilon);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "+" || cmd == "-") {
+      std::string rel;
+      if (!(in >> rel)) {
+        std::printf("! expected a relation name\n");
+        continue;
+      }
+      size_t arity = 0;
+      bool known = false;
+      for (const auto& atom : query->atoms()) {
+        if (atom.relation == rel) {
+          arity = atom.schema.size();
+          known = true;
+        }
+      }
+      if (!known) {
+        std::printf("! unknown relation %s\n", rel.c_str());
+        continue;
+      }
+      std::vector<Value> values;
+      Value v = 0;
+      while (in >> v) values.push_back(v);
+      Mult mult = 1;
+      if (values.size() == arity + 1) {
+        mult = values.back();
+        values.pop_back();
+      }
+      if (values.size() != arity) {
+        std::printf("! %s has arity %zu\n", rel.c_str(), arity);
+        continue;
+      }
+      if (cmd == "-") mult = -mult;
+      const bool ok = engine.ApplyUpdate(rel, Tuple(std::move(values)), mult);
+      std::printf(ok ? "ok (N=%zu)\n" : "rejected (delete below zero) (N=%zu)\n",
+                  engine.database_size());
+    } else if (cmd == "?") {
+      auto it = engine.Enumerate();
+      Tuple t;
+      Mult m = 0;
+      size_t shown = 0;
+      while (shown < 50 && it->Next(&t, &m)) {
+        std::printf("  %s x%lld\n", t.ToString().c_str(), static_cast<long long>(m));
+        ++shown;
+      }
+      size_t rest = 0;
+      while (it->Next(&t, &m)) ++rest;
+      if (rest > 0) std::printf("  ... and %zu more\n", rest);
+      if (shown == 0) std::printf("  (empty)\n");
+    } else if (cmd == "count") {
+      auto it = engine.Enumerate();
+      Tuple t;
+      Mult m = 0;
+      size_t count = 0;
+      while (it->Next(&t, &m)) ++count;
+      std::printf("%zu distinct tuples\n", count);
+    } else if (cmd == "stats") {
+      const auto stats = engine.GetStats();
+      std::printf("N=%s M=%s theta=%.2f | trees=%zu triples=%zu view-tuples=%s | "
+                  "updates=%zu minor=%zu major=%zu\n",
+                  WithThousands(static_cast<long long>(engine.database_size())).c_str(),
+                  WithThousands(static_cast<long long>(engine.threshold_base())).c_str(),
+                  engine.theta(), stats.num_trees, stats.num_triples,
+                  WithThousands(static_cast<long long>(stats.view_tuples)).c_str(),
+                  stats.updates, stats.minor_rebalances, stats.major_rebalances);
+    } else if (cmd == "widths") {
+      PrintWidths(*query);
+    } else if (cmd == "trees") {
+      std::printf("%s", engine.DebugString().c_str());
+    } else if (cmd == "check") {
+      std::string error;
+      std::printf(engine.CheckInvariants(&error) ? "all invariants hold\n" : "FAILED: %s\n",
+                  error.c_str());
+    } else {
+      std::printf("! unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
