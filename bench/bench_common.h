@@ -6,7 +6,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/engine.h"
@@ -77,6 +79,55 @@ inline double FitLogLogSlope(const std::vector<std::pair<double, double>>& point
 
 /// PASS/FAIL marker for shape checks.
 inline const char* Verdict(bool ok) { return ok ? "PASS" : "FAIL"; }
+
+/// Path for machine-readable results, from the IVME_BENCH_JSON environment
+/// variable; empty when JSON output is disabled.
+inline std::string JsonOutPath() {
+  const char* path = std::getenv("IVME_BENCH_JSON");
+  return path != nullptr ? std::string(path) : std::string();
+}
+
+/// Collects named rows of metric/value pairs and, when IVME_BENCH_JSON is
+/// set, writes them as a JSON document on destruction:
+///   {"bench": "<name>", "rows": [{"name": ..., "<metric>": <value>, ...}]}
+/// Future PRs record these as BENCH_*.json trajectory points.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  void Add(const std::string& row_name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    rows_.emplace_back(row_name, std::move(metrics));
+  }
+
+  ~JsonReporter() {
+    const std::string path = JsonOutPath();
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench_name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {\"name\": \"%s\"", rows_[i].first.c_str());
+      for (const auto& [metric, value] : rows_[i].second) {
+        std::fprintf(f, ", \"%s\": %.6g", metric.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("JSON results written to %s\n", path.c_str());
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>> rows_;
+};
 
 inline void PrintRule(int width = 96) {
   for (int i = 0; i < width; ++i) std::putchar('-');

@@ -33,6 +33,7 @@ int main() {
               "amort update(us)", "mean delay(us)", "minor", "major");
   PrintRule();
 
+  JsonReporter json("fig1_dynamic_tradeoff");
   std::vector<double> update_us, delay_us;
   for (const double eps : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     EngineOptions opts;
@@ -53,6 +54,9 @@ int main() {
     const DelayStats stats = MeasureDelay(engine, 2000);
     update_us.push_back(per_update_us);
     delay_us.push_back(stats.mean_us);
+    json.Add("eps=" + std::to_string(eps), {{"preprocess_s", preprocess_s},
+                                            {"amort_update_us", per_update_us},
+                                            {"mean_delay_us", stats.mean_us}});
     const auto engine_stats = engine.GetStats();
     std::printf("%5.2f | %13.3f | %15.3f | %14.3f | %7zu %7zu\n", eps, preprocess_s,
                 per_update_us, stats.mean_us, engine_stats.minor_rebalances,

@@ -4,6 +4,10 @@
 // grow (modulo cache effects).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "src/common/rng.h"
 #include "src/storage/relation.h"
 
@@ -103,4 +107,24 @@ BENCHMARK(BM_IndexScanPerTuple)->Arg(9700)->Arg(97000);
 }  // namespace
 }  // namespace ivme
 
-BENCHMARK_MAIN();
+// Custom main: with IVME_BENCH_JSON=<path> in the environment, results are
+// additionally written to <path> in Google Benchmark's JSON format. (The
+// figure benches use bench_common.h's JsonReporter, which has its own
+// schema and honors the same variable — point each run at its own file.)
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, format_flag;
+  const char* json_path = std::getenv("IVME_BENCH_JSON");
+  if (json_path != nullptr && *json_path != '\0') {
+    out_flag = std::string("--benchmark_out=") + json_path;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

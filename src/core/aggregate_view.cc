@@ -47,7 +47,12 @@ bool GroupedAggregateEngine::ApplyUpdate(const std::string& relation, const Tupl
 
 GroupedAggregateEngine::Iterator::Iterator(std::unique_ptr<ResultEnumerator> counts,
                                            const Engine* sum_engine)
-    : counts_(std::move(counts)), sum_engine_(sum_engine) {}
+    : counts_(std::move(counts)), sum_engine_(sum_engine) {
+  const Schema& free = sum_engine_->query().free_vars();
+  for (const auto& tree : sum_engine_->plan().trees) {
+    tree_positions_.push_back(ProjectionPositions(free, tree->root->emit_schema));
+  }
+}
 
 bool GroupedAggregateEngine::Iterator::Next(Tuple* group, Aggregates* aggregates) {
   Mult count = 0;
@@ -57,15 +62,14 @@ bool GroupedAggregateEngine::Iterator::Next(Tuple* group, Aggregates* aggregates
   // connected component the trees' contributions add (Proposition 20);
   // across components they multiply (Cartesian product).
   const auto& plan = sum_engine_->plan();
-  const Schema& free = sum_engine_->query().free_vars();
   Mult sum = 1;
   for (int c = 0; c < plan.num_components; ++c) {
     Mult component_sum = 0;
-    for (const auto& tree : plan.trees) {
+    for (size_t i = 0; i < plan.trees.size(); ++i) {
+      const auto& tree = plan.trees[i];
       if (tree->component != c) continue;
-      component_sum +=
-          LookupTree(tree->root.get(), Tuple{},
-                     ProjectTuple(*group, ProjectionPositions(free, tree->root->emit_schema)));
+      scratch_.AssignProjection(*group, tree_positions_[i]);
+      component_sum += LookupTree(tree->root.get(), Tuple{}, scratch_);
     }
     sum *= component_sum;
   }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/core/engine.h"
 
@@ -60,6 +61,10 @@ class GroupedAggregateEngine {
    private:
     std::unique_ptr<ResultEnumerator> counts_;
     const Engine* sum_engine_;
+    // Per-tree projection positions free → emit_schema, hoisted out of
+    // Next(); parallel to sum_engine_->plan().trees.
+    std::vector<std::vector<int>> tree_positions_;
+    Tuple scratch_;  // group restricted to one tree's emit schema
   };
 
   Iterator Enumerate() const;

@@ -1,21 +1,32 @@
 #include "src/core/delta.h"
 
-#include <functional>
-#include <map>
-
 #include "src/common/check.h"
 #include "src/common/counters.h"
+#include "src/storage/tuple_map.h"
 
 namespace ivme {
 
 DeltaVec ApplyDeltaAtNode(ViewNode* node, int child_idx, const DeltaVec& delta) {
   IVME_CHECK(node->kind == NodeKind::kView);
   const DeltaPlan& plan = node->delta_plans[static_cast<size_t>(child_idx)];
+  const size_t num_probes = plan.probe_children.size();
 
-  std::map<Tuple, Mult> acc;
-  std::vector<const Tuple*> probe_rows(plan.probe_children.size(), nullptr);
-  Tuple row;
+  // Hash-based accumulator (insertion-ordered); one pooled node per distinct
+  // output tuple instead of a red-black tree node + comparison chain.
+  TupleMap<Mult> acc;
+  std::vector<const Tuple*> probe_rows(num_probes, nullptr);
+  Tuple row;   // scratch: assembled output tuple
+  Tuple key;   // scratch: delta tuple restricted to the join key K
   row.Reserve(node->schema.size());
+
+  // Per-level cursor state for the iterative nested-loop probe.
+  std::vector<const Relation::Index*> probe_indexes(num_probes, nullptr);
+  for (size_t pi = 0; pi < num_probes; ++pi) {
+    const ViewNode* sib = node->children[static_cast<size_t>(plan.probe_children[pi])].get();
+    probe_indexes[pi] = &sib->storage->index(plan.probe_index_ids[pi]);
+  }
+  std::vector<const Relation::IndexLink*> links(num_probes, nullptr);
+  std::vector<Mult> mults(num_probes + 1, 0);
 
   auto emit_row = [&](const Tuple& dtuple, Mult mult) {
     ++GlobalCounters().delta_steps;
@@ -27,13 +38,14 @@ DeltaVec ApplyDeltaAtNode(ViewNode* node, int child_idx, const DeltaVec& delta) 
         row.PushBack((*probe_rows[static_cast<size_t>(src.child)])[static_cast<size_t>(src.pos)]);
       }
     }
-    acc[row] += mult;
+    acc.Emplace(row).first->value += mult;
   };
 
   for (const auto& [dtuple, dmult] : delta) {
     if (dmult == 0) continue;
-    const Tuple key = ProjectTuple(dtuple, plan.key_from_delta);
-    // Indicator gates.
+    key.AssignProjection(dtuple, plan.key_from_delta);
+    // Indicator gates. The key's hash is computed once and reused across
+    // every gate lookup and probe below.
     bool gated_out = false;
     for (int gi : plan.gate_children) {
       const ViewNode* gate = node->children[static_cast<size_t>(gi)].get();
@@ -43,29 +55,43 @@ DeltaVec ApplyDeltaAtNode(ViewNode* node, int child_idx, const DeltaVec& delta) 
       }
     }
     if (gated_out) continue;
-    // Nested index probes over the non-indicator siblings.
-    std::function<void(size_t, Mult)> probe = [&](size_t pi, Mult mult) {
-      if (pi == plan.probe_children.size()) {
-        emit_row(dtuple, mult);
-        return;
+    if (num_probes == 0) {
+      emit_row(dtuple, dmult);
+      continue;
+    }
+    // Nested index probes over the non-indicator siblings, as an explicit
+    // odometer: level pi scans σ_{K=key} of sibling pi; mults[pi] carries
+    // the multiplicity product of the levels above it.
+    mults[0] = dmult;
+    size_t pi = 0;
+    links[0] = probe_indexes[0]->FirstForKey(key);
+    while (true) {
+      const Relation::IndexLink* link = links[pi];
+      if (link == nullptr) {
+        if (pi == 0) break;
+        --pi;
+        links[pi] = links[pi]->next;
+        continue;
       }
-      const ViewNode* sib = node->children[static_cast<size_t>(plan.probe_children[pi])].get();
-      const auto& index = sib->storage->index(plan.probe_index_ids[pi]);
-      for (const auto* link = index.FirstForKey(key); link != nullptr; link = link->next) {
-        ++GlobalCounters().delta_steps;
-        probe_rows[pi] = &link->entry->key;
-        probe(pi + 1, mult * link->entry->value.mult);
+      ++GlobalCounters().delta_steps;
+      probe_rows[pi] = &link->entry->key;
+      mults[pi + 1] = mults[pi] * link->entry->value.mult;
+      if (pi + 1 == num_probes) {
+        emit_row(dtuple, mults[pi + 1]);
+        links[pi] = link->next;
+      } else {
+        ++pi;
+        links[pi] = probe_indexes[pi]->FirstForKey(key);
       }
-    };
-    probe(0, dmult);
+    }
   }
 
   DeltaVec result;
   result.reserve(acc.size());
-  for (auto& [tuple, mult] : acc) {
-    if (mult == 0) continue;
-    node->storage->Apply(tuple, mult);
-    result.emplace_back(tuple, mult);
+  for (const auto* n = acc.First(); n != nullptr; n = n->next) {
+    if (n->value == 0) continue;
+    node->storage->Apply(n->key, n->value);
+    result.emplace_back(n->key, n->value);
   }
   return result;
 }

@@ -1,6 +1,5 @@
 #include "src/core/materialize.h"
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -36,9 +35,11 @@ MatInput PrepareInput(ViewNode* child, const Schema& out_schema, const Schema& k
     // needs — the InsideOut step; keeps the join inputs degree-bounded.
     input.temp = std::make_unique<Relation>(keep, child->name + "~agg");
     const auto positions = ProjectionPositions(child_schema, keep);
+    Tuple scratch;
     for (const Relation::Entry* e = child->storage->First(); e != nullptr; e = e->next) {
       ++GlobalCounters().materialize_steps;
-      input.temp->Apply(ProjectTuple(e->key, positions), e->value.mult);
+      scratch.AssignProjection(e->key, positions);
+      input.temp->Apply(scratch, e->value.mult);
     }
     input.relation = input.temp.get();
     input.schema = keep;
@@ -46,6 +47,63 @@ MatInput PrepareInput(ViewNode* child, const Schema& out_schema, const Schema& k
   input.key_positions = ProjectionPositions(input.schema, keys.Intersect(input.schema));
   return input;
 }
+
+// Row assembly source: for each output variable, the first input providing
+// it.
+struct OutSource {
+  size_t input;
+  int pos;
+};
+
+// Nested-loop join prober: driver input 0, probes on K for the others.
+// Plain recursive member calls (no std::function allocation per node) with
+// scratch tuples reused across rows.
+struct JoinProber {
+  ViewNode* node;
+  const std::vector<MatInput>& inputs;
+  const std::vector<OutSource>& out_sources;
+  std::vector<const Tuple*> current;
+  Tuple key;      // scratch: the driver row restricted to K, fixed per row
+  Tuple out_row;  // scratch: assembled output row
+
+  JoinProber(ViewNode* n, const std::vector<MatInput>& in, const std::vector<OutSource>& out)
+      : node(n), inputs(in), out_sources(out), current(in.size(), nullptr) {
+    out_row.Reserve(n->schema.size());
+  }
+
+  void Probe(size_t i, Mult mult) {
+    if (i == inputs.size()) {
+      ++GlobalCounters().materialize_steps;
+      out_row.Clear();
+      for (const auto& src : out_sources) {
+        out_row.PushBack((*current[src.input])[static_cast<size_t>(src.pos)]);
+      }
+      node->storage->Apply(out_row, mult);
+      return;
+    }
+    const MatInput& input = inputs[i];
+    if (input.key_index_id >= 0) {
+      for (const auto* link = input.relation->index(input.key_index_id).FirstForKey(key);
+           link != nullptr; link = link->next) {
+        current[i] = &link->entry->key;
+        Probe(i + 1, mult * link->entry->value.mult);
+      }
+    } else if (input.key_positions.size() == input.schema.size()) {
+      // The input is exactly the key: point lookup.
+      const Mult m = input.relation->Multiplicity(key);
+      if (m != 0) {
+        current[i] = &key;
+        Probe(i + 1, mult * m);
+      }
+    } else {
+      // No shared key (Cartesian-ish, only for empty K): full scan.
+      for (const Relation::Entry* e = input.relation->First(); e != nullptr; e = e->next) {
+        current[i] = &e->key;
+        Probe(i + 1, mult * e->value.mult);
+      }
+    }
+  }
+};
 
 }  // namespace
 
@@ -81,11 +139,6 @@ void MaterializeNode(ViewNode* node) {
     }
   }
 
-  // Row assembly: for each output variable, the first input providing it.
-  struct OutSource {
-    size_t input;
-    int pos;
-  };
   std::vector<OutSource> out_sources;
   for (VarId v : node->schema) {
     bool found = false;
@@ -99,59 +152,23 @@ void MaterializeNode(ViewNode* node) {
     IVME_CHECK_MSG(found, "output variable unreachable while materializing " << node->name);
   }
 
-  // Nested-loop join: driver input 0, probes on K for the others.
-  std::vector<const Tuple*> current(inputs.size(), nullptr);
-  Tuple out_row;
-  out_row.Reserve(node->schema.size());
-
-  std::function<void(size_t, Mult)> probe = [&](size_t i, Mult mult) {
-    if (i == inputs.size()) {
-      ++GlobalCounters().materialize_steps;
-      out_row.Clear();
-      for (const auto& src : out_sources) {
-        out_row.PushBack((*current[src.input])[static_cast<size_t>(src.pos)]);
-      }
-      node->storage->Apply(out_row, mult);
-      return;
-    }
-    const MatInput& input = inputs[i];
-    const Tuple key = ProjectTuple(*current[0], inputs[0].key_positions);
-    if (input.key_index_id >= 0) {
-      for (const auto* link = input.relation->index(input.key_index_id).FirstForKey(key);
-           link != nullptr; link = link->next) {
-        current[i] = &link->entry->key;
-        probe(i + 1, mult * link->entry->value.mult);
-      }
-    } else if (input.key_positions.size() == input.schema.size()) {
-      // The input is exactly the key: point lookup.
-      const Mult m = input.relation->Multiplicity(key);
-      if (m != 0) {
-        current[i] = &key;
-        probe(i + 1, mult * m);
-      }
-    } else {
-      // No shared key (Cartesian-ish, only for empty K): full scan.
-      for (const Relation::Entry* e = input.relation->First(); e != nullptr; e = e->next) {
-        current[i] = &e->key;
-        probe(i + 1, mult * e->value.mult);
-      }
-    }
-  };
-
+  JoinProber prober(node, inputs, out_sources);
   for (const Relation::Entry* e = inputs[0].relation->First(); e != nullptr; e = e->next) {
     ++GlobalCounters().materialize_steps;
+    // The driver row's K restriction: projected once per row, its cached
+    // hash shared by every gate lookup and probe below.
+    prober.key.AssignProjection(e->key, inputs[0].key_positions);
     // Gates: all ∃H children must hold for this row's key.
-    const Tuple key = ProjectTuple(e->key, inputs[0].key_positions);
     bool gated_out = false;
     for (const Relation* gate : gates) {
-      if (gate->Multiplicity(key) == 0) {
+      if (gate->Multiplicity(prober.key) == 0) {
         gated_out = true;
         break;
       }
     }
     if (gated_out) continue;
-    current[0] = &e->key;
-    probe(1, e->value.mult);
+    prober.current[0] = &e->key;
+    prober.Probe(1, e->value.mult);
   }
 }
 

@@ -2,29 +2,38 @@
 
 namespace ivme {
 
+void Tuple::GrowTo(size_t n) {
+  size_t cap = capacity_;
+  while (cap < n) cap *= 2;
+  Value* fresh = new Value[cap];
+  std::memcpy(fresh, data(), size_ * sizeof(Value));
+  if (!IsInline()) delete[] heap_;
+  heap_ = fresh;
+  capacity_ = static_cast<uint32_t>(cap);
+}
+
 std::string Tuple::ToString() const {
   std::string out = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  for (size_t i = 0; i < size_; ++i) {
     if (i > 0) out += ", ";
-    out += std::to_string(values_[i]);
+    out += std::to_string(data()[i]);
   }
   out += ")";
   return out;
 }
 
 Tuple ProjectTuple(const Tuple& tuple, const std::vector<int>& positions) {
-  std::vector<Value> values;
-  values.reserve(positions.size());
-  for (int pos : positions) values.push_back(tuple[static_cast<size_t>(pos)]);
-  return Tuple(std::move(values));
+  Tuple out;
+  out.AssignProjection(tuple, positions);
+  return out;
 }
 
 Tuple ConcatTuples(const Tuple& prefix, const Tuple& suffix) {
-  std::vector<Value> values;
-  values.reserve(prefix.size() + suffix.size());
-  values.insert(values.end(), prefix.begin(), prefix.end());
-  values.insert(values.end(), suffix.begin(), suffix.end());
-  return Tuple(std::move(values));
+  Tuple out;
+  out.Reserve(prefix.size() + suffix.size());
+  for (Value v : prefix) out.PushBack(v);
+  for (Value v : suffix) out.PushBack(v);
+  return out;
 }
 
 }  // namespace ivme

@@ -1,7 +1,17 @@
 // Tuples of data values, laid out in schema order.
+//
+// Layout notes (this is the single hottest data type in the system):
+//  - Small-buffer optimization: up to kInlineCapacity values live inline in
+//    the tuple object itself, so view keys, index keys, and most rows never
+//    touch the heap. Longer tuples spill to a heap buffer.
+//  - The 64-bit hash is computed lazily and cached; any mutation (PushBack,
+//    Clear, mutable operator[], projections into the tuple) invalidates it.
+//    TupleMap probes and heavy/light partition lookups therefore hash a key
+//    once and reuse the value across every dictionary and index they touch.
 #ifndef IVME_DATA_TUPLE_H_
 #define IVME_DATA_TUPLE_H_
 
+#include <cstring>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -15,36 +25,165 @@ namespace ivme {
 /// containing relation/view; tuples only store values in schema order.
 class Tuple {
  public:
+  /// Values stored inline (no heap allocation) — covers essentially all
+  /// view/index keys and most rows of the paper's workloads.
+  static constexpr size_t kInlineCapacity = 4;
+
   Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
-  Tuple(std::initializer_list<Value> values) : values_(values) {}
 
-  size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
-  Value operator[](size_t i) const { return values_[i]; }
-  Value& operator[](size_t i) { return values_[i]; }
-  const std::vector<Value>& values() const { return values_; }
+  explicit Tuple(const std::vector<Value>& values) {
+    AssignSpan(values.data(), values.size());
+  }
 
-  auto begin() const { return values_.begin(); }
-  auto end() const { return values_.end(); }
+  Tuple(std::initializer_list<Value> values) { AssignSpan(values.begin(), values.size()); }
 
-  void PushBack(Value v) { values_.push_back(v); }
-  void Clear() { values_.clear(); }
-  void Reserve(size_t n) { values_.reserve(n); }
+  Tuple(const Tuple& other) {
+    AssignSpan(other.data(), other.size_);
+    hash_ = other.hash_;
+  }
 
-  uint64_t Hash() const { return HashSpan64(values_.data(), values_.size()); }
+  Tuple(Tuple&& other) noexcept
+      : size_(other.size_), capacity_(other.capacity_), hash_(other.hash_) {
+    if (other.IsInline()) {
+      std::memcpy(inline_, other.inline_, other.size_ * sizeof(Value));
+    } else {
+      heap_ = other.heap_;
+      other.capacity_ = kInlineCapacity;  // other forgets the heap buffer
+    }
+    other.size_ = 0;
+    other.hash_ = kHashUnset;
+  }
 
-  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  Tuple& operator=(const Tuple& other) {
+    if (this != &other) {
+      size_ = 0;  // values need not survive a reallocation in AssignSpan
+      AssignSpan(other.data(), other.size_);
+      hash_ = other.hash_;
+    }
+    return *this;
+  }
+
+  Tuple& operator=(Tuple&& other) noexcept {
+    if (this != &other) {
+      if (!IsInline()) delete[] heap_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      hash_ = other.hash_;
+      if (other.IsInline()) {
+        std::memcpy(inline_, other.inline_, other.size_ * sizeof(Value));
+        capacity_ = kInlineCapacity;
+      } else {
+        heap_ = other.heap_;
+        other.capacity_ = kInlineCapacity;
+      }
+      other.size_ = 0;
+      other.hash_ = kHashUnset;
+    }
+    return *this;
+  }
+
+  ~Tuple() {
+    if (!IsInline()) delete[] heap_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Value operator[](size_t i) const { return data()[i]; }
+  /// Mutable access invalidates the cached hash (the caller may write).
+  Value& operator[](size_t i) {
+    hash_ = kHashUnset;
+    return data()[i];
+  }
+
+  const Value* data() const { return IsInline() ? inline_ : heap_; }
+
+  const Value* begin() const { return data(); }
+  const Value* end() const { return data() + size_; }
+
+  void PushBack(Value v) {
+    if (size_ == capacity_) GrowTo(capacity_ * 2);
+    data()[size_++] = v;
+    hash_ = kHashUnset;
+  }
+
+  void Clear() {
+    size_ = 0;
+    hash_ = kHashUnset;
+  }
+
+  void Reserve(size_t n) {
+    if (n > capacity_) GrowTo(n);
+  }
+
+  /// Replaces the contents with `positions.size()` values picked out of
+  /// `src` — the restriction x[S] without allocating a fresh tuple. `src`
+  /// must not alias this tuple.
+  void AssignProjection(const Tuple& src, const std::vector<int>& positions) {
+    const size_t n = positions.size();
+    size_ = 0;
+    if (n > capacity_) GrowTo(n);
+    Value* out = data();
+    const Value* in = src.data();
+    for (size_t i = 0; i < n; ++i) out[i] = in[static_cast<size_t>(positions[i])];
+    size_ = static_cast<uint32_t>(n);
+    hash_ = kHashUnset;
+  }
+
+  /// The tuple's 64-bit hash, computed on first use and cached until the
+  /// next mutation. Equal tuples hash equal regardless of representation.
+  uint64_t Hash() const {
+    if (hash_ == kHashUnset) {
+      uint64_t h = HashSpan64(data(), size_);
+      if (h == kHashUnset) h = 0x2545f4914f6cdd1dULL;  // remap the sentinel
+      hash_ = h;
+    }
+    return hash_;
+  }
+
+  bool operator==(const Tuple& other) const {
+    if (size_ != other.size_) return false;
+    if (hash_ != kHashUnset && other.hash_ != kHashUnset && hash_ != other.hash_) return false;
+    return std::memcmp(data(), other.data(), size_ * sizeof(Value)) == 0;
+  }
   bool operator!=(const Tuple& other) const { return !(*this == other); }
-  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+  bool operator<(const Tuple& other) const {
+    const size_t n = size_ < other.size_ ? size_ : other.size_;
+    const Value* a = data();
+    const Value* b = other.data();
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) return a[i] < b[i];
+    }
+    return size_ < other.size_;
+  }
 
   std::string ToString() const;
 
  private:
-  std::vector<Value> values_;
+  static constexpr uint64_t kHashUnset = 0xffffffffffffffffULL;
+
+  bool IsInline() const { return capacity_ == kInlineCapacity; }
+  Value* data() { return IsInline() ? inline_ : heap_; }
+
+  void AssignSpan(const Value* values, size_t n) {
+    if (n > capacity_) GrowTo(n);
+    std::memcpy(data(), values, n * sizeof(Value));
+    size_ = static_cast<uint32_t>(n);
+    hash_ = kHashUnset;
+  }
+
+  void GrowTo(size_t n);
+
+  union {
+    Value inline_[kInlineCapacity];
+    Value* heap_;
+  };
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInlineCapacity;
+  mutable uint64_t hash_ = kHashUnset;
 };
 
-/// Restriction x[S]: picks `positions` out of `tuple`, in order.
+/// Restriction x[S]: picks `positions` out of `tuple`, in order. Prefer
+/// Tuple::AssignProjection onto a scratch tuple on hot paths.
 Tuple ProjectTuple(const Tuple& tuple, const std::vector<int>& positions);
 
 /// Appends `suffix` to a copy of `prefix` (tuple concatenation, the ◦

@@ -23,14 +23,14 @@ class RowScanner {
       entry_ = node_->storage->First();
     } else if (bound == node_->schema.size()) {
       mode_ = Mode::kPoint;
-      point_row_ = ProjectTuple(ctx, node_->ctx_to_bound);
+      point_row_.AssignProjection(ctx, node_->ctx_to_bound);
       point_mult_ = node_->storage->Multiplicity(point_row_);
       point_done_ = point_mult_ == 0;
     } else {
       mode_ = Mode::kIndex;
       IVME_CHECK(node_->scan_index_id >= 0);
-      const Tuple key = ProjectTuple(ctx, node_->ctx_to_bound);
-      link_ = node_->storage->index(node_->scan_index_id).FirstForKey(key);
+      point_row_.AssignProjection(ctx, node_->ctx_to_bound);  // scratch: index key
+      link_ = node_->storage->index(node_->scan_index_id).FirstForKey(point_row_);
     }
   }
 
@@ -69,7 +69,7 @@ class RowScanner {
   Mode mode_ = Mode::kFull;
   const Relation::Entry* entry_ = nullptr;
   const Relation::IndexLink* link_ = nullptr;
-  Tuple point_row_;
+  Tuple point_row_;  // the point row (kPoint) or the index key (kIndex)
   Mult point_mult_ = 0;
   bool point_done_ = true;
 };
@@ -89,13 +89,13 @@ class IndicatorScanner {
       entry_ = h->First();
     } else if (bound == indicator_->schema.size()) {
       mode_ = Mode::kPoint;
-      point_row_ = ProjectTuple(ctx, node_->ctx_to_indicator_bound);
+      point_row_.AssignProjection(ctx, node_->ctx_to_indicator_bound);
       point_done_ = h->Multiplicity(point_row_) == 0;
     } else {
       mode_ = Mode::kIndex;
       IVME_CHECK(node_->indicator_scan_index_id >= 0);
-      const Tuple key = ProjectTuple(ctx, node_->ctx_to_indicator_bound);
-      link_ = h->index(node_->indicator_scan_index_id).FirstForKey(key);
+      point_row_.AssignProjection(ctx, node_->ctx_to_indicator_bound);  // scratch: index key
+      link_ = h->index(node_->indicator_scan_index_id).FirstForKey(point_row_);
     }
   }
 
@@ -130,7 +130,7 @@ class IndicatorScanner {
   Mode mode_ = Mode::kFull;
   const Relation::Entry* entry_ = nullptr;
   const Relation::IndexLink* link_ = nullptr;
-  Tuple point_row_;
+  Tuple point_row_;  // the point row (kPoint) or the index key (kIndex)
   bool point_done_ = true;
 };
 
@@ -153,7 +153,7 @@ class RowProductIter {
 
   void Open(const Tuple& row) {
     row_ = row;
-    row_part_ = ProjectTuple(row, node_->row_emit_positions);
+    row_part_.AssignProjection(row, node_->row_emit_positions);
     primed_ = false;
     dead_ = false;
   }
@@ -222,7 +222,7 @@ class CoveringCursor : public Cursor {
   bool Next(Tuple* emit, Mult* mult) override {
     const Tuple* row = scanner_.Next(mult);
     if (row == nullptr) return false;
-    *emit = ProjectTuple(*row, node_->row_emit_positions);
+    emit->AssignProjection(*row, node_->row_emit_positions);
     return true;
   }
 

@@ -39,13 +39,13 @@ bool ResultEnumerator::ComponentUnion::Next(Tuple* out, Mult* mult) {
   for (size_t i = 0; i < cursors_.size(); ++i) {
     if (!have) {
       if (cursors_[i]->Next(&raw, &ignored)) {
-        t = ProjectTuple(raw, tree_to_comp_[i]);
+        t.AssignProjection(raw, tree_to_comp_[i]);
         have = true;
       }
     } else if (LookupInTree(i, t) != 0) {
       const bool ok = cursors_[i]->Next(&raw, &ignored);
       IVME_CHECK_MSG(ok, "tree stream exhausted during union replacement");
-      t = ProjectTuple(raw, tree_to_comp_[i]);
+      t.AssignProjection(raw, tree_to_comp_[i]);
     }
   }
   if (!have) return false;

@@ -6,10 +6,17 @@
 // i.e., operations (1)-(3) of the computational model in Section 3 of the
 // paper. Chaining (rather than open addressing) keeps node addresses stable,
 // which the secondary-index structures rely on for their back-pointers.
+//
+// Nodes come out of a per-map pool: chunked slabs plus a free list, so
+// insert/erase churn on the update hot path costs a pointer pop/push instead
+// of a malloc/free per entry. Slabs are only returned to the OS when the map
+// itself is destroyed; node addresses stay stable for the node's lifetime.
 #ifndef IVME_STORAGE_TUPLE_MAP_H_
 #define IVME_STORAGE_TUPLE_MAP_H_
 
 #include <cstddef>
+#include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
@@ -35,7 +42,13 @@ class TupleMap {
   TupleMap(const TupleMap&) = delete;
   TupleMap& operator=(const TupleMap&) = delete;
 
-  ~TupleMap() { Clear(); }
+  ~TupleMap() {
+    for (Node* n = head_; n != nullptr;) {
+      Node* next = n->next;
+      n->~Node();
+      n = next;
+    }
+  }
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -43,7 +56,8 @@ class TupleMap {
   /// First node in enumeration order (insertion order), or nullptr.
   Node* First() const { return head_; }
 
-  /// O(1) expected lookup; nullptr when absent.
+  /// O(1) expected lookup; nullptr when absent. Reuses the key's cached
+  /// hash when it is already known.
   Node* Find(const Tuple& key) const {
     const uint64_t h = key.Hash();
     for (Node* n = buckets_[IndexFor(h)]; n != nullptr; n = n->chain) {
@@ -63,7 +77,7 @@ class TupleMap {
     if (size_ + 1 > buckets_.size() * 3 / 4) {
       Grow();
     }
-    Node* n = new Node();
+    Node* n = AllocNode();
     n->key = key;
     n->hash = h;
     const size_t b2 = IndexFor(h);
@@ -86,15 +100,15 @@ class TupleMap {
     *slot = node->chain;
     Unlink(node);
     --size_;
-    delete node;
+    FreeNode(node);
   }
 
-  /// Removes all entries.
+  /// Removes all entries. Node storage is recycled, not released.
   void Clear() {
     Node* n = head_;
     while (n != nullptr) {
       Node* next = n->next;
-      delete n;
+      FreeNode(n);
       n = next;
     }
     head_ = tail_ = nullptr;
@@ -104,6 +118,37 @@ class TupleMap {
 
  private:
   static constexpr size_t kInitialBuckets = 16;  // power of two
+  static constexpr size_t kFirstSlabNodes = 16;
+
+  /// Raw storage for one Node; doubles as a free-list link while vacant.
+  union Slot {
+    Slot* next_free;
+    alignas(Node) unsigned char storage[sizeof(Node)];
+  };
+
+  Node* AllocNode() {
+    Slot* slot = free_head_;
+    if (slot != nullptr) {
+      free_head_ = slot->next_free;
+    } else {
+      if (slab_used_ == slab_cap_) {
+        // Geometric slab growth keeps pool overhead amortized O(1)/node.
+        // Default-init (not make_unique) so the slab is not zeroed up front.
+        slab_cap_ = slabs_.empty() ? kFirstSlabNodes : slab_cap_ * 2;
+        slabs_.emplace_back(new Slot[slab_cap_]);
+        slab_used_ = 0;
+      }
+      slot = &slabs_.back()[slab_used_++];
+    }
+    return new (slot->storage) Node();
+  }
+
+  void FreeNode(Node* node) {
+    node->~Node();
+    Slot* slot = reinterpret_cast<Slot*>(node);
+    slot->next_free = free_head_;
+    free_head_ = slot;
+  }
 
   size_t IndexFor(uint64_t hash) const { return hash & (buckets_.size() - 1); }
 
@@ -145,6 +190,11 @@ class TupleMap {
   size_t size_ = 0;
   Node* head_ = nullptr;
   Node* tail_ = nullptr;
+
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  size_t slab_cap_ = 0;   // nodes in the newest slab
+  size_t slab_used_ = 0;  // nodes handed out from the newest slab
+  Slot* free_head_ = nullptr;
 };
 
 }  // namespace ivme

@@ -1,6 +1,9 @@
 // Tests for the data model: schemas, tuples, projections.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "src/data/schema.h"
 #include "src/data/tuple.h"
 
@@ -87,6 +90,96 @@ TEST(TupleTest, Concat) {
 TEST(TupleTest, ToString) {
   EXPECT_EQ(Tuple({1, -2}).ToString(), "(1, -2)");
   EXPECT_EQ(Tuple{}.ToString(), "()");
+}
+
+// --- small-buffer / cached-hash paths ---
+
+TEST(TupleTest, InlineToHeapTransitionPreservesValues) {
+  Tuple t;
+  for (Value v = 0; v < 32; ++v) {
+    t.PushBack(v * 11);
+    ASSERT_EQ(t.size(), static_cast<size_t>(v + 1));
+    for (Value u = 0; u <= v; ++u) ASSERT_EQ(t[static_cast<size_t>(u)], u * 11);
+  }
+}
+
+TEST(TupleTest, EqualityAcrossInlineAndHeapRepresentations) {
+  // `heap` crosses kInlineCapacity and comes back down to the same values
+  // via mutation; it must still equal (and hash equal to) an inline tuple.
+  Tuple inline_rep{1, 2, 3};
+  Tuple heap_rep;
+  for (Value v : {1, 2, 3, 4, 5, 6, 7, 8}) heap_rep.PushBack(v);
+  heap_rep.Clear();
+  for (Value v : {1, 2, 3}) heap_rep.PushBack(v);
+  EXPECT_EQ(inline_rep, heap_rep);
+  EXPECT_EQ(inline_rep.Hash(), heap_rep.Hash());
+  EXPECT_FALSE(inline_rep < heap_rep);
+  EXPECT_FALSE(heap_rep < inline_rep);
+}
+
+TEST(TupleTest, HashInvalidatedByPushBack) {
+  Tuple t{1, 2};
+  const uint64_t h2 = t.Hash();
+  t.PushBack(3);
+  EXPECT_NE(t.Hash(), h2);
+  EXPECT_EQ(t.Hash(), Tuple({1, 2, 3}).Hash());
+}
+
+TEST(TupleTest, HashInvalidatedByClear) {
+  Tuple t{1, 2, 3};
+  (void)t.Hash();
+  t.Clear();
+  EXPECT_EQ(t.Hash(), Tuple{}.Hash());
+}
+
+TEST(TupleTest, HashInvalidatedByMutableSubscript) {
+  Tuple t{1, 2, 3};
+  (void)t.Hash();
+  t[1] = 99;
+  EXPECT_EQ(t, (Tuple{1, 99, 3}));
+  EXPECT_EQ(t.Hash(), Tuple({1, 99, 3}).Hash());
+}
+
+TEST(TupleTest, CopyAndMovePreserveValuesAcrossRepresentations) {
+  Tuple small{1, 2};
+  Tuple big{1, 2, 3, 4, 5, 6};
+  Tuple small_copy = small;
+  Tuple big_copy = big;
+  EXPECT_EQ(small_copy, small);
+  EXPECT_EQ(big_copy, big);
+  Tuple small_moved = std::move(small_copy);
+  Tuple big_moved = std::move(big_copy);
+  EXPECT_EQ(small_moved, small);
+  EXPECT_EQ(big_moved, big);
+  // Assignment in both directions between representations.
+  small_moved = big;
+  EXPECT_EQ(small_moved, big);
+  big_moved = small;
+  EXPECT_EQ(big_moved, small);
+}
+
+TEST(TupleTest, AssignProjectionReusesScratch) {
+  Tuple scratch;
+  Tuple src{10, 20, 30, 40, 50};
+  scratch.AssignProjection(src, {4, 0});
+  EXPECT_EQ(scratch, (Tuple{50, 10}));
+  const uint64_t h = scratch.Hash();
+  EXPECT_EQ(h, Tuple({50, 10}).Hash());
+  scratch.AssignProjection(src, {1, 2, 3});
+  EXPECT_EQ(scratch, (Tuple{20, 30, 40}));
+  EXPECT_EQ(scratch.Hash(), Tuple({20, 30, 40}).Hash());
+}
+
+TEST(TupleTest, LexicographicOrderMatchesReference) {
+  const std::vector<Tuple> tuples = {Tuple{},       Tuple{1},      Tuple{1, 1},
+                                     Tuple{1, 2},   Tuple{2},      Tuple{2, 0, 0, 0, 0},
+                                     Tuple{2, 0, 1}};
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    for (size_t j = 0; j < tuples.size(); ++j) {
+      EXPECT_EQ(tuples[i] < tuples[j], i < j)
+          << tuples[i].ToString() << " vs " << tuples[j].ToString();
+    }
+  }
 }
 
 TEST(SchemaTest, ToStringUsesVariableNames) {

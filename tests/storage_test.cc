@@ -2,6 +2,8 @@
 // indexes, and heavy/light partitions.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -70,6 +72,84 @@ TEST(TupleMapTest, SurvivesRehashing) {
   for (int i = 0; i < n; ++i) {
     EXPECT_EQ(map.Find(Tuple{i * 7, i * 13}), nodes[static_cast<size_t>(i)]);
   }
+}
+
+// Pool-allocator guard: interleaved Emplace/Erase/Clear across growth
+// boundaries, checked against a plain std::map model. Verifies size,
+// enumeration order (insertion order of the currently-live nodes), and
+// node-pointer stability for every surviving node.
+TEST(TupleMapTest, StressInterleavedEmplaceEraseClear) {
+  TupleMap<int> map;
+  std::map<Tuple, TupleMap<int>::Node*> model;   // key -> node (stability)
+  std::vector<Tuple> insertion_order;            // live keys, oldest first
+  Rng rng(1234);
+  int next_payload = 0;
+
+  const auto verify = [&] {
+    ASSERT_EQ(map.size(), model.size());
+    size_t pos = 0;
+    for (auto* n = map.First(); n != nullptr; n = n->next, ++pos) {
+      ASSERT_LT(pos, insertion_order.size());
+      ASSERT_EQ(n->key, insertion_order[pos]);
+      auto it = model.find(n->key);
+      ASSERT_NE(it, model.end());
+      ASSERT_EQ(it->second, n) << "node pointer moved for " << n->key.ToString();
+    }
+    ASSERT_EQ(pos, insertion_order.size());
+  };
+
+  for (int round = 0; round < 6; ++round) {
+    // Growth phase: push the map well past several bucket doublings; the
+    // pool serves from fresh slabs and the recycled free list alike.
+    for (int i = 0; i < 600; ++i) {
+      const Tuple key{static_cast<Value>(rng.Below(500)), static_cast<Value>(round)};
+      auto [node, inserted] = map.Emplace(key);
+      if (inserted) {
+        node->value = next_payload++;
+        model[key] = node;
+        insertion_order.push_back(key);
+      } else {
+        ASSERT_EQ(model.at(key), node);
+      }
+    }
+    verify();
+    // Churn phase: erase about half of the live keys, re-insert some.
+    for (int i = 0; i < 400; ++i) {
+      const Tuple key{static_cast<Value>(rng.Below(500)), static_cast<Value>(round)};
+      auto it = model.find(key);
+      if (it != model.end()) {
+        map.Erase(it->second);
+        model.erase(it);
+        insertion_order.erase(
+            std::find(insertion_order.begin(), insertion_order.end(), key));
+      } else if (rng.Below(2) == 0) {
+        auto [node, inserted] = map.Emplace(key);
+        ASSERT_TRUE(inserted);
+        node->value = next_payload++;
+        model[key] = node;
+        insertion_order.push_back(key);
+      }
+    }
+    verify();
+    // Every other round: full Clear, then immediate reuse of pooled nodes.
+    if (round % 2 == 1) {
+      map.Clear();
+      model.clear();
+      insertion_order.clear();
+      ASSERT_EQ(map.size(), 0u);
+      ASSERT_EQ(map.First(), nullptr);
+      verify();
+    }
+  }
+  // Drain what is left one node at a time through Erase.
+  while (!insertion_order.empty()) {
+    const Tuple key = insertion_order.back();
+    insertion_order.pop_back();
+    map.Erase(model.at(key));
+    model.erase(key);
+  }
+  verify();
+  EXPECT_TRUE(map.empty());
 }
 
 TEST(TupleMapTest, DistinguishesTuplesOfDifferentArity) {
