@@ -39,8 +39,24 @@ Engine::Engine(ConjunctiveQuery q, EngineOptions options)
     slot.storage = std::make_unique<Relation>(query_.atom(a).schema, storage_name);
     slots_.push_back(std::move(slot));
   }
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    RelationGroup* group = FindGroup(slots_[s].relation);
+    if (group == nullptr) {
+      groups_.push_back(RelationGroup{slots_[s].relation, {}, std::make_unique<TupleMap<Mult>>(),
+                                      /*in_batch=*/false});
+      group = &groups_.back();
+    }
+    group->slot_indices.push_back(s);
+  }
   plan_ = BuildPlan(query_, options_.mode, this);
   RegisterLeaves();
+}
+
+Engine::RelationGroup* Engine::FindGroup(const std::string& relation) {
+  for (auto& group : groups_) {
+    if (group.relation == relation) return &group;
+  }
+  return nullptr;
 }
 
 Engine::~Engine() = default;
@@ -184,22 +200,84 @@ bool Engine::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult m
   return true;
 }
 
+Engine::BatchResult Engine::ApplyBatch(const UpdateBatch& updates) {
+  return ApplyBatch(updates.data(), updates.size());
+}
+
+Engine::BatchResult Engine::ApplyBatch(const Update* updates, size_t count) {
+  IVME_CHECK_MSG(preprocessed_, "Preprocess before updating");
+  IVME_CHECK_MSG(options_.mode == EvalMode::kDynamic, "updates need dynamic mode");
+  BatchResult result;
+  if (count == 0) return result;
+
+  // Phase 1: consolidate per relation. Each group's accumulator sums the
+  // multiplicities per distinct tuple, cancelling insert/delete pairs and
+  // merging repeated inserts before any storage or view work. `touched`
+  // keeps first-appearance order so application stays deterministic.
+  std::vector<RelationGroup*> touched;
+  for (size_t i = 0; i < count; ++i) {
+    const Update& u = updates[i];
+    if (u.mult == 0) continue;
+    RelationGroup* group = FindGroup(u.relation);
+    IVME_CHECK_MSG(group != nullptr, "unknown relation " << u.relation);
+    if (!group->in_batch) {
+      group->in_batch = true;
+      group->accum->Clear();
+      touched.push_back(group);
+    }
+    group->accum->Emplace(u.tuple).first->value += u.mult;
+  }
+
+  for (RelationGroup* group : touched) {
+    TupleMap<Mult>& delta = *group->accum;
+    // Phase 2a: validate net deletes against the pre-batch storage (all
+    // slots of a relation hold identical contents — the first suffices).
+    // Net entries address distinct tuples, so the checks are independent.
+    const Relation* storage = slots_[group->slot_indices[0]].storage.get();
+    for (auto* node = delta.First(); node != nullptr; node = node->next) {
+      if (node->value < 0 && storage->Multiplicity(node->key) < -node->value) {
+        node->value = 0;
+        ++result.rejected;
+      } else if (node->value != 0) {
+        ++result.applied;
+      }
+    }
+    // Phase 2b: one maintenance pass per slot over the consolidated delta
+    // (slots of a repeated relation symbol update in sequence, footnote 2),
+    // including the deferred per-key minor-rebalance sweep.
+    for (size_t si : group->slot_indices) {
+      ApplyBatchDeltaToSlot(slots_[si], delta);
+    }
+    group->in_batch = false;
+  }
+
+  // Phase 4: the major-rebalance trigger runs once per batch, so a batch
+  // cannot thrash partitions across the size-invariant boundary.
+  if (options_.enable_rebalancing) MajorRebalanceIfNeeded();
+
+  stats_.updates += count;
+  ++stats_.batches;
+  stats_.batch_net_entries += result.applied;
+  return result;
+}
+
 void Engine::ApplyUpdateToSlot(Slot& slot, const Tuple& tuple, Mult mult) {
-  // Pre-update snapshots per partition (Figure 19 reads these on the
-  // pre-update database).
-  struct Snapshot {
-    Tuple key;
-    bool in_light = false;
-    size_t base_before = 0;
-    Mult all_before = 0;
-  };
-  std::vector<Snapshot> snaps(slot.infos.size());
+  ApplyDeltaToSlot(slot, tuple, mult);
+  // Rebalancing (Figure 22) runs per update here; the batch path defers it.
+  if (options_.enable_rebalancing) Rebalance(slot, tuple);
+}
+
+void Engine::ApplyDeltaToSlot(Slot& slot, const Tuple& tuple, Mult mult) {
+  // Pre-update snapshots per partition, in the reused scratch (Figure 19
+  // reads these on the pre-update database).
+  if (snap_scratch_.size() < slot.infos.size()) snap_scratch_.resize(slot.infos.size());
   for (size_t i = 0; i < slot.infos.size(); ++i) {
     const SlotPartition& info = slot.infos[i];
-    snaps[i].key = info.partition->KeyOf(tuple);
-    snaps[i].in_light = info.partition->KeyInLight(snaps[i].key);
-    snaps[i].base_before = info.partition->BaseCountForKey(snaps[i].key);
-    snaps[i].all_before = info.triple->all_tree->storage->Multiplicity(snaps[i].key);
+    KeySnapshot& snap = snap_scratch_[i];
+    snap.key = info.partition->KeyOf(tuple);
+    snap.in_light = info.partition->KeyInLight(snap.key);
+    snap.base_before = info.partition->BaseCountForKey(snap.key);
+    snap.all_before = info.triple->all_tree->storage->Multiplicity(snap.key);
   }
 
   // 1. Base storage (shared by every tree referencing this occurrence).
@@ -215,20 +293,17 @@ void Engine::ApplyUpdateToSlot(Slot& slot, const Tuple& tuple, Mult mult) {
   for (size_t i = 0; i < slot.infos.size(); ++i) {
     SlotPartition& info = slot.infos[i];
     PropagateUp(info.all_leaf, {{tuple, mult}});
-    const Mult all_after = info.triple->all_tree->storage->Multiplicity(snaps[i].key);
-    ApplyAllChangeToH(info.triple, snaps[i].key, all_after - snaps[i].all_before);
+    const Mult all_after = info.triple->all_tree->storage->Multiplicity(snap_scratch_[i].key);
+    ApplyAllChangeToH(info.triple, snap_scratch_[i].key, all_after - snap_scratch_[i].all_before);
   }
 
   // 4. Light parts (Figure 19, lines 10–14): the tuple belongs to the light
   // part when its key is new or already classified light.
   for (size_t i = 0; i < slot.infos.size(); ++i) {
-    if (snaps[i].base_before == 0 || snaps[i].in_light) {
+    if (snap_scratch_[i].base_before == 0 || snap_scratch_[i].in_light) {
       ApplyLightDelta(slot.infos[i], tuple, mult);
     }
   }
-
-  // 5. Rebalancing (Figure 22).
-  if (options_.enable_rebalancing) Rebalance(slot, tuple);
 }
 
 void Engine::ApplyLightDelta(SlotPartition& info, const Tuple& tuple, Mult mult) {
@@ -272,25 +347,130 @@ void Engine::PropagateIndicatorChange(IndicatorTriple* triple, const Tuple& key,
 }
 
 void Engine::Rebalance(Slot& slot, const Tuple& tuple) {
-  if (n_ >= m_) {
-    m_ *= 2;
-    MajorRebalancing();
-    return;
-  }
-  if (n_ < m_ / 4) {
-    m_ = m_ / 2 >= 2 ? m_ / 2 - 1 : 1;
-    MajorRebalancing();
-    return;
-  }
+  if (MajorRebalanceIfNeeded()) return;
   const double th = theta();
   for (auto& info : slot.infos) {
-    const Tuple key = info.partition->KeyOf(tuple);
-    const size_t light_count = info.partition->LightCountForKey(key);
-    const size_t base_count = info.partition->BaseCountForKey(key);
-    if (light_count == 0 && static_cast<double>(base_count) < 0.5 * th && base_count > 0) {
-      MinorRebalancing(info, key, /*insert=*/true);
-    } else if (static_cast<double>(light_count) >= 1.5 * th) {
-      MinorRebalancing(info, key, /*insert=*/false);
+    MinorCheckKey(info, info.partition->KeyOf(tuple), th);
+  }
+}
+
+bool Engine::MajorRebalanceIfNeeded() {
+  // After a single-tuple update at most one doubling/halving applies; a
+  // batch can move N past several powers of two, hence the loops. The
+  // expensive repartition+recompute runs once either way.
+  bool changed = false;
+  while (n_ >= m_) {
+    m_ *= 2;
+    changed = true;
+  }
+  while (n_ < m_ / 4) {
+    m_ = m_ / 2 >= 2 ? m_ / 2 - 1 : 1;
+    changed = true;
+  }
+  if (changed) MajorRebalancing();
+  return changed;
+}
+
+void Engine::MinorCheckKey(SlotPartition& info, const Tuple& key, double th) {
+  const size_t light_count = info.partition->LightCountForKey(key);
+  const size_t base_count = info.partition->BaseCountForKey(key);
+  if (light_count == 0 && static_cast<double>(base_count) < 0.5 * th && base_count > 0) {
+    MinorRebalancing(info, key, /*insert=*/true);
+  } else if (static_cast<double>(light_count) >= 1.5 * th) {
+    MinorRebalancing(info, key, /*insert=*/false);
+  }
+}
+
+void Engine::ApplyBatchDeltaToSlot(Slot& slot, const TupleMap<Mult>& delta) {
+  // Per-partition pre-batch snapshots, keyed by partition key: light/heavy
+  // classification, All-tree and L-tree multiplicities (Figure 19 reads
+  // these on the pre-update database). Taken before any storage change.
+  while (key_scratch_.size() < slot.infos.size()) {
+    key_scratch_.push_back(std::make_unique<TupleMap<BatchKeySnap>>());
+  }
+  for (size_t i = 0; i < slot.infos.size(); ++i) {
+    const SlotPartition& info = slot.infos[i];
+    TupleMap<BatchKeySnap>& keys = *key_scratch_[i];
+    keys.Clear();
+    for (const auto* node = delta.First(); node != nullptr; node = node->next) {
+      if (node->value == 0) continue;
+      const auto [snap, inserted] = keys.Emplace(info.partition->KeyOf(node->key));
+      if (!inserted) continue;
+      const bool in_light = info.partition->KeyInLight(snap->key);
+      snap->value.light_classified =
+          in_light || info.partition->BaseCountForKey(snap->key) == 0;
+      snap->value.all_before = info.triple->all_tree->storage->Multiplicity(snap->key);
+      snap->value.l_before = info.triple->light_tree->storage->Multiplicity(snap->key);
+    }
+  }
+
+  // 1. Base storage, and the whole delta as one DeltaVec: every view on the
+  // way up merges the per-tuple deltas, so each tree is walked once.
+  batch_delta_scratch_.clear();
+  for (const auto* node = delta.First(); node != nullptr; node = node->next) {
+    if (node->value == 0) continue;
+    const auto res = slot.storage->Apply(node->key, node->value);
+    n_ = static_cast<size_t>(static_cast<long long>(n_) + SupportChange(res.before, res.after));
+    batch_delta_scratch_.emplace_back(node->key, node->value);
+  }
+  if (batch_delta_scratch_.empty()) return;
+
+  // 2. Full-relation leaves in the main trees (Figure 19, line 1).
+  for (ViewNode* leaf : slot.main_full_leaves) {
+    PropagateUp(leaf, batch_delta_scratch_);
+  }
+
+  // 3. Indicator maintenance (Figure 19, lines 2–9): one All-tree pass,
+  // then the per-key H changes against the pre-batch snapshots. H stays
+  // All ∧ ∄L throughout because L is untouched until step 4.
+  for (size_t i = 0; i < slot.infos.size(); ++i) {
+    SlotPartition& info = slot.infos[i];
+    PropagateUp(info.all_leaf, batch_delta_scratch_);
+    for (const auto* snap = key_scratch_[i]->First(); snap != nullptr; snap = snap->next) {
+      const Mult all_after = info.triple->all_tree->storage->Multiplicity(snap->key);
+      ApplyAllChangeToH(info.triple, snap->key, all_after - snap->value.all_before);
+    }
+  }
+
+  // 4. Light parts (Figure 19, lines 10–14). A key's classification is
+  // constant across the batch (rebalancing is deferred): every delta tuple
+  // of a light or new key belongs to the light part, exactly as when the
+  // tuples apply one at a time. L-support changes feed H per key, netted
+  // over the batch.
+  for (size_t i = 0; i < slot.infos.size(); ++i) {
+    SlotPartition& info = slot.infos[i];
+    const TupleMap<BatchKeySnap>& keys = *key_scratch_[i];
+    batch_light_scratch_.clear();
+    for (const auto& [tuple, mult] : batch_delta_scratch_) {
+      const auto* snap = keys.Find(info.partition->KeyOf(tuple));
+      IVME_CHECK(snap != nullptr);
+      if (!snap->value.light_classified) continue;
+      info.partition->light()->Apply(tuple, mult);
+      batch_light_scratch_.emplace_back(tuple, mult);
+    }
+    if (batch_light_scratch_.empty()) continue;
+    for (ViewNode* leaf : info.main_light_leaves) {
+      PropagateUp(leaf, batch_light_scratch_);
+    }
+    PropagateUp(info.light_leaf, batch_light_scratch_);
+    for (const auto* snap = keys.First(); snap != nullptr; snap = snap->next) {
+      const Mult l_after = info.triple->light_tree->storage->Multiplicity(snap->key);
+      const int l_change = SupportChange(snap->value.l_before, l_after);
+      if (l_change != 0) ApplyNotLChangeToH(info.triple, snap->key, -l_change);
+    }
+  }
+
+  // 5. Deferred minor rebalancing: a single heavy/light threshold check per
+  // touched partition key (Figure 22, amortized over the whole batch).
+  // Skipped when the batch already broke the size invariant — the major
+  // rebalance at batch end strictly repartitions everything, so minor
+  // moves done now (against a θ about to change) would be thrown away.
+  if (options_.enable_rebalancing && m_ / 4 <= n_ && n_ < m_) {
+    const double th = theta();
+    for (size_t i = 0; i < slot.infos.size(); ++i) {
+      for (const auto* snap = key_scratch_[i]->First(); snap != nullptr; snap = snap->next) {
+        MinorCheckKey(slot.infos[i], snap->key, th);
+      }
     }
   }
 }

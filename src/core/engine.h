@@ -1,7 +1,7 @@
 // The public engine: builds the skew-aware view trees for a hierarchical
 // query, materializes them (preprocessing, Theorem 2/4), maintains them
-// under single-tuple updates with minor/major rebalancing (Section 6), and
-// enumerates the distinct result tuples (Section 5).
+// under single-tuple and batched updates with minor/major rebalancing
+// (Section 6), and enumerates the distinct result tuples (Section 5).
 #ifndef IVME_CORE_ENGINE_H_
 #define IVME_CORE_ENGINE_H_
 
@@ -12,8 +12,10 @@
 #include "src/baselines/brute_force.h"
 #include "src/core/builder.h"
 #include "src/core/view_node.h"
+#include "src/data/update.h"
 #include "src/enumerate/enumerator.h"
 #include "src/query/query.h"
+#include "src/storage/tuple_map.h"
 
 namespace ivme {
 
@@ -34,7 +36,7 @@ struct EngineOptions {
 /// Evaluation/maintenance engine for one hierarchical query.
 ///
 /// Lifecycle: construct → Load base tuples → Preprocess() → interleave
-/// ApplyUpdate (dynamic mode) and Enumerate().
+/// ApplyUpdate / ApplyBatch (dynamic mode) and Enumerate().
 class Engine : public StorageProvider {
  public:
   /// `q` must be hierarchical (checked).
@@ -63,6 +65,47 @@ class Engine : public StorageProvider {
   /// dynamic mode and a preprocessed engine.
   bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
 
+  /// Outcome of one ApplyBatch call.
+  struct BatchResult {
+    /// Consolidated net-delta entries that reached the view trees. Records
+    /// that cancelled to a net multiplicity of 0 are never applied and are
+    /// counted in neither field.
+    size_t applied = 0;
+    /// Net deletes that exceeded the stored multiplicity; those entries are
+    /// skipped in full (the rest of the batch still applies).
+    size_t rejected = 0;
+  };
+
+  /// Applies `count` updates as one batch. Semantics and cost model:
+  ///
+  ///  1. **Net-delta consolidation.** The batch is first consolidated per
+  ///     relation: multiplicities of records addressing the same
+  ///     (relation, tuple) pair are summed, so insert/delete pairs cancel
+  ///     and repeated inserts merge into one weighted delta. Only the
+  ///     surviving net entries touch storage or views. For streams in which
+  ///     every single-tuple update would have been accepted, the final
+  ///     state is identical to applying the records one at a time with
+  ///     ApplyUpdate, in any order or chunking of the stream.
+  ///  2. **One maintenance pass per relation.** Each relation's net delta
+  ///     runs through the base storage, partitions, indicator triples, and
+  ///     view trees in a single pass (Figure 19 per net entry), instead of
+  ///     one full walk per input record.
+  ///  3. **Deferred rebalancing.** Minor-rebalancing threshold checks
+  ///     (Figure 22) run once per relation per batch over the touched
+  ///     partition keys, and the major-rebalance trigger on the size
+  ///     invariant ⌊M/4⌋ ≤ N < M is evaluated once at batch end (doubling /
+  ///     halving M as often as needed), so a batch cannot thrash
+  ///     partitions. Mid-batch the loose partition bands of Definition 11
+  ///     may drift — results stay exact; the amortized-cost bands are
+  ///     restored before ApplyBatch returns.
+  ///
+  /// A net delete larger than the stored multiplicity rejects that entry
+  /// only (counted in BatchResult::rejected); this is the batch analogue of
+  /// ApplyUpdate returning false. Requires dynamic mode and a preprocessed
+  /// engine; every record must address a relation symbol of the query.
+  BatchResult ApplyBatch(const Update* updates, size_t count);
+  BatchResult ApplyBatch(const UpdateBatch& updates);
+
   /// Opens an enumeration session over the current result.
   std::unique_ptr<ResultEnumerator> Enumerate() const;
 
@@ -84,7 +127,9 @@ class Engine : public StorageProvider {
   double theta() const;
 
   struct Stats {
-    size_t updates = 0;
+    size_t updates = 0;  ///< single-tuple updates + records ingested via batches
+    size_t batches = 0;  ///< ApplyBatch calls
+    size_t batch_net_entries = 0;  ///< consolidated entries applied by batches
     size_t minor_rebalances = 0;
     size_t major_rebalances = 0;
     size_t num_trees = 0;
@@ -124,13 +169,57 @@ class Engine : public StorageProvider {
     std::vector<ViewNode*> main_full_leaves;
   };
 
+  /// Slots sharing one relation symbol, plus the batch-consolidation
+  /// accumulator for that symbol. The accumulator's node pool persists
+  /// across batches, so steady-state consolidation allocates nothing.
+  struct RelationGroup {
+    std::string relation;
+    std::vector<size_t> slot_indices;
+    std::unique_ptr<TupleMap<Mult>> accum;
+    bool in_batch = false;  ///< touched by the batch currently consolidating
+  };
+
+  /// Pre-update per-partition snapshot (Figure 19 reads these on the
+  /// pre-update database).
+  struct KeySnapshot {
+    Tuple key;
+    bool in_light = false;
+    size_t base_before = 0;
+    Mult all_before = 0;
+  };
+
+  /// Per-partition-key snapshot for one batch: taken on the pre-batch
+  /// database, before any of the relation's net delta applies.
+  struct BatchKeySnap {
+    /// Every delta tuple of this key belongs to the light part: the key was
+    /// light, or absent (new keys start light). Matches the per-tuple rule
+    /// of Figure 19 applied to the whole consolidated delta.
+    bool light_classified = false;
+    Mult all_before = 0;  ///< All-tree multiplicity of the key
+    Mult l_before = 0;    ///< L-tree multiplicity of the key
+  };
+
   void RegisterLeaves();
+  RelationGroup* FindGroup(const std::string& relation);
   void ApplyUpdateToSlot(Slot& slot, const Tuple& tuple, Mult mult);
+  /// Figure 19 for one tuple: storage, main trees, indicators, light parts —
+  /// everything except rebalancing (shared by the single and batch paths).
+  void ApplyDeltaToSlot(Slot& slot, const Tuple& tuple, Mult mult);
   void ApplyLightDelta(SlotPartition& info, const Tuple& tuple, Mult mult);
   void ApplyAllChangeToH(IndicatorTriple* triple, const Tuple& key, Mult all_change);
   void ApplyNotLChangeToH(IndicatorTriple* triple, const Tuple& key, int not_l_change);
   void PropagateIndicatorChange(IndicatorTriple* triple, const Tuple& key, int change);
+  /// Figure 19 for a whole consolidated relation delta: one storage pass,
+  /// one DeltaVec propagation per view-tree leaf (deltas merge per view on
+  /// the way up), per-key indicator maintenance from pre-batch snapshots,
+  /// and — when rebalancing is on — one deferred minor-rebalance threshold
+  /// check per touched partition key.
+  void ApplyBatchDeltaToSlot(Slot& slot, const TupleMap<Mult>& delta);
   void Rebalance(Slot& slot, const Tuple& tuple);
+  void MinorCheckKey(SlotPartition& info, const Tuple& key, double th);
+  /// Restores ⌊M/4⌋ ≤ N < M, doubling/halving M as often as needed, with at
+  /// most one repartition+recompute. Returns true when M changed.
+  bool MajorRebalanceIfNeeded();
   void MinorRebalancing(SlotPartition& info, const Tuple& key, bool insert);
   void MajorRebalancing();
   void RecomputeThresholdViews();
@@ -138,11 +227,18 @@ class Engine : public StorageProvider {
   ConjunctiveQuery query_;
   EngineOptions options_;
   std::vector<Slot> slots_;
+  std::vector<RelationGroup> groups_;
   CompiledPlan plan_;
   bool preprocessed_ = false;
   size_t n_ = 0;
   size_t m_ = 1;
   Stats stats_;
+  std::vector<KeySnapshot> snap_scratch_;  ///< reused by ApplyDeltaToSlot
+  /// Batch scratch, reused across batches (pools and capacity persist):
+  /// per-partition key snapshots plus the materialized delta vectors.
+  std::vector<std::unique_ptr<TupleMap<BatchKeySnap>>> key_scratch_;
+  std::vector<std::pair<Tuple, Mult>> batch_delta_scratch_;
+  std::vector<std::pair<Tuple, Mult>> batch_light_scratch_;
 };
 
 }  // namespace ivme

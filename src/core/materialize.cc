@@ -21,6 +21,10 @@ struct MatInput {
   Schema schema;
   std::vector<int> key_positions;         // K positions in `schema`
   int key_index_id = -1;                  // index on K (probe inputs only)
+  // When the input schema is exactly K but permuted (repeated relation
+  // symbols, e.g. R(A, B) ⋈ R(B, A)): scatter positions turning a K-ordered
+  // key into a tuple in the input's own layout. Empty when the orders agree.
+  std::vector<int> key_scatter;
 };
 
 MatInput PrepareInput(ViewNode* child, const Schema& out_schema, const Schema& keys) {
@@ -45,6 +49,20 @@ MatInput PrepareInput(ViewNode* child, const Schema& out_schema, const Schema& k
     input.schema = keep;
   }
   input.key_positions = ProjectionPositions(input.schema, keys.Intersect(input.schema));
+  if (input.key_positions.size() == input.schema.size()) {
+    bool identity = true;
+    for (size_t j = 0; j < input.key_positions.size(); ++j) {
+      if (input.key_positions[j] != static_cast<int>(j)) identity = false;
+    }
+    if (!identity) {
+      // Inverse permutation: lookup[i] = key[key_scatter[i]] lands the key
+      // value of schema position i at position i.
+      input.key_scatter.assign(input.key_positions.size(), 0);
+      for (size_t j = 0; j < input.key_positions.size(); ++j) {
+        input.key_scatter[static_cast<size_t>(input.key_positions[j])] = static_cast<int>(j);
+      }
+    }
+  }
   return input;
 }
 
@@ -65,9 +83,10 @@ struct JoinProber {
   std::vector<const Tuple*> current;
   Tuple key;      // scratch: the driver row restricted to K, fixed per row
   Tuple out_row;  // scratch: assembled output row
+  std::vector<Tuple> lookup;  // scratch per level: key in the input's layout
 
   JoinProber(ViewNode* n, const std::vector<MatInput>& in, const std::vector<OutSource>& out)
-      : node(n), inputs(in), out_sources(out), current(in.size(), nullptr) {
+      : node(n), inputs(in), out_sources(out), current(in.size(), nullptr), lookup(in.size()) {
     out_row.Reserve(n->schema.size());
   }
 
@@ -89,10 +108,17 @@ struct JoinProber {
         Probe(i + 1, mult * link->entry->value.mult);
       }
     } else if (input.key_positions.size() == input.schema.size()) {
-      // The input is exactly the key: point lookup.
-      const Mult m = input.relation->Multiplicity(key);
+      // The input is exactly the key set: point lookup. When the input's
+      // layout permutes the key order, the lookup tuple (and the row handed
+      // to out_sources) must be in the input's layout, not key order.
+      const Tuple* probe = &key;
+      if (!input.key_scatter.empty()) {
+        lookup[i].AssignProjection(key, input.key_scatter);
+        probe = &lookup[i];
+      }
+      const Mult m = input.relation->Multiplicity(*probe);
       if (m != 0) {
-        current[i] = &key;
+        current[i] = probe;
         Probe(i + 1, mult * m);
       }
     } else {

@@ -1,0 +1,31 @@
+// The update record shared by the engine's batch API and the workload
+// stream generators: one signed single-tuple delta δR = {tuple → mult}
+// addressed to a relation symbol of the query.
+#ifndef IVME_DATA_UPDATE_H_
+#define IVME_DATA_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/tuple.h"
+
+namespace ivme {
+
+/// A single-tuple update δR = {tuple → mult}: an insert when mult > 0, a
+/// delete when mult < 0 (Section 3, "Modeling Updates Using
+/// Multiplicities"). Batches of these are the unit of `Engine::ApplyBatch`;
+/// within a batch, records addressing the same (relation, tuple) pair are
+/// consolidated by summing their multiplicities before any view work.
+struct Update {
+  std::string relation;
+  Tuple tuple;
+  Mult mult = 1;
+};
+
+/// One ingestion batch: updates are applied as-if in sequence, but the
+/// engine is free to consolidate and reorder per-relation net deltas.
+using UpdateBatch = std::vector<Update>;
+
+}  // namespace ivme
+
+#endif  // IVME_DATA_UPDATE_H_

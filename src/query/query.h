@@ -1,4 +1,7 @@
-// Conjunctive queries (Section 3): Q(F) = R1(X1), ..., Rn(Xn).
+// Conjunctive queries (Section 3): Q(F) = R1(X1), ..., Rn(Xn), with free
+// variables F and one atom per relation occurrence. This is the engine's
+// input language; classification (hierarchical, q-hierarchical, widths)
+// lives in classify.h / width.h.
 #ifndef IVME_QUERY_QUERY_H_
 #define IVME_QUERY_QUERY_H_
 

@@ -1,6 +1,6 @@
 #include "src/workload/update_stream.h"
 
-#include <map>
+#include <algorithm>
 
 namespace ivme {
 namespace workload {
@@ -25,6 +25,27 @@ std::vector<Update> MixedStream(const std::string& relation, const std::vector<T
     }
   }
   return out;
+}
+
+std::vector<Batch> BatchedMixedStream(const std::string& relation,
+                                      const std::vector<Tuple>& initial,
+                                      const BatchStreamOptions& options,
+                                      const std::function<Tuple(Rng&)>& fresh) {
+  const auto flat = MixedStream(relation, initial, options.batch_count * options.batch_size,
+                                options.delete_ratio, fresh, options.seed);
+  return ChunkStream(flat, options.batch_size);
+}
+
+std::vector<Batch> ChunkStream(const std::vector<Update>& stream, size_t batch_size) {
+  std::vector<Batch> batches;
+  if (batch_size == 0) batch_size = 1;
+  batches.reserve((stream.size() + batch_size - 1) / batch_size);
+  for (size_t start = 0; start < stream.size(); start += batch_size) {
+    const size_t end = std::min(stream.size(), start + batch_size);
+    batches.emplace_back(stream.begin() + static_cast<std::ptrdiff_t>(start),
+                         stream.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
 }
 
 std::vector<Update> InsertDeleteRoundTrip(const std::string& relation,

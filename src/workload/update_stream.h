@@ -1,5 +1,6 @@
 // Update-stream generation: valid sequences of single-tuple inserts and
-// deletes (deletes always target live tuples).
+// deletes (deletes always target live tuples), both as flat streams for
+// Engine::ApplyUpdate and as batched streams for Engine::ApplyBatch.
 #ifndef IVME_WORKLOAD_UPDATE_STREAM_H_
 #define IVME_WORKLOAD_UPDATE_STREAM_H_
 
@@ -9,21 +10,25 @@
 
 #include "src/common/rng.h"
 #include "src/data/tuple.h"
+#include "src/data/update.h"
 
 namespace ivme {
 namespace workload {
 
-/// A single-tuple update δR = {tuple → mult}.
-struct Update {
-  std::string relation;
-  Tuple tuple;
-  Mult mult = 1;
-};
+/// A single-tuple update δR = {tuple → mult}; shared with the engine's
+/// batch API (src/data/update.h).
+using Update = ::ivme::Update;
+
+/// One ingestion batch, as consumed by Engine::ApplyBatch.
+using Batch = ::ivme::UpdateBatch;
 
 /// Generates `count` updates against one relation: with probability
 /// `delete_ratio` a delete of a uniformly chosen live tuple (skipped when
 /// none are live), otherwise an insert of `fresh(rng)`. `initial` seeds the
-/// live set (the tuples loaded before the stream starts).
+/// live set (the tuples loaded before the stream starts). Every delete
+/// targets a live tuple, so the stream is valid: no single-tuple update is
+/// ever rejected, and any chunking of it through ApplyBatch reaches the
+/// same final state.
 std::vector<Update> MixedStream(const std::string& relation, const std::vector<Tuple>& initial,
                                 size_t count, double delete_ratio,
                                 const std::function<Tuple(Rng&)>& fresh, uint64_t seed);
@@ -33,6 +38,33 @@ std::vector<Update> MixedStream(const std::string& relation, const std::vector<T
 /// directions.
 std::vector<Update> InsertDeleteRoundTrip(const std::string& relation,
                                           const std::vector<Tuple>& tuples, uint64_t seed);
+
+/// Shape of a batched update stream.
+struct BatchStreamOptions {
+  size_t batch_count = 16;
+  size_t batch_size = 64;
+  /// Insert/delete skew: probability that a step deletes a live tuple.
+  /// 0 gives the insert-only mode of the related insert-only/insert-delete
+  /// trade-off work (Abo Khamis et al.); values near 1 are delete-heavy
+  /// (fresh inserts fill in whenever the live set drains empty).
+  double delete_ratio = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Generates `batch_count` batches of `batch_size` updates with the given
+/// insert/delete skew — a MixedStream cut into fixed-size batches. Skewed
+/// `fresh` generators (hot keys) yield batches whose repeated tuples
+/// consolidate into weighted net deltas under ApplyBatch.
+std::vector<Batch> BatchedMixedStream(const std::string& relation,
+                                      const std::vector<Tuple>& initial,
+                                      const BatchStreamOptions& options,
+                                      const std::function<Tuple(Rng&)>& fresh);
+
+/// Cuts a flat stream into consecutive batches of at most `batch_size`
+/// updates (the last batch may be shorter). Applying the chunks in order
+/// through ApplyBatch is equivalent to applying the flat stream through
+/// ApplyUpdate whenever the stream is valid.
+std::vector<Batch> ChunkStream(const std::vector<Update>& stream, size_t batch_size);
 
 }  // namespace workload
 }  // namespace ivme

@@ -1,0 +1,321 @@
+// Batched ingestion (Engine::ApplyBatch): equivalence with the
+// single-tuple path under arbitrary chunking and permutation, net-delta
+// consolidation (cancellation, multiplicity merging, rejection), and
+// deferred rebalancing across both major-rebalance directions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/workload/generator.h"
+#include "src/workload/update_stream.h"
+#include "tests/support/catalog.h"
+#include "tests/support/mirror.h"
+
+namespace ivme {
+namespace {
+
+using testing::MirroredEngine;
+using testing::MustParse;
+
+size_t ArityOf(const ConjunctiveQuery& q, const std::string& relation) {
+  for (const auto& atom : q.atoms()) {
+    if (atom.relation == relation) return atom.schema.size();
+  }
+  ADD_FAILURE() << "unknown relation " << relation;
+  return 0;
+}
+
+/// A valid multi-relation stream: inserts draw uniformly from a small
+/// domain (dense joins, duplicate tuples that consolidate); deletes target
+/// live tuples only, so no single-tuple update is ever rejected and any
+/// chunking reaches the same final state.
+struct StreamFixture {
+  std::vector<std::pair<std::string, Tuple>> initial;  // pre-Preprocess load
+  std::vector<Update> stream;
+};
+
+StreamFixture MakeFixture(const ConjunctiveQuery& q, size_t initial_per_relation,
+                          size_t stream_length, double delete_ratio, Value domain,
+                          uint64_t seed) {
+  Rng rng(seed);
+  StreamFixture fx;
+  const auto names = q.RelationNames();
+  std::vector<std::vector<Tuple>> live(names.size());
+  for (size_t r = 0; r < names.size(); ++r) {
+    for (size_t i = 0; i < initial_per_relation; ++i) {
+      Tuple t;
+      for (size_t j = 0; j < ArityOf(q, names[r]); ++j) t.PushBack(rng.Range(0, domain));
+      fx.initial.emplace_back(names[r], t);
+      live[r].push_back(std::move(t));
+    }
+  }
+  while (fx.stream.size() < stream_length) {
+    const size_t r = rng.Below(names.size());
+    if (!live[r].empty() && rng.Chance(delete_ratio)) {
+      const size_t pick = rng.Below(live[r].size());
+      fx.stream.push_back(Update{names[r], live[r][pick], -1});
+      live[r][pick] = live[r].back();
+      live[r].pop_back();
+    } else {
+      Tuple t;
+      for (size_t j = 0; j < ArityOf(q, names[r]); ++j) t.PushBack(rng.Range(0, domain));
+      live[r].push_back(t);
+      fx.stream.push_back(Update{names[r], std::move(t), 1});
+    }
+  }
+  return fx;
+}
+
+EngineOptions Dynamic(double eps) {
+  EngineOptions options;
+  options.epsilon = eps;
+  options.mode = EvalMode::kDynamic;
+  return options;
+}
+
+/// Runs `fx` through ApplyUpdate one tuple at a time; returns the result.
+QueryResult RunSingle(const std::string& query_text, double eps, const StreamFixture& fx) {
+  Engine engine(MustParse(query_text), Dynamic(eps));
+  for (const auto& [rel, t] : fx.initial) engine.LoadTuple(rel, t, 1);
+  engine.Preprocess();
+  for (const auto& u : fx.stream) {
+    EXPECT_TRUE(engine.ApplyUpdate(u.relation, u.tuple, u.mult));
+  }
+  std::string error;
+  EXPECT_TRUE(engine.CheckInvariants(&error)) << error;
+  return engine.EvaluateToMap();
+}
+
+/// Runs `fx` through ApplyBatch in chunks of `batch_size`, mirrored against
+/// brute force; returns the result.
+QueryResult RunBatched(const std::string& query_text, double eps, const StreamFixture& fx,
+                       size_t batch_size) {
+  MirroredEngine m(query_text, Dynamic(eps));
+  for (const auto& [rel, t] : fx.initial) m.Load(rel, t, 1);
+  m.Preprocess();
+  for (const auto& batch : workload::ChunkStream(fx.stream, batch_size)) {
+    const auto result = m.UpdateBatch(batch);
+    EXPECT_EQ(result.rejected, 0u);
+  }
+  EXPECT_EQ(m.FullCheck(), "") << query_text << " eps=" << eps << " batch=" << batch_size;
+  return m.engine().EvaluateToMap();
+}
+
+bool SameResult(const QueryResult& a, const QueryResult& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [tuple, mult] : a) {
+    auto it = b.find(tuple);
+    if (it == b.end() || it->second != mult) return false;
+  }
+  return true;
+}
+
+TEST(BatchUpdateTest, MatchesSingleTupleSequenceAcrossChunkings) {
+  const std::vector<std::string> queries = {
+      "Q(A, B) = R(A, B), S(A)",                    // q-hierarchical
+      "Q(A, C) = R(A, B), S(B, C)",                 // the matmul running example
+      "Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)",  // star, δ=2
+  };
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto& text = queries[qi];
+    const auto q = MustParse(text);
+    const auto fx = MakeFixture(q, 12, 300, 0.35, 5, 0xBA7C4 + qi);
+    for (const double eps : {0.0, 0.5, 1.0}) {
+      const QueryResult expected = RunSingle(text, eps, fx);
+      for (const size_t batch_size : {1u, 7u, 64u, 300u}) {
+        const QueryResult actual = RunBatched(text, eps, fx, batch_size);
+        EXPECT_TRUE(SameResult(expected, actual))
+            << text << " eps=" << eps << " batch=" << batch_size;
+      }
+    }
+  }
+}
+
+TEST(BatchUpdateTest, RepeatedRelationSymbol) {
+  // Self-join: both atoms share storage contents; slots update in sequence.
+  const std::string text = "Q(A, B) = R(A, B), R(B, A)";
+  const auto q = MustParse(text);
+  const auto fx = MakeFixture(q, 10, 200, 0.3, 4, 0x5E1F);
+  for (const double eps : {0.0, 0.5}) {
+    const QueryResult expected = RunSingle(text, eps, fx);
+    const QueryResult actual = RunBatched(text, eps, fx, 16);
+    EXPECT_TRUE(SameResult(expected, actual)) << text << " eps=" << eps;
+  }
+}
+
+TEST(BatchUpdateTest, PermutationInvariance) {
+  // A batch is a net delta: applying any permutation of the same records as
+  // one batch reaches the same state.
+  const std::string text = "Q(A, C) = R(A, B), S(B, C)";
+  const auto q = MustParse(text);
+  const auto fx = MakeFixture(q, 15, 120, 0.4, 4, 0x9E12);
+
+  QueryResult reference;
+  for (int perm = 0; perm < 4; ++perm) {
+    StreamFixture shuffled = fx;
+    Rng rng(0x77AA + static_cast<uint64_t>(perm));
+    for (size_t i = shuffled.stream.size(); i > 1; --i) {
+      std::swap(shuffled.stream[i - 1], shuffled.stream[rng.Below(i)]);
+    }
+    MirroredEngine m(text, Dynamic(0.5));
+    for (const auto& [rel, t] : shuffled.initial) m.Load(rel, t, 1);
+    m.Preprocess();
+    m.UpdateBatch(shuffled.stream);  // the whole stream as one batch
+    ASSERT_EQ(m.FullCheck(), "") << "perm=" << perm;
+    const QueryResult result = m.engine().EvaluateToMap();
+    if (perm == 0) {
+      reference = result;
+    } else {
+      EXPECT_TRUE(SameResult(reference, result)) << "perm=" << perm;
+    }
+  }
+}
+
+TEST(BatchUpdateTest, FullCancellationBatchIsANoOp) {
+  Engine engine(MustParse("Q(A, C) = R(A, B), S(B, C)"), Dynamic(0.5));
+  engine.LoadTuple("R", Tuple{1, 2}, 1);
+  engine.LoadTuple("S", Tuple{2, 3}, 2);
+  engine.Preprocess();
+  const QueryResult before = engine.EvaluateToMap();
+  const size_t n_before = engine.database_size();
+
+  UpdateBatch batch;
+  for (Value v = 0; v < 20; ++v) {
+    batch.push_back(Update{"R", Tuple{v, v + 1}, 1});
+    batch.push_back(Update{"S", Tuple{v + 1, v + 2}, 3});
+  }
+  for (Value v = 19; v >= 0; --v) {
+    batch.push_back(Update{"S", Tuple{v + 1, v + 2}, -3});
+    batch.push_back(Update{"R", Tuple{v, v + 1}, -1});
+  }
+  const auto result = engine.ApplyBatch(batch);
+  EXPECT_EQ(result.applied, 0u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(engine.database_size(), n_before);
+  EXPECT_TRUE(SameResult(before, engine.EvaluateToMap()));
+  std::string error;
+  EXPECT_TRUE(engine.CheckInvariants(&error)) << error;
+}
+
+TEST(BatchUpdateTest, MultiplicityMerging) {
+  Engine engine(MustParse("Q(A, C) = R(A, B), S(B, C)"), Dynamic(0.5));
+  engine.LoadTuple("S", Tuple{7, 9}, 1);
+  engine.Preprocess();
+
+  // Five records, one distinct tuple: a single weighted net entry.
+  UpdateBatch batch(5, Update{"R", Tuple{1, 7}, 2});
+  const auto result = engine.ApplyBatch(batch);
+  EXPECT_EQ(result.applied, 1u);
+  const QueryResult out = engine.EvaluateToMap();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.begin()->second, 10);  // 5 records × mult 2 × S-mult 1
+}
+
+TEST(BatchUpdateTest, NetDeleteBelowZeroRejectsOnlyThatEntry) {
+  Engine engine(MustParse("Q(A, B) = R(A, B), S(A)"), Dynamic(0.5));
+  engine.LoadTuple("R", Tuple{1, 2}, 1);
+  engine.LoadTuple("S", Tuple{1}, 1);
+  engine.Preprocess();
+
+  UpdateBatch batch;
+  batch.push_back(Update{"R", Tuple{1, 2}, -3});  // only 1 stored: rejected
+  batch.push_back(Update{"R", Tuple{5, 6}, 1});   // still applies
+  batch.push_back(Update{"S", Tuple{5}, 1});
+  const auto result = engine.ApplyBatch(batch);
+  EXPECT_EQ(result.rejected, 1u);
+  EXPECT_EQ(result.applied, 2u);
+
+  const QueryResult out = engine.EvaluateToMap();
+  EXPECT_EQ(out.size(), 2u);  // (1,2) survived, (5,6) joined in
+  std::string error;
+  EXPECT_TRUE(engine.CheckInvariants(&error)) << error;
+}
+
+TEST(BatchUpdateTest, InsertOnlyGrowthBatchCrossesSeveralDoublings) {
+  // One batch that multiplies N far past the next power of two: the
+  // deferred major-rebalance trigger must double M repeatedly and
+  // repartition once at batch end.
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", Dynamic(0.5));
+  m.Load("R", Tuple{0, 0}, 1);
+  m.Load("S", Tuple{0, 0}, 1);
+  m.Preprocess();
+  const size_t m_before = m.engine().threshold_base();
+
+  workload::BatchStreamOptions options;
+  options.batch_count = 1;
+  options.batch_size = 600;
+  options.delete_ratio = 0.0;  // insert-only mode
+  options.seed = 42;
+  Rng unused(0);
+  const auto batches = workload::BatchedMixedStream(
+      "R", {Tuple{0, 0}}, options,
+      [](Rng& rng) { return Tuple{rng.Range(0, 40), rng.Range(0, 40)}; });
+  ASSERT_EQ(batches.size(), 1u);
+  m.UpdateBatch(batches[0]);
+  EXPECT_EQ(m.FullCheck(), "");
+  EXPECT_GT(m.engine().threshold_base(), 2 * m_before);
+  EXPECT_GE(m.engine().GetStats().major_rebalances, 1u);
+}
+
+TEST(BatchUpdateTest, DeleteHeavyBatchCrossesShrinkThreshold) {
+  // Load a database with hot join keys (heavy at ε=0.5), then delete ~90%
+  // of it in one batch: N falls below ⌊M/4⌋ and previously-heavy keys cross
+  // back under θ/2, forcing the deferred major shrink and minor sweeps.
+  MirroredEngine m("Q(A, C) = R(A, B), S(B, C)", Dynamic(0.5));
+  const auto r = workload::HeavyLightPairs(6, 40, 120, /*key_first=*/false, 3);
+  const auto s = workload::HeavyLightPairs(6, 40, 120, /*key_first=*/true, 4);
+  for (const auto& t : r) m.Load("R", t, 1);
+  for (const auto& t : s) m.Load("S", t, 1);
+  m.Preprocess();
+  ASSERT_EQ(m.FullCheck(), "");
+
+  UpdateBatch batch;
+  for (size_t i = 0; i < r.size(); i += 10) {
+    for (size_t j = i; j < std::min(i + 9, r.size()); ++j) {
+      batch.push_back(Update{"R", r[j], -1});
+    }
+  }
+  for (size_t i = 0; i < s.size(); i += 10) {
+    for (size_t j = i; j < std::min(i + 9, s.size()); ++j) {
+      batch.push_back(Update{"S", s[j], -1});
+    }
+  }
+  const auto result = m.UpdateBatch(batch);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(m.FullCheck(), "");
+  EXPECT_GE(m.engine().GetStats().major_rebalances, 1u);
+}
+
+TEST(BatchUpdateTest, EmptyAndZeroMultRecords) {
+  Engine engine(MustParse("Q(A, B) = R(A, B), S(A)"), Dynamic(0.5));
+  engine.LoadTuple("R", Tuple{1, 2}, 1);
+  engine.LoadTuple("S", Tuple{1}, 1);
+  engine.Preprocess();
+
+  const auto empty = engine.ApplyBatch(UpdateBatch{});
+  EXPECT_EQ(empty.applied, 0u);
+  EXPECT_EQ(empty.rejected, 0u);
+
+  UpdateBatch zeros(3, Update{"R", Tuple{1, 2}, 0});
+  const auto result = engine.ApplyBatch(zeros);
+  EXPECT_EQ(result.applied, 0u);
+  EXPECT_EQ(engine.EvaluateToMap().size(), 1u);
+}
+
+TEST(BatchUpdateTest, StatsTrackBatches) {
+  Engine engine(MustParse("Q(A, B) = R(A, B), S(A)"), Dynamic(0.5));
+  engine.Preprocess();
+  UpdateBatch batch;
+  batch.push_back(Update{"R", Tuple{1, 2}, 1});
+  batch.push_back(Update{"R", Tuple{1, 2}, 1});  // merges with the first
+  batch.push_back(Update{"S", Tuple{1}, 1});
+  engine.ApplyBatch(batch);
+  const auto stats = engine.GetStats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.updates, 3u);
+  EXPECT_EQ(stats.batch_net_entries, 2u);
+}
+
+}  // namespace
+}  // namespace ivme

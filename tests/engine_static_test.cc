@@ -128,6 +128,21 @@ TEST(EngineStaticTest, SelfJoinRepeatedSymbol) {
   EXPECT_EQ(m.Diff(), "");
 }
 
+TEST(EngineStaticTest, SelfJoinPermutedVariables) {
+  // Regression: a join input whose schema is a permutation of the join key
+  // (here R(B, A) against key (A, B)) must be point-looked-up in its own
+  // layout during materialization, not in key order.
+  for (const double eps : {0.0, 0.5, 1.0}) {
+    MirroredEngine m("Q(A, B) = R(A, B), R(B, A)", StaticOpts(eps));
+    Rng rng(7);
+    for (int i = 0; i < 40; ++i) {
+      m.Load("R", Tuple{rng.Range(0, 5), rng.Range(0, 5)}, 1);
+    }
+    m.Preprocess();
+    EXPECT_EQ(m.Diff(), "") << "eps=" << eps;
+  }
+}
+
 TEST(EngineStaticTest, DeepHierarchicalQuery) {
   MirroredEngine m("Q(A, D) = R(A, B, C, D), S(A, B, C), T(A, B), U(A)", StaticOpts(0.5));
   Rng rng(6);

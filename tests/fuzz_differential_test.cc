@@ -67,6 +67,75 @@ TEST_P(FuzzTest, RandomQueryRandomStream) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 40));
 
+class FuzzBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzBatchTest, RandomQueryRandomlyChunkedStream) {
+  // Batch ingestion differential fuzz: a valid stream (every delete targets
+  // a live tuple, so no record is ever rejected) is cut into random-size
+  // chunks and applied through ApplyBatch. Any chunking must reach the same
+  // state as the single-tuple sequence; each chunk is checked against brute
+  // force and the internal invariants.
+  Rng rng(0xBA7C0000ull + static_cast<uint64_t>(GetParam()));
+  const auto q = RandomHierarchicalQuery(rng, RandomQueryOptions{});
+  ASSERT_TRUE(IsHierarchical(q)) << q.ToString();
+
+  const double eps = std::vector<double>{0.0, 0.3, 0.5, 1.0}[rng.Below(4)];
+  EngineOptions opts;
+  opts.epsilon = eps;
+  opts.mode = EvalMode::kDynamic;
+  MirroredEngine m(q.ToString(), opts);
+
+  const Value domain = static_cast<Value>(2 + rng.Below(4));
+  auto arity_of = [&](const std::string& name) {
+    for (const auto& atom : m.query().atoms()) {
+      if (atom.relation == name) return atom.schema.size();
+    }
+    return size_t{0};
+  };
+  const auto names = m.query().RelationNames();
+  std::vector<std::vector<Tuple>> live(names.size());
+  for (size_t r = 0; r < names.size(); ++r) {
+    const int count = static_cast<int>(rng.Below(25));
+    for (int i = 0; i < count; ++i) {
+      Tuple t;
+      for (size_t j = 0; j < arity_of(names[r]); ++j) t.PushBack(rng.Range(0, domain));
+      m.Load(names[r], t, 1);
+      live[r].push_back(std::move(t));
+    }
+  }
+  m.Preprocess();
+  ASSERT_EQ(m.FullCheck(), "") << q.ToString() << " eps=" << eps << " (preprocess)";
+
+  // Duplicates in `live` are intended: a tuple loaded twice has multiplicity
+  // 2 and tolerates two deletes, so deletes drawn from the multiset stay
+  // valid under net-delta consolidation too.
+  for (int step = 0; step < 12; ++step) {
+    UpdateBatch batch;
+    const size_t batch_size = 1 + rng.Below(40);  // random chunk sizes
+    while (batch.size() < batch_size) {
+      const size_t r = rng.Below(names.size());
+      if (!live[r].empty() && rng.Chance(0.45)) {
+        const size_t pick = rng.Below(live[r].size());
+        batch.push_back(Update{names[r], live[r][pick], -1});
+        live[r][pick] = live[r].back();
+        live[r].pop_back();
+      } else {
+        Tuple t;
+        for (size_t j = 0; j < arity_of(names[r]); ++j) t.PushBack(rng.Range(0, domain));
+        live[r].push_back(t);
+        batch.push_back(Update{names[r], std::move(t), 1});
+      }
+    }
+    const auto result = m.UpdateBatch(batch);
+    ASSERT_EQ(result.rejected, 0u)
+        << q.ToString() << " eps=" << eps << " step=" << step;
+    ASSERT_EQ(m.FullCheck(), "")
+        << q.ToString() << " eps=" << eps << " step=" << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBatchTest, ::testing::Range(0, 30));
+
 TEST(FuzzAnalysisTest, WidthsConsistentOnRandomQueries) {
   // Structural properties on a larger sample (no data needed):
   // δ = DeltaRank (Prop. 8), δ ∈ {w−1, w} (Prop. 17), free-connex ⇒ w=1

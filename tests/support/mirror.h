@@ -44,6 +44,16 @@ class MirroredEngine {
     return accepted;
   }
 
+  /// Applies a batch to the engine and the same records one at a time to
+  /// the mirror. Only for valid batches (no net delete below zero): a
+  /// rejected net entry would leave engine and mirror disagreeing, which is
+  /// exactly what Diff() is meant to catch.
+  Engine::BatchResult UpdateBatch(const std::vector<ivme::Update>& batch) {
+    const auto result = engine_.ApplyBatch(batch);
+    for (const auto& u : batch) mirror_.Find(u.relation)->Apply(u.tuple, u.mult);
+    return result;
+  }
+
   /// Compares the engine's enumeration with brute force; empty string on
   /// success, a diagnostic otherwise.
   std::string Diff() {

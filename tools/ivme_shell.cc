@@ -6,9 +6,12 @@
 // Commands (stdin):
 //   + R 1 2 [m]     insert tuple (1,2) into R with multiplicity m (default 1)
 //   - R 1 2 [m]     delete m copies (default 1)
+//   batch begin     start buffering +/- commands instead of applying them
+//   batch end       apply the buffered updates as one consolidated batch
+//   batch abort     drop the buffered updates
 //   ?               enumerate the result (first 50 tuples)
 //   count           number of distinct result tuples
-//   stats           engine statistics (N, M, θ, views, rebalances)
+//   stats           engine statistics (N, M, θ, views, rebalances, batches)
 //   widths          query classification and widths
 //   trees           print the view trees
 //   check           verify all internal invariants
@@ -32,8 +35,8 @@ namespace {
 
 void PrintHelp() {
   std::printf(
-      "commands: + REL v1 v2 .. [m] | - REL v1 v2 .. [m] | ? | count | stats |\n"
-      "          widths | trees | check | help | quit\n");
+      "commands: + REL v1 v2 .. [m] | - REL v1 v2 .. [m] | batch begin|end|abort |\n"
+      "          ? | count | stats | widths | trees | check | help | quit\n");
 }
 
 void PrintWidths(const ConjunctiveQuery& q) {
@@ -75,6 +78,8 @@ int main(int argc, char** argv) {
   std::printf("engine ready at eps=%.2f; type 'help' for commands\n", options.epsilon);
 
   std::string line;
+  UpdateBatch pending;     // updates buffered between `batch begin` and `batch end`
+  bool batching = false;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
     std::string cmd;
@@ -82,6 +87,29 @@ int main(int argc, char** argv) {
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       PrintHelp();
+    } else if (cmd == "batch") {
+      std::string sub;
+      in >> sub;
+      if (sub == "begin" && batching) {
+        std::printf("! batch already open (%zu buffered); 'batch end' or 'batch abort' first\n",
+                    pending.size());
+      } else if (sub == "begin") {
+        batching = true;
+        pending.clear();
+        std::printf("batch open; +/- commands buffer until 'batch end'\n");
+      } else if (sub == "end" && batching) {
+        const auto result = engine.ApplyBatch(pending);
+        std::printf("applied %zu updates as %zu net entries (%zu rejected) (N=%zu)\n",
+                    pending.size(), result.applied, result.rejected, engine.database_size());
+        batching = false;
+        pending.clear();
+      } else if (sub == "abort" && batching) {
+        std::printf("dropped %zu buffered updates\n", pending.size());
+        batching = false;
+        pending.clear();
+      } else {
+        std::printf("! usage: batch begin|end|abort (end/abort need an open batch)\n");
+      }
     } else if (cmd == "+" || cmd == "-") {
       std::string rel;
       if (!(in >> rel)) {
@@ -113,6 +141,11 @@ int main(int argc, char** argv) {
         continue;
       }
       if (cmd == "-") mult = -mult;
+      if (batching) {
+        pending.push_back(Update{rel, Tuple(std::move(values)), mult});
+        std::printf("buffered (%zu pending)\n", pending.size());
+        continue;
+      }
       const bool ok = engine.ApplyUpdate(rel, Tuple(std::move(values)), mult);
       std::printf(ok ? "ok (N=%zu)\n" : "rejected (delete below zero) (N=%zu)\n",
                   engine.database_size());
@@ -139,12 +172,13 @@ int main(int argc, char** argv) {
     } else if (cmd == "stats") {
       const auto stats = engine.GetStats();
       std::printf("N=%s M=%s theta=%.2f | trees=%zu triples=%zu view-tuples=%s | "
-                  "updates=%zu minor=%zu major=%zu\n",
+                  "updates=%zu batches=%zu net-entries=%zu minor=%zu major=%zu\n",
                   WithThousands(static_cast<long long>(engine.database_size())).c_str(),
                   WithThousands(static_cast<long long>(engine.threshold_base())).c_str(),
                   engine.theta(), stats.num_trees, stats.num_triples,
                   WithThousands(static_cast<long long>(stats.view_tuples)).c_str(),
-                  stats.updates, stats.minor_rebalances, stats.major_rebalances);
+                  stats.updates, stats.batches, stats.batch_net_entries,
+                  stats.minor_rebalances, stats.major_rebalances);
     } else if (cmd == "widths") {
       PrintWidths(*query);
     } else if (cmd == "trees") {
