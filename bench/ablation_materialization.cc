@@ -28,7 +28,7 @@ double MeasurePreprocess(const ConjunctiveQuery& q,
   ResetCounters();
   Timer timer;
   engine.Preprocess();
-  *ops = GlobalCounters().materialize_steps;
+  *ops = AggregateCounters().materialize_steps;
   const double seconds = timer.Seconds();
   SetMaterializeInsideOut(true);
   return seconds;

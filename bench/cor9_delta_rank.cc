@@ -63,8 +63,8 @@ double MeasureUpdateSlope(int i, double eps) {
       engine.ApplyUpdate("R0", tup, 1);
       engine.ApplyUpdate("R0", tup, -1);
     }
-    const double ops = static_cast<double>(GlobalCounters().delta_steps +
-                                           GlobalCounters().materialize_steps) /
+    const double ops = static_cast<double>(AggregateCounters().delta_steps +
+                                           AggregateCounters().materialize_steps) /
                        (2.0 * pairs);
     points.push_back({static_cast<double>((static_cast<size_t>(i) + 1) * keys * degree),
                       ops + 1.0});

@@ -87,7 +87,7 @@ EpsResult MeasureEps(double eps) {
       Timer timer;
       engine.Preprocess();
       preproc_wall.push_back({x, timer.Seconds() + 1e-9});
-      preproc_ops.push_back({x, static_cast<double>(GlobalCounters().materialize_steps) + 1});
+      preproc_ops.push_back({x, static_cast<double>(AggregateCounters().materialize_steps) + 1});
 
       // Updates: insert/delete round trips on random light keys. Each pair
       // touches a key whose sibling degree is ≈ θ.
@@ -103,8 +103,8 @@ EpsResult MeasureEps(double eps) {
       }
       update_wall.push_back({x, utimer.Seconds() / (2.0 * pairs) + 1e-12});
       update_ops.push_back(
-          {x, static_cast<double>(GlobalCounters().delta_steps +
-                                  GlobalCounters().materialize_steps) /
+          {x, static_cast<double>(AggregateCounters().delta_steps +
+                                  AggregateCounters().materialize_steps) /
                       (2.0 * pairs) +
                   1});
     }
@@ -123,7 +123,7 @@ EpsResult MeasureEps(double eps) {
       ResetCounters();
       const DelayStats delay = MeasureDelay(engine, 200);
       delay_wall.push_back({x, delay.mean_us + 1e-3});
-      delay_ops.push_back({x, static_cast<double>(GlobalCounters().enum_steps) /
+      delay_ops.push_back({x, static_cast<double>(AggregateCounters().enum_steps) /
                                   static_cast<double>(std::max<size_t>(delay.tuples, 1)) +
                               1});
     }

@@ -1,13 +1,66 @@
 #include "src/common/counters.h"
 
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
 namespace ivme {
 
 namespace {
-CostCounters g_counters;
+
+// Registry of every live thread's counters plus the folded totals of exited
+// threads (a pool worker's steps must survive the worker). Meyers singleton:
+// the registry outlives the thread-local slots of threads that exit before
+// static destruction, and the main thread destroys its slot before statics.
+struct Registry {
+  std::mutex mu;
+  std::vector<CostCounters*> live;
+  CostCounters retired;
+};
+
+Registry& GetRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+struct ThreadSlot {
+  CostCounters counters;
+
+  ThreadSlot() {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.live.push_back(&counters);
+  }
+
+  ~ThreadSlot() {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.retired += counters;
+    registry.live.erase(std::find(registry.live.begin(), registry.live.end(), &counters));
+  }
+};
+
+thread_local ThreadSlot t_slot;
+
 }  // namespace
 
-CostCounters& GlobalCounters() { return g_counters; }
+CostCounters& LocalCounters() { return t_slot.counters; }
 
-void ResetCounters() { g_counters = CostCounters(); }
+CostCounters AggregateCounters() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  CostCounters total = registry.retired;
+  for (const CostCounters* counters : registry.live) total += *counters;
+  return total;
+}
+
+void ResetCounters() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.retired = CostCounters();
+  for (CostCounters* counters : registry.live) {
+    *counters = CostCounters();
+  }
+}
 
 }  // namespace ivme

@@ -1,8 +1,17 @@
-// Global operation counters for machine-independent cost accounting. The
-// benches fit the paper's complexity exponents on these counters (wall
-// clock is reported alongside but suffers cache-regime drift: the per
-// -operation cost of a hash probe grows with the working set, which skews
-// log-log slopes on small ladders).
+// Operation counters for machine-independent cost accounting. The benches
+// fit the paper's complexity exponents on these counters (wall clock is
+// reported alongside but suffers cache-regime drift: the per-operation cost
+// of a hash probe grows with the working set, which skews log-log slopes on
+// small ladders).
+//
+// Threading model: every thread increments its own thread-local counters
+// (LocalCounters()), so the hot maintenance/enumeration paths stay free of
+// atomics and shared cache lines even when shard engines propagate deltas
+// concurrently. AggregateCounters() sums every thread's counters (plus the
+// totals of threads that have exited) under a registry lock. Aggregation
+// and reset are meant for quiescent points — after a ThreadPool::Run or
+// ApplyBatch has returned — where the pool's completion handshake orders
+// the workers' increments before the reader.
 #ifndef IVME_COMMON_COUNTERS_H_
 #define IVME_COMMON_COUNTERS_H_
 
@@ -22,12 +31,26 @@ struct CostCounters {
   /// Enumeration work: row-scan advances, grounding lookups, and union
   /// bucket probes (the Figures 13-16 machinery).
   uint64_t enum_steps = 0;
+
+  CostCounters& operator+=(const CostCounters& other) {
+    materialize_steps += other.materialize_steps;
+    delta_steps += other.delta_steps;
+    enum_steps += other.enum_steps;
+    return *this;
+  }
 };
 
-/// The process-wide counters (single-threaded engine).
-CostCounters& GlobalCounters();
+/// The calling thread's counters (registered with the aggregate on first
+/// use). Hot paths increment these without synchronization.
+CostCounters& LocalCounters();
 
-/// Zeroes all counters.
+/// Sums the counters of every thread, live or exited, under the registry
+/// lock. Call at a quiescent point: concurrent increments on other threads
+/// are not ordered against the read.
+CostCounters AggregateCounters();
+
+/// Zeroes the counters of every thread. Same quiescence requirement as
+/// AggregateCounters().
 void ResetCounters();
 
 }  // namespace ivme

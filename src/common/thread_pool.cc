@@ -1,0 +1,63 @@
+#include "src/common/thread_pool.h"
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::DefaultThreads(size_t num_shards) {
+  const size_t hw = std::thread::hardware_concurrency();
+  const size_t threads = num_shards < hw ? num_shards : hw;
+  return threads <= 1 ? 0 : threads;
+}
+
+void ThreadPool::Run(const std::vector<std::function<void()>>& tasks) {
+  if (workers_.empty()) {
+    for (const auto& task : tasks) {
+      if (task) task();
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  IVME_CHECK_MSG(in_flight_ == 0, "ThreadPool::Run is not reentrant");
+  queue_.clear();
+  for (const auto& task : tasks) {
+    if (task) queue_.push_back(&task);
+  }
+  if (queue_.empty()) return;
+  next_task_ = 0;
+  in_flight_ = queue_.size();
+  work_available_.notify_all();
+  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_available_.wait(lock, [this] { return shutdown_ || next_task_ < queue_.size(); });
+    if (shutdown_) return;
+    const std::function<void()>* task = queue_[next_task_++];
+    lock.unlock();
+    (*task)();
+    lock.lock();
+    if (--in_flight_ == 0) batch_done_.notify_one();
+  }
+}
+
+}  // namespace ivme

@@ -1,0 +1,58 @@
+// A small fixed-size worker pool for shard-parallel maintenance. The only
+// entry point is a barrier: Run() executes a set of independent tasks and
+// returns when all of them have finished, so callers never observe a
+// half-applied fan-out. The completion handshake (mutex + condition
+// variable) orders everything the workers wrote — shard state, thread-local
+// cost counters — before Run() returns on the caller.
+#ifndef IVME_COMMON_THREAD_POOL_H_
+#define IVME_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ivme {
+
+class ThreadPool {
+ public:
+  /// A pool with `num_threads` persistent workers. 0 or 1 creates no worker
+  /// threads at all: Run() then executes tasks inline on the calling thread,
+  /// which keeps single-core machines and single-shard engines free of
+  /// wakeup latency and context switches.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Executes every task and blocks until the last one finishes. Tasks must
+  /// be independent (they run concurrently in unspecified order) and must
+  /// not call Run() on the same pool. Empty tasks are skipped.
+  void Run(const std::vector<std::function<void()>>& tasks);
+
+  /// Worker threads backing the pool (0 = inline execution).
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Default worker count for `num_shards` shards on this machine:
+  /// min(num_shards, hardware_concurrency), and 0 (inline) when that is 1.
+  static size_t DefaultThreads(size_t num_shards);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::vector<const std::function<void()>*> queue_;  ///< tasks of the active Run
+  size_t next_task_ = 0;     ///< queue_ index handed out next
+  size_t in_flight_ = 0;     ///< queued + executing tasks of the active Run
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_COMMON_THREAD_POOL_H_

@@ -439,6 +439,24 @@ CompiledPlan BuildPlan(const ConjunctiveQuery& q, EvalMode mode, StorageProvider
 
   CompiledPlan plan;
   plan.num_components = static_cast<int>(vo.roots().size());
+  // Component-root routing metadata: the root variable of each canonical
+  // tree and its position in every atom of the component (canonical orders
+  // put the root variable in every atom — see CompiledPlan).
+  plan.atom_root_pos.assign(q.num_atoms(), -1);
+  for (size_t c = 0; c < vo.roots().size(); ++c) {
+    const VONode* root = vo.roots()[c].get();
+    const VarId root_var = root->IsVariable() ? root->var : kInvalidVar;
+    plan.component_roots.push_back(root_var);
+    if (root_var == kInvalidVar) continue;
+    std::function<void(const VONode*)> record = [&](const VONode* node) {
+      if (node->IsAtom()) {
+        plan.atom_root_pos[static_cast<size_t>(node->atom_index)] =
+            q.atom(static_cast<size_t>(node->atom_index)).schema.PositionOf(root_var);
+      }
+      for (const auto& child : node->children) record(child.get());
+    };
+    record(root);
+  }
   for (size_t c = 0; c < vo.roots().size(); ++c) {
     auto trees = builder.Tau(vo.roots()[c].get(), q.free_vars());
     for (auto& root : trees) {

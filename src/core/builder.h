@@ -44,6 +44,23 @@ struct CompiledPlan {
 
   /// Number of connected components of the query.
   int num_components = 0;
+
+  // --- component-root routing metadata (sharding) ---
+  // The canonical variable order has one tree per connected component, and
+  // in a canonical order every atom's variables are exactly the inner nodes
+  // of its root-to-leaf path — so the component's root variable occurs in
+  // every atom of the component. Hash-partitioning all relations on that
+  // root value therefore splits the database into slices whose view trees,
+  // indicator triples, and heavy/light thresholds are fully independent
+  // (ShardedEngine builds on this).
+
+  /// Root variable of each component's canonical tree, indexed by component
+  /// id; kInvalidVar when the component root is a variable-free atom.
+  std::vector<VarId> component_roots;
+
+  /// Per atom: position of its component's root variable in the atom
+  /// schema, or -1 when the component has no root variable.
+  std::vector<int> atom_root_pos;
 };
 
 /// Runs τ over the canonical variable order of `q` and compiles the result.

@@ -29,7 +29,7 @@ DeltaVec ApplyDeltaAtNode(ViewNode* node, int child_idx, const DeltaVec& delta) 
   std::vector<Mult> mults(num_probes + 1, 0);
 
   auto emit_row = [&](const Tuple& dtuple, Mult mult) {
-    ++GlobalCounters().delta_steps;
+    ++LocalCounters().delta_steps;
     row.Clear();
     for (const auto& src : plan.row_sources) {
       if (src.child < 0) {
@@ -73,7 +73,7 @@ DeltaVec ApplyDeltaAtNode(ViewNode* node, int child_idx, const DeltaVec& delta) 
         links[pi] = links[pi]->next;
         continue;
       }
-      ++GlobalCounters().delta_steps;
+      ++LocalCounters().delta_steps;
       probe_rows[pi] = &link->entry->key;
       mults[pi + 1] = mults[pi] * link->entry->value.mult;
       if (pi + 1 == num_probes) {

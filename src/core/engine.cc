@@ -178,6 +178,21 @@ QueryResult Engine::EvaluateToMap() const {
   return result;
 }
 
+std::vector<std::pair<Tuple, Mult>> Engine::DumpRelation(const std::string& relation) const {
+  // All slots of a relation symbol hold identical contents; dump the first.
+  for (const auto& slot : slots_) {
+    if (slot.relation != relation) continue;
+    std::vector<std::pair<Tuple, Mult>> out;
+    out.reserve(slot.storage->size());
+    for (const Relation::Entry* e = slot.storage->First(); e != nullptr; e = e->next) {
+      out.emplace_back(e->key, e->value.mult);
+    }
+    return out;
+  }
+  IVME_CHECK_MSG(false, "unknown relation " << relation);
+  return {};
+}
+
 bool Engine::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
   IVME_CHECK_MSG(preprocessed_, "Preprocess before updating");
   IVME_CHECK_MSG(options_.mode == EvalMode::kDynamic, "updates need dynamic mode");

@@ -109,6 +109,11 @@ class Engine : public StorageProvider {
   /// Opens an enumeration session over the current result.
   std::unique_ptr<ResultEnumerator> Enumerate() const;
 
+  /// Contents of a relation's base storage as (tuple, multiplicity) pairs,
+  /// in storage order. Used to rebuild an engine under a different
+  /// configuration (e.g. resharding in the shell). O(relation).
+  std::vector<std::pair<Tuple, Mult>> DumpRelation(const std::string& relation) const;
+
   /// Drains a full enumeration into a map (convenience for tests/examples).
   QueryResult EvaluateToMap() const;
 

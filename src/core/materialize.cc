@@ -41,7 +41,7 @@ MatInput PrepareInput(ViewNode* child, const Schema& out_schema, const Schema& k
     const auto positions = ProjectionPositions(child_schema, keep);
     Tuple scratch;
     for (const Relation::Entry* e = child->storage->First(); e != nullptr; e = e->next) {
-      ++GlobalCounters().materialize_steps;
+      ++LocalCounters().materialize_steps;
       scratch.AssignProjection(e->key, positions);
       input.temp->Apply(scratch, e->value.mult);
     }
@@ -92,7 +92,7 @@ struct JoinProber {
 
   void Probe(size_t i, Mult mult) {
     if (i == inputs.size()) {
-      ++GlobalCounters().materialize_steps;
+      ++LocalCounters().materialize_steps;
       out_row.Clear();
       for (const auto& src : out_sources) {
         out_row.PushBack((*current[src.input])[static_cast<size_t>(src.pos)]);
@@ -180,7 +180,7 @@ void MaterializeNode(ViewNode* node) {
 
   JoinProber prober(node, inputs, out_sources);
   for (const Relation::Entry* e = inputs[0].relation->First(); e != nullptr; e = e->next) {
-    ++GlobalCounters().materialize_steps;
+    ++LocalCounters().materialize_steps;
     // The driver row's K restriction: projected once per row, its cached
     // hash shared by every gate lookup and probe below.
     prober.key.AssignProjection(e->key, inputs[0].key_positions);

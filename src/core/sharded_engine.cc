@@ -1,0 +1,257 @@
+#include "src/core/sharded_engine.h"
+
+#include "src/common/check.h"
+#include "src/query/classify.h"
+#include "src/query/variable_order.h"
+
+namespace ivme {
+
+namespace {
+
+/// Shard of a root value, computed through Tuple::Hash on a 1-ary key
+/// tuple (stack-only: it fits the SBO buffer). Raw HashSpan64 would almost
+/// work, but Tuple::Hash remaps one sentinel hash value — routing through
+/// it keeps every route, including the unary cached-hash fast path below,
+/// consistent by construction.
+size_t ShardOfValue(Value v, size_t num_shards) {
+  const Tuple key{v};
+  return static_cast<size_t>(key.Hash() % static_cast<uint64_t>(num_shards));
+}
+
+}  // namespace
+
+bool ShardedEngine::CanShard(const ConjunctiveQuery& q, std::string* why) {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (!IsHierarchical(q)) return fail("query is not hierarchical");
+  const VariableOrder vo = VariableOrder::Canonical(q);
+  if (vo.roots().size() != 1) {
+    return fail("query is disconnected: per-component slices do not partition the "
+                "cross product across components");
+  }
+  const VONode* root = vo.roots()[0].get();
+  if (!root->IsVariable()) return fail("component root is an atom, not a variable");
+  const VarId root_var = root->var;
+  // Every atom of a connected canonical order contains the root variable;
+  // routing additionally needs every occurrence of a relation symbol to
+  // read the root from the same column, or a stored tuple would belong to
+  // two shards at once.
+  for (const std::string& name : q.RelationNames()) {
+    int pos = -1;
+    for (const Atom& atom : q.atoms()) {
+      if (atom.relation != name) continue;
+      const int p = atom.schema.PositionOf(root_var);
+      if (p < 0) {
+        return fail("atom " + name + " does not contain the root variable " +
+                    q.var_name(root_var));
+      }
+      if (pos >= 0 && p != pos) {
+        return fail("self-join reads the root variable " + q.var_name(root_var) +
+                    " from different columns of " + name);
+      }
+      pos = p;
+    }
+  }
+  return true;
+}
+
+ShardedEngine::ShardedEngine(ConjunctiveQuery q, ShardedEngineOptions options)
+    : query_(std::move(q)), options_(options) {
+  IVME_CHECK_MSG(options_.num_shards >= 1, "need at least one shard");
+  if (options_.num_shards > 1) {
+    std::string why;
+    IVME_CHECK_MSG(CanShard(query_, &why), "query cannot be sharded: " << why);
+  }
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Engine>(query_, options_.engine));
+  }
+  if (options_.num_shards > 1) {
+    // Router from the compiled plan of shard 0 (all shards compile the same
+    // plan): one root column per relation symbol.
+    const CompiledPlan& plan = shard0().plan();
+    const VarId root_var = plan.component_roots[0];
+    root_is_free_ = query_.IsFree(root_var);
+    for (const std::string& name : query_.RelationNames()) {
+      for (size_t a = 0; a < query_.num_atoms(); ++a) {
+        if (query_.atom(a).relation != name) continue;
+        router_relations_.push_back(name);
+        router_root_pos_.push_back(plan.atom_root_pos[a]);
+        break;
+      }
+    }
+    const size_t threads = options_.num_threads != 0
+                               ? options_.num_threads
+                               : ThreadPool::DefaultThreads(options_.num_shards);
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+    split_scratch_.resize(options_.num_shards);
+    result_scratch_.resize(options_.num_shards);
+  }
+}
+
+size_t ShardedEngine::ShardOf(const std::string& relation, const Tuple& tuple) const {
+  if (shards_.size() == 1) return 0;
+  for (size_t r = 0; r < router_relations_.size(); ++r) {
+    if (router_relations_[r] != relation) continue;
+    const size_t pos = static_cast<size_t>(router_root_pos_[r]);
+    if (tuple.size() == 1 && pos == 0) {
+      // Unary relation: the tuple is the root key; reuse its cached hash.
+      return static_cast<size_t>(tuple.Hash() % static_cast<uint64_t>(shards_.size()));
+    }
+    return ShardOfValue(tuple[pos], shards_.size());
+  }
+  IVME_CHECK_MSG(false, "unknown relation " << relation);
+  return 0;
+}
+
+void ShardedEngine::Load(const std::string& relation,
+                         const std::vector<std::pair<Tuple, Mult>>& tuples) {
+  for (const auto& [tuple, mult] : tuples) LoadTuple(relation, tuple, mult);
+}
+
+void ShardedEngine::LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult) {
+  shards_[ShardOf(relation, tuple)]->LoadTuple(relation, tuple, mult);
+}
+
+void ShardedEngine::Preprocess() {
+  if (pool_ == nullptr) {
+    for (auto& shard : shards_) shard->Preprocess();
+    return;
+  }
+  task_scratch_.clear();
+  for (auto& shard : shards_) {
+    Engine* engine = shard.get();
+    task_scratch_.push_back([engine] { engine->Preprocess(); });
+  }
+  pool_->Run(task_scratch_);
+}
+
+bool ShardedEngine::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
+  return shards_[ShardOf(relation, tuple)]->ApplyUpdate(relation, tuple, mult);
+}
+
+Engine::BatchResult ShardedEngine::ApplyBatch(const UpdateBatch& updates) {
+  return ApplyBatch(updates.data(), updates.size());
+}
+
+Engine::BatchResult ShardedEngine::ApplyBatch(const Update* updates, size_t count) {
+  if (shards_.size() == 1) return shards_[0]->ApplyBatch(updates, count);
+
+  // Split by root-value hash. Equal tuples land in the same sub-batch, so
+  // per-shard net-delta consolidation matches the unsharded consolidation.
+  for (auto& sub : split_scratch_) sub.clear();
+  for (size_t i = 0; i < count; ++i) {
+    split_scratch_[ShardOf(updates[i].relation, updates[i].tuple)].push_back(updates[i]);
+  }
+
+  // Shard deltas are independent (shared-nothing); apply them concurrently.
+  task_scratch_.clear();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    result_scratch_[s] = Engine::BatchResult();
+    if (split_scratch_[s].empty()) continue;
+    Engine* engine = shards_[s].get();
+    const UpdateBatch* sub = &split_scratch_[s];
+    Engine::BatchResult* result = &result_scratch_[s];
+    task_scratch_.push_back([engine, sub, result] { *result = engine->ApplyBatch(*sub); });
+  }
+  if (pool_ != nullptr) {
+    pool_->Run(task_scratch_);
+  } else {
+    for (const auto& task : task_scratch_) task();
+  }
+
+  Engine::BatchResult total;
+  for (const Engine::BatchResult& result : result_scratch_) {
+    total.applied += result.applied;
+    total.rejected += result.rejected;
+  }
+  return total;
+}
+
+std::unique_ptr<MergedEnumerator> ShardedEngine::Enumerate() const {
+  std::vector<std::unique_ptr<ResultEnumerator>> streams;
+  streams.reserve(shards_.size());
+  for (const auto& shard : shards_) streams.push_back(shard->Enumerate());
+  return std::make_unique<MergedEnumerator>(std::move(streams),
+                                            /*disjoint=*/root_is_free_ || shards_.size() == 1);
+}
+
+QueryResult ShardedEngine::EvaluateToMap() const {
+  QueryResult result;
+  auto it = Enumerate();
+  Tuple t;
+  Mult m = 0;
+  while (it->Next(&t, &m)) {
+    IVME_CHECK_MSG(result.find(t) == result.end(),
+                   "merged enumerator produced duplicate tuple " << t.ToString());
+    result[t] = m;
+  }
+  return result;
+}
+
+std::vector<std::pair<Tuple, Mult>> ShardedEngine::DumpRelation(
+    const std::string& relation) const {
+  std::vector<std::pair<Tuple, Mult>> out;
+  for (const auto& shard : shards_) {
+    auto part = shard->DumpRelation(relation);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+Engine::Stats ShardedEngine::GetStats() const {
+  Engine::Stats total;
+  for (const auto& shard : shards_) {
+    const Engine::Stats stats = shard->GetStats();
+    total.updates += stats.updates;
+    total.batches += stats.batches;
+    total.batch_net_entries += stats.batch_net_entries;
+    total.minor_rebalances += stats.minor_rebalances;
+    total.major_rebalances += stats.major_rebalances;
+    total.num_trees += stats.num_trees;
+    total.num_triples += stats.num_triples;
+    total.view_tuples += stats.view_tuples;
+  }
+  return total;
+}
+
+size_t ShardedEngine::database_size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->database_size();
+  return total;
+}
+
+bool ShardedEngine::CheckInvariants(std::string* error) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::string shard_error;
+    if (!shards_[s]->CheckInvariants(&shard_error)) {
+      if (error != nullptr) *error = "shard " + std::to_string(s) + ": " + shard_error;
+      return false;
+    }
+  }
+  if (shards_.size() > 1) {
+    // Routing invariant: every stored tuple lives in the shard its root
+    // value hashes to.
+    for (const std::string& name : query_.RelationNames()) {
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        for (const auto& [tuple, mult] : shards_[s]->DumpRelation(name)) {
+          (void)mult;
+          if (ShardOf(name, tuple) != s) {
+            if (error != nullptr) {
+              *error = "tuple " + tuple.ToString() + " of " + name + " stored in shard " +
+                       std::to_string(s) + " but routed to shard " +
+                       std::to_string(ShardOf(name, tuple));
+            }
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ivme

@@ -1,0 +1,139 @@
+// Shared-nothing sharded engine (the scaling layer over Engine).
+//
+// For a connected hierarchical query, the canonical variable order's root
+// variable occurs in every atom, so hash-partitioning every relation on its
+// root value splits the database into K independent slices: each shard runs
+// a full Engine over its slice — own N, M, θ = M^ε, partitions, indicator
+// triples, and minor/major rebalancing — and the query result is the union
+// of the per-shard results (every join result joins on the root variable,
+// so it is produced entirely within one shard). ShardedEngine is the facade
+// that routes tuples, drives the shards (concurrently for batches, on a
+// small thread pool), and merges enumeration, stats, and invariant checks.
+//
+// Per-shard thresholds are a real trade-off shift, not just bookkeeping:
+// each shard sizes θ from its own M ≈ M_total/K, so at ε > 0 maintenance
+// touches smaller light parts (faster updates) while enumeration unions
+// over relatively more heavy keys — the Theorem 2/4 trade-offs applied per
+// instance slice.
+#ifndef IVME_CORE_SHARDED_ENGINE_H_
+#define IVME_CORE_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/engine.h"
+#include "src/enumerate/merged_enumerator.h"
+
+namespace ivme {
+
+/// Configuration of a sharded engine.
+struct ShardedEngineOptions {
+  /// Per-shard engine configuration (ε, mode, rebalancing).
+  EngineOptions engine;
+
+  /// Number of shards K. 1 is always valid (no routing, any hierarchical
+  /// query); K > 1 requires ShardedEngine::CanShard.
+  size_t num_shards = 1;
+
+  /// Worker threads for batch application and preprocessing. 0 picks
+  /// ThreadPool::DefaultThreads(num_shards): min(K, hardware cores), and
+  /// inline execution on single-core machines.
+  size_t num_threads = 0;
+};
+
+/// Facade with the Engine surface over K shard engines.
+///
+/// Lifecycle mirrors Engine: construct → Load → Preprocess() → interleave
+/// ApplyUpdate / ApplyBatch and Enumerate(). ApplyBatch splits the batch by
+/// root-value hash and applies the per-shard sub-batches concurrently; all
+/// other entry points are driven from the calling thread.
+class ShardedEngine {
+ public:
+  ShardedEngine(ConjunctiveQuery q, ShardedEngineOptions options);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// True when `q` supports K > 1 shards: connected, the canonical root is
+  /// a variable, and every relation symbol reads its root value from one
+  /// fixed column (self-joins that permute the root column cannot route a
+  /// stored tuple to a single shard). Fills `why` on failure.
+  static bool CanShard(const ConjunctiveQuery& q, std::string* why = nullptr);
+
+  // --- Engine surface ---
+  void Load(const std::string& relation, const std::vector<std::pair<Tuple, Mult>>& tuples);
+  void LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Preprocesses every shard (Theorem 2/4 per slice), in parallel when the
+  /// pool has workers.
+  void Preprocess();
+
+  /// Routes the update to its shard and applies it there. Same contract as
+  /// Engine::ApplyUpdate (false on delete below zero).
+  bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Splits the batch per shard and applies the shard sub-batches
+  /// concurrently. Consolidation is per shard, which loses nothing: equal
+  /// tuples hash to the same shard, so the net deltas are identical to the
+  /// unsharded ones. Counts aggregate across shards.
+  Engine::BatchResult ApplyBatch(const Update* updates, size_t count);
+  Engine::BatchResult ApplyBatch(const UpdateBatch& updates);
+
+  /// Opens a merged enumeration session: concatenation when the root
+  /// variable is free (shards emit disjoint tuples), multiplicity-summing
+  /// merge when it is bound (see MergedEnumerator).
+  std::unique_ptr<MergedEnumerator> Enumerate() const;
+
+  /// Drains a full enumeration into a map (convenience for tests/examples).
+  QueryResult EvaluateToMap() const;
+
+  /// Union of every shard's base storage for `relation` (shards are
+  /// disjoint, so this is the unsharded relation contents).
+  std::vector<std::pair<Tuple, Mult>> DumpRelation(const std::string& relation) const;
+
+  /// Sums the per-shard stats (num_trees/num_triples/view_tuples included,
+  /// so totals grow with K; per-shard values via shard(i).GetStats()).
+  Engine::Stats GetStats() const;
+
+  /// Checks every shard's internal invariants plus the routing invariant
+  /// (each shard only stores tuples that hash to it). O(database).
+  bool CheckInvariants(std::string* error);
+
+  // --- introspection ---
+  const ConjunctiveQuery& query() const { return query_; }
+  size_t num_shards() const { return shards_.size(); }
+  const Engine& shard(size_t i) const { return *shards_[i]; }
+  size_t num_threads() const { return pool_ == nullptr ? 0 : pool_->num_threads(); }
+
+  /// Total database size N (sum over shards).
+  size_t database_size() const;
+
+  /// The shard index a tuple of `relation` routes to (exposed for tests and
+  /// the routing invariant).
+  size_t ShardOf(const std::string& relation, const Tuple& tuple) const;
+
+ private:
+  const Engine& shard0() const { return *shards_[0]; }
+
+  ConjunctiveQuery query_;
+  ShardedEngineOptions options_;
+  std::vector<std::unique_ptr<Engine>> shards_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null for single-shard engines
+
+  /// Router: per relation symbol (first-occurrence order, matching
+  /// query().RelationNames()), the column holding the component-root value.
+  std::vector<std::string> router_relations_;
+  std::vector<int> router_root_pos_;
+  bool root_is_free_ = true;  ///< free root ⇒ disjoint shard results
+
+  // ApplyBatch scratch (capacity persists across batches).
+  std::vector<UpdateBatch> split_scratch_;
+  std::vector<Engine::BatchResult> result_scratch_;
+  std::vector<std::function<void()>> task_scratch_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_SHARDED_ENGINE_H_

@@ -36,7 +36,7 @@ class RowScanner {
 
   /// Returns the next row (pointer valid until the next call) or nullptr.
   const Tuple* Next(Mult* mult) {
-    ++GlobalCounters().enum_steps;
+    ++LocalCounters().enum_steps;
     switch (mode_) {
       case Mode::kFull: {
         if (entry_ == nullptr) return nullptr;
@@ -330,7 +330,7 @@ std::unique_ptr<Cursor> MakeCursor(const ViewNode* node) {
 }
 
 Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t) {
-  ++GlobalCounters().enum_steps;
+  ++LocalCounters().enum_steps;
   if (node->storage->Multiplicity(row) == 0) return 0;
   Mult m = 1;
   for (size_t i = 0; i < node->children.size(); ++i) {

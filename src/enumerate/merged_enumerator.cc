@@ -1,0 +1,35 @@
+#include "src/enumerate/merged_enumerator.h"
+
+namespace ivme {
+
+MergedEnumerator::MergedEnumerator(std::vector<std::unique_ptr<ResultEnumerator>> shards,
+                                   bool disjoint)
+    : shards_(std::move(shards)), disjoint_(disjoint) {
+  if (disjoint_) return;
+  // Overlap possible: sum every shard's stream into one map, then stream
+  // the map. Entries keep first-appearance order across shards.
+  Tuple t;
+  Mult m = 0;
+  for (auto& shard : shards_) {
+    while (shard->Next(&t, &m)) merged_.Emplace(t).first->value += m;
+  }
+  shards_.clear();
+  next_ = merged_.First();
+}
+
+bool MergedEnumerator::Next(Tuple* out, Mult* mult) {
+  if (disjoint_) {
+    while (current_ < shards_.size()) {
+      if (shards_[current_]->Next(out, mult)) return true;
+      ++current_;
+    }
+    return false;
+  }
+  if (next_ == nullptr) return false;
+  *out = next_->key;
+  *mult = next_->value;
+  next_ = next_->next;
+  return true;
+}
+
+}  // namespace ivme

@@ -1,0 +1,47 @@
+// Result enumeration across shard engines. Shards partition the database
+// by the hash of the component-root value, so every join result is produced
+// entirely within one shard. When the root variable is free, the output
+// tuples of different shards are disjoint (they differ in the root column)
+// and the merged stream is a plain concatenation of the shard streams — no
+// dedup pass, constant-delay properties carry over. When the root variable
+// is bound (projected away), the same output tuple can arise in several
+// shards with its multiplicity split between them; the enumerator then
+// eagerly drains all shards into one multiplicity-summing map and streams
+// that (O(result) space, like any dedup over a projection).
+#ifndef IVME_ENUMERATE_MERGED_ENUMERATOR_H_
+#define IVME_ENUMERATE_MERGED_ENUMERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/enumerate/enumerator.h"
+#include "src/storage/tuple_map.h"
+
+namespace ivme {
+
+/// Concatenates (disjoint shards) or merges (overlapping projections) the
+/// result streams of a sharded engine's per-shard enumerators. Same
+/// contract as ResultEnumerator: distinct tuples over the query's free
+/// variables in head order, with their full multiplicities.
+class MergedEnumerator {
+ public:
+  /// `disjoint` asserts that no output tuple occurs in more than one shard
+  /// stream (root variable free). With `disjoint` false the constructor
+  /// drains every shard up front.
+  MergedEnumerator(std::vector<std::unique_ptr<ResultEnumerator>> shards, bool disjoint);
+
+  /// Next distinct result tuple and its multiplicity; false at the end.
+  bool Next(Tuple* out, Mult* mult);
+
+ private:
+  std::vector<std::unique_ptr<ResultEnumerator>> shards_;
+  size_t current_ = 0;  ///< shard being drained (disjoint mode)
+
+  bool disjoint_ = true;
+  TupleMap<Mult> merged_;                       ///< merge mode: summed result
+  const TupleMap<Mult>::Node* next_ = nullptr;  ///< merge mode: stream position
+};
+
+}  // namespace ivme
+
+#endif  // IVME_ENUMERATE_MERGED_ENUMERATOR_H_

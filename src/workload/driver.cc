@@ -1,0 +1,36 @@
+#include "src/workload/driver.h"
+
+#include <chrono>
+
+namespace ivme {
+namespace workload {
+
+namespace {
+
+template <typename AnyEngine>
+DriveStats Drive(AnyEngine& engine, const std::vector<Batch>& batches) {
+  DriveStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  for (const Batch& batch : batches) {
+    const auto result = engine.ApplyBatch(batch);
+    stats.records += batch.size();
+    stats.applied += result.applied;
+    stats.rejected += result.rejected;
+    ++stats.batches;
+  }
+  stats.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return stats;
+}
+
+}  // namespace
+
+DriveStats DriveBatches(Engine& engine, const std::vector<Batch>& batches) {
+  return Drive(engine, batches);
+}
+
+DriveStats DriveBatches(ShardedEngine& engine, const std::vector<Batch>& batches) {
+  return Drive(engine, batches);
+}
+
+}  // namespace workload
+}  // namespace ivme

@@ -1,0 +1,42 @@
+// Batch-stream drivers: feed a batched update stream to an engine and
+// report wall-clock throughput and ingestion counts. The sharded overload
+// is the parallel driver mode — ShardedEngine::ApplyBatch splits each batch
+// per shard and applies the shard deltas concurrently on the engine's
+// thread pool, so driving a single batched stream through it exercises
+// parallel maintenance end to end. Shared by the benches and examples.
+#ifndef IVME_WORKLOAD_DRIVER_H_
+#define IVME_WORKLOAD_DRIVER_H_
+
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/sharded_engine.h"
+#include "src/workload/update_stream.h"
+
+namespace ivme {
+namespace workload {
+
+/// Outcome of driving one batched stream.
+struct DriveStats {
+  size_t records = 0;   ///< update records ingested (sum of batch sizes)
+  size_t applied = 0;   ///< consolidated net entries that reached the views
+  size_t rejected = 0;  ///< net deletes below zero, skipped per entry
+  size_t batches = 0;   ///< ApplyBatch calls issued
+  double seconds = 0;   ///< wall clock over all ApplyBatch calls
+
+  /// Records per second (0 when nothing ran).
+  double Throughput() const { return seconds > 0 ? static_cast<double>(records) / seconds : 0; }
+};
+
+/// Applies the batches in order through Engine::ApplyBatch (single-shard
+/// baseline driver).
+DriveStats DriveBatches(Engine& engine, const std::vector<Batch>& batches);
+
+/// Applies the batches in order through ShardedEngine::ApplyBatch — each
+/// batch is routed per shard and the shard deltas apply concurrently.
+DriveStats DriveBatches(ShardedEngine& engine, const std::vector<Batch>& batches);
+
+}  // namespace workload
+}  // namespace ivme
+
+#endif  // IVME_WORKLOAD_DRIVER_H_

@@ -45,7 +45,7 @@ TEST(CostModelTest, CoveringEnumerationIsConstantPerTuple) {
   while (it->Next(&t, &mult)) ++tuples;
   ASSERT_EQ(tuples, 50u * 64u);
   const double steps_per_tuple =
-      static_cast<double>(GlobalCounters().enum_steps) / static_cast<double>(tuples);
+      static_cast<double>(AggregateCounters().enum_steps) / static_cast<double>(tuples);
   EXPECT_LT(steps_per_tuple, 4.0);
 }
 
@@ -61,7 +61,7 @@ TEST(CostModelTest, UnionEnumerationCostsOneProbePerBucketPerTuple) {
   Mult mult = 0;
   while (tuples < 64 && it->Next(&t, &mult)) ++tuples;
   const double steps_per_tuple =
-      static_cast<double>(GlobalCounters().enum_steps) / static_cast<double>(tuples);
+      static_cast<double>(AggregateCounters().enum_steps) / static_cast<double>(tuples);
   // Each Next costs ~#buckets probes for the replacement test plus
   // ~#buckets for the multiplicity sum (a small constant factor).
   EXPECT_GT(steps_per_tuple, static_cast<double>(buckets) * 0.8);
@@ -79,7 +79,7 @@ TEST(CostModelTest, QHierarchicalUpdatesAreConstant) {
     m.Update("R", Tuple{i % 50, 100000 + i}, 1);
   }
   const double steps_per_update =
-      static_cast<double>(GlobalCounters().delta_steps) / static_cast<double>(updates);
+      static_cast<double>(AggregateCounters().delta_steps) / static_cast<double>(updates);
   // Constant per update even though key degrees are ~40 (q-hierarchical:
   // no iteration over siblings is ever needed thanks to the aux views).
   EXPECT_LT(steps_per_update, 12.0);
@@ -109,7 +109,7 @@ TEST(CostModelTest, HeavyUpdatesAreConstantLightUpdatesCostTheta) {
     m.Update("R", Tuple{5000000 + i, 0}, 1);
     m.Update("R", Tuple{5000000 + i, 0}, -1);
   }
-  const double heavy_steps = static_cast<double>(GlobalCounters().delta_steps) / 100.0;
+  const double heavy_steps = static_cast<double>(AggregateCounters().delta_steps) / 100.0;
 
   // Light updates: O(degree of the sibling) = O(θ) steps.
   ResetCounters();
@@ -117,7 +117,7 @@ TEST(CostModelTest, HeavyUpdatesAreConstantLightUpdatesCostTheta) {
     m.Update("R", Tuple{6000000 + i, 1 + (i % 100)}, 1);
     m.Update("R", Tuple{6000000 + i, 1 + (i % 100)}, -1);
   }
-  const double light_steps = static_cast<double>(GlobalCounters().delta_steps) / 100.0;
+  const double light_steps = static_cast<double>(AggregateCounters().delta_steps) / 100.0;
 
   EXPECT_LT(heavy_steps, 10.0);
   EXPECT_GT(light_steps, 14.0);   // ≈ sibling degree 15
@@ -135,9 +135,9 @@ TEST(CostModelTest, IndicatorFlipCostsConstant) {
   m.Preprocess();
   ResetCounters();
   m.Update("R", Tuple{1, 7}, 1);  // first R-tuple with B=7: All_B flips on
-  const auto first = GlobalCounters().delta_steps;
+  const auto first = AggregateCounters().delta_steps;
   m.Update("R", Tuple{2, 7}, 1);  // no support change
-  const auto second = GlobalCounters().delta_steps - first;
+  const auto second = AggregateCounters().delta_steps - first;
   EXPECT_LT(first, 40u);
   EXPECT_LT(second, 40u);
   EXPECT_EQ(m.FullCheck(), "");

@@ -67,15 +67,15 @@ TEST(IntrospectionTest, CountersAdvanceWithWork) {
   }
   ResetCounters();
   m.Preprocess();
-  EXPECT_GT(GlobalCounters().materialize_steps, 0u);
+  EXPECT_GT(AggregateCounters().materialize_steps, 0u);
 
   ResetCounters();
   m.Update("R", Tuple{1000, 0}, 1);
-  EXPECT_GT(GlobalCounters().delta_steps, 0u);
+  EXPECT_GT(AggregateCounters().delta_steps, 0u);
 
   ResetCounters();
   (void)m.engine().EvaluateToMap();
-  EXPECT_GT(GlobalCounters().enum_steps, 0u);
+  EXPECT_GT(AggregateCounters().enum_steps, 0u);
 }
 
 class StarFamilyTest : public ::testing::TestWithParam<int> {};

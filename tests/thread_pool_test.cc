@@ -1,0 +1,87 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace ivme {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<int> hits(100, 0);
+  std::atomic<int> total{0};
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, &total, i] {
+      ++hits[i];  // distinct slot per task: no synchronization needed
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.Run(tasks);
+  EXPECT_EQ(total.load(), 100);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, InlineModeHasNoWorkers) {
+  for (size_t n : {size_t{0}, size_t{1}}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), 0u);
+    int count = 0;
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) tasks.push_back([&count] { ++count; });
+    pool.Run(tasks);  // runs on this thread: plain int is safe
+    EXPECT_EQ(count, 10);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRuns) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&total] { total.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Run(tasks);
+  }
+  EXPECT_EQ(total.load(), 50 * 8);
+}
+
+TEST(ThreadPoolTest, SkipsEmptyTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back();  // default-constructed: skipped
+  tasks.push_back([&total] { total.fetch_add(1); });
+  tasks.emplace_back();
+  pool.Run(tasks);
+  EXPECT_EQ(total.load(), 1);
+  pool.Run({});  // empty list is a no-op
+}
+
+TEST(ThreadPoolTest, RunIsABarrier) {
+  // After Run returns, every task's writes are visible without further
+  // synchronization (the completion handshake orders them).
+  ThreadPool pool(3);
+  std::vector<size_t> out(64, 0);
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < out.size(); ++i) {
+    tasks.push_back([&out, i] { out[i] = i * i; });
+  }
+  pool.Run(tasks);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsBoundedByShardsAndCores) {
+  EXPECT_EQ(ThreadPool::DefaultThreads(1), 0u);
+  const size_t hw = std::thread::hardware_concurrency();
+  const size_t for_8 = ThreadPool::DefaultThreads(8);
+  EXPECT_LE(for_8, size_t{8});
+  EXPECT_LE(for_8, hw);
+}
+
+}  // namespace
+}  // namespace ivme

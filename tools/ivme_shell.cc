@@ -1,30 +1,36 @@
 // Interactive shell around the engine: define a hierarchical query on the
-// command line, then stream updates and enumerate results.
+// command line, then stream updates and enumerate results. The engine is a
+// ShardedEngine (1 shard unless told otherwise), so the shell doubles as a
+// cockpit for the shared-nothing sharding layer: `shards N` re-partitions
+// the live database across N independent per-shard engines, and `stats`
+// shows each shard's own N, M, and θ = M^ε next to the aggregate.
 //
-//   ./tools/ivme_shell "Q(A, C) = R(A, B), S(B, C)" [epsilon]
+//   ./tools/ivme_shell "Q(A, C) = R(A, B), S(B, C)" [epsilon] [shards]
 //
-// Commands (stdin):
+// Commands (stdin; a leading backslash is accepted on any command):
 //   + R 1 2 [m]     insert tuple (1,2) into R with multiplicity m (default 1)
 //   - R 1 2 [m]     delete m copies (default 1)
 //   batch begin     start buffering +/- commands instead of applying them
 //   batch end       apply the buffered updates as one consolidated batch
 //   batch abort     drop the buffered updates
+//   shards N        rebuild the engine with N hash-partitioned shards
 //   ?               enumerate the result (first 50 tuples)
 //   count           number of distinct result tuples
-//   stats           engine statistics (N, M, θ, views, rebalances, batches)
+//   stats           aggregate and per-shard statistics (N, M, θ, views, ...)
 //   widths          query classification and widths
-//   trees           print the view trees
-//   check           verify all internal invariants
+//   trees           print the view trees (per shard)
+//   check           verify all internal invariants (incl. routing)
 //   help            this text
 //   quit            exit
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "src/common/fmt.h"
-#include "src/core/engine.h"
+#include "src/core/sharded_engine.h"
 #include "src/query/classify.h"
 #include "src/query/hypergraph.h"
 #include "src/query/width.h"
@@ -36,7 +42,7 @@ namespace {
 void PrintHelp() {
   std::printf(
       "commands: + REL v1 v2 .. [m] | - REL v1 v2 .. [m] | batch begin|end|abort |\n"
-      "          ? | count | stats | widths | trees | check | help | quit\n");
+      "          shards N | ? | count | stats | widths | trees | check | help | quit\n");
 }
 
 void PrintWidths(const ConjunctiveQuery& q) {
@@ -48,13 +54,53 @@ void PrintWidths(const ConjunctiveQuery& q) {
   std::printf("  delta rank:      delta_%d-hierarchical\n", DeltaRank(q));
   std::printf("  static width w:  %d\n", StaticWidth(q));
   std::printf("  dynamic width d: %d\n", DynamicWidth(q));
+  std::string why;
+  const bool shardable = ShardedEngine::CanShard(q, &why);
+  std::printf("  shardable:       %s%s%s\n", shardable ? "yes" : "no", shardable ? "" : " — ",
+              shardable ? "" : why.c_str());
+}
+
+std::unique_ptr<ShardedEngine> MakeEngine(const ConjunctiveQuery& query, double epsilon,
+                                          size_t shards) {
+  ShardedEngineOptions options;
+  options.engine.epsilon = epsilon;
+  options.engine.mode = EvalMode::kDynamic;
+  options.num_shards = shards;
+  auto engine = std::make_unique<ShardedEngine>(query, options);
+  return engine;
+}
+
+void PrintStats(const ShardedEngine& engine, double epsilon) {
+  const auto stats = engine.GetStats();
+  std::printf("aggregate: N=%s | shards=%zu threads=%zu | trees=%zu triples=%zu "
+              "view-tuples=%s | updates=%zu batches=%zu net-entries=%zu minor=%zu major=%zu\n",
+              WithThousands(static_cast<long long>(engine.database_size())).c_str(),
+              engine.num_shards(), engine.num_threads(), stats.num_trees, stats.num_triples,
+              WithThousands(static_cast<long long>(stats.view_tuples)).c_str(), stats.updates,
+              stats.batches, stats.batch_net_entries, stats.minor_rebalances,
+              stats.major_rebalances);
+  // Per-shard thresholds: each shard sizes M and θ = M^ε from its own
+  // slice, so the heavy/light cut is visibly independent across shards.
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    const Engine& shard = engine.shard(s);
+    const auto shard_stats = shard.GetStats();
+    std::printf("  shard %zu: N=%s M=%s theta=%.2f (eps=%.2f) | view-tuples=%s | "
+                "updates=%zu minor=%zu major=%zu\n",
+                s, WithThousands(static_cast<long long>(shard.database_size())).c_str(),
+                WithThousands(static_cast<long long>(shard.threshold_base())).c_str(),
+                shard.theta(), epsilon,
+                WithThousands(static_cast<long long>(shard_stats.view_tuples)).c_str(),
+                shard_stats.updates, shard_stats.minor_rebalances,
+                shard_stats.major_rebalances);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s \"Q(A, C) = R(A, B), S(B, C)\" [epsilon]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s \"Q(A, C) = R(A, B), S(B, C)\" [epsilon] [shards]\n",
+                 argv[0]);
     return 2;
   }
   auto query = ConjunctiveQuery::Parse(argv[1]);
@@ -68,25 +114,57 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  EngineOptions options;
-  options.epsilon = argc > 2 ? std::atof(argv[2]) : 0.5;
-  options.mode = EvalMode::kDynamic;
-  Engine engine(*query, options);
-  engine.Preprocess();
+  const double epsilon = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const long long shards_arg = argc > 3 ? std::atoll(argv[3]) : 1;
+  size_t shards = shards_arg < 1 ? 1 : static_cast<size_t>(shards_arg);
+  std::string why;
+  if (shards > 1 && !ShardedEngine::CanShard(*query, &why)) {
+    std::fprintf(stderr, "cannot shard this query (%s); running with 1 shard\n", why.c_str());
+    shards = 1;
+  }
+  auto engine = MakeEngine(*query, epsilon, shards);
+  engine->Preprocess();
 
   PrintWidths(*query);
-  std::printf("engine ready at eps=%.2f; type 'help' for commands\n", options.epsilon);
+  std::printf("engine ready at eps=%.2f with %zu shard(s); type 'help' for commands\n", epsilon,
+              engine->num_shards());
 
   std::string line;
-  UpdateBatch pending;     // updates buffered between `batch begin` and `batch end`
+  UpdateBatch pending;  // updates buffered between `batch begin` and `batch end`
   bool batching = false;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
     std::string cmd;
     if (!(in >> cmd)) continue;
+    if (cmd.size() > 1 && cmd[0] == '\\') cmd.erase(0, 1);
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       PrintHelp();
+    } else if (cmd == "shards") {
+      long long n = 0;
+      if (!(in >> n) || n < 1) {
+        std::printf("! usage: shards N (N >= 1)\n");
+        continue;
+      }
+      if (batching) {
+        std::printf("! close the open batch first (batch end / batch abort)\n");
+        continue;
+      }
+      if (static_cast<size_t>(n) > 1 && !ShardedEngine::CanShard(*query, &why)) {
+        std::printf("! cannot shard this query: %s\n", why.c_str());
+        continue;
+      }
+      // Rebuild: dump the live base relations, reload into a fresh engine
+      // with the new shard count, re-preprocess. Update/rebalance counters
+      // restart from zero.
+      auto rebuilt = MakeEngine(*query, epsilon, static_cast<size_t>(n));
+      for (const auto& name : query->RelationNames()) {
+        rebuilt->Load(name, engine->DumpRelation(name));
+      }
+      rebuilt->Preprocess();
+      engine = std::move(rebuilt);
+      std::printf("rebuilt with %zu shard(s) over N=%zu (threads=%zu)\n", engine->num_shards(),
+                  engine->database_size(), engine->num_threads());
     } else if (cmd == "batch") {
       std::string sub;
       in >> sub;
@@ -98,9 +176,9 @@ int main(int argc, char** argv) {
         pending.clear();
         std::printf("batch open; +/- commands buffer until 'batch end'\n");
       } else if (sub == "end" && batching) {
-        const auto result = engine.ApplyBatch(pending);
+        const auto result = engine->ApplyBatch(pending);
         std::printf("applied %zu updates as %zu net entries (%zu rejected) (N=%zu)\n",
-                    pending.size(), result.applied, result.rejected, engine.database_size());
+                    pending.size(), result.applied, result.rejected, engine->database_size());
         batching = false;
         pending.clear();
       } else if (sub == "abort" && batching) {
@@ -146,11 +224,11 @@ int main(int argc, char** argv) {
         std::printf("buffered (%zu pending)\n", pending.size());
         continue;
       }
-      const bool ok = engine.ApplyUpdate(rel, Tuple(std::move(values)), mult);
+      const bool ok = engine->ApplyUpdate(rel, Tuple(std::move(values)), mult);
       std::printf(ok ? "ok (N=%zu)\n" : "rejected (delete below zero) (N=%zu)\n",
-                  engine.database_size());
+                  engine->database_size());
     } else if (cmd == "?") {
-      auto it = engine.Enumerate();
+      auto it = engine->Enumerate();
       Tuple t;
       Mult m = 0;
       size_t shown = 0;
@@ -163,29 +241,24 @@ int main(int argc, char** argv) {
       if (rest > 0) std::printf("  ... and %zu more\n", rest);
       if (shown == 0) std::printf("  (empty)\n");
     } else if (cmd == "count") {
-      auto it = engine.Enumerate();
+      auto it = engine->Enumerate();
       Tuple t;
       Mult m = 0;
       size_t count = 0;
       while (it->Next(&t, &m)) ++count;
       std::printf("%zu distinct tuples\n", count);
     } else if (cmd == "stats") {
-      const auto stats = engine.GetStats();
-      std::printf("N=%s M=%s theta=%.2f | trees=%zu triples=%zu view-tuples=%s | "
-                  "updates=%zu batches=%zu net-entries=%zu minor=%zu major=%zu\n",
-                  WithThousands(static_cast<long long>(engine.database_size())).c_str(),
-                  WithThousands(static_cast<long long>(engine.threshold_base())).c_str(),
-                  engine.theta(), stats.num_trees, stats.num_triples,
-                  WithThousands(static_cast<long long>(stats.view_tuples)).c_str(),
-                  stats.updates, stats.batches, stats.batch_net_entries,
-                  stats.minor_rebalances, stats.major_rebalances);
+      PrintStats(*engine, epsilon);
     } else if (cmd == "widths") {
       PrintWidths(*query);
     } else if (cmd == "trees") {
-      std::printf("%s", engine.DebugString().c_str());
+      for (size_t s = 0; s < engine->num_shards(); ++s) {
+        if (engine->num_shards() > 1) std::printf("--- shard %zu ---\n", s);
+        std::printf("%s", engine->shard(s).DebugString().c_str());
+      }
     } else if (cmd == "check") {
       std::string error;
-      std::printf(engine.CheckInvariants(&error) ? "all invariants hold\n" : "FAILED: %s\n",
+      std::printf(engine->CheckInvariants(&error) ? "all invariants hold\n" : "FAILED: %s\n",
                   error.c_str());
     } else {
       std::printf("! unknown command '%s' (try 'help')\n", cmd.c_str());
