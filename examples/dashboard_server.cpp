@@ -1,0 +1,166 @@
+// A miniature serving layer on the multi-query catalog: ONE telemetry
+// stream feeds a shared RelationStore, and three registered queries answer
+// dashboard panels over it with interleaved enumeration. Every batch is
+// consolidated once and written to base storage once; each query only pays
+// its own view maintenance.
+//
+//   Metrics(Device, Sensor)   — active sensor readings per device
+//   Fleet(Device, Rack)       — rack placement
+//   Hot(Device)               — devices flagged by the alerting pipeline
+//
+// Registered dashboard panels:
+//   devices   Q(Device)               = Metrics(Device, Sensor)
+//                 per-device presence (projection; count of distinct
+//                 sensors arrives as the enumerated multiplicity)
+//   placement Q(Device, Rack, Sensor) = Metrics(Device, Sensor),
+//                                       Fleet(Device, Rack)
+//                 join panel: live readings with rack context
+//   hotlist   Q(Device, Sensor)       = Metrics(Device, Sensor), Hot(Device)
+//                 readings restricted to flagged devices
+//
+// A fourth panel (`racks`) registers LATE — after ingestion has been
+// running — and preprocesses from the live store, then tracks the stream
+// like the others.
+//
+//   ./examples/dashboard_server [events]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/common/counters.h"
+#include "src/common/rng.h"
+#include "src/core/catalog.h"
+#include "src/workload/driver.h"
+
+using namespace ivme;
+
+namespace {
+
+void ShowPanel(const QueryCatalog& catalog, const char* name, size_t limit) {
+  auto it = catalog.Enumerate(name);
+  Tuple t;
+  Mult m = 0;
+  size_t shown = 0, total = 0;
+  std::printf("  panel %-9s:", name);
+  while (it->Next(&t, &m)) {
+    if (shown < limit) {
+      std::printf(" %s x%lld", t.ToString().c_str(), static_cast<long long>(m));
+      ++shown;
+    }
+    ++total;
+  }
+  std::printf("%s (%zu tuples)\n", total > shown ? " ..." : "", total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int events = argc > 1 ? std::atoi(argv[1]) : 24000;
+
+  QueryCatalog catalog;
+  EngineOptions options;
+  options.epsilon = 0.5;
+  catalog.RegisterQuery("devices", *ConjunctiveQuery::Parse("Q(Device) = Metrics(Device, Sensor)"),
+                        options);
+  catalog.RegisterQuery(
+      "placement",
+      *ConjunctiveQuery::Parse(
+          "Q(Device, Rack, Sensor) = Metrics(Device, Sensor), Fleet(Device, Rack)"),
+      options);
+  catalog.RegisterQuery(
+      "hotlist",
+      *ConjunctiveQuery::Parse("Q(Device, Sensor) = Metrics(Device, Sensor), Hot(Device)"),
+      options);
+
+  Rng rng(20260731);
+  const Value devices = 1200, racks = 24, sensors = 64;
+
+  // Bootstrap: placement for the whole fleet, a handful of flagged devices.
+  for (Value d = 0; d < devices; ++d) {
+    catalog.LoadTuple("Fleet", Tuple{d, d % racks}, 1);
+    if (d % 37 == 0) catalog.LoadTuple("Hot", Tuple{d}, 1);
+  }
+  catalog.Preprocess();
+  std::printf("catalog live: %zu queries over %zu store tuples\n", catalog.num_queries(),
+              catalog.store().TotalSize());
+
+  // One stream: sensor readings appear and expire; devices get flagged and
+  // cleared. 2% of devices are chatty and produce half the readings.
+  std::vector<Tuple> live_metrics;
+  std::vector<Value> hot;
+  for (Value d = 0; d < devices; d += 37) hot.push_back(d);
+  std::vector<workload::Batch> batches;
+  UpdateBatch batch;
+  for (int e = 0; e < events; ++e) {
+    const Value device =
+        rng.Chance(0.5) ? rng.Range(0, devices / 50) : rng.Range(0, devices - 1);
+    if (!live_metrics.empty() && rng.Chance(0.4)) {
+      const size_t pick = rng.Below(live_metrics.size());
+      batch.push_back(Update{"Metrics", live_metrics[pick], -1});  // reading expires
+      live_metrics[pick] = live_metrics.back();
+      live_metrics.pop_back();
+    } else if (rng.Chance(0.02) && !hot.empty()) {
+      const size_t pick = rng.Below(hot.size());
+      batch.push_back(Update{"Hot", Tuple{hot[pick]}, -1});  // flag cleared
+      hot[pick] = hot.back();
+      hot.pop_back();
+    } else if (rng.Chance(0.02)) {
+      const Value d = rng.Range(0, devices - 1);
+      batch.push_back(Update{"Hot", Tuple{d}, 1});  // device flagged
+      hot.push_back(d);
+    } else {
+      Tuple reading{device, rng.Range(0, sensors - 1)};
+      live_metrics.push_back(reading);
+      batch.push_back(Update{"Metrics", std::move(reading), 1});
+    }
+    if (batch.size() == 128) {
+      batches.push_back(std::move(batch));
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+
+  // Ingest the first half, peeking at the panels along the way.
+  ResetCounters();
+  const size_t half = batches.size() / 2;
+  std::vector<workload::Batch> first(batches.begin(), batches.begin() + half);
+  std::vector<workload::Batch> second(batches.begin() + half, batches.end());
+  auto stats = workload::DriveBatches(catalog, first);
+  std::printf("ingested %zu records in %zu batches (%.0f records/s; %llu base writes for %zu "
+              "net entries across %zu queries)\n",
+              stats.records, stats.batches, stats.Throughput(),
+              static_cast<unsigned long long>(AggregateCounters().base_writes), stats.applied,
+              catalog.num_queries());
+  ShowPanel(catalog, "devices", 3);
+  ShowPanel(catalog, "placement", 2);
+  ShowPanel(catalog, "hotlist", 3);
+
+  // A new panel arrives while the stream is live: per-rack rollup of
+  // flagged devices. It preprocesses from the store as of "now".
+  catalog.RegisterQuery(
+      "racks", *ConjunctiveQuery::Parse("Q(Rack) = Fleet(Device, Rack), Hot(Device)"), options);
+  std::printf("late-registered panel 'racks' against the live store\n");
+  ShowPanel(catalog, "racks", 4);
+
+  // Keep ingesting; all four panels track the same stream.
+  stats = workload::DriveBatches(catalog, second);
+  std::printf("ingested %zu more records (%.0f records/s)\n", stats.records,
+              stats.Throughput());
+  ShowPanel(catalog, "devices", 3);
+  ShowPanel(catalog, "placement", 2);
+  ShowPanel(catalog, "hotlist", 3);
+  ShowPanel(catalog, "racks", 4);
+
+  std::string error;
+  if (!catalog.CheckInvariants(&error)) {
+    std::fprintf(stderr, "invariant violation: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("all per-query invariants hold; store holds %zu tuples, N per query:",
+              catalog.store().TotalSize());
+  for (const auto& query : catalog.queries()) {
+    std::printf(" %s=%zu", query->name().c_str(), query->database_size());
+  }
+  std::printf("\n");
+  return 0;
+}

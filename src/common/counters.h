@@ -32,10 +32,18 @@ struct CostCounters {
   /// bucket probes (the Figures 13-16 machinery).
   uint64_t enum_steps = 0;
 
+  /// Canonical base-storage writes: net-delta entries applied to a shared
+  /// RelationStore relation. A catalog with Q registered queries performs
+  /// each batch's base writes exactly once, so this counter is independent
+  /// of Q (per-query maintenance state — light parts, views, self-join
+  /// mirror occurrences — is not counted here).
+  uint64_t base_writes = 0;
+
   CostCounters& operator+=(const CostCounters& other) {
     materialize_steps += other.materialize_steps;
     delta_steps += other.delta_steps;
     enum_steps += other.enum_steps;
+    base_writes += other.base_writes;
     return *this;
   }
 };

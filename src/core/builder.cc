@@ -292,7 +292,10 @@ void CompileNode(const ConjunctiveQuery& q, ViewNode* node, const Schema& ctx,
     // Scan index on the bound part (only when it is a proper, non-empty
     // subset of the schema; empty → full scan, full → point lookup).
     if (!node->bound_schema.empty() && node->bound_schema.size() < node->schema.size()) {
-      node->scan_index_id = node->storage->EnsureIndex(node->bound_schema);
+      // Resolve against the node's schema, not the storage schema: a leaf's
+      // base relation may be store-shared with a canonical column schema.
+      node->scan_index_id = node->storage->EnsureIndexOnColumns(
+          ProjectionPositions(node->schema, node->bound_schema));
     }
   }
 
@@ -397,7 +400,8 @@ void CompileNode(const ConjunctiveQuery& q, ViewNode* node, const Schema& ctx,
           plan.gate_children.push_back(static_cast<int>(i));
         } else {
           plan.probe_children.push_back(static_cast<int>(i));
-          plan.probe_index_ids.push_back(sib->storage->EnsureIndex(keys));
+          plan.probe_index_ids.push_back(sib->storage->EnsureIndexOnColumns(
+              ProjectionPositions(sib->schema, keys.Intersect(sib->schema))));
         }
       }
       // Row assembly: prefer the delta tuple, then probe children in order.

@@ -1,0 +1,176 @@
+#include "src/core/catalog.h"
+
+#include "src/common/check.h"
+#include "src/core/delta.h"
+
+namespace ivme {
+
+QueryCatalog::QueryCatalog(std::shared_ptr<RelationStore> store)
+    : store_(store != nullptr ? std::move(store) : std::make_shared<RelationStore>()) {}
+
+MaintainedQuery* QueryCatalog::RegisterQuery(const std::string& name, ConjunctiveQuery q,
+                                             EngineOptions options) {
+  IVME_CHECK_MSG(FindQuery(name) == nullptr, "query " << name << " is already registered");
+  queries_.push_back(std::make_unique<MaintainedQuery>(name, std::move(q), options, store_.get()));
+  MaintainedQuery* query = queries_.back().get();
+  for (const std::string& relation : query->query().RelationNames()) {
+    consolidator_.EnsureRelation(relation);
+  }
+  // Late registration: the catalog is already serving, so the new query
+  // preprocesses right away from the live store contents.
+  if (live_) query->Preprocess();
+  return query;
+}
+
+bool QueryCatalog::DropQuery(const std::string& name) {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i]->name() != name) continue;
+    // ~MaintainedQuery releases the store references; the relations and
+    // their contents (and any indexes built for the query) stay live.
+    queries_.erase(queries_.begin() + static_cast<long>(i));
+    return true;
+  }
+  return false;
+}
+
+MaintainedQuery* QueryCatalog::FindQuery(const std::string& name) const {
+  for (const auto& query : queries_) {
+    if (query->name() == name) return query.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> QueryCatalog::QueryNames() const {
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& query : queries_) names.push_back(query->name());
+  return names;
+}
+
+void QueryCatalog::Load(const std::string& relation,
+                        const std::vector<std::pair<Tuple, Mult>>& tuples) {
+  for (const auto& [tuple, mult] : tuples) LoadTuple(relation, tuple, mult);
+}
+
+void QueryCatalog::LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult) {
+  IVME_CHECK_MSG(!live_, "Load must precede Preprocess; use ApplyUpdate afterwards");
+  IVME_CHECK_MSG(store_->Find(relation) != nullptr, "unknown relation " << relation);
+  IVME_CHECK_MSG(mult > 0, "loaded tuples need positive multiplicities");
+  store_->Apply(relation, tuple, mult);
+}
+
+void QueryCatalog::Preprocess() {
+  IVME_CHECK_MSG(!live_, "Preprocess called twice");
+  live_ = true;
+  for (auto& query : queries_) query->Preprocess();
+}
+
+bool QueryCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
+  IVME_CHECK_MSG(live_, "Preprocess before updating");
+  for (const auto& query : queries_) {
+    IVME_CHECK_MSG(query->mode() == EvalMode::kDynamic, "updates need dynamic mode");
+  }
+  if (mult == 0) return true;
+  Relation* stored = store_->Find(relation);
+  IVME_CHECK_MSG(stored != nullptr, "unknown relation " << relation);
+  // Reject deletes below zero (Section 3) against the shared store — every
+  // query sees the same base, so they can never disagree.
+  if (mult < 0 && stored->Multiplicity(tuple) < -mult) return false;
+  const auto res = store_->Apply(relation, tuple, mult);
+  const int support = SupportChange(res.before, res.after);
+  for (auto& query : queries_) {
+    if (query->UsesRelation(relation)) query->ApplySingle(relation, tuple, mult, support);
+  }
+  return true;
+}
+
+BatchResult QueryCatalog::ApplyBatch(const UpdateBatch& updates) {
+  return ApplyBatch(updates.data(), updates.size());
+}
+
+BatchResult QueryCatalog::ApplyBatch(const Update* updates, size_t count) {
+  IVME_CHECK_MSG(live_, "Preprocess before updating");
+  for (const auto& query : queries_) {
+    IVME_CHECK_MSG(query->mode() == EvalMode::kDynamic, "updates need dynamic mode");
+  }
+  BatchResult result;
+  if (count == 0) return result;
+
+  // Phase 1: consolidate per relation (insert/delete cancellation, weighted
+  // merge). Touch order is first-appearance order, so application stays
+  // deterministic.
+  consolidator_.Begin();
+  for (size_t i = 0; i < count; ++i) consolidator_.Add(updates[i]);
+
+  share_scratch_.assign(queries_.size(), QueryBatchShare{});
+  for (const size_t group : consolidator_.touched()) {
+    const std::string& relation = consolidator_.relation(group);
+    TupleMap<Mult>& delta = consolidator_.delta(group);
+
+    // Phase 2a: validate net deletes against the pre-batch store. Net
+    // entries address distinct tuples, so the checks are independent.
+    const Relation* stored = store_->Find(relation);
+    IVME_CHECK_MSG(stored != nullptr, "unknown relation " << relation);
+    for (auto* node = delta.First(); node != nullptr; node = node->next) {
+      if (node->value < 0 && stored->Multiplicity(node->key) < -node->value) {
+        node->value = 0;
+        ++result.rejected;
+      } else if (node->value != 0) {
+        ++result.applied;
+      }
+    }
+
+    // Phase 2b: ONE base-storage write per surviving net entry, recording
+    // the support changes every query's snapshots need.
+    store_->ApplyDelta(relation, delta, &delta_scratch_);
+
+    // Phase 3: fan the applied delta out to every query reading the
+    // relation — one maintenance pass per query per relation, including the
+    // deferred per-key minor-rebalance sweep.
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      if (!queries_[qi]->UsesRelation(relation)) continue;
+      queries_[qi]->ApplyGroupDelta(relation, delta_scratch_);
+      share_scratch_[qi].touched = true;
+      share_scratch_[qi].records += consolidator_.records(group);
+      share_scratch_[qi].net_entries += delta_scratch_.applied.size();
+    }
+  }
+
+  // Phase 4: per-query batch end — the major-rebalance trigger runs once
+  // per touched query, so a batch cannot thrash partitions.
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    if (!share_scratch_[qi].touched) continue;
+    queries_[qi]->FinishBatch(share_scratch_[qi].records, share_scratch_[qi].net_entries);
+  }
+  return result;
+}
+
+std::unique_ptr<ResultEnumerator> QueryCatalog::Enumerate(const std::string& name) const {
+  const MaintainedQuery* query = FindQuery(name);
+  IVME_CHECK_MSG(query != nullptr, "unknown query " << name);
+  return query->Enumerate();
+}
+
+QueryResult QueryCatalog::EvaluateToMap(const std::string& name) const {
+  const MaintainedQuery* query = FindQuery(name);
+  IVME_CHECK_MSG(query != nullptr, "unknown query " << name);
+  return query->EvaluateToMap();
+}
+
+std::vector<std::pair<Tuple, Mult>> QueryCatalog::DumpRelation(
+    const std::string& relation) const {
+  return store_->Dump(relation);
+}
+
+bool QueryCatalog::CheckInvariants(std::string* error) {
+  for (auto& query : queries_) {
+    std::string query_error;
+    if (!query->CheckInvariants(&query_error)) {
+      if (error != nullptr) *error = "query " + query->name() + ": " + query_error;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ivme

@@ -1,0 +1,134 @@
+// The multi-query serving facade: one shared RelationStore, many
+// registered MaintainedQuery instances. A catalog ingests one update
+// stream, consolidates each batch once (NetDeltaConsolidator), applies
+// each net entry's base-storage write exactly once, and fans the net delta
+// out to the maintenance state of every registered query that reads the
+// touched relation — the multi-query serving setting of
+// Berkholz–Keppeler–Schweikardt, with per-query ε/θ/M state and
+// rebalancing. Late registrations preprocess from the live store.
+#ifndef IVME_CORE_CATALOG_H_
+#define IVME_CORE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/maintained_query.h"
+#include "src/data/consolidate.h"
+#include "src/data/update.h"
+#include "src/storage/relation_store.h"
+
+namespace ivme {
+
+/// Registry of maintained queries over one shared relation store.
+///
+/// Lifecycle: construct → RegisterQuery (any number) → Load base tuples →
+/// Preprocess() → interleave ApplyUpdate / ApplyBatch, Enumerate(name),
+/// RegisterQuery (late, preprocesses immediately from the live store), and
+/// DropQuery. Engine is the single-query compatibility wrapper around this
+/// class; ShardedCatalog shards it.
+class QueryCatalog {
+ public:
+  /// Uses `store` (shared with other catalogs or engines) or creates a
+  /// fresh private store when null.
+  explicit QueryCatalog(std::shared_ptr<RelationStore> store = nullptr);
+
+  QueryCatalog(const QueryCatalog&) = delete;
+  QueryCatalog& operator=(const QueryCatalog&) = delete;
+
+  // --- control plane ---
+
+  /// Registers a hierarchical query under a fresh name, attaching its
+  /// relations to the shared store (arity conflicts with live relations are
+  /// hard errors). After Preprocess() has run, the new query preprocesses
+  /// immediately from the live store contents; updates keep flowing to
+  /// every query.
+  MaintainedQuery* RegisterQuery(const std::string& name, ConjunctiveQuery q,
+                                 EngineOptions options);
+
+  /// Unregisters and destroys a query, releasing its store references; the
+  /// base relations and their contents stay in the store. Returns false
+  /// when the name is unknown.
+  bool DropQuery(const std::string& name);
+
+  /// Looks up a registered query by name; nullptr when absent.
+  MaintainedQuery* FindQuery(const std::string& name) const;
+
+  /// Registered query names, in registration order.
+  std::vector<std::string> QueryNames() const;
+
+  size_t num_queries() const { return queries_.size(); }
+
+  // --- data plane ---
+
+  /// Bulk-loads base tuples before preprocessing. Multiplicities
+  /// accumulate; the relation must be attached by some registered query.
+  void Load(const std::string& relation, const std::vector<std::pair<Tuple, Mult>>& tuples);
+  void LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Preprocesses every registered query from the store (Theorem 2/4) and
+  /// marks the catalog live. Call exactly once; queries registered later
+  /// preprocess at registration.
+  void Preprocess();
+  bool preprocessed() const { return live_; }
+
+  /// Applies a single-tuple insert (m > 0) or delete (m < 0): validates
+  /// against the store, writes base storage once, then maintains every
+  /// query reading the relation. Returns false (and changes nothing) when a
+  /// delete exceeds the stored multiplicity. Requires a live catalog whose
+  /// queries are all dynamic.
+  bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Applies `count` updates as one batch: consolidates per relation
+  /// (insert/delete cancellation, multiplicity merging, per-entry
+  /// below-zero rejection against the store), performs each surviving net
+  /// entry's base-storage write exactly once, and fans each relation's
+  /// delta out to the registered queries (one maintenance pass per query
+  /// per relation, deferred rebalancing per query at batch end). Every
+  /// record must address a relation attached to the store.
+  BatchResult ApplyBatch(const Update* updates, size_t count);
+  BatchResult ApplyBatch(const UpdateBatch& updates);
+
+  /// Opens an enumeration session over `name`'s current result.
+  std::unique_ptr<ResultEnumerator> Enumerate(const std::string& name) const;
+
+  /// Drains a full enumeration of `name` into a map.
+  QueryResult EvaluateToMap(const std::string& name) const;
+
+  /// Contents of a store relation as (tuple, multiplicity) pairs.
+  std::vector<std::pair<Tuple, Mult>> DumpRelation(const std::string& relation) const;
+
+  /// Verifies every registered query's invariants; `error` is prefixed with
+  /// the failing query's name.
+  bool CheckInvariants(std::string* error);
+
+  // --- introspection ---
+  RelationStore& store() { return *store_; }
+  const RelationStore& store() const { return *store_; }
+  const std::shared_ptr<RelationStore>& store_ptr() const { return store_; }
+
+  /// Queries in registration order (for iteration in shells/benches).
+  const std::vector<std::unique_ptr<MaintainedQuery>>& queries() const { return queries_; }
+
+ private:
+  /// Per-batch per-query accounting (records and net entries routed to the
+  /// query), indexed like queries_.
+  struct QueryBatchShare {
+    size_t records = 0;
+    size_t net_entries = 0;
+    bool touched = false;
+  };
+
+  std::shared_ptr<RelationStore> store_;
+  std::vector<std::unique_ptr<MaintainedQuery>> queries_;
+  NetDeltaConsolidator consolidator_;
+  bool live_ = false;
+
+  // Batch scratch (capacity persists across batches).
+  RelationStore::DeltaResult delta_scratch_;
+  std::vector<QueryBatchShare> share_scratch_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_CATALOG_H_

@@ -1,7 +1,10 @@
-// The public engine: builds the skew-aware view trees for a hierarchical
-// query, materializes them (preprocessing, Theorem 2/4), maintains them
-// under single-tuple and batched updates with minor/major rebalancing
-// (Section 6), and enumerates the distinct result tuples (Section 5).
+// The single-query engine facade: a QueryCatalog with exactly one
+// registered MaintainedQuery, preserving the original Engine surface
+// (Load → Preprocess → ApplyUpdate/ApplyBatch → Enumerate). The actual
+// machinery — shared base storage, per-query view trees/partitions/
+// indicator triples, θ/M/ε rebalancing — lives in RelationStore,
+// MaintainedQuery, and QueryCatalog; multi-query serving uses QueryCatalog
+// directly.
 #ifndef IVME_CORE_ENGINE_H_
 #define IVME_CORE_ENGINE_H_
 
@@ -9,36 +12,26 @@
 #include <string>
 #include <vector>
 
-#include "src/baselines/brute_force.h"
-#include "src/core/builder.h"
-#include "src/core/view_node.h"
-#include "src/data/update.h"
-#include "src/enumerate/enumerator.h"
-#include "src/query/query.h"
-#include "src/storage/tuple_map.h"
+#include "src/core/catalog.h"
+#include "src/core/maintained_query.h"
 
 namespace ivme {
-
-/// Engine configuration.
-struct EngineOptions {
-  /// The ε knob of Theorems 2 and 4: heavy/light threshold θ = M^ε.
-  double epsilon = 0.5;
-
-  /// Static evaluation (no updates accepted) or dynamic (IVM^ε).
-  EvalMode mode = EvalMode::kDynamic;
-
-  /// Disables minor/major rebalancing (ablation only — partitions then
-  /// drift from their thresholds, which voids the amortized guarantees but
-  /// keeps results correct).
-  bool enable_rebalancing = true;
-};
 
 /// Evaluation/maintenance engine for one hierarchical query.
 ///
 /// Lifecycle: construct → Load base tuples → Preprocess() → interleave
-/// ApplyUpdate / ApplyBatch (dynamic mode) and Enumerate().
+/// ApplyUpdate / ApplyBatch (dynamic mode) and Enumerate(). Thin wrapper
+/// over a private QueryCatalog holding one MaintainedQuery; the
+/// StorageProvider surface is forwarded for tests that build view trees
+/// against an engine's storage.
 class Engine : public StorageProvider {
  public:
+  /// Per-query statistics (see QueryStats).
+  using Stats = QueryStats;
+
+  /// Outcome of one ApplyBatch call (see ivme::BatchResult).
+  using BatchResult = ivme::BatchResult;
+
   /// `q` must be hierarchical (checked).
   Engine(ConjunctiveQuery q, EngineOptions options);
   ~Engine() override;
@@ -46,7 +39,7 @@ class Engine : public StorageProvider {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  // --- StorageProvider (used by the builder) ---
+  // --- StorageProvider (used by the builder; forwarded to the query) ---
   Relation* AtomStorage(int atom_index) override;
   RelationPartition* AtomPartition(int atom_index, const Schema& keys) override;
 
@@ -65,44 +58,10 @@ class Engine : public StorageProvider {
   /// dynamic mode and a preprocessed engine.
   bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
 
-  /// Outcome of one ApplyBatch call.
-  struct BatchResult {
-    /// Consolidated net-delta entries that reached the view trees. Records
-    /// that cancelled to a net multiplicity of 0 are never applied and are
-    /// counted in neither field.
-    size_t applied = 0;
-    /// Net deletes that exceeded the stored multiplicity; those entries are
-    /// skipped in full (the rest of the batch still applies).
-    size_t rejected = 0;
-  };
-
-  /// Applies `count` updates as one batch. Semantics and cost model:
-  ///
-  ///  1. **Net-delta consolidation.** The batch is first consolidated per
-  ///     relation: multiplicities of records addressing the same
-  ///     (relation, tuple) pair are summed, so insert/delete pairs cancel
-  ///     and repeated inserts merge into one weighted delta. Only the
-  ///     surviving net entries touch storage or views. For streams in which
-  ///     every single-tuple update would have been accepted, the final
-  ///     state is identical to applying the records one at a time with
-  ///     ApplyUpdate, in any order or chunking of the stream.
-  ///  2. **One maintenance pass per relation.** Each relation's net delta
-  ///     runs through the base storage, partitions, indicator triples, and
-  ///     view trees in a single pass (Figure 19 per net entry), instead of
-  ///     one full walk per input record.
-  ///  3. **Deferred rebalancing.** Minor-rebalancing threshold checks
-  ///     (Figure 22) run once per relation per batch over the touched
-  ///     partition keys, and the major-rebalance trigger on the size
-  ///     invariant ⌊M/4⌋ ≤ N < M is evaluated once at batch end (doubling /
-  ///     halving M as often as needed), so a batch cannot thrash
-  ///     partitions. Mid-batch the loose partition bands of Definition 11
-  ///     may drift — results stay exact; the amortized-cost bands are
-  ///     restored before ApplyBatch returns.
-  ///
-  /// A net delete larger than the stored multiplicity rejects that entry
-  /// only (counted in BatchResult::rejected); this is the batch analogue of
-  /// ApplyUpdate returning false. Requires dynamic mode and a preprocessed
-  /// engine; every record must address a relation symbol of the query.
+  /// Applies `count` updates as one batch: net-delta consolidation, one
+  /// maintenance pass per relation, deferred rebalancing (see
+  /// QueryCatalog::ApplyBatch for the full contract). A net delete larger
+  /// than the stored multiplicity rejects that entry only.
   BatchResult ApplyBatch(const Update* updates, size_t count);
   BatchResult ApplyBatch(const UpdateBatch& updates);
 
@@ -117,133 +76,39 @@ class Engine : public StorageProvider {
   /// Drains a full enumeration into a map (convenience for tests/examples).
   QueryResult EvaluateToMap() const;
 
-  // --- introspection ---
-  const ConjunctiveQuery& query() const { return query_; }
-  double epsilon() const { return options_.epsilon; }
-  EvalMode mode() const { return options_.mode; }
+  // --- introspection (forwarded to the maintained query) ---
+  const ConjunctiveQuery& query() const { return query_->query(); }
+  double epsilon() const { return query_->epsilon(); }
+  EvalMode mode() const { return query_->mode(); }
 
   /// Current database size N (sum of distinct tuples over atom storages).
-  size_t database_size() const { return n_; }
+  size_t database_size() const { return query_->database_size(); }
 
   /// Threshold base M with invariant ⌊M/4⌋ ≤ N < M (Definition 51).
-  size_t threshold_base() const { return m_; }
+  size_t threshold_base() const { return query_->threshold_base(); }
 
   /// Current heavy/light threshold θ = M^ε.
-  double theta() const;
+  double theta() const { return query_->theta(); }
 
-  struct Stats {
-    size_t updates = 0;  ///< single-tuple updates + records ingested via batches
-    size_t batches = 0;  ///< ApplyBatch calls
-    size_t batch_net_entries = 0;  ///< consolidated entries applied by batches
-    size_t minor_rebalances = 0;
-    size_t major_rebalances = 0;
-    size_t num_trees = 0;
-    size_t num_triples = 0;
-    size_t view_tuples = 0;  ///< total tuples stored across all views
-  };
-  Stats GetStats() const;
+  Stats GetStats() const { return query_->GetStats(); }
 
-  const CompiledPlan& plan() const { return plan_; }
+  const CompiledPlan& plan() const { return query_->plan(); }
 
   /// Renders every view tree and indicator tree (tests, debugging).
-  std::string DebugString() const;
+  std::string DebugString() const { return query_->DebugString(); }
 
-  /// Verifies all internal invariants: partition bands (Definition 11), the
-  /// size invariant, view-equals-join-of-children for every view, and
-  /// H = All ∧ ¬L for every triple. Returns false and fills `error` on the
-  /// first violation. O(database) — test use only.
-  bool CheckInvariants(std::string* error);
+  /// Verifies all internal invariants (see MaintainedQuery::CheckInvariants).
+  bool CheckInvariants(std::string* error) { return query_->CheckInvariants(error); }
+
+  /// The underlying single-query catalog and its shared store (exposed so
+  /// callers can graduate from an Engine to multi-query serving without
+  /// rebuilding).
+  QueryCatalog& catalog() { return catalog_; }
+  const QueryCatalog& catalog() const { return catalog_; }
 
  private:
-  struct SlotPartition {
-    RelationPartition* partition = nullptr;
-    IndicatorTriple* triple = nullptr;
-    ViewNode* all_leaf = nullptr;  ///< this slot's leaf in triple->all_tree
-    ViewNode* light_leaf = nullptr;  ///< this slot's leaf in triple->light_tree
-    std::vector<ViewNode*> main_light_leaves;
-  };
-
-  /// One atom occurrence with its own storage (repeated relation symbols
-  /// become independent occurrences, updated in sequence — footnote 2).
-  struct Slot {
-    int atom_index = -1;
-    std::string relation;
-    std::unique_ptr<Relation> storage;
-    std::vector<std::unique_ptr<RelationPartition>> partitions;
-    std::vector<SlotPartition> infos;
-    std::vector<ViewNode*> main_full_leaves;
-  };
-
-  /// Slots sharing one relation symbol, plus the batch-consolidation
-  /// accumulator for that symbol. The accumulator's node pool persists
-  /// across batches, so steady-state consolidation allocates nothing.
-  struct RelationGroup {
-    std::string relation;
-    std::vector<size_t> slot_indices;
-    std::unique_ptr<TupleMap<Mult>> accum;
-    bool in_batch = false;  ///< touched by the batch currently consolidating
-  };
-
-  /// Pre-update per-partition snapshot (Figure 19 reads these on the
-  /// pre-update database).
-  struct KeySnapshot {
-    Tuple key;
-    bool in_light = false;
-    size_t base_before = 0;
-    Mult all_before = 0;
-  };
-
-  /// Per-partition-key snapshot for one batch: taken on the pre-batch
-  /// database, before any of the relation's net delta applies.
-  struct BatchKeySnap {
-    /// Every delta tuple of this key belongs to the light part: the key was
-    /// light, or absent (new keys start light). Matches the per-tuple rule
-    /// of Figure 19 applied to the whole consolidated delta.
-    bool light_classified = false;
-    Mult all_before = 0;  ///< All-tree multiplicity of the key
-    Mult l_before = 0;    ///< L-tree multiplicity of the key
-  };
-
-  void RegisterLeaves();
-  RelationGroup* FindGroup(const std::string& relation);
-  void ApplyUpdateToSlot(Slot& slot, const Tuple& tuple, Mult mult);
-  /// Figure 19 for one tuple: storage, main trees, indicators, light parts —
-  /// everything except rebalancing (shared by the single and batch paths).
-  void ApplyDeltaToSlot(Slot& slot, const Tuple& tuple, Mult mult);
-  void ApplyLightDelta(SlotPartition& info, const Tuple& tuple, Mult mult);
-  void ApplyAllChangeToH(IndicatorTriple* triple, const Tuple& key, Mult all_change);
-  void ApplyNotLChangeToH(IndicatorTriple* triple, const Tuple& key, int not_l_change);
-  void PropagateIndicatorChange(IndicatorTriple* triple, const Tuple& key, int change);
-  /// Figure 19 for a whole consolidated relation delta: one storage pass,
-  /// one DeltaVec propagation per view-tree leaf (deltas merge per view on
-  /// the way up), per-key indicator maintenance from pre-batch snapshots,
-  /// and — when rebalancing is on — one deferred minor-rebalance threshold
-  /// check per touched partition key.
-  void ApplyBatchDeltaToSlot(Slot& slot, const TupleMap<Mult>& delta);
-  void Rebalance(Slot& slot, const Tuple& tuple);
-  void MinorCheckKey(SlotPartition& info, const Tuple& key, double th);
-  /// Restores ⌊M/4⌋ ≤ N < M, doubling/halving M as often as needed, with at
-  /// most one repartition+recompute. Returns true when M changed.
-  bool MajorRebalanceIfNeeded();
-  void MinorRebalancing(SlotPartition& info, const Tuple& key, bool insert);
-  void MajorRebalancing();
-  void RecomputeThresholdViews();
-
-  ConjunctiveQuery query_;
-  EngineOptions options_;
-  std::vector<Slot> slots_;
-  std::vector<RelationGroup> groups_;
-  CompiledPlan plan_;
-  bool preprocessed_ = false;
-  size_t n_ = 0;
-  size_t m_ = 1;
-  Stats stats_;
-  std::vector<KeySnapshot> snap_scratch_;  ///< reused by ApplyDeltaToSlot
-  /// Batch scratch, reused across batches (pools and capacity persist):
-  /// per-partition key snapshots plus the materialized delta vectors.
-  std::vector<std::unique_ptr<TupleMap<BatchKeySnap>>> key_scratch_;
-  std::vector<std::pair<Tuple, Mult>> batch_delta_scratch_;
-  std::vector<std::pair<Tuple, Mult>> batch_light_scratch_;
+  QueryCatalog catalog_;
+  MaintainedQuery* query_ = nullptr;  ///< owned by catalog_
 };
 
 }  // namespace ivme

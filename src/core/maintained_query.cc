@@ -1,0 +1,618 @@
+#include "src/core/maintained_query.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/check.h"
+#include "src/core/delta.h"
+#include "src/core/materialize.h"
+
+namespace ivme {
+
+namespace {
+
+void ForEachLeaf(ViewNode* node, const std::function<void(ViewNode*)>& fn) {
+  if (node->IsLeaf()) fn(node);
+  for (auto& child : node->children) ForEachLeaf(child.get(), fn);
+}
+
+}  // namespace
+
+MaintainedQuery::MaintainedQuery(std::string name, ConjunctiveQuery q, EngineOptions options,
+                                 RelationStore* store)
+    : name_(std::move(name)), query_(std::move(q)), options_(options), store_(store) {
+  IVME_CHECK_MSG(options_.epsilon >= 0.0 && options_.epsilon <= 1.0,
+                 "epsilon must lie in [0, 1]");
+  // One slot per atom occurrence. The first occurrence of each relation
+  // symbol borrows the store's shared relation; repeated occurrences get a
+  // private mirror (their deltas must apply in sequence — footnote 2 — so a
+  // later occurrence must still read pre-update contents while an earlier
+  // one propagates).
+  for (size_t a = 0; a < query_.num_atoms(); ++a) {
+    Slot slot;
+    slot.atom_index = static_cast<int>(a);
+    slot.relation = query_.atom(a).relation;
+    RelationGroup* group = FindGroup(slot.relation);
+    if (group == nullptr) {
+      groups_.push_back(RelationGroup{slot.relation, {}});
+      group = &groups_.back();
+      slot.storage = store_->Attach(slot.relation, query_.atom(a).schema.size());
+    } else {
+      slot.mirror = std::make_unique<Relation>(
+          query_.atom(a).schema, slot.relation + "#" + std::to_string(a) + "@" + name_);
+      slot.storage = slot.mirror.get();
+    }
+    group->slot_indices.push_back(slots_.size());
+    slots_.push_back(std::move(slot));
+  }
+  plan_ = BuildPlan(query_, options_.mode, this);
+  RegisterLeaves();
+}
+
+MaintainedQuery::~MaintainedQuery() {
+  for (const auto& group : groups_) store_->Release(group.relation);
+}
+
+MaintainedQuery::RelationGroup* MaintainedQuery::FindGroup(const std::string& relation) {
+  for (auto& group : groups_) {
+    if (group.relation == relation) return &group;
+  }
+  return nullptr;
+}
+
+bool MaintainedQuery::UsesRelation(const std::string& relation) const {
+  for (const auto& group : groups_) {
+    if (group.relation == relation) return true;
+  }
+  return false;
+}
+
+Relation* MaintainedQuery::AtomStorage(int atom_index) {
+  return slots_[static_cast<size_t>(atom_index)].storage;
+}
+
+RelationPartition* MaintainedQuery::AtomPartition(int atom_index, const Schema& keys) {
+  Slot& slot = slots_[static_cast<size_t>(atom_index)];
+  for (auto& part : slot.partitions) {
+    if (part->keys() == keys) return part.get();
+  }
+  std::string light_name = slot.storage->name() + "^" + std::to_string(slot.partitions.size());
+  if (slot.shared()) light_name += "@" + name_;
+  // Resolve the partition keys against the atom schema: the shared base
+  // relation's canonical schema lives in a different variable-id space.
+  slot.partitions.push_back(std::make_unique<RelationPartition>(
+      slot.storage, query_.atom(static_cast<size_t>(atom_index)).schema, keys,
+      std::move(light_name)));
+  return slot.partitions.back().get();
+}
+
+void MaintainedQuery::RegisterLeaves() {
+  // Slot partitions ↔ triples, via the triples' light trees (each atom
+  // occurrence appears exactly once per triple covering it).
+  for (auto& triple : plan_.triples) {
+    ForEachLeaf(triple->light_tree.get(), [&](ViewNode* leaf) {
+      IVME_CHECK(leaf->partition != nullptr);
+      Slot& slot = slots_[static_cast<size_t>(leaf->atom_index)];
+      SlotPartition info;
+      info.partition = leaf->partition;
+      info.triple = triple.get();
+      info.light_leaf = leaf;
+      slot.infos.push_back(info);
+    });
+    ForEachLeaf(triple->all_tree.get(), [&](ViewNode* leaf) {
+      Slot& slot = slots_[static_cast<size_t>(leaf->atom_index)];
+      for (auto& info : slot.infos) {
+        if (info.triple == triple.get()) info.all_leaf = leaf;
+      }
+    });
+  }
+  // Main-tree leaves.
+  for (auto& tree : plan_.trees) {
+    ForEachLeaf(tree->root.get(), [&](ViewNode* leaf) {
+      Slot& slot = slots_[static_cast<size_t>(leaf->atom_index)];
+      if (leaf->partition == nullptr) {
+        slot.main_full_leaves.push_back(leaf);
+      } else {
+        bool found = false;
+        for (auto& info : slot.infos) {
+          if (info.partition == leaf->partition) {
+            info.main_light_leaves.push_back(leaf);
+            found = true;
+          }
+        }
+        IVME_CHECK_MSG(found, "light-part leaf without owning triple");
+      }
+    });
+  }
+  for (auto& slot : slots_) {
+    for (auto& info : slot.infos) {
+      IVME_CHECK_MSG(info.all_leaf != nullptr, "missing All-tree leaf for slot");
+    }
+  }
+}
+
+double MaintainedQuery::theta() const {
+  return std::pow(static_cast<double>(m_), options_.epsilon);
+}
+
+void MaintainedQuery::Preprocess() {
+  IVME_CHECK_MSG(!preprocessed_, "Preprocess called twice for query " << name_);
+  preprocessed_ = true;
+  // Fill self-join mirrors from the live shared relation (late registration
+  // starts from whatever the store already holds).
+  for (auto& slot : slots_) {
+    if (slot.shared()) continue;
+    const Relation* shared = store_->Find(slot.relation);
+    slot.mirror->Clear();
+    for (const Relation::Entry* e = shared->First(); e != nullptr; e = e->next) {
+      slot.mirror->Apply(e->key, e->value.mult);
+    }
+  }
+  n_ = 0;
+  for (auto& slot : slots_) n_ += slot.storage->size();
+  m_ = 2 * n_ + 1;
+  const double th = theta();
+  for (auto& slot : slots_) {
+    for (auto& part : slot.partitions) part->StrictRepartition(th);
+  }
+  for (auto& triple : plan_.triples) {
+    MaterializeTree(triple->all_tree.get());
+    MaterializeTree(triple->light_tree.get());
+    triple->RecomputeH();
+  }
+  for (auto& tree : plan_.trees) MaterializeTree(tree->root.get());
+}
+
+std::unique_ptr<ResultEnumerator> MaintainedQuery::Enumerate() const {
+  IVME_CHECK_MSG(preprocessed_, "Preprocess before enumerating");
+  return std::make_unique<ResultEnumerator>(query_, plan_);
+}
+
+QueryResult MaintainedQuery::EvaluateToMap() const {
+  auto it = Enumerate();
+  return DrainEnumeration(*it);
+}
+
+void MaintainedQuery::ApplySingle(const std::string& relation, const Tuple& tuple, Mult mult,
+                                  int support_change) {
+  RelationGroup* group = FindGroup(relation);
+  IVME_CHECK_MSG(group != nullptr, "unknown relation " << relation);
+  for (size_t si : group->slot_indices) {
+    ApplyUpdateToSlot(slots_[si], tuple, mult, support_change);
+  }
+  ++stats_.updates;
+}
+
+void MaintainedQuery::ApplyUpdateToSlot(Slot& slot, const Tuple& tuple, Mult mult,
+                                        int support_change) {
+  ApplyDeltaToSlot(slot, tuple, mult, support_change);
+  // Rebalancing (Figure 22) runs per update here; the batch path defers it.
+  if (options_.enable_rebalancing) Rebalance(slot, tuple);
+}
+
+void MaintainedQuery::ApplyDeltaToSlot(Slot& slot, const Tuple& tuple, Mult mult,
+                                       int support_change) {
+  // Pre-update snapshots per partition, in the reused scratch (Figure 19
+  // reads these on the pre-update database). The shared base write already
+  // happened, so for shared slots the pre-update base count is the current
+  // count minus this tuple's support change; a mirror slot's storage is
+  // still untouched at this point.
+  if (snap_scratch_.size() < slot.infos.size()) snap_scratch_.resize(slot.infos.size());
+  for (size_t i = 0; i < slot.infos.size(); ++i) {
+    const SlotPartition& info = slot.infos[i];
+    KeySnapshot& snap = snap_scratch_[i];
+    snap.key = info.partition->KeyOf(tuple);
+    snap.in_light = info.partition->KeyInLight(snap.key);
+    const size_t base_now = info.partition->BaseCountForKey(snap.key);
+    snap.base_before =
+        slot.shared()
+            ? static_cast<size_t>(static_cast<long long>(base_now) - support_change)
+            : base_now;
+    snap.all_before = info.triple->all_tree->storage->Multiplicity(snap.key);
+  }
+
+  // 1. Base storage. Shared slots were written by the store (once for every
+  // registered query); mirror occurrences apply their private copy now, so
+  // earlier occurrences' propagation above saw this occurrence pre-update.
+  if (!slot.shared()) slot.mirror->Apply(tuple, mult);
+  n_ = static_cast<size_t>(static_cast<long long>(n_) + support_change);
+
+  // 2. Full-relation leaves in the main trees (Figure 19, line 1).
+  for (ViewNode* leaf : slot.main_full_leaves) {
+    PropagateUp(leaf, {{tuple, mult}});
+  }
+
+  // 3. Indicator maintenance per partition (Figure 19, lines 2–9).
+  for (size_t i = 0; i < slot.infos.size(); ++i) {
+    SlotPartition& info = slot.infos[i];
+    PropagateUp(info.all_leaf, {{tuple, mult}});
+    const Mult all_after = info.triple->all_tree->storage->Multiplicity(snap_scratch_[i].key);
+    ApplyAllChangeToH(info.triple, snap_scratch_[i].key, all_after - snap_scratch_[i].all_before);
+  }
+
+  // 4. Light parts (Figure 19, lines 10–14): the tuple belongs to the light
+  // part when its key is new or already classified light.
+  for (size_t i = 0; i < slot.infos.size(); ++i) {
+    if (snap_scratch_[i].base_before == 0 || snap_scratch_[i].in_light) {
+      ApplyLightDelta(slot.infos[i], tuple, mult);
+    }
+  }
+}
+
+void MaintainedQuery::ApplyLightDelta(SlotPartition& info, const Tuple& tuple, Mult mult) {
+  info.partition->light()->Apply(tuple, mult);
+  for (ViewNode* leaf : info.main_light_leaves) {
+    PropagateUp(leaf, {{tuple, mult}});
+  }
+  const Tuple key = info.partition->KeyOf(tuple);
+  const Mult l_before = info.triple->light_tree->storage->Multiplicity(key);
+  PropagateUp(info.light_leaf, {{tuple, mult}});
+  const Mult l_after = info.triple->light_tree->storage->Multiplicity(key);
+  const int l_change = SupportChange(l_before, l_after);
+  if (l_change != 0) {
+    // δ(∄L) = −δ(∃L) feeds the heavy indicator (Figure 19, lines 13–14).
+    ApplyNotLChangeToH(info.triple, key, -l_change);
+  }
+}
+
+void MaintainedQuery::ApplyAllChangeToH(IndicatorTriple* triple, const Tuple& key,
+                                        Mult all_change) {
+  if (all_change == 0) return;
+  if (triple->light_tree->storage->Multiplicity(key) != 0) return;  // ∄L gate
+  const Mult before = triple->h->Multiplicity(key);
+  triple->h->Apply(key, all_change);
+  const int flip = SupportChange(before, before + all_change);
+  if (flip != 0) PropagateIndicatorChange(triple, key, flip);
+}
+
+void MaintainedQuery::ApplyNotLChangeToH(IndicatorTriple* triple, const Tuple& key,
+                                         int not_l_change) {
+  const Mult all = triple->all_tree->storage->Multiplicity(key);
+  if (all == 0) return;
+  const Mult before = triple->h->Multiplicity(key);
+  triple->h->Apply(key, not_l_change * all);
+  const int flip = SupportChange(before, before + not_l_change * all);
+  if (flip != 0) PropagateIndicatorChange(triple, key, flip);
+}
+
+void MaintainedQuery::PropagateIndicatorChange(IndicatorTriple* triple, const Tuple& key,
+                                               int change) {
+  for (ViewNode* ref : triple->h_refs) {
+    PropagateUp(ref, {{key, change}});
+  }
+}
+
+void MaintainedQuery::Rebalance(Slot& slot, const Tuple& tuple) {
+  if (MajorRebalanceIfNeeded()) return;
+  const double th = theta();
+  for (auto& info : slot.infos) {
+    MinorCheckKey(info, info.partition->KeyOf(tuple), th);
+  }
+}
+
+bool MaintainedQuery::MajorRebalanceIfNeeded() {
+  // After a single-tuple update at most one doubling/halving applies; a
+  // batch can move N past several powers of two, hence the loops. The
+  // expensive repartition+recompute runs once either way.
+  bool changed = false;
+  while (n_ >= m_) {
+    m_ *= 2;
+    changed = true;
+  }
+  while (n_ < m_ / 4) {
+    m_ = m_ / 2 >= 2 ? m_ / 2 - 1 : 1;
+    changed = true;
+  }
+  if (changed) MajorRebalancing();
+  return changed;
+}
+
+void MaintainedQuery::MinorCheckKey(SlotPartition& info, const Tuple& key, double th) {
+  const size_t light_count = info.partition->LightCountForKey(key);
+  const size_t base_count = info.partition->BaseCountForKey(key);
+  if (light_count == 0 && static_cast<double>(base_count) < 0.5 * th && base_count > 0) {
+    MinorRebalancing(info, key, /*insert=*/true);
+  } else if (static_cast<double>(light_count) >= 1.5 * th) {
+    MinorRebalancing(info, key, /*insert=*/false);
+  }
+}
+
+void MaintainedQuery::ApplyGroupDelta(const std::string& relation,
+                                      const RelationStore::DeltaResult& delta) {
+  if (delta.applied.empty()) return;
+  RelationGroup* group = FindGroup(relation);
+  IVME_CHECK_MSG(group != nullptr, "unknown relation " << relation);
+  // Slots of a repeated relation symbol update in sequence (footnote 2).
+  for (size_t si : group->slot_indices) {
+    ApplyBatchDeltaToSlot(slots_[si], delta);
+  }
+}
+
+void MaintainedQuery::ApplyBatchDeltaToSlot(Slot& slot,
+                                            const RelationStore::DeltaResult& delta) {
+  // Per-partition pre-batch snapshots, keyed by partition key: light/heavy
+  // classification, All-tree and L-tree multiplicities (Figure 19 reads
+  // these on the pre-update database). View storages are untouched until
+  // this slot propagates, so they can be read directly; the shared base
+  // relation was already written once by the store, so its pre-batch key
+  // counts are reconstructed from the recorded support changes.
+  while (key_scratch_.size() < slot.infos.size()) {
+    key_scratch_.push_back(std::make_unique<TupleMap<BatchKeySnap>>());
+  }
+  for (size_t i = 0; i < slot.infos.size(); ++i) {
+    const SlotPartition& info = slot.infos[i];
+    TupleMap<BatchKeySnap>& keys = *key_scratch_[i];
+    keys.Clear();
+    for (size_t j = 0; j < delta.applied.size(); ++j) {
+      const auto [snap, inserted] = keys.Emplace(info.partition->KeyOf(delta.applied[j].first));
+      if (inserted) {
+        snap->value.in_light = info.partition->KeyInLight(snap->key);
+        snap->value.all_before = info.triple->all_tree->storage->Multiplicity(snap->key);
+        snap->value.l_before = info.triple->light_tree->storage->Multiplicity(snap->key);
+      }
+      snap->value.support_sum += delta.support[j];
+    }
+    for (auto* snap = keys.First(); snap != nullptr; snap = snap->next) {
+      const size_t base_now = info.partition->BaseCountForKey(snap->key);
+      const size_t base_before =
+          slot.shared()
+              ? static_cast<size_t>(static_cast<long long>(base_now) - snap->value.support_sum)
+              : base_now;
+      snap->value.light_classified = snap->value.in_light || base_before == 0;
+    }
+  }
+
+  // 1. Base storage: shared slots were written once by the store; mirror
+  // occurrences catch up now (earlier occurrences propagated against this
+  // occurrence's pre-batch contents, per footnote 2).
+  if (!slot.shared()) {
+    for (const auto& [tuple, mult] : delta.applied) slot.mirror->Apply(tuple, mult);
+  }
+  n_ = static_cast<size_t>(static_cast<long long>(n_) + delta.net_support);
+
+  // 2. Full-relation leaves in the main trees (Figure 19, line 1): the
+  // whole delta as one DeltaVec — every view on the way up merges the
+  // per-tuple deltas, so each tree is walked once.
+  for (ViewNode* leaf : slot.main_full_leaves) {
+    PropagateUp(leaf, delta.applied);
+  }
+
+  // 3. Indicator maintenance (Figure 19, lines 2–9): one All-tree pass,
+  // then the per-key H changes against the pre-batch snapshots. H stays
+  // All ∧ ∄L throughout because L is untouched until step 4.
+  for (size_t i = 0; i < slot.infos.size(); ++i) {
+    SlotPartition& info = slot.infos[i];
+    PropagateUp(info.all_leaf, delta.applied);
+    for (const auto* snap = key_scratch_[i]->First(); snap != nullptr; snap = snap->next) {
+      const Mult all_after = info.triple->all_tree->storage->Multiplicity(snap->key);
+      ApplyAllChangeToH(info.triple, snap->key, all_after - snap->value.all_before);
+    }
+  }
+
+  // 4. Light parts (Figure 19, lines 10–14). A key's classification is
+  // constant across the batch (rebalancing is deferred): every delta tuple
+  // of a light or new key belongs to the light part, exactly as when the
+  // tuples apply one at a time. L-support changes feed H per key, netted
+  // over the batch.
+  for (size_t i = 0; i < slot.infos.size(); ++i) {
+    SlotPartition& info = slot.infos[i];
+    const TupleMap<BatchKeySnap>& keys = *key_scratch_[i];
+    batch_light_scratch_.clear();
+    for (const auto& [tuple, mult] : delta.applied) {
+      const auto* snap = keys.Find(info.partition->KeyOf(tuple));
+      IVME_CHECK(snap != nullptr);
+      if (!snap->value.light_classified) continue;
+      info.partition->light()->Apply(tuple, mult);
+      batch_light_scratch_.emplace_back(tuple, mult);
+    }
+    if (batch_light_scratch_.empty()) continue;
+    for (ViewNode* leaf : info.main_light_leaves) {
+      PropagateUp(leaf, batch_light_scratch_);
+    }
+    PropagateUp(info.light_leaf, batch_light_scratch_);
+    for (const auto* snap = keys.First(); snap != nullptr; snap = snap->next) {
+      const Mult l_after = info.triple->light_tree->storage->Multiplicity(snap->key);
+      const int l_change = SupportChange(snap->value.l_before, l_after);
+      if (l_change != 0) ApplyNotLChangeToH(info.triple, snap->key, -l_change);
+    }
+  }
+
+  // 5. Deferred minor rebalancing: a single heavy/light threshold check per
+  // touched partition key (Figure 22, amortized over the whole batch).
+  // Skipped when the batch already broke the size invariant — the major
+  // rebalance at batch end strictly repartitions everything, so minor
+  // moves done now (against a θ about to change) would be thrown away.
+  if (options_.enable_rebalancing && m_ / 4 <= n_ && n_ < m_) {
+    const double th = theta();
+    for (size_t i = 0; i < slot.infos.size(); ++i) {
+      for (const auto* snap = key_scratch_[i]->First(); snap != nullptr; snap = snap->next) {
+        MinorCheckKey(slot.infos[i], snap->key, th);
+      }
+    }
+  }
+}
+
+void MaintainedQuery::FinishBatch(size_t records, size_t net_entries) {
+  // The major-rebalance trigger runs once per batch, so a batch cannot
+  // thrash partitions across the size-invariant boundary.
+  if (options_.enable_rebalancing) MajorRebalanceIfNeeded();
+  stats_.updates += records;
+  ++stats_.batches;
+  stats_.batch_net_entries += net_entries;
+}
+
+void MaintainedQuery::MinorRebalancing(SlotPartition& info, const Tuple& key, bool insert) {
+  ++stats_.minor_rebalances;
+  // Snapshot σ_{keys=key} R; the loop mutates only the light part.
+  const Relation* base = info.partition->base();
+  std::vector<std::pair<Tuple, Mult>> tuples;
+  const auto& index = base->index(info.partition->base_index_id());
+  for (const auto* link = index.FirstForKey(key); link != nullptr; link = link->next) {
+    tuples.emplace_back(link->entry->key, link->entry->value.mult);
+  }
+  for (const auto& [tuple, mult] : tuples) {
+    const Mult delta = insert ? mult : -mult;
+    ApplyLightDelta(info, tuple, delta);
+  }
+}
+
+void MaintainedQuery::MajorRebalancing() {
+  ++stats_.major_rebalances;
+  const double th = theta();
+  for (auto& slot : slots_) {
+    for (auto& part : slot.partitions) part->StrictRepartition(th);
+  }
+  RecomputeThresholdViews();
+}
+
+void MaintainedQuery::RecomputeThresholdViews() {
+  // All-trees do not depend on the threshold; everything else does.
+  for (auto& triple : plan_.triples) {
+    MaterializeTree(triple->light_tree.get());
+    triple->RecomputeH();
+  }
+  for (auto& tree : plan_.trees) MaterializeTree(tree->root.get());
+}
+
+QueryStats MaintainedQuery::GetStats() const {
+  QueryStats stats = stats_;
+  stats.num_trees = plan_.trees.size();
+  stats.num_triples = plan_.triples.size();
+  stats.view_tuples = 0;
+  for (const auto& tree : plan_.trees) stats.view_tuples += TreeStorageSize(tree->root.get());
+  for (const auto& triple : plan_.triples) {
+    stats.view_tuples += TreeStorageSize(triple->all_tree.get());
+    stats.view_tuples += TreeStorageSize(triple->light_tree.get());
+    stats.view_tuples += triple->h->size();
+  }
+  return stats;
+}
+
+std::string MaintainedQuery::DebugString() const {
+  std::string out;
+  for (const auto& tree : plan_.trees) {
+    out += "tree (component " + std::to_string(tree->component) + "):\n";
+    out += tree->root->ToString(query_.var_names(), 1);
+  }
+  for (const auto& triple : plan_.triples) {
+    out += "indicator " + triple->name + " on " + triple->keys.ToString(query_.var_names()) +
+           ":\n all:\n";
+    out += triple->all_tree->ToString(query_.var_names(), 2);
+    out += " light:\n";
+    out += triple->light_tree->ToString(query_.var_names(), 2);
+  }
+  return out;
+}
+
+bool MaintainedQuery::CheckInvariants(std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+
+  // Database size and the size invariant.
+  size_t total = 0;
+  for (auto& slot : slots_) total += slot.storage->size();
+  if (total != n_) return fail("tracked N does not match storage sizes");
+  if (options_.enable_rebalancing && preprocessed_) {
+    if (!(m_ / 4 <= n_ && n_ < m_)) {
+      return fail("size invariant floor(M/4) <= N < M violated: N=" + std::to_string(n_) +
+                  " M=" + std::to_string(m_));
+    }
+  }
+
+  // Self-join mirrors hold exactly the shared relation's contents.
+  for (auto& slot : slots_) {
+    if (slot.shared()) continue;
+    const Relation* shared = store_->Find(slot.relation);
+    if (shared->size() != slot.mirror->size()) {
+      return fail("mirror " + slot.mirror->name() + " size differs from the shared relation");
+    }
+    for (const Relation::Entry* e = shared->First(); e != nullptr; e = e->next) {
+      if (slot.mirror->Multiplicity(e->key) != e->value.mult) {
+        return fail("mirror " + slot.mirror->name() + " diverged at " + e->key.ToString());
+      }
+    }
+  }
+
+  // Partition bands (Definition 11, loose conditions) and the union /
+  // domain-partition conditions.
+  const double th = theta();
+  for (auto& slot : slots_) {
+    for (auto& part : slot.partitions) {
+      const Relation* light = part->light();
+      for (const Relation::Entry* e = light->First(); e != nullptr; e = e->next) {
+        if (slot.storage->Multiplicity(e->key) != e->value.mult) {
+          return fail("light tuple multiplicity differs from base in " + light->name());
+        }
+      }
+      const auto& light_index = light->index(part->light_index_id());
+      for (const Relation::BucketNode* b = light_index.FirstKey(); b != nullptr; b = b->next) {
+        if (static_cast<double>(b->value.count) >= 1.5 * th) {
+          return fail("light part degree >= 3/2·θ in " + light->name());
+        }
+        if (b->value.count != part->BaseCountForKey(b->key)) {
+          return fail("light part misses tuples of a light key in " + light->name());
+        }
+      }
+      // Heavy keys: at least θ/2 tuples.
+      const auto& base_index = slot.storage->index(part->base_index_id());
+      for (const Relation::BucketNode* b = base_index.FirstKey(); b != nullptr; b = b->next) {
+        if (!part->KeyInLight(b->key) &&
+            static_cast<double>(b->value.count) < 0.5 * th) {
+          return fail("heavy key with degree < θ/2 in " + slot.storage->name());
+        }
+      }
+    }
+  }
+
+  // Views equal the join of their children; H = All ∧ ∄L.
+  bool ok = true;
+  std::string view_error;
+  auto check_views = [&](ViewNode* root) {
+    std::function<void(ViewNode*)> visit = [&](ViewNode* node) {
+      for (auto& child : node->children) visit(child.get());
+      if (!ok || node->kind != NodeKind::kView) return;
+      // Save, recompute, compare.
+      std::vector<std::pair<Tuple, Mult>> saved;
+      for (const Relation::Entry* e = node->storage->First(); e != nullptr; e = e->next) {
+        saved.emplace_back(e->key, e->value.mult);
+      }
+      MaterializeNode(node);
+      bool same = node->storage->size() == saved.size();
+      for (const auto& [tuple, mult] : saved) {
+        if (node->storage->Multiplicity(tuple) != mult) same = false;
+      }
+      if (!same) {
+        ok = false;
+        view_error = "view " + node->name + " diverged from the join of its children";
+      }
+    };
+    visit(root);
+  };
+  for (auto& tree : plan_.trees) check_views(tree->root.get());
+  for (auto& triple : plan_.triples) {
+    check_views(triple->all_tree.get());
+    check_views(triple->light_tree.get());
+    if (!ok) break;
+    // H check, both directions: every All key has the right H multiplicity,
+    // and every H key is backed by All.
+    const Relation* all = triple->all_tree->storage;
+    const Relation* light = triple->light_tree->storage;
+    for (const Relation::Entry* e = all->First(); e != nullptr; e = e->next) {
+      const Mult expected = light->Multiplicity(e->key) == 0 ? e->value.mult : 0;
+      if (triple->h->Multiplicity(e->key) != expected) {
+        return fail("H(" + e->key.ToString() + ") inconsistent in " + triple->name);
+      }
+    }
+    for (const Relation::Entry* e = triple->h->First(); e != nullptr; e = e->next) {
+      if (all->Multiplicity(e->key) == 0) {
+        return fail("H key " + e->key.ToString() + " outside All in " + triple->name);
+      }
+    }
+  }
+  if (!ok) return fail(view_error);
+  return true;
+}
+
+}  // namespace ivme

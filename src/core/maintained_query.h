@@ -1,0 +1,242 @@
+// Per-query IVM^ε maintenance state over a shared RelationStore: the
+// skew-aware view trees, heavy/light partitions, indicator triples, and the
+// θ/M/ε rebalancing machinery of one hierarchical query. A MaintainedQuery
+// *borrows* its base relations from the store — the canonical tuple storage
+// is written once per update by the owning catalog, no matter how many
+// queries are registered — and owns everything query-specific: light parts,
+// views, H relations, and private mirror storage for self-join occurrences
+// beyond the first (footnote 2 sequencing needs the pre-update state of
+// later occurrences while earlier ones propagate).
+#ifndef IVME_CORE_MAINTAINED_QUERY_H_
+#define IVME_CORE_MAINTAINED_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/brute_force.h"  // QueryResult
+#include "src/core/builder.h"
+#include "src/core/view_node.h"
+#include "src/data/update.h"
+#include "src/enumerate/enumerator.h"
+#include "src/query/query.h"
+#include "src/storage/relation_store.h"
+#include "src/storage/tuple_map.h"
+
+namespace ivme {
+
+/// Engine configuration (shared by MaintainedQuery, Engine, and the
+/// catalogs; one instance per registered query).
+struct EngineOptions {
+  /// The ε knob of Theorems 2 and 4: heavy/light threshold θ = M^ε.
+  double epsilon = 0.5;
+
+  /// Static evaluation (no updates accepted) or dynamic (IVM^ε).
+  EvalMode mode = EvalMode::kDynamic;
+
+  /// Disables minor/major rebalancing (ablation only — partitions then
+  /// drift from their thresholds, which voids the amortized guarantees but
+  /// keeps results correct).
+  bool enable_rebalancing = true;
+};
+
+/// Per-query maintenance statistics.
+struct QueryStats {
+  size_t updates = 0;  ///< single-tuple updates + records ingested via batches
+  size_t batches = 0;  ///< batches that touched this query
+  size_t batch_net_entries = 0;  ///< consolidated entries applied by batches
+  size_t minor_rebalances = 0;
+  size_t major_rebalances = 0;
+  size_t num_trees = 0;
+  size_t num_triples = 0;
+  size_t view_tuples = 0;  ///< total tuples stored across all views
+};
+
+/// Maintenance and enumeration state of one registered hierarchical query.
+///
+/// Lifecycle: construct (attaches the query's relations to the store and
+/// builds the compiled plan) → Preprocess() from the live store contents →
+/// the owning catalog drives the maintenance protocol below for every
+/// update. The catalog owns the base-storage write; this class never writes
+/// the shared relations.
+class MaintainedQuery : public StorageProvider {
+ public:
+  /// `q` must be hierarchical (checked). Attaches every relation symbol of
+  /// `q` to `store` (which must outlive this object).
+  MaintainedQuery(std::string name, ConjunctiveQuery q, EngineOptions options,
+                  RelationStore* store);
+  ~MaintainedQuery() override;
+
+  MaintainedQuery(const MaintainedQuery&) = delete;
+  MaintainedQuery& operator=(const MaintainedQuery&) = delete;
+
+  // --- StorageProvider (used by the builder) ---
+  Relation* AtomStorage(int atom_index) override;
+  RelationPartition* AtomPartition(int atom_index, const Schema& keys) override;
+
+  /// Builds this query's state from the live store: fills self-join
+  /// mirrors, partitions the relations (θ = M^ε with M = 2N+1), and
+  /// materializes all views. Call exactly once.
+  void Preprocess();
+  bool preprocessed() const { return preprocessed_; }
+
+  /// True when `relation` names an atom of this query.
+  bool UsesRelation(const std::string& relation) const;
+
+  // --- maintenance protocol (driven by the owning catalog) ---
+  // The catalog has already validated the update against the store and
+  // applied the shared base-storage write; `support_change` / the
+  // DeltaResult's support vector carry the |R| changes of that write so
+  // pre-update partition counts can be reconstructed for the Figure 19
+  // snapshots.
+
+  /// Figure 19 + per-update rebalancing (Figure 22) for one accepted
+  /// single-tuple update.
+  void ApplySingle(const std::string& relation, const Tuple& tuple, Mult mult,
+                   int support_change);
+
+  /// One consolidated relation delta of a batch: one DeltaVec pass per
+  /// view-tree leaf, per-key indicator maintenance from pre-batch
+  /// snapshots, and a deferred minor-rebalance sweep over the touched
+  /// partition keys. Rebalancing across the batch is finished by
+  /// FinishBatch.
+  void ApplyGroupDelta(const std::string& relation, const RelationStore::DeltaResult& delta);
+
+  /// Ends one batch for this query: runs the once-per-batch major-rebalance
+  /// decision and folds `records` ingested records / `net_entries` applied
+  /// net entries into the stats.
+  void FinishBatch(size_t records, size_t net_entries);
+
+  /// Opens an enumeration session over the current result.
+  std::unique_ptr<ResultEnumerator> Enumerate() const;
+
+  /// Drains a full enumeration into a map (convenience for tests/examples).
+  QueryResult EvaluateToMap() const;
+
+  // --- introspection ---
+  const std::string& name() const { return name_; }
+  const ConjunctiveQuery& query() const { return query_; }
+  double epsilon() const { return options_.epsilon; }
+  EvalMode mode() const { return options_.mode; }
+
+  /// Current database size N as this query sees it (sum of distinct tuples
+  /// over its atom occurrences; self-joins count the relation once per
+  /// occurrence, as in the paper).
+  size_t database_size() const { return n_; }
+
+  /// Threshold base M with invariant ⌊M/4⌋ ≤ N < M (Definition 51).
+  size_t threshold_base() const { return m_; }
+
+  /// Current heavy/light threshold θ = M^ε.
+  double theta() const;
+
+  QueryStats GetStats() const;
+
+  const CompiledPlan& plan() const { return plan_; }
+
+  /// Renders every view tree and indicator tree (tests, debugging).
+  std::string DebugString() const;
+
+  /// Verifies all internal invariants: partition bands (Definition 11), the
+  /// size invariant, view-equals-join-of-children for every view, H = All ∧
+  /// ¬L for every triple, and mirror-equals-shared for self-join
+  /// occurrences. Returns false and fills `error` on the first violation.
+  /// O(database) — test use only.
+  bool CheckInvariants(std::string* error);
+
+ private:
+  struct SlotPartition {
+    RelationPartition* partition = nullptr;
+    IndicatorTriple* triple = nullptr;
+    ViewNode* all_leaf = nullptr;  ///< this slot's leaf in triple->all_tree
+    ViewNode* light_leaf = nullptr;  ///< this slot's leaf in triple->light_tree
+    std::vector<ViewNode*> main_light_leaves;
+  };
+
+  /// One atom occurrence. The first occurrence of a relation symbol reads
+  /// the store-shared relation; repeated occurrences own a private mirror
+  /// with identical contents (footnote 2).
+  struct Slot {
+    int atom_index = -1;
+    std::string relation;
+    Relation* storage = nullptr;  ///< shared relation or mirror.get()
+    std::unique_ptr<Relation> mirror;  ///< null for the first occurrence
+    std::vector<std::unique_ptr<RelationPartition>> partitions;
+    std::vector<SlotPartition> infos;
+    std::vector<ViewNode*> main_full_leaves;
+
+    bool shared() const { return mirror == nullptr; }
+  };
+
+  /// Slots sharing one relation symbol, in occurrence order.
+  struct RelationGroup {
+    std::string relation;
+    std::vector<size_t> slot_indices;
+  };
+
+  /// Pre-update per-partition snapshot (Figure 19 reads these on the
+  /// pre-update database).
+  struct KeySnapshot {
+    Tuple key;
+    bool in_light = false;
+    size_t base_before = 0;
+    Mult all_before = 0;
+  };
+
+  /// Per-partition-key snapshot for one batch: taken logically on the
+  /// pre-batch database. For shared slots the base count is reconstructed
+  /// from the store's support changes (the shared write precedes every
+  /// query's maintenance).
+  struct BatchKeySnap {
+    /// Every delta tuple of this key belongs to the light part: the key was
+    /// light, or absent (new keys start light). Matches the per-tuple rule
+    /// of Figure 19 applied to the whole consolidated delta.
+    bool light_classified = false;
+    bool in_light = false;  ///< pre-batch light classification
+    Mult all_before = 0;    ///< All-tree multiplicity of the key
+    Mult l_before = 0;      ///< L-tree multiplicity of the key
+    int support_sum = 0;    ///< Σ base support changes of the key's delta tuples
+  };
+
+  void RegisterLeaves();
+  RelationGroup* FindGroup(const std::string& relation);
+  void ApplyUpdateToSlot(Slot& slot, const Tuple& tuple, Mult mult, int support_change);
+  /// Figure 19 for one tuple: main trees, indicators, light parts, and the
+  /// mirror write for non-shared slots — everything except rebalancing.
+  void ApplyDeltaToSlot(Slot& slot, const Tuple& tuple, Mult mult, int support_change);
+  void ApplyLightDelta(SlotPartition& info, const Tuple& tuple, Mult mult);
+  void ApplyAllChangeToH(IndicatorTriple* triple, const Tuple& key, Mult all_change);
+  void ApplyNotLChangeToH(IndicatorTriple* triple, const Tuple& key, int not_l_change);
+  void PropagateIndicatorChange(IndicatorTriple* triple, const Tuple& key, int change);
+  /// Figure 19 for a whole consolidated relation delta against one slot.
+  void ApplyBatchDeltaToSlot(Slot& slot, const RelationStore::DeltaResult& delta);
+  void Rebalance(Slot& slot, const Tuple& tuple);
+  void MinorCheckKey(SlotPartition& info, const Tuple& key, double th);
+  /// Restores ⌊M/4⌋ ≤ N < M, doubling/halving M as often as needed, with at
+  /// most one repartition+recompute. Returns true when M changed.
+  bool MajorRebalanceIfNeeded();
+  void MinorRebalancing(SlotPartition& info, const Tuple& key, bool insert);
+  void MajorRebalancing();
+  void RecomputeThresholdViews();
+
+  std::string name_;
+  ConjunctiveQuery query_;
+  EngineOptions options_;
+  RelationStore* store_;
+  std::vector<Slot> slots_;
+  std::vector<RelationGroup> groups_;
+  CompiledPlan plan_;
+  bool preprocessed_ = false;
+  size_t n_ = 0;
+  size_t m_ = 1;
+  QueryStats stats_;
+  std::vector<KeySnapshot> snap_scratch_;  ///< reused by ApplyDeltaToSlot
+  /// Batch scratch, reused across batches (pools and capacity persist):
+  /// per-partition key snapshots plus the materialized light delta.
+  std::vector<std::unique_ptr<TupleMap<BatchKeySnap>>> key_scratch_;
+  std::vector<std::pair<Tuple, Mult>> batch_light_scratch_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_MAINTAINED_QUERY_H_

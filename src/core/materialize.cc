@@ -160,8 +160,12 @@ void MaterializeNode(ViewNode* node) {
     Schema key_part;
     for (int pos : inputs[i].key_positions) key_part.Append(inputs[i].schema[static_cast<size_t>(pos)]);
     // Index only useful when the key is a proper subset of the input schema.
+    // Requested by column position (key_positions is already relative to the
+    // input schema): leaf inputs may be store-shared base relations whose
+    // canonical schema lives in a different variable-id space.
     if (!key_part.empty() && key_part.size() < inputs[i].schema.size()) {
-      inputs[i].key_index_id = const_cast<Relation*>(inputs[i].relation)->EnsureIndex(key_part);
+      inputs[i].key_index_id = const_cast<Relation*>(inputs[i].relation)
+                                   ->EnsureIndexOnColumns(inputs[i].key_positions);
     }
   }
 

@@ -1,0 +1,277 @@
+#include "src/core/sharded_catalog.h"
+
+#include "src/common/check.h"
+#include "src/core/sharded_engine.h"
+#include "src/query/variable_order.h"
+
+namespace ivme {
+
+ShardedCatalog::ShardedCatalog(ShardedCatalogOptions options) : options_(options) {
+  IVME_CHECK_MSG(options_.num_shards >= 1, "need at least one shard");
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<QueryCatalog>());
+  }
+  if (options_.num_shards > 1) {
+    const size_t threads = options_.num_threads != 0
+                               ? options_.num_threads
+                               : ThreadPool::DefaultThreads(options_.num_shards);
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+    split_scratch_.resize(options_.num_shards);
+    result_scratch_.resize(options_.num_shards);
+  }
+}
+
+const ShardedCatalog::Route* ShardedCatalog::FindRoute(const std::string& relation) const {
+  for (const auto& route : routes_) {
+    if (route.relation == relation) return &route;
+  }
+  return nullptr;
+}
+
+bool ShardedCatalog::RegisterQuery(const std::string& name, const ConjunctiveQuery& q,
+                                   EngineOptions options, std::string* why) {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (shards_[0]->FindQuery(name) != nullptr) {
+    return fail("query " + name + " is already registered");
+  }
+  // Arity agreement with live store relations (and within the query) is
+  // part of validation: committing would trip RelationStore::Attach's hard
+  // error mid-registration, violating the unchanged-on-false contract.
+  for (const Atom& atom : q.atoms()) {
+    const Relation* stored = shards_[0]->store().Find(atom.relation);
+    const size_t arity = stored != nullptr ? stored->schema().size() : 0;
+    if (stored != nullptr && arity != atom.schema.size()) {
+      return fail("relation " + atom.relation + " already exists with arity " +
+                  std::to_string(arity) + "; " + name + " uses arity " +
+                  std::to_string(atom.schema.size()));
+    }
+    for (const Atom& other : q.atoms()) {
+      if (other.relation == atom.relation && other.schema.size() != atom.schema.size()) {
+        return fail("query " + name + " uses relation " + atom.relation +
+                    " with inconsistent arities");
+      }
+    }
+  }
+
+  bool root_is_free = true;
+  std::vector<Route> new_routes;
+  if (shards_.size() > 1) {
+    if (!ShardedEngine::CanShard(q, why)) return false;
+    // CanShard guarantees one connected component with a variable root that
+    // every relation symbol reads from one fixed column.
+    const VariableOrder vo = VariableOrder::Canonical(q);
+    const VarId root_var = vo.roots()[0]->var;
+    root_is_free = q.IsFree(root_var);
+    for (const std::string& relation : q.RelationNames()) {
+      int pos = -1;
+      for (const Atom& atom : q.atoms()) {
+        if (atom.relation == relation) {
+          pos = atom.schema.PositionOf(root_var);
+          break;
+        }
+      }
+      const Route* existing = FindRoute(relation);
+      if (existing == nullptr) {
+        new_routes.push_back(Route{relation, pos});
+      } else if (existing->root_pos != pos) {
+        return fail("routing conflict on " + relation + ": stored data is sharded on column " +
+                    std::to_string(existing->root_pos) + " but " + name +
+                    " reads its root from column " + std::to_string(pos));
+      }
+    }
+  }
+
+  // Commit: the query registers in every shard (late registrations
+  // preprocess from each shard's live store inside RegisterQuery).
+  for (auto& shard : shards_) shard->RegisterQuery(name, q, options);
+  for (auto& route : new_routes) {
+    consolidator_.EnsureRelation(route.relation);
+    routes_.push_back(std::move(route));
+  }
+  if (shards_.size() == 1) {
+    // No routing needed, but the consolidator still tracks the relations.
+    for (const std::string& relation : q.RelationNames()) {
+      consolidator_.EnsureRelation(relation);
+    }
+  }
+  root_free_names_.push_back(name);
+  root_free_.push_back(root_is_free);
+  return true;
+}
+
+bool ShardedCatalog::DropQuery(const std::string& name) {
+  bool dropped = false;
+  for (auto& shard : shards_) dropped = shard->DropQuery(name) || dropped;
+  for (size_t i = 0; i < root_free_names_.size(); ++i) {
+    if (root_free_names_[i] != name) continue;
+    root_free_names_.erase(root_free_names_.begin() + static_cast<long>(i));
+    root_free_.erase(root_free_.begin() + static_cast<long>(i));
+    break;
+  }
+  // routes_ stays: the stored data remains sharded by it.
+  return dropped;
+}
+
+MaintainedQuery* ShardedCatalog::FindQuery(const std::string& name, size_t s) const {
+  return shards_[s]->FindQuery(name);
+}
+
+size_t ShardedCatalog::ShardOf(const std::string& relation, const Tuple& tuple) const {
+  if (shards_.size() == 1) return 0;
+  const Route* route = FindRoute(relation);
+  IVME_CHECK_MSG(route != nullptr, "no routing established for relation " << relation);
+  const size_t pos = static_cast<size_t>(route->root_pos);
+  if (tuple.size() == 1 && pos == 0) {
+    // Unary relation: the tuple is the root key; reuse its cached hash.
+    return static_cast<size_t>(tuple.Hash() % static_cast<uint64_t>(shards_.size()));
+  }
+  return ShardOfRootValue(tuple[pos], shards_.size());
+}
+
+void ShardedCatalog::Load(const std::string& relation,
+                          const std::vector<std::pair<Tuple, Mult>>& tuples) {
+  for (const auto& [tuple, mult] : tuples) LoadTuple(relation, tuple, mult);
+}
+
+void ShardedCatalog::LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult) {
+  shards_[ShardOf(relation, tuple)]->LoadTuple(relation, tuple, mult);
+}
+
+void ShardedCatalog::Preprocess() {
+  if (pool_ == nullptr) {
+    for (auto& shard : shards_) shard->Preprocess();
+    return;
+  }
+  task_scratch_.clear();
+  for (auto& shard : shards_) {
+    QueryCatalog* catalog = shard.get();
+    task_scratch_.push_back([catalog] { catalog->Preprocess(); });
+  }
+  pool_->Run(task_scratch_);
+}
+
+bool ShardedCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
+  return shards_[ShardOf(relation, tuple)]->ApplyUpdate(relation, tuple, mult);
+}
+
+BatchResult ShardedCatalog::ApplyBatch(const UpdateBatch& updates) {
+  return ApplyBatch(updates.data(), updates.size());
+}
+
+BatchResult ShardedCatalog::ApplyBatch(const Update* updates, size_t count) {
+  if (shards_.size() == 1) return shards_[0]->ApplyBatch(updates, count);
+
+  // Consolidate ONCE at the splitter (shared NetDeltaConsolidator), then
+  // route the surviving net entries: equal tuples hash to one shard, so
+  // per-shard validation and result counts match the unsharded catalog.
+  // Each shard's own consolidation pass over the already-net sub-batch is
+  // an identity map. (Per-shard `updates` stats consequently count net
+  // entries, not raw records.)
+  consolidator_.Begin();
+  for (size_t i = 0; i < count; ++i) consolidator_.Add(updates[i]);
+
+  for (auto& sub : split_scratch_) sub.clear();
+  for (const size_t group : consolidator_.touched()) {
+    const std::string& relation = consolidator_.relation(group);
+    for (const auto* node = consolidator_.delta(group).First(); node != nullptr;
+         node = node->next) {
+      if (node->value == 0) continue;  // cancelled in full
+      split_scratch_[ShardOf(relation, node->key)].push_back(
+          Update{relation, node->key, node->value});
+    }
+  }
+
+  // Shard deltas are independent (shared-nothing); apply them concurrently.
+  task_scratch_.clear();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    result_scratch_[s] = BatchResult();
+    if (split_scratch_[s].empty()) continue;
+    QueryCatalog* catalog = shards_[s].get();
+    const UpdateBatch* sub = &split_scratch_[s];
+    BatchResult* result = &result_scratch_[s];
+    task_scratch_.push_back([catalog, sub, result] { *result = catalog->ApplyBatch(*sub); });
+  }
+  if (pool_ != nullptr) {
+    pool_->Run(task_scratch_);
+  } else {
+    for (const auto& task : task_scratch_) task();
+  }
+
+  BatchResult total;
+  for (const BatchResult& result : result_scratch_) {
+    total.applied += result.applied;
+    total.rejected += result.rejected;
+  }
+  return total;
+}
+
+std::unique_ptr<MergedEnumerator> ShardedCatalog::Enumerate(const std::string& name) const {
+  bool disjoint = true;
+  for (size_t i = 0; i < root_free_names_.size(); ++i) {
+    if (root_free_names_[i] == name) disjoint = root_free_[i];
+  }
+  std::vector<std::unique_ptr<ResultEnumerator>> streams;
+  streams.reserve(shards_.size());
+  for (const auto& shard : shards_) streams.push_back(shard->Enumerate(name));
+  return std::make_unique<MergedEnumerator>(std::move(streams),
+                                            disjoint || shards_.size() == 1);
+}
+
+QueryResult ShardedCatalog::EvaluateToMap(const std::string& name) const {
+  auto it = Enumerate(name);
+  return DrainEnumeration(*it);
+}
+
+std::vector<std::pair<Tuple, Mult>> ShardedCatalog::DumpRelation(
+    const std::string& relation) const {
+  std::vector<std::pair<Tuple, Mult>> out;
+  for (const auto& shard : shards_) {
+    auto part = shard->DumpRelation(relation);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+size_t ShardedCatalog::store_size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->store().TotalSize();
+  return total;
+}
+
+bool ShardedCatalog::CheckInvariants(std::string* error) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::string shard_error;
+    if (!shards_[s]->CheckInvariants(&shard_error)) {
+      if (error != nullptr) *error = "shard " + std::to_string(s) + ": " + shard_error;
+      return false;
+    }
+  }
+  if (shards_.size() > 1) {
+    // Routing invariant: every stored tuple lives in the shard its root
+    // value hashes to.
+    for (const auto& route : routes_) {
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if (shards_[s]->store().Find(route.relation) == nullptr) continue;
+        for (const auto& [tuple, mult] : shards_[s]->DumpRelation(route.relation)) {
+          (void)mult;
+          if (ShardOf(route.relation, tuple) != s) {
+            if (error != nullptr) {
+              *error = "tuple " + tuple.ToString() + " of " + route.relation +
+                       " stored in shard " + std::to_string(s) + " but routed to shard " +
+                       std::to_string(ShardOf(route.relation, tuple));
+            }
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ivme

@@ -1,0 +1,141 @@
+// Shared-nothing sharding of the multi-query catalog: K QueryCatalogs,
+// each with its own RelationStore slice, every registered query present in
+// every shard. Tuples route by the hash of their query-root value exactly
+// as in ShardedEngine, but with many queries the routing column of each
+// relation must be agreed on by every query that reads it — RegisterQuery
+// gates on CanShard per query and on cross-query routing consistency, and
+// a relation's routing stays sticky for the catalog's lifetime (its data
+// is already sharded by it).
+#ifndef IVME_CORE_SHARDED_CATALOG_H_
+#define IVME_CORE_SHARDED_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/catalog.h"
+#include "src/data/consolidate.h"
+#include "src/enumerate/merged_enumerator.h"
+
+namespace ivme {
+
+/// Configuration of a sharded catalog.
+struct ShardedCatalogOptions {
+  /// Number of shards K. 1 is always valid (no routing, any hierarchical
+  /// queries); K > 1 gates every registration on shardability.
+  size_t num_shards = 1;
+
+  /// Worker threads for batch application and preprocessing. 0 picks
+  /// ThreadPool::DefaultThreads(num_shards).
+  size_t num_threads = 0;
+};
+
+/// A QueryCatalog surface over K shard catalogs.
+///
+/// Lifecycle mirrors QueryCatalog: RegisterQuery → Load → Preprocess() →
+/// interleave updates, Enumerate(name), late RegisterQuery, DropQuery.
+/// ApplyBatch consolidates once, splits the net entries by root-value hash,
+/// and applies the per-shard sub-batches concurrently.
+class ShardedCatalog {
+ public:
+  explicit ShardedCatalog(ShardedCatalogOptions options);
+
+  ShardedCatalog(const ShardedCatalog&) = delete;
+  ShardedCatalog& operator=(const ShardedCatalog&) = delete;
+
+  /// Registers `q` in every shard. The query's relation arities must agree
+  /// with the live store; with K > 1 it must additionally be shardable
+  /// (connected, variable root, consistent root column per relation — see
+  /// ShardedEngine::CanShard) and its root columns must agree with the
+  /// routing already established by earlier queries on shared relations.
+  /// Returns false and fills `why` when the query cannot be accepted; the
+  /// catalog is unchanged in that case.
+  bool RegisterQuery(const std::string& name, const ConjunctiveQuery& q, EngineOptions options,
+                     std::string* why = nullptr);
+
+  /// Drops the query from every shard. Routing entries stay sticky: the
+  /// relation data is already hash-partitioned by them, so a future
+  /// re-registration must still agree. Returns false when unknown.
+  bool DropQuery(const std::string& name);
+
+  /// Per-shard handle of a registered query (shard `s`), or nullptr.
+  MaintainedQuery* FindQuery(const std::string& name, size_t s = 0) const;
+
+  std::vector<std::string> QueryNames() const { return shards_[0]->QueryNames(); }
+  size_t num_queries() const { return shards_[0]->num_queries(); }
+
+  // --- data plane (QueryCatalog surface) ---
+  void Load(const std::string& relation, const std::vector<std::pair<Tuple, Mult>>& tuples);
+  void LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Preprocesses every shard, in parallel when the pool has workers.
+  void Preprocess();
+
+  /// Routes the update to its shard and applies it there.
+  bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Consolidates the batch once (shared NetDeltaConsolidator), splits the
+  /// surviving net entries per shard by root-value hash, and applies the
+  /// shard sub-batches concurrently. Equal tuples land in one shard, so
+  /// per-shard validation and counts match the unsharded catalog.
+  BatchResult ApplyBatch(const Update* updates, size_t count);
+  BatchResult ApplyBatch(const UpdateBatch& updates);
+
+  /// Merged enumeration of `name`: concatenation when the query's root is
+  /// free (disjoint shard results), multiplicity-summing merge otherwise.
+  std::unique_ptr<MergedEnumerator> Enumerate(const std::string& name) const;
+  QueryResult EvaluateToMap(const std::string& name) const;
+
+  /// Union of every shard's contents for `relation`.
+  std::vector<std::pair<Tuple, Mult>> DumpRelation(const std::string& relation) const;
+
+  /// Every shard's query invariants plus the routing invariant (each shard
+  /// only stores tuples that hash to it). O(database).
+  bool CheckInvariants(std::string* error);
+
+  // --- introspection ---
+  size_t num_shards() const { return shards_.size(); }
+  const QueryCatalog& shard(size_t s) const { return *shards_[s]; }
+  QueryCatalog& shard(size_t s) { return *shards_[s]; }
+  size_t num_threads() const { return pool_ == nullptr ? 0 : pool_->num_threads(); }
+
+  /// Total store size across shards (each relation counted once per shard
+  /// slice, i.e. the unsharded |D|).
+  size_t store_size() const;
+
+  /// The shard index a tuple of `relation` routes to. Requires established
+  /// routing (some registered query reads `relation`) when K > 1.
+  size_t ShardOf(const std::string& relation, const Tuple& tuple) const;
+
+ private:
+  struct Route {
+    std::string relation;
+    int root_pos = 0;
+  };
+
+  const Route* FindRoute(const std::string& relation) const;
+
+  ShardedCatalogOptions options_;
+  std::vector<std::unique_ptr<QueryCatalog>> shards_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null for single-shard catalogs
+
+  /// Sticky per-relation routing (root column), established by the first
+  /// registering query that reads the relation.
+  std::vector<Route> routes_;
+
+  /// Per registered query: whether its root variable is free (drives the
+  /// merged-enumeration mode). Parallel to QueryNames() order.
+  std::vector<std::string> root_free_names_;
+  std::vector<bool> root_free_;
+
+  // ApplyBatch scratch (capacity persists across batches).
+  NetDeltaConsolidator consolidator_;
+  std::vector<UpdateBatch> split_scratch_;
+  std::vector<BatchResult> result_scratch_;
+  std::vector<std::function<void()>> task_scratch_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_SHARDED_CATALOG_H_

@@ -6,19 +6,10 @@
 
 namespace ivme {
 
-namespace {
-
-/// Shard of a root value, computed through Tuple::Hash on a 1-ary key
-/// tuple (stack-only: it fits the SBO buffer). Raw HashSpan64 would almost
-/// work, but Tuple::Hash remaps one sentinel hash value — routing through
-/// it keeps every route, including the unary cached-hash fast path below,
-/// consistent by construction.
-size_t ShardOfValue(Value v, size_t num_shards) {
+size_t ShardOfRootValue(Value v, size_t num_shards) {
   const Tuple key{v};
   return static_cast<size_t>(key.Hash() % static_cast<uint64_t>(num_shards));
 }
-
-}  // namespace
 
 bool ShardedEngine::CanShard(const ConjunctiveQuery& q, std::string* why) {
   auto fail = [&](const std::string& reason) {
@@ -100,7 +91,7 @@ size_t ShardedEngine::ShardOf(const std::string& relation, const Tuple& tuple) c
       // Unary relation: the tuple is the root key; reuse its cached hash.
       return static_cast<size_t>(tuple.Hash() % static_cast<uint64_t>(shards_.size()));
     }
-    return ShardOfValue(tuple[pos], shards_.size());
+    return ShardOfRootValue(tuple[pos], shards_.size());
   }
   IVME_CHECK_MSG(false, "unknown relation " << relation);
   return 0;
@@ -179,16 +170,8 @@ std::unique_ptr<MergedEnumerator> ShardedEngine::Enumerate() const {
 }
 
 QueryResult ShardedEngine::EvaluateToMap() const {
-  QueryResult result;
   auto it = Enumerate();
-  Tuple t;
-  Mult m = 0;
-  while (it->Next(&t, &m)) {
-    IVME_CHECK_MSG(result.find(t) == result.end(),
-                   "merged enumerator produced duplicate tuple " << t.ToString());
-    result[t] = m;
-  }
-  return result;
+  return DrainEnumeration(*it);
 }
 
 std::vector<std::pair<Tuple, Mult>> ShardedEngine::DumpRelation(

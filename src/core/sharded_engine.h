@@ -28,6 +28,14 @@
 
 namespace ivme {
 
+/// Shard of a component-root value, computed through Tuple::Hash on a
+/// 1-ary key tuple (stack-only: it fits the SBO buffer). Raw HashSpan64
+/// would almost work, but Tuple::Hash remaps one sentinel hash value —
+/// routing through it keeps every route, including the unary cached-hash
+/// fast path of the routers, consistent by construction. Shared by
+/// ShardedEngine and ShardedCatalog so both layers agree on placement.
+size_t ShardOfRootValue(Value v, size_t num_shards);
+
 /// Configuration of a sharded engine.
 struct ShardedEngineOptions {
   /// Per-shard engine configuration (ε, mode, rebalancing).

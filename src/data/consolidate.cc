@@ -1,0 +1,41 @@
+#include "src/data/consolidate.h"
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+size_t NetDeltaConsolidator::EnsureRelation(const std::string& relation) {
+  const size_t existing = FindRelation(relation);
+  if (existing != kUnknown) return existing;
+  groups_.push_back(Group{relation, std::make_unique<TupleMap<Mult>>(), false, 0});
+  return groups_.size() - 1;
+}
+
+size_t NetDeltaConsolidator::FindRelation(const std::string& relation) const {
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].relation == relation) return i;
+  }
+  return kUnknown;
+}
+
+void NetDeltaConsolidator::Begin() {
+  for (const size_t group : touched_) groups_[group].in_round = false;
+  touched_.clear();
+}
+
+size_t NetDeltaConsolidator::Add(const std::string& relation, const Tuple& tuple, Mult mult) {
+  const size_t group_id = FindRelation(relation);
+  IVME_CHECK_MSG(group_id != kUnknown, "unknown relation " << relation);
+  Group& group = groups_[group_id];
+  if (!group.in_round) {
+    group.in_round = true;
+    group.accum->Clear();
+    group.records = 0;
+    touched_.push_back(group_id);
+  }
+  ++group.records;
+  if (mult != 0) group.accum->Emplace(tuple).first->value += mult;
+  return group_id;
+}
+
+}  // namespace ivme

@@ -1,0 +1,78 @@
+// Net-delta consolidation of update batches, shared by the query catalog,
+// the thin single-query Engine, and the sharded splitters: records
+// addressing the same (relation, tuple) pair sum their multiplicities, so
+// insert/delete pairs cancel and repeated inserts merge into one weighted
+// entry before any storage or view work (step 1 of Engine::ApplyBatch's
+// contract).
+#ifndef IVME_DATA_CONSOLIDATE_H_
+#define IVME_DATA_CONSOLIDATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/update.h"
+#include "src/storage/tuple_map.h"
+
+namespace ivme {
+
+/// Consolidates update streams into one net-delta TupleMap per relation.
+///
+/// Relations are registered up front (dense group ids, first-registration
+/// order); each group's accumulator node pool persists across batches, so
+/// steady-state consolidation allocates nothing. Not thread-safe; sharded
+/// callers keep one consolidator per splitter.
+class NetDeltaConsolidator {
+ public:
+  static constexpr size_t kUnknown = static_cast<size_t>(-1);
+
+  NetDeltaConsolidator() = default;
+  NetDeltaConsolidator(const NetDeltaConsolidator&) = delete;
+  NetDeltaConsolidator& operator=(const NetDeltaConsolidator&) = delete;
+
+  /// Registers `relation` (idempotent); returns its dense group id.
+  size_t EnsureRelation(const std::string& relation);
+
+  /// Group id of `relation`, or kUnknown.
+  size_t FindRelation(const std::string& relation) const;
+
+  size_t num_relations() const { return groups_.size(); }
+  const std::string& relation(size_t group) const { return groups_[group].relation; }
+
+  /// Starts a new consolidation round: clears the touched set (accumulators
+  /// of touched groups are cleared lazily on first Add).
+  void Begin();
+
+  /// Adds one record to its relation's accumulator. The relation must be
+  /// registered; records with mult == 0 count toward records() but add no
+  /// delta entry. Returns the group id.
+  size_t Add(const std::string& relation, const Tuple& tuple, Mult mult);
+  size_t Add(const Update& update) { return Add(update.relation, update.tuple, update.mult); }
+
+  /// Groups touched since Begin(), in first-touch order (application order
+  /// stays deterministic).
+  const std::vector<size_t>& touched() const { return touched_; }
+
+  /// Net delta of a group (valid for touched groups until the next Begin).
+  const TupleMap<Mult>& delta(size_t group) const { return *groups_[group].accum; }
+  TupleMap<Mult>& delta(size_t group) { return *groups_[group].accum; }
+
+  /// Number of input records added to `group` since Begin() (before
+  /// cancellation; the per-relation share of the batch size).
+  size_t records(size_t group) const { return groups_[group].records; }
+
+ private:
+  struct Group {
+    std::string relation;
+    std::unique_ptr<TupleMap<Mult>> accum;
+    bool in_round = false;
+    size_t records = 0;
+  };
+
+  std::vector<Group> groups_;
+  std::vector<size_t> touched_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_DATA_CONSOLIDATE_H_

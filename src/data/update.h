@@ -26,6 +26,18 @@ struct Update {
 /// engine is free to consolidate and reorder per-relation net deltas.
 using UpdateBatch = std::vector<Update>;
 
+/// Outcome of applying one batch (Engine::ApplyBatch and the catalogs).
+struct BatchResult {
+  /// Consolidated net-delta entries that reached base storage and the view
+  /// trees. Records that cancelled to a net multiplicity of 0 are never
+  /// applied and are counted in neither field.
+  size_t applied = 0;
+
+  /// Net deletes that exceeded the stored multiplicity; those entries are
+  /// skipped in full (the rest of the batch still applies).
+  size_t rejected = 0;
+};
+
 }  // namespace ivme
 
 #endif  // IVME_DATA_UPDATE_H_

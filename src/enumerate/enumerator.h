@@ -7,14 +7,33 @@
 #ifndef IVME_ENUMERATE_ENUMERATOR_H_
 #define IVME_ENUMERATE_ENUMERATOR_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/core/builder.h"
 #include "src/enumerate/cursor.h"
 #include "src/query/query.h"
 
 namespace ivme {
+
+/// Drains any enumerator with a `bool Next(Tuple*, Mult*)` interface
+/// (ResultEnumerator, MergedEnumerator) into a tuple → multiplicity map,
+/// checking the distinct-tuple contract. Shared by the EvaluateToMap
+/// conveniences of MaintainedQuery, ShardedEngine, and the catalogs.
+template <typename Enumerator>
+std::map<Tuple, Mult> DrainEnumeration(Enumerator& it) {
+  std::map<Tuple, Mult> result;
+  Tuple t;
+  Mult m = 0;
+  while (it.Next(&t, &m)) {
+    IVME_CHECK_MSG(result.find(t) == result.end(),
+                   "enumerator produced duplicate tuple " << t.ToString());
+    result[t] = m;
+  }
+  return result;
+}
 
 /// Streams the distinct tuples of the query result. Create one per
 /// enumeration session (cheap relative to a full pass); concurrent updates

@@ -5,13 +5,19 @@
 namespace ivme {
 
 RelationPartition::RelationPartition(Relation* base, Schema keys, std::string light_name)
+    : RelationPartition(base, base->schema(), std::move(keys), std::move(light_name)) {}
+
+RelationPartition::RelationPartition(Relation* base, const Schema& atom_schema, Schema keys,
+                                     std::string light_name)
     : base_(base),
       keys_(std::move(keys)),
-      light_(base->schema(), std::move(light_name)),
-      base_index_id_(base->EnsureIndex(keys_)),
+      light_(atom_schema, std::move(light_name)),
+      base_index_id_(base->EnsureIndexOnColumns(ProjectionPositions(atom_schema, keys_))),
       light_index_id_(light_.EnsureIndex(keys_)) {
-  IVME_CHECK_MSG(base->schema().ContainsAll(keys_),
+  IVME_CHECK_MSG(atom_schema.ContainsAll(keys_),
                  "partition keys must be a subset of the relation schema");
+  IVME_CHECK_MSG(atom_schema.size() == base->schema().size(),
+                 "atom schema arity differs from the base relation in " << light_.name());
 }
 
 Tuple RelationPartition::KeyOf(const Tuple& tuple) const {

@@ -16,7 +16,19 @@ namespace ivme {
 /// an index on S over both R and R^S.
 class RelationPartition {
  public:
+  /// Partitions `base` on `keys`, both expressed in the variable-id space of
+  /// base->schema(). Only valid for privately owned relations whose schema
+  /// matches the caller's variables.
   RelationPartition(Relation* base, Schema keys, std::string light_name);
+
+  /// Partitions a possibly store-shared `base` on `keys`, resolving key
+  /// variables against `atom_schema` — the caller's per-query view of the
+  /// relation's column layout. The light part (per-query maintenance state)
+  /// is created with `atom_schema`, and the base index is requested by
+  /// column positions so that queries with disjoint variable-id spaces
+  /// share one physical index per distinct column projection.
+  RelationPartition(Relation* base, const Schema& atom_schema, Schema keys,
+                    std::string light_name);
 
   RelationPartition(const RelationPartition&) = delete;
   RelationPartition& operator=(const RelationPartition&) = delete;

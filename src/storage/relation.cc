@@ -9,8 +9,9 @@ namespace ivme {
 // ---------------------------------------------------------------------------
 
 Relation::Index::Index(const Schema& relation_schema, Schema key_schema)
-    : key_schema_(std::move(key_schema)),
-      positions_(ProjectionPositions(relation_schema, key_schema_)) {}
+    : positions_(ProjectionPositions(relation_schema, key_schema)) {}
+
+Relation::Index::Index(std::vector<int> positions) : positions_(std::move(positions)) {}
 
 Relation::Index::~Index() { ClearAll(); }
 
@@ -113,11 +114,16 @@ void Relation::Clear() {
 }
 
 int Relation::EnsureIndex(const Schema& key_schema) {
-  const int existing = FindIndexId(key_schema);
+  return EnsureIndexOnColumns(ProjectionPositions(schema_, key_schema));
+}
+
+int Relation::EnsureIndexOnColumns(std::vector<int> positions) {
+  const int existing = FindIndexIdOnColumns(positions);
   if (existing >= 0) return existing;
-  indexes_.push_back(std::make_unique<Index>(schema_, key_schema));
+  indexes_.push_back(std::make_unique<Index>(std::move(positions)));
   Index* index = indexes_.back().get();
-  // Backfill: register all current entries.
+  // Backfill: register all current entries (this is what makes late index
+  // creation — a query registering against a live shared relation — work).
   for (Entry* entry = map_.First(); entry != nullptr; entry = entry->next) {
     entry->value.links.push_back(index->Add(entry));
   }
@@ -125,8 +131,12 @@ int Relation::EnsureIndex(const Schema& key_schema) {
 }
 
 int Relation::FindIndexId(const Schema& key_schema) const {
+  return FindIndexIdOnColumns(ProjectionPositions(schema_, key_schema));
+}
+
+int Relation::FindIndexIdOnColumns(const std::vector<int>& positions) const {
   for (size_t i = 0; i < indexes_.size(); ++i) {
-    if (indexes_[i]->key_schema() == key_schema) return static_cast<int>(i);
+    if (indexes_[i]->positions() == positions) return static_cast<int>(i);
   }
   return -1;
 }

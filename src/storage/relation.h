@@ -51,15 +51,23 @@ class Relation {
   };
 
   /// Secondary index on a strict subset (or any subset) of the schema.
+  ///
+  /// An index is identified by the column positions it projects on, not by
+  /// the variable names of those columns: a relation shared between several
+  /// queries (RelationStore) is indexed by queries whose schemas use
+  /// disjoint variable-id spaces, and two requests that project the same
+  /// columns in the same order must share one physical index.
   class Index {
    public:
     Index(const Schema& relation_schema, Schema key_schema);
+    explicit Index(std::vector<int> positions);
 
     Index(const Index&) = delete;
     Index& operator=(const Index&) = delete;
     ~Index();
 
-    const Schema& key_schema() const { return key_schema_; }
+    /// The column positions of the relation this index projects on.
+    const std::vector<int>& positions() const { return positions_; }
 
     /// Projects a full relation tuple onto the index key schema.
     Tuple KeyOf(const Tuple& tuple) const { return ProjectTuple(tuple, positions_); }
@@ -92,7 +100,6 @@ class Relation {
 
     void ClearAll();
 
-    Schema key_schema_;
     std::vector<int> positions_;
     TupleMap<Bucket> buckets_;
   };
@@ -125,11 +132,23 @@ class Relation {
   /// Removes every tuple (indexes stay registered but become empty).
   void Clear();
 
-  /// Creates (or finds) an index on `key_schema`; returns its id.
+  /// Creates (or finds) an index on `key_schema`, which is resolved against
+  /// this relation's own schema. Only valid when the caller's variable ids
+  /// live in the same space as schema() — true for views and privately
+  /// owned relations, not for store-shared base relations (use
+  /// EnsureIndexOnColumns there, resolving against the atom schema).
   int EnsureIndex(const Schema& key_schema);
 
-  /// Id of the index on `key_schema`, or -1.
+  /// Creates (or finds) the index projecting the given column positions, in
+  /// order; returns its id. Indexes are deduplicated by position list, so
+  /// queries attached to a shared relation reuse each other's indexes.
+  int EnsureIndexOnColumns(std::vector<int> positions);
+
+  /// Id of the index on `key_schema` (resolved against schema()), or -1.
   int FindIndexId(const Schema& key_schema) const;
+
+  /// Id of the index projecting exactly `positions`, or -1.
+  int FindIndexIdOnColumns(const std::vector<int>& positions) const;
 
   const Index& index(int id) const { return *indexes_[static_cast<size_t>(id)]; }
 

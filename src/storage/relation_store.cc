@@ -1,0 +1,118 @@
+#include "src/storage/relation_store.h"
+
+#include "src/common/check.h"
+#include "src/common/counters.h"
+
+namespace ivme {
+
+namespace {
+
+// Distinct-tuple support change of one write (same rule as
+// core/delta.h SupportChange; duplicated to keep storage below core).
+int Support(Mult before, Mult after) {
+  if (before == 0 && after != 0) return 1;
+  if (before != 0 && after == 0) return -1;
+  return 0;
+}
+
+}  // namespace
+
+RelationStore::Entry* RelationStore::FindEntry(const std::string& name) {
+  for (auto& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const RelationStore::Entry* RelationStore::FindEntry(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Relation* RelationStore::Attach(const std::string& name, size_t arity) {
+  Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    // Canonical column schema: variable id i is column i. Queries resolve
+    // their own schemas to column positions when indexing.
+    Schema columns;
+    for (size_t i = 0; i < arity; ++i) columns.Append(static_cast<VarId>(i));
+    entries_.push_back(Entry{name, 0, std::make_unique<Relation>(std::move(columns), name)});
+    entry = &entries_.back();
+  }
+  IVME_CHECK_MSG(entry->relation->schema().size() == arity,
+                 "relation " << name << " already exists with arity "
+                             << entry->relation->schema().size() << ", requested " << arity);
+  ++entry->refcount;
+  return entry->relation.get();
+}
+
+void RelationStore::Release(const std::string& name) {
+  Entry* entry = FindEntry(name);
+  IVME_CHECK_MSG(entry != nullptr, "release of unknown relation " << name);
+  IVME_CHECK_MSG(entry->refcount > 0, "release of unreferenced relation " << name);
+  --entry->refcount;
+}
+
+Relation* RelationStore::Find(const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  return entry != nullptr ? entry->relation.get() : nullptr;
+}
+
+size_t RelationStore::RefCount(const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  return entry != nullptr ? entry->refcount : 0;
+}
+
+Relation::ApplyResult RelationStore::Apply(const std::string& name, const Tuple& tuple,
+                                           Mult mult) {
+  Relation* relation = Find(name);
+  IVME_CHECK_MSG(relation != nullptr, "unknown relation " << name);
+  ++LocalCounters().base_writes;
+  return relation->Apply(tuple, mult);
+}
+
+void RelationStore::ApplyDelta(const std::string& name, const TupleMap<Mult>& delta,
+                               DeltaResult* result) {
+  Relation* relation = Find(name);
+  IVME_CHECK_MSG(relation != nullptr, "unknown relation " << name);
+  result->applied.clear();
+  result->support.clear();
+  result->net_support = 0;
+  for (const auto* node = delta.First(); node != nullptr; node = node->next) {
+    if (node->value == 0) continue;
+    ++LocalCounters().base_writes;
+    const auto res = relation->Apply(node->key, node->value);
+    const int change = Support(res.before, res.after);
+    result->applied.emplace_back(node->key, node->value);
+    result->support.push_back(change);
+    result->net_support += change;
+  }
+}
+
+std::vector<std::pair<Tuple, Mult>> RelationStore::Dump(const std::string& name) const {
+  const Relation* relation = Find(name);
+  IVME_CHECK_MSG(relation != nullptr, "unknown relation " << name);
+  std::vector<std::pair<Tuple, Mult>> out;
+  out.reserve(relation->size());
+  for (const Relation::Entry* e = relation->First(); e != nullptr; e = e->next) {
+    out.emplace_back(e->key, e->value.mult);
+  }
+  return out;
+}
+
+size_t RelationStore::TotalSize() const {
+  size_t total = 0;
+  for (const auto& entry : entries_) total += entry.relation->size();
+  return total;
+}
+
+std::vector<std::string> RelationStore::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace ivme

@@ -1,0 +1,101 @@
+// The shared base-relation store: one canonical Relation per relation
+// symbol, owned independently of any query. Queries (MaintainedQuery)
+// attach to relations by name and borrow their storage; per-query
+// maintenance state (light parts, views, indicator triples, self-join
+// mirror occurrences) stays outside the store. A catalog over the store
+// applies each update's base-storage write exactly once, no matter how many
+// queries are registered — the write is counted in
+// CostCounters::base_writes.
+#ifndef IVME_STORAGE_RELATION_STORE_H_
+#define IVME_STORAGE_RELATION_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/update.h"
+#include "src/storage/relation.h"
+
+namespace ivme {
+
+/// Owns the canonical tuple storage of named base relations.
+///
+/// Stored relations use a canonical column schema (variable id i = column
+/// i), so queries whose schemas live in disjoint variable-id spaces can
+/// share one relation; they must request indexes by column position
+/// (Relation::EnsureIndexOnColumns). Relations are reference-counted by the
+/// queries attached to them; the data itself outlives its readers (dropping
+/// the last query keeps the relation, so a re-registered query preprocesses
+/// from the live contents).
+class RelationStore {
+ public:
+  /// Outcome of applying one consolidated per-relation net delta.
+  struct DeltaResult {
+    /// The entries actually written (net multiplicity != 0), in
+    /// consolidation order. Shared by every query's maintenance pass.
+    std::vector<std::pair<Tuple, Mult>> applied;
+
+    /// Per applied entry: the distinct-tuple support change (+1 appeared,
+    /// -1 vanished, 0 multiplicity-only), aligned with `applied`.
+    std::vector<int> support;
+
+    /// Sum of `support` — the relation's |R| change.
+    long long net_support = 0;
+  };
+
+  RelationStore() = default;
+  RelationStore(const RelationStore&) = delete;
+  RelationStore& operator=(const RelationStore&) = delete;
+
+  /// Creates the relation (canonical column schema) or attaches to the
+  /// existing one; either way the reference count grows by one. An arity
+  /// mismatch with an existing relation is a hard error.
+  Relation* Attach(const std::string& name, size_t arity);
+
+  /// Drops one reference. The relation and its contents are kept even at
+  /// zero references — the store is the database, queries only borrow it.
+  void Release(const std::string& name);
+
+  /// Looks up by name; nullptr when absent.
+  Relation* Find(const std::string& name) const;
+
+  /// Number of queries currently attached to `name` (0 when absent).
+  size_t RefCount(const std::string& name) const;
+
+  /// Applies one single-tuple write to `name` (which must exist) and counts
+  /// it as a base-storage write.
+  Relation::ApplyResult Apply(const std::string& name, const Tuple& tuple, Mult mult);
+
+  /// Applies a consolidated net delta to `name`: every entry with a nonzero
+  /// net multiplicity is written once (and counted once). Fills `result`
+  /// with the applied entries and their support changes, in a caller-owned
+  /// scratch whose capacity persists across batches.
+  void ApplyDelta(const std::string& name, const TupleMap<Mult>& delta, DeltaResult* result);
+
+  /// Contents of a relation as (tuple, multiplicity) pairs in storage
+  /// order. O(relation).
+  std::vector<std::pair<Tuple, Mult>> Dump(const std::string& name) const;
+
+  /// Total number of distinct tuples across all relations (the |D| of the
+  /// store, counting each relation once regardless of attached queries).
+  size_t TotalSize() const;
+
+  /// Relation names in creation order.
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    size_t refcount = 0;
+    std::unique_ptr<Relation> relation;
+  };
+
+  Entry* FindEntry(const std::string& name);
+  const Entry* FindEntry(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_STORAGE_RELATION_STORE_H_

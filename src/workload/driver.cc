@@ -32,5 +32,13 @@ DriveStats DriveBatches(ShardedEngine& engine, const std::vector<Batch>& batches
   return Drive(engine, batches);
 }
 
+DriveStats DriveBatches(QueryCatalog& catalog, const std::vector<Batch>& batches) {
+  return Drive(catalog, batches);
+}
+
+DriveStats DriveBatches(ShardedCatalog& catalog, const std::vector<Batch>& batches) {
+  return Drive(catalog, batches);
+}
+
 }  // namespace workload
 }  // namespace ivme

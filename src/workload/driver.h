@@ -9,7 +9,9 @@
 
 #include <vector>
 
+#include "src/core/catalog.h"
 #include "src/core/engine.h"
+#include "src/core/sharded_catalog.h"
 #include "src/core/sharded_engine.h"
 #include "src/workload/update_stream.h"
 
@@ -35,6 +37,15 @@ DriveStats DriveBatches(Engine& engine, const std::vector<Batch>& batches);
 /// Applies the batches in order through ShardedEngine::ApplyBatch — each
 /// batch is routed per shard and the shard deltas apply concurrently.
 DriveStats DriveBatches(ShardedEngine& engine, const std::vector<Batch>& batches);
+
+/// Applies the batches through QueryCatalog::ApplyBatch: one consolidation
+/// and one base-storage write per net entry, fanned out to every
+/// registered query's maintenance.
+DriveStats DriveBatches(QueryCatalog& catalog, const std::vector<Batch>& batches);
+
+/// Applies the batches through ShardedCatalog::ApplyBatch — consolidated
+/// once, routed per shard, applied concurrently.
+DriveStats DriveBatches(ShardedCatalog& catalog, const std::vector<Batch>& batches);
 
 }  // namespace workload
 }  // namespace ivme

@@ -1,0 +1,571 @@
+// Multi-query catalog tests: differential fuzz of a QueryCatalog /
+// ShardedCatalog with Q registered queries against Q independent engines on
+// randomly chunked mixed insert/delete streams, write-once cost accounting
+// on the shared store, late-registration equivalence, drop-then-re-register
+// behavior, and per-query invariants across major rebalances.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/counters.h"
+#include "src/common/rng.h"
+#include "src/core/catalog.h"
+#include "src/core/engine.h"
+#include "src/core/sharded_catalog.h"
+#include "tests/support/catalog.h"
+
+namespace ivme {
+namespace {
+
+using testing::MustParse;
+
+EngineOptions Dynamic(double eps) {
+  EngineOptions options;
+  options.epsilon = eps;
+  options.mode = EvalMode::kDynamic;
+  return options;
+}
+
+// Query pool over the shared relations R(arity 2), S(arity 2), T(arity 1):
+// full/projection/semijoin/join/Boolean shapes plus a self-join (mirror
+// occurrences). All hierarchical.
+const char* kPlainPool[] = {
+    "Q(A, B) = R(A, B)",
+    "Q(A) = R(A, B)",
+    "Q(B) = R(A, B), T(B)",
+    "Q(A, C) = R(A, B), S(B, C)",
+    "Q(B) = R(A, B), S(B, C)",
+    "Q(B, C) = S(B, C), T(B)",
+    "Q() = R(A, B)",
+    "Q(A) = R(A, B), R(A, B2)",
+};
+
+// Subset whose members are all shardable with pairwise-consistent routing:
+// every query's canonical root is the join variable held in R's column 1,
+// S's column 0, and T's column 0.
+const char* kShardablePool[] = {
+    "Q(B) = R(A, B), T(B)",
+    "Q(A, C) = R(A, B), S(B, C)",
+    "Q(B) = R(A, B), S(B, C)",
+    "Q(B, C) = S(B, C), T(B)",
+};
+
+size_t ArityOf(const std::string& relation) { return relation == "T" ? 1 : 2; }
+
+Tuple RandomTuple(Rng& rng, const std::string& relation, Value domain) {
+  Tuple t;
+  for (size_t i = 0; i < ArityOf(relation); ++i) t.PushBack(rng.Range(0, domain));
+  return t;
+}
+
+/// A valid mixed stream over {R, S, T}: deletes always target live tuples
+/// (multiset semantics — a tuple inserted twice tolerates two deletes).
+class StreamGen {
+ public:
+  explicit StreamGen(uint64_t seed) : rng_(seed) {}
+
+  Update Next(Value domain) {
+    const std::vector<std::string> names = {"R", "S", "T"};
+    const size_t r = rng_.Below(names.size());
+    auto& live = live_[names[r]];
+    if (!live.empty() && rng_.Chance(0.45)) {
+      const size_t pick = rng_.Below(live.size());
+      Update u{names[r], live[pick], -1};
+      live[pick] = live.back();
+      live.pop_back();
+      return u;
+    }
+    Tuple t = RandomTuple(rng_, names[r], domain);
+    live.push_back(t);
+    return Update{names[r], std::move(t), 1};
+  }
+
+  std::vector<std::pair<Tuple, Mult>> InitialLoad(const std::string& relation, size_t count,
+                                                  Value domain) {
+    std::vector<std::pair<Tuple, Mult>> out;
+    for (size_t i = 0; i < count; ++i) {
+      Tuple t = RandomTuple(rng_, relation, domain);
+      live_[relation].push_back(t);
+      out.emplace_back(std::move(t), 1);
+    }
+    return out;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+  std::map<std::string, std::vector<Tuple>> live_;
+};
+
+/// Q independent engines, one per registered query, fed the same stream
+/// (each only the records addressing its own relations) — the oracle for
+/// the shared-store catalogs.
+class IndependentEngines {
+ public:
+  void Add(const std::string& name, const ConjunctiveQuery& q, EngineOptions options) {
+    names_.push_back(name);
+    engines_.push_back(std::make_unique<Engine>(q, options));
+  }
+
+  void Load(const std::string& relation, const std::vector<std::pair<Tuple, Mult>>& tuples) {
+    for (auto& engine : engines_) {
+      if (Uses(*engine, relation)) engine->Load(relation, tuples);
+    }
+  }
+
+  void Preprocess() {
+    for (auto& engine : engines_) engine->Preprocess();
+  }
+
+  void ApplyBatch(const UpdateBatch& batch) {
+    for (auto& engine : engines_) {
+      UpdateBatch mine;
+      for (const Update& u : batch) {
+        if (Uses(*engine, u.relation)) mine.push_back(u);
+      }
+      if (!mine.empty()) engine->ApplyBatch(mine);
+    }
+  }
+
+  Engine& at(size_t i) { return *engines_[i]; }
+  const std::string& name(size_t i) const { return names_[i]; }
+  size_t size() const { return engines_.size(); }
+
+ private:
+  static bool Uses(const Engine& engine, const std::string& relation) {
+    for (const auto& atom : engine.query().atoms()) {
+      if (atom.relation == relation) return true;
+    }
+    return false;
+  }
+
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+std::string DiffResults(const QueryResult& expected, const QueryResult& actual) {
+  std::string out;
+  for (const auto& [tuple, mult] : expected) {
+    auto it = actual.find(tuple);
+    if (it == actual.end()) {
+      out += "missing " + tuple.ToString() + "; ";
+    } else if (it->second != mult) {
+      out += "mult mismatch at " + tuple.ToString() + "; ";
+    }
+  }
+  for (const auto& [tuple, mult] : actual) {
+    (void)mult;
+    if (expected.find(tuple) == expected.end()) out += "spurious " + tuple.ToString() + "; ";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: catalog with Q ∈ {1, 2, 4} queries vs Q independent
+// engines on a randomly chunked mixed stream, invariants checked per chunk.
+// ---------------------------------------------------------------------------
+
+class CatalogFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CatalogFuzzTest, MatchesIndependentEnginesOnChunkedStream) {
+  StreamGen gen(0xCA7A0000ull + static_cast<uint64_t>(GetParam()));
+  Rng& rng = gen.rng();
+  const size_t num_queries = std::vector<size_t>{1, 2, 4}[rng.Below(3)];
+  const Value domain = static_cast<Value>(3 + rng.Below(4));
+
+  QueryCatalog catalog;
+  IndependentEngines oracle;
+  for (size_t i = 0; i < num_queries; ++i) {
+    const std::string text = kPlainPool[rng.Below(std::size(kPlainPool))];
+    const double eps = std::vector<double>{0.0, 0.3, 0.5, 1.0}[rng.Below(4)];
+    const std::string name = "q" + std::to_string(i);
+    const auto q = MustParse(text);
+    catalog.RegisterQuery(name, q, Dynamic(eps));
+    oracle.Add(name, q, Dynamic(eps));
+  }
+
+  for (const std::string relation : {"R", "S", "T"}) {
+    const auto initial = gen.InitialLoad(relation, rng.Below(20), domain);
+    if (catalog.store().Find(relation) != nullptr) catalog.Load(relation, initial);
+    oracle.Load(relation, initial);
+  }
+  catalog.Preprocess();
+  oracle.Preprocess();
+
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    UpdateBatch batch;
+    const size_t batch_size = 1 + rng.Below(40);
+    for (size_t i = 0; i < batch_size; ++i) {
+      Update u = gen.Next(domain);
+      // Records addressing relations no registered query reads would trip
+      // the catalog's unknown-relation check; keep the stream addressable.
+      if (catalog.store().Find(u.relation) == nullptr) continue;
+      batch.push_back(std::move(u));
+    }
+    if (rng.Chance(0.3) && batch.size() == 1) {
+      // Exercise the single-update path too.
+      ASSERT_TRUE(catalog.ApplyUpdate(batch[0].relation, batch[0].tuple, batch[0].mult));
+    } else {
+      const auto result = catalog.ApplyBatch(batch);
+      ASSERT_EQ(result.rejected, 0u) << "chunk " << chunk;
+    }
+    oracle.ApplyBatch(batch);
+
+    std::string error;
+    ASSERT_TRUE(catalog.CheckInvariants(&error)) << error << " (chunk " << chunk << ")";
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      const auto expected = oracle.at(i).EvaluateToMap();
+      const auto actual = catalog.EvaluateToMap(oracle.name(i));
+      ASSERT_EQ(DiffResults(expected, actual), "")
+          << "query " << oracle.name(i) << " (" << oracle.at(i).query().ToString() << ") chunk "
+          << chunk;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CatalogFuzzTest, ::testing::Range(0, 25));
+
+class ShardedCatalogFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedCatalogFuzzTest, MatchesIndependentEnginesAcrossShardCounts) {
+  StreamGen gen(0x5CA7A000ull + static_cast<uint64_t>(GetParam()));
+  Rng& rng = gen.rng();
+  const size_t num_queries = std::vector<size_t>{1, 2, 4}[rng.Below(3)];
+  const size_t num_shards = std::vector<size_t>{1, 2, 3}[rng.Below(3)];
+  const Value domain = static_cast<Value>(3 + rng.Below(4));
+
+  ShardedCatalogOptions options;
+  options.num_shards = num_shards;
+  options.num_threads = 1 + rng.Below(3);
+  ShardedCatalog catalog(options);
+  IndependentEngines oracle;
+  for (size_t i = 0; i < num_queries; ++i) {
+    const std::string text = kShardablePool[rng.Below(std::size(kShardablePool))];
+    const double eps = std::vector<double>{0.0, 0.5, 1.0}[rng.Below(3)];
+    const std::string name = "q" + std::to_string(i);
+    const auto q = MustParse(text);
+    std::string why;
+    ASSERT_TRUE(catalog.RegisterQuery(name, q, Dynamic(eps), &why)) << why;
+    oracle.Add(name, q, Dynamic(eps));
+  }
+
+  for (const std::string relation : {"R", "S", "T"}) {
+    // Relations no registered query reads are absent from the shard stores
+    // (and unroutable); skip before touching the live-set bookkeeping.
+    if (catalog.shard(0).store().Find(relation) == nullptr) continue;
+    const auto initial = gen.InitialLoad(relation, rng.Below(20), domain);
+    catalog.Load(relation, initial);
+    oracle.Load(relation, initial);
+  }
+  catalog.Preprocess();
+  oracle.Preprocess();
+
+  for (int chunk = 0; chunk < 8; ++chunk) {
+    UpdateBatch batch;
+    const size_t batch_size = 1 + rng.Below(40);
+    for (size_t i = 0; i < batch_size; ++i) {
+      Update u = gen.Next(domain);
+      if (catalog.shard(0).store().Find(u.relation) == nullptr) continue;
+      batch.push_back(std::move(u));
+    }
+    const auto result = catalog.ApplyBatch(batch);
+    ASSERT_EQ(result.rejected, 0u) << "chunk " << chunk;
+    oracle.ApplyBatch(batch);
+
+    std::string error;
+    ASSERT_TRUE(catalog.CheckInvariants(&error)) << error << " (chunk " << chunk << ")";
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      const auto expected = oracle.at(i).EvaluateToMap();
+      const auto actual = catalog.EvaluateToMap(oracle.name(i));
+      ASSERT_EQ(DiffResults(expected, actual), "")
+          << "query " << oracle.name(i) << " shards=" << num_shards << " chunk " << chunk;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedCatalogFuzzTest, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Write-once cost accounting on the shared store.
+// ---------------------------------------------------------------------------
+
+TEST(CatalogCostTest, BatchBaseWritesAreIndependentOfQueryCount) {
+  // Four queries, all over R: the catalog writes each net entry once; four
+  // independent engines write it four times.
+  const std::vector<std::string> pool = {
+      "Q(A, B) = R(A, B)", "Q(A) = R(A, B)", "Q(B) = R(A, B)", "Q() = R(A, B)"};
+
+  QueryCatalog catalog;
+  IndependentEngines oracle;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const auto q = MustParse(pool[i]);
+    catalog.RegisterQuery("q" + std::to_string(i), q, Dynamic(0.5));
+    oracle.Add("q" + std::to_string(i), q, Dynamic(0.5));
+  }
+  Rng rng(7);
+  std::vector<std::pair<Tuple, Mult>> initial;
+  for (int i = 0; i < 50; ++i) initial.emplace_back(Tuple{rng.Range(0, 20), rng.Range(0, 20)}, 1);
+  catalog.Load("R", initial);
+  oracle.Load("R", initial);
+  catalog.Preprocess();
+  oracle.Preprocess();
+
+  UpdateBatch batch;
+  for (int i = 0; i < 32; ++i) {
+    batch.push_back(Update{"R", Tuple{rng.Range(0, 20), rng.Range(0, 20)}, 1});
+  }
+  batch.push_back(Update{"R", Tuple{500, 500}, 1});
+  batch.push_back(Update{"R", Tuple{500, 500}, -1});  // cancels: never written
+
+  ResetCounters();
+  const auto result = catalog.ApplyBatch(batch);
+  const uint64_t catalog_writes = AggregateCounters().base_writes;
+  EXPECT_EQ(catalog_writes, result.applied);  // exactly once per net entry
+
+  ResetCounters();
+  oracle.ApplyBatch(batch);
+  const uint64_t oracle_writes = AggregateCounters().base_writes;
+  EXPECT_EQ(oracle_writes, pool.size() * result.applied);  // once per engine
+
+  // Single-update path: one write regardless of the four readers.
+  ResetCounters();
+  ASSERT_TRUE(catalog.ApplyUpdate("R", Tuple{1, 2}, 1));
+  EXPECT_EQ(AggregateCounters().base_writes, 1u);
+}
+
+TEST(CatalogCostTest, ShardedCatalogWritesEachNetEntryOnce) {
+  ShardedCatalogOptions options;
+  options.num_shards = 3;
+  options.num_threads = 2;
+  ShardedCatalog catalog(options);
+  std::string why;
+  ASSERT_TRUE(catalog.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"),
+                                    Dynamic(0.5), &why))
+      << why;
+  ASSERT_TRUE(catalog.RegisterQuery("semi", MustParse("Q(B) = R(A, B), T(B)"), Dynamic(0.5),
+                                    &why))
+      << why;
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    catalog.LoadTuple("R", Tuple{rng.Range(0, 30), rng.Range(0, 10)}, 1);
+    catalog.LoadTuple("S", Tuple{rng.Range(0, 10), rng.Range(0, 30)}, 1);
+    catalog.LoadTuple("T", Tuple{rng.Range(0, 10)}, 1);
+  }
+  catalog.Preprocess();
+
+  UpdateBatch batch;
+  for (int i = 0; i < 48; ++i) {
+    batch.push_back(Update{"R", Tuple{rng.Range(0, 30), rng.Range(0, 10)}, 1});
+    if (i % 3 == 0) batch.push_back(Update{"T", Tuple{rng.Range(0, 10)}, 1});
+  }
+  ResetCounters();
+  const auto result = catalog.ApplyBatch(batch);
+  // Every surviving net entry lands in exactly one shard's store.
+  EXPECT_EQ(AggregateCounters().base_writes, result.applied);
+}
+
+// ---------------------------------------------------------------------------
+// Late registration, drop, re-register.
+// ---------------------------------------------------------------------------
+
+TEST(CatalogLifecycleTest, LateRegistrationMatchesFreshEngine) {
+  QueryCatalog catalog;
+  catalog.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"), Dynamic(0.5));
+  Rng rng(23);
+  for (int i = 0; i < 40; ++i) {
+    catalog.LoadTuple("R", Tuple{rng.Range(0, 15), rng.Range(0, 6)}, 1);
+    catalog.LoadTuple("S", Tuple{rng.Range(0, 6), rng.Range(0, 15)}, 1);
+  }
+  catalog.Preprocess();
+  for (int i = 0; i < 30; ++i) {
+    catalog.ApplyUpdate("R", Tuple{rng.Range(0, 15), rng.Range(0, 6)}, 1);
+  }
+
+  // Register a second query against the live store; it must see everything
+  // ingested so far, exactly like a fresh engine over a dump.
+  MaintainedQuery* late =
+      catalog.RegisterQuery("proj", MustParse("Q(B) = R(A, B), S(B, C)"), Dynamic(0.5));
+  ASSERT_TRUE(late->preprocessed());
+
+  Engine fresh(MustParse("Q(B) = R(A, B), S(B, C)"), Dynamic(0.5));
+  fresh.Load("R", catalog.DumpRelation("R"));
+  fresh.Load("S", catalog.DumpRelation("S"));
+  fresh.Preprocess();
+  EXPECT_EQ(DiffResults(fresh.EvaluateToMap(), catalog.EvaluateToMap("proj")), "");
+
+  // And it keeps tracking subsequent updates.
+  UpdateBatch more;
+  for (int i = 0; i < 25; ++i) {
+    more.push_back(Update{"S", Tuple{rng.Range(0, 6), rng.Range(0, 15)}, 1});
+  }
+  catalog.ApplyBatch(more);
+  fresh.ApplyBatch(more);
+  EXPECT_EQ(DiffResults(fresh.EvaluateToMap(), catalog.EvaluateToMap("proj")), "");
+  std::string error;
+  EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+}
+
+TEST(CatalogLifecycleTest, DropThenReRegister) {
+  QueryCatalog catalog;
+  catalog.RegisterQuery("full", MustParse("Q(A, B) = R(A, B)"), Dynamic(0.5));
+  catalog.RegisterQuery("proj", MustParse("Q(A) = R(A, B)"), Dynamic(0.0));
+  EXPECT_EQ(catalog.store().RefCount("R"), 2u);
+
+  Rng rng(31);
+  for (int i = 0; i < 30; ++i) {
+    catalog.LoadTuple("R", Tuple{rng.Range(0, 10), rng.Range(0, 10)}, 1);
+  }
+  catalog.Preprocess();
+
+  ASSERT_TRUE(catalog.DropQuery("full"));
+  EXPECT_FALSE(catalog.DropQuery("full"));  // already gone
+  EXPECT_EQ(catalog.FindQuery("full"), nullptr);
+  EXPECT_EQ(catalog.store().RefCount("R"), 1u);
+
+  // The store keeps serving the remaining query through more updates.
+  for (int i = 0; i < 40; ++i) {
+    catalog.ApplyUpdate("R", Tuple{rng.Range(0, 10), rng.Range(0, 10)}, 1);
+  }
+
+  // Re-register under the same name: preprocesses from the live store and
+  // matches a fresh engine over the dump.
+  catalog.RegisterQuery("full", MustParse("Q(A, B) = R(A, B)"), Dynamic(1.0));
+  EXPECT_EQ(catalog.store().RefCount("R"), 2u);
+  Engine fresh(MustParse("Q(A, B) = R(A, B)"), Dynamic(1.0));
+  fresh.Load("R", catalog.DumpRelation("R"));
+  fresh.Preprocess();
+  EXPECT_EQ(DiffResults(fresh.EvaluateToMap(), catalog.EvaluateToMap("full")), "");
+  std::string error;
+  EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+}
+
+TEST(CatalogLifecycleTest, ShardedLateRegisterAndDrop) {
+  ShardedCatalogOptions options;
+  options.num_shards = 2;
+  ShardedCatalog catalog(options);
+  std::string why;
+  ASSERT_TRUE(catalog.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"),
+                                    Dynamic(0.5), &why))
+      << why;
+  Rng rng(41);
+  for (int i = 0; i < 40; ++i) {
+    catalog.LoadTuple("R", Tuple{rng.Range(0, 12), rng.Range(0, 5)}, 1);
+    catalog.LoadTuple("S", Tuple{rng.Range(0, 5), rng.Range(0, 12)}, 1);
+  }
+  catalog.Preprocess();
+  for (int i = 0; i < 20; ++i) {
+    catalog.ApplyUpdate("R", Tuple{rng.Range(0, 12), rng.Range(0, 5)}, 1);
+  }
+
+  ASSERT_TRUE(
+      catalog.RegisterQuery("proj", MustParse("Q(B) = R(A, B), S(B, C)"), Dynamic(0.5), &why))
+      << why;
+  Engine fresh(MustParse("Q(B) = R(A, B), S(B, C)"), Dynamic(0.5));
+  fresh.Load("R", catalog.DumpRelation("R"));
+  fresh.Load("S", catalog.DumpRelation("S"));
+  fresh.Preprocess();
+  EXPECT_EQ(DiffResults(fresh.EvaluateToMap(), catalog.EvaluateToMap("proj")), "");
+
+  ASSERT_TRUE(catalog.DropQuery("join"));
+  UpdateBatch more;
+  for (int i = 0; i < 30; ++i) {
+    more.push_back(Update{"S", Tuple{rng.Range(0, 5), rng.Range(0, 12)}, 1});
+  }
+  catalog.ApplyBatch(more);
+  fresh.ApplyBatch(more);
+  EXPECT_EQ(DiffResults(fresh.EvaluateToMap(), catalog.EvaluateToMap("proj")), "");
+  std::string error;
+  EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+}
+
+TEST(ShardedCatalogGatingTest, RejectsUnshardableAndConflictingQueries) {
+  ShardedCatalogOptions options;
+  options.num_shards = 2;
+  ShardedCatalog catalog(options);
+  std::string why;
+
+  // Disconnected: rejected at K > 1.
+  EXPECT_FALSE(catalog.RegisterQuery("cart", MustParse("Q(A, B) = R(A, C), S2(B)"),
+                                     Dynamic(0.5), &why));
+  EXPECT_NE(why.find("disconnected"), std::string::npos) << why;
+
+  // Establish routing: root in S's column 0 and T's column 0.
+  ASSERT_TRUE(
+      catalog.RegisterQuery("semi", MustParse("Q(X) = S(X, Y), T(X)"), Dynamic(0.5), &why))
+      << why;
+
+  // A query reading its root from S's column 1 conflicts with the stored
+  // sharding and must be rejected without side effects.
+  EXPECT_FALSE(
+      catalog.RegisterQuery("conflict", MustParse("Q(Y) = S(X, Y), U(Y)"), Dynamic(0.5), &why));
+  EXPECT_NE(why.find("routing conflict"), std::string::npos) << why;
+  EXPECT_EQ(catalog.FindQuery("conflict"), nullptr);
+  EXPECT_EQ(catalog.num_queries(), 1u);
+
+  // Same root column is accepted.
+  ASSERT_TRUE(
+      catalog.RegisterQuery("other", MustParse("Q(X, Y) = S(X, Y)"), Dynamic(0.5), &why))
+      << why;
+
+  // An arity conflict with a live relation is rejected (returns false, no
+  // side effects) rather than tripping the store's hard error mid-commit.
+  EXPECT_FALSE(
+      catalog.RegisterQuery("arity", MustParse("Q(X) = S(X), T(X)"), Dynamic(0.5), &why));
+  EXPECT_NE(why.find("arity"), std::string::npos) << why;
+  EXPECT_EQ(catalog.FindQuery("arity"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Major rebalances under multi-query maintenance.
+// ---------------------------------------------------------------------------
+
+TEST(CatalogRebalanceTest, PerQueryInvariantsAcrossGrowthAndShrink) {
+  QueryCatalog catalog;
+  catalog.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"), Dynamic(0.5));
+  catalog.RegisterQuery("proj", MustParse("Q(A) = R(A, B)"), Dynamic(1.0));
+  catalog.LoadTuple("R", Tuple{0, 0}, 1);
+  catalog.LoadTuple("S", Tuple{0, 0}, 1);
+  catalog.Preprocess();
+
+  // Growth: force repeated M doublings in every query.
+  Rng rng(57);
+  std::vector<Tuple> live_r;
+  UpdateBatch batch;
+  for (int i = 0; i < 300; ++i) {
+    Tuple t{rng.Range(0, 40), rng.Range(0, 8)};
+    live_r.push_back(t);
+    batch.push_back(Update{"R", std::move(t), 1});
+  }
+  catalog.ApplyBatch(batch);
+  std::string error;
+  ASSERT_TRUE(catalog.CheckInvariants(&error)) << error;
+  EXPECT_GE(catalog.FindQuery("join")->GetStats().major_rebalances, 1u);
+  EXPECT_GE(catalog.FindQuery("proj")->GetStats().major_rebalances, 1u);
+
+  // Shrink: delete almost everything, forcing halvings.
+  batch.clear();
+  for (size_t i = 0; i + 8 < live_r.size(); ++i) {
+    batch.push_back(Update{"R", live_r[i], -1});
+  }
+  const auto result = catalog.ApplyBatch(batch);
+  EXPECT_EQ(result.rejected, 0u);
+  ASSERT_TRUE(catalog.CheckInvariants(&error)) << error;
+  EXPECT_GE(catalog.FindQuery("join")->GetStats().major_rebalances, 2u);
+
+  // Both queries still agree with fresh engines over the dump.
+  for (const char* name : {"join", "proj"}) {
+    const MaintainedQuery* query = catalog.FindQuery(name);
+    Engine fresh(query->query(), Dynamic(query->epsilon()));
+    fresh.Load("R", catalog.DumpRelation("R"));
+    if (name == std::string("join")) fresh.Load("S", catalog.DumpRelation("S"));
+    fresh.Preprocess();
+    EXPECT_EQ(DiffResults(fresh.EvaluateToMap(), catalog.EvaluateToMap(name)), "") << name;
+  }
+}
+
+}  // namespace
+}  // namespace ivme

@@ -1,35 +1,42 @@
-// Interactive shell around the engine: define a hierarchical query on the
-// command line, then stream updates and enumerate results. The engine is a
-// ShardedEngine (1 shard unless told otherwise), so the shell doubles as a
-// cockpit for the shared-nothing sharding layer: `shards N` re-partitions
-// the live database across N independent per-shard engines, and `stats`
-// shows each shard's own N, M, and θ = M^ε next to the aggregate.
+// Interactive shell around the multi-query catalog: define an initial
+// hierarchical query on the command line, register more at runtime, then
+// stream updates into the shared relation store and enumerate any
+// registered query. The serving layer is a ShardedCatalog (1 shard unless
+// told otherwise), so the shell doubles as a cockpit for both the
+// shared-store fan-out and the shared-nothing sharding layer.
 //
 //   ./tools/ivme_shell "Q(A, C) = R(A, B), S(B, C)" [epsilon] [shards]
 //
 // Commands (stdin; a leading backslash is accepted on any command):
-//   + R 1 2 [m]     insert tuple (1,2) into R with multiplicity m (default 1)
-//   - R 1 2 [m]     delete m copies (default 1)
-//   batch begin     start buffering +/- commands instead of applying them
-//   batch end       apply the buffered updates as one consolidated batch
-//   batch abort     drop the buffered updates
-//   shards N        rebuild the engine with N hash-partitioned shards
-//   ?               enumerate the result (first 50 tuples)
-//   count           number of distinct result tuples
-//   stats           aggregate and per-shard statistics (N, M, θ, views, ...)
-//   widths          query classification and widths
-//   trees           print the view trees (per shard)
-//   check           verify all internal invariants (incl. routing)
-//   help            this text
-//   quit            exit
+//   + R 1 2 [m]       insert tuple (1,2) into R with multiplicity m (default 1)
+//   - R 1 2 [m]       delete m copies (default 1)
+//   batch begin       start buffering +/- commands instead of applying them
+//   batch end         apply the buffered updates as one consolidated batch
+//   batch abort       drop the buffered updates
+//   register N Q(..)  register query Q under name N (preprocesses from the
+//                     live store; with shards > 1 it must route consistently)
+//   drop N            unregister query N (the store keeps its relations)
+//   use N             make N the target of ?, count, widths, trees
+//   queries           list registered queries (the active one is starred)
+//   shards N          rebuild the catalog with N hash-partitioned shards
+//   ?                 enumerate the active query's result (first 50 tuples)
+//   count             number of distinct result tuples of the active query
+//   stats             shared-store size plus per-query N, M, θ (per shard)
+//   widths            active query's classification and widths
+//   trees             print the active query's view trees (per shard)
+//   check             verify all internal invariants (incl. routing)
+//   help              this text
+//   quit              exit
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/common/fmt.h"
+#include "src/core/sharded_catalog.h"
 #include "src/core/sharded_engine.h"
 #include "src/query/classify.h"
 #include "src/query/hypergraph.h"
@@ -42,7 +49,8 @@ namespace {
 void PrintHelp() {
   std::printf(
       "commands: + REL v1 v2 .. [m] | - REL v1 v2 .. [m] | batch begin|end|abort |\n"
-      "          shards N | ? | count | stats | widths | trees | check | help | quit\n");
+      "          register NAME Q(..) = .. | drop NAME | use NAME | queries | shards N |\n"
+      "          ? | count | stats | widths | trees | check | help | quit\n");
 }
 
 void PrintWidths(const ConjunctiveQuery& q) {
@@ -60,39 +68,66 @@ void PrintWidths(const ConjunctiveQuery& q) {
               shardable ? "" : why.c_str());
 }
 
-std::unique_ptr<ShardedEngine> MakeEngine(const ConjunctiveQuery& query, double epsilon,
-                                          size_t shards) {
-  ShardedEngineOptions options;
-  options.engine.epsilon = epsilon;
-  options.engine.mode = EvalMode::kDynamic;
-  options.num_shards = shards;
-  auto engine = std::make_unique<ShardedEngine>(query, options);
-  return engine;
+/// Shell state: the sharded catalog plus the name of the active query.
+struct Shell {
+  std::unique_ptr<ShardedCatalog> catalog;
+  double epsilon = 0.5;
+  std::string active;
+
+  EngineOptions QueryOptions() const {
+    EngineOptions options;
+    options.epsilon = epsilon;
+    options.mode = EvalMode::kDynamic;
+    return options;
+  }
+
+  /// Arity of a store relation, or -1 when no registered query reads it.
+  int ArityOf(const std::string& relation) const {
+    const Relation* stored = catalog->shard(0).store().Find(relation);
+    return stored != nullptr ? static_cast<int>(stored->schema().size()) : -1;
+  }
+};
+
+void PrintStats(const Shell& shell) {
+  const ShardedCatalog& catalog = *shell.catalog;
+  std::printf("store: %s tuples | shards=%zu threads=%zu | queries=%zu | relations:",
+              WithThousands(static_cast<long long>(catalog.store_size())).c_str(),
+              catalog.num_shards(), catalog.num_threads(), catalog.num_queries());
+  for (const auto& relation : catalog.shard(0).store().RelationNames()) {
+    size_t size = 0;
+    for (size_t s = 0; s < catalog.num_shards(); ++s) {
+      const Relation* stored = catalog.shard(s).store().Find(relation);
+      if (stored != nullptr) size += stored->size();
+    }
+    std::printf(" %s=%s(x%zu)", relation.c_str(),
+                WithThousands(static_cast<long long>(size)).c_str(),
+                catalog.shard(0).store().RefCount(relation));
+  }
+  std::printf("\n");
+  // Per-query maintenance state: one line per query per shard — each shard
+  // sizes M and θ = M^ε from its own slice, and each query has its own ε.
+  for (const auto& name : catalog.QueryNames()) {
+    for (size_t s = 0; s < catalog.num_shards(); ++s) {
+      const MaintainedQuery* query = catalog.FindQuery(name, s);
+      const auto stats = query->GetStats();
+      std::printf("  %-12s%s N=%s M=%s theta=%.2f (eps=%.2f) | view-tuples=%s | updates=%zu "
+                  "batches=%zu minor=%zu major=%zu\n",
+                  name.c_str(),
+                  catalog.num_shards() > 1 ? (" shard " + std::to_string(s)).c_str() : "",
+                  WithThousands(static_cast<long long>(query->database_size())).c_str(),
+                  WithThousands(static_cast<long long>(query->threshold_base())).c_str(),
+                  query->theta(), query->epsilon(),
+                  WithThousands(static_cast<long long>(stats.view_tuples)).c_str(),
+                  stats.updates, stats.batches, stats.minor_rebalances,
+                  stats.major_rebalances);
+    }
+  }
 }
 
-void PrintStats(const ShardedEngine& engine, double epsilon) {
-  const auto stats = engine.GetStats();
-  std::printf("aggregate: N=%s | shards=%zu threads=%zu | trees=%zu triples=%zu "
-              "view-tuples=%s | updates=%zu batches=%zu net-entries=%zu minor=%zu major=%zu\n",
-              WithThousands(static_cast<long long>(engine.database_size())).c_str(),
-              engine.num_shards(), engine.num_threads(), stats.num_trees, stats.num_triples,
-              WithThousands(static_cast<long long>(stats.view_tuples)).c_str(), stats.updates,
-              stats.batches, stats.batch_net_entries, stats.minor_rebalances,
-              stats.major_rebalances);
-  // Per-shard thresholds: each shard sizes M and θ = M^ε from its own
-  // slice, so the heavy/light cut is visibly independent across shards.
-  for (size_t s = 0; s < engine.num_shards(); ++s) {
-    const Engine& shard = engine.shard(s);
-    const auto shard_stats = shard.GetStats();
-    std::printf("  shard %zu: N=%s M=%s theta=%.2f (eps=%.2f) | view-tuples=%s | "
-                "updates=%zu minor=%zu major=%zu\n",
-                s, WithThousands(static_cast<long long>(shard.database_size())).c_str(),
-                WithThousands(static_cast<long long>(shard.threshold_base())).c_str(),
-                shard.theta(), epsilon,
-                WithThousands(static_cast<long long>(shard_stats.view_tuples)).c_str(),
-                shard_stats.updates, shard_stats.minor_rebalances,
-                shard_stats.major_rebalances);
-  }
+std::unique_ptr<ShardedCatalog> MakeCatalog(size_t shards) {
+  ShardedCatalogOptions options;
+  options.num_shards = shards;
+  return std::make_unique<ShardedCatalog>(options);
 }
 
 }  // namespace
@@ -114,7 +149,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const double epsilon = argc > 2 ? std::atof(argv[2]) : 0.5;
+  Shell shell;
+  shell.epsilon = argc > 2 ? std::atof(argv[2]) : 0.5;
   const long long shards_arg = argc > 3 ? std::atoll(argv[3]) : 1;
   size_t shards = shards_arg < 1 ? 1 : static_cast<size_t>(shards_arg);
   std::string why;
@@ -122,12 +158,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot shard this query (%s); running with 1 shard\n", why.c_str());
     shards = 1;
   }
-  auto engine = MakeEngine(*query, epsilon, shards);
-  engine->Preprocess();
+  shell.catalog = MakeCatalog(shards);
+  shell.active = query->name();
+  if (!shell.catalog->RegisterQuery(shell.active, *query, shell.QueryOptions(), &why)) {
+    std::fprintf(stderr, "could not register query: %s\n", why.c_str());
+    return 2;
+  }
+  shell.catalog->Preprocess();
 
   PrintWidths(*query);
-  std::printf("engine ready at eps=%.2f with %zu shard(s); type 'help' for commands\n", epsilon,
-              engine->num_shards());
+  std::printf("catalog ready at eps=%.2f with %zu shard(s); active query '%s'; type 'help'\n",
+              shell.epsilon, shell.catalog->num_shards(), shell.active.c_str());
 
   std::string line;
   UpdateBatch pending;  // updates buffered between `batch begin` and `batch end`
@@ -140,6 +181,55 @@ int main(int argc, char** argv) {
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       PrintHelp();
+    } else if (cmd == "register") {
+      std::string name;
+      if (!(in >> name)) {
+        std::printf("! usage: register NAME Q(..) = ..\n");
+        continue;
+      }
+      std::string text;
+      std::getline(in, text);
+      auto q = ConjunctiveQuery::Parse(text);
+      if (!q.has_value()) {
+        std::printf("! could not parse query: %s\n", text.c_str());
+        continue;
+      }
+      if (!IsHierarchical(*q)) {
+        std::printf("! query is not hierarchical\n");
+        continue;
+      }
+      if (!shell.catalog->RegisterQuery(name, *q, shell.QueryOptions(), &why)) {
+        std::printf("! cannot register: %s\n", why.c_str());
+        continue;
+      }
+      shell.active = name;
+      std::printf("registered '%s' (%s); now active\n", name.c_str(), q->ToString().c_str());
+    } else if (cmd == "drop") {
+      std::string name;
+      if (!(in >> name) || !shell.catalog->DropQuery(name)) {
+        std::printf("! usage: drop NAME (a registered query)\n");
+        continue;
+      }
+      std::printf("dropped '%s' (store relations kept)\n", name.c_str());
+      if (shell.active == name) {
+        const auto names = shell.catalog->QueryNames();
+        shell.active = names.empty() ? "" : names.front();
+        std::printf("active query now '%s'\n", shell.active.c_str());
+      }
+    } else if (cmd == "use") {
+      std::string name;
+      if (!(in >> name) || shell.catalog->FindQuery(name) == nullptr) {
+        std::printf("! usage: use NAME (a registered query)\n");
+        continue;
+      }
+      shell.active = name;
+      std::printf("active query now '%s'\n", shell.active.c_str());
+    } else if (cmd == "queries") {
+      for (const auto& name : shell.catalog->QueryNames()) {
+        const MaintainedQuery* q = shell.catalog->FindQuery(name);
+        std::printf("  %c %-12s %s (eps=%.2f)\n", name == shell.active ? '*' : ' ',
+                    name.c_str(), q->query().ToString().c_str(), q->epsilon());
+      }
     } else if (cmd == "shards") {
       long long n = 0;
       if (!(in >> n) || n < 1) {
@@ -150,21 +240,44 @@ int main(int argc, char** argv) {
         std::printf("! close the open batch first (batch end / batch abort)\n");
         continue;
       }
-      if (static_cast<size_t>(n) > 1 && !ShardedEngine::CanShard(*query, &why)) {
-        std::printf("! cannot shard this query: %s\n", why.c_str());
-        continue;
+      // Every registered query must be shardable at the new K.
+      bool ok = true;
+      for (const auto& name : shell.catalog->QueryNames()) {
+        const MaintainedQuery* q = shell.catalog->FindQuery(name);
+        if (n > 1 && !ShardedEngine::CanShard(q->query(), &why)) {
+          std::printf("! cannot shard query '%s': %s\n", name.c_str(), why.c_str());
+          ok = false;
+        }
       }
-      // Rebuild: dump the live base relations, reload into a fresh engine
-      // with the new shard count, re-preprocess. Update/rebalance counters
-      // restart from zero.
-      auto rebuilt = MakeEngine(*query, epsilon, static_cast<size_t>(n));
-      for (const auto& name : query->RelationNames()) {
-        rebuilt->Load(name, engine->DumpRelation(name));
+      if (!ok) continue;
+      // Rebuild: re-register every query, reload the dumped store, and
+      // re-preprocess. Update/rebalance counters restart from zero.
+      auto rebuilt = MakeCatalog(static_cast<size_t>(n));
+      for (const auto& name : shell.catalog->QueryNames()) {
+        const MaintainedQuery* q = shell.catalog->FindQuery(name);
+        EngineOptions options = shell.QueryOptions();
+        options.epsilon = q->epsilon();
+        if (!rebuilt->RegisterQuery(name, q->query(), options, &why)) {
+          std::printf("! cannot re-register '%s': %s\n", name.c_str(), why.c_str());
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (const auto& relation : shell.catalog->shard(0).store().RelationNames()) {
+        // Relations kept alive only by dropped queries have no reader in
+        // the rebuilt catalog; their data cannot be carried over.
+        if (rebuilt->shard(0).store().Find(relation) == nullptr) {
+          std::printf("! dropping %s: no registered query reads it\n", relation.c_str());
+          continue;
+        }
+        rebuilt->Load(relation, shell.catalog->DumpRelation(relation));
       }
       rebuilt->Preprocess();
-      engine = std::move(rebuilt);
-      std::printf("rebuilt with %zu shard(s) over N=%zu (threads=%zu)\n", engine->num_shards(),
-                  engine->database_size(), engine->num_threads());
+      shell.catalog = std::move(rebuilt);
+      std::printf("rebuilt with %zu shard(s) over %zu store tuples (threads=%zu)\n",
+                  shell.catalog->num_shards(), shell.catalog->store_size(),
+                  shell.catalog->num_threads());
     } else if (cmd == "batch") {
       std::string sub;
       in >> sub;
@@ -176,9 +289,10 @@ int main(int argc, char** argv) {
         pending.clear();
         std::printf("batch open; +/- commands buffer until 'batch end'\n");
       } else if (sub == "end" && batching) {
-        const auto result = engine->ApplyBatch(pending);
-        std::printf("applied %zu updates as %zu net entries (%zu rejected) (N=%zu)\n",
-                    pending.size(), result.applied, result.rejected, engine->database_size());
+        const auto result = shell.catalog->ApplyBatch(pending);
+        std::printf("applied %zu updates as %zu net entries (%zu rejected) (store=%zu)\n",
+                    pending.size(), result.applied, result.rejected,
+                    shell.catalog->store_size());
         batching = false;
         pending.clear();
       } else if (sub == "abort" && batching) {
@@ -194,28 +308,21 @@ int main(int argc, char** argv) {
         std::printf("! expected a relation name\n");
         continue;
       }
-      size_t arity = 0;
-      bool known = false;
-      for (const auto& atom : query->atoms()) {
-        if (atom.relation == rel) {
-          arity = atom.schema.size();
-          known = true;
-        }
-      }
-      if (!known) {
-        std::printf("! unknown relation %s\n", rel.c_str());
+      const int arity = shell.ArityOf(rel);
+      if (arity < 0) {
+        std::printf("! unknown relation %s (no registered query reads it)\n", rel.c_str());
         continue;
       }
       std::vector<Value> values;
       Value v = 0;
       while (in >> v) values.push_back(v);
       Mult mult = 1;
-      if (values.size() == arity + 1) {
+      if (values.size() == static_cast<size_t>(arity) + 1) {
         mult = values.back();
         values.pop_back();
       }
-      if (values.size() != arity) {
-        std::printf("! %s has arity %zu\n", rel.c_str(), arity);
+      if (values.size() != static_cast<size_t>(arity)) {
+        std::printf("! %s has arity %d\n", rel.c_str(), arity);
         continue;
       }
       if (cmd == "-") mult = -mult;
@@ -224,11 +331,15 @@ int main(int argc, char** argv) {
         std::printf("buffered (%zu pending)\n", pending.size());
         continue;
       }
-      const bool ok = engine->ApplyUpdate(rel, Tuple(std::move(values)), mult);
-      std::printf(ok ? "ok (N=%zu)\n" : "rejected (delete below zero) (N=%zu)\n",
-                  engine->database_size());
+      const bool ok = shell.catalog->ApplyUpdate(rel, Tuple(std::move(values)), mult);
+      std::printf(ok ? "ok (store=%zu)\n" : "rejected (delete below zero) (store=%zu)\n",
+                  shell.catalog->store_size());
     } else if (cmd == "?") {
-      auto it = engine->Enumerate();
+      if (shell.active.empty()) {
+        std::printf("! no registered queries\n");
+        continue;
+      }
+      auto it = shell.catalog->Enumerate(shell.active);
       Tuple t;
       Mult m = 0;
       size_t shown = 0;
@@ -241,24 +352,37 @@ int main(int argc, char** argv) {
       if (rest > 0) std::printf("  ... and %zu more\n", rest);
       if (shown == 0) std::printf("  (empty)\n");
     } else if (cmd == "count") {
-      auto it = engine->Enumerate();
+      if (shell.active.empty()) {
+        std::printf("! no registered queries\n");
+        continue;
+      }
+      auto it = shell.catalog->Enumerate(shell.active);
       Tuple t;
       Mult m = 0;
       size_t count = 0;
       while (it->Next(&t, &m)) ++count;
       std::printf("%zu distinct tuples\n", count);
     } else if (cmd == "stats") {
-      PrintStats(*engine, epsilon);
+      PrintStats(shell);
     } else if (cmd == "widths") {
-      PrintWidths(*query);
+      if (shell.active.empty()) {
+        std::printf("! no registered queries\n");
+        continue;
+      }
+      PrintWidths(shell.catalog->FindQuery(shell.active)->query());
     } else if (cmd == "trees") {
-      for (size_t s = 0; s < engine->num_shards(); ++s) {
-        if (engine->num_shards() > 1) std::printf("--- shard %zu ---\n", s);
-        std::printf("%s", engine->shard(s).DebugString().c_str());
+      if (shell.active.empty()) {
+        std::printf("! no registered queries\n");
+        continue;
+      }
+      for (size_t s = 0; s < shell.catalog->num_shards(); ++s) {
+        if (shell.catalog->num_shards() > 1) std::printf("--- shard %zu ---\n", s);
+        std::printf("%s", shell.catalog->FindQuery(shell.active, s)->DebugString().c_str());
       }
     } else if (cmd == "check") {
       std::string error;
-      std::printf(engine->CheckInvariants(&error) ? "all invariants hold\n" : "FAILED: %s\n",
+      std::printf(shell.catalog->CheckInvariants(&error) ? "all invariants hold\n"
+                                                         : "FAILED: %s\n",
                   error.c_str());
     } else {
       std::printf("! unknown command '%s' (try 'help')\n", cmd.c_str());
