@@ -36,13 +36,13 @@ double MeasurePreprocess(const ConjunctiveQuery& q,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // Example 19's query; R and S have wide D/E-fanout per (A,B), T and U
   // wide F/G-fanout per (A,C): exactly the variables InsideOut aggregates
   // away before the indicator/All-view joins.
   const auto q =
       *ConjunctiveQuery::Parse("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)");
-  Rng rng(5);
+  Rng rng(SeedFromArgs(argc, argv, 5));
   const Value groups = 20, fanout = 400;
   std::vector<std::pair<std::string, std::vector<Tuple>>> data(4);
   data[0].first = "R";

@@ -1,12 +1,15 @@
 // Shared helpers for the figure-reproduction benches: wall-clock timing,
-// enumeration-delay measurement, log-log slope fitting, and table printing.
+// enumeration-delay measurement, log-log slope fitting, flag parsing
+// (--smoke, --seed), and table printing.
 #ifndef IVME_BENCH_BENCH_COMMON_H_
 #define IVME_BENCH_BENCH_COMMON_H_
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +18,49 @@
 
 namespace ivme {
 namespace bench {
+
+/// True when `--smoke` appears in argv or IVME_SMOKE is set (CI shrinks the
+/// workloads through this).
+inline bool SmokeFromArgs(int argc, char** argv) {
+  if (std::getenv("IVME_SMOKE") != nullptr) return true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+/// The RNG seed shared by every bench: `--seed N` / `--seed=N` on the
+/// command line (or the IVME_SEED environment variable) overrides
+/// `fallback`, the bench's historical constant. Published BENCH_*.json runs
+/// record the seed (JsonReporter::SetSeed), so a run is reproducible with
+/// `<bench> --seed <recorded>`. A malformed or missing value is a hard
+/// error — silently running a different workload than requested would
+/// defeat the reproducibility contract.
+inline uint64_t ParseSeedOrDie(const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "invalid --seed value '%s' (expected a decimal integer)\n", text);
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+inline uint64_t SeedFromArgs(int argc, char** argv, uint64_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--seed needs a value\n");
+        std::exit(2);
+      }
+      return ParseSeedOrDie(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) return ParseSeedOrDie(argv[i] + 7);
+  }
+  const char* env = std::getenv("IVME_SEED");
+  if (env != nullptr) return ParseSeedOrDie(env);
+  return fallback;
+}
 
 class Timer {
  public:
@@ -89,14 +135,21 @@ inline std::string JsonOutPath() {
 
 /// Collects named rows of metric/value pairs and, when IVME_BENCH_JSON is
 /// set, writes them as a JSON document on destruction:
-///   {"bench": "<name>", "rows": [{"name": ..., "<metric>": <value>, ...}]}
-/// Future PRs record these as BENCH_*.json trajectory points.
+///   {"bench": "<name>", "seed": <seed>, "rows": [{"name": ..., ...}]}
+/// (the "seed" field appears once SetSeed was called — every bench records
+/// the SeedFromArgs value so published runs are reproducible). Future PRs
+/// record these as BENCH_*.json trajectory points.
 class JsonReporter {
  public:
   explicit JsonReporter(std::string bench_name) : bench_name_(std::move(bench_name)) {}
 
   JsonReporter(const JsonReporter&) = delete;
   JsonReporter& operator=(const JsonReporter&) = delete;
+
+  void SetSeed(uint64_t seed) {
+    seed_ = seed;
+    has_seed_ = true;
+  }
 
   void Add(const std::string& row_name,
            std::vector<std::pair<std::string, double>> metrics) {
@@ -111,7 +164,11 @@ class JsonReporter {
       std::fprintf(stderr, "JsonReporter: cannot open %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench_name_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_name_.c_str());
+    if (has_seed_) {
+      std::fprintf(f, "  \"seed\": %llu,\n", static_cast<unsigned long long>(seed_));
+    }
+    std::fprintf(f, "  \"rows\": [\n");
     for (size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f, "    {\"name\": \"%s\"", rows_[i].first.c_str());
       for (const auto& [metric, value] : rows_[i].second) {
@@ -126,6 +183,8 @@ class JsonReporter {
 
  private:
   std::string bench_name_;
+  uint64_t seed_ = 0;
+  bool has_seed_ = false;
   std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>> rows_;
 };
 

@@ -15,6 +15,8 @@ using namespace ivme::bench;
 
 namespace {
 
+uint64_t g_seed = 23;  // --seed
+
 std::string StarQueryText(int i) {
   std::string head = "Q(";
   std::string body;
@@ -54,7 +56,7 @@ double MeasureUpdateSlope(int i, double eps) {
     }
     engine.Preprocess();
 
-    Rng rng(23);
+    Rng rng(g_seed);
     ResetCounters();
     const size_t pairs = 200;
     for (size_t p = 0; p < pairs; ++p) {
@@ -74,7 +76,8 @@ double MeasureUpdateSlope(int i, double eps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_seed = SeedFromArgs(argc, argv, 23);
   const double eps = 0.25;
   std::printf("Corollary 9: update exponent vs delta rank — star family "
               "Q(Y0..Yi)=R0(X,Y0),...,Ri(X,Yi), eps=%.2f\n", eps);

@@ -10,11 +10,12 @@
 using namespace ivme;
 using namespace ivme::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const uint64_t seed = SeedFromArgs(argc, argv, 1);
   const Value n = 240;
   const auto query = *ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
-  const auto r = workload::MatrixTuples(n, 0.5, 1);
-  const auto s = workload::MatrixTuples(n, 0.5, 2);
+  const auto r = workload::MatrixTuples(n, 0.5, seed);
+  const auto s = workload::MatrixTuples(n, 0.5, seed + 1);
   std::printf("Example 28: %lldx%lld matrix product, |R|=%zu |S|=%zu (N=%zu)\n",
               static_cast<long long>(n), static_cast<long long>(n), r.size(), s.size(),
               r.size() + s.size());

@@ -10,11 +10,12 @@
 using namespace ivme;
 using namespace ivme::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const uint64_t seed = SeedFromArgs(argc, argv, 1);
   const auto query = *ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
   const size_t n = 15000;
-  const auto r = workload::ZipfTuples(n, 2, 1, 2000, 1.1, 4000000, 1);
-  const auto s = workload::ZipfTuples(n, 2, 0, 2000, 1.1, 4000000, 2);
+  const auto r = workload::ZipfTuples(n, 2, 1, 2000, 1.1, 4000000, seed);
+  const auto s = workload::ZipfTuples(n, 2, 0, 2000, 1.1, 4000000, seed + 1);
   // A mixed stream against R: inserts drawn from the same Zipf key
   // distribution, deletes of live tuples.
   const auto stream = workload::MixedStream(
@@ -23,7 +24,7 @@ int main() {
         const Value key = static_cast<Value>(rng.Below(64));  // frequently heavy keys
         return Tuple{rng.Range(5000000, 9000000), key};
       },
-      7);
+      seed + 6);
 
   std::printf(
       "Figure 1 (right): dynamic trade-off — Q(A,C)=R(A,B),S(B,C), N=%zu, 8k-update stream\n",
@@ -34,6 +35,7 @@ int main() {
   PrintRule();
 
   JsonReporter json("fig1_dynamic_tradeoff");
+  json.SetSeed(seed);
   std::vector<double> update_us, delay_us;
   for (const double eps : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     EngineOptions opts;

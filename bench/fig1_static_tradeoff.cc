@@ -9,15 +9,18 @@
 using namespace ivme;
 using namespace ivme::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const uint64_t seed = SeedFromArgs(argc, argv, 1);
   const auto query = *ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
   const size_t n = 15000;  // tuples per relation
   // Zipf-skewed join keys: every θ threshold splits the keys nontrivially.
-  const auto r = workload::ZipfTuples(n, 2, 1, 2000, 1.1, 4000000, 1);
-  const auto s = workload::ZipfTuples(n, 2, 0, 2000, 1.1, 4000000, 2);
+  const auto r = workload::ZipfTuples(n, 2, 1, 2000, 1.1, 4000000, seed);
+  const auto s = workload::ZipfTuples(n, 2, 0, 2000, 1.1, 4000000, seed + 1);
 
-  std::printf("Figure 1 (middle): static trade-off — Q(A,C)=R(A,B),S(B,C), N=%zu, Zipf(1.1)\n",
-              2 * n);
+  std::printf(
+      "Figure 1 (middle): static trade-off — Q(A,C)=R(A,B),S(B,C), N=%zu, Zipf(1.1), "
+      "seed=%llu\n",
+      2 * n, static_cast<unsigned long long>(seed));
   PrintRule();
   std::printf("%5s | %14s | %14s | %14s | %12s\n", "eps", "preprocess(s)", "open(us)",
               "mean delay(us)", "view tuples");

@@ -175,7 +175,8 @@ void Report(const char* row_label, const Measurement& small, const Measurement& 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const uint64_t seed = SeedFromArgs(argc, argv, 11);
   struct Row {
     const char* label;
     const char* text;
@@ -204,17 +205,17 @@ int main() {
 
   for (const auto& row : rows) {
     const auto q = *ConjunctiveQuery::Parse(row.text);
-    const auto small = MeasureEngine(q, MakeData(q, n_small, 11), row.eps);
-    const auto big = MeasureEngine(q, MakeData(q, n_big, 11), row.eps);
+    const auto small = MeasureEngine(q, MakeData(q, n_small, seed), row.eps);
+    const auto big = MeasureEngine(q, MakeData(q, n_big, seed), row.eps);
     Report(row.label, small, big);
   }
   {
     const auto q = *ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
-    const auto small = MeasureFirstOrderIvm(q, MakeData(q, n_small, 11));
-    const auto big = MeasureFirstOrderIvm(q, MakeData(q, n_big, 11));
+    const auto small = MeasureFirstOrderIvm(q, MakeData(q, n_small, seed));
+    const auto big = MeasureFirstOrderIvm(q, MakeData(q, n_big, seed));
     Report("baseline FO-IVM (w=2 query)", small, big);
-    const auto nsmall = MeasureNaive(q, MakeData(q, n_small, 11));
-    const auto nbig = MeasureNaive(q, MakeData(q, n_big, 11));
+    const auto nsmall = MeasureNaive(q, MakeData(q, n_small, seed));
+    const auto nbig = MeasureNaive(q, MakeData(q, n_big, seed));
     Report("baseline naive recompute", nsmall, nbig);
   }
   PrintRule(100);

@@ -17,6 +17,8 @@ using namespace ivme::bench;
 
 namespace {
 
+uint64_t g_seed = 314159;  // --seed
+
 struct RoundCosts {
   double update_us = 0;  ///< amortized per vector-entry update
   double delay_us = 0;   ///< mean enumeration delay per output row
@@ -30,7 +32,7 @@ RoundCosts RunOmv(int n, double eps, int rounds) {
   Engine engine(query, opts);
   engine.Preprocess();
 
-  Rng rng(314159);
+  Rng rng(g_seed);
   // Dense-ish matrix: every column has ~n/2 entries (degree √N in N=n²/2).
   for (Value i = 0; i < n; ++i) {
     for (Value j = 0; j < n; ++j) {
@@ -71,7 +73,8 @@ RoundCosts RunOmv(int n, double eps, int rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_seed = SeedFromArgs(argc, argv, 314159);
   const int n = 300;  // N ≈ n²/2 matrix entries
   const int rounds = 12;
   std::printf("Figure 3: OMv Pareto frontier — Q(A)=R(A,B),S(B), %dx%d matrix, %d vector rounds\n",

@@ -75,25 +75,23 @@ Measurement Run(double eps, const std::vector<Tuple>& r, const std::vector<Tuple
 
 int main(int argc, char** argv) {
   Config config;
-  bool smoke = std::getenv("IVME_SMOKE") != nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  const bool smoke = bench::SmokeFromArgs(argc, argv);
+  const uint64_t seed = bench::SeedFromArgs(argc, argv, 1);
   if (smoke) {
     config.base_tuples = 2000;
     config.stream_length = 3000;
   }
 
   // Zipf-skewed base data: a few heavy join keys plus a long light tail.
-  const auto r = workload::ZipfTuples(config.base_tuples, 2, 1, 2000, 1.1, 4000000, 1);
-  const auto s = workload::ZipfTuples(config.base_tuples, 2, 0, 2000, 1.1, 4000000, 2);
+  const auto r = workload::ZipfTuples(config.base_tuples, 2, 1, 2000, 1.1, 4000000, seed);
+  const auto s = workload::ZipfTuples(config.base_tuples, 2, 0, 2000, 1.1, 4000000, seed + 1);
 
   // Hot-set skewed stream on R: 90% of inserts hit 16 hot tuples (so
   // repeated records merge), the rest draw fresh uniform tuples; 40% of
   // steps delete a live tuple.
   std::vector<Tuple> hot;
   {
-    Rng hot_rng(7);
+    Rng hot_rng(seed + 6);
     for (int i = 0; i < 16; ++i) {
       hot.push_back(Tuple{hot_rng.Range(0, 4000000), hot_rng.Range(0, 2000)});
     }
@@ -103,12 +101,13 @@ int main(int argc, char** argv) {
     return Tuple{rng.Range(0, 4000000), rng.Range(0, 2000)};
   };
   const auto stream =
-      workload::MixedStream("R", r, config.stream_length, 0.4, fresh, 11);
+      workload::MixedStream("R", r, config.stream_length, 0.4, fresh, seed + 10);
 
   const std::vector<double> epsilons = {0.0, 0.5, 1.0};
   const std::vector<size_t> batch_sizes = {1, 8, 64, 512};
 
   bench::JsonReporter json("micro_batch_update");
+  json.SetSeed(seed);
   std::printf("batched vs single-tuple maintenance, Q(A,C) = R(A,B), S(B,C); "
               "N0=%zu per relation, %zu updates\n",
               config.base_tuples, config.stream_length);

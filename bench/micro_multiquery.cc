@@ -78,15 +78,15 @@ struct Workload {
   size_t records = 0;
 };
 
-Workload MakeWorkload(const Config& config) {
+Workload MakeWorkload(const Config& config, uint64_t seed) {
   Workload w;
   // Zipf-skewed join key B engages the heavy/light machinery.
-  w.r = workload::ZipfTuples(config.base_tuples, 2, 1, 1500, 1.1, 3000000, 1);
-  w.s = workload::ZipfTuples(config.base_tuples, 2, 0, 1500, 1.1, 3000000, 2);
+  w.r = workload::ZipfTuples(config.base_tuples, 2, 1, 1500, 1.1, 3000000, seed);
+  w.s = workload::ZipfTuples(config.base_tuples, 2, 0, 1500, 1.1, 3000000, seed + 1);
   for (Value b = 0; b < 750; ++b) w.t.push_back(Tuple{b * 2});
 
   // Hot-set skewed mixed stream alternating R and S records.
-  Rng hot_rng(7);
+  Rng hot_rng(seed + 6);
   std::vector<Tuple> hot_r, hot_s;
   for (int i = 0; i < 16; ++i) {
     hot_r.push_back(Tuple{hot_rng.Range(0, 3000000), hot_rng.Range(0, 1500)});
@@ -101,9 +101,9 @@ Workload MakeWorkload(const Config& config) {
     return Tuple{rng.Range(0, 1500), rng.Range(0, 3000000)};
   };
   const auto stream_r =
-      workload::MixedStream("R", w.r, config.stream_length / 2, 0.35, fresh_r, 11);
+      workload::MixedStream("R", w.r, config.stream_length / 2, 0.35, fresh_r, seed + 10);
   const auto stream_s =
-      workload::MixedStream("S", w.s, config.stream_length / 2, 0.35, fresh_s, 12);
+      workload::MixedStream("S", w.s, config.stream_length / 2, 0.35, fresh_s, seed + 11);
   std::vector<workload::Update> merged;
   for (size_t i = 0; i < stream_r.size() || i < stream_s.size(); ++i) {
     if (i < stream_r.size()) merged.push_back(stream_r[i]);
@@ -217,19 +217,18 @@ Measurement RunIndependentEngines(const Config& config, const Workload& w,
 
 int main(int argc, char** argv) {
   Config config;
-  bool smoke = std::getenv("IVME_SMOKE") != nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  const bool smoke = bench::SmokeFromArgs(argc, argv);
+  const uint64_t seed = bench::SeedFromArgs(argc, argv, 1);
   if (smoke) {
     config.base_tuples = 1500;
     config.stream_length = 2400;
   }
 
-  const Workload w = MakeWorkload(config);
+  const Workload w = MakeWorkload(config, seed);
   const std::vector<size_t> query_counts = {1, 2, 4, 8};
 
   bench::JsonReporter json("micro_multiquery");
+  json.SetSeed(seed);
   std::printf("multi-query serving: shared-store catalog vs Q independent engines\n"
               "family: full/proj/join/semijoin over R(A,B), S(B,C), T(B); eps=0.5 b=%zu; "
               "N0=%zu per binary relation, %zu records\n",

@@ -89,10 +89,8 @@ Measurement Run(double eps, size_t shards, const Config& config, const std::vect
 
 int main(int argc, char** argv) {
   Config config;
-  bool smoke = std::getenv("IVME_SMOKE") != nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  const bool smoke = bench::SmokeFromArgs(argc, argv);
+  const uint64_t seed = bench::SeedFromArgs(argc, argv, 1);
   if (smoke) {
     config.base_tuples = 2000;
     config.stream_length = 3000;
@@ -100,8 +98,8 @@ int main(int argc, char** argv) {
 
   // Zipf-skewed base data (same family as micro_batch_update): a few heavy
   // join keys plus a long light tail, on the shared key B.
-  const auto r = workload::ZipfTuples(config.base_tuples, 2, 1, 2000, 1.1, 4000000, 1);
-  const auto s = workload::ZipfTuples(config.base_tuples, 2, 0, 2000, 1.1, 4000000, 2);
+  const auto r = workload::ZipfTuples(config.base_tuples, 2, 1, 2000, 1.1, 4000000, seed);
+  const auto s = workload::ZipfTuples(config.base_tuples, 2, 0, 2000, 1.1, 4000000, seed + 1);
 
   // Ingestion stream on R: a small hot set takes a share of the inserts
   // (repeated records consolidate), the rest draw a fresh A against a
@@ -112,7 +110,7 @@ int main(int argc, char** argv) {
   // them on the O(1) heavy path and they only dilute the comparison.
   std::vector<Tuple> hot;
   {
-    Rng hot_rng(7);
+    Rng hot_rng(seed + 6);
     for (int i = 0; i < 16; ++i) {
       hot.push_back(Tuple{hot_rng.Range(0, 4000000), hot_rng.Range(8, 2000)});
     }
@@ -127,13 +125,14 @@ int main(int argc, char** argv) {
     return Tuple{rng.Range(0, 4000000), b};
   };
   const auto stream =
-      workload::MixedStream("R", r, config.stream_length, 0.4, fresh, 11);
+      workload::MixedStream("R", r, config.stream_length, 0.4, fresh, seed + 10);
   const auto batches = workload::ChunkStream(stream, config.batch_size);
 
   const std::vector<double> epsilons = {0.0, 0.5, 1.0};
   const std::vector<size_t> shard_counts = {0, 1, 2, 4, 8};  // 0 = plain Engine
 
   bench::JsonReporter json("micro_sharded_update");
+  json.SetSeed(seed);
   std::printf("sharded vs unsharded batched maintenance, Q(A,C) = R(A,B), S(B,C); "
               "N0=%zu per relation, %zu updates, batch %zu\n",
               config.base_tuples, config.stream_length, config.batch_size);

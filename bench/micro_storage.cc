@@ -8,15 +8,18 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/common/rng.h"
 #include "src/storage/relation.h"
 
 namespace ivme {
 namespace {
 
+uint64_t g_seed = 1;  // --seed N (stripped before Google Benchmark sees argv)
+
 void BM_RelationInsert(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  Rng rng(1);
+  Rng rng(g_seed);
   for (auto _ : state) {
     state.PauseTiming();
     Relation r(Schema({0, 1}), "R");
@@ -35,7 +38,7 @@ void BM_RelationLookup(benchmark::State& state) {
   for (size_t i = 0; i < n; ++i) {
     r.Apply(Tuple{static_cast<Value>(i), static_cast<Value>(i % 97)}, 1);
   }
-  Rng rng(2);
+  Rng rng(g_seed + 1);
   Mult sink = 0;
   for (auto _ : state) {
     const Value key = static_cast<Value>(rng.Below(n));
@@ -70,7 +73,7 @@ void BM_IndexCountForKey(benchmark::State& state) {
   for (size_t i = 0; i < n; ++i) {
     r.Apply(Tuple{static_cast<Value>(i), static_cast<Value>(i % 97)}, 1);
   }
-  Rng rng(3);
+  Rng rng(g_seed + 2);
   size_t sink = 0;
   for (auto _ : state) {
     sink += r.index(idx).CountForKey(Tuple{static_cast<Value>(rng.Below(97))});
@@ -90,7 +93,7 @@ void BM_IndexScanPerTuple(benchmark::State& state) {
     r.Apply(Tuple{static_cast<Value>(i), static_cast<Value>(i % 97)}, 1);
   }
   size_t sink = 0, scanned = 0;
-  Rng rng(4);
+  Rng rng(g_seed + 3);
   for (auto _ : state) {
     const Tuple key{static_cast<Value>(rng.Below(97))};
     for (const auto* link = r.index(idx).FirstForKey(key); link != nullptr;
@@ -112,7 +115,17 @@ BENCHMARK(BM_IndexScanPerTuple)->Arg(9700)->Arg(97000);
 // figure benches use bench_common.h's JsonReporter, which has its own
 // schema and honors the same variable — point each run at its own file.)
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
+  ivme::g_seed = ivme::bench::SeedFromArgs(argc, argv, 1);
+  // Strip --seed so Google Benchmark does not reject it as unrecognized.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) continue;
+    args.push_back(argv[i]);
+  }
   std::string out_flag, format_flag;
   const char* json_path = std::getenv("IVME_BENCH_JSON");
   if (json_path != nullptr && *json_path != '\0') {

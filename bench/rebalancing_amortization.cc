@@ -14,7 +14,8 @@
 using namespace ivme;
 using namespace ivme::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const uint64_t seed = SeedFromArgs(argc, argv, 99);
   const auto query = *ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
   EngineOptions opts;
   opts.epsilon = 0.5;
@@ -23,7 +24,7 @@ int main() {
   engine.Preprocess();  // start empty: the stream builds the database
 
   // Phase 1: grow to 30k tuples (Zipf keys). Phase 2: delete most of them.
-  Rng rng(99);
+  Rng rng(seed);
   std::vector<workload::Update> stream;
   std::vector<Tuple> live_r, live_s;
   for (int i = 0; i < 30000; ++i) {

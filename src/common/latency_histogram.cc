@@ -1,0 +1,101 @@
+#include "src/common/latency_histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ivme {
+
+namespace {
+
+/// Bucket index of a duration: floor(log2(nanos)), i.e. the position of the
+/// highest set bit; 0ns shares bucket 0 with 1ns.
+size_t BucketOf(uint64_t nanos) {
+  size_t bucket = 0;
+  while (nanos > 1) {
+    nanos >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void LatencyHistogram::RecordNanos(uint64_t nanos) {
+  ++buckets_[BucketOf(nanos)];
+  ++count_;
+  sum_nanos_ += nanos;
+  if (nanos < min_nanos_) min_nanos_ = nanos;
+  if (nanos > max_nanos_) max_nanos_ = nanos;
+}
+
+void LatencyHistogram::RecordSeconds(double seconds) {
+  if (seconds < 0) seconds = 0;
+  RecordNanos(static_cast<uint64_t>(seconds * 1e9));
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_nanos_ += other.sum_nanos_;
+  if (other.min_nanos_ < min_nanos_) min_nanos_ = other.min_nanos_;
+  if (other.max_nanos_ > max_nanos_) max_nanos_ = other.max_nanos_;
+}
+
+void LatencyHistogram::Reset() { *this = LatencyHistogram(); }
+
+double LatencyHistogram::MaxSeconds() const { return count_ == 0 ? 0 : max_nanos_ * 1e-9; }
+
+double LatencyHistogram::MinSeconds() const { return count_ == 0 ? 0 : min_nanos_ * 1e-9; }
+
+double LatencyHistogram::MeanSeconds() const {
+  return count_ == 0 ? 0 : sum_nanos_ * 1e-9 / static_cast<double>(count_);
+}
+
+double LatencyHistogram::TotalSeconds() const { return sum_nanos_ * 1e-9; }
+
+double LatencyHistogram::PercentileSeconds(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0) return min_nanos_ * 1e-9;
+  if (q >= 1) return max_nanos_ * 1e-9;  // the endpoints are tracked exactly
+  // Rank of the q-th recording (1-based), then the bucket holding it.
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double first = static_cast<double>(seen) + 1.0;
+    seen += buckets_[i];
+    if (rank > static_cast<double>(seen)) continue;
+    // Linear interpolation inside [2^i, 2^{i+1}) by intra-bucket position.
+    const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+    const double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
+    const double frac =
+        buckets_[i] > 1 ? (rank - first) / static_cast<double>(buckets_[i] - 1) : 0.0;
+    double nanos = lo + (hi - lo) * frac;
+    // Exact extrema bound the estimate (so q=1 reports the true max).
+    if (nanos > static_cast<double>(max_nanos_)) nanos = static_cast<double>(max_nanos_);
+    if (nanos < static_cast<double>(min_nanos_)) nanos = static_cast<double>(min_nanos_);
+    return nanos * 1e-9;
+  }
+  return max_nanos_ * 1e-9;
+}
+
+std::string LatencyHistogram::Summary() const {
+  if (count_ == 0) return "count=0";
+  return "count=" + std::to_string(count_) + " p50=" + FormatDuration(PercentileSeconds(0.5)) +
+         " p99=" + FormatDuration(PercentileSeconds(0.99)) +
+         " max=" + FormatDuration(MaxSeconds());
+}
+
+}  // namespace ivme

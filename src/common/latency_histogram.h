@@ -1,0 +1,90 @@
+// Fixed-bucket log-scale latency histogram for tail-latency accounting on
+// the maintenance hot paths. Bucket i covers durations in [2^i, 2^{i+1})
+// nanoseconds, so the whole range from <1ns to ~18s fits in 64 counters
+// with a constant-time Record and no allocation — cheap enough to time
+// every ApplyUpdate/ApplyBatch. Histograms merge bucketwise (like
+// CostCounters aggregate across threads), which is how the sharded layers
+// combine per-shard recordings after a ThreadPool barrier.
+//
+// Threading: a histogram is NOT internally synchronized. Each owner (a
+// QueryCatalog, a sharded facade) records on the thread that drives it;
+// cross-thread merges must happen at quiescent points — after a
+// ThreadPool::Run has returned, the completion handshake orders the
+// workers' recordings before the reader.
+#ifndef IVME_COMMON_LATENCY_HISTOGRAM_H_
+#define IVME_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ivme {
+
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  /// Records one duration. Sub-nanosecond (and zero) durations land in
+  /// bucket 0.
+  void RecordNanos(uint64_t nanos);
+
+  /// Convenience for callers timing with double seconds (bench::Timer).
+  void RecordSeconds(double seconds);
+
+  /// Adds `other`'s buckets, count, and extrema into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Exact extrema and mean over everything recorded (not bucket-quantized).
+  double MaxSeconds() const;
+  double MinSeconds() const;
+  double MeanSeconds() const;
+  double TotalSeconds() const;
+
+  /// The q-quantile (q in [0, 1]) estimated from the buckets: finds the
+  /// bucket holding the q-th recording and interpolates linearly inside it.
+  /// Exact extrema clamp the estimate, so Percentile(1) == MaxSeconds().
+  /// Returns 0 on an empty histogram.
+  double PercentileSeconds(double q) const;
+
+  /// "count=N p50=… p99=… max=…" with µs/ms/s units picked per value;
+  /// "count=0" when nothing was recorded. For shell/bench display.
+  std::string Summary() const;
+
+ private:
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_nanos_ = 0;
+  uint64_t min_nanos_ = UINT64_MAX;
+  uint64_t max_nanos_ = 0;
+};
+
+/// RAII: records the scope's wall-clock duration into a histogram on exit
+/// (the idiom used around ApplyUpdate/ApplyBatch on every serving layer).
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(LatencyHistogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+  ~ScopedLatencyTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->RecordNanos(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_COMMON_LATENCY_HISTOGRAM_H_

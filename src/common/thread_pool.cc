@@ -43,8 +43,16 @@ void ThreadPool::Run(const std::vector<std::function<void()>>& tasks) {
   if (queue_.empty()) return;
   next_task_ = 0;
   in_flight_ = queue_.size();
+  first_error_ = nullptr;
   work_available_.notify_all();
   batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+  // Rethrow the first task failure at the barrier, on the calling thread —
+  // an exception escaping a worker would std::terminate the process.
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::move(first_error_);
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -54,8 +62,14 @@ void ThreadPool::WorkerLoop() {
     if (shutdown_) return;
     const std::function<void()>* task = queue_[next_task_++];
     lock.unlock();
-    (*task)();
+    std::exception_ptr error;
+    try {
+      (*task)();
+    } catch (...) {
+      error = std::current_exception();
+    }
     lock.lock();
+    if (error != nullptr && first_error_ == nullptr) first_error_ = std::move(error);
     if (--in_flight_ == 0) batch_done_.notify_one();
   }
 }

@@ -3,12 +3,15 @@
 // returns when all of them have finished, so callers never observe a
 // half-applied fan-out. The completion handshake (mutex + condition
 // variable) orders everything the workers wrote — shard state, thread-local
-// cost counters — before Run() returns on the caller.
+// cost counters — before Run() returns on the caller. A task that throws
+// does not take the process down: the exception is captured on the worker
+// and the first one rethrown from Run() after the barrier.
 #ifndef IVME_COMMON_THREAD_POOL_H_
 #define IVME_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,6 +34,13 @@ class ThreadPool {
   /// Executes every task and blocks until the last one finishes. Tasks must
   /// be independent (they run concurrently in unspecified order) and must
   /// not call Run() on the same pool. Empty tasks are skipped.
+  ///
+  /// Exceptions: a throwing task never escapes its worker thread (which
+  /// would std::terminate the process). Every task still runs to the
+  /// barrier; the FIRST captured exception is rethrown here on the calling
+  /// thread, later ones are dropped. The pool stays usable afterwards. In
+  /// inline mode an exception propagates directly (nothing after the
+  /// throwing task runs) — the caller sees a throw from Run() either way.
   void Run(const std::vector<std::function<void()>>& tasks);
 
   /// Worker threads backing the pool (0 = inline execution).
@@ -49,6 +59,7 @@ class ThreadPool {
   std::vector<const std::function<void()>*> queue_;  ///< tasks of the active Run
   size_t next_task_ = 0;     ///< queue_ index handed out next
   size_t in_flight_ = 0;     ///< queued + executing tasks of the active Run
+  std::exception_ptr first_error_;  ///< first exception of the active Run
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

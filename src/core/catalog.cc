@@ -66,6 +66,7 @@ void QueryCatalog::Preprocess() {
 }
 
 bool QueryCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
+  const ScopedLatencyTimer timer(&update_latency_);
   IVME_CHECK_MSG(live_, "Preprocess before updating");
   for (const auto& query : queries_) {
     IVME_CHECK_MSG(query->mode() == EvalMode::kDynamic, "updates need dynamic mode");
@@ -89,6 +90,7 @@ BatchResult QueryCatalog::ApplyBatch(const UpdateBatch& updates) {
 }
 
 BatchResult QueryCatalog::ApplyBatch(const Update* updates, size_t count) {
+  const ScopedLatencyTimer timer(&batch_latency_);
   IVME_CHECK_MSG(live_, "Preprocess before updating");
   for (const auto& query : queries_) {
     IVME_CHECK_MSG(query->mode() == EvalMode::kDynamic, "updates need dynamic mode");

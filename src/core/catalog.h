@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/latency_histogram.h"
 #include "src/core/maintained_query.h"
 #include "src/data/consolidate.h"
 #include "src/data/update.h"
@@ -107,6 +108,18 @@ class QueryCatalog {
   const RelationStore& store() const { return *store_; }
   const std::shared_ptr<RelationStore>& store_ptr() const { return store_; }
 
+  /// Wall-clock latency distributions of every ApplyUpdate call
+  /// (update_latency) and every ApplyBatch call (batch_latency) served by
+  /// this catalog — the tail-latency ledger the deamortized rebalancing
+  /// mode is judged by. Recorded on the driving thread; the sharded layers
+  /// merge the per-shard histograms at barrier points.
+  const LatencyHistogram& update_latency() const { return update_latency_; }
+  const LatencyHistogram& batch_latency() const { return batch_latency_; }
+  void ResetLatency() {
+    update_latency_.Reset();
+    batch_latency_.Reset();
+  }
+
   /// Queries in registration order (for iteration in shells/benches).
   const std::vector<std::unique_ptr<MaintainedQuery>>& queries() const { return queries_; }
 
@@ -123,6 +136,8 @@ class QueryCatalog {
   std::vector<std::unique_ptr<MaintainedQuery>> queries_;
   NetDeltaConsolidator consolidator_;
   bool live_ = false;
+  LatencyHistogram update_latency_;
+  LatencyHistogram batch_latency_;
 
   // Batch scratch (capacity persists across batches).
   RelationStore::DeltaResult delta_scratch_;

@@ -92,6 +92,12 @@ class Engine : public StorageProvider {
 
   Stats GetStats() const { return query_->GetStats(); }
 
+  /// Latency distributions of this engine's ApplyUpdate / ApplyBatch calls
+  /// (recorded by the underlying catalog on the driving thread).
+  const LatencyHistogram& update_latency() const { return catalog_.update_latency(); }
+  const LatencyHistogram& batch_latency() const { return catalog_.batch_latency(); }
+  void ResetLatency() { catalog_.ResetLatency(); }
+
   const CompiledPlan& plan() const { return query_->plan(); }
 
   /// Renders every view tree and indicator tree (tests, debugging).

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "src/common/check.h"
+#include "src/common/counters.h"
 #include "src/core/delta.h"
 #include "src/core/materialize.h"
 
@@ -180,6 +181,12 @@ void MaintainedQuery::ApplySingle(const std::string& relation, const Tuple& tupl
   for (size_t si : group->slot_indices) {
     ApplyUpdateToSlot(slots_[si], tuple, mult, support_change);
   }
+  // Incremental mode: donate this update's migration budget once, after
+  // every slot of the relation group has applied (footnote-2 sequencing
+  // must not interleave with migration moves).
+  if (options_.enable_rebalancing && options_.rebalance_mode == RebalanceMode::kIncremental) {
+    ProgressIncrementalRebalance(1);
+  }
   ++stats_.updates;
 }
 
@@ -283,6 +290,19 @@ void MaintainedQuery::PropagateIndicatorChange(IndicatorTriple* triple, const Tu
 }
 
 void MaintainedQuery::Rebalance(Slot& slot, const Tuple& tuple) {
+  if (options_.rebalance_mode == RebalanceMode::kIncremental) {
+    // Deamortized: retarget M/θ and snapshot the migration queue only; the
+    // bounded-work slice runs after the whole update has applied
+    // (ApplySingle / FinishBatch). The minor checks below use the possibly
+    // just-retargeted θ, so the in-flight delta lands on the correct side
+    // of the new threshold without waiting for its key's migration turn.
+    StartIncrementalRebalanceIfNeeded();
+    const double th = theta();
+    for (auto& info : slot.infos) {
+      MinorCheckKey(info, info.partition->KeyOf(tuple), th);
+    }
+    return;
+  }
   if (MajorRebalanceIfNeeded()) return;
   const double th = theta();
   for (auto& info : slot.infos) {
@@ -290,21 +310,83 @@ void MaintainedQuery::Rebalance(Slot& slot, const Tuple& tuple) {
   }
 }
 
-bool MaintainedQuery::MajorRebalanceIfNeeded() {
+size_t MaintainedQuery::TargetM() const {
   // After a single-tuple update at most one doubling/halving applies; a
-  // batch can move N past several powers of two, hence the loops. The
-  // expensive repartition+recompute runs once either way.
-  bool changed = false;
-  while (n_ >= m_) {
-    m_ *= 2;
-    changed = true;
+  // batch can move N past several powers of two, hence the loops.
+  size_t target = m_;
+  while (n_ >= target) target *= 2;
+  while (n_ < target / 4) target = target / 2 >= 2 ? target / 2 - 1 : 1;
+  return target;
+}
+
+bool MaintainedQuery::MajorRebalanceIfNeeded() {
+  const size_t target = TargetM();
+  if (target == m_) return false;
+  // The expensive repartition+recompute runs once however far N moved.
+  m_ = target;
+  MajorRebalancing();
+  return true;
+}
+
+void MaintainedQuery::StartIncrementalRebalanceIfNeeded() {
+  const size_t target = TargetM();
+  if (target == m_) return;
+  ++stats_.major_rebalances;
+  const double old_theta = theta();
+  m_ = target;
+  rebalance_task_.Begin(old_theta, theta());
+  // Snapshot every partition key into the migration queue — a flat value
+  // copy (no joins, no view work); the strict reclassification against the
+  // new θ happens in later bounded-work slices against live counts. A key
+  // deleted before its turn is skipped at migration time; keys created
+  // after the snapshot start light and are policed by the per-update minor
+  // checks, which already run under the new θ.
+  for (size_t si = 0; si < slots_.size(); ++si) {
+    Slot& slot = slots_[si];
+    for (size_t ii = 0; ii < slot.infos.size(); ++ii) {
+      const SlotPartition& info = slot.infos[ii];
+      const auto& index = info.partition->base()->index(info.partition->base_index_id());
+      for (const Relation::BucketNode* b = index.FirstKey(); b != nullptr; b = b->next) {
+        rebalance_task_.Enqueue(static_cast<uint32_t>(si), static_cast<uint32_t>(ii), b->key);
+      }
+    }
   }
-  while (n_ < m_ / 4) {
-    m_ = m_ / 2 >= 2 ? m_ / 2 - 1 : 1;
-    changed = true;
+}
+
+void MaintainedQuery::ProgressIncrementalRebalance(size_t records) {
+  if (!rebalance_task_.active()) return;
+  const uint64_t budget =
+      RebalanceTask::SliceBudget(theta(), records, options_.rebalance_budget);
+  uint64_t spent = 0;
+  while (spent < budget) {
+    const RebalanceTask::WorkItem* item = rebalance_task_.Next();
+    if (item == nullptr) {
+      rebalance_task_.Finish();
+      break;
+    }
+    spent += MigrateKey(*item);
   }
-  if (changed) MajorRebalancing();
-  return changed;
+  if (spent > 0) rebalance_task_.NoteSlice(spent);
+}
+
+uint64_t MaintainedQuery::MigrateKey(const RebalanceTask::WorkItem& item) {
+  Slot& slot = slots_[item.slot];
+  SlotPartition& info = slot.infos[item.info];
+  const uint64_t steps_before = LocalCounters().delta_steps;
+  const size_t base_count = info.partition->BaseCountForKey(item.key);
+  bool flipped = false;
+  if (base_count > 0) {
+    const bool in_light = info.partition->KeyInLight(item.key);
+    const bool want_light = static_cast<double>(base_count) < theta();
+    if (in_light != want_light) {
+      MoveKeyAcrossThreshold(info, item.key, want_light);
+      flipped = true;
+    }
+  }
+  rebalance_task_.NoteScannedKey(flipped);
+  // +1: even an unflipped scan charges a basic step, so a slice over a
+  // mostly-clean queue still terminates against its budget.
+  return LocalCounters().delta_steps - steps_before + 1;
 }
 
 void MaintainedQuery::MinorCheckKey(SlotPartition& info, const Tuple& key, double th) {
@@ -418,11 +500,17 @@ void MaintainedQuery::ApplyBatchDeltaToSlot(Slot& slot,
   }
 
   // 5. Deferred minor rebalancing: a single heavy/light threshold check per
-  // touched partition key (Figure 22, amortized over the whole batch).
-  // Skipped when the batch already broke the size invariant — the major
-  // rebalance at batch end strictly repartitions everything, so minor
-  // moves done now (against a θ about to change) would be thrown away.
-  if (options_.enable_rebalancing && m_ / 4 <= n_ && n_ < m_) {
+  // touched partition key (Figure 22, amortized over the whole batch). In
+  // amortized mode it is skipped when the batch already broke the size
+  // invariant — the major rebalance at batch end strictly repartitions
+  // everything, so minor moves done now (against a θ about to change)
+  // would be thrown away. In incremental mode the sweep always runs: no
+  // wholesale repartition follows, and the sweep is what keeps every
+  // batch-touched key inside the bands of the current θ (part of the
+  // migration's θ-envelope invariant).
+  if (options_.enable_rebalancing &&
+      (options_.rebalance_mode == RebalanceMode::kIncremental ||
+       (m_ / 4 <= n_ && n_ < m_))) {
     const double th = theta();
     for (size_t i = 0; i < slot.infos.size(); ++i) {
       for (const auto* snap = key_scratch_[i]->First(); snap != nullptr; snap = snap->next) {
@@ -434,8 +522,17 @@ void MaintainedQuery::ApplyBatchDeltaToSlot(Slot& slot,
 
 void MaintainedQuery::FinishBatch(size_t records, size_t net_entries) {
   // The major-rebalance trigger runs once per batch, so a batch cannot
-  // thrash partitions across the size-invariant boundary.
-  if (options_.enable_rebalancing) MajorRebalanceIfNeeded();
+  // thrash partitions across the size-invariant boundary. A batch donates
+  // its record count to the migration budget — a b-record batch advances
+  // an in-flight migration as far as b single-tuple updates would.
+  if (options_.enable_rebalancing) {
+    if (options_.rebalance_mode == RebalanceMode::kIncremental) {
+      StartIncrementalRebalanceIfNeeded();
+      ProgressIncrementalRebalance(records);
+    } else {
+      MajorRebalanceIfNeeded();
+    }
+  }
   stats_.updates += records;
   ++stats_.batches;
   stats_.batch_net_entries += net_entries;
@@ -443,16 +540,21 @@ void MaintainedQuery::FinishBatch(size_t records, size_t net_entries) {
 
 void MaintainedQuery::MinorRebalancing(SlotPartition& info, const Tuple& key, bool insert) {
   ++stats_.minor_rebalances;
-  // Snapshot σ_{keys=key} R; the loop mutates only the light part.
+  MoveKeyAcrossThreshold(info, key, insert);
+}
+
+void MaintainedQuery::MoveKeyAcrossThreshold(SlotPartition& info, const Tuple& key,
+                                             bool to_light) {
+  // Snapshot σ_{keys=key} R into the reused scratch; the loop mutates only
+  // the light part (and the views over it).
   const Relation* base = info.partition->base();
-  std::vector<std::pair<Tuple, Mult>> tuples;
+  move_scratch_.clear();
   const auto& index = base->index(info.partition->base_index_id());
   for (const auto* link = index.FirstForKey(key); link != nullptr; link = link->next) {
-    tuples.emplace_back(link->entry->key, link->entry->value.mult);
+    move_scratch_.emplace_back(link->entry->key, link->entry->value.mult);
   }
-  for (const auto& [tuple, mult] : tuples) {
-    const Mult delta = insert ? mult : -mult;
-    ApplyLightDelta(info, tuple, delta);
+  for (const auto& [tuple, mult] : move_scratch_) {
+    ApplyLightDelta(info, tuple, to_light ? mult : -mult);
   }
 }
 
@@ -476,6 +578,10 @@ void MaintainedQuery::RecomputeThresholdViews() {
 
 QueryStats MaintainedQuery::GetStats() const {
   QueryStats stats = stats_;
+  stats.rebalance_slices = rebalance_task_.stats().slices;
+  stats.rebalance_restarts = rebalance_task_.stats().restarts;
+  stats.migrated_keys = rebalance_task_.stats().migrated_keys;
+  stats.rebalance_pending = rebalance_task_.pending();
   stats.num_trees = plan_.trees.size();
   stats.num_triples = plan_.triples.size();
   stats.view_tuples = 0;
@@ -536,8 +642,41 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
   }
 
   // Partition bands (Definition 11, loose conditions) and the union /
-  // domain-partition conditions.
+  // domain-partition conditions. While an incremental migration is in
+  // flight the bands relax to its θ envelope: a not-yet-migrated key still
+  // sits in the bands of an earlier target, a migrated or minor-checked key
+  // in the bands of the current one — so every key must satisfy the light
+  // band under SOME θ ≤ high_theta and the heavy band under SOME
+  // θ ≥ low_theta. The classification-independent conditions (light part
+  // mirrors base multiplicities and misses no tuple of a light key) stay
+  // exact throughout.
   const double th = theta();
+  const bool migrating = rebalance_task_.active();
+  const double th_light = migrating ? rebalance_task_.high_theta() : th;
+  const double th_heavy = migrating ? rebalance_task_.low_theta() : th;
+  if (migrating) {
+    if (options_.rebalance_mode != RebalanceMode::kIncremental) {
+      return fail("migration task active outside incremental mode");
+    }
+    if (!(rebalance_task_.low_theta() <= th && th <= rebalance_task_.high_theta())) {
+      return fail("current θ outside the migration's θ envelope");
+    }
+    // The queue itself: every pending item addresses a live slot/partition
+    // and carries a key of that partition's key arity. (A pending key may
+    // have been deleted since the snapshot — MigrateKey skips those — so
+    // only structural validity is checked.)
+    for (size_t p = 0; p < rebalance_task_.pending(); ++p) {
+      const RebalanceTask::WorkItem& item = rebalance_task_.pending_item(p);
+      if (item.slot >= slots_.size() ||
+          item.info >= slots_[item.slot].infos.size()) {
+        return fail("migration queue item addresses an unknown slot partition");
+      }
+      const SlotPartition& info = slots_[item.slot].infos[item.info];
+      if (item.key.size() != info.partition->keys().size()) {
+        return fail("migration queue key arity differs from the partition keys");
+      }
+    }
+  }
   for (auto& slot : slots_) {
     for (auto& part : slot.partitions) {
       const Relation* light = part->light();
@@ -548,8 +687,9 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
       }
       const auto& light_index = light->index(part->light_index_id());
       for (const Relation::BucketNode* b = light_index.FirstKey(); b != nullptr; b = b->next) {
-        if (static_cast<double>(b->value.count) >= 1.5 * th) {
-          return fail("light part degree >= 3/2·θ in " + light->name());
+        if (static_cast<double>(b->value.count) >= 1.5 * th_light) {
+          return fail("light part degree >= 3/2·θ in " + light->name() +
+                      (migrating ? " (θ envelope high)" : ""));
         }
         if (b->value.count != part->BaseCountForKey(b->key)) {
           return fail("light part misses tuples of a light key in " + light->name());
@@ -559,8 +699,9 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
       const auto& base_index = slot.storage->index(part->base_index_id());
       for (const Relation::BucketNode* b = base_index.FirstKey(); b != nullptr; b = b->next) {
         if (!part->KeyInLight(b->key) &&
-            static_cast<double>(b->value.count) < 0.5 * th) {
-          return fail("heavy key with degree < θ/2 in " + slot.storage->name());
+            static_cast<double>(b->value.count) < 0.5 * th_heavy) {
+          return fail("heavy key with degree < θ/2 in " + slot.storage->name() +
+                      (migrating ? " (θ envelope low)" : ""));
         }
       }
     }

@@ -16,6 +16,7 @@
 
 #include "src/baselines/brute_force.h"  // QueryResult
 #include "src/core/builder.h"
+#include "src/core/rebalance_task.h"
 #include "src/core/view_node.h"
 #include "src/data/update.h"
 #include "src/enumerate/enumerator.h"
@@ -24,6 +25,23 @@
 #include "src/storage/tuple_map.h"
 
 namespace ivme {
+
+/// How a violated size invariant ⌊M/4⌋ ≤ N < M is repaired.
+enum class RebalanceMode {
+  /// The paper's protocol: the violating update synchronously strict-
+  /// repartitions every slot and recomputes all threshold-dependent views —
+  /// amortized O(N^ε) per update, but an O(N)-latency spike on that update.
+  kAmortized,
+
+  /// Deamortized: M/θ retarget immediately, then the repartition spreads
+  /// over the following updates in bounded-work slices (see RebalanceTask).
+  /// Same results and same loose partition invariants at every quiescent
+  /// point. The triggering update still pays an O(#partition keys) key
+  /// snapshot (a flat value copy — far below the full rebuild it replaces,
+  /// but not O(N^ε)); every later update is bounded by its slice budget
+  /// plus at most one atomic key move.
+  kIncremental,
+};
 
 /// Engine configuration (shared by MaintainedQuery, Engine, and the
 /// catalogs; one instance per registered query).
@@ -38,6 +56,15 @@ struct EngineOptions {
   /// drift from their thresholds, which voids the amortized guarantees but
   /// keeps results correct).
   bool enable_rebalancing = true;
+
+  /// Major-rebalance strategy (ignored when rebalancing is disabled).
+  RebalanceMode rebalance_mode = RebalanceMode::kAmortized;
+
+  /// Incremental mode only: basic-step budget per ingested record, in units
+  /// of θ, that each update/batch donates to an in-flight migration
+  /// (RebalanceTask::SliceBudget). Higher drains migrations faster at the
+  /// cost of a higher worst-case update latency.
+  double rebalance_budget = 8.0;
 };
 
 /// Per-query maintenance statistics.
@@ -46,7 +73,12 @@ struct QueryStats {
   size_t batches = 0;  ///< batches that touched this query
   size_t batch_net_entries = 0;  ///< consolidated entries applied by batches
   size_t minor_rebalances = 0;
-  size_t major_rebalances = 0;
+  size_t major_rebalances = 0;  ///< size-invariant repairs (either mode)
+  // Incremental-mode migration accounting (all zero in amortized mode).
+  size_t rebalance_slices = 0;    ///< bounded-work slices executed
+  size_t rebalance_restarts = 0;  ///< retargets while a migration was active
+  size_t migrated_keys = 0;       ///< keys strictly reclassified by migrations
+  size_t rebalance_pending = 0;   ///< keys still queued (0 when quiescent)
   size_t num_trees = 0;
   size_t num_triples = 0;
   size_t view_tuples = 0;  ///< total tuples stored across all views
@@ -137,11 +169,18 @@ class MaintainedQuery : public StorageProvider {
   /// Renders every view tree and indicator tree (tests, debugging).
   std::string DebugString() const;
 
+  /// True while an incremental major rebalance is migrating keys.
+  bool rebalance_in_progress() const { return rebalance_task_.active(); }
+
   /// Verifies all internal invariants: partition bands (Definition 11), the
   /// size invariant, view-equals-join-of-children for every view, H = All ∧
   /// ¬L for every triple, and mirror-equals-shared for self-join
-  /// occurrences. Returns false and fills `error` on the first violation.
-  /// O(database) — test use only.
+  /// occurrences. While an incremental migration is in flight, the band
+  /// checks relax to the migration's θ envelope (each key must sit in the
+  /// bands of SOME threshold the migration has targeted — the in-migration
+  /// double-structure condition) and the pending queue itself is validated.
+  /// Returns false and fills `error` on the first violation. O(database) —
+  /// test use only.
   bool CheckInvariants(std::string* error);
 
  private:
@@ -212,10 +251,24 @@ class MaintainedQuery : public StorageProvider {
   void ApplyBatchDeltaToSlot(Slot& slot, const RelationStore::DeltaResult& delta);
   void Rebalance(Slot& slot, const Tuple& tuple);
   void MinorCheckKey(SlotPartition& info, const Tuple& key, double th);
+  /// The M the size invariant demands for the current N (doubling/halving
+  /// as often as needed); returns m_ unchanged when the invariant holds.
+  size_t TargetM() const;
   /// Restores ⌊M/4⌋ ≤ N < M, doubling/halving M as often as needed, with at
   /// most one repartition+recompute. Returns true when M changed.
   bool MajorRebalanceIfNeeded();
+  /// Incremental mode: retargets M/θ and (re)snapshots the partition keys
+  /// into rebalance_task_ when the size invariant broke. No view work.
+  void StartIncrementalRebalanceIfNeeded();
+  /// Runs one bounded-work migration slice (budget scaled by `records`).
+  void ProgressIncrementalRebalance(size_t records);
+  /// Strictly reclassifies one snapshot key against the current θ; returns
+  /// the basic steps charged.
+  uint64_t MigrateKey(const RebalanceTask::WorkItem& item);
   void MinorRebalancing(SlotPartition& info, const Tuple& key, bool insert);
+  /// Moves every base tuple of `key` into (`to_light`) or out of the light
+  /// part, propagating through light trees, H, and main trees.
+  void MoveKeyAcrossThreshold(SlotPartition& info, const Tuple& key, bool to_light);
   void MajorRebalancing();
   void RecomputeThresholdViews();
 
@@ -230,6 +283,8 @@ class MaintainedQuery : public StorageProvider {
   size_t n_ = 0;
   size_t m_ = 1;
   QueryStats stats_;
+  RebalanceTask rebalance_task_;  ///< in-flight incremental migration state
+  std::vector<std::pair<Tuple, Mult>> move_scratch_;  ///< reused by key moves
   std::vector<KeySnapshot> snap_scratch_;  ///< reused by ApplyDeltaToSlot
   /// Batch scratch, reused across batches (pools and capacity persist):
   /// per-partition key snapshots plus the materialized light delta.

@@ -1,0 +1,65 @@
+#include "src/core/rebalance_task.h"
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+void RebalanceTask::Begin(double old_theta, double new_theta) {
+  if (active_) {
+    // Retarget: the envelope keeps every threshold seen since the first
+    // trigger (keys not yet rescanned may still sit in any of their bands).
+    ++stats_.restarts;
+  } else {
+    low_theta_ = old_theta;
+    high_theta_ = old_theta;
+  }
+  active_ = true;
+  if (new_theta < low_theta_) low_theta_ = new_theta;
+  if (new_theta > high_theta_) high_theta_ = new_theta;
+  if (old_theta < low_theta_) low_theta_ = old_theta;
+  if (old_theta > high_theta_) high_theta_ = old_theta;
+  queue_.clear();
+  next_ = 0;
+}
+
+void RebalanceTask::Enqueue(uint32_t slot, uint32_t info, const Tuple& key) {
+  IVME_CHECK_MSG(active_, "Enqueue outside an active migration");
+  queue_.push_back(WorkItem{slot, info, key});
+}
+
+const RebalanceTask::WorkItem* RebalanceTask::Next() {
+  if (next_ >= queue_.size()) return nullptr;
+  return &queue_[next_++];
+}
+
+void RebalanceTask::Finish() {
+  active_ = false;
+  low_theta_ = 0;
+  high_theta_ = 0;
+  queue_.clear();
+  next_ = 0;
+}
+
+uint64_t RebalanceTask::SliceBudget(double theta, size_t records,
+                                    double per_record_theta_budget) {
+  if (records == 0) records = 1;
+  double budget = per_record_theta_budget * theta * static_cast<double>(records);
+  // Floor: at θ ≈ 1 (ε = 0) a fractional budget would starve the queue; one
+  // key's strict check costs O(1) plus its (small) move, so a few dozen
+  // steps per record always drains the queue within O(M) updates.
+  const double floor = 32.0 * static_cast<double>(records);
+  if (budget < floor) budget = floor;
+  return static_cast<uint64_t>(budget);
+}
+
+void RebalanceTask::NoteSlice(uint64_t steps) {
+  ++stats_.slices;
+  if (steps > stats_.max_slice_steps) stats_.max_slice_steps = steps;
+}
+
+void RebalanceTask::NoteScannedKey(bool flipped) {
+  ++stats_.scanned_keys;
+  if (flipped) ++stats_.migrated_keys;
+}
+
+}  // namespace ivme

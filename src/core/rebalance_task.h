@@ -1,0 +1,133 @@
+// Deamortized major rebalancing: the migration state machine behind
+// EngineOptions::rebalance_mode == kIncremental.
+//
+// The paper's O(N^ε) single-update guarantee (Theorem 4) is amortized: the
+// update that breaks the size invariant ⌊M/4⌋ ≤ N < M pays for a
+// stop-the-world StrictRepartition of every slot plus a full recompute of
+// the threshold-dependent views — an O(N^{1+(w−1)ε})-latency spike. The
+// standard deamortization spreads that rebuild over the following Θ(M)
+// updates in bounded-work slices. The residual trigger-time cost is the
+// key SNAPSHOT below — an O(#partition keys) flat value copy (no joins, no
+// hashing, no view work; ~30× cheaper than the rebuild it replaces in the
+// micro_latency_tail measurements) — so the worst single update drops from
+// the full rebuild to snapshot + one slice + one atomic key move, not to a
+// strict O(N^ε); a retarget mid-migration re-pays the snapshot.
+//
+// The trick that makes slicing safe here: the maintenance protocol (Figure
+// 19) is correct for ANY heavy/light classification of the partition keys —
+// it reads "light" as "present in the light part", and every structure
+// (light parts, light trees, H = All ∧ ∄L, main trees) is maintained by
+// delta propagation from whatever classification currently holds. Strict
+// θ-classification is only needed for the complexity bounds, not for
+// correctness. So instead of rebuilding a shadow copy of every
+// θ-dependent view, a major rebalance in incremental mode
+//   1. retargets M (and hence θ = M^ε) immediately — the size invariant is
+//      restored at once, and all subsequent per-update decisions use the
+//      new θ;
+//   2. snapshots the partition keys of every slot into this task's queue
+//      (a flat value copy, no joins, no view work);
+//   3. on every subsequent update/batch, pops keys and STRICTLY
+//      reclassifies them against the new θ, moving each flipped key
+//      through the same delta machinery minor rebalancing uses — until a
+//      CostCounters budget of O(θ · records) basic steps is spent.
+// Between slices the engine is fully consistent: enumeration and
+// maintenance read the one true set of structures, and an in-flight delta
+// that touches a not-yet-migrated key is handled by the per-update minor
+// check under the new θ (the "forward to the under-construction structure"
+// rule — old and new structure share their physical representation, split
+// by the migration frontier). A second invariant violation mid-migration
+// (e.g. deletes shrinking N back across the M/4 floor) retargets M again
+// and restarts the scan over the then-current keys.
+//
+// During a migration each key satisfies the Definition 11 bands for SOME
+// threshold in the envelope [low_theta, high_theta] of every θ the
+// migration has targeted; MaintainedQuery::CheckInvariants validates
+// exactly that relaxed condition while a task is active.
+#ifndef IVME_CORE_REBALANCE_TASK_H_
+#define IVME_CORE_REBALANCE_TASK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/data/tuple.h"
+
+namespace ivme {
+
+/// Cumulative migration statistics (survive across migrations).
+struct RebalanceTaskStats {
+  size_t slices = 0;         ///< bounded-work slices executed
+  size_t restarts = 0;       ///< retargets while a migration was active
+  size_t migrated_keys = 0;  ///< keys whose classification was flipped
+  size_t scanned_keys = 0;   ///< keys popped and checked (incl. unflipped)
+  uint64_t max_slice_steps = 0;  ///< worst basic-step cost of one slice
+};
+
+/// The pending work and budget policy of one in-flight incremental major
+/// rebalance. Pure bookkeeping: MaintainedQuery owns the partitions and
+/// executes the actual key moves; the task owns the key queue, the θ
+/// envelope for invariant checking, and the per-slice budget arithmetic.
+class RebalanceTask {
+ public:
+  /// One queued reclassification: the key of partition `info` of slot
+  /// `slot` (indices into MaintainedQuery's slot/info vectors, stable for
+  /// the lifetime of the query).
+  struct WorkItem {
+    uint32_t slot = 0;
+    uint32_t info = 0;
+    Tuple key;
+  };
+
+  bool active() const { return active_; }
+  size_t pending() const { return queue_.size() - next_; }
+
+  /// The i-th still-pending item (0 ≤ i < pending()); for invariant checks.
+  const WorkItem& pending_item(size_t i) const { return queue_[next_ + i]; }
+
+  /// θ envelope of the active migration (meaningful only while active):
+  /// every partition key satisfies the loose Definition 11 bands for some
+  /// threshold in [low_theta, high_theta].
+  double low_theta() const { return low_theta_; }
+  double high_theta() const { return high_theta_; }
+
+  /// Opens a migration from `old_theta` to `new_theta` (or retargets the
+  /// active one — the stale queue is dropped and the caller re-snapshots;
+  /// the θ envelope keeps absorbing every threshold seen since the first
+  /// trigger, because unmigrated keys may still sit in bands of any of
+  /// them).
+  void Begin(double old_theta, double new_theta);
+
+  /// Queues one key for strict reclassification. Only between Begin and the
+  /// first Next of the migration.
+  void Enqueue(uint32_t slot, uint32_t info, const Tuple& key);
+
+  /// Pops the next pending key; nullptr when the queue is drained (the
+  /// caller then calls Finish). The pointer stays valid until the next
+  /// Next/Begin/Finish call.
+  const WorkItem* Next();
+
+  /// Closes the migration: clears the queue and collapses the θ envelope.
+  void Finish();
+
+  /// Basic-step budget of one slice: `per_record_theta_budget · θ` per
+  /// ingested record, with a small floor so progress is made even at θ ≈ 1.
+  static uint64_t SliceBudget(double theta, size_t records, double per_record_theta_budget);
+
+  /// Slice accounting (stats().slices / max_slice_steps).
+  void NoteSlice(uint64_t steps);
+  void NoteScannedKey(bool flipped);
+
+  const RebalanceTaskStats& stats() const { return stats_; }
+
+ private:
+  bool active_ = false;
+  double low_theta_ = 0;
+  double high_theta_ = 0;
+  std::vector<WorkItem> queue_;
+  size_t next_ = 0;
+  RebalanceTaskStats stats_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_REBALANCE_TASK_H_

@@ -155,6 +155,7 @@ void ShardedCatalog::Preprocess() {
 }
 
 bool ShardedCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
+  const ScopedLatencyTimer timer(&update_latency_);
   return shards_[ShardOf(relation, tuple)]->ApplyUpdate(relation, tuple, mult);
 }
 
@@ -163,6 +164,7 @@ BatchResult ShardedCatalog::ApplyBatch(const UpdateBatch& updates) {
 }
 
 BatchResult ShardedCatalog::ApplyBatch(const Update* updates, size_t count) {
+  const ScopedLatencyTimer timer(&batch_latency_);
   if (shards_.size() == 1) return shards_[0]->ApplyBatch(updates, count);
 
   // Consolidate ONCE at the splitter (shared NetDeltaConsolidator), then
@@ -241,6 +243,24 @@ size_t ShardedCatalog::store_size() const {
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->store().TotalSize();
   return total;
+}
+
+LatencyHistogram ShardedCatalog::AggregateUpdateLatency() const {
+  LatencyHistogram merged;
+  for (const auto& shard : shards_) merged.Merge(shard->update_latency());
+  return merged;
+}
+
+LatencyHistogram ShardedCatalog::AggregateBatchLatency() const {
+  LatencyHistogram merged;
+  for (const auto& shard : shards_) merged.Merge(shard->batch_latency());
+  return merged;
+}
+
+void ShardedCatalog::ResetLatency() {
+  update_latency_.Reset();
+  batch_latency_.Reset();
+  for (auto& shard : shards_) shard->ResetLatency();
 }
 
 bool ShardedCatalog::CheckInvariants(std::string* error) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/latency_histogram.h"
 #include "src/common/thread_pool.h"
 #include "src/core/catalog.h"
 #include "src/data/consolidate.h"
@@ -100,6 +101,22 @@ class ShardedCatalog {
   QueryCatalog& shard(size_t s) { return *shards_[s]; }
   size_t num_threads() const { return pool_ == nullptr ? 0 : pool_->num_threads(); }
 
+  /// Latency distributions of the facade's own ApplyUpdate / ApplyBatch
+  /// calls — what a caller of this layer experiences: consolidation,
+  /// routing, and the ThreadPool barrier included.
+  const LatencyHistogram& update_latency() const { return update_latency_; }
+  const LatencyHistogram& batch_latency() const { return batch_latency_; }
+
+  /// Per-shard apply latencies merged bucketwise across all K shards (like
+  /// AggregateCounters). Call at a quiescent point — after ApplyBatch has
+  /// returned, the pool barrier orders the workers' recordings.
+  LatencyHistogram AggregateUpdateLatency() const;
+  LatencyHistogram AggregateBatchLatency() const;
+
+  /// Clears the facade-level and every shard's histograms (e.g. to exclude
+  /// a bulk-load phase from tail numbers). Quiescent points only.
+  void ResetLatency();
+
   /// Total store size across shards (each relation counted once per shard
   /// slice, i.e. the unsharded |D|).
   size_t store_size() const;
@@ -128,6 +145,9 @@ class ShardedCatalog {
   /// merged-enumeration mode). Parallel to QueryNames() order.
   std::vector<std::string> root_free_names_;
   std::vector<bool> root_free_;
+
+  LatencyHistogram update_latency_;  ///< facade-level ApplyUpdate timings
+  LatencyHistogram batch_latency_;   ///< facade-level ApplyBatch timings
 
   // ApplyBatch scratch (capacity persists across batches).
   NetDeltaConsolidator consolidator_;

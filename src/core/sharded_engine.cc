@@ -120,6 +120,7 @@ void ShardedEngine::Preprocess() {
 }
 
 bool ShardedEngine::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
+  const ScopedLatencyTimer timer(&update_latency_);
   return shards_[ShardOf(relation, tuple)]->ApplyUpdate(relation, tuple, mult);
 }
 
@@ -128,6 +129,7 @@ Engine::BatchResult ShardedEngine::ApplyBatch(const UpdateBatch& updates) {
 }
 
 Engine::BatchResult ShardedEngine::ApplyBatch(const Update* updates, size_t count) {
+  const ScopedLatencyTimer timer(&batch_latency_);
   if (shards_.size() == 1) return shards_[0]->ApplyBatch(updates, count);
 
   // Split by root-value hash. Equal tuples land in the same sub-batch, so
@@ -194,11 +196,33 @@ Engine::Stats ShardedEngine::GetStats() const {
     total.batch_net_entries += stats.batch_net_entries;
     total.minor_rebalances += stats.minor_rebalances;
     total.major_rebalances += stats.major_rebalances;
+    total.rebalance_slices += stats.rebalance_slices;
+    total.rebalance_restarts += stats.rebalance_restarts;
+    total.migrated_keys += stats.migrated_keys;
+    total.rebalance_pending += stats.rebalance_pending;
     total.num_trees += stats.num_trees;
     total.num_triples += stats.num_triples;
     total.view_tuples += stats.view_tuples;
   }
   return total;
+}
+
+LatencyHistogram ShardedEngine::AggregateUpdateLatency() const {
+  LatencyHistogram merged;
+  for (const auto& shard : shards_) merged.Merge(shard->update_latency());
+  return merged;
+}
+
+LatencyHistogram ShardedEngine::AggregateBatchLatency() const {
+  LatencyHistogram merged;
+  for (const auto& shard : shards_) merged.Merge(shard->batch_latency());
+  return merged;
+}
+
+void ShardedEngine::ResetLatency() {
+  update_latency_.Reset();
+  batch_latency_.Reset();
+  for (auto& shard : shards_) shard->ResetLatency();
 }
 
 size_t ShardedEngine::database_size() const {

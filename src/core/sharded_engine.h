@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/latency_histogram.h"
 #include "src/common/thread_pool.h"
 #include "src/core/engine.h"
 #include "src/enumerate/merged_enumerator.h"
@@ -105,6 +106,22 @@ class ShardedEngine {
   /// so totals grow with K; per-shard values via shard(i).GetStats()).
   Engine::Stats GetStats() const;
 
+  /// Latency distributions of the facade's own ApplyUpdate / ApplyBatch
+  /// calls — what a caller of this layer experiences, routing and the
+  /// ThreadPool barrier included.
+  const LatencyHistogram& update_latency() const { return update_latency_; }
+  const LatencyHistogram& batch_latency() const { return batch_latency_; }
+
+  /// Per-shard apply latencies merged bucketwise across all K shards (like
+  /// AggregateCounters). Call at a quiescent point — after ApplyBatch has
+  /// returned, the pool barrier orders the workers' recordings.
+  LatencyHistogram AggregateUpdateLatency() const;
+  LatencyHistogram AggregateBatchLatency() const;
+
+  /// Clears the facade-level and every shard's histograms (e.g. to exclude
+  /// a bulk-load phase from tail numbers). Quiescent points only.
+  void ResetLatency();
+
   /// Checks every shard's internal invariants plus the routing invariant
   /// (each shard only stores tuples that hash to it). O(database).
   bool CheckInvariants(std::string* error);
@@ -135,6 +152,9 @@ class ShardedEngine {
   std::vector<std::string> router_relations_;
   std::vector<int> router_root_pos_;
   bool root_is_free_ = true;  ///< free root ⇒ disjoint shard results
+
+  LatencyHistogram update_latency_;  ///< facade-level ApplyUpdate timings
+  LatencyHistogram batch_latency_;   ///< facade-level ApplyBatch timings
 
   // ApplyBatch scratch (capacity persists across batches).
   std::vector<UpdateBatch> split_scratch_;

@@ -11,6 +11,19 @@
 // insert/erase churn on the update hot path costs a pointer pop/push instead
 // of a malloc/free per entry. Slabs are only returned to the OS when the map
 // itself is destroyed; node addresses stay stable for the node's lifetime.
+//
+// Growth is DEAMORTIZED: instead of a stop-the-world rehash (an O(size)
+// latency spike on whichever insert crosses the load factor — views reach
+// O(N^{1+(w−1)ε}) entries, so a single rehash can dwarf every other
+// per-update cost), the table keeps the old bucket array alongside the new
+// one and every subsequent insert/erase migrates a constant number of old
+// buckets. Lookups probe the new table first, then the shrinking old one.
+// The migration always finishes long before the next growth trigger
+// (doubling capacity at load factor 3/4 leaves ≥ old_capacity/2 inserts of
+// headroom while migration needs old_capacity/kMigrateChunk of them), so at
+// most two tables ever exist. The residual per-growth spike is the bucket
+// array allocation itself — O(capacity) pointer zeroing, a small constant
+// per entry — not the O(size) node relink.
 #ifndef IVME_STORAGE_TUPLE_MAP_H_
 #define IVME_STORAGE_TUPLE_MAP_H_
 
@@ -57,25 +70,49 @@ class TupleMap {
   Node* First() const { return head_; }
 
   /// O(1) expected lookup; nullptr when absent. Reuses the key's cached
-  /// hash when it is already known.
+  /// hash when it is already known. During an in-flight growth the
+  /// not-yet-migrated part of the old table is probed as well.
   Node* Find(const Tuple& key) const {
     const uint64_t h = key.Hash();
     for (Node* n = buckets_[IndexFor(h)]; n != nullptr; n = n->chain) {
       if (n->hash == h && n->key == key) return n;
     }
+    if (!old_buckets_.empty()) {
+      for (Node* n = old_buckets_[h & (old_buckets_.size() - 1)]; n != nullptr;
+           n = n->chain) {
+        if (n->hash == h && n->key == key) return n;
+      }
+    }
     return nullptr;
   }
 
   /// Finds or default-constructs the entry for `key`. Returns the node and
-  /// whether it was newly inserted.
+  /// whether it was newly inserted. New entries always land in the newest
+  /// bucket array; each insert also migrates a constant number of old
+  /// buckets, so growth never causes an O(size) rehash on one insert.
   std::pair<Node*, bool> Emplace(const Tuple& key) {
     const uint64_t h = key.Hash();
-    const size_t b = IndexFor(h);
-    for (Node* n = buckets_[b]; n != nullptr; n = n->chain) {
-      if (n->hash == h && n->key == key) return {n, false};
+    for (Node* n = buckets_[IndexFor(h)]; n != nullptr; n = n->chain) {
+      if (n->hash == h && n->key == key) {
+        // Hits advance the migration too: a multiplicity-bump-heavy phase
+        // (mostly re-touching existing keys) must still drain the old
+        // array instead of paying the two-table probe indefinitely.
+        if (!old_buckets_.empty()) MigrateStep();
+        return {n, false};
+      }
     }
-    if (size_ + 1 > buckets_.size() * 3 / 4) {
-      Grow();
+    if (!old_buckets_.empty()) {
+      for (Node* n = old_buckets_[h & (old_buckets_.size() - 1)]; n != nullptr;
+           n = n->chain) {
+        if (n->hash == h && n->key == key) {
+          MigrateStep();
+          return {n, false};
+        }
+      }
+      MigrateStep();
+    } else if (size_ + 1 > buckets_.size() * 3 / 4) {
+      BeginGrow();
+      MigrateStep();
     }
     Node* n = AllocNode();
     n->key = key;
@@ -89,18 +126,26 @@ class TupleMap {
   }
 
   /// Unlinks and frees a node previously returned by Find/Emplace. O(1)
-  /// expected (walks only the node's hash chain).
+  /// expected (walks the node's hash chain in whichever table holds it).
   void Erase(Node* node) {
-    const size_t b = IndexFor(node->hash);
-    Node** slot = &buckets_[b];
-    while (*slot != node) {
-      IVME_CHECK_MSG(*slot != nullptr, "node not present in its hash chain");
+    Node** slot = &buckets_[IndexFor(node->hash)];
+    while (*slot != node && *slot != nullptr) {
       slot = &(*slot)->chain;
+    }
+    if (*slot != node) {
+      // Not yet migrated: the node still chains in the old table.
+      IVME_CHECK_MSG(!old_buckets_.empty(), "node not present in its hash chain");
+      slot = &old_buckets_[node->hash & (old_buckets_.size() - 1)];
+      while (*slot != node) {
+        IVME_CHECK_MSG(*slot != nullptr, "node not present in its hash chain");
+        slot = &(*slot)->chain;
+      }
     }
     *slot = node->chain;
     Unlink(node);
     --size_;
     FreeNode(node);
+    if (!old_buckets_.empty()) MigrateStep();
   }
 
   /// Removes all entries. Node storage is recycled, not released.
@@ -114,7 +159,13 @@ class TupleMap {
     head_ = tail_ = nullptr;
     size_ = 0;
     buckets_.assign(kInitialBuckets, nullptr);
+    old_buckets_.clear();
+    old_buckets_.shrink_to_fit();
+    migrate_pos_ = 0;
   }
+
+  /// True while a growth migration is in flight (tests/introspection).
+  bool rehash_in_progress() const { return !old_buckets_.empty(); }
 
  private:
   static constexpr size_t kInitialBuckets = 16;  // power of two
@@ -176,17 +227,51 @@ class TupleMap {
     }
   }
 
-  void Grow() {
-    std::vector<Node*> old = std::move(buckets_);
-    buckets_.assign(old.size() * 2, nullptr);
-    for (Node* n = head_; n != nullptr; n = n->next) {
-      const size_t b = IndexFor(n->hash);
-      n->chain = buckets_[b];
-      buckets_[b] = n;
+  /// Buckets migrated per insert/erase while a growth is in flight. The
+  /// load-factor headroom after a doubling (≥ capacity/2 inserts before the
+  /// next trigger) divided by capacity/kMigrateChunk migration steps leaves
+  /// a 2× safety margin, so at most two bucket arrays ever coexist (the
+  /// IVME_CHECK in BeginGrow enforces it).
+  static constexpr size_t kMigrateChunk = 4;
+
+  /// Retires the current bucket array and installs one twice its size. The
+  /// nodes stay chained in the old array until MigrateStep moves them —
+  /// this call is O(new capacity) for the pointer-array allocation only,
+  /// never O(size) node relinking.
+  void BeginGrow() {
+    IVME_CHECK_MSG(old_buckets_.empty(), "growth triggered before migration finished");
+    old_buckets_ = std::move(buckets_);
+    buckets_.assign(old_buckets_.size() * 2, nullptr);
+    migrate_pos_ = 0;
+  }
+
+  /// Moves up to kMigrateChunk old buckets' chains into the new array;
+  /// releases the old array when the last bucket is drained.
+  void MigrateStep() {
+    size_t moved = 0;
+    while (moved < kMigrateChunk && migrate_pos_ < old_buckets_.size()) {
+      Node* n = old_buckets_[migrate_pos_];
+      old_buckets_[migrate_pos_] = nullptr;
+      while (n != nullptr) {
+        Node* next = n->chain;
+        const size_t b = IndexFor(n->hash);
+        n->chain = buckets_[b];
+        buckets_[b] = n;
+        n = next;
+      }
+      ++migrate_pos_;
+      ++moved;
+    }
+    if (migrate_pos_ >= old_buckets_.size()) {
+      old_buckets_.clear();
+      old_buckets_.shrink_to_fit();
+      migrate_pos_ = 0;
     }
   }
 
   std::vector<Node*> buckets_;
+  std::vector<Node*> old_buckets_;  ///< retired array, drains via MigrateStep
+  size_t migrate_pos_ = 0;          ///< first not-yet-migrated old bucket
   size_t size_ = 0;
   Node* head_ = nullptr;
   Node* tail_ = nullptr;

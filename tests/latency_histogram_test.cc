@@ -1,0 +1,120 @@
+// LatencyHistogram: bucket placement, percentile estimation, merge
+// semantics, and the summary rendering used by the shell and benches.
+#include "src/common/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace ivme {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MaxSeconds(), 0.0);
+  EXPECT_EQ(h.MinSeconds(), 0.0);
+  EXPECT_EQ(h.MeanSeconds(), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(0.5), 0.0);
+  EXPECT_EQ(h.Summary(), "count=0");
+}
+
+TEST(LatencyHistogramTest, ExactExtremaAndMean) {
+  LatencyHistogram h;
+  h.RecordNanos(1000);    // 1us
+  h.RecordNanos(3000);    // 3us
+  h.RecordNanos(500000);  // 0.5ms
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.MinSeconds(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 5e-4);
+  EXPECT_DOUBLE_EQ(h.MeanSeconds(), (1000 + 3000 + 500000) * 1e-9 / 3.0);
+  EXPECT_DOUBLE_EQ(h.TotalSeconds(), 504000 * 1e-9);
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketTheDistribution) {
+  LatencyHistogram h;
+  // 99 fast recordings around 1µs, one enormous outlier at 1s.
+  for (int i = 0; i < 99; ++i) h.RecordNanos(1000 + static_cast<uint64_t>(i));
+  h.RecordNanos(1000000000);
+  // p50 stays in the fast bucket (2^10 ≤ ns < 2^11).
+  const double p50 = h.PercentileSeconds(0.5);
+  EXPECT_GE(p50, 1.0e-6);
+  EXPECT_LT(p50, 2.1e-6);
+  // The max (and p100) is the exact outlier, not a bucket boundary.
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 1.0);
+  // p99.9 of 100 samples lands on the outlier's bucket but is clamped to
+  // the exact max.
+  EXPECT_LE(h.PercentileSeconds(0.999), 1.0);
+  EXPECT_GT(h.PercentileSeconds(0.999), 0.5);
+}
+
+TEST(LatencyHistogramTest, PercentileIsMonotoneInQ) {
+  LatencyHistogram h;
+  for (uint64_t ns = 1; ns < 4000000; ns = ns * 3 + 7) h.RecordNanos(ns);
+  double prev = -1;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.PercentileSeconds(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (uint64_t ns : {100u, 900u, 70000u}) {
+    a.RecordNanos(ns);
+    combined.RecordNanos(ns);
+  }
+  for (uint64_t ns : {40u, 2000000u}) {
+    b.RecordNanos(ns);
+    combined.RecordNanos(ns);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.MaxSeconds(), combined.MaxSeconds());
+  EXPECT_DOUBLE_EQ(a.MinSeconds(), combined.MinSeconds());
+  EXPECT_DOUBLE_EQ(a.MeanSeconds(), combined.MeanSeconds());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.PercentileSeconds(q), combined.PercentileSeconds(q)) << q;
+  }
+}
+
+TEST(LatencyHistogramTest, ZeroAndSubNanosecondDurationsLandInBucketZero) {
+  LatencyHistogram h;
+  h.RecordNanos(0);
+  h.RecordSeconds(0.0);
+  h.RecordSeconds(-1.0);  // clamped
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.MaxSeconds(), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.RecordNanos(12345);
+  h.Reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.Summary(), "count=0");
+}
+
+TEST(LatencyHistogramTest, SummaryPicksUnits) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.RecordNanos(1500);  // 1.5us
+  const std::string summary = h.Summary();
+  EXPECT_NE(summary.find("count=100"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("p50="), std::string::npos) << summary;
+  EXPECT_NE(summary.find("us"), std::string::npos) << summary;
+}
+
+TEST(LatencyHistogramTest, ScopedTimerRecords) {
+  LatencyHistogram h;
+  {
+    ScopedLatencyTimer timer(&h);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace ivme

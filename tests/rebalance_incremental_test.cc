@@ -1,0 +1,437 @@
+// Deamortized (incremental) major rebalancing: differential fuzzing of
+// RebalanceMode::kIncremental against kAmortized and brute force, with the
+// internal invariants — including the in-migration θ-envelope relaxation —
+// asserted after every step. Covers random single-tuple streams, randomly
+// chunked batches, deletes that shrink N back across the M/4 floor while a
+// migration is still in flight (forcing retarget/restart), and the sharded
+// K ∈ {2, 3} paths where every shard progresses its own migration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/baselines/brute_force.h"
+#include "src/core/engine.h"
+#include "src/core/sharded_engine.h"
+#include "src/query/classify.h"
+#include "tests/support/catalog.h"
+#include "tests/support/random_queries.h"
+
+namespace ivme {
+namespace {
+
+using testing::MustParse;
+using testing::RandomHierarchicalQuery;
+using testing::RandomQueryOptions;
+
+std::string DiffResults(const QueryResult& expected, const QueryResult& actual,
+                        const char* who) {
+  std::ostringstream out;
+  for (const auto& [tuple, mult] : expected) {
+    auto it = actual.find(tuple);
+    if (it == actual.end()) {
+      out << who << " missing " << tuple.ToString() << " (mult " << mult << "); ";
+    } else if (it->second != mult) {
+      out << who << " tuple " << tuple.ToString() << " mult " << it->second << " expected "
+          << mult << "; ";
+    }
+  }
+  for (const auto& [tuple, mult] : actual) {
+    if (expected.find(tuple) == expected.end()) {
+      out << who << " spurious " << tuple.ToString() << " (mult " << mult << "); ";
+    }
+  }
+  return out.str();
+}
+
+/// An amortized engine, an incremental engine, and a plain Database mirror
+/// fed the same accepted updates; checks compare both engines against brute
+/// force and run both engines' internal invariants (the incremental one
+/// exercises the θ-envelope relaxation whenever a migration is in flight).
+class DualModeHarness {
+ public:
+  DualModeHarness(const ConjunctiveQuery& q, double eps, double budget = 8.0)
+      : query_(q),
+        amortized_(q, MakeOptions(eps, RebalanceMode::kAmortized, budget)),
+        incremental_(q, MakeOptions(eps, RebalanceMode::kIncremental, budget)) {
+    for (const auto& name : query_.RelationNames()) {
+      for (const auto& atom : query_.atoms()) {
+        if (atom.relation == name) {
+          mirror_.AddRelation(name, atom.schema);
+          break;
+        }
+      }
+    }
+  }
+
+  static EngineOptions MakeOptions(double eps, RebalanceMode mode, double budget = 8.0) {
+    EngineOptions opts;
+    opts.epsilon = eps;
+    opts.mode = EvalMode::kDynamic;
+    opts.rebalance_mode = mode;
+    opts.rebalance_budget = budget;
+    return opts;
+  }
+
+  const ConjunctiveQuery& query() const { return query_; }
+  Engine& incremental() { return incremental_; }
+
+  void Load(const std::string& relation, const Tuple& tuple) {
+    amortized_.LoadTuple(relation, tuple, 1);
+    incremental_.LoadTuple(relation, tuple, 1);
+    mirror_.Find(relation)->Apply(tuple, 1);
+  }
+
+  void Preprocess() {
+    amortized_.Preprocess();
+    incremental_.Preprocess();
+  }
+
+  void Update(const std::string& relation, const Tuple& tuple, Mult mult) {
+    const bool a = amortized_.ApplyUpdate(relation, tuple, mult);
+    const bool b = incremental_.ApplyUpdate(relation, tuple, mult);
+    ASSERT_EQ(a, b) << "modes disagree on accepting " << relation << tuple.ToString();
+    if (a) mirror_.Find(relation)->Apply(tuple, mult);
+  }
+
+  void UpdateBatch(const std::vector<ivme::Update>& batch) {
+    const auto a = amortized_.ApplyBatch(batch);
+    const auto b = incremental_.ApplyBatch(batch);
+    ASSERT_EQ(a.applied, b.applied);
+    ASSERT_EQ(a.rejected, b.rejected);
+    ASSERT_EQ(a.rejected, 0u) << "harness batches must be valid";
+    for (const auto& u : batch) mirror_.Find(u.relation)->Apply(u.tuple, u.mult);
+  }
+
+  /// Both engines' invariants; "" on success.
+  std::string CheckInvariants() {
+    std::string error;
+    if (!amortized_.CheckInvariants(&error)) return "amortized invariant: " + error;
+    if (!incremental_.CheckInvariants(&error)) return "incremental invariant: " + error;
+    return "";
+  }
+
+  /// Invariants plus three-way result equality (each mode vs brute force).
+  std::string FullCheck() {
+    std::string error = CheckInvariants();
+    if (!error.empty()) return error;
+    const QueryResult expected = BruteForceEvaluate(query_, mirror_);
+    error = DiffResults(expected, amortized_.EvaluateToMap(), "amortized");
+    if (!error.empty()) return error;
+    return DiffResults(expected, incremental_.EvaluateToMap(), "incremental");
+  }
+
+ private:
+  ConjunctiveQuery query_;
+  Engine amortized_;
+  Engine incremental_;
+  Database mirror_;
+};
+
+size_t ArityOf(const ConjunctiveQuery& q, const std::string& name) {
+  for (const auto& atom : q.atoms()) {
+    if (atom.relation == name) return atom.schema.size();
+  }
+  return 0;
+}
+
+class IncrementalFuzzTest : public ::testing::TestWithParam<int> {};
+
+// Random hierarchical queries × random single-tuple streams, incremental vs
+// amortized vs brute force, invariants after EVERY update (so every
+// intermediate migration state is validated, not just quiescent points).
+TEST_P(IncrementalFuzzTest, SingleUpdateStream) {
+  Rng rng(0xDEA0000ull + static_cast<uint64_t>(GetParam()));
+  const auto q = RandomHierarchicalQuery(rng, RandomQueryOptions{});
+  ASSERT_TRUE(IsHierarchical(q)) << q.ToString();
+  const double eps = std::vector<double>{0.0, 0.3, 0.5, 1.0}[rng.Below(4)];
+  DualModeHarness m(q, eps);
+
+  const Value domain = static_cast<Value>(2 + rng.Below(4));
+  const auto names = q.RelationNames();
+  for (const auto& name : names) {
+    const int count = static_cast<int>(rng.Below(25));
+    for (int i = 0; i < count; ++i) {
+      Tuple t;
+      for (size_t j = 0; j < ArityOf(q, name); ++j) t.PushBack(rng.Range(0, domain));
+      m.Load(name, t);
+    }
+  }
+  m.Preprocess();
+  ASSERT_EQ(m.FullCheck(), "") << q.ToString() << " eps=" << eps << " (preprocess)";
+
+  for (int step = 0; step < 120; ++step) {
+    const auto& name = names[rng.Below(names.size())];
+    Tuple t;
+    for (size_t j = 0; j < ArityOf(q, name); ++j) t.PushBack(rng.Range(0, domain));
+    m.Update(name, t, rng.Chance(0.4) ? -1 : 1);
+    ASSERT_EQ(m.CheckInvariants(), "")
+        << q.ToString() << " eps=" << eps << " step=" << step;
+    if (step % 10 == 9) {
+      ASSERT_EQ(m.FullCheck(), "") << q.ToString() << " eps=" << eps << " step=" << step;
+    }
+  }
+  EXPECT_EQ(m.FullCheck(), "") << q.ToString() << " eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzzTest, ::testing::Range(0, 20));
+
+class IncrementalBatchFuzzTest : public ::testing::TestWithParam<int> {};
+
+// Randomly chunked batches (deletes drawn from the live multiset, so every
+// chunk is valid under net-delta consolidation) through both modes, with
+// per-chunk invariant + result checks.
+TEST_P(IncrementalBatchFuzzTest, RandomlyChunkedStream) {
+  Rng rng(0xDEAB000ull + static_cast<uint64_t>(GetParam()));
+  const auto q = RandomHierarchicalQuery(rng, RandomQueryOptions{});
+  ASSERT_TRUE(IsHierarchical(q)) << q.ToString();
+  const double eps = std::vector<double>{0.0, 0.3, 0.5, 1.0}[rng.Below(4)];
+  DualModeHarness m(q, eps);
+
+  const Value domain = static_cast<Value>(2 + rng.Below(4));
+  const auto names = q.RelationNames();
+  std::vector<std::vector<Tuple>> live(names.size());
+  for (size_t r = 0; r < names.size(); ++r) {
+    const int count = static_cast<int>(rng.Below(25));
+    for (int i = 0; i < count; ++i) {
+      Tuple t;
+      for (size_t j = 0; j < ArityOf(q, names[r]); ++j) t.PushBack(rng.Range(0, domain));
+      m.Load(names[r], t);
+      live[r].push_back(std::move(t));
+    }
+  }
+  m.Preprocess();
+  ASSERT_EQ(m.FullCheck(), "") << q.ToString() << " eps=" << eps << " (preprocess)";
+
+  for (int step = 0; step < 12; ++step) {
+    std::vector<ivme::Update> batch;
+    const size_t batch_size = 1 + rng.Below(40);
+    while (batch.size() < batch_size) {
+      const size_t r = rng.Below(names.size());
+      if (!live[r].empty() && rng.Chance(0.45)) {
+        const size_t pick = rng.Below(live[r].size());
+        batch.push_back(ivme::Update{names[r], live[r][pick], -1});
+        live[r][pick] = live[r].back();
+        live[r].pop_back();
+      } else {
+        Tuple t;
+        for (size_t j = 0; j < ArityOf(q, names[r]); ++j) t.PushBack(rng.Range(0, domain));
+        live[r].push_back(t);
+        batch.push_back(ivme::Update{names[r], std::move(t), 1});
+      }
+    }
+    m.UpdateBatch(batch);
+    ASSERT_EQ(m.FullCheck(), "") << q.ToString() << " eps=" << eps << " step=" << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalBatchFuzzTest, ::testing::Range(0, 15));
+
+// Deterministic mid-migration shrink: grow N across the doubling threshold
+// with a tiny slice budget so the migration queue outlives many updates,
+// then — while keys are still pending — batch-delete until N crosses the
+// new M/4 floor in one step, forcing a retarget/restart of the in-flight
+// migration. Invariants (θ-envelope form) hold after every update; the
+// final state matches brute force and the migration eventually drains.
+TEST(IncrementalRebalanceTest, DeleteAcrossFloorMidMigration) {
+  const auto q = MustParse("Q(A, C) = R(A, B), S(B, C)");
+  // Budget 0.1·θ per record bottoms out at the 32-step floor, so the
+  // per-update slices scan only a few dozen of the ~900 snapshot keys.
+  DualModeHarness m(q, 0.5, /*budget=*/0.1);
+  // Many distinct join keys (R keys 2000+i all distinct, S keys overlap
+  // R's first 151 so the join has content): the snapshot queue holds ~1000
+  // keys, far more than the slices consume before the shrink interrupts.
+  for (Value i = 0; i < 300; ++i) {
+    m.Load("R", Tuple{i + 1000, 2000 + i});
+    m.Load("S", Tuple{2000 + (i % 151), i + 50000});
+  }
+  m.Preprocess();
+  ASSERT_EQ(m.FullCheck(), "");
+
+  // Grow past M = 2N+1 = 1201 via single-tuple inserts; the crossing
+  // starts a migration whose queue must survive at least one update.
+  std::vector<ivme::Update> inserted;
+  Value next = 100000;
+  bool saw_active = false;
+  while (m.incremental().database_size() < 1210) {
+    const Tuple t{next, 7000 + next % 563};
+    ++next;
+    m.Update("R", t, 1);
+    inserted.push_back(ivme::Update{"R", t, -1});
+    ASSERT_EQ(m.CheckInvariants(), "") << "grow N=" << m.incremental().database_size();
+    saw_active = saw_active || m.incremental().GetStats().rebalance_pending > 0;
+  }
+  EXPECT_GE(m.incremental().GetStats().major_rebalances, 1u);
+  EXPECT_TRUE(saw_active) << "growth never left a migration pending";
+  ASSERT_GT(m.incremental().GetStats().rebalance_pending, 0u)
+      << "queue drained before the shrink could interrupt it";
+
+  // One batch deletes 620 tuples: N collapses from 1210 below the new
+  // floor ⌊M/4⌋ = ⌊2402/4⌋ = 600 while the growth migration still has
+  // pending keys — FinishBatch must retarget and restart the scan.
+  const size_t restarts_before = m.incremental().GetStats().rebalance_restarts;
+  std::vector<ivme::Update> shrink(inserted.begin(), inserted.begin() + 610);
+  for (Value i = 0; i < 10; ++i) {
+    shrink.push_back(ivme::Update{"R", Tuple{i + 1000, 2000 + i}, -1});
+  }
+  m.UpdateBatch(shrink);
+  const auto stats = m.incremental().GetStats();
+  EXPECT_GE(stats.major_rebalances, 2u);  // both directions fired
+  EXPECT_GT(stats.rebalance_restarts, restarts_before)
+      << "floor crossing mid-migration must retarget the task";
+  ASSERT_EQ(m.FullCheck(), "");
+
+  // Drain: cheap churn until no keys are pending, then a final full check.
+  Value churn = 900000;
+  for (int i = 0; i < 3000 && m.incremental().GetStats().rebalance_pending > 0; ++i) {
+    m.Update("S", Tuple{2000 + churn % 151, churn}, 1);
+    ++churn;
+    ASSERT_EQ(m.CheckInvariants(), "") << "drain i=" << i;
+  }
+  EXPECT_EQ(m.incremental().GetStats().rebalance_pending, 0u);
+  ASSERT_EQ(m.FullCheck(), "");
+}
+
+// The migration machinery reports its work: growing far enough to flip
+// keys must show slices and scanned keys in the stats.
+TEST(IncrementalRebalanceTest, StatsAccountMigrationWork) {
+  const auto q = MustParse("Q(A, C) = R(A, B), S(B, C)");
+  EngineOptions opts = DualModeHarness::MakeOptions(0.5, RebalanceMode::kIncremental);
+  Engine engine(q, opts);
+  for (Value i = 0; i < 200; ++i) {
+    engine.LoadTuple("R", Tuple{i, i % 11}, 1);
+    engine.LoadTuple("S", Tuple{i % 11, i}, 1);
+  }
+  engine.Preprocess();
+  for (Value i = 0; i < 900; ++i) {
+    engine.ApplyUpdate("R", Tuple{10000 + i, i % 7}, 1);
+  }
+  const auto stats = engine.GetStats();
+  EXPECT_GE(stats.major_rebalances, 1u);
+  EXPECT_GE(stats.rebalance_slices, 1u);
+  std::string error;
+  EXPECT_TRUE(engine.CheckInvariants(&error)) << error;
+  // Latency instrumentation rode along: every ApplyUpdate was recorded.
+  EXPECT_EQ(engine.update_latency().count(), 900u);
+  EXPECT_GT(engine.update_latency().MaxSeconds(), 0.0);
+}
+
+struct ShardedCase {
+  std::string query;
+  size_t shards;
+};
+
+class ShardedIncrementalTest : public ::testing::TestWithParam<ShardedCase> {};
+
+// Sharded engines in incremental mode: every shard progresses its own
+// migration inside the existing pool barrier; results must match brute
+// force and per-shard invariants (incl. the θ envelope) must hold.
+TEST_P(ShardedIncrementalTest, BatchesAcrossMigrations) {
+  const ShardedCase& param = GetParam();
+  const auto q = MustParse(param.query);
+  std::string why;
+  ASSERT_TRUE(ShardedEngine::CanShard(q, &why)) << why;
+
+  ShardedEngineOptions opts;
+  opts.engine = DualModeHarness::MakeOptions(0.5, RebalanceMode::kIncremental);
+  opts.num_shards = param.shards;
+  opts.num_threads = param.shards;
+  ShardedEngine sharded(q, opts);
+
+  Database mirror;
+  for (const auto& name : q.RelationNames()) {
+    for (const auto& atom : q.atoms()) {
+      if (atom.relation == name) {
+        mirror.AddRelation(name, atom.schema);
+        break;
+      }
+    }
+  }
+
+  // Join columns (variables shared between atoms) draw from a small domain
+  // so the views have content; the other columns draw from a wide domain so
+  // inserts create DISTINCT tuples — N must actually grow past M to cross
+  // the doubling threshold on every shard.
+  std::vector<int> atom_occurrences(q.num_vars(), 0);
+  for (const Atom& atom : q.atoms()) {
+    for (size_t j = 0; j < atom.schema.size(); ++j) {
+      ++atom_occurrences[static_cast<size_t>(atom.schema.vars()[j])];
+    }
+  }
+  Rng rng(0x5A4D ^ param.shards);
+  auto random_tuple = [&](const std::string& name) {
+    Tuple t;
+    for (const Atom& atom : q.atoms()) {
+      if (atom.relation != name) continue;
+      for (size_t j = 0; j < atom.schema.size(); ++j) {
+        const bool shared = atom_occurrences[static_cast<size_t>(atom.schema.vars()[j])] > 1;
+        t.PushBack(rng.Range(0, shared ? 89 : 100000));
+      }
+      break;
+    }
+    return t;
+  };
+
+  const auto names = q.RelationNames();
+  for (const auto& name : names) {
+    for (int i = 0; i < 150; ++i) {
+      const Tuple t = random_tuple(name);
+      sharded.LoadTuple(name, t, 1);
+      mirror.Find(name)->Apply(t, 1);
+    }
+  }
+  sharded.Preprocess();
+
+  std::vector<std::vector<Tuple>> live(names.size());
+  for (int step = 0; step < 30; ++step) {
+    std::vector<ivme::Update> batch;
+    const size_t batch_size = 1 + rng.Below(100);
+    while (batch.size() < batch_size) {
+      const size_t r = rng.Below(names.size());
+      if (!live[r].empty() && rng.Chance(0.3)) {
+        const size_t pick = rng.Below(live[r].size());
+        batch.push_back(ivme::Update{names[r], live[r][pick], -1});
+        live[r][pick] = live[r].back();
+        live[r].pop_back();
+      } else {
+        Tuple t = random_tuple(names[r]);
+        live[r].push_back(t);
+        batch.push_back(ivme::Update{names[r], std::move(t), 1});
+      }
+    }
+    const auto result = sharded.ApplyBatch(batch);
+    ASSERT_EQ(result.rejected, 0u) << param.query << " step=" << step;
+    for (const auto& u : batch) mirror.Find(u.relation)->Apply(u.tuple, u.mult);
+
+    std::string error;
+    ASSERT_TRUE(sharded.CheckInvariants(&error)) << param.query << " step=" << step << ": "
+                                                 << error;
+    if (step % 5 == 4) {
+      const QueryResult expected = BruteForceEvaluate(q, mirror);
+      const std::string diff = DiffResults(expected, sharded.EvaluateToMap(), "sharded");
+      ASSERT_EQ(diff, "") << param.query << " step=" << step;
+    }
+  }
+  const QueryResult expected = BruteForceEvaluate(q, mirror);
+  ASSERT_EQ(DiffResults(expected, sharded.EvaluateToMap(), "sharded"), "") << param.query;
+  // The growth crossed thresholds: migrations ran and were accounted
+  // (summed across shards).
+  EXPECT_GE(sharded.GetStats().major_rebalances, 1u);
+  // Per-shard apply latencies merged across shards (quiescent point), and
+  // a facade-level reset clears every layer (load-phase exclusion).
+  EXPECT_GT(sharded.AggregateBatchLatency().count(), 0u);
+  sharded.ResetLatency();
+  EXPECT_EQ(sharded.AggregateBatchLatency().count(), 0u);
+  EXPECT_EQ(sharded.batch_latency().count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shards, ShardedIncrementalTest,
+    ::testing::Values(ShardedCase{"Q(A, C) = R(A, B), S(B, C)", 2},
+                      ShardedCase{"Q(A, C) = R(A, B), S(B, C)", 3},
+                      ShardedCase{"Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)", 2},
+                      ShardedCase{"Q(Y0, Y1, Y2) = R0(X, Y0), R1(X, Y1), R2(X, Y2)", 3}));
+
+}  // namespace
+}  // namespace ivme

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 namespace ivme {
@@ -73,6 +74,63 @@ TEST(ThreadPoolTest, RunIsABarrier) {
   }
   pool.Run(tasks);
   for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, TaskExceptionRethrownAtBarrier) {
+  // A throwing task must not escape its worker thread (std::terminate);
+  // the first exception surfaces from Run() on the calling thread, and
+  // every other task still runs to the barrier.
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    if (i == 5) {
+      tasks.push_back([&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        throw std::runtime_error("shard 5 failed");
+      });
+    } else {
+      tasks.push_back([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_THROW(pool.Run(tasks), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);
+
+  try {
+    pool.Run(tasks);
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 5 failed");
+  }
+}
+
+TEST(ThreadPoolTest, FirstOfManyExceptionsWinsAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> throwing;
+  for (int i = 0; i < 8; ++i) {
+    throwing.push_back([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Run(throwing), std::runtime_error);
+
+  // The error does not stick: a later clean Run succeeds.
+  std::atomic<int> total{0};
+  std::vector<std::function<void()>> clean;
+  for (int i = 0; i < 8; ++i) {
+    clean.push_back([&total] { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Run(clean);
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPoolTest, InlineModePropagatesExceptions) {
+  ThreadPool pool(0);
+  int ran = 0;
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&ran] { ++ran; });
+  tasks.push_back([] { throw std::runtime_error("inline"); });
+  tasks.push_back([&ran] { ++ran; });  // not reached in inline mode
+  EXPECT_THROW(pool.Run(tasks), std::runtime_error);
+  EXPECT_EQ(ran, 1);
 }
 
 TEST(ThreadPoolTest, DefaultThreadsIsBoundedByShardsAndCores) {

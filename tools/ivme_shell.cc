@@ -5,7 +5,11 @@
 // told otherwise), so the shell doubles as a cockpit for both the
 // shared-store fan-out and the shared-nothing sharding layer.
 //
-//   ./tools/ivme_shell "Q(A, C) = R(A, B), S(B, C)" [epsilon] [shards]
+//   ./tools/ivme_shell "Q(A, C) = R(A, B), S(B, C)" [epsilon] [shards] [mode]
+//
+// `mode` is `amortized` (default) or `incremental` — the major-rebalance
+// strategy every registered query runs with (EngineOptions::rebalance_mode):
+// synchronous stop-the-world rebuilds vs bounded-work migration slices.
 //
 // Commands (stdin; a leading backslash is accepted on any command):
 //   + R 1 2 [m]       insert tuple (1,2) into R with multiplicity m (default 1)
@@ -72,12 +76,14 @@ void PrintWidths(const ConjunctiveQuery& q) {
 struct Shell {
   std::unique_ptr<ShardedCatalog> catalog;
   double epsilon = 0.5;
+  RebalanceMode rebalance_mode = RebalanceMode::kAmortized;
   std::string active;
 
   EngineOptions QueryOptions() const {
     EngineOptions options;
     options.epsilon = epsilon;
     options.mode = EvalMode::kDynamic;
+    options.rebalance_mode = rebalance_mode;
     return options;
   }
 
@@ -104,6 +110,12 @@ void PrintStats(const Shell& shell) {
                 catalog.shard(0).store().RefCount(relation));
   }
   std::printf("\n");
+  // Ingest tail latency as the caller of this layer experiences it
+  // (routing, consolidation, and the shard barrier included), recorded by
+  // the new LatencyHistogram on every ApplyUpdate/ApplyBatch.
+  std::printf("  latency: updates %s | batches %s\n",
+              catalog.update_latency().Summary().c_str(),
+              catalog.batch_latency().Summary().c_str());
   // Per-query maintenance state: one line per query per shard — each shard
   // sizes M and θ = M^ε from its own slice, and each query has its own ε.
   for (const auto& name : catalog.QueryNames()) {
@@ -111,7 +123,7 @@ void PrintStats(const Shell& shell) {
       const MaintainedQuery* query = catalog.FindQuery(name, s);
       const auto stats = query->GetStats();
       std::printf("  %-12s%s N=%s M=%s theta=%.2f (eps=%.2f) | view-tuples=%s | updates=%zu "
-                  "batches=%zu minor=%zu major=%zu\n",
+                  "batches=%zu minor=%zu major=%zu",
                   name.c_str(),
                   catalog.num_shards() > 1 ? (" shard " + std::to_string(s)).c_str() : "",
                   WithThousands(static_cast<long long>(query->database_size())).c_str(),
@@ -120,6 +132,12 @@ void PrintStats(const Shell& shell) {
                   WithThousands(static_cast<long long>(stats.view_tuples)).c_str(),
                   stats.updates, stats.batches, stats.minor_rebalances,
                   stats.major_rebalances);
+      if (stats.rebalance_slices > 0 || stats.rebalance_pending > 0) {
+        std::printf(" | slices=%zu migrated=%zu pending=%zu restarts=%zu",
+                    stats.rebalance_slices, stats.migrated_keys, stats.rebalance_pending,
+                    stats.rebalance_restarts);
+      }
+      std::printf("\n");
     }
   }
 }
@@ -134,7 +152,9 @@ std::unique_ptr<ShardedCatalog> MakeCatalog(size_t shards) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s \"Q(A, C) = R(A, B), S(B, C)\" [epsilon] [shards]\n",
+    std::fprintf(stderr,
+                 "usage: %s \"Q(A, C) = R(A, B), S(B, C)\" [epsilon] [shards] "
+                 "[amortized|incremental]\n",
                  argv[0]);
     return 2;
   }
@@ -153,6 +173,16 @@ int main(int argc, char** argv) {
   shell.epsilon = argc > 2 ? std::atof(argv[2]) : 0.5;
   const long long shards_arg = argc > 3 ? std::atoll(argv[3]) : 1;
   size_t shards = shards_arg < 1 ? 1 : static_cast<size_t>(shards_arg);
+  if (argc > 4) {
+    const std::string mode_arg = argv[4];
+    if (mode_arg == "incremental") {
+      shell.rebalance_mode = RebalanceMode::kIncremental;
+    } else if (mode_arg != "amortized") {
+      std::fprintf(stderr, "unknown rebalance mode '%s' (amortized|incremental)\n",
+                   mode_arg.c_str());
+      return 2;
+    }
+  }
   std::string why;
   if (shards > 1 && !ShardedEngine::CanShard(*query, &why)) {
     std::fprintf(stderr, "cannot shard this query (%s); running with 1 shard\n", why.c_str());
@@ -167,8 +197,12 @@ int main(int argc, char** argv) {
   shell.catalog->Preprocess();
 
   PrintWidths(*query);
-  std::printf("catalog ready at eps=%.2f with %zu shard(s); active query '%s'; type 'help'\n",
-              shell.epsilon, shell.catalog->num_shards(), shell.active.c_str());
+  std::printf(
+      "catalog ready at eps=%.2f with %zu shard(s), %s rebalancing; active query '%s'; "
+      "type 'help'\n",
+      shell.epsilon, shell.catalog->num_shards(),
+      shell.rebalance_mode == RebalanceMode::kIncremental ? "incremental" : "amortized",
+      shell.active.c_str());
 
   std::string line;
   UpdateBatch pending;  // updates buffered between `batch begin` and `batch end`
