@@ -1,0 +1,104 @@
+#include "src/common/fault_injector.h"
+
+#include <cstdlib>
+#include <unistd.h>
+
+namespace ivme {
+
+FaultInjector& FaultInjector::Global() {
+  // Armed from IVME_FAULT_POINT once, on first use: any binary running the
+  // durability stack through the default injector is crash-drivable from
+  // the environment without code changes.
+  static FaultInjector* injector = [] {
+    auto* created = new FaultInjector();
+    created->ArmFromEnv();
+    return created;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.clear();
+  armed_point_.clear();
+  armed_hit_ = 0;
+  kill_ = false;
+  crashed_ = false;
+  crash_point_.clear();
+}
+
+void FaultInjector::Arm(const std::string& point, uint64_t hit_number) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_point_ = point;
+  armed_hit_ = hit_number == 0 ? 1 : hit_number;
+  crashed_ = false;
+  crash_point_.clear();
+}
+
+void FaultInjector::ArmFromEnv() {
+  const char* spec = std::getenv("IVME_FAULT_POINT");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string point(spec);
+  uint64_t hit = 1;
+  const size_t colon = point.rfind(':');
+  if (colon != std::string::npos) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(point.c_str() + colon + 1, &end, 10);
+    if (end != point.c_str() + colon + 1 && *end == '\0' && parsed > 0) {
+      hit = parsed;
+      point.erase(colon);
+    }
+  }
+  Arm(point, hit);
+  const char* kill = std::getenv("IVME_FAULT_KILL");
+  std::lock_guard<std::mutex> lock(mu_);
+  kill_ = kill != nullptr && *kill != '\0' && *kill != '0';
+}
+
+FaultInjector::Count* FaultInjector::FindCount(const std::string& point) {
+  for (auto& count : counts_) {
+    if (count.point == point) return &count;
+  }
+  counts_.push_back(Count{point, 0});
+  return &counts_.back();
+}
+
+bool FaultInjector::ShouldCrash(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++FindCount(point)->hits;
+  if (crashed_) return true;  // a dead process stays dead
+  if (armed_hit_ == 0 || point != armed_point_) return false;
+  if (FindCount(point)->hits != armed_hit_) return false;
+  if (kill_) _exit(42);
+  crashed_ = true;
+  crash_point_ = point;
+  return true;
+}
+
+bool FaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+std::string FaultInjector::crash_point() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_point_;
+}
+
+uint64_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& count : counts_) {
+    if (count.point == point) return count.hits;
+  }
+  return 0;
+}
+
+std::vector<std::string> FaultInjector::SeenPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> points;
+  points.reserve(counts_.size());
+  for (const auto& count : counts_) points.push_back(count.point);
+  return points;
+}
+
+}  // namespace ivme

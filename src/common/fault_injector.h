@@ -1,0 +1,81 @@
+// Crash-point fault injection for the durability stack. The WAL, checkpoint
+// writer, and durable catalog call ShouldCrash(point) at every interesting
+// moment (after a WAL append but before the apply, mid-checkpoint, mid
+// truncate, ...); an armed injector fires at the configured traversal and
+// the caller then behaves as if the process died at that instant — all
+// later file writes are suppressed, so the on-disk state is exactly what a
+// real crash would leave behind. The recovery fuzz test arms a random point
+// per run and differential-tests Open() against a never-crashed reference;
+// IVME_FAULT_POINT / IVME_FAULT_KILL make the same points drivable from the
+// environment (with kill mode the process genuinely _exits at the point).
+#ifndef IVME_COMMON_FAULT_INJECTOR_H_
+#define IVME_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ivme {
+
+/// Registry of named crash points with one armed trigger.
+///
+/// Thread-safe: the background checkpoint thread traverses points
+/// concurrently with the foreground WAL appends.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Process-wide instance used when no injector is passed explicitly.
+  static FaultInjector& Global();
+
+  /// Disarms and clears the crashed flag and all hit counts.
+  void Reset();
+
+  /// Arms `point` to fire on its `hit_number`-th traversal (1-based).
+  void Arm(const std::string& point, uint64_t hit_number = 1);
+
+  /// Arms from IVME_FAULT_POINT="point[:hit]"; IVME_FAULT_KILL=1 upgrades a
+  /// firing point to a real _exit(42) (for out-of-process crash testing).
+  void ArmFromEnv();
+
+  /// Called by durability code at a crash point. Returns true when the
+  /// armed point fires now, or already fired (a dead process stays dead —
+  /// every later point "crashes" too, so file writes stay suppressed).
+  bool ShouldCrash(const std::string& point);
+
+  /// True once any armed point fired.
+  bool crashed() const;
+
+  /// The point that fired ("" when none did).
+  std::string crash_point() const;
+
+  /// Total traversals of `point` so far (fired or not).
+  uint64_t HitCount(const std::string& point) const;
+
+  /// Every point name traversed since the last Reset, in first-seen order
+  /// (lets the fuzzer enumerate the crash surface of a workload).
+  std::vector<std::string> SeenPoints() const;
+
+ private:
+  struct Count {
+    std::string point;
+    uint64_t hits = 0;
+  };
+
+  Count* FindCount(const std::string& point);  // requires mu_ held
+
+  mutable std::mutex mu_;
+  std::vector<Count> counts_;
+  std::string armed_point_;
+  uint64_t armed_hit_ = 0;  ///< 0 = disarmed
+  bool kill_ = false;
+  bool crashed_ = false;
+  std::string crash_point_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_COMMON_FAULT_INJECTOR_H_

@@ -1,0 +1,35 @@
+// Structured error reporting for the durability layer and other paths that
+// must surface failures (corrupt files, bad user input) instead of aborting
+// the process via IVME_CHECK. The library does not use exceptions; fallible
+// operations return a Status and leave outputs untouched on error.
+#ifndef IVME_COMMON_STATUS_H_
+#define IVME_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ivme {
+
+/// Outcome of a fallible operation: OK, or an error with a message. Recovery
+/// and shell code branch on ok() and report message(); internal invariants
+/// whose violation means memory corruption keep using IVME_CHECK.
+class Status {
+ public:
+  Status() = default;  ///< OK
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : ok_(false), message_(std::move(message)) {}
+
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_COMMON_STATUS_H_

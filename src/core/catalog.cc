@@ -53,10 +53,38 @@ void QueryCatalog::Load(const std::string& relation,
 }
 
 void QueryCatalog::LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult) {
-  IVME_CHECK_MSG(!live_, "Load must precede Preprocess; use ApplyUpdate afterwards");
-  IVME_CHECK_MSG(store_->Find(relation) != nullptr, "unknown relation " << relation);
-  IVME_CHECK_MSG(mult > 0, "loaded tuples need positive multiplicities");
+  const Status status = TryLoadTuple(relation, tuple, mult);
+  IVME_CHECK_MSG(status.ok(), status.message());
+}
+
+Status QueryCatalog::TryLoad(const std::string& relation,
+                             const std::vector<std::pair<Tuple, Mult>>& tuples) {
+  for (const auto& [tuple, mult] : tuples) {
+    Status status = TryLoadTuple(relation, tuple, mult);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status QueryCatalog::TryLoadTuple(const std::string& relation, const Tuple& tuple, Mult mult) {
+  if (live_) {
+    return Status::Error("Load must precede Preprocess; use ApplyUpdate afterwards");
+  }
+  const Relation* stored = store_->Find(relation);
+  if (stored == nullptr) {
+    return Status::Error("unknown relation " + relation + " (no registered query reads it)");
+  }
+  if (tuple.size() != stored->schema().size()) {
+    return Status::Error("relation " + relation + " has arity " +
+                         std::to_string(stored->schema().size()) + "; got a tuple of arity " +
+                         std::to_string(tuple.size()));
+  }
+  if (mult <= 0) {
+    return Status::Error("loaded tuples need positive multiplicities; " + relation + " got " +
+                         std::to_string(mult) + " for " + tuple.ToString());
+  }
   store_->Apply(relation, tuple, mult);
+  return Status::Ok();
 }
 
 void QueryCatalog::Preprocess() {
@@ -161,7 +189,20 @@ QueryResult QueryCatalog::EvaluateToMap(const std::string& name) const {
 
 std::vector<std::pair<Tuple, Mult>> QueryCatalog::DumpRelation(
     const std::string& relation) const {
-  return store_->Dump(relation);
+  std::vector<std::pair<Tuple, Mult>> out;
+  const Status status = TryDumpRelation(relation, &out);
+  IVME_CHECK_MSG(status.ok(), status.message());
+  return out;
+}
+
+Status QueryCatalog::TryDumpRelation(const std::string& relation,
+                                     std::vector<std::pair<Tuple, Mult>>* out) const {
+  out->clear();
+  if (store_->Find(relation) == nullptr) {
+    return Status::Error("unknown relation " + relation);
+  }
+  *out = store_->Dump(relation);
+  return Status::Ok();
 }
 
 bool QueryCatalog::CheckInvariants(std::string* error) {

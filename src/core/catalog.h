@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/latency_histogram.h"
+#include "src/common/status.h"
 #include "src/core/maintained_query.h"
 #include "src/data/consolidate.h"
 #include "src/data/update.h"
@@ -67,6 +68,14 @@ class QueryCatalog {
   void Load(const std::string& relation, const std::vector<std::pair<Tuple, Mult>>& tuples);
   void LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
 
+  /// Validating variants of Load/LoadTuple: a live catalog, an unknown
+  /// relation, an arity mismatch, or a non-positive multiplicity is
+  /// reported as a structured error with nothing loaded (TryLoad stops at
+  /// the first bad pair) — recovery and the shell surface these instead of
+  /// aborting the process on corrupt input.
+  Status TryLoad(const std::string& relation, const std::vector<std::pair<Tuple, Mult>>& tuples);
+  Status TryLoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
+
   /// Preprocesses every registered query from the store (Theorem 2/4) and
   /// marks the catalog live. Call exactly once; queries registered later
   /// preprocess at registration.
@@ -98,6 +107,11 @@ class QueryCatalog {
 
   /// Contents of a store relation as (tuple, multiplicity) pairs.
   std::vector<std::pair<Tuple, Mult>> DumpRelation(const std::string& relation) const;
+
+  /// Like DumpRelation, but an unknown relation is a structured error
+  /// instead of a fatal check (`out` is cleared but otherwise untouched).
+  Status TryDumpRelation(const std::string& relation,
+                         std::vector<std::pair<Tuple, Mult>>* out) const;
 
   /// Verifies every registered query's invariants; `error` is prefixed with
   /// the failing query's name.

@@ -1,0 +1,685 @@
+#include "src/core/durable_catalog.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/storage/serial.h"
+
+namespace ivme {
+namespace {
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::Ok();
+  return Status::Error("cannot create directory " + dir + ": " + ::strerror(errno));
+}
+
+// --- WAL payload codecs. Every payload is versionless: the frame type and
+// the snapshot format version gate compatibility, and a decode failure on a
+// CRC-valid record is corruption, not a torn tail.
+
+std::string EncodeBatchPayload(const UpdateBatch& net) {
+  ByteSink sink;
+  sink.PutU32(static_cast<uint32_t>(net.size()));
+  for (const Update& u : net) {
+    sink.PutString(u.relation);
+    sink.PutTuple(u.tuple);
+    sink.PutI64(u.mult);
+  }
+  return sink.TakeBytes();
+}
+
+Status DecodeBatchPayload(const std::string& payload, UpdateBatch* out) {
+  out->clear();
+  ByteSource src(payload.data(), payload.size());
+  uint32_t count = 0;
+  if (!src.GetU32(&count)) return Status::Error("batch record: bad header");
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Update u;
+    int64_t mult = 0;
+    if (!src.GetString(&u.relation) || !src.GetTuple(&u.tuple) || !src.GetI64(&mult)) {
+      return Status::Error("batch record: truncated entry " + std::to_string(i));
+    }
+    u.mult = mult;
+    out->push_back(std::move(u));
+  }
+  if (src.remaining() != 0) return Status::Error("batch record: trailing bytes");
+  return Status::Ok();
+}
+
+std::string EncodeLoadPayload(const std::string& relation,
+                              const std::vector<std::pair<Tuple, Mult>>& tuples) {
+  ByteSink sink;
+  sink.PutString(relation);
+  sink.PutU64(tuples.size());
+  for (const auto& [tuple, mult] : tuples) {
+    sink.PutTuple(tuple);
+    sink.PutI64(mult);
+  }
+  return sink.TakeBytes();
+}
+
+Status DecodeLoadPayload(const std::string& payload, std::string* relation,
+                         std::vector<std::pair<Tuple, Mult>>* tuples) {
+  tuples->clear();
+  ByteSource src(payload.data(), payload.size());
+  uint64_t count = 0;
+  if (!src.GetString(relation) || !src.GetU64(&count)) {
+    return Status::Error("load record: bad header");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    Tuple tuple;
+    int64_t mult = 0;
+    if (!src.GetTuple(&tuple) || !src.GetI64(&mult)) {
+      return Status::Error("load record: truncated entry " + std::to_string(i));
+    }
+    tuples->emplace_back(std::move(tuple), mult);
+  }
+  if (src.remaining() != 0) return Status::Error("load record: trailing bytes");
+  return Status::Ok();
+}
+
+std::string EncodeQuerySpecPayload(const SnapshotQuerySpec& spec) {
+  ByteSink sink;
+  sink.PutString(spec.name);
+  sink.PutString(spec.text);
+  sink.PutDouble(spec.epsilon);
+  sink.PutU8(spec.mode);
+  sink.PutU8(spec.enable_rebalancing);
+  sink.PutU8(spec.rebalance_mode);
+  sink.PutDouble(spec.rebalance_budget);
+  return sink.TakeBytes();
+}
+
+Status DecodeQuerySpecPayload(const std::string& payload, SnapshotQuerySpec* spec) {
+  ByteSource src(payload.data(), payload.size());
+  if (!src.GetString(&spec->name) || !src.GetString(&spec->text) ||
+      !src.GetDouble(&spec->epsilon) || !src.GetU8(&spec->mode) ||
+      !src.GetU8(&spec->enable_rebalancing) || !src.GetU8(&spec->rebalance_mode) ||
+      !src.GetDouble(&spec->rebalance_budget) || src.remaining() != 0) {
+    return Status::Error("register record: malformed query spec");
+  }
+  return Status::Ok();
+}
+
+SnapshotQuerySpec SpecFromQuery(const MaintainedQuery& query) {
+  const EngineOptions& options = query.options();
+  SnapshotQuerySpec spec;
+  spec.name = query.name();
+  spec.text = query.query().ToString();
+  spec.epsilon = options.epsilon;
+  spec.mode = options.mode == EvalMode::kStatic ? 0 : 1;
+  spec.enable_rebalancing = options.enable_rebalancing ? 1 : 0;
+  spec.rebalance_mode = options.rebalance_mode == RebalanceMode::kIncremental ? 1 : 0;
+  spec.rebalance_budget = options.rebalance_budget;
+  return spec;
+}
+
+EngineOptions OptionsFromSpec(const SnapshotQuerySpec& spec) {
+  EngineOptions options;
+  options.epsilon = spec.epsilon;
+  options.mode = spec.mode == 0 ? EvalMode::kStatic : EvalMode::kDynamic;
+  options.enable_rebalancing = spec.enable_rebalancing != 0;
+  options.rebalance_mode =
+      spec.rebalance_mode == 1 ? RebalanceMode::kIncremental : RebalanceMode::kAmortized;
+  options.rebalance_budget = spec.rebalance_budget;
+  return options;
+}
+
+}  // namespace
+
+DurableCatalog::DurableCatalog(ShardedCatalogOptions catalog_options,
+                               DurabilityOptions durability)
+    : catalog_options_(catalog_options),
+      durability_(durability),
+      injector_(durability.injector != nullptr ? durability.injector : &FaultInjector::Global()),
+      catalog_(std::make_unique<ShardedCatalog>(catalog_options)) {}
+
+DurableCatalog::~DurableCatalog() {
+  WaitForCheckpoint();
+  if (wal_.is_open() && !injector_->crashed()) wal_.Sync();
+  wal_.Close();
+}
+
+bool DurableCatalog::dead() const { return injector_->crashed(); }
+
+// --- recovery -------------------------------------------------------------
+
+std::unique_ptr<DurableCatalog> DurableCatalog::Open(const std::string& dir,
+                                                     ShardedCatalogOptions catalog_options,
+                                                     DurabilityOptions durability,
+                                                     Status* status) {
+  auto catalog =
+      std::unique_ptr<DurableCatalog>(new DurableCatalog(catalog_options, durability));
+  Status result = catalog->Recover(dir);
+  if (status != nullptr) *status = result;
+  if (!result.ok()) return nullptr;
+  return catalog;
+}
+
+Status DurableCatalog::Recover(const std::string& dir) {
+  Status status = EnsureDir(dir);
+  if (!status.ok()) return status;
+
+  // Newest valid snapshot wins; a snapshot that fails its CRC or cannot be
+  // rebuilt (unparsable query, arity conflict) falls back to the one before
+  // it — its WAL segments are still on disk, so no durable state is lost.
+  std::vector<uint64_t> snapshot_lsns;
+  status = ListSnapshots(dir, &snapshot_lsns);
+  if (!status.ok()) return status;
+  uint64_t snapshot_lsn = 0;
+  Status snapshot_error;
+  bool loaded = false;
+  for (size_t i = snapshot_lsns.size(); i-- > 0 && !loaded;) {
+    SnapshotData snapshot;
+    status = ReadSnapshotFile(dir + "/" + SnapshotFileName(snapshot_lsns[i]), &snapshot);
+    if (status.ok()) status = LoadSnapshot(snapshot);
+    if (status.ok()) {
+      snapshot_lsn = snapshot.lsn;
+      loaded = true;
+    } else {
+      if (snapshot_error.ok()) snapshot_error = status;  // remember the newest defect
+      catalog_ = std::make_unique<ShardedCatalog>(catalog_options_);
+    }
+  }
+  if (!loaded && !snapshot_lsns.empty()) {
+    return Status::Error("no usable snapshot in " + dir + ": " + snapshot_error.message());
+  }
+  checkpoint_lsn_ = snapshot_lsn;
+
+  // Replay the WAL tail in LSN order through the normal apply paths.
+  // Records at or below the snapshot LSN are already folded into it (their
+  // segments survive when a checkpoint crashed before deleting them); the
+  // first torn or corrupt frame ends the durable prefix — truncate it and
+  // drop any later segment, which cannot be trusted past a tear.
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  status = ListWalSegments(dir, &segments);
+  if (!status.ok()) return status;
+  uint64_t last_lsn = snapshot_lsn;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const std::string path = dir + "/" + segments[i].second;
+    WalScanResult scan;
+    status = ScanWalSegment(path, &scan);
+    if (!status.ok()) return status;
+    for (const WalRecord& record : scan.records) {
+      if (record.lsn <= last_lsn) continue;
+      status = ApplyWalRecord(record);
+      if (!status.ok()) {
+        return Status::Error("WAL replay failed at LSN " + std::to_string(record.lsn) + ": " +
+                             status.message());
+      }
+      last_lsn = record.lsn;
+      ++replayed_records_;
+    }
+    if (scan.torn) {
+      recovered_torn_tail_ = true;
+      status = TruncateWalSegment(path, scan.valid_bytes);
+      if (!status.ok()) return status;
+      for (size_t j = i + 1; j < segments.size(); ++j) {
+        ::unlink((dir + "/" + segments[j].second).c_str());
+      }
+      break;
+    }
+  }
+
+  next_lsn_ = last_lsn + 1;
+  dir_ = dir;
+  status = wal_.Open(dir_ + "/" + WalSegmentFileName(next_lsn_), durability_.fsync,
+                     durability_.fsync_interval, injector_);
+  if (!status.ok()) {
+    dir_.clear();
+    return status;
+  }
+
+  if (catalog_->num_queries() > 0 && catalog_->shard(0).preprocessed()) {
+    std::string error;
+    if (!catalog_->CheckInvariants(&error)) {
+      return Status::Error("recovered state violates invariants: " + error);
+    }
+  }
+  return Status::Ok();
+}
+
+Status DurableCatalog::LoadSnapshot(const SnapshotData& snapshot) {
+  if (snapshot.num_shards == 0) return Status::Error("snapshot has zero shards");
+  ShardedCatalogOptions options = catalog_options_;
+  options.num_shards = static_cast<size_t>(snapshot.num_shards);
+  auto catalog = std::make_unique<ShardedCatalog>(options);
+  for (const SnapshotQuerySpec& spec : snapshot.queries) {
+    std::optional<ConjunctiveQuery> query = ConjunctiveQuery::Parse(spec.text);
+    if (!query.has_value()) {
+      return Status::Error("snapshot query " + spec.name + " does not parse: " + spec.text);
+    }
+    std::string why;
+    if (!catalog->RegisterQuery(spec.name, *query, OptionsFromSpec(spec), &why)) {
+      return Status::Error("snapshot query " + spec.name + " rejected: " + why);
+    }
+  }
+  for (const SnapshotRelation& relation : snapshot.relations) {
+    Status status = catalog->TryLoad(relation.name, relation.tuples);
+    if (!status.ok()) {
+      // A relation every reader of which was dropped before the snapshot
+      // has no schema to rebuild against; its contents are dropped exactly
+      // like the live Reshard path drops them.
+      if (status.message().find("unknown relation") != std::string::npos) continue;
+      return Status::Error("snapshot relation " + relation.name + ": " + status.message());
+    }
+  }
+  if (snapshot.live) catalog->Preprocess();
+  catalog_ = std::move(catalog);
+  return Status::Ok();
+}
+
+Status DurableCatalog::ApplyWalRecord(const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kBatch: {
+      if (!catalog_->shard(0).preprocessed()) {
+        return Status::Error("batch record before the preprocess marker");
+      }
+      UpdateBatch batch;
+      Status status = DecodeBatchPayload(record.payload, &batch);
+      if (!status.ok()) return status;
+      catalog_->ApplyBatch(batch);  // rejections are deterministic re-rejections
+      return Status::Ok();
+    }
+    case WalRecordType::kLoad: {
+      std::string relation;
+      std::vector<std::pair<Tuple, Mult>> tuples;
+      Status status = DecodeLoadPayload(record.payload, &relation, &tuples);
+      if (!status.ok()) return status;
+      return catalog_->TryLoad(relation, tuples);
+    }
+    case WalRecordType::kPreprocess: {
+      if (catalog_->shard(0).preprocessed()) {
+        return Status::Error("duplicate preprocess marker");
+      }
+      catalog_->Preprocess();
+      return Status::Ok();
+    }
+    case WalRecordType::kRegisterQuery: {
+      SnapshotQuerySpec spec;
+      Status status = DecodeQuerySpecPayload(record.payload, &spec);
+      if (!status.ok()) return status;
+      std::optional<ConjunctiveQuery> query = ConjunctiveQuery::Parse(spec.text);
+      if (!query.has_value()) {
+        return Status::Error("register record for " + spec.name + " does not parse");
+      }
+      std::string why;
+      if (!catalog_->RegisterQuery(spec.name, *query, OptionsFromSpec(spec), &why)) {
+        return Status::Error("register record for " + spec.name + " rejected: " + why);
+      }
+      return Status::Ok();
+    }
+    case WalRecordType::kDropQuery: {
+      ByteSource src(record.payload.data(), record.payload.size());
+      std::string name;
+      if (!src.GetString(&name) || src.remaining() != 0) {
+        return Status::Error("drop record: malformed payload");
+      }
+      if (!catalog_->DropQuery(name)) {
+        return Status::Error("drop record for unknown query " + name);
+      }
+      return Status::Ok();
+    }
+    case WalRecordType::kReshard: {
+      ByteSource src(record.payload.data(), record.payload.size());
+      uint64_t num_shards = 0;
+      if (!src.GetU64(&num_shards) || src.remaining() != 0 || num_shards == 0) {
+        return Status::Error("reshard record: malformed payload");
+      }
+      return RebuildAt(static_cast<size_t>(num_shards), nullptr);
+    }
+  }
+  return Status::Error("unknown WAL record type " +
+                       std::to_string(static_cast<int>(record.type)));
+}
+
+// --- attach / checkpoint --------------------------------------------------
+
+Status DurableCatalog::AttachDir(const std::string& dir) {
+  if (durable()) return Status::Error("catalog is already durable at " + dir_);
+  if (dead()) return Status::Error("catalog crashed (injected fault)");
+  Status status = EnsureDir(dir);
+  if (!status.ok()) return status;
+  std::vector<uint64_t> snapshots;
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  status = ListSnapshots(dir, &snapshots);
+  if (status.ok()) status = ListWalSegments(dir, &segments);
+  if (!status.ok()) return status;
+  if (!snapshots.empty() || !segments.empty()) {
+    return Status::Error(dir + " already holds a durable catalog; use `open` to recover it");
+  }
+  status = wal_.Open(dir + "/" + WalSegmentFileName(next_lsn_), durability_.fsync,
+                     durability_.fsync_interval, injector_);
+  if (!status.ok()) return status;
+  dir_ = dir;
+  status = Checkpoint();
+  if (!status.ok()) {
+    // Leave the catalog usable in-memory; durability never engaged.
+    wal_.Close();
+    dir_.clear();
+    return status;
+  }
+  return Status::Ok();
+}
+
+SnapshotData DurableCatalog::CaptureSnapshot() const {
+  SnapshotData snapshot;
+  snapshot.lsn = next_lsn_ - 1;
+  snapshot.num_shards = catalog_->num_shards();
+  snapshot.live = catalog_->shard(0).preprocessed();
+  for (const std::string& name : catalog_->QueryNames()) {
+    snapshot.queries.push_back(SpecFromQuery(*catalog_->FindQuery(name)));
+  }
+  const RelationStore& store = catalog_->shard(0).store();
+  for (const std::string& relation : store.RelationNames()) {
+    SnapshotRelation dump;
+    dump.name = relation;
+    dump.arity = static_cast<uint32_t>(store.Find(relation)->schema().size());
+    dump.tuples = catalog_->DumpRelation(relation);
+    snapshot.relations.push_back(std::move(dump));
+  }
+  return snapshot;
+}
+
+Status DurableCatalog::Checkpoint() {
+  if (!durable()) return Status::Error("catalog has no directory; `save <dir>` first");
+  if (dead()) return Status::Error("catalog crashed (injected fault)");
+  Status status = WaitForCheckpoint();
+  if (!status.ok()) return status;
+
+  // Synchronous part: capture a consistent cut, make the WAL prefix it
+  // covers durable, and rotate to a fresh segment so the old ones become
+  // immutable inputs of the background job.
+  SnapshotData snapshot = CaptureSnapshot();
+  status = wal_.Sync();
+  if (!status.ok()) return status;
+  const std::string new_segment = WalSegmentFileName(next_lsn_);
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  status = ListWalSegments(dir_, &segments);
+  if (!status.ok()) return status;
+  std::vector<std::string> obsolete;
+  for (const auto& [start_lsn, name] : segments) {
+    if (name != new_segment) obsolete.push_back(dir_ + "/" + name);
+  }
+  rotated_records_ += wal_.stats().records_appended;
+  rotated_bytes_ += wal_.stats().bytes_appended;
+  rotated_syncs_ += wal_.stats().syncs;
+  wal_.Close();
+  status = wal_.Open(dir_ + "/" + new_segment, durability_.fsync, durability_.fsync_interval,
+                     injector_);
+  if (!status.ok()) return status;
+
+  pending_checkpoint_lsn_ = snapshot.lsn;
+  if (durability_.background_checkpoint) {
+    checkpoint_thread_ = std::thread(
+        [this, snapshot = std::move(snapshot), obsolete = std::move(obsolete)]() mutable {
+          Status result = CheckpointFiles(dir_, snapshot, std::move(obsolete),
+                                          durability_.retain_snapshots, injector_);
+          const std::lock_guard<std::mutex> lock(checkpoint_mu_);
+          checkpoint_status_ = result;
+        });
+    return Status::Ok();
+  }
+  status = CheckpointFiles(dir_, snapshot, std::move(obsolete), durability_.retain_snapshots,
+                           injector_);
+  if (!status.ok()) return status;
+  ++checkpoints_taken_;
+  checkpoint_lsn_ = pending_checkpoint_lsn_;
+  return Status::Ok();
+}
+
+Status DurableCatalog::CheckpointFiles(const std::string& dir, const SnapshotData& snapshot,
+                                       std::vector<std::string> obsolete_segments, size_t retain,
+                                       FaultInjector* injector) {
+  Status status = WriteSnapshotFile(dir, snapshot, injector);
+  if (!status.ok()) return status;
+  // The snapshot is durable; everything from here is cleanup that recovery
+  // tolerates in any partial state (replay skips records ≤ snapshot LSN).
+  if (injector->ShouldCrash("checkpoint:before_wal_delete")) {
+    return Status::Error("injected crash at checkpoint:before_wal_delete");
+  }
+  bool first = true;
+  for (const std::string& path : obsolete_segments) {
+    ::unlink(path.c_str());
+    if (first && injector->ShouldCrash("checkpoint:mid_wal_delete")) {
+      return Status::Error("injected crash at checkpoint:mid_wal_delete");
+    }
+    first = false;
+  }
+  return RetainSnapshots(dir, retain < 1 ? 1 : retain, injector);
+}
+
+Status DurableCatalog::WaitForCheckpoint() {
+  if (!checkpoint_thread_.joinable()) return Status::Ok();
+  checkpoint_thread_.join();
+  Status status;
+  {
+    const std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    status = checkpoint_status_;
+  }
+  if (status.ok()) {
+    ++checkpoints_taken_;
+    checkpoint_lsn_ = pending_checkpoint_lsn_;
+  }
+  return status;
+}
+
+// --- logged control plane -------------------------------------------------
+
+Status DurableCatalog::AppendRecord(WalRecordType type, const std::string& payload) {
+  WalRecord record;
+  record.lsn = next_lsn_;
+  record.type = type;
+  record.payload = payload;
+  Status status = wal_.Append(record);
+  if (!status.ok()) return status;
+  ++next_lsn_;
+  return Status::Ok();
+}
+
+bool DurableCatalog::RegisterQuery(const std::string& name, const ConjunctiveQuery& q,
+                                   EngineOptions options, std::string* why) {
+  if (dead()) {
+    if (why != nullptr) *why = "catalog crashed (injected fault)";
+    return false;
+  }
+  // Apply first, log on success: the inner registration is the validator,
+  // and a crash between the two loses only this not-yet-acknowledged DDL.
+  if (!catalog_->RegisterQuery(name, q, options, why)) return false;
+  if (durable()) {
+    SnapshotQuerySpec spec = SpecFromQuery(*catalog_->FindQuery(name));
+    const Status status = AppendRecord(WalRecordType::kRegisterQuery,
+                                       EncodeQuerySpecPayload(spec));
+    IVME_CHECK_MSG(status.ok() || injector_->crashed(), status.message());
+  }
+  return true;
+}
+
+bool DurableCatalog::DropQuery(const std::string& name) {
+  if (dead()) return false;
+  if (!catalog_->DropQuery(name)) return false;
+  if (durable()) {
+    ByteSink sink;
+    sink.PutString(name);
+    const Status status = AppendRecord(WalRecordType::kDropQuery, sink.TakeBytes());
+    IVME_CHECK_MSG(status.ok() || injector_->crashed(), status.message());
+  }
+  return true;
+}
+
+Status DurableCatalog::Reshard(size_t num_shards, std::vector<std::string>* dropped) {
+  if (num_shards == 0) return Status::Error("shard count must be positive");
+  if (dead()) return Status::Error("catalog crashed (injected fault)");
+  Status status = WaitForCheckpoint();
+  if (!status.ok()) return status;
+  if (num_shards == catalog_->num_shards()) return Status::Ok();
+  status = RebuildAt(num_shards, dropped);
+  if (!status.ok()) return status;
+  if (durable()) {
+    ByteSink sink;
+    sink.PutU64(num_shards);
+    status = AppendRecord(WalRecordType::kReshard, sink.TakeBytes());
+    if (!status.ok() && !injector_->crashed()) return status;
+  }
+  return Status::Ok();
+}
+
+Status DurableCatalog::RebuildAt(size_t num_shards, std::vector<std::string>* dropped) {
+  // Same dump/rebuild/reload protocol as the shell's `shards N`: the
+  // logical state is K-independent, so the rebuilt catalog re-registers
+  // every query (registration order preserves routing agreement) and
+  // re-loads every relation that still has a reader.
+  std::vector<SnapshotQuerySpec> specs;
+  std::vector<ConjunctiveQuery> queries;
+  for (const std::string& name : catalog_->QueryNames()) {
+    const MaintainedQuery* query = catalog_->FindQuery(name);
+    specs.push_back(SpecFromQuery(*query));
+    queries.push_back(query->query());
+  }
+  const bool live = catalog_->num_queries() > 0 && catalog_->shard(0).preprocessed();
+
+  ShardedCatalogOptions options = catalog_options_;
+  options.num_shards = num_shards;
+  auto rebuilt = std::make_unique<ShardedCatalog>(options);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    std::string why;
+    if (!rebuilt->RegisterQuery(specs[i].name, queries[i], OptionsFromSpec(specs[i]), &why)) {
+      return Status::Error("cannot reshard to " + std::to_string(num_shards) + " shards: query " +
+                           specs[i].name + ": " + why);
+    }
+  }
+  const RelationStore& store = catalog_->shard(0).store();
+  for (const std::string& relation : store.RelationNames()) {
+    std::vector<std::pair<Tuple, Mult>> tuples;
+    Status status = catalog_->TryDumpRelation(relation, &tuples);
+    if (!status.ok()) return status;
+    status = rebuilt->TryLoad(relation, tuples);
+    if (!status.ok()) {
+      if (status.message().find("unknown relation") != std::string::npos) {
+        if (dropped != nullptr) dropped->push_back(relation);
+        continue;
+      }
+      return status;
+    }
+  }
+  if (live) rebuilt->Preprocess();
+  catalog_ = std::move(rebuilt);
+  return Status::Ok();
+}
+
+// --- logged data plane ----------------------------------------------------
+
+Status DurableCatalog::TryLoad(const std::string& relation,
+                               const std::vector<std::pair<Tuple, Mult>>& tuples) {
+  if (dead()) return Status::Error("catalog crashed (injected fault)");
+  Status status = catalog_->TryLoad(relation, tuples);
+  if (!status.ok()) return status;
+  if (durable() && !tuples.empty()) {
+    status = AppendRecord(WalRecordType::kLoad, EncodeLoadPayload(relation, tuples));
+    if (!status.ok() && !injector_->crashed()) return status;
+  }
+  return Status::Ok();
+}
+
+Status DurableCatalog::TryLoadTuple(const std::string& relation, const Tuple& tuple, Mult mult) {
+  return TryLoad(relation, {{tuple, mult}});
+}
+
+void DurableCatalog::Preprocess() {
+  if (dead()) return;
+  if (durable()) {
+    // WAL-first: a crash after the append replays Preprocess on recovery,
+    // so the durable history never shows updates before a live marker.
+    const Status status = AppendRecord(WalRecordType::kPreprocess, std::string());
+    if (!status.ok()) {
+      IVME_CHECK_MSG(injector_->crashed(), status.message());
+      return;
+    }
+    if (injector_->ShouldCrash("catalog:after_wal_append")) return;
+  }
+  catalog_->Preprocess();
+}
+
+bool DurableCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
+  if (dead()) return false;
+  if (!durable()) return catalog_->ApplyUpdate(relation, tuple, mult);
+  if (mult == 0) return true;
+  net_scratch_.clear();
+  net_scratch_.push_back(Update{relation, tuple, mult});
+  const Status status = AppendRecord(WalRecordType::kBatch, EncodeBatchPayload(net_scratch_));
+  if (!status.ok()) {
+    IVME_CHECK_MSG(injector_->crashed(), status.message());
+    return false;
+  }
+  if (injector_->ShouldCrash("catalog:after_wal_append")) return false;
+  const bool applied = catalog_->ApplyUpdate(relation, tuple, mult);
+  injector_->ShouldCrash("catalog:after_apply");
+  return applied;
+}
+
+BatchResult DurableCatalog::ApplyBatch(const UpdateBatch& updates) {
+  return ApplyBatch(updates.data(), updates.size());
+}
+
+BatchResult DurableCatalog::ApplyBatch(const Update* updates, size_t count) {
+  if (dead()) return BatchResult{};
+  if (!durable()) return catalog_->ApplyBatch(updates, count);
+  BatchResult result;
+  if (count == 0) return result;
+
+  // Log the batch's consolidated net deltas, not its raw records: replaying
+  // the net entries through ApplyBatch re-consolidates them as an identity
+  // map and re-derives the same below-zero rejections, so recovery takes
+  // exactly the live code path on exactly the live net work.
+  consolidator_.Begin();
+  for (size_t i = 0; i < count; ++i) {
+    consolidator_.EnsureRelation(updates[i].relation);
+    consolidator_.Add(updates[i]);
+  }
+  net_scratch_.clear();
+  for (const size_t group : consolidator_.touched()) {
+    const std::string& relation = consolidator_.relation(group);
+    const TupleMap<Mult>& delta = consolidator_.delta(group);
+    for (const auto* node = delta.First(); node != nullptr; node = node->next) {
+      if (node->value != 0) net_scratch_.push_back(Update{relation, node->key, node->value});
+    }
+  }
+  if (net_scratch_.empty()) return result;  // fully cancelled: nothing to log or apply
+
+  const Status status = AppendRecord(WalRecordType::kBatch, EncodeBatchPayload(net_scratch_));
+  if (!status.ok()) {
+    IVME_CHECK_MSG(injector_->crashed(), status.message());
+    return BatchResult{};
+  }
+  if (injector_->ShouldCrash("catalog:after_wal_append")) return BatchResult{};
+  result = catalog_->ApplyBatch(net_scratch_);
+  injector_->ShouldCrash("catalog:after_apply");
+  return result;
+}
+
+DurabilityStats DurableCatalog::durability_stats() const {
+  DurabilityStats stats;
+  stats.durable = durable();
+  stats.last_lsn = next_lsn_ - 1;
+  stats.wal_records = rotated_records_ + wal_.stats().records_appended;
+  stats.wal_bytes = rotated_bytes_ + wal_.stats().bytes_appended;
+  stats.wal_syncs = rotated_syncs_ + wal_.stats().syncs;
+  stats.checkpoints_taken = checkpoints_taken_;
+  stats.checkpoint_lsn = checkpoint_lsn_;
+  stats.replayed_records = replayed_records_;
+  stats.recovered_torn_tail = recovered_torn_tail_;
+  if (durable()) {
+    std::vector<std::pair<uint64_t, std::string>> segments;
+    if (ListWalSegments(dir_, &segments).ok()) stats.wal_segments = segments.size();
+  }
+  return stats;
+}
+
+}  // namespace ivme

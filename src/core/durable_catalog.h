@@ -1,0 +1,202 @@
+// Durability wrapper around the sharded multi-query catalog: every write —
+// batches (as their consolidated net deltas), bulk loads, and DDL
+// (register/drop/reshard, the preprocess marker) — is appended to a
+// write-ahead log before or as it applies, and background snapshot
+// checkpoints bound the log's replay tail. Open(dir) recovers by loading
+// the newest valid snapshot, replaying the WAL tail through the normal
+// ApplyBatch path, and verifying invariants, so a recovered catalog is
+// differential-testable against a never-crashed engine: the replayed net
+// deltas take exactly the code path the live ones took.
+//
+// Crash consistency contract (exercised point by point by the recovery
+// fuzzer via FaultInjector):
+//  - data records (update/batch/preprocess) are logged WAL-first: a crash
+//    after the append recovers WITH the operation, a crash before or mid
+//    append (torn tail) recovers to the state just before it;
+//  - DDL and loads apply first and log on success: a crash in the window
+//    loses that operation but nothing after it (nothing after it exists);
+//  - checkpoints are tmp-write → fsync → rename → fsync(dir): a crash at
+//    any point leaves either the old snapshot set or the new one, never a
+//    half-snapshot that recovery would trust; the WAL segments behind a
+//    renamed snapshot are deleted last, and replay skips their records by
+//    LSN if the deletion never ran.
+#ifndef IVME_CORE_DURABLE_CATALOG_H_
+#define IVME_CORE_DURABLE_CATALOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/common/status.h"
+#include "src/core/sharded_catalog.h"
+#include "src/storage/checkpoint.h"
+#include "src/storage/wal.h"
+
+namespace ivme {
+
+/// Configuration of the durability layer.
+struct DurabilityOptions {
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+
+  /// kBatch: fsync after this many appended records (and at checkpoints).
+  size_t fsync_interval = 64;
+
+  /// Snapshots kept after a successful checkpoint (≥ 1).
+  size_t retain_snapshots = 2;
+
+  /// Run the checkpoint's file work (serialize is foreground, write/rename/
+  /// WAL-truncate are not) on a background thread. The state capture always
+  /// happens synchronously, so the snapshot is a consistent cut.
+  bool background_checkpoint = true;
+
+  /// Crash-point injector; null uses FaultInjector::Global() (disarmed by
+  /// default, so production pays one branch per point).
+  FaultInjector* injector = nullptr;
+};
+
+/// Durability counters (shell `stats`, bench JSON).
+struct DurabilityStats {
+  bool durable = false;             ///< attached to a directory
+  uint64_t last_lsn = 0;            ///< highest LSN assigned
+  uint64_t wal_records = 0;         ///< records appended since open/attach
+  uint64_t wal_bytes = 0;
+  uint64_t wal_syncs = 0;
+  size_t wal_segments = 0;          ///< live segment files
+  size_t checkpoints_taken = 0;     ///< completed in this process
+  uint64_t checkpoint_lsn = 0;      ///< LSN of the newest durable snapshot
+  size_t replayed_records = 0;      ///< WAL records replayed by Open
+  bool recovered_torn_tail = false; ///< Open truncated a torn/corrupt tail
+};
+
+/// A ShardedCatalog whose writes survive restarts.
+///
+/// Lifecycle: either construct ephemeral (no directory, nothing logged) and
+/// AttachDir() later — the shell's `save <dir>` — or Open(dir) to recover a
+/// previous incarnation. The write surface mirrors ShardedCatalog; reads
+/// (Enumerate, stats, store access) go through catalog().
+class DurableCatalog {
+ public:
+  /// Ephemeral catalog; durability starts at AttachDir.
+  explicit DurableCatalog(ShardedCatalogOptions catalog_options,
+                          DurabilityOptions durability = DurabilityOptions());
+  ~DurableCatalog();
+
+  DurableCatalog(const DurableCatalog&) = delete;
+  DurableCatalog& operator=(const DurableCatalog&) = delete;
+
+  /// Recovers from `dir` (created when absent): newest valid snapshot
+  /// (older ones are fallbacks when the newest is corrupt), WAL tail
+  /// replayed through the normal apply path, torn tail truncated, and
+  /// invariants verified. An empty dir yields a fresh catalog with
+  /// `catalog_options`; a snapshot's shard count takes precedence.
+  /// Returns null (with `*status` naming the defect) when the directory is
+  /// unusable or the recovered state is corrupt.
+  static std::unique_ptr<DurableCatalog> Open(const std::string& dir,
+                                              ShardedCatalogOptions catalog_options,
+                                              DurabilityOptions durability, Status* status);
+
+  /// Makes an ephemeral catalog durable: creates `dir` (which must not
+  /// already hold a catalog), writes a full snapshot of the current state,
+  /// and starts logging. No-op error on an already-durable catalog.
+  Status AttachDir(const std::string& dir);
+
+  bool durable() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  // --- control plane (mirrors ShardedCatalog, logged when durable) ---
+  bool RegisterQuery(const std::string& name, const ConjunctiveQuery& q, EngineOptions options,
+                     std::string* why = nullptr);
+  bool DropQuery(const std::string& name);
+
+  /// Rebuilds the catalog over `num_shards` hash-partitioned shards,
+  /// re-registering every query and re-loading every relation that still
+  /// has a reader (names of reader-less dropped relations are appended to
+  /// `dropped` when non-null). Logged; the shard count survives restart.
+  Status Reshard(size_t num_shards, std::vector<std::string>* dropped = nullptr);
+
+  // --- data plane ---
+  Status TryLoad(const std::string& relation, const std::vector<std::pair<Tuple, Mult>>& tuples);
+  Status TryLoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
+  void Preprocess();
+  bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+  BatchResult ApplyBatch(const Update* updates, size_t count);
+  BatchResult ApplyBatch(const UpdateBatch& updates);
+
+  /// Takes a snapshot checkpoint at the current LSN: captures the state
+  /// synchronously, rotates the WAL to a fresh segment, then (on the
+  /// background thread when configured) writes + renames the snapshot,
+  /// deletes the WAL segments behind it, and prunes old snapshots.
+  Status Checkpoint();
+
+  /// Joins the in-flight background checkpoint (if any) and returns its
+  /// status. Called automatically before the next Checkpoint/Reshard/
+  /// AttachDir and at destruction.
+  Status WaitForCheckpoint();
+
+  DurabilityStats durability_stats() const;
+
+  // --- read surface ---
+  ShardedCatalog& catalog() { return *catalog_; }
+  const ShardedCatalog& catalog() const { return *catalog_; }
+
+ private:
+  /// True when an injected crash killed this instance: the on-disk state is
+  /// frozen at the crash instant and further durable work is suppressed.
+  bool dead() const;
+
+  /// Assigns the next LSN and appends one record (WAL side only).
+  Status AppendRecord(WalRecordType type, const std::string& payload);
+
+  /// Captures the full logical state at the current LSN.
+  SnapshotData CaptureSnapshot() const;
+
+  /// Rebuilds the inner catalog over `num_shards` (shared by Reshard live,
+  /// kReshard replay, and snapshot loading).
+  Status RebuildAt(size_t num_shards, std::vector<std::string>* dropped);
+
+  /// Replays one WAL record through the normal apply path.
+  Status ApplyWalRecord(const WalRecord& record);
+
+  /// Builds the inner catalog from a snapshot (queries, data, liveness).
+  Status LoadSnapshot(const SnapshotData& snapshot);
+
+  /// Open()'s body: snapshot selection, WAL replay, tail truncation.
+  Status Recover(const std::string& dir);
+
+  /// The checkpoint's file work (background-thread body).
+  static Status CheckpointFiles(const std::string& dir, const SnapshotData& snapshot,
+                                std::vector<std::string> obsolete_segments, size_t retain,
+                                FaultInjector* injector);
+
+  ShardedCatalogOptions catalog_options_;
+  DurabilityOptions durability_;
+  FaultInjector* injector_ = nullptr;  ///< resolved (never null)
+  std::string dir_;
+  std::unique_ptr<ShardedCatalog> catalog_;
+
+  WalWriter wal_;
+  uint64_t next_lsn_ = 1;
+  uint64_t checkpoint_lsn_ = 0;
+  uint64_t rotated_records_ = 0;  ///< WAL stats accumulated over closed segments
+  uint64_t rotated_bytes_ = 0;
+  uint64_t rotated_syncs_ = 0;
+  size_t checkpoints_taken_ = 0;
+  size_t replayed_records_ = 0;
+  bool recovered_torn_tail_ = false;
+
+  std::thread checkpoint_thread_;
+  std::mutex checkpoint_mu_;  ///< guards checkpoint_status_
+  Status checkpoint_status_;
+  uint64_t pending_checkpoint_lsn_ = 0;  ///< LSN of the in-flight checkpoint
+
+  // Serialization scratch (capacity persists across batches).
+  NetDeltaConsolidator consolidator_;
+  UpdateBatch net_scratch_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_DURABLE_CATALOG_H_

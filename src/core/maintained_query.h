@@ -150,6 +150,8 @@ class MaintainedQuery : public StorageProvider {
   const ConjunctiveQuery& query() const { return query_; }
   double epsilon() const { return options_.epsilon; }
   EvalMode mode() const { return options_.mode; }
+  /// The full per-query configuration (checkpoints re-register with it).
+  const EngineOptions& options() const { return options_; }
 
   /// Current database size N as this query sees it (sum of distinct tuples
   /// over its atom occurrences; self-joins count the relation once per

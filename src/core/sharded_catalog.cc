@@ -138,7 +138,38 @@ void ShardedCatalog::Load(const std::string& relation,
 }
 
 void ShardedCatalog::LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult) {
-  shards_[ShardOf(relation, tuple)]->LoadTuple(relation, tuple, mult);
+  const Status status = TryLoadTuple(relation, tuple, mult);
+  IVME_CHECK_MSG(status.ok(), status.message());
+}
+
+Status ShardedCatalog::TryLoad(const std::string& relation,
+                               const std::vector<std::pair<Tuple, Mult>>& tuples) {
+  for (const auto& [tuple, mult] : tuples) {
+    Status status = TryLoadTuple(relation, tuple, mult);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status ShardedCatalog::TryLoadTuple(const std::string& relation, const Tuple& tuple,
+                                    Mult mult) {
+  // Validate against shard 0's store before routing: every shard attaches
+  // the same relations with the same arity, and ShardOf reads the root
+  // column, which only exists on a well-formed tuple.
+  const Relation* stored = shards_[0]->store().Find(relation);
+  if (stored == nullptr) {
+    return Status::Error("unknown relation " + relation + " (no registered query reads it)");
+  }
+  if (tuple.size() != stored->schema().size()) {
+    return Status::Error("relation " + relation + " has arity " +
+                         std::to_string(stored->schema().size()) + "; got a tuple of arity " +
+                         std::to_string(tuple.size()));
+  }
+  if (mult <= 0) {
+    return Status::Error("loaded tuples need positive multiplicities; " + relation + " got " +
+                         std::to_string(mult) + " for " + tuple.ToString());
+  }
+  return shards_[ShardOf(relation, tuple)]->TryLoadTuple(relation, tuple, mult);
 }
 
 void ShardedCatalog::Preprocess() {
@@ -231,12 +262,25 @@ QueryResult ShardedCatalog::EvaluateToMap(const std::string& name) const {
 std::vector<std::pair<Tuple, Mult>> ShardedCatalog::DumpRelation(
     const std::string& relation) const {
   std::vector<std::pair<Tuple, Mult>> out;
-  for (const auto& shard : shards_) {
-    auto part = shard->DumpRelation(relation);
-    out.insert(out.end(), std::make_move_iterator(part.begin()),
-               std::make_move_iterator(part.end()));
-  }
+  const Status status = TryDumpRelation(relation, &out);
+  IVME_CHECK_MSG(status.ok(), status.message());
   return out;
+}
+
+Status ShardedCatalog::TryDumpRelation(const std::string& relation,
+                                       std::vector<std::pair<Tuple, Mult>>* out) const {
+  out->clear();
+  if (shards_[0]->store().Find(relation) == nullptr) {
+    return Status::Error("unknown relation " + relation);
+  }
+  for (const auto& shard : shards_) {
+    std::vector<std::pair<Tuple, Mult>> part;
+    Status status = shard->TryDumpRelation(relation, &part);
+    if (!status.ok()) return status;
+    out->insert(out->end(), std::make_move_iterator(part.begin()),
+                std::make_move_iterator(part.end()));
+  }
+  return Status::Ok();
 }
 
 size_t ShardedCatalog::store_size() const {

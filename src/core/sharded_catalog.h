@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/latency_histogram.h"
+#include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/core/catalog.h"
 #include "src/data/consolidate.h"
@@ -70,6 +71,13 @@ class ShardedCatalog {
   void Load(const std::string& relation, const std::vector<std::pair<Tuple, Mult>>& tuples);
   void LoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
 
+  /// Validating variants (see QueryCatalog::TryLoadTuple): bad input is a
+  /// structured error, checked against shard 0's store before any routing —
+  /// a wrong-arity tuple must not reach ShardOf, whose root-column read
+  /// would index out of bounds.
+  Status TryLoad(const std::string& relation, const std::vector<std::pair<Tuple, Mult>>& tuples);
+  Status TryLoadTuple(const std::string& relation, const Tuple& tuple, Mult mult);
+
   /// Preprocesses every shard, in parallel when the pool has workers.
   void Preprocess();
 
@@ -90,6 +98,10 @@ class ShardedCatalog {
 
   /// Union of every shard's contents for `relation`.
   std::vector<std::pair<Tuple, Mult>> DumpRelation(const std::string& relation) const;
+
+  /// Like DumpRelation with an unknown relation reported as an error.
+  Status TryDumpRelation(const std::string& relation,
+                         std::vector<std::pair<Tuple, Mult>>* out) const;
 
   /// Every shard's query invariants plus the routing invariant (each shard
   /// only stores tuples that hash to it). O(database).

@@ -1,0 +1,79 @@
+// Snapshot checkpoints of the durable catalog: the full logical state —
+// shard count, registered query set (by query text plus engine options),
+// and every store relation's contents — serialized to one versioned,
+// CRC-protected file. Snapshots are written to "snapshot-<lsn>.tmp" and
+// atomically renamed to "snapshot-<lsn>.ivme", so a crash mid-write leaves
+// at worst a stale .tmp that recovery ignores; the recorded LSN is the WAL
+// position the snapshot captures, and recovery replays only records beyond
+// it. This layer is core-agnostic (plain field mirrors of EngineOptions);
+// DurableCatalog converts to and from the live catalog.
+#ifndef IVME_STORAGE_CHECKPOINT_H_
+#define IVME_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/common/status.h"
+#include "src/data/tuple.h"
+
+namespace ivme {
+
+/// One registered query as the snapshot stores it. The query itself rides
+/// as its ToString() text (reparsed on recovery); the engine options are
+/// mirrored field by field to keep storage below core.
+struct SnapshotQuerySpec {
+  std::string name;
+  std::string text;
+  double epsilon = 0.5;
+  uint8_t mode = 1;  ///< EvalMode: 0 static, 1 dynamic
+  uint8_t enable_rebalancing = 1;
+  uint8_t rebalance_mode = 0;  ///< RebalanceMode: 0 amortized, 1 incremental
+  double rebalance_budget = 8.0;
+};
+
+/// One relation's full contents (merged across shards).
+struct SnapshotRelation {
+  std::string name;
+  uint32_t arity = 0;
+  std::vector<std::pair<Tuple, Mult>> tuples;
+};
+
+/// The complete logical state a snapshot captures.
+struct SnapshotData {
+  uint64_t lsn = 0;         ///< WAL position; recovery replays records > lsn
+  uint64_t num_shards = 1;  ///< shard count to rebuild with
+  bool live = false;        ///< whether Preprocess had run
+  std::vector<SnapshotQuerySpec> queries;
+  std::vector<SnapshotRelation> relations;
+};
+
+/// "snapshot-<lsn, zero-padded>.ivme" (lexicographic order = LSN order).
+std::string SnapshotFileName(uint64_t lsn);
+
+/// Serializes `data` and writes it into `dir` via the tmp-then-rename
+/// protocol, fsyncing the file and the directory. Crash points:
+/// "checkpoint:before_tmp_write", "checkpoint:tmp_torn" (a half-written
+/// tmp file is left behind), "checkpoint:before_rename",
+/// "checkpoint:after_rename".
+Status WriteSnapshotFile(const std::string& dir, const SnapshotData& data,
+                         FaultInjector* injector);
+
+/// Reads and validates one snapshot file (magic, version, CRC, structure).
+/// Any mismatch is a Status error naming the defect; `out` is only filled
+/// on success.
+Status ReadSnapshotFile(const std::string& path, SnapshotData* out);
+
+/// LSNs of every complete snapshot in `dir`, ascending. Stale .tmp files
+/// are ignored (and not deleted; Retain handles cleanup).
+Status ListSnapshots(const std::string& dir, std::vector<uint64_t>* out);
+
+/// Deletes all but the `keep` newest snapshots plus every stale .tmp.
+/// Crash point: "checkpoint:mid_retain" (after the first unlink).
+Status RetainSnapshots(const std::string& dir, size_t keep, FaultInjector* injector);
+
+}  // namespace ivme
+
+#endif  // IVME_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,180 @@
+#include "src/storage/serial.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ivme {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  static const Crc32Table table;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) c = table.entries[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteSink::PutU32(uint32_t v) {
+  char raw[4];
+  for (int i = 0; i < 4; ++i) raw[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buffer_.append(raw, 4);
+}
+
+void ByteSink::PutU64(uint64_t v) {
+  char raw[8];
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buffer_.append(raw, 8);
+}
+
+void ByteSink::PutDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteSink::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buffer_.append(s);
+}
+
+void ByteSink::PutTuple(const Tuple& t) {
+  PutU32(static_cast<uint32_t>(t.size()));
+  for (const Value v : t) PutI64(v);
+}
+
+bool ByteSource::Take(size_t n, const char** out) {
+  if (size_ - pos_ < n) return false;
+  *out = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteSource::GetU8(uint8_t* v) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool ByteSource::GetU32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  *v = value;
+  return true;
+}
+
+bool ByteSource::GetU64(uint64_t* v) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  *v = value;
+  return true;
+}
+
+bool ByteSource::GetI64(int64_t* v) {
+  uint64_t raw = 0;
+  if (!GetU64(&raw)) return false;
+  *v = static_cast<int64_t>(raw);
+  return true;
+}
+
+bool ByteSource::GetDouble(double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool ByteSource::GetString(std::string* s) {
+  uint32_t length = 0;
+  if (!GetU32(&length)) return false;
+  const char* p = nullptr;
+  if (!Take(length, &p)) return false;
+  s->assign(p, length);
+  return true;
+}
+
+bool ByteSource::GetTuple(Tuple* t) {
+  uint32_t arity = 0;
+  if (!GetU32(&arity)) return false;
+  if (remaining() < static_cast<size_t>(arity) * 8) return false;  // reject bogus arities early
+  t->Clear();
+  t->Reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    int64_t v = 0;
+    if (!GetI64(&v)) return false;
+    t->PushBack(v);
+  }
+  return true;
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Error("cannot create " + path + ": " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      return Status::Error("write to " + path + " failed: " + why);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Status::Error("fsync of " + path + " failed: " + why);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Error("cannot open " + path + ": " + std::strerror(errno));
+  }
+  out->clear();
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      return Status::Error("read of " + path + " failed: " + why);
+    }
+    if (n == 0) break;
+    out->append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace ivme

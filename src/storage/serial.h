@@ -1,0 +1,82 @@
+// Binary serialization primitives shared by the WAL and the snapshot
+// checkpointer: a little-endian byte sink/source pair plus CRC32 (IEEE
+// 802.3, software table). Every durable artifact is written through these,
+// so the on-disk format is platform-independent and every read path reports
+// corruption as a Status instead of trusting the bytes.
+#ifndef IVME_STORAGE_SERIAL_H_
+#define IVME_STORAGE_SERIAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/data/tuple.h"
+
+namespace ivme {
+
+/// CRC32 (IEEE, reflected polynomial 0xEDB88320) of `n` bytes, chainable
+/// through `seed` (pass a previous result to extend a running checksum).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Append-only little-endian encoder over a std::string buffer.
+class ByteSink {
+ public:
+  ByteSink() = default;
+
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+
+  /// u32 length prefix + raw bytes.
+  void PutString(const std::string& s);
+
+  /// u32 arity prefix + the values (i64 each).
+  void PutTuple(const Tuple& t);
+
+  const std::string& bytes() const { return buffer_; }
+  std::string&& TakeBytes() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+  void Clear() { buffer_.clear(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked little-endian decoder over a byte span. Every getter
+/// returns false (leaving the output untouched) when the remaining bytes
+/// cannot satisfy it; callers turn that into a corruption Status.
+class ByteSource {
+ public:
+  ByteSource(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteSource(const std::string& bytes) : ByteSource(bytes.data(), bytes.size()) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v);
+  bool GetDouble(double* v);
+  bool GetString(std::string* s);
+  bool GetTuple(Tuple* t);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Writes `bytes` to `path` followed by fsync; used for snapshot temp files.
+Status WriteFileDurable(const std::string& path, const std::string& bytes);
+
+/// Reads the whole file into `out` (error when absent or unreadable).
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace ivme
+
+#endif  // IVME_STORAGE_SERIAL_H_

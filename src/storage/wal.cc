@@ -1,0 +1,213 @@
+#include "src/storage/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/storage/serial.h"
+
+namespace ivme {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc32
+
+bool KnownType(uint8_t type) {
+  return type >= static_cast<uint8_t>(WalRecordType::kBatch) &&
+         type <= static_cast<uint8_t>(WalRecordType::kReshard);
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kOff:
+      return "off";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kAlways:
+      return "always";
+  }
+  return "?";
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path, FsyncPolicy policy, size_t fsync_interval,
+                       FaultInjector* injector) {
+  Close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::Error("cannot open WAL segment " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  policy_ = policy;
+  fsync_interval_ = fsync_interval == 0 ? 1 : fsync_interval;
+  unsynced_records_ = 0;
+  injector_ = injector;
+  // Per-segment counters: callers accumulating totals across rotations
+  // (DurableCatalog's rotated_*) add up the stats of each segment.
+  stats_ = WalWriterStats();
+  return Status::Ok();
+}
+
+Status WalWriter::WriteAll(const char* data, size_t n) {
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t w = ::write(fd_, data + written, n - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error("WAL write to " + path_ + " failed: " + std::strerror(errno));
+    }
+    written += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (fd_ < 0) return Status::Error("WAL writer is closed");
+  if (injector_ != nullptr && injector_->ShouldCrash("wal:before_append")) {
+    return Status::Error("fault injected: wal:before_append");
+  }
+
+  // Frame: [length][crc][lsn type payload]; crc covers the length bytes.
+  ByteSink body;
+  body.PutU64(record.lsn);
+  body.PutU8(static_cast<uint8_t>(record.type));
+  // The payload is appended raw (it is already a serialized byte string).
+  ByteSink frame;
+  frame.PutU32(static_cast<uint32_t>(body.size() + record.payload.size()));
+  frame.PutU32(Crc32(record.payload.data(), record.payload.size(),
+                     Crc32(body.bytes().data(), body.size())));
+  std::string bytes = frame.TakeBytes();
+  bytes += body.bytes();
+  bytes += record.payload;
+
+  if (injector_ != nullptr && injector_->ShouldCrash("wal:append_torn")) {
+    // A real crash mid-write leaves a prefix of the frame; write one that
+    // always cuts inside the record so the reader must detect the tear.
+    const size_t partial = bytes.size() > 2 ? bytes.size() / 2 + 1 : 1;
+    (void)WriteAll(bytes.data(), partial);
+    return Status::Error("fault injected: wal:append_torn");
+  }
+
+  Status written = WriteAll(bytes.data(), bytes.size());
+  if (!written.ok()) return written;
+  ++stats_.records_appended;
+  stats_.bytes_appended += bytes.size();
+  stats_.last_lsn = record.lsn;
+  ++unsynced_records_;
+
+  if (policy_ == FsyncPolicy::kAlways ||
+      (policy_ == FsyncPolicy::kBatch && unsynced_records_ >= fsync_interval_)) {
+    return Sync();
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::Error("WAL writer is closed");
+  if (unsynced_records_ == 0) return Status::Ok();
+  if (injector_ != nullptr && injector_->ShouldCrash("wal:before_sync")) {
+    return Status::Error("fault injected: wal:before_sync");
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Error("WAL fsync of " + path_ + " failed: " + std::strerror(errno));
+  }
+  ++stats_.syncs;
+  unsynced_records_ = 0;
+  return Status::Ok();
+}
+
+void WalWriter::Close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Status ScanWalSegment(const std::string& path, WalScanResult* out) {
+  out->records.clear();
+  out->valid_bytes = 0;
+  out->torn = false;
+  std::string bytes;
+  Status read = ReadFileToString(path, &bytes);
+  if (!read.ok()) return read;
+
+  uint64_t last_lsn = 0;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    ByteSource header(bytes.data() + pos, bytes.size() - pos);
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    if (!header.GetU32(&length) || !header.GetU32(&crc) ||
+        header.remaining() < length || length < 9) {
+      out->torn = true;  // partial frame header or body: the torn tail
+      break;
+    }
+    const char* body = bytes.data() + pos + kFrameHeaderBytes;
+    if (Crc32(body, length) != crc) {
+      out->torn = true;
+      break;
+    }
+    ByteSource record_source(body, length);
+    WalRecord record;
+    uint8_t type = 0;
+    if (!record_source.GetU64(&record.lsn) || !record_source.GetU8(&type) ||
+        !KnownType(type) || (!out->records.empty() && record.lsn <= last_lsn)) {
+      out->torn = true;  // CRC passed but the content is nonsense
+      break;
+    }
+    record.type = static_cast<WalRecordType>(type);
+    record.payload.assign(body + 9, length - 9);
+    last_lsn = record.lsn;
+    out->records.push_back(std::move(record));
+    pos += kFrameHeaderBytes + length;
+    out->valid_bytes = pos;
+  }
+  return Status::Ok();
+}
+
+Status TruncateWalSegment(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::Error("cannot truncate WAL segment " + path + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+std::string WalSegmentFileName(uint64_t start_lsn) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "wal-%020llu.log",
+                static_cast<unsigned long long>(start_lsn));
+  return name;
+}
+
+Status ListWalSegments(const std::string& dir,
+                       std::vector<std::pair<uint64_t, std::string>>* out) {
+  out->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::Error("cannot list " + dir + ": " + std::strerror(errno));
+  }
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() != 28 || name.compare(0, 4, "wal-") != 0 ||
+        name.compare(24, 4, ".log") != 0) {
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long lsn = std::strtoull(name.c_str() + 4, &end, 10);
+    if (end != name.c_str() + 24) continue;
+    out->emplace_back(static_cast<uint64_t>(lsn), name);
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end());
+  return Status::Ok();
+}
+
+}  // namespace ivme

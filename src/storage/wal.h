@@ -1,0 +1,130 @@
+// Write-ahead log of the durable catalog. Each record carries one logical
+// operation — a batch's consolidated net deltas (the NetDeltaConsolidator
+// output, exactly what ApplyBatch re-applies on recovery), a bulk load, a
+// DDL step (register/drop/reshard), or the preprocess marker — framed as
+//
+//   [u32 length][u32 crc32][u64 lsn][u8 type][payload...]
+//                \________ length bytes, crc32 covers them ________/
+//
+// with a monotone LSN. Appends go through one writer per open catalog with
+// an fsync policy (always / batch / off); readers validate every frame and
+// stop at the first torn or corrupt record, reporting the byte offset of
+// the last durable prefix so Open() can truncate the tail. Segment files
+// are rotated by the checkpointer (DurableCatalog names them by start LSN);
+// this layer only reads and appends single files.
+#ifndef IVME_STORAGE_WAL_H_
+#define IVME_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/common/status.h"
+
+namespace ivme {
+
+/// When appended WAL records reach stable storage.
+enum class FsyncPolicy {
+  kOff,     ///< never fsync; the OS flushes when it pleases
+  kBatch,   ///< fsync every fsync_interval records and at checkpoints
+  kAlways,  ///< fsync after every record (a record is durable when acked)
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// Logical operation types carried by WAL records.
+enum class WalRecordType : uint8_t {
+  kBatch = 1,          ///< consolidated net deltas of one ApplyBatch/ApplyUpdate
+  kLoad = 2,           ///< pre-preprocess bulk load of one relation
+  kPreprocess = 3,     ///< the catalog went live
+  kRegisterQuery = 4,  ///< query registration (name, text, engine options)
+  kDropQuery = 5,      ///< query removal (name)
+  kReshard = 6,        ///< shard-count change (new K)
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kBatch;
+  std::string payload;
+};
+
+/// Append counters of one writer (folded into DurabilityStats).
+struct WalWriterStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t syncs = 0;
+  uint64_t last_lsn = 0;  ///< highest LSN fully appended
+};
+
+/// Appends framed records to one segment file.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending (creating it when absent). `injector` may
+  /// be null (no fault injection).
+  Status Open(const std::string& path, FsyncPolicy policy, size_t fsync_interval,
+              FaultInjector* injector);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one record and applies the fsync policy. On an injected crash
+  /// the writer is dead from that instant: the record may be fully written,
+  /// partially written ("wal:append_torn"), or not written at all
+  /// ("wal:before_append"), exactly like a real crash, and every later
+  /// append fails. Returns the error (injected or real I/O) on failure.
+  Status Append(const WalRecord& record);
+
+  /// Forces an fsync now (checkpoint boundaries under kBatch).
+  Status Sync();
+
+  void Close();
+
+  const WalWriterStats& stats() const { return stats_; }
+
+ private:
+  Status WriteAll(const char* data, size_t n);
+
+  int fd_ = -1;
+  std::string path_;
+  FsyncPolicy policy_ = FsyncPolicy::kBatch;
+  size_t fsync_interval_ = 64;
+  size_t unsynced_records_ = 0;
+  FaultInjector* injector_ = nullptr;
+  WalWriterStats stats_;
+};
+
+/// Outcome of scanning one segment file.
+struct WalScanResult {
+  std::vector<WalRecord> records;  ///< every valid record, in file order
+  uint64_t valid_bytes = 0;        ///< offset just past the last valid record
+  bool torn = false;               ///< trailing bytes after valid_bytes were dropped
+};
+
+/// Reads every valid record of `path`, stopping at the first torn or
+/// corrupt frame (length running past EOF, CRC mismatch, non-monotone LSN,
+/// unknown type). A partially written tail is normal after a crash and is
+/// reported via `torn`, not as an error; only an unreadable file errors.
+Status ScanWalSegment(const std::string& path, WalScanResult* out);
+
+/// Truncates `path` to `size` bytes — drops a torn tail found by the scan.
+Status TruncateWalSegment(const std::string& path, uint64_t size);
+
+/// Segment file name for the segment whose first record has `start_lsn`:
+/// "wal-<start_lsn, zero-padded>.log" (lexicographic order = LSN order).
+std::string WalSegmentFileName(uint64_t start_lsn);
+
+/// Lists `dir`'s WAL segments as (start_lsn, filename), ascending by LSN.
+Status ListWalSegments(const std::string& dir,
+                       std::vector<std::pair<uint64_t, std::string>>* out);
+
+}  // namespace ivme
+
+#endif  // IVME_STORAGE_WAL_H_

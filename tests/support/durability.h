@@ -1,0 +1,114 @@
+// Shared helpers of the durability and recovery-fuzz tests: scratch
+// directories on disk and logical-state comparison between two catalogs
+// (sorted relation dumps plus sorted result enumerations — the shard count
+// is deliberately NOT part of the logical state, resharding preserves it).
+#ifndef IVME_TESTS_SUPPORT_DURABILITY_H_
+#define IVME_TESTS_SUPPORT_DURABILITY_H_
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/sharded_catalog.h"
+
+namespace ivme {
+namespace testing {
+
+/// mkdtemp-backed scratch directory, removed (one level deep — the durable
+/// catalog creates no subdirectories) on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    char buf[] = "/tmp/ivme_dur_XXXXXX";
+    char* created = ::mkdtemp(buf);
+    path_ = created != nullptr ? created : "";
+  }
+  ~TempDir() { Remove(); }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  void Remove() {
+    if (path_.empty()) return;
+    DIR* dir = ::opendir(path_.c_str());
+    if (dir != nullptr) {
+      while (struct dirent* entry = ::readdir(dir)) {
+        if (std::strcmp(entry->d_name, ".") == 0 || std::strcmp(entry->d_name, "..") == 0) {
+          continue;
+        }
+        ::unlink((path_ + "/" + entry->d_name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path_.c_str());
+  }
+
+ private:
+  std::string path_;
+};
+
+inline std::vector<std::pair<Tuple, Mult>> SortedDump(const ShardedCatalog& catalog,
+                                                      const std::string& relation) {
+  std::vector<std::pair<Tuple, Mult>> dump = catalog.DumpRelation(relation);
+  std::sort(dump.begin(), dump.end());
+  return dump;
+}
+
+inline std::vector<std::pair<Tuple, Mult>> SortedResult(const ShardedCatalog& catalog,
+                                                        const std::string& query) {
+  std::vector<std::pair<Tuple, Mult>> result;
+  auto it = catalog.Enumerate(query);
+  Tuple t;
+  Mult m = 0;
+  while (it->Next(&t, &m)) result.emplace_back(t, m);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+/// "" when `got` and `want` agree on queries, relation contents, and every
+/// query's enumerated result; a description of the first difference
+/// otherwise. Compares logical state only (shard counts may differ).
+inline std::string DiffLogicalState(const ShardedCatalog& got, const ShardedCatalog& want) {
+  std::vector<std::string> got_queries = got.QueryNames();
+  std::vector<std::string> want_queries = want.QueryNames();
+  std::sort(got_queries.begin(), got_queries.end());
+  std::sort(want_queries.begin(), want_queries.end());
+  if (got_queries != want_queries) return "query sets differ";
+
+  std::vector<std::string> want_relations = want.shard(0).store().RelationNames();
+  std::sort(want_relations.begin(), want_relations.end());
+  for (const std::string& relation : want_relations) {
+    std::vector<std::pair<Tuple, Mult>> got_dump;
+    if (!got.TryDumpRelation(relation, &got_dump).ok()) {
+      return "relation " + relation + " missing";
+    }
+    std::sort(got_dump.begin(), got_dump.end());
+    if (got_dump != SortedDump(want, relation)) {
+      return "relation " + relation + " contents differ (" + std::to_string(got_dump.size()) +
+             " vs " + std::to_string(want.DumpRelation(relation).size()) + " entries)";
+    }
+  }
+  const bool want_live = want.num_queries() > 0 && want.shard(0).preprocessed();
+  const bool got_live = got.num_queries() > 0 && got.shard(0).preprocessed();
+  if (want_live != got_live) return "liveness differs";
+  if (want_live) {
+    for (const std::string& query : want_queries) {
+      if (SortedResult(got, query) != SortedResult(want, query)) {
+        return "result of " + query + " differs";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace testing
+}  // namespace ivme
+
+#endif  // IVME_TESTS_SUPPORT_DURABILITY_H_

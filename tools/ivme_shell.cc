@@ -1,9 +1,10 @@
 // Interactive shell around the multi-query catalog: define an initial
 // hierarchical query on the command line, register more at runtime, then
 // stream updates into the shared relation store and enumerate any
-// registered query. The serving layer is a ShardedCatalog (1 shard unless
-// told otherwise), so the shell doubles as a cockpit for both the
-// shared-store fan-out and the shared-nothing sharding layer.
+// registered query. The serving layer is a DurableCatalog over a
+// ShardedCatalog (1 shard unless told otherwise), so the shell doubles as
+// a cockpit for the shared-store fan-out, the shared-nothing sharding
+// layer, and the WAL + snapshot durability stack.
 //
 //   ./tools/ivme_shell "Q(A, C) = R(A, B), S(B, C)" [epsilon] [shards] [mode]
 //
@@ -23,9 +24,14 @@
 //   use N             make N the target of ?, count, widths, trees
 //   queries           list registered queries (the active one is starred)
 //   shards N          rebuild the catalog with N hash-partitioned shards
+//   save DIR          make the catalog durable at DIR (snapshot + WAL; every
+//                     later update is logged and survives restart)
+//   open DIR          recover the catalog previously saved at DIR (replaces
+//                     the current one, including its queries and shards)
+//   checkpoint        write a snapshot now and truncate the WAL behind it
 //   ?                 enumerate the active query's result (first 50 tuples)
 //   count             number of distinct result tuples of the active query
-//   stats             shared-store size plus per-query N, M, θ (per shard)
+//   stats             shared-store size, per-query N, M, θ, durability counters
 //   widths            active query's classification and widths
 //   trees             print the active query's view trees (per shard)
 //   check             verify all internal invariants (incl. routing)
@@ -40,7 +46,7 @@
 #include <vector>
 
 #include "src/common/fmt.h"
-#include "src/core/sharded_catalog.h"
+#include "src/core/durable_catalog.h"
 #include "src/core/sharded_engine.h"
 #include "src/query/classify.h"
 #include "src/query/hypergraph.h"
@@ -54,6 +60,7 @@ void PrintHelp() {
   std::printf(
       "commands: + REL v1 v2 .. [m] | - REL v1 v2 .. [m] | batch begin|end|abort |\n"
       "          register NAME Q(..) = .. | drop NAME | use NAME | queries | shards N |\n"
+      "          save DIR | open DIR | checkpoint |\n"
       "          ? | count | stats | widths | trees | check | help | quit\n");
 }
 
@@ -72,12 +79,15 @@ void PrintWidths(const ConjunctiveQuery& q) {
               shardable ? "" : why.c_str());
 }
 
-/// Shell state: the sharded catalog plus the name of the active query.
+/// Shell state: the durable catalog plus the name of the active query.
 struct Shell {
-  std::unique_ptr<ShardedCatalog> catalog;
+  std::unique_ptr<DurableCatalog> durable;
   double epsilon = 0.5;
   RebalanceMode rebalance_mode = RebalanceMode::kAmortized;
   std::string active;
+
+  ShardedCatalog& cat() { return durable->catalog(); }
+  const ShardedCatalog& cat() const { return durable->catalog(); }
 
   EngineOptions QueryOptions() const {
     EngineOptions options;
@@ -89,13 +99,13 @@ struct Shell {
 
   /// Arity of a store relation, or -1 when no registered query reads it.
   int ArityOf(const std::string& relation) const {
-    const Relation* stored = catalog->shard(0).store().Find(relation);
+    const Relation* stored = cat().shard(0).store().Find(relation);
     return stored != nullptr ? static_cast<int>(stored->schema().size()) : -1;
   }
 };
 
 void PrintStats(const Shell& shell) {
-  const ShardedCatalog& catalog = *shell.catalog;
+  const ShardedCatalog& catalog = shell.cat();
   std::printf("store: %s tuples | shards=%zu threads=%zu | queries=%zu | relations:",
               WithThousands(static_cast<long long>(catalog.store_size())).c_str(),
               catalog.num_shards(), catalog.num_threads(), catalog.num_queries());
@@ -116,6 +126,21 @@ void PrintStats(const Shell& shell) {
   std::printf("  latency: updates %s | batches %s\n",
               catalog.update_latency().Summary().c_str(),
               catalog.batch_latency().Summary().c_str());
+  // Durability counters: WAL volume, checkpoint positions, and what the
+  // last Open had to replay.
+  const DurabilityStats d = shell.durable->durability_stats();
+  if (d.durable) {
+    std::printf("  durability: dir=%s | lsn=%llu | wal records=%llu bytes=%llu syncs=%llu "
+                "segments=%zu | checkpoints=%zu @lsn=%llu | replayed=%zu%s\n",
+                shell.durable->dir().c_str(), static_cast<unsigned long long>(d.last_lsn),
+                static_cast<unsigned long long>(d.wal_records),
+                static_cast<unsigned long long>(d.wal_bytes),
+                static_cast<unsigned long long>(d.wal_syncs), d.wal_segments,
+                d.checkpoints_taken, static_cast<unsigned long long>(d.checkpoint_lsn),
+                d.replayed_records, d.recovered_torn_tail ? " (torn tail truncated)" : "");
+  } else {
+    std::printf("  durability: off (use 'save DIR')\n");
+  }
   // Per-query maintenance state: one line per query per shard — each shard
   // sizes M and θ = M^ε from its own slice, and each query has its own ε.
   for (const auto& name : catalog.QueryNames()) {
@@ -142,10 +167,10 @@ void PrintStats(const Shell& shell) {
   }
 }
 
-std::unique_ptr<ShardedCatalog> MakeCatalog(size_t shards) {
+std::unique_ptr<DurableCatalog> MakeCatalog(size_t shards) {
   ShardedCatalogOptions options;
   options.num_shards = shards;
-  return std::make_unique<ShardedCatalog>(options);
+  return std::make_unique<DurableCatalog>(options);
 }
 
 }  // namespace
@@ -188,19 +213,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot shard this query (%s); running with 1 shard\n", why.c_str());
     shards = 1;
   }
-  shell.catalog = MakeCatalog(shards);
+  shell.durable = MakeCatalog(shards);
   shell.active = query->name();
-  if (!shell.catalog->RegisterQuery(shell.active, *query, shell.QueryOptions(), &why)) {
+  if (!shell.durable->RegisterQuery(shell.active, *query, shell.QueryOptions(), &why)) {
     std::fprintf(stderr, "could not register query: %s\n", why.c_str());
     return 2;
   }
-  shell.catalog->Preprocess();
+  shell.durable->Preprocess();
 
   PrintWidths(*query);
   std::printf(
       "catalog ready at eps=%.2f with %zu shard(s), %s rebalancing; active query '%s'; "
       "type 'help'\n",
-      shell.epsilon, shell.catalog->num_shards(),
+      shell.epsilon, shell.cat().num_shards(),
       shell.rebalance_mode == RebalanceMode::kIncremental ? "incremental" : "amortized",
       shell.active.c_str());
 
@@ -232,7 +257,7 @@ int main(int argc, char** argv) {
         std::printf("! query is not hierarchical\n");
         continue;
       }
-      if (!shell.catalog->RegisterQuery(name, *q, shell.QueryOptions(), &why)) {
+      if (!shell.durable->RegisterQuery(name, *q, shell.QueryOptions(), &why)) {
         std::printf("! cannot register: %s\n", why.c_str());
         continue;
       }
@@ -240,27 +265,27 @@ int main(int argc, char** argv) {
       std::printf("registered '%s' (%s); now active\n", name.c_str(), q->ToString().c_str());
     } else if (cmd == "drop") {
       std::string name;
-      if (!(in >> name) || !shell.catalog->DropQuery(name)) {
+      if (!(in >> name) || !shell.durable->DropQuery(name)) {
         std::printf("! usage: drop NAME (a registered query)\n");
         continue;
       }
       std::printf("dropped '%s' (store relations kept)\n", name.c_str());
       if (shell.active == name) {
-        const auto names = shell.catalog->QueryNames();
+        const auto names = shell.cat().QueryNames();
         shell.active = names.empty() ? "" : names.front();
         std::printf("active query now '%s'\n", shell.active.c_str());
       }
     } else if (cmd == "use") {
       std::string name;
-      if (!(in >> name) || shell.catalog->FindQuery(name) == nullptr) {
+      if (!(in >> name) || shell.cat().FindQuery(name) == nullptr) {
         std::printf("! usage: use NAME (a registered query)\n");
         continue;
       }
       shell.active = name;
       std::printf("active query now '%s'\n", shell.active.c_str());
     } else if (cmd == "queries") {
-      for (const auto& name : shell.catalog->QueryNames()) {
-        const MaintainedQuery* q = shell.catalog->FindQuery(name);
+      for (const auto& name : shell.cat().QueryNames()) {
+        const MaintainedQuery* q = shell.cat().FindQuery(name);
         std::printf("  %c %-12s %s (eps=%.2f)\n", name == shell.active ? '*' : ' ',
                     name.c_str(), q->query().ToString().c_str(), q->epsilon());
       }
@@ -274,44 +299,78 @@ int main(int argc, char** argv) {
         std::printf("! close the open batch first (batch end / batch abort)\n");
         continue;
       }
-      // Every registered query must be shardable at the new K.
-      bool ok = true;
-      for (const auto& name : shell.catalog->QueryNames()) {
-        const MaintainedQuery* q = shell.catalog->FindQuery(name);
-        if (n > 1 && !ShardedEngine::CanShard(q->query(), &why)) {
-          std::printf("! cannot shard query '%s': %s\n", name.c_str(), why.c_str());
-          ok = false;
-        }
-      }
-      if (!ok) continue;
       // Rebuild: re-register every query, reload the dumped store, and
-      // re-preprocess. Update/rebalance counters restart from zero.
-      auto rebuilt = MakeCatalog(static_cast<size_t>(n));
-      for (const auto& name : shell.catalog->QueryNames()) {
-        const MaintainedQuery* q = shell.catalog->FindQuery(name);
-        EngineOptions options = shell.QueryOptions();
-        options.epsilon = q->epsilon();
-        if (!rebuilt->RegisterQuery(name, q->query(), options, &why)) {
-          std::printf("! cannot re-register '%s': %s\n", name.c_str(), why.c_str());
-          ok = false;
-          break;
-        }
+      // re-preprocess. Update/rebalance counters restart from zero; a
+      // durable catalog logs the new K, so it survives restart.
+      std::vector<std::string> dropped;
+      const Status status = shell.durable->Reshard(static_cast<size_t>(n), &dropped);
+      if (!status.ok()) {
+        std::printf("! %s\n", status.message().c_str());
+        continue;
       }
-      if (!ok) continue;
-      for (const auto& relation : shell.catalog->shard(0).store().RelationNames()) {
-        // Relations kept alive only by dropped queries have no reader in
-        // the rebuilt catalog; their data cannot be carried over.
-        if (rebuilt->shard(0).store().Find(relation) == nullptr) {
-          std::printf("! dropping %s: no registered query reads it\n", relation.c_str());
-          continue;
-        }
-        rebuilt->Load(relation, shell.catalog->DumpRelation(relation));
+      for (const auto& relation : dropped) {
+        std::printf("! dropping %s: no registered query reads it\n", relation.c_str());
       }
-      rebuilt->Preprocess();
-      shell.catalog = std::move(rebuilt);
       std::printf("rebuilt with %zu shard(s) over %zu store tuples (threads=%zu)\n",
-                  shell.catalog->num_shards(), shell.catalog->store_size(),
-                  shell.catalog->num_threads());
+                  shell.cat().num_shards(), shell.cat().store_size(),
+                  shell.cat().num_threads());
+    } else if (cmd == "save") {
+      std::string dir;
+      if (!(in >> dir)) {
+        std::printf("! usage: save DIR\n");
+        continue;
+      }
+      const Status status = shell.durable->AttachDir(dir);
+      if (!status.ok()) {
+        std::printf("! %s\n", status.message().c_str());
+        continue;
+      }
+      const Status done = shell.durable->WaitForCheckpoint();
+      if (!done.ok()) {
+        std::printf("! checkpoint failed: %s\n", done.message().c_str());
+        continue;
+      }
+      std::printf("saved to %s (snapshot @lsn=%llu; updates now logged)\n", dir.c_str(),
+                  static_cast<unsigned long long>(shell.durable->durability_stats().checkpoint_lsn));
+    } else if (cmd == "open") {
+      std::string dir;
+      if (!(in >> dir)) {
+        std::printf("! usage: open DIR\n");
+        continue;
+      }
+      if (batching) {
+        std::printf("! close the open batch first (batch end / batch abort)\n");
+        continue;
+      }
+      Status status;
+      auto opened = DurableCatalog::Open(dir, ShardedCatalogOptions(), DurabilityOptions(),
+                                         &status);
+      if (opened == nullptr) {
+        std::printf("! cannot open %s: %s\n", dir.c_str(), status.message().c_str());
+        continue;
+      }
+      shell.durable = std::move(opened);
+      const auto names = shell.cat().QueryNames();
+      if (shell.active.empty() || shell.cat().FindQuery(shell.active) == nullptr) {
+        shell.active = names.empty() ? "" : names.front();
+      }
+      const DurabilityStats d = shell.durable->durability_stats();
+      std::printf("opened %s: %zu quer%s, %zu shard(s), %zu store tuples | replayed %zu WAL "
+                  "record(s)%s\n",
+                  dir.c_str(), names.size(), names.size() == 1 ? "y" : "ies",
+                  shell.cat().num_shards(), shell.cat().store_size(), d.replayed_records,
+                  d.recovered_torn_tail ? " (torn tail truncated)" : "");
+      if (!shell.active.empty()) std::printf("active query now '%s'\n", shell.active.c_str());
+    } else if (cmd == "checkpoint") {
+      Status status = shell.durable->Checkpoint();
+      if (status.ok()) status = shell.durable->WaitForCheckpoint();
+      if (!status.ok()) {
+        std::printf("! %s\n", status.message().c_str());
+        continue;
+      }
+      const DurabilityStats d = shell.durable->durability_stats();
+      std::printf("checkpoint #%zu @lsn=%llu (WAL truncated behind it)\n", d.checkpoints_taken,
+                  static_cast<unsigned long long>(d.checkpoint_lsn));
     } else if (cmd == "batch") {
       std::string sub;
       in >> sub;
@@ -323,10 +382,9 @@ int main(int argc, char** argv) {
         pending.clear();
         std::printf("batch open; +/- commands buffer until 'batch end'\n");
       } else if (sub == "end" && batching) {
-        const auto result = shell.catalog->ApplyBatch(pending);
+        const auto result = shell.durable->ApplyBatch(pending);
         std::printf("applied %zu updates as %zu net entries (%zu rejected) (store=%zu)\n",
-                    pending.size(), result.applied, result.rejected,
-                    shell.catalog->store_size());
+                    pending.size(), result.applied, result.rejected, shell.cat().store_size());
         batching = false;
         pending.clear();
       } else if (sub == "abort" && batching) {
@@ -365,15 +423,15 @@ int main(int argc, char** argv) {
         std::printf("buffered (%zu pending)\n", pending.size());
         continue;
       }
-      const bool ok = shell.catalog->ApplyUpdate(rel, Tuple(std::move(values)), mult);
+      const bool ok = shell.durable->ApplyUpdate(rel, Tuple(std::move(values)), mult);
       std::printf(ok ? "ok (store=%zu)\n" : "rejected (delete below zero) (store=%zu)\n",
-                  shell.catalog->store_size());
+                  shell.cat().store_size());
     } else if (cmd == "?") {
       if (shell.active.empty()) {
         std::printf("! no registered queries\n");
         continue;
       }
-      auto it = shell.catalog->Enumerate(shell.active);
+      auto it = shell.cat().Enumerate(shell.active);
       Tuple t;
       Mult m = 0;
       size_t shown = 0;
@@ -390,7 +448,7 @@ int main(int argc, char** argv) {
         std::printf("! no registered queries\n");
         continue;
       }
-      auto it = shell.catalog->Enumerate(shell.active);
+      auto it = shell.cat().Enumerate(shell.active);
       Tuple t;
       Mult m = 0;
       size_t count = 0;
@@ -403,20 +461,19 @@ int main(int argc, char** argv) {
         std::printf("! no registered queries\n");
         continue;
       }
-      PrintWidths(shell.catalog->FindQuery(shell.active)->query());
+      PrintWidths(shell.cat().FindQuery(shell.active)->query());
     } else if (cmd == "trees") {
       if (shell.active.empty()) {
         std::printf("! no registered queries\n");
         continue;
       }
-      for (size_t s = 0; s < shell.catalog->num_shards(); ++s) {
-        if (shell.catalog->num_shards() > 1) std::printf("--- shard %zu ---\n", s);
-        std::printf("%s", shell.catalog->FindQuery(shell.active, s)->DebugString().c_str());
+      for (size_t s = 0; s < shell.cat().num_shards(); ++s) {
+        if (shell.cat().num_shards() > 1) std::printf("--- shard %zu ---\n", s);
+        std::printf("%s", shell.cat().FindQuery(shell.active, s)->DebugString().c_str());
       }
     } else if (cmd == "check") {
       std::string error;
-      std::printf(shell.catalog->CheckInvariants(&error) ? "all invariants hold\n"
-                                                         : "FAILED: %s\n",
+      std::printf(shell.cat().CheckInvariants(&error) ? "all invariants hold\n" : "FAILED: %s\n",
                   error.c_str());
     } else {
       std::printf("! unknown command '%s' (try 'help')\n", cmd.c_str());
