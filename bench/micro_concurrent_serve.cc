@@ -1,0 +1,226 @@
+// Concurrent serving: reader p99 latency vs ingest throughput while
+// ApplyBatch runs live, across X writer shards × Y reader threads on a
+// serving ShardedCatalog (epoch snapshots, ARCHITECTURE.md §9).
+//
+// Each configuration runs one writer loop (batches of 64 mixed
+// insert/delete updates against Q(A,C) = R(A,B), S(B,C)) for a fixed
+// wall-clock window while Y reader threads independently pin a snapshot,
+// drain a bounded prefix of the merged result, and release. Readers never
+// block the writer (they pin an already-published epoch); the writer never
+// blocks readers (retired nodes are reclaimed, not reused, while pinned).
+//
+// Reported per (X, Y): ingest throughput (updates/s), aggregate reader
+// throughput (reads/s), and reader latency p50/p99. Y=0 rows are the
+// no-reader ingest baselines.
+//
+// Shape checks (enforced only on ≥ 4 hardware threads and without --smoke;
+// single-core hosts timeshare everything, so scaling cannot show):
+//   1. at X=1, Y=4 readers deliver ≥ 2× the aggregate read throughput of
+//      Y=1 (readers scale — they share nothing but the epoch pin), and
+//   2. at X=1, ingest with Y=4 readers stays within 15% of the Y=0
+//      baseline (reads do not stall the maintenance path).
+//
+//   ./build/micro_concurrent_serve [--smoke] [--seed N]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/core/sharded_catalog.h"
+
+using namespace ivme;
+
+namespace {
+
+struct Config {
+  size_t base_tuples = 20000;  // per relation
+  size_t batch_size = 64;
+  double window_seconds = 1.0;  // measured window per configuration
+  size_t read_limit = 256;      // tuples drained per read operation
+};
+
+struct Measurement {
+  double ingest_per_sec = 0;
+  double reads_per_sec = 0;
+  double read_p50_us = 0;
+  double read_p99_us = 0;
+  size_t batches = 0;
+  size_t reads = 0;
+};
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+Measurement Run(size_t shards, size_t readers, const Config& config, uint64_t seed) {
+  ShardedCatalogOptions options;
+  options.num_shards = shards;
+  ShardedCatalog catalog(options);
+  EngineOptions engine;
+  engine.epsilon = 0.5;
+  engine.mode = EvalMode::kDynamic;
+  engine.rebalance_mode = RebalanceMode::kIncremental;
+  std::string why;
+  const auto q = ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
+  IVME_CHECK(q.has_value());
+  IVME_CHECK_MSG(catalog.RegisterQuery("join", *q, engine, &why), why);
+
+  // Skewed base data on the shared key B: a few heavy join keys plus a
+  // light tail (same family as micro_sharded_update).
+  Rng base_rng(seed);
+  for (size_t i = 0; i < config.base_tuples; ++i) {
+    const Value b = static_cast<Value>(base_rng.Below(base_rng.Chance(0.2) ? 8 : 2000));
+    catalog.LoadTuple("R", Tuple{base_rng.Range(0, 4000000), b}, 1);
+    catalog.LoadTuple("S", Tuple{static_cast<Value>(base_rng.Below(2000)),
+                                 base_rng.Range(0, 4000000)},
+                      1);
+  }
+  catalog.Preprocess();
+  catalog.EnableServing();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies(readers);
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (size_t r = 0; r < readers; ++r) {
+    latencies[r].reserve(1 << 16);
+    threads.emplace_back([&catalog, &stop, &latencies, &config, r] {
+      Tuple t;
+      Mult m = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        bench::Timer one;
+        ReadSnapshot snapshot = catalog.AcquireSnapshot();
+        auto it = catalog.EnumerateAt("join", snapshot.epoch());
+        size_t drained = 0;
+        while (drained < config.read_limit && it->Next(&t, &m)) ++drained;
+        it.reset();
+        snapshot.Release();
+        latencies[r].push_back(one.Seconds() * 1e6);
+      }
+    });
+  }
+
+  // Writer: batches of mixed inserts and live-set deletes, 35% deletes.
+  Rng rng(seed + 1);
+  std::deque<Update> live;
+  size_t updates = 0, batches = 0;
+  bench::Timer window;
+  while (window.Seconds() < config.window_seconds) {
+    UpdateBatch batch;
+    batch.reserve(config.batch_size);
+    for (size_t i = 0; i < config.batch_size; ++i) {
+      if (!live.empty() && rng.Chance(0.35)) {
+        Update victim = live.front();
+        live.pop_front();
+        victim.mult = -1;
+        batch.push_back(std::move(victim));
+      } else {
+        const bool on_r = rng.Chance(0.5);
+        const Value b = static_cast<Value>(rng.Below(rng.Chance(0.2) ? 8 : 2000));
+        Update u{on_r ? "R" : "S",
+                 on_r ? Tuple{rng.Range(0, 4000000), b} : Tuple{b, rng.Range(0, 4000000)}, 1};
+        live.push_back(u);
+        batch.push_back(std::move(u));
+      }
+    }
+    updates += catalog.ApplyBatch(batch).applied;
+    ++batches;
+  }
+  const double elapsed = window.Seconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) thread.join();
+
+  // With every reader gone, two idle publishes reclaim all retired memory.
+  catalog.ApplyBatch(UpdateBatch{});
+  catalog.ApplyBatch(UpdateBatch{});
+  IVME_CHECK_MSG(catalog.RetiredObjects() == 0,
+                 "retired objects leaked: " << catalog.RetiredObjects());
+  std::string error;
+  IVME_CHECK_MSG(catalog.CheckInvariants(&error), "invariants after serving: " << error);
+
+  Measurement out;
+  out.batches = batches;
+  out.ingest_per_sec = static_cast<double>(updates) / elapsed;
+  std::vector<double> all;
+  for (const auto& lane : latencies) all.insert(all.end(), lane.begin(), lane.end());
+  out.reads = all.size();
+  out.reads_per_sec = static_cast<double>(all.size()) / elapsed;
+  std::sort(all.begin(), all.end());
+  out.read_p50_us = Percentile(all, 0.50);
+  out.read_p99_us = Percentile(all, 0.99);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  const bool smoke = bench::SmokeFromArgs(argc, argv);
+  const uint64_t seed = bench::SeedFromArgs(argc, argv, 1);
+  if (smoke) {
+    config.base_tuples = 2000;
+    config.window_seconds = 0.15;
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool enforce = !smoke && cores >= 4;
+
+  const std::vector<size_t> shard_counts = {1, 2, 4};
+  const std::vector<size_t> reader_counts = {0, 1, 2, 4};
+
+  bench::JsonReporter json("micro_concurrent_serve");
+  json.SetSeed(seed);
+  std::printf("concurrent serving, Q(A,C) = R(A,B), S(B,C); N0=%zu per relation, batch %zu, "
+              "%.2fs window, read limit %zu tuples, %u hardware threads\n",
+              config.base_tuples, config.batch_size, config.window_seconds, config.read_limit,
+              cores);
+  bench::PrintRule();
+  std::printf("%-6s %-8s %14s %12s %10s %10s %12s\n", "X", "readers", "ingest/s", "reads/s",
+              "p50 us", "p99 us", "vs Y=0");
+  bench::PrintRule();
+
+  bool scale_ok = true, ingest_ok = true;
+  for (const size_t shards : shard_counts) {
+    double baseline_ingest = 0, y1_reads = 0;
+    for (const size_t readers : reader_counts) {
+      const Measurement m = Run(shards, readers, config, seed + 100 * shards + readers);
+      if (readers == 0) baseline_ingest = m.ingest_per_sec;
+      if (readers == 1) y1_reads = m.reads_per_sec;
+      const double vs_baseline = m.ingest_per_sec / baseline_ingest;
+      std::printf("%-6zu %-8zu %14.0f %12.0f %10.1f %10.1f %11.2fx", shards, readers,
+                  m.ingest_per_sec, m.reads_per_sec, m.read_p50_us, m.read_p99_us, vs_baseline);
+      if (readers > 1) std::printf("  (reads %.2fx vs Y=1)", m.reads_per_sec / y1_reads);
+      std::printf("\n");
+      if (shards == 1 && readers == 4) {
+        if (m.reads_per_sec < 2.0 * y1_reads) scale_ok = false;
+        if (m.ingest_per_sec < 0.85 * baseline_ingest) ingest_ok = false;
+      }
+      json.Add("X" + std::to_string(shards) + "/Y" + std::to_string(readers),
+               {{"shards", static_cast<double>(shards)},
+                {"readers", static_cast<double>(readers)},
+                {"hardware_threads", static_cast<double>(cores)},
+                {"batch_size", static_cast<double>(config.batch_size)},
+                {"ingest_updates_per_sec", m.ingest_per_sec},
+                {"reads_per_sec", m.reads_per_sec},
+                {"read_p50_us", m.read_p50_us},
+                {"read_p99_us", m.read_p99_us},
+                {"ingest_vs_no_reader", vs_baseline},
+                {"batches", static_cast<double>(m.batches)},
+                {"reads", static_cast<double>(m.reads)}});
+    }
+    bench::PrintRule();
+  }
+  const char* qualifier =
+      smoke ? " (advisory under --smoke)" : (cores < 4 ? " (advisory: < 4 cores)" : "");
+  std::printf("shape check (X=1: Y=4 reads >= 2x Y=1): %s%s\n", bench::Verdict(scale_ok),
+              qualifier);
+  std::printf("shape check (X=1: ingest with Y=4 within 15%% of Y=0): %s%s\n",
+              bench::Verdict(ingest_ok), qualifier);
+  return ((scale_ok && ingest_ok) || !enforce) ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+#include "src/common/epoch.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ivme {
+
+Epoch EpochManager::Pin() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !exclusive_; });
+  // Read published under the lock so BeginExclusive's drain-wait cannot
+  // miss a pin that raced with it.
+  const Epoch e = published_.load(std::memory_order_acquire);
+  ++pins_[e];
+  return e;
+}
+
+void EpochManager::Unpin(Epoch epoch) {
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pins_.find(epoch);
+    IVME_CHECK_MSG(it != pins_.end(), "unpin of an epoch with no active pin");
+    if (--it->second == 0) {
+      pins_.erase(it);
+      drained = pins_.empty();
+    }
+  }
+  if (drained) cv_.notify_all();
+}
+
+Epoch EpochManager::PinFloor() const {
+  const Epoch p = published_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pins_.empty()) return p;
+  return std::min(p, pins_.begin()->first);
+}
+
+size_t EpochManager::ActivePins() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [epoch, count] : pins_) n += count;
+  return n;
+}
+
+std::vector<Epoch> EpochManager::KeepEpochs() const {
+  const Epoch p = published_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Epoch> keeps;
+  keeps.reserve(pins_.size() + 1);
+  for (const auto& [epoch, count] : pins_) keeps.push_back(epoch);
+  if (keeps.empty() || keeps.back() < p) keeps.push_back(p);
+  return keeps;  // pins_ is an ordered map, so keeps is sorted + distinct
+}
+
+void EpochManager::BeginExclusive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !exclusive_; });
+  exclusive_ = true;
+  cv_.wait(lock, [this] { return pins_.empty(); });
+}
+
+void EpochManager::EndExclusive() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    exclusive_ = false;
+  }
+  cv_.notify_all();
+}
+
+void RetireLog::Retire(Epoch death, Action unlink, Action free_fn, void* owner,
+                       void* object) {
+  IVME_CHECK_MSG(pending_.empty() || pending_.back().epoch <= death,
+                 "retire epochs must be non-decreasing");
+  pending_.push_back(Item{death, unlink, free_fn, owner, object});
+}
+
+void RetireLog::AddLimbo(Epoch working, Action free_fn, void* owner,
+                         void* object) {
+  IVME_CHECK_MSG(limbo_.empty() || limbo_.back().epoch <= working,
+                 "limbo stamps must be non-decreasing");
+  limbo_.push_back(Item{working, nullptr, free_fn, owner, object});
+}
+
+void RetireLog::Reclaim(Epoch floor, Epoch working) {
+  // Phase 2 first: limbo items were unlinked in a *previous* Reclaim (or
+  // pruned mid-batch), so processing them before appending this round's
+  // phase-1 output keeps each item's two grace periods distinct.
+  while (!limbo_.empty() && limbo_.front().epoch <= floor &&
+         limbo_.front().epoch < working) {
+    Item item = limbo_.front();
+    limbo_.pop_front();
+    item.free_fn(item.owner, item.object);
+  }
+  while (!pending_.empty() && pending_.front().epoch <= floor) {
+    Item item = pending_.front();
+    pending_.pop_front();
+    if (item.unlink != nullptr) item.unlink(item.owner, item.object);
+    limbo_.push_back(Item{working, nullptr, item.free_fn, item.owner,
+                          item.object});
+  }
+}
+
+void RetireLog::Drain() {
+  while (!pending_.empty()) {
+    Item item = pending_.front();
+    pending_.pop_front();
+    if (item.unlink != nullptr) item.unlink(item.owner, item.object);
+    limbo_.push_back(item);
+  }
+  while (!limbo_.empty()) {
+    Item item = limbo_.front();
+    limbo_.pop_front();
+    item.free_fn(item.owner, item.object);
+  }
+}
+
+}  // namespace ivme

@@ -1,0 +1,220 @@
+// Epoch-based snapshot versioning and two-phase memory reclamation.
+//
+// The serving contract (ARCHITECTURE.md §9): a single writer domain (one
+// shard's maintenance thread) mutates versioned structures while any number
+// of reader threads enumerate a *published* snapshot. Epochs advance at
+// batch boundaries:
+//
+//   - `published` P is the newest consistent snapshot; the writer mutates
+//     the working epoch w = P + 1 and calls Publish() once the batch is
+//     fully applied (all views consistent).
+//   - A reader calls Pin() to fix a snapshot epoch e ≤ P and Unpin() when
+//     its enumeration finishes. While pinned, every versioned structure can
+//     answer "state as of e" exactly.
+//   - Objects that become unreachable at epoch d (dead nodes, index links,
+//     retired hash-table arrays, pruned multiplicity-version records) are
+//     not freed; they are pushed onto the writer domain's RetireLog with
+//     death epoch d.
+//   - Between batches the writer calls RetireLog::Reclaim(floor, now) with
+//     floor = min(active pins ∪ {P}). Reclamation is TWO-PHASE:
+//       phase 1 (unlink): once floor ≥ d no reader can *start* observing
+//         the object, so it is physically unlinked from probe/enumeration
+//         structures and moved to the limbo list stamped with the current
+//         working epoch;
+//       phase 2 (free): a reader pinned at e' ≥ d may still be physically
+//         *walking through* the object (liveness filters hide it logically
+//         but not physically), so memory is only freed after a second
+//         grace period — when floor has advanced past the unlink stamp.
+//
+// One EpochManager serves a whole catalog (all shards publish in lockstep
+// at the facade's batch boundary); each shard owns a private RetireLog so
+// retire/reclaim stays single-threaded per writer domain.
+#ifndef IVME_COMMON_EPOCH_H_
+#define IVME_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace ivme {
+
+using Epoch = uint64_t;
+
+/// Sentinel passed to as-of read APIs meaning "the live, unversioned
+/// state" (writer-side reads; also the only mode when no EpochContext is
+/// attached). Doubles as "not dead yet" for death-epoch fields.
+inline constexpr Epoch kLiveEpoch = ~static_cast<Epoch>(0);
+
+/// Tracks the published epoch and the set of reader pins.
+///
+/// Thread-safety: Publish is writer-only; Pin/Unpin may be called from any
+/// thread; published() is wait-free. Pin/Unpin take a mutex — acceptable
+/// because a pin brackets a whole enumeration, not a single probe.
+class EpochManager {
+ public:
+  /// Newest consistent snapshot. Acquire-loads so a reader that pins e
+  /// sees every store the writer made before publishing e.
+  Epoch published() const { return published_.load(std::memory_order_acquire); }
+
+  const std::atomic<Epoch>* published_ptr() const { return &published_; }
+
+  /// Makes the working epoch visible as the new published snapshot.
+  /// Caller must have finished every mutation of that epoch first.
+  void Publish() { published_.fetch_add(1, std::memory_order_release); }
+
+  /// Registers a reader at the current published epoch and returns it.
+  /// Blocks while an exclusive (quiesce) section is active.
+  Epoch Pin();
+
+  /// Drops a pin previously returned by Pin().
+  void Unpin(Epoch epoch);
+
+  /// min(active pins ∪ {published}): no reader observes anything older.
+  Epoch PinFloor() const;
+
+  size_t ActivePins() const;
+
+  /// Sorted distinct epochs that must stay answerable: every pinned epoch
+  /// plus the published one. Used to prune multiplicity-version chains.
+  std::vector<Epoch> KeepEpochs() const;
+
+  /// Quiesce gate for structural operations (register/drop query, store
+  /// teardown): blocks new pins and waits until every active pin drains.
+  void BeginExclusive();
+  void EndExclusive();
+
+ private:
+  std::atomic<Epoch> published_{0};
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Epoch, size_t> pins_;  // epoch -> pin count
+  bool exclusive_ = false;
+};
+
+/// RAII reader pin. Default-constructed = unpinned live access.
+class ReadSnapshot {
+ public:
+  ReadSnapshot() = default;
+  explicit ReadSnapshot(EpochManager* manager)
+      : manager_(manager), epoch_(manager->Pin()) {}
+  ~ReadSnapshot() { Release(); }
+
+  ReadSnapshot(ReadSnapshot&& other) noexcept
+      : manager_(other.manager_), epoch_(other.epoch_) {
+    other.manager_ = nullptr;
+    other.epoch_ = kLiveEpoch;
+  }
+  ReadSnapshot& operator=(ReadSnapshot&& other) noexcept {
+    if (this != &other) {
+      Release();
+      manager_ = other.manager_;
+      epoch_ = other.epoch_;
+      other.manager_ = nullptr;
+      other.epoch_ = kLiveEpoch;
+    }
+    return *this;
+  }
+  ReadSnapshot(const ReadSnapshot&) = delete;
+  ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+
+  /// The pinned epoch, or kLiveEpoch when default-constructed.
+  Epoch epoch() const { return epoch_; }
+  bool pinned() const { return manager_ != nullptr; }
+
+  void Release() {
+    if (manager_ != nullptr) {
+      manager_->Unpin(epoch_);
+      manager_ = nullptr;
+      epoch_ = kLiveEpoch;
+    }
+  }
+
+ private:
+  EpochManager* manager_ = nullptr;
+  Epoch epoch_ = kLiveEpoch;
+};
+
+/// Per-writer-domain log of retired objects, reclaimed in two phases (see
+/// file comment). Single-threaded: only the owning writer touches it.
+class RetireLog {
+ public:
+  /// Callbacks are plain function pointers so the log stays type-erased
+  /// without per-item allocation.
+  using Action = void (*)(void* owner, void* object);
+
+  /// Queues `object` (dead as of `death`, typically the working epoch) for
+  /// two-phase reclamation. `unlink` runs at phase 1 (may be null),
+  /// `free_fn` at phase 2.
+  void Retire(Epoch death, Action unlink, Action free_fn, void* owner,
+              void* object);
+
+  /// Queues an object that is already unlinked (never reachable by future
+  /// probes) but may still be referenced by in-flight readers: skips
+  /// phase 1, frees once floor passes `working` (the epoch being built when
+  /// the object was unlinked).
+  void AddLimbo(Epoch working, Action free_fn, void* owner, void* object);
+
+  /// Runs phase 1 for every item with death ≤ floor and phase 2 for every
+  /// limbo item with stamp ≤ floor. `working` is the epoch currently being
+  /// built (stamps freshly unlinked items). Caller must guarantee no pin
+  /// below floor can appear concurrently.
+  void Reclaim(Epoch floor, Epoch working);
+
+  /// Teardown: unlink + free everything regardless of pins. Only valid
+  /// when no reader can be in flight (quiesced or single-threaded).
+  void Drain();
+
+  bool empty() const { return pending_.empty() && limbo_.empty(); }
+  size_t pending_size() const { return pending_.size(); }
+  size_t limbo_size() const { return limbo_.size(); }
+
+  /// Snapshot of EpochManager::KeepEpochs(), refreshed by the serving
+  /// facade at each batch boundary. Versioned structures consult it when
+  /// pruning per-entry multiplicity-version chains mid-batch; it is
+  /// read-only for the duration of a batch.
+  const std::vector<Epoch>& keep_epochs() const { return keep_epochs_; }
+  void set_keep_epochs(std::vector<Epoch> keeps) {
+    keep_epochs_ = std::move(keeps);
+  }
+
+ private:
+  struct Item {
+    Epoch epoch;  // death epoch (pending_) or unlink stamp (limbo_)
+    Action unlink;
+    Action free_fn;
+    void* owner;
+    void* object;
+  };
+
+  // Both deques are FIFO with non-decreasing epochs (retires happen in
+  // working-epoch order), so Reclaim pops prefixes. FIFO order also
+  // guarantees an index link's phase 1 runs no later than its bucket
+  // node's (links are always retired before the bucket that holds them).
+  std::deque<Item> pending_;
+  std::deque<Item> limbo_;
+  std::vector<Epoch> keep_epochs_;
+};
+
+/// Everything a versioned structure needs from its epoch domain: where to
+/// retire objects and how to learn the working epoch. Structures without a
+/// context (the default) run in legacy mode — immediate frees, no version
+/// history, no snapshot reads — with zero behavior change.
+struct EpochContext {
+  RetireLog* log = nullptr;
+  const std::atomic<Epoch>* published = nullptr;
+
+  /// The epoch currently being built by the writer. Relaxed: only the
+  /// writer itself calls this.
+  Epoch working() const {
+    return published->load(std::memory_order_relaxed) + 1;
+  }
+};
+
+}  // namespace ivme
+
+#endif  // IVME_COMMON_EPOCH_H_

@@ -187,6 +187,24 @@ QueryResult QueryCatalog::EvaluateToMap(const std::string& name) const {
   return query->EvaluateToMap();
 }
 
+std::unique_ptr<ResultEnumerator> QueryCatalog::EnumerateAt(const std::string& name,
+                                                            Epoch epoch) const {
+  const MaintainedQuery* query = FindQuery(name);
+  IVME_CHECK_MSG(query != nullptr, "unknown query " << name);
+  return query->EnumerateAt(epoch);
+}
+
+QueryResult QueryCatalog::EvaluateToMapAt(const std::string& name, Epoch epoch) const {
+  const MaintainedQuery* query = FindQuery(name);
+  IVME_CHECK_MSG(query != nullptr, "unknown query " << name);
+  return query->EvaluateToMapAt(epoch);
+}
+
+void QueryCatalog::SetEpochContext(const EpochContext* ctx) {
+  store_->SetEpochContext(ctx);
+  for (auto& query : queries_) query->SetEpochContext(ctx);
+}
+
 std::vector<std::pair<Tuple, Mult>> QueryCatalog::DumpRelation(
     const std::string& relation) const {
   std::vector<std::pair<Tuple, Mult>> out;

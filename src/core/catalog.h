@@ -105,6 +105,17 @@ class QueryCatalog {
   /// Drains a full enumeration of `name` into a map.
   QueryResult EvaluateToMap(const std::string& name) const;
 
+  /// As-of variants over a published snapshot epoch (versioned mode; driven
+  /// by the serving facade — see ShardedCatalog::EnableServing).
+  std::unique_ptr<ResultEnumerator> EnumerateAt(const std::string& name, Epoch epoch) const;
+  QueryResult EvaluateToMapAt(const std::string& name, Epoch epoch) const;
+
+  /// Enters (ctx != nullptr) or leaves versioned mode on the store's
+  /// relations and every registered query's private state. The store must
+  /// be privately owned by this catalog (one writer domain per RetireLog).
+  /// Quiesced points only, with the log drained.
+  void SetEpochContext(const EpochContext* ctx);
+
   /// Contents of a store relation as (tuple, multiplicity) pairs.
   std::vector<std::pair<Tuple, Mult>> DumpRelation(const std::string& relation) const;
 

@@ -70,15 +70,15 @@ DeltaVec ApplyDeltaAtNode(ViewNode* node, int child_idx, const DeltaVec& delta) 
       if (link == nullptr) {
         if (pi == 0) break;
         --pi;
-        links[pi] = links[pi]->next;
+        links[pi] = Relation::Index::NextLink(links[pi]);
         continue;
       }
       ++LocalCounters().delta_steps;
       probe_rows[pi] = &link->entry->key;
-      mults[pi + 1] = mults[pi] * link->entry->value.mult;
+      mults[pi + 1] = mults[pi] * Relation::EntryMult(link->entry);
       if (pi + 1 == num_probes) {
         emit_row(dtuple, mults[pi + 1]);
-        links[pi] = link->next;
+        links[pi] = Relation::Index::NextLink(link);
       } else {
         ++pi;
         links[pi] = probe_indexes[pi]->FirstForKey(key);

@@ -145,8 +145,9 @@ void MaintainedQuery::Preprocess() {
     if (slot.shared()) continue;
     const Relation* shared = store_->Find(slot.relation);
     slot.mirror->Clear();
-    for (const Relation::Entry* e = shared->First(); e != nullptr; e = e->next) {
-      slot.mirror->Apply(e->key, e->value.mult);
+    for (const Relation::Entry* e = shared->First(); e != nullptr;
+         e = Relation::NextLive(e)) {
+      slot.mirror->Apply(e->key, Relation::EntryMult(e));
     }
   }
   n_ = 0;
@@ -172,6 +173,38 @@ std::unique_ptr<ResultEnumerator> MaintainedQuery::Enumerate() const {
 QueryResult MaintainedQuery::EvaluateToMap() const {
   auto it = Enumerate();
   return DrainEnumeration(*it);
+}
+
+std::unique_ptr<ResultEnumerator> MaintainedQuery::EnumerateAt(Epoch epoch) const {
+  IVME_CHECK_MSG(preprocessed_, "Preprocess before enumerating");
+  return std::make_unique<ResultEnumerator>(query_, plan_, epoch);
+}
+
+QueryResult MaintainedQuery::EvaluateToMapAt(Epoch epoch) const {
+  auto it = EnumerateAt(epoch);
+  return DrainEnumeration(*it);
+}
+
+namespace {
+
+void SetTreeEpochContext(ViewNode* node, const EpochContext* ctx) {
+  if (node->owned_storage != nullptr) node->owned_storage->SetEpochContext(ctx);
+  for (auto& child : node->children) SetTreeEpochContext(child.get(), ctx);
+}
+
+}  // namespace
+
+void MaintainedQuery::SetEpochContext(const EpochContext* ctx) {
+  for (auto& slot : slots_) {
+    if (slot.mirror != nullptr) slot.mirror->SetEpochContext(ctx);
+    for (auto& partition : slot.partitions) partition->light()->SetEpochContext(ctx);
+  }
+  for (auto& tree : plan_.trees) SetTreeEpochContext(tree->root.get(), ctx);
+  for (auto& triple : plan_.triples) {
+    SetTreeEpochContext(triple->all_tree.get(), ctx);
+    SetTreeEpochContext(triple->light_tree.get(), ctx);
+    triple->h->SetEpochContext(ctx);
+  }
 }
 
 void MaintainedQuery::ApplySingle(const std::string& relation, const Tuple& tuple, Mult mult,
@@ -346,7 +379,8 @@ void MaintainedQuery::StartIncrementalRebalanceIfNeeded() {
     for (size_t ii = 0; ii < slot.infos.size(); ++ii) {
       const SlotPartition& info = slot.infos[ii];
       const auto& index = info.partition->base()->index(info.partition->base_index_id());
-      for (const Relation::BucketNode* b = index.FirstKey(); b != nullptr; b = b->next) {
+      for (const Relation::BucketNode* b = index.FirstKey(); b != nullptr;
+           b = TupleMap<Relation::Bucket>::NextLive(b)) {
         rebalance_task_.Enqueue(static_cast<uint32_t>(si), static_cast<uint32_t>(ii), b->key);
       }
     }
@@ -550,8 +584,9 @@ void MaintainedQuery::MoveKeyAcrossThreshold(SlotPartition& info, const Tuple& k
   const Relation* base = info.partition->base();
   move_scratch_.clear();
   const auto& index = base->index(info.partition->base_index_id());
-  for (const auto* link = index.FirstForKey(key); link != nullptr; link = link->next) {
-    move_scratch_.emplace_back(link->entry->key, link->entry->value.mult);
+  for (const auto* link = index.FirstForKey(key); link != nullptr;
+       link = Relation::Index::NextLink(link)) {
+    move_scratch_.emplace_back(link->entry->key, Relation::EntryMult(link->entry));
   }
   for (const auto& [tuple, mult] : move_scratch_) {
     ApplyLightDelta(info, tuple, to_light ? mult : -mult);
@@ -634,8 +669,9 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
     if (shared->size() != slot.mirror->size()) {
       return fail("mirror " + slot.mirror->name() + " size differs from the shared relation");
     }
-    for (const Relation::Entry* e = shared->First(); e != nullptr; e = e->next) {
-      if (slot.mirror->Multiplicity(e->key) != e->value.mult) {
+    for (const Relation::Entry* e = shared->First(); e != nullptr;
+         e = Relation::NextLive(e)) {
+      if (slot.mirror->Multiplicity(e->key) != Relation::EntryMult(e)) {
         return fail("mirror " + slot.mirror->name() + " diverged at " + e->key.ToString());
       }
     }
@@ -680,13 +716,15 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
   for (auto& slot : slots_) {
     for (auto& part : slot.partitions) {
       const Relation* light = part->light();
-      for (const Relation::Entry* e = light->First(); e != nullptr; e = e->next) {
-        if (slot.storage->Multiplicity(e->key) != e->value.mult) {
+      for (const Relation::Entry* e = light->First(); e != nullptr;
+           e = Relation::NextLive(e)) {
+        if (slot.storage->Multiplicity(e->key) != Relation::EntryMult(e)) {
           return fail("light tuple multiplicity differs from base in " + light->name());
         }
       }
       const auto& light_index = light->index(part->light_index_id());
-      for (const Relation::BucketNode* b = light_index.FirstKey(); b != nullptr; b = b->next) {
+      for (const Relation::BucketNode* b = light_index.FirstKey(); b != nullptr;
+           b = TupleMap<Relation::Bucket>::NextLive(b)) {
         if (static_cast<double>(b->value.count) >= 1.5 * th_light) {
           return fail("light part degree >= 3/2·θ in " + light->name() +
                       (migrating ? " (θ envelope high)" : ""));
@@ -697,7 +735,8 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
       }
       // Heavy keys: at least θ/2 tuples.
       const auto& base_index = slot.storage->index(part->base_index_id());
-      for (const Relation::BucketNode* b = base_index.FirstKey(); b != nullptr; b = b->next) {
+      for (const Relation::BucketNode* b = base_index.FirstKey(); b != nullptr;
+           b = TupleMap<Relation::Bucket>::NextLive(b)) {
         if (!part->KeyInLight(b->key) &&
             static_cast<double>(b->value.count) < 0.5 * th_heavy) {
           return fail("heavy key with degree < θ/2 in " + slot.storage->name() +
@@ -716,8 +755,9 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
       if (!ok || node->kind != NodeKind::kView) return;
       // Save, recompute, compare.
       std::vector<std::pair<Tuple, Mult>> saved;
-      for (const Relation::Entry* e = node->storage->First(); e != nullptr; e = e->next) {
-        saved.emplace_back(e->key, e->value.mult);
+      for (const Relation::Entry* e = node->storage->First(); e != nullptr;
+           e = Relation::NextLive(e)) {
+        saved.emplace_back(e->key, Relation::EntryMult(e));
       }
       MaterializeNode(node);
       bool same = node->storage->size() == saved.size();
@@ -740,13 +780,16 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
     // and every H key is backed by All.
     const Relation* all = triple->all_tree->storage;
     const Relation* light = triple->light_tree->storage;
-    for (const Relation::Entry* e = all->First(); e != nullptr; e = e->next) {
-      const Mult expected = light->Multiplicity(e->key) == 0 ? e->value.mult : 0;
+    for (const Relation::Entry* e = all->First(); e != nullptr;
+         e = Relation::NextLive(e)) {
+      const Mult expected =
+          light->Multiplicity(e->key) == 0 ? Relation::EntryMult(e) : 0;
       if (triple->h->Multiplicity(e->key) != expected) {
         return fail("H(" + e->key.ToString() + ") inconsistent in " + triple->name);
       }
     }
-    for (const Relation::Entry* e = triple->h->First(); e != nullptr; e = e->next) {
+    for (const Relation::Entry* e = triple->h->First(); e != nullptr;
+         e = Relation::NextLive(e)) {
       if (all->Multiplicity(e->key) == 0) {
         return fail("H key " + e->key.ToString() + " outside All in " + triple->name);
       }

@@ -145,6 +145,19 @@ class MaintainedQuery : public StorageProvider {
   /// Drains a full enumeration into a map (convenience for tests/examples).
   QueryResult EvaluateToMap() const;
 
+  /// As-of variants: enumerate / drain the published snapshot `epoch`.
+  /// Requires versioned mode (SetEpochContext) and a pinned epoch; safe to
+  /// run concurrently with the maintenance writer (ARCHITECTURE.md §9).
+  std::unique_ptr<ResultEnumerator> EnumerateAt(Epoch epoch) const;
+  QueryResult EvaluateToMapAt(Epoch epoch) const;
+
+  /// Enters (ctx != nullptr) or leaves versioned mode on every query-owned
+  /// relation: self-join mirrors, light parts, view storages, and indicator
+  /// H relations. The store-shared base relations are covered separately by
+  /// RelationStore::SetEpochContext. Quiesced points only, with the
+  /// RetireLog drained (see Relation::SetEpochContext).
+  void SetEpochContext(const EpochContext* ctx);
+
   // --- introspection ---
   const std::string& name() const { return name_; }
   const ConjunctiveQuery& query() const { return query_; }

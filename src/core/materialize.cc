@@ -40,10 +40,11 @@ MatInput PrepareInput(ViewNode* child, const Schema& out_schema, const Schema& k
     input.temp = std::make_unique<Relation>(keep, child->name + "~agg");
     const auto positions = ProjectionPositions(child_schema, keep);
     Tuple scratch;
-    for (const Relation::Entry* e = child->storage->First(); e != nullptr; e = e->next) {
+    for (const Relation::Entry* e = child->storage->First(); e != nullptr;
+         e = Relation::NextLive(e)) {
       ++LocalCounters().materialize_steps;
       scratch.AssignProjection(e->key, positions);
-      input.temp->Apply(scratch, e->value.mult);
+      input.temp->Apply(scratch, Relation::EntryMult(e));
     }
     input.relation = input.temp.get();
     input.schema = keep;
@@ -103,9 +104,9 @@ struct JoinProber {
     const MatInput& input = inputs[i];
     if (input.key_index_id >= 0) {
       for (const auto* link = input.relation->index(input.key_index_id).FirstForKey(key);
-           link != nullptr; link = link->next) {
+           link != nullptr; link = Relation::Index::NextLink(link)) {
         current[i] = &link->entry->key;
-        Probe(i + 1, mult * link->entry->value.mult);
+        Probe(i + 1, mult * Relation::EntryMult(link->entry));
       }
     } else if (input.key_positions.size() == input.schema.size()) {
       // The input is exactly the key set: point lookup. When the input's
@@ -123,9 +124,10 @@ struct JoinProber {
       }
     } else {
       // No shared key (Cartesian-ish, only for empty K): full scan.
-      for (const Relation::Entry* e = input.relation->First(); e != nullptr; e = e->next) {
+      for (const Relation::Entry* e = input.relation->First(); e != nullptr;
+           e = Relation::NextLive(e)) {
         current[i] = &e->key;
-        Probe(i + 1, mult * e->value.mult);
+        Probe(i + 1, mult * Relation::EntryMult(e));
       }
     }
   }
@@ -183,7 +185,8 @@ void MaterializeNode(ViewNode* node) {
   }
 
   JoinProber prober(node, inputs, out_sources);
-  for (const Relation::Entry* e = inputs[0].relation->First(); e != nullptr; e = e->next) {
+  for (const Relation::Entry* e = inputs[0].relation->First(); e != nullptr;
+       e = Relation::NextLive(e)) {
     ++LocalCounters().materialize_steps;
     // The driver row's K restriction: projected once per row, its cached
     // hash shared by every gate lookup and probe below.
@@ -198,7 +201,7 @@ void MaterializeNode(ViewNode* node) {
     }
     if (gated_out) continue;
     prober.current[0] = &e->key;
-    prober.Probe(1, e->value.mult);
+    prober.Probe(1, Relation::EntryMult(e));
   }
 }
 

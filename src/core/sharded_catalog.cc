@@ -22,6 +22,71 @@ ShardedCatalog::ShardedCatalog(ShardedCatalogOptions options) : options_(options
   }
 }
 
+ShardedCatalog::~ShardedCatalog() {
+  if (epochs_ == nullptr) return;
+  // No readers may outlive the catalog (their pins would deadlock here,
+  // which is the bug surfacing early). Drain every log so zombies are freed
+  // and the relations can leave versioned mode before the shards destruct.
+  epochs_->BeginExclusive();
+  for (auto& log : retire_logs_) log->Drain();
+  for (auto& shard : shards_) shard->SetEpochContext(nullptr);
+}
+
+void ShardedCatalog::EnableServing() {
+  if (epochs_ != nullptr) return;
+  epochs_ = std::make_unique<EpochManager>();
+  retire_logs_.reserve(shards_.size());
+  contexts_.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    retire_logs_.push_back(std::make_unique<RetireLog>());
+    contexts_[s] = EpochContext{retire_logs_[s].get(), epochs_->published_ptr()};
+    shards_[s]->SetEpochContext(&contexts_[s]);
+  }
+}
+
+ReadSnapshot ShardedCatalog::AcquireSnapshot() const {
+  IVME_CHECK_MSG(epochs_ != nullptr, "EnableServing before AcquireSnapshot");
+  return ReadSnapshot(epochs_.get());
+}
+
+size_t ShardedCatalog::RetiredObjects() const {
+  size_t total = 0;
+  for (const auto& log : retire_logs_) total += log->pending_size() + log->limbo_size();
+  return total;
+}
+
+void ShardedCatalog::BeginMutation() {
+  if (epochs_ == nullptr) return;
+  std::vector<Epoch> keeps = epochs_->KeepEpochs();
+  for (auto& log : retire_logs_) log->set_keep_epochs(keeps);
+}
+
+void ShardedCatalog::PublishAndReclaim() {
+  if (epochs_ == nullptr) return;
+  epochs_->Publish();
+  const Epoch floor = epochs_->PinFloor();
+  const Epoch working = epochs_->published() + 1;
+  for (auto& log : retire_logs_) log->Reclaim(floor, working);
+}
+
+void ShardedCatalog::QuiescedStructuralChange(const std::function<void()>& fn) {
+  if (epochs_ == nullptr) {
+    fn();
+    return;
+  }
+  // Structural changes mutate reader-shared layout (queries_ vectors, index
+  // vectors, relation teardown), which versioning does not protect — so no
+  // reader may be in flight. With the logs drained and the contexts
+  // detached, fn() runs in plain legacy mode; re-attaching also covers any
+  // relations fn() created.
+  epochs_->BeginExclusive();
+  for (auto& log : retire_logs_) log->Drain();
+  for (auto& shard : shards_) shard->SetEpochContext(nullptr);
+  fn();
+  for (size_t s = 0; s < shards_.size(); ++s) shards_[s]->SetEpochContext(&contexts_[s]);
+  epochs_->EndExclusive();
+}
+
 const ShardedCatalog::Route* ShardedCatalog::FindRoute(const std::string& relation) const {
   for (const auto& route : routes_) {
     if (route.relation == relation) return &route;
@@ -87,32 +152,36 @@ bool ShardedCatalog::RegisterQuery(const std::string& name, const ConjunctiveQue
 
   // Commit: the query registers in every shard (late registrations
   // preprocess from each shard's live store inside RegisterQuery).
-  for (auto& shard : shards_) shard->RegisterQuery(name, q, options);
-  for (auto& route : new_routes) {
-    consolidator_.EnsureRelation(route.relation);
-    routes_.push_back(std::move(route));
-  }
-  if (shards_.size() == 1) {
-    // No routing needed, but the consolidator still tracks the relations.
-    for (const std::string& relation : q.RelationNames()) {
-      consolidator_.EnsureRelation(relation);
+  QuiescedStructuralChange([&] {
+    for (auto& shard : shards_) shard->RegisterQuery(name, q, options);
+    for (auto& route : new_routes) {
+      consolidator_.EnsureRelation(route.relation);
+      routes_.push_back(std::move(route));
     }
-  }
-  root_free_names_.push_back(name);
-  root_free_.push_back(root_is_free);
+    if (shards_.size() == 1) {
+      // No routing needed, but the consolidator still tracks the relations.
+      for (const std::string& relation : q.RelationNames()) {
+        consolidator_.EnsureRelation(relation);
+      }
+    }
+    root_free_names_.push_back(name);
+    root_free_.push_back(root_is_free);
+  });
   return true;
 }
 
 bool ShardedCatalog::DropQuery(const std::string& name) {
   bool dropped = false;
-  for (auto& shard : shards_) dropped = shard->DropQuery(name) || dropped;
-  for (size_t i = 0; i < root_free_names_.size(); ++i) {
-    if (root_free_names_[i] != name) continue;
-    root_free_names_.erase(root_free_names_.begin() + static_cast<long>(i));
-    root_free_.erase(root_free_.begin() + static_cast<long>(i));
-    break;
-  }
-  // routes_ stays: the stored data remains sharded by it.
+  QuiescedStructuralChange([&] {
+    for (auto& shard : shards_) dropped = shard->DropQuery(name) || dropped;
+    for (size_t i = 0; i < root_free_names_.size(); ++i) {
+      if (root_free_names_[i] != name) continue;
+      root_free_names_.erase(root_free_names_.begin() + static_cast<long>(i));
+      root_free_.erase(root_free_.begin() + static_cast<long>(i));
+      break;
+    }
+    // routes_ stays: the stored data remains sharded by it.
+  });
   return dropped;
 }
 
@@ -144,15 +213,26 @@ void ShardedCatalog::LoadTuple(const std::string& relation, const Tuple& tuple, 
 
 Status ShardedCatalog::TryLoad(const std::string& relation,
                                const std::vector<std::pair<Tuple, Mult>>& tuples) {
+  BeginMutation();
+  Status status = Status::Ok();
   for (const auto& [tuple, mult] : tuples) {
-    Status status = TryLoadTuple(relation, tuple, mult);
-    if (!status.ok()) return status;
+    status = TryLoadTupleImpl(relation, tuple, mult);
+    if (!status.ok()) break;
   }
-  return Status::Ok();
+  PublishAndReclaim();
+  return status;
 }
 
 Status ShardedCatalog::TryLoadTuple(const std::string& relation, const Tuple& tuple,
                                     Mult mult) {
+  BeginMutation();
+  const Status status = TryLoadTupleImpl(relation, tuple, mult);
+  PublishAndReclaim();
+  return status;
+}
+
+Status ShardedCatalog::TryLoadTupleImpl(const std::string& relation, const Tuple& tuple,
+                                        Mult mult) {
   // Validate against shard 0's store before routing: every shard attaches
   // the same relations with the same arity, and ShardOf reads the root
   // column, which only exists on a well-formed tuple.
@@ -173,21 +253,26 @@ Status ShardedCatalog::TryLoadTuple(const std::string& relation, const Tuple& tu
 }
 
 void ShardedCatalog::Preprocess() {
+  BeginMutation();
   if (pool_ == nullptr) {
     for (auto& shard : shards_) shard->Preprocess();
-    return;
+  } else {
+    task_scratch_.clear();
+    for (auto& shard : shards_) {
+      QueryCatalog* catalog = shard.get();
+      task_scratch_.push_back([catalog] { catalog->Preprocess(); });
+    }
+    pool_->Run(task_scratch_);
   }
-  task_scratch_.clear();
-  for (auto& shard : shards_) {
-    QueryCatalog* catalog = shard.get();
-    task_scratch_.push_back([catalog] { catalog->Preprocess(); });
-  }
-  pool_->Run(task_scratch_);
+  PublishAndReclaim();
 }
 
 bool ShardedCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
   const ScopedLatencyTimer timer(&update_latency_);
-  return shards_[ShardOf(relation, tuple)]->ApplyUpdate(relation, tuple, mult);
+  BeginMutation();
+  const bool applied = shards_[ShardOf(relation, tuple)]->ApplyUpdate(relation, tuple, mult);
+  PublishAndReclaim();
+  return applied;
 }
 
 BatchResult ShardedCatalog::ApplyBatch(const UpdateBatch& updates) {
@@ -196,7 +281,12 @@ BatchResult ShardedCatalog::ApplyBatch(const UpdateBatch& updates) {
 
 BatchResult ShardedCatalog::ApplyBatch(const Update* updates, size_t count) {
   const ScopedLatencyTimer timer(&batch_latency_);
-  if (shards_.size() == 1) return shards_[0]->ApplyBatch(updates, count);
+  BeginMutation();
+  if (shards_.size() == 1) {
+    const BatchResult result = shards_[0]->ApplyBatch(updates, count);
+    PublishAndReclaim();
+    return result;
+  }
 
   // Consolidate ONCE at the splitter (shared NetDeltaConsolidator), then
   // route the surviving net entries: equal tuples hash to one shard, so
@@ -239,6 +329,10 @@ BatchResult ShardedCatalog::ApplyBatch(const Update* updates, size_t count) {
     total.applied += result.applied;
     total.rejected += result.rejected;
   }
+  // The pool barrier above orders every worker's stores before the Publish
+  // inside PublishAndReclaim, so a reader pinning the new epoch sees the
+  // fully applied batch on every shard.
+  PublishAndReclaim();
   return total;
 }
 
@@ -256,6 +350,26 @@ std::unique_ptr<MergedEnumerator> ShardedCatalog::Enumerate(const std::string& n
 
 QueryResult ShardedCatalog::EvaluateToMap(const std::string& name) const {
   auto it = Enumerate(name);
+  return DrainEnumeration(*it);
+}
+
+std::unique_ptr<MergedEnumerator> ShardedCatalog::EnumerateAt(const std::string& name,
+                                                              Epoch epoch) const {
+  // root_free_* and the shard query registries only change inside the
+  // quiesce gate, so reading them from a pinned reader thread is safe.
+  bool disjoint = true;
+  for (size_t i = 0; i < root_free_names_.size(); ++i) {
+    if (root_free_names_[i] == name) disjoint = root_free_[i];
+  }
+  std::vector<std::unique_ptr<ResultEnumerator>> streams;
+  streams.reserve(shards_.size());
+  for (const auto& shard : shards_) streams.push_back(shard->EnumerateAt(name, epoch));
+  return std::make_unique<MergedEnumerator>(std::move(streams),
+                                            disjoint || shards_.size() == 1);
+}
+
+QueryResult ShardedCatalog::EvaluateToMapAt(const std::string& name, Epoch epoch) const {
+  auto it = EnumerateAt(name, epoch);
   return DrainEnumeration(*it);
 }
 

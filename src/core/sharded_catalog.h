@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/common/latency_histogram.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
@@ -42,9 +43,39 @@ struct ShardedCatalogOptions {
 class ShardedCatalog {
  public:
   explicit ShardedCatalog(ShardedCatalogOptions options);
+  ~ShardedCatalog();
 
   ShardedCatalog(const ShardedCatalog&) = delete;
   ShardedCatalog& operator=(const ShardedCatalog&) = delete;
+
+  // --- concurrent serving (ARCHITECTURE.md §9) ---
+
+  /// Switches the catalog into serving mode: one EpochManager for the whole
+  /// catalog, one RetireLog per shard (writer domain), every relation
+  /// versioned. From then on each ApplyUpdate / ApplyBatch / Preprocess
+  /// publishes a new snapshot epoch at its boundary and reclaims retired
+  /// memory once no pinned reader needs it; RegisterQuery / DropQuery
+  /// quiesce readers. Call at a quiescent point; idempotent.
+  void EnableServing();
+  bool serving() const { return epochs_ != nullptr; }
+
+  /// Pins the newest published snapshot for a reader thread (RAII; released
+  /// on destruction). Enumerate the snapshot with EnumerateAt /
+  /// EvaluateToMapAt at snapshot.epoch(). Thread-safe; blocks while a
+  /// structural change (register/drop) holds the quiesce gate.
+  ReadSnapshot AcquireSnapshot() const;
+
+  /// Merged enumeration / drain of `name` as of a pinned snapshot epoch.
+  /// Safe to run from any reader thread concurrently with ApplyBatch.
+  std::unique_ptr<MergedEnumerator> EnumerateAt(const std::string& name, Epoch epoch) const;
+  QueryResult EvaluateToMapAt(const std::string& name, Epoch epoch) const;
+
+  /// Serving-mode epoch state. Valid only when serving().
+  const EpochManager& epoch_manager() const { return *epochs_; }
+
+  /// Retired-but-unreclaimed objects summed over all shard logs (tests /
+  /// introspection; call at quiescent points only).
+  size_t RetiredObjects() const;
 
   /// Registers `q` in every shard. The query's relation arities must agree
   /// with the live store; with K > 1 it must additionally be shardable
@@ -144,10 +175,28 @@ class ShardedCatalog {
   };
 
   const Route* FindRoute(const std::string& relation) const;
+  Status TryLoadTupleImpl(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Serving mode: refreshes each shard log's keep-epoch snapshot before a
+  /// mutation starts (no-op otherwise).
+  void BeginMutation();
+  /// Serving mode: publishes the just-built epoch and reclaims everything
+  /// no pinned reader can still observe (no-op otherwise).
+  void PublishAndReclaim();
+  /// Runs `fn` with serving suspended: quiesces readers, drains every
+  /// retire log, detaches the epoch contexts, runs, re-attaches. Plain call
+  /// when not serving.
+  void QuiescedStructuralChange(const std::function<void()>& fn);
 
   ShardedCatalogOptions options_;
   std::vector<std::unique_ptr<QueryCatalog>> shards_;
   std::unique_ptr<ThreadPool> pool_;  ///< null for single-shard catalogs
+
+  // Serving mode (null / empty until EnableServing). contexts_ is sized
+  // once and never resized: relations hold pointers into it.
+  std::unique_ptr<EpochManager> epochs_;
+  std::vector<std::unique_ptr<RetireLog>> retire_logs_;
+  std::vector<EpochContext> contexts_;
 
   /// Sticky per-relation routing (root column), established by the first
   /// registering query that reads the relation.

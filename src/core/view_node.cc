@@ -28,9 +28,10 @@ void IndicatorTriple::RecomputeH() {
   h->Clear();
   const Relation* all = all_tree->storage;
   const Relation* light = light_tree->storage;
-  for (const Relation::Entry* e = all->First(); e != nullptr; e = e->next) {
+  for (const Relation::Entry* e = all->First(); e != nullptr;
+       e = Relation::NextLive(e)) {
     if (light->Multiplicity(e->key) == 0) {
-      h->Apply(e->key, e->value.mult);
+      h->Apply(e->key, Relation::EntryMult(e));
     }
   }
 }

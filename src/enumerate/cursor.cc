@@ -14,23 +14,24 @@ namespace {
 
 class RowScanner {
  public:
-  explicit RowScanner(const ViewNode* node) : node_(node) {}
+  RowScanner(const ViewNode* node, Epoch epoch) : node_(node), epoch_(epoch) {}
 
   void Open(const Tuple& ctx) {
     const size_t bound = node_->bound_schema.size();
     if (bound == 0) {
       mode_ = Mode::kFull;
-      entry_ = node_->storage->First();
+      entry_ = node_->storage->FirstAt(epoch_);
     } else if (bound == node_->schema.size()) {
       mode_ = Mode::kPoint;
       point_row_.AssignProjection(ctx, node_->ctx_to_bound);
-      point_mult_ = node_->storage->Multiplicity(point_row_);
+      point_mult_ = node_->storage->MultiplicityAt(point_row_, epoch_);
       point_done_ = point_mult_ == 0;
     } else {
       mode_ = Mode::kIndex;
       IVME_CHECK(node_->scan_index_id >= 0);
       point_row_.AssignProjection(ctx, node_->ctx_to_bound);  // scratch: index key
-      link_ = node_->storage->index(node_->scan_index_id).FirstForKey(point_row_);
+      link_ = node_->storage->index(node_->scan_index_id)
+                  .FirstForKeyAt(point_row_, epoch_);
     }
   }
 
@@ -41,15 +42,15 @@ class RowScanner {
       case Mode::kFull: {
         if (entry_ == nullptr) return nullptr;
         const Tuple* row = &entry_->key;
-        *mult = entry_->value.mult;
-        entry_ = entry_->next;
+        *mult = Relation::EntryMultAt(entry_, epoch_);
+        entry_ = Relation::NextAt(entry_, epoch_);
         return row;
       }
       case Mode::kIndex: {
         if (link_ == nullptr) return nullptr;
         const Tuple* row = &link_->entry->key;
-        *mult = link_->entry->value.mult;
-        link_ = link_->next;
+        *mult = Relation::EntryMultAt(link_->entry, epoch_);
+        link_ = Relation::Index::NextLinkAt(link_, epoch_);
         return row;
       }
       case Mode::kPoint: {
@@ -66,6 +67,7 @@ class RowScanner {
   enum class Mode { kFull, kIndex, kPoint };
 
   const ViewNode* node_;
+  Epoch epoch_;
   Mode mode_ = Mode::kFull;
   const Relation::Entry* entry_ = nullptr;
   const Relation::IndexLink* link_ = nullptr;
@@ -77,25 +79,27 @@ class RowScanner {
 // Scans the heavy-indicator keys σ_{ctx}(∃H) of a union node.
 class IndicatorScanner {
  public:
-  explicit IndicatorScanner(const ViewNode* node)
+  IndicatorScanner(const ViewNode* node, Epoch epoch)
       : node_(node),
-        indicator_(node->children[static_cast<size_t>(node->indicator_child)].get()) {}
+        indicator_(node->children[static_cast<size_t>(node->indicator_child)].get()),
+        epoch_(epoch) {}
 
   void Open(const Tuple& ctx) {
     const Relation* h = indicator_->storage;
     const size_t bound = node_->ctx_to_indicator_bound.size();
     if (bound == 0) {
       mode_ = Mode::kFull;
-      entry_ = h->First();
+      entry_ = h->FirstAt(epoch_);
     } else if (bound == indicator_->schema.size()) {
       mode_ = Mode::kPoint;
       point_row_.AssignProjection(ctx, node_->ctx_to_indicator_bound);
-      point_done_ = h->Multiplicity(point_row_) == 0;
+      point_done_ = h->MultiplicityAt(point_row_, epoch_) == 0;
     } else {
       mode_ = Mode::kIndex;
       IVME_CHECK(node_->indicator_scan_index_id >= 0);
       point_row_.AssignProjection(ctx, node_->ctx_to_indicator_bound);  // scratch: index key
-      link_ = h->index(node_->indicator_scan_index_id).FirstForKey(point_row_);
+      link_ = h->index(node_->indicator_scan_index_id)
+                  .FirstForKeyAt(point_row_, epoch_);
     }
   }
 
@@ -104,13 +108,13 @@ class IndicatorScanner {
       case Mode::kFull: {
         if (entry_ == nullptr) return nullptr;
         const Tuple* row = &entry_->key;
-        entry_ = entry_->next;
+        entry_ = Relation::NextAt(entry_, epoch_);
         return row;
       }
       case Mode::kIndex: {
         if (link_ == nullptr) return nullptr;
         const Tuple* row = &link_->entry->key;
-        link_ = link_->next;
+        link_ = Relation::Index::NextLinkAt(link_, epoch_);
         return row;
       }
       case Mode::kPoint: {
@@ -127,6 +131,7 @@ class IndicatorScanner {
 
   const ViewNode* node_;
   const ViewNode* indicator_;
+  Epoch epoch_;
   Mode mode_ = Mode::kFull;
   const Relation::Entry* entry_ = nullptr;
   const Relation::IndexLink* link_ = nullptr;
@@ -142,10 +147,10 @@ class IndicatorScanner {
 
 class RowProductIter {
  public:
-  explicit RowProductIter(const ViewNode* node) : node_(node) {
+  RowProductIter(const ViewNode* node, Epoch epoch) : node_(node) {
     for (const auto& child : node->children) {
       if (child->IsIndicator()) continue;
-      kids_.push_back(MakeCursor(child.get()));
+      kids_.push_back(MakeCursor(child.get(), epoch));
     }
     kid_emits_.resize(kids_.size());
     kid_mults_.assign(kids_.size(), 0);
@@ -215,7 +220,8 @@ class RowProductIter {
 
 class CoveringCursor : public Cursor {
  public:
-  explicit CoveringCursor(const ViewNode* node) : node_(node), scanner_(node) {}
+  CoveringCursor(const ViewNode* node, Epoch epoch)
+      : node_(node), scanner_(node, epoch) {}
 
   void Open(const Tuple& ctx) override { scanner_.Open(ctx); }
 
@@ -233,8 +239,8 @@ class CoveringCursor : public Cursor {
 
 class ProductCursor : public Cursor {
  public:
-  explicit ProductCursor(const ViewNode* node)
-      : node_(node), scanner_(node), prod_(node) {}
+  ProductCursor(const ViewNode* node, Epoch epoch)
+      : node_(node), scanner_(node, epoch), prod_(node, epoch) {}
 
   void Open(const Tuple& ctx) override {
     scanner_.Open(ctx);
@@ -266,17 +272,18 @@ class ProductCursor : public Cursor {
 // node, implemented iteratively (level j consumes the union of levels < j).
 class UnionCursor : public Cursor {
  public:
-  explicit UnionCursor(const ViewNode* node) : node_(node) {}
+  UnionCursor(const ViewNode* node, Epoch epoch)
+      : node_(node), epoch_(epoch) {}
 
   void Open(const Tuple& ctx) override {
     buckets_.clear();
-    IndicatorScanner heavies(node_);
+    IndicatorScanner heavies(node_, epoch_);
     heavies.Open(ctx);
     while (const Tuple* h = heavies.Next()) {
       // The grounding contributes only when the gated join view has the
       // key: V(h) ≠ 0 guarantees every child has matching tuples.
-      if (node_->storage->Multiplicity(*h) == 0) continue;
-      buckets_.push_back(std::make_unique<BucketState>(node_, *h));
+      if (node_->storage->MultiplicityAt(*h, epoch_) == 0) continue;
+      buckets_.push_back(std::make_unique<BucketState>(node_, *h, epoch_));
     }
   }
 
@@ -287,7 +294,7 @@ class UnionCursor : public Cursor {
     for (auto& bucket : buckets_) {
       if (!have) {
         have = bucket->iter.Next(&t, &ignored);  // drain this level
-      } else if (LookupGrounded(node_, bucket->row, t) != 0) {
+      } else if (LookupGrounded(node_, bucket->row, t, epoch_) != 0) {
         // The prefix tuple also occurs in this bucket: emit this bucket's
         // next tuple instead. It always exists (Durand–Strozecki: the
         // number of such replacements is bounded by the bucket size).
@@ -297,7 +304,9 @@ class UnionCursor : public Cursor {
     }
     if (!have) return false;
     Mult m = 0;
-    for (auto& bucket : buckets_) m += LookupGrounded(node_, bucket->row, t);
+    for (auto& bucket : buckets_) {
+      m += LookupGrounded(node_, bucket->row, t, epoch_);
+    }
     *emit = t;
     *mult = m;
     return true;
@@ -308,43 +317,49 @@ class UnionCursor : public Cursor {
     Tuple row;
     RowProductIter iter;
 
-    BucketState(const ViewNode* node, const Tuple& h) : row(h), iter(node) { iter.Open(row); }
+    BucketState(const ViewNode* node, const Tuple& h, Epoch epoch)
+        : row(h), iter(node, epoch) {
+      iter.Open(row);
+    }
   };
 
   const ViewNode* node_;
+  Epoch epoch_;
   std::vector<std::unique_ptr<BucketState>> buckets_;
 };
 
 }  // namespace
 
-std::unique_ptr<Cursor> MakeCursor(const ViewNode* node) {
+std::unique_ptr<Cursor> MakeCursor(const ViewNode* node, Epoch epoch) {
   switch (node->enum_mode) {
     case EnumMode::kCovering:
-      return std::make_unique<CoveringCursor>(node);
+      return std::make_unique<CoveringCursor>(node, epoch);
     case EnumMode::kProduct:
-      return std::make_unique<ProductCursor>(node);
+      return std::make_unique<ProductCursor>(node, epoch);
     case EnumMode::kUnion:
-      return std::make_unique<UnionCursor>(node);
+      return std::make_unique<UnionCursor>(node, epoch);
   }
   IVME_UNREACHABLE("unknown enum mode");
 }
 
-Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t) {
+Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t,
+                    Epoch epoch) {
   ++LocalCounters().enum_steps;
-  if (node->storage->Multiplicity(row) == 0) return 0;
+  if (node->storage->MultiplicityAt(row, epoch) == 0) return 0;
   Mult m = 1;
   for (size_t i = 0; i < node->children.size(); ++i) {
     const ViewNode* child = node->children[i].get();
     if (child->IsIndicator()) continue;
     const Tuple slice = ProjectTuple(t, node->child_emit_slices[i]);
-    const Mult cm = LookupTree(child, row, slice);
+    const Mult cm = LookupTree(child, row, slice, epoch);
     if (cm == 0) return 0;
     m *= cm;
   }
   return m;
 }
 
-Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t) {
+Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t,
+                Epoch epoch) {
   switch (node->enum_mode) {
     case EnumMode::kCovering: {
       Tuple row;
@@ -353,7 +368,7 @@ Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t) {
         row.PushBack(src.child == -1 ? ctx[static_cast<size_t>(src.pos)]
                                      : t[static_cast<size_t>(src.pos)]);
       }
-      return node->storage->Multiplicity(row);
+      return node->storage->MultiplicityAt(row, epoch);
     }
     case EnumMode::kProduct: {
       Tuple row;
@@ -362,14 +377,14 @@ Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t) {
         row.PushBack(src.child == -1 ? ctx[static_cast<size_t>(src.pos)]
                                      : t[static_cast<size_t>(src.pos)]);
       }
-      return LookupGrounded(node, row, t);
+      return LookupGrounded(node, row, t, epoch);
     }
     case EnumMode::kUnion: {
-      IndicatorScanner heavies(node);
+      IndicatorScanner heavies(node, epoch);
       heavies.Open(ctx);
       Mult m = 0;
       while (const Tuple* h = heavies.Next()) {
-        m += LookupGrounded(node, *h, t);
+        m += LookupGrounded(node, *h, t, epoch);
       }
       return m;
     }

@@ -6,12 +6,18 @@
 // subtree contributes over the node's emit schema, within a context tuple
 // fixed by the parent. Lookup* are the stateless membership/multiplicity
 // probes the Union algorithm needs for deduplication.
+//
+// Every entry point takes a snapshot epoch (default kLiveEpoch = the
+// current state, writer-thread-only). With a pinned epoch the cursor reads
+// the relations' as-of state and is safe to run concurrently with the
+// maintenance writer (ARCHITECTURE.md §9).
 #ifndef IVME_ENUMERATE_CURSOR_H_
 #define IVME_ENUMERATE_CURSOR_H_
 
 #include <memory>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/core/view_node.h"
 
 namespace ivme {
@@ -30,17 +36,21 @@ class Cursor {
   virtual bool Next(Tuple* emit, Mult* mult) = 0;
 };
 
-/// Creates the cursor matching the node's compiled EnumMode.
-std::unique_ptr<Cursor> MakeCursor(const ViewNode* node);
+/// Creates the cursor matching the node's compiled EnumMode, reading the
+/// snapshot at `epoch`.
+std::unique_ptr<Cursor> MakeCursor(const ViewNode* node,
+                                   Epoch epoch = kLiveEpoch);
 
 /// Multiplicity of emit tuple `t` in the subtree of `node` under context
 /// `ctx` — full tree semantics (sums over heavy groundings at union nodes).
 /// O(1) per materialized-view probe; O(#heavy keys) at union nodes.
-Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t);
+Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t,
+                Epoch epoch = kLiveEpoch);
 
 /// Multiplicity of `t` in one heavy grounding of a union node: the bucket
 /// whose root row is `row` (a tuple over the node's schema = keys).
-Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t);
+Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t,
+                    Epoch epoch = kLiveEpoch);
 
 }  // namespace ivme
 

@@ -8,8 +8,9 @@ namespace ivme {
 // ComponentUnion
 // ---------------------------------------------------------------------------
 
-ResultEnumerator::ComponentUnion::ComponentUnion(const std::vector<const ViewNode*>& roots)
-    : roots_(roots) {
+ResultEnumerator::ComponentUnion::ComponentUnion(
+    const std::vector<const ViewNode*>& roots, Epoch epoch)
+    : roots_(roots), epoch_(epoch) {
   IVME_CHECK(!roots_.empty());
   emit_ = roots_[0]->emit_schema;
   for (const ViewNode* root : roots_) {
@@ -17,7 +18,7 @@ ResultEnumerator::ComponentUnion::ComponentUnion(const std::vector<const ViewNod
                    "trees of one component must emit the same variables");
     comp_to_tree_.push_back(ProjectionPositions(emit_, root->emit_schema));
     tree_to_comp_.push_back(ProjectionPositions(root->emit_schema, emit_));
-    cursors_.push_back(MakeCursor(root));
+    cursors_.push_back(MakeCursor(root, epoch));
   }
 }
 
@@ -26,7 +27,8 @@ void ResultEnumerator::ComponentUnion::Open() {
 }
 
 Mult ResultEnumerator::ComponentUnion::LookupInTree(size_t i, const Tuple& comp_tuple) const {
-  return LookupTree(roots_[i], Tuple{}, ProjectTuple(comp_tuple, comp_to_tree_[i]));
+  return LookupTree(roots_[i], Tuple{}, ProjectTuple(comp_tuple, comp_to_tree_[i]),
+                    epoch_);
 }
 
 bool ResultEnumerator::ComponentUnion::Next(Tuple* out, Mult* mult) {
@@ -60,14 +62,15 @@ bool ResultEnumerator::ComponentUnion::Next(Tuple* out, Mult* mult) {
 // ResultEnumerator
 // ---------------------------------------------------------------------------
 
-ResultEnumerator::ResultEnumerator(const ConjunctiveQuery& q, const CompiledPlan& plan)
+ResultEnumerator::ResultEnumerator(const ConjunctiveQuery& q,
+                                   const CompiledPlan& plan, Epoch epoch)
     : query_(q) {
   std::vector<std::vector<const ViewNode*>> roots(static_cast<size_t>(plan.num_components));
   for (const auto& tree : plan.trees) {
     roots[static_cast<size_t>(tree->component)].push_back(tree->root.get());
   }
   for (auto& group : roots) {
-    components_.push_back(std::make_unique<ComponentUnion>(group));
+    components_.push_back(std::make_unique<ComponentUnion>(group, epoch));
   }
   current_.resize(components_.size());
   mults_.assign(components_.size(), 0);

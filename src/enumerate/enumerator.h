@@ -36,11 +36,14 @@ std::map<Tuple, Mult> DrainEnumeration(Enumerator& it) {
 }
 
 /// Streams the distinct tuples of the query result. Create one per
-/// enumeration session (cheap relative to a full pass); concurrent updates
-/// invalidate open enumerators.
+/// enumeration session (cheap relative to a full pass). At kLiveEpoch,
+/// concurrent updates invalidate open enumerators; with a pinned snapshot
+/// epoch the stream reads the published as-of state and may run
+/// concurrently with maintenance (ARCHITECTURE.md §9).
 class ResultEnumerator {
  public:
-  ResultEnumerator(const ConjunctiveQuery& q, const CompiledPlan& plan);
+  ResultEnumerator(const ConjunctiveQuery& q, const CompiledPlan& plan,
+                   Epoch epoch = kLiveEpoch);
 
   /// Next distinct result tuple (over free_vars() in head order) and its
   /// multiplicity; false at the end of the result.
@@ -50,7 +53,7 @@ class ResultEnumerator {
   /// Union across the view trees of one connected component.
   class ComponentUnion {
    public:
-    ComponentUnion(const std::vector<const ViewNode*>& roots);
+    ComponentUnion(const std::vector<const ViewNode*>& roots, Epoch epoch);
     void Open();
     bool Next(Tuple* out, Mult* mult);  // over the component emit schema
     const Schema& emit_schema() const { return emit_; }
@@ -59,6 +62,7 @@ class ResultEnumerator {
     Mult LookupInTree(size_t i, const Tuple& comp_tuple) const;
 
     std::vector<const ViewNode*> roots_;
+    Epoch epoch_;
     std::vector<std::unique_ptr<Cursor>> cursors_;
     std::vector<std::vector<int>> comp_to_tree_;  // reorder comp → tree emit
     std::vector<std::vector<int>> tree_to_comp_;  // reorder tree → comp emit

@@ -39,10 +39,11 @@ bool RelationPartition::KeyInLight(const Tuple& key) const {
 void RelationPartition::StrictRepartition(size_t theta) {
   light_.Clear();
   const auto& base_index = base_->index(base_index_id_);
-  for (const Relation::Entry* entry = base_->First(); entry != nullptr; entry = entry->next) {
+  for (const Relation::Entry* entry = base_->First(); entry != nullptr;
+       entry = Relation::NextLive(entry)) {
     const Tuple key = base_index.KeyOf(entry->key);
     if (base_index.CountForKey(key) < theta) {
-      light_.Apply(entry->key, entry->value.mult);
+      light_.Apply(entry->key, Relation::EntryMult(entry));
     }
   }
 }

@@ -13,16 +13,37 @@ Relation::Index::Index(const Schema& relation_schema, Schema key_schema)
 
 Relation::Index::Index(std::vector<int> positions) : positions_(std::move(positions)) {}
 
-Relation::Index::~Index() { ClearAll(); }
+Relation::Index::~Index() {
+  IVME_CHECK_MSG(ctx_ == nullptr,
+                 "index destroyed while in versioned mode; drain the "
+                 "RetireLog and detach the epoch context first");
+  ClearAll();
+}
 
 size_t Relation::Index::CountForKey(const Tuple& key) const {
   const BucketNode* node = buckets_.Find(key);
   return node != nullptr ? node->value.count : 0;
 }
 
-const Relation::IndexLink* Relation::Index::FirstForKey(const Tuple& key) const {
-  const BucketNode* node = buckets_.Find(key);
-  return node != nullptr ? node->value.head : nullptr;
+const Relation::IndexLink* Relation::Index::FirstForKeyAt(const Tuple& key,
+                                                          Epoch epoch) const {
+  const BucketNode* node = buckets_.FindAt(key, epoch);
+  if (node == nullptr) return nullptr;
+  const IndexLink* link = node->value.head.load(std::memory_order_acquire);
+  while (link != nullptr &&
+         !TupleMap<EntryPayload>::LiveAt(link->entry, epoch)) {
+    link = link->next.load(std::memory_order_acquire);
+  }
+  return link;
+}
+
+const Relation::IndexLink* Relation::Index::NextLinkAt(const IndexLink* link,
+                                                       Epoch epoch) {
+  const IndexLink* n = link->next.load(std::memory_order_acquire);
+  while (n != nullptr && !TupleMap<EntryPayload>::LiveAt(n->entry, epoch)) {
+    n = n->next.load(std::memory_order_acquire);
+  }
+  return n;
 }
 
 Relation::IndexLink* Relation::Index::Add(Entry* entry) {
@@ -32,35 +53,88 @@ Relation::IndexLink* Relation::Index::Add(Entry* entry) {
   auto* link = new IndexLink();
   link->entry = entry;
   link->bucket_node = bucket_node;
-  // Prepend to the bucket's doubly-linked list (O(1)).
-  link->next = bucket_node->value.head;
-  if (link->next != nullptr) link->next->prev = link;
-  bucket_node->value.head = link;
+  // Prepend to the bucket's doubly-linked list (O(1)). The release store
+  // on head publishes the fully initialized link to concurrent readers.
+  IndexLink* head = bucket_node->value.head.load(std::memory_order_relaxed);
+  link->next.store(head, std::memory_order_relaxed);
+  if (head != nullptr) head->prev = link;
+  bucket_node->value.head.store(link, std::memory_order_release);
   ++bucket_node->value.count;
   return link;
 }
 
 void Relation::Index::Remove(IndexLink* link) {
   BucketNode* bucket_node = link->bucket_node;
-  if (link->prev != nullptr) {
-    link->prev->next = link->next;
-  } else {
-    bucket_node->value.head = link->next;
-  }
-  if (link->next != nullptr) link->next->prev = link->prev;
   --bucket_node->value.count;
+  if (ctx_ != nullptr) {
+    // The link stays in the bucket list as a zombie (filtered by its
+    // entry's death epoch) until phase 1 proves no pin can see it. An
+    // empty bucket is likewise retired, not freed: a re-added key gets a
+    // fresh bucket node while pinned readers keep the old one.
+    ctx_->log->Retire(ctx_->working(), &UnlinkLinkThunk, &FreeLinkThunk, this,
+                      link);
+    if (bucket_node->value.count == 0) buckets_.Erase(bucket_node);
+    return;
+  }
+  IndexLink* next = link->next.load(std::memory_order_relaxed);
+  if (link->prev != nullptr) {
+    link->prev->next.store(next, std::memory_order_relaxed);
+  } else {
+    bucket_node->value.head.store(next, std::memory_order_relaxed);
+  }
+  if (next != nullptr) next->prev = link->prev;
   if (bucket_node->value.count == 0) {
-    IVME_CHECK(bucket_node->value.head == nullptr);
+    IVME_CHECK(bucket_node->value.head.load(std::memory_order_relaxed) == nullptr);
     buckets_.Erase(bucket_node);
   }
   delete link;
 }
 
+void Relation::Index::UnlinkLinkThunk(void* /*owner*/, void* object) {
+  // Phase 1: no pin can see the link's entry anymore. Splice it out; its
+  // own next/prev stay valid for readers standing on it until phase 2.
+  // The bucket node's memory is still valid even if the bucket is itself a
+  // zombie: links are always retired before their bucket, so FIFO order
+  // runs this before the bucket's phase 2.
+  auto* link = static_cast<IndexLink*>(object);
+  IndexLink* next = link->next.load(std::memory_order_relaxed);
+  if (link->prev != nullptr) {
+    link->prev->next.store(next, std::memory_order_release);
+  } else {
+    link->bucket_node->value.head.store(next, std::memory_order_release);
+  }
+  if (next != nullptr) next->prev = link->prev;
+}
+
+void Relation::Index::FreeLinkThunk(void* /*owner*/, void* object) {
+  delete static_cast<IndexLink*>(object);
+}
+
 void Relation::Index::ClearAll() {
-  for (BucketNode* node = buckets_.First(); node != nullptr; node = node->next) {
-    IndexLink* link = node->value.head;
+  if (ctx_ != nullptr) {
+    const Epoch w = ctx_->working();
+    BucketNode* node = buckets_.First();
+    while (node != nullptr) {
+      BucketNode* next_bucket = TupleMap<Bucket>::NextLive(node);
+      for (IndexLink* link = node->value.head.load(std::memory_order_relaxed);
+           link != nullptr; link = link->next.load(std::memory_order_relaxed)) {
+        // Zombie links in the list were retired when they died; only the
+        // still-live ones are retired now.
+        if (link->entry->death.load(std::memory_order_relaxed) == kLiveEpoch) {
+          ctx_->log->Retire(w, &UnlinkLinkThunk, &FreeLinkThunk, this, link);
+        }
+      }
+      node->value.count = 0;
+      buckets_.Erase(node);
+      node = next_bucket;
+    }
+    return;
+  }
+  for (BucketNode* node = buckets_.First(); node != nullptr;
+       node = TupleMap<Bucket>::NextLive(node)) {
+    IndexLink* link = node->value.head.load(std::memory_order_relaxed);
     while (link != nullptr) {
-      IndexLink* next = link->next;
+      IndexLink* next = link->next.load(std::memory_order_relaxed);
       delete link;
       link = next;
     }
@@ -75,9 +149,107 @@ void Relation::Index::ClearAll() {
 Relation::Relation(Schema schema, std::string name)
     : schema_(std::move(schema)), name_(std::move(name)) {}
 
+void Relation::SetEpochContext(const EpochContext* ctx) {
+  IVME_CHECK_MSG(map_.zombie_count() == 0,
+                 "epoch context change with zombies outstanding");
+  ctx_ = ctx;
+  map_.SetEpochContext(ctx);
+  for (auto& index : indexes_) index->SetEpochContext(ctx);
+}
+
 Mult Relation::Multiplicity(const Tuple& tuple) const {
   const Entry* entry = map_.Find(tuple);
-  return entry != nullptr ? entry->value.mult : 0;
+  return entry != nullptr ? EntryMult(entry) : 0;
+}
+
+Mult Relation::MultiplicityAt(const Tuple& tuple, Epoch epoch) const {
+  const Entry* entry = map_.FindAt(tuple, epoch);
+  return entry != nullptr ? EntryMultAt(entry, epoch) : 0;
+}
+
+Mult Relation::EntryMultAt(const Entry* entry, Epoch epoch) {
+  if (epoch == kLiveEpoch) return EntryMult(entry);
+  const EntryPayload& p = entry->value;
+  // Fast path: the entry was last touched at or before our epoch, so the
+  // current value is ours — unless a first-touch races in between, which
+  // the history re-check detects (the writer pushes the history record
+  // BEFORE advancing last_touch and storing the new mult, all release).
+  const MultVersion* h1 = p.history.load(std::memory_order_acquire);
+  if (p.last_touch.load(std::memory_order_acquire) <= epoch) {
+    const Mult v = p.mult.load(std::memory_order_acquire);
+    const MultVersion* h2 = p.history.load(std::memory_order_acquire);
+    if (h1 == h2) return v;
+  }
+  // Slow path: find the newest closed version whose window covers epoch.
+  // Records pruned concurrently stay readable (freed only after a grace
+  // period) and keep pointing at the surviving chain.
+  for (const MultVersion* r = p.history.load(std::memory_order_acquire);
+       r != nullptr; r = r->older.load(std::memory_order_acquire)) {
+    if (r->from <= epoch) return r->value;
+  }
+  // Unreachable while the pin protocol holds (every pinned epoch keeps its
+  // covering record); 0 is the safe answer for "no version".
+  return 0;
+}
+
+void Relation::StoreMult(Entry* entry, Mult after, bool inserted) {
+  EntryPayload& p = entry->value;
+  if (ctx_ == nullptr) {
+    p.mult.store(after, std::memory_order_relaxed);
+    return;
+  }
+  const Epoch w = ctx_->working();
+  if (inserted) {
+    // Born this epoch: invisible to every pinned reader, no version to
+    // close.
+    p.last_touch.store(w, std::memory_order_relaxed);
+    p.mult.store(after, std::memory_order_relaxed);
+    return;
+  }
+  const Epoch t = p.last_touch.load(std::memory_order_relaxed);
+  if (t != w) {
+    auto* rec = new MultVersion();
+    rec->from = t;
+    rec->value = p.mult.load(std::memory_order_relaxed);
+    rec->older.store(p.history.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    p.history.store(rec, std::memory_order_release);
+    p.last_touch.store(w, std::memory_order_release);
+    PruneHistory(&p, w);
+  }
+  p.mult.store(after, std::memory_order_release);
+}
+
+void Relation::PruneHistory(EntryPayload* payload, Epoch working) {
+  // Keep, for every epoch k that a reader may resolve (pinned epochs plus
+  // the published one, snapshotted at batch start), the newest record with
+  // from ≤ k; unlink the rest into limbo. Walk newest→oldest with the
+  // keep-set largest→smallest: the record covering [from, upper) is needed
+  // iff some keep epoch falls in that window.
+  const std::vector<Epoch>& keeps = ctx_->log->keep_epochs();
+  auto it = keeps.rbegin();
+  Epoch upper = working;
+  std::atomic<MultVersion*>* slot = &payload->history;
+  MultVersion* rec = slot->load(std::memory_order_relaxed);
+  while (rec != nullptr) {
+    while (it != keeps.rend() && *it >= upper) ++it;
+    if (it != keeps.rend() && *it >= rec->from) {
+      upper = rec->from;
+      slot = &rec->older;
+      rec = slot->load(std::memory_order_relaxed);
+      continue;
+    }
+    MultVersion* next = rec->older.load(std::memory_order_relaxed);
+    // The unlinked record keeps its `older` pointer, so a reader walking
+    // through it still reaches the surviving chain.
+    slot->store(next, std::memory_order_release);
+    ctx_->log->AddLimbo(working, &FreeMultVersionThunk, nullptr, rec);
+    rec = next;
+  }
+}
+
+void Relation::FreeMultVersionThunk(void* /*owner*/, void* object) {
+  delete static_cast<MultVersion*>(object);
 }
 
 Relation::ApplyResult Relation::Apply(const Tuple& tuple, Mult delta) {
@@ -89,7 +261,7 @@ Relation::ApplyResult Relation::Apply(const Tuple& tuple, Mult delta) {
     return {m, m};
   }
   auto [entry, inserted] = map_.Emplace(tuple);
-  const Mult before = inserted ? 0 : entry->value.mult;
+  const Mult before = inserted ? 0 : EntryMult(entry);
   const Mult after = before + delta;
   if (inserted) {
     entry->value.links.reserve(indexes_.size());
@@ -101,9 +273,11 @@ Relation::ApplyResult Relation::Apply(const Tuple& tuple, Mult delta) {
     for (size_t i = 0; i < indexes_.size(); ++i) {
       indexes_[i]->Remove(entry->value.links[i]);
     }
+    // Versioned mode: the zombie keeps its final multiplicity and history
+    // chain — pinned readers still resolve EntryMultAt against them.
     map_.Erase(entry);
   } else {
-    entry->value.mult = after;
+    StoreMult(entry, after, inserted);
   }
   return {before, after};
 }
@@ -122,9 +296,13 @@ int Relation::EnsureIndexOnColumns(std::vector<int> positions) {
   if (existing >= 0) return existing;
   indexes_.push_back(std::make_unique<Index>(std::move(positions)));
   Index* index = indexes_.back().get();
-  // Backfill: register all current entries (this is what makes late index
-  // creation — a query registering against a live shared relation — work).
-  for (Entry* entry = map_.First(); entry != nullptr; entry = entry->next) {
+  index->SetEpochContext(ctx_);
+  // Backfill: register all current live entries (this is what makes late
+  // index creation — a query registering against a live shared relation —
+  // work). Registration is quiesced, so zombies are already unlinked and
+  // correctly get no links in the new index.
+  for (Entry* entry = map_.First(); entry != nullptr;
+       entry = TupleMap<EntryPayload>::NextLive(entry)) {
     entry->value.links.push_back(index->Add(entry));
   }
   return static_cast<int>(indexes_.size()) - 1;

@@ -7,13 +7,30 @@
 //     (4) constant-delay enumeration of σ_{S=t}R, (5) O(1) t ∈ π_S R,
 //     (6) O(1) |σ_{S=t}R|, (7) O(1) index entry insert/delete (via
 //     back-pointers stored in the primary entries).
+//
+// VERSIONED MODE (SetEpochContext, see src/common/epoch.h and
+// docs/ARCHITECTURE.md §9): the relation answers point-in-time reads —
+// MultiplicityAt / FirstAt / NextAt / FirstForKeyAt — for any epoch that a
+// reader holds pinned, while the single writer keeps mutating:
+//   - erased entries, index links, and index buckets become epoch-stamped
+//     zombies on the writer's RetireLog instead of being freed;
+//   - each entry keeps a small chain of closed multiplicity versions
+//     (MultVersion records), pushed on the first touch per epoch and pruned
+//     against the set of pinned epochs, so a stalled reader bounds — not
+//     grows — per-entry memory;
+//   - reads at kLiveEpoch see exactly the current (working) state and are
+//     writer-thread-only.
+// Without a context everything behaves as before: immediate frees, no
+// version records, no atomics beyond the (free on x86) relaxed accesses.
 #ifndef IVME_STORAGE_RELATION_H_
 #define IVME_STORAGE_RELATION_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/data/schema.h"
 #include "src/data/tuple.h"
 #include "src/storage/tuple_map.h"
@@ -25,28 +42,55 @@ class Relation {
  public:
   struct IndexLink;
 
+  /// One closed multiplicity version: `value` was current during
+  /// [from, <from of the next-newer record>).
+  struct MultVersion {
+    Epoch from = 0;
+    Mult value = 0;
+    std::atomic<MultVersion*> older{nullptr};
+  };
+
   /// Payload of a primary dictionary entry: the multiplicity plus one index
-  /// link (back-pointer) per registered index.
+  /// link (back-pointer) per registered index. In versioned mode `mult` is
+  /// the working-epoch value, `last_touch` the epoch of the writer's most
+  /// recent first-touch, and `history` the chain of closed versions
+  /// (newest first). Readers resolve an epoch via Relation::EntryMultAt.
   struct EntryPayload {
-    Mult mult = 0;
+    std::atomic<Mult> mult{0};
     std::vector<IndexLink*> links;
+    std::atomic<Epoch> last_touch{0};
+    std::atomic<MultVersion*> history{nullptr};
+
+    ~EntryPayload() {
+      // Pruned records were unlinked into the RetireLog's limbo list and
+      // are freed there; this chain holds only the still-linked ones.
+      MultVersion* r = history.load(std::memory_order_relaxed);
+      while (r != nullptr) {
+        MultVersion* older = r->older.load(std::memory_order_relaxed);
+        delete r;
+        r = older;
+      }
+    }
   };
 
   using Entry = TupleMap<EntryPayload>::Node;
 
   /// Per-key index bucket: count and head of the doubly-linked entry list.
+  /// `head` is atomic so readers can traverse while the writer prepends;
+  /// `count` is writer-only bookkeeping (never read on the reader path).
   struct Bucket {
-    IndexLink* head = nullptr;
+    std::atomic<IndexLink*> head{nullptr};
     size_t count = 0;
   };
 
   using BucketNode = TupleMap<Bucket>::Node;
 
   /// Doubly-linked list node connecting an index bucket to a primary entry.
+  /// `next` is atomic (reader-traversed); `prev` is writer-only.
   struct IndexLink {
     Entry* entry = nullptr;
     IndexLink* prev = nullptr;
-    IndexLink* next = nullptr;
+    std::atomic<IndexLink*> next{nullptr};
     BucketNode* bucket_node = nullptr;
   };
 
@@ -72,36 +116,60 @@ class Relation {
     /// Projects a full relation tuple onto the index key schema.
     Tuple KeyOf(const Tuple& tuple) const { return ProjectTuple(tuple, positions_); }
 
-    /// |σ_{S=key}R| in O(1).
+    /// |σ_{S=key}R| in O(1). Writer-side.
     size_t CountForKey(const Tuple& key) const;
 
-    /// key ∈ π_S R in O(1).
+    /// key ∈ π_S R in O(1). Writer-side.
     bool ContainsKey(const Tuple& key) const { return buckets_.Find(key) != nullptr; }
 
-    /// Number of distinct keys |π_S R| in O(1).
+    /// Number of distinct keys |π_S R| in O(1). Writer-side.
     size_t DistinctKeys() const { return buckets_.size(); }
 
-    /// Head of the entry list for `key` (nullptr if the key is absent);
-    /// iterate with link->next for constant-delay σ_{S=key}R enumeration.
-    const IndexLink* FirstForKey(const Tuple& key) const;
+    /// Head of the live entry list for `key` (nullptr if the key is
+    /// absent); iterate with NextLink for constant-delay σ_{S=key}R
+    /// enumeration. Writer-side (filters zombies).
+    const IndexLink* FirstForKey(const Tuple& key) const {
+      return FirstForKeyAt(key, kLiveEpoch);
+    }
 
-    /// First bucket in key-enumeration order; iterate with node->next.
+    /// Reader-side: the entry list for `key` as of `epoch`.
+    const IndexLink* FirstForKeyAt(const Tuple& key, Epoch epoch) const;
+
+    /// Successor of `link` among entries alive at `epoch`.
+    static const IndexLink* NextLinkAt(const IndexLink* link, Epoch epoch);
+
+    /// Writer-side successor (filters zombies).
+    static const IndexLink* NextLink(const IndexLink* link) {
+      return NextLinkAt(link, kLiveEpoch);
+    }
+
+    /// First live bucket in key-enumeration order.
     const BucketNode* FirstKey() const { return buckets_.First(); }
 
    private:
     friend class Relation;
 
+    void SetEpochContext(const EpochContext* ctx) {
+      ctx_ = ctx;
+      buckets_.SetEpochContext(ctx);
+    }
+
     /// Registers `entry` under its key; returns the link to store in the
     /// entry's payload. O(1) expected.
     IndexLink* Add(Entry* entry);
 
-    /// Unregisters via the back-pointer. O(1).
+    /// Unregisters via the back-pointer. O(1). Versioned mode retires the
+    /// link (and the bucket once empty) instead of freeing.
     void Remove(IndexLink* link);
 
     void ClearAll();
 
+    static void UnlinkLinkThunk(void* owner, void* object);
+    static void FreeLinkThunk(void* owner, void* object);
+
     std::vector<int> positions_;
     TupleMap<Bucket> buckets_;
+    const EpochContext* ctx_ = nullptr;
   };
 
   explicit Relation(Schema schema, std::string name = "");
@@ -113,11 +181,29 @@ class Relation {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  /// Number of distinct tuples |R|, O(1).
+  /// Enters (ctx != nullptr) or leaves versioned mode, including all
+  /// current and future indexes. Only valid while the relation holds no
+  /// zombies: freshly built, or quiesced with the RetireLog drained.
+  void SetEpochContext(const EpochContext* ctx);
+  const EpochContext* epoch_context() const { return ctx_; }
+
+  /// Number of distinct live tuples |R|, O(1).
   size_t size() const { return map_.size(); }
 
-  /// Multiplicity of `tuple` (0 when absent), O(1) expected.
+  /// Multiplicity of `tuple` (0 when absent), O(1) expected. Writer-side.
   Mult Multiplicity(const Tuple& tuple) const;
+
+  /// Multiplicity of `tuple` as of `epoch`. Reader-side, safe concurrently
+  /// with the writer while `epoch` is pinned.
+  Mult MultiplicityAt(const Tuple& tuple, Epoch epoch) const;
+
+  /// Resolves an entry's multiplicity as of `epoch` (kLiveEpoch = current).
+  static Mult EntryMultAt(const Entry* entry, Epoch epoch);
+
+  /// Current multiplicity of a live entry (writer-side fast path).
+  static Mult EntryMult(const Entry* entry) {
+    return entry->value.mult.load(std::memory_order_relaxed);
+  }
 
   struct ApplyResult {
     Mult before = 0;
@@ -129,7 +215,7 @@ class Relation {
   /// expected.
   ApplyResult Apply(const Tuple& tuple, Mult delta);
 
-  /// Removes every tuple (indexes stay registered but become empty).
+  /// Removes every live tuple (indexes stay registered but become empty).
   void Clear();
 
   /// Creates (or finds) an index on `key_schema`, which is resolved against
@@ -154,17 +240,43 @@ class Relation {
 
   size_t num_indexes() const { return indexes_.size(); }
 
-  /// First entry in enumeration order; iterate with entry->next.
+  /// First live entry in enumeration order; iterate with NextLive.
+  /// Writer-side.
   const Entry* First() const { return map_.First(); }
 
-  /// Entry lookup (nullptr when absent).
+  /// Writer-side successor (filters zombies).
+  static const Entry* NextLive(const Entry* entry) {
+    return TupleMap<EntryPayload>::NextLive(entry);
+  }
+
+  /// Reader-side enumeration as of `epoch`.
+  const Entry* FirstAt(Epoch epoch) const { return map_.FirstAt(epoch); }
+  static const Entry* NextAt(const Entry* entry, Epoch epoch) {
+    return TupleMap<EntryPayload>::NextAt(entry, epoch);
+  }
+
+  /// Live entry lookup (nullptr when absent). Writer-side.
   const Entry* Find(const Tuple& tuple) const { return map_.Find(tuple); }
 
+  /// Reader-side lookup as of `epoch`.
+  const Entry* FindAt(const Tuple& tuple, Epoch epoch) const {
+    return map_.FindAt(tuple, epoch);
+  }
+
  private:
+  /// Sets a live entry's multiplicity at the working epoch, maintaining
+  /// the version chain (first touch per epoch closes the previous version)
+  /// and pruning records no pinned epoch needs.
+  void StoreMult(Entry* entry, Mult after, bool inserted);
+  void PruneHistory(EntryPayload* payload, Epoch working);
+
+  static void FreeMultVersionThunk(void* owner, void* object);
+
   Schema schema_;
   std::string name_;
   TupleMap<EntryPayload> map_;
   std::vector<std::unique_ptr<Index>> indexes_;
+  const EpochContext* ctx_ = nullptr;
 };
 
 }  // namespace ivme

@@ -96,8 +96,9 @@ std::vector<std::pair<Tuple, Mult>> RelationStore::Dump(const std::string& name)
   IVME_CHECK_MSG(relation != nullptr, "unknown relation " << name);
   std::vector<std::pair<Tuple, Mult>> out;
   out.reserve(relation->size());
-  for (const Relation::Entry* e = relation->First(); e != nullptr; e = e->next) {
-    out.emplace_back(e->key, e->value.mult);
+  for (const Relation::Entry* e = relation->First(); e != nullptr;
+       e = Relation::NextLive(e)) {
+    out.emplace_back(e->key, Relation::EntryMult(e));
   }
   return out;
 }
@@ -113,6 +114,10 @@ std::vector<std::string> RelationStore::RelationNames() const {
   names.reserve(entries_.size());
   for (const auto& entry : entries_) names.push_back(entry.name);
   return names;
+}
+
+void RelationStore::SetEpochContext(const EpochContext* ctx) {
+  for (auto& entry : entries_) entry.relation->SetEpochContext(ctx);
 }
 
 }  // namespace ivme

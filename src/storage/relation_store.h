@@ -83,6 +83,11 @@ class RelationStore {
   /// Relation names in creation order.
   std::vector<std::string> RelationNames() const;
 
+  /// Enters (ctx != nullptr) or leaves versioned mode on every currently
+  /// stored relation (the owning catalog re-applies after new attachments).
+  /// Quiesced points only (see Relation::SetEpochContext).
+  void SetEpochContext(const EpochContext* ctx);
+
  private:
   struct Entry {
     std::string name;

@@ -1,32 +1,57 @@
-// Chained hash map from Tuple keys to arbitrary payloads with
+// Hash map from Tuple keys to arbitrary payloads with
 //  (1) O(1) expected lookup / insert / delete,
 //  (2) constant-delay enumeration of entries via an intrusive doubly-linked
 //      list, and
 //  (3) O(1) size reporting,
 // i.e., operations (1)-(3) of the computational model in Section 3 of the
-// paper. Chaining (rather than open addressing) keeps node addresses stable,
-// which the secondary-index structures rely on for their back-pointers.
+// paper.
 //
 // Nodes come out of a per-map pool: chunked slabs plus a free list, so
 // insert/erase churn on the update hot path costs a pointer pop/push instead
 // of a malloc/free per entry. Slabs are only returned to the OS when the map
 // itself is destroyed; node addresses stay stable for the node's lifetime.
 //
+// The table is OPEN-ADDRESSING (linear probing over Node* slots) rather
+// than chained. This is what makes single-writer / multi-reader operation
+// possible: a probe sequence only ever reads per-slot atomic pointers that
+// the writer publishes with release stores — there are no per-node chain
+// links to splice, so a concurrent reader can never be detached from a
+// chain mid-walk. Slot states: nullptr = never used (probe stops),
+// kTombstone = erased (probe continues), else a node. Tombstones are only
+// recycled by the writer (which re-checks under no concurrency constraints)
+// and never revert to nullptr except via a table rebuild.
+//
 // Growth is DEAMORTIZED: instead of a stop-the-world rehash (an O(size)
 // latency spike on whichever insert crosses the load factor — views reach
 // O(N^{1+(w−1)ε}) entries, so a single rehash can dwarf every other
-// per-update cost), the table keeps the old bucket array alongside the new
-// one and every subsequent insert/erase migrates a constant number of old
-// buckets. Lookups probe the new table first, then the shrinking old one.
-// The migration always finishes long before the next growth trigger
-// (doubling capacity at load factor 3/4 leaves ≥ old_capacity/2 inserts of
-// headroom while migration needs old_capacity/kMigrateChunk of them), so at
-// most two tables ever exist. The residual per-growth spike is the bucket
-// array allocation itself — O(capacity) pointer zeroing, a small constant
-// per entry — not the O(size) node relink.
+// per-update cost), the map keeps the old slot array alongside the new one
+// and every subsequent mutation migrates a constant number of old slots.
+// Lookups probe the new table first, then the shrinking old one. Migration
+// copies node POINTERS into the new table and leaves the old slot intact
+// (a reader that probes new-then-old must find the node in at least one of
+// them at every interleaving); the old array is retired wholesale when
+// drained. The migration always finishes long before the next growth
+// trigger (see kMigrateChunk), so at most two tables ever coexist. The
+// residual per-growth spike is the slot-array allocation itself —
+// O(capacity) pointer zeroing — never an O(size) node relink.
+//
+// VERSIONED MODE (SetEpochContext): nodes carry birth/death epochs.
+// Erase() then only marks the node dead at the working epoch and pushes it
+// onto the domain's RetireLog; the node stays in the table and the
+// enumeration list (a "zombie") until phase 1 of reclamation proves no
+// reader pins an epoch that can see it. Readers use FindAt/FirstAt/NextAt
+// with their pinned epoch; writers use Find/First-with-NextLive, which
+// filter zombies via the kLiveEpoch sentinel. Without a context the map
+// behaves exactly as before (immediate free on erase).
+//
+// Thread-safety contract: one writer thread (mutations + reclamation),
+// any number of reader threads restricted to the *At APIs and node
+// key/value reads, valid only between RetireLog reclaim points covering
+// their pinned epoch.
 #ifndef IVME_STORAGE_TUPLE_MAP_H_
 #define IVME_STORAGE_TUPLE_MAP_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <new>
@@ -34,6 +59,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/epoch.h"
 #include "src/data/tuple.h"
 
 namespace ivme {
@@ -45,131 +71,217 @@ class TupleMap {
     Tuple key;
     T value{};
     uint64_t hash = 0;
-    Node* chain = nullptr;  // next node in the same hash bucket
-    Node* prev = nullptr;   // intrusive enumeration list
-    Node* next = nullptr;
+    /// Intrusive enumeration list (insertion order). `next` is atomic so
+    /// readers can walk the list while the writer appends; `prev` is
+    /// writer-only.
+    std::atomic<Node*> next{nullptr};
+    Node* prev = nullptr;
+    /// Versioned mode only: the node exists at epoch e iff
+    /// birth ≤ e < death. `birth` is frozen before the node is published;
+    /// `death` flips exactly once, from kLiveEpoch to the working epoch.
+    Epoch birth = 0;
+    std::atomic<Epoch> death{kLiveEpoch};
   };
 
-  TupleMap() : buckets_(kInitialBuckets, nullptr) {}
+  TupleMap() : table_(NewTable(kInitialSlots)) {}
 
   TupleMap(const TupleMap&) = delete;
   TupleMap& operator=(const TupleMap&) = delete;
 
   ~TupleMap() {
-    for (Node* n = head_; n != nullptr;) {
-      Node* next = n->next;
+    // Zombies still on a RetireLog must have been drained (or the log
+    // dropped) by the owner before the map dies; the list walk below
+    // destroys every node including zombies.
+    for (Node* n = head_.load(std::memory_order_relaxed); n != nullptr;) {
+      Node* next = n->next.load(std::memory_order_relaxed);
       n->~Node();
       n = next;
     }
+    delete table_.load(std::memory_order_relaxed);
+    delete old_table_.load(std::memory_order_relaxed);
   }
 
+  /// Versioned mode switch. Must be set before the first insert and never
+  /// changed afterwards (nodes allocated in one mode must die in it).
+  void SetEpochContext(const EpochContext* ctx) { ctx_ = ctx; }
+  const EpochContext* epoch_context() const { return ctx_; }
+
+  /// Live entries (excludes zombies), O(1).
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  /// Zombies awaiting reclamation (tests/introspection).
+  size_t zombie_count() const { return zombies_; }
 
-  /// First node in enumeration order (insertion order), or nullptr.
-  Node* First() const { return head_; }
+  static bool LiveAt(const Node* n, Epoch epoch) {
+    const Epoch death = n->death.load(std::memory_order_acquire);
+    if (epoch == kLiveEpoch) return death == kLiveEpoch;
+    return n->birth <= epoch && epoch < death;
+  }
 
-  /// O(1) expected lookup; nullptr when absent. Reuses the key's cached
-  /// hash when it is already known. During an in-flight growth the
-  /// not-yet-migrated part of the old table is probed as well.
-  Node* Find(const Tuple& key) const {
-    const uint64_t h = key.Hash();
-    for (Node* n = buckets_[IndexFor(h)]; n != nullptr; n = n->chain) {
-      if (n->hash == h && n->key == key) return n;
+  /// First live node in enumeration order (insertion order), or nullptr.
+  /// Writer-side view: skips zombies.
+  Node* First() const { return FirstAt(kLiveEpoch); }
+
+  /// Writer-side successor: skips zombies.
+  static Node* NextLive(const Node* n) { return NextAt(n, kLiveEpoch); }
+
+  /// Reader-side enumeration as of `epoch` (kLiveEpoch = current state).
+  Node* FirstAt(Epoch epoch) const {
+    Node* n = head_.load(std::memory_order_acquire);
+    while (n != nullptr && !LiveAt(n, epoch)) {
+      n = n->next.load(std::memory_order_acquire);
     }
-    if (!old_buckets_.empty()) {
-      for (Node* n = old_buckets_[h & (old_buckets_.size() - 1)]; n != nullptr;
-           n = n->chain) {
-        if (n->hash == h && n->key == key) return n;
-      }
+    return n;
+  }
+
+  static Node* NextAt(const Node* node, Epoch epoch) {
+    Node* n = node->next.load(std::memory_order_acquire);
+    while (n != nullptr && !LiveAt(n, epoch)) {
+      n = n->next.load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
+  /// O(1) expected lookup of the live entry; nullptr when absent.
+  /// Writer-side (filters zombies).
+  Node* Find(const Tuple& key) const { return FindAt(key, kLiveEpoch); }
+
+  /// Reader-side lookup as of `epoch`. Safe concurrently with the writer.
+  Node* FindAt(const Tuple& key, Epoch epoch) const {
+    const uint64_t h = key.Hash();
+    // Snapshot BOTH table pointers before probing, table_ first: if a node
+    // migrates into the new table after our new-table probe misses it, the
+    // old snapshot still holds it (old slots are never cleared); and
+    // acquiring table_ before old_table_ means a post-growth table_ comes
+    // with its old_table_ visible. A stale snapshot stays both safe (freed
+    // only after a grace period covering our pin) and complete for our
+    // epoch (migration copies pointers, nodes never leave a table).
+    const Table* t = table_.load(std::memory_order_acquire);
+    const Table* old = old_table_.load(std::memory_order_acquire);
+    if (Node* n = Probe(t, h, key, epoch)) return n;
+    if (old != nullptr && old != t) {
+      if (Node* n = Probe(old, h, key, epoch)) return n;
     }
     return nullptr;
   }
 
-  /// Finds or default-constructs the entry for `key`. Returns the node and
-  /// whether it was newly inserted. New entries always land in the newest
-  /// bucket array; each insert also migrates a constant number of old
-  /// buckets, so growth never causes an O(size) rehash on one insert.
+  /// Finds or default-constructs the live entry for `key`. Returns the node
+  /// and whether it was newly inserted. Writer-only. New entries always
+  /// land in the newest slot array; each insert also migrates a constant
+  /// number of old slots, so growth never causes an O(size) rehash on one
+  /// insert. In versioned mode a re-inserted key gets a FRESH node even if
+  /// a zombie with the same key is still visible to pinned readers — the
+  /// two are disambiguated by their disjoint [birth, death) windows.
   std::pair<Node*, bool> Emplace(const Tuple& key) {
     const uint64_t h = key.Hash();
-    for (Node* n = buckets_[IndexFor(h)]; n != nullptr; n = n->chain) {
-      if (n->hash == h && n->key == key) {
-        // Hits advance the migration too: a multiplicity-bump-heavy phase
-        // (mostly re-touching existing keys) must still drain the old
-        // array instead of paying the two-table probe indefinitely.
-        if (!old_buckets_.empty()) MigrateStep();
+    Table* t = table_.load(std::memory_order_relaxed);
+    Table* old = old_table_.load(std::memory_order_relaxed);
+    if (Node* n = Probe(t, h, key, kLiveEpoch)) {
+      // Hits advance the migration too: a multiplicity-bump-heavy phase
+      // (mostly re-touching existing keys) must still drain the old array
+      // instead of paying the two-table probe indefinitely.
+      if (old != nullptr) MigrateStep();
+      return {n, false};
+    }
+    if (old != nullptr) {
+      if (Node* n = Probe(old, h, key, kLiveEpoch)) {
+        MigrateStep();
         return {n, false};
       }
-    }
-    if (!old_buckets_.empty()) {
-      for (Node* n = old_buckets_[h & (old_buckets_.size() - 1)]; n != nullptr;
-           n = n->chain) {
-        if (n->hash == h && n->key == key) {
-          MigrateStep();
-          return {n, false};
-        }
-      }
       MigrateStep();
-    } else if (size_ + 1 > buckets_.size() * 3 / 4) {
+      t = table_.load(std::memory_order_relaxed);  // MigrateStep may finish
+    } else if ((t->used + 1) * 4 > t->capacity * 3) {
       BeginGrow();
       MigrateStep();
+      t = table_.load(std::memory_order_relaxed);
     }
     Node* n = AllocNode();
     n->key = key;
     n->hash = h;
-    const size_t b2 = IndexFor(h);
-    n->chain = buckets_[b2];
-    buckets_[b2] = n;
+    n->birth = ctx_ != nullptr ? ctx_->working() : 0;
+    InsertIntoTable(t, n);
     LinkBack(n);
     ++size_;
     return {n, true};
   }
 
-  /// Unlinks and frees a node previously returned by Find/Emplace. O(1)
-  /// expected (walks the node's hash chain in whichever table holds it).
+  /// Erases a live node previously returned by Find/Emplace. Legacy mode:
+  /// unlink + free immediately. Versioned mode: mark dead at the working
+  /// epoch and hand the node to the RetireLog (unlink at phase 1, free at
+  /// phase 2).
   void Erase(Node* node) {
-    Node** slot = &buckets_[IndexFor(node->hash)];
-    while (*slot != node && *slot != nullptr) {
-      slot = &(*slot)->chain;
-    }
-    if (*slot != node) {
-      // Not yet migrated: the node still chains in the old table.
-      IVME_CHECK_MSG(!old_buckets_.empty(), "node not present in its hash chain");
-      slot = &old_buckets_[node->hash & (old_buckets_.size() - 1)];
-      while (*slot != node) {
-        IVME_CHECK_MSG(*slot != nullptr, "node not present in its hash chain");
-        slot = &(*slot)->chain;
-      }
-    }
-    *slot = node->chain;
-    Unlink(node);
     --size_;
-    FreeNode(node);
-    if (!old_buckets_.empty()) MigrateStep();
+    if (ctx_ == nullptr) {
+      RemoveFromTables(node);
+      UnlinkList(node);
+      FreeNode(node);
+      if (old_table_.load(std::memory_order_relaxed) != nullptr) MigrateStep();
+      return;
+    }
+    IVME_CHECK_MSG(node->death.load(std::memory_order_relaxed) == kLiveEpoch,
+                   "double erase of a versioned node");
+    ++zombies_;
+    node->death.store(ctx_->working(), std::memory_order_release);
+    ctx_->log->Retire(ctx_->working(), &UnlinkRetiredThunk, &FreeRetiredThunk,
+                      this, node);
+    if (old_table_.load(std::memory_order_relaxed) != nullptr) MigrateStep();
   }
 
-  /// Removes all entries. Node storage is recycled, not released.
+  /// Removes all live entries. Legacy mode recycles every node and resets
+  /// the table; versioned mode retires each live node individually (the
+  /// table and zombie set must stay intact for pinned readers).
   void Clear() {
-    Node* n = head_;
+    if (ctx_ != nullptr) {
+      Node* n = First();
+      while (n != nullptr) {
+        Node* next = NextLive(n);
+        Erase(n);
+        n = next;
+      }
+      return;
+    }
+    Node* n = head_.load(std::memory_order_relaxed);
     while (n != nullptr) {
-      Node* next = n->next;
+      Node* next = n->next.load(std::memory_order_relaxed);
       FreeNode(n);
       n = next;
     }
-    head_ = tail_ = nullptr;
+    head_.store(nullptr, std::memory_order_relaxed);
+    tail_ = nullptr;
     size_ = 0;
-    buckets_.assign(kInitialBuckets, nullptr);
-    old_buckets_.clear();
-    old_buckets_.shrink_to_fit();
+    delete table_.load(std::memory_order_relaxed);
+    table_.store(NewTable(kInitialSlots), std::memory_order_relaxed);
+    delete old_table_.load(std::memory_order_relaxed);
+    old_table_.store(nullptr, std::memory_order_relaxed);
     migrate_pos_ = 0;
   }
 
   /// True while a growth migration is in flight (tests/introspection).
-  bool rehash_in_progress() const { return !old_buckets_.empty(); }
+  bool rehash_in_progress() const {
+    return old_table_.load(std::memory_order_relaxed) != nullptr;
+  }
 
  private:
-  static constexpr size_t kInitialBuckets = 16;  // power of two
+  static constexpr size_t kInitialSlots = 16;  // power of two
   static constexpr size_t kFirstSlabNodes = 16;
+
+  /// Erased-slot sentinel: probes continue past it, writer inserts reuse it.
+  static Node* Tombstone() { return reinterpret_cast<Node*>(uintptr_t{1}); }
+
+  struct Table {
+    explicit Table(size_t cap) : capacity(cap), slots(new std::atomic<Node*>[cap]) {
+      for (size_t i = 0; i < cap; ++i) {
+        slots[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+    const size_t capacity;
+    std::unique_ptr<std::atomic<Node*>[]> slots;
+    /// Occupied slots including tombstones (writer-only bookkeeping; the
+    /// growth trigger compacts tombstone-heavy tables).
+    size_t used = 0;
+  };
+
+  static Table* NewTable(size_t cap) { return new Table(cap); }
 
   /// Raw storage for one Node; doubles as a free-list link while vacant.
   union Slot {
@@ -201,80 +313,178 @@ class TupleMap {
     free_head_ = slot;
   }
 
-  size_t IndexFor(uint64_t hash) const { return hash & (buckets_.size() - 1); }
+  /// Linear probe for a key match live at `epoch`. Reader-safe: slots are
+  /// acquire-loaded, and matching nodes were fully initialized before their
+  /// slot store (release).
+  static Node* Probe(const Table* t, uint64_t h, const Tuple& key,
+                     Epoch epoch) {
+    const size_t mask = t->capacity - 1;
+    for (size_t i = h & mask;; i = (i + 1) & mask) {
+      Node* n = t->slots[i].load(std::memory_order_acquire);
+      if (n == nullptr) return nullptr;
+      if (n == Tombstone()) continue;
+      if (n->hash == h && LiveAt(n, epoch) && n->key == key) return n;
+    }
+  }
+
+  /// Writer-only: places `n` in table `t`, reusing the first tombstone on
+  /// its probe path if any. The release store publishes the fully
+  /// constructed node to concurrent readers.
+  void InsertIntoTable(Table* t, Node* n) {
+    const size_t mask = t->capacity - 1;
+    std::atomic<Node*>* target = nullptr;
+    for (size_t i = n->hash & mask;; i = (i + 1) & mask) {
+      Node* cur = t->slots[i].load(std::memory_order_relaxed);
+      if (cur == Tombstone()) {
+        if (target == nullptr) target = &t->slots[i];
+        continue;
+      }
+      if (cur == nullptr) {
+        if (target == nullptr) {
+          target = &t->slots[i];
+          ++t->used;
+        }
+        break;
+      }
+    }
+    target->store(n, std::memory_order_release);
+  }
+
+  /// Writer-only: tombstones every slot holding `node` (it may sit in both
+  /// tables mid-migration). Used by legacy Erase and by phase 1.
+  void RemoveFromTables(Node* node) {
+    const bool found = TombstoneIn(table_.load(std::memory_order_relaxed), node);
+    Table* old = old_table_.load(std::memory_order_relaxed);
+    bool found_old = false;
+    if (old != nullptr) found_old = TombstoneIn(old, node);
+    IVME_CHECK_MSG(found || found_old, "node not present in any table");
+  }
+
+  bool TombstoneIn(Table* t, Node* node) {
+    const size_t mask = t->capacity - 1;
+    for (size_t i = node->hash & mask;; i = (i + 1) & mask) {
+      Node* cur = t->slots[i].load(std::memory_order_relaxed);
+      if (cur == nullptr) return false;
+      if (cur == node) {
+        t->slots[i].store(Tombstone(), std::memory_order_release);
+        return true;
+      }
+    }
+  }
 
   void LinkBack(Node* n) {
     n->prev = tail_;
-    n->next = nullptr;
+    n->next.store(nullptr, std::memory_order_relaxed);
     if (tail_ != nullptr) {
-      tail_->next = n;
+      tail_->next.store(n, std::memory_order_release);
     } else {
-      head_ = n;
+      head_.store(n, std::memory_order_release);
     }
     tail_ = n;
   }
 
-  void Unlink(Node* n) {
+  /// Splices `n` out of the enumeration list. `n`'s own next/prev stay
+  /// valid so a reader standing on it mid-walk can still advance.
+  void UnlinkList(Node* n) {
+    Node* next = n->next.load(std::memory_order_relaxed);
     if (n->prev != nullptr) {
-      n->prev->next = n->next;
+      n->prev->next.store(next, std::memory_order_release);
     } else {
-      head_ = n->next;
+      head_.store(next, std::memory_order_release);
     }
-    if (n->next != nullptr) {
-      n->next->prev = n->prev;
+    if (next != nullptr) {
+      next->prev = n->prev;
     } else {
       tail_ = n->prev;
     }
   }
 
-  /// Buckets migrated per insert/erase while a growth is in flight. The
-  /// load-factor headroom after a doubling (≥ capacity/2 inserts before the
-  /// next trigger) divided by capacity/kMigrateChunk migration steps leaves
-  /// a 2× safety margin, so at most two bucket arrays ever coexist (the
-  /// IVME_CHECK in BeginGrow enforces it).
-  static constexpr size_t kMigrateChunk = 4;
+  /// Phase 1: no reader pin can see the node anymore — drop it from the
+  /// tables and the enumeration list. Memory stays valid until phase 2.
+  static void UnlinkRetiredThunk(void* owner, void* object) {
+    auto* self = static_cast<TupleMap*>(owner);
+    auto* node = static_cast<Node*>(object);
+    self->RemoveFromTables(node);
+    self->UnlinkList(node);
+    --self->zombies_;
+  }
 
-  /// Retires the current bucket array and installs one twice its size. The
-  /// nodes stay chained in the old array until MigrateStep moves them —
-  /// this call is O(new capacity) for the pointer-array allocation only,
-  /// never O(size) node relinking.
+  /// Phase 2: no reader can be physically standing on the node.
+  static void FreeRetiredThunk(void* owner, void* object) {
+    static_cast<TupleMap*>(owner)->FreeNode(static_cast<Node*>(object));
+  }
+
+  /// Slots migrated per mutation while a growth is in flight. The
+  /// load-factor headroom after a growth (≥ 3/8 of the new capacity in
+  /// fresh inserts before the next trigger, with new_capacity ≥
+  /// old_capacity/2) divided by old_capacity/kMigrateChunk migration steps
+  /// leaves a ≥ 1.5× safety margin, so at most two slot arrays ever
+  /// coexist (the IVME_CHECK in BeginGrow enforces it).
+  static constexpr size_t kMigrateChunk = 8;
+
+  /// Retires the current slot array and installs a fresh one sized so the
+  /// fully migrated load factor is ≤ 3/8. Usually a doubling; after heavy
+  /// tombstone churn it may keep (or halve) the capacity — a compaction.
+  /// O(new capacity) pointer zeroing, never O(size) node relinking.
   void BeginGrow() {
-    IVME_CHECK_MSG(old_buckets_.empty(), "growth triggered before migration finished");
-    old_buckets_ = std::move(buckets_);
-    buckets_.assign(old_buckets_.size() * 2, nullptr);
+    Table* t = table_.load(std::memory_order_relaxed);
+    IVME_CHECK_MSG(old_table_.load(std::memory_order_relaxed) == nullptr,
+                   "growth triggered before migration finished");
+    const size_t entries = size_ + zombies_ + 1;
+    size_t cap = kInitialSlots;
+    while (entries * 8 > cap * 3) cap *= 2;
+    // Migration pace bound: the old table drains within capacity/kChunk
+    // mutations, which must fit in the new table's insert headroom.
+    if (cap < t->capacity / 2) cap = t->capacity / 2;
+    Table* fresh = NewTable(cap);
+    // Order matters for lock-free readers: expose the outgoing table as
+    // `old` BEFORE swinging `table_`, so a reader that acquires the new
+    // table_ also sees old_table_ set (release/acquire pairing on table_).
+    old_table_.store(t, std::memory_order_release);
+    table_.store(fresh, std::memory_order_release);
     migrate_pos_ = 0;
   }
 
-  /// Moves up to kMigrateChunk old buckets' chains into the new array;
-  /// releases the old array when the last bucket is drained.
+  /// Copies up to kMigrateChunk old slots' node pointers into the new
+  /// array. Old slots are left untouched (readers probing new-then-old
+  /// must never see the key vanish from both); the whole array is retired
+  /// when the scan completes. Zombies migrate too — pinned readers still
+  /// need to find them.
   void MigrateStep() {
-    size_t moved = 0;
-    while (moved < kMigrateChunk && migrate_pos_ < old_buckets_.size()) {
-      Node* n = old_buckets_[migrate_pos_];
-      old_buckets_[migrate_pos_] = nullptr;
-      while (n != nullptr) {
-        Node* next = n->chain;
-        const size_t b = IndexFor(n->hash);
-        n->chain = buckets_[b];
-        buckets_[b] = n;
-        n = next;
-      }
+    Table* old = old_table_.load(std::memory_order_relaxed);
+    Table* t = table_.load(std::memory_order_relaxed);
+    size_t scanned = 0;
+    while (scanned < kMigrateChunk && migrate_pos_ < old->capacity) {
+      Node* n = old->slots[migrate_pos_].load(std::memory_order_relaxed);
+      if (n != nullptr && n != Tombstone()) InsertIntoTable(t, n);
       ++migrate_pos_;
-      ++moved;
+      ++scanned;
     }
-    if (migrate_pos_ >= old_buckets_.size()) {
-      old_buckets_.clear();
-      old_buckets_.shrink_to_fit();
+    if (migrate_pos_ >= old->capacity) {
+      old_table_.store(nullptr, std::memory_order_release);
       migrate_pos_ = 0;
+      if (ctx_ != nullptr) {
+        // Readers pinned before the store above may still be probing the
+        // old array: free it only after a grace period.
+        ctx_->log->AddLimbo(ctx_->working(), &FreeTableThunk, nullptr, old);
+      } else {
+        delete old;
+      }
     }
   }
 
-  std::vector<Node*> buckets_;
-  std::vector<Node*> old_buckets_;  ///< retired array, drains via MigrateStep
-  size_t migrate_pos_ = 0;          ///< first not-yet-migrated old bucket
-  size_t size_ = 0;
-  Node* head_ = nullptr;
+  static void FreeTableThunk(void* /*owner*/, void* object) {
+    delete static_cast<Table*>(object);
+  }
+
+  std::atomic<Table*> table_;
+  std::atomic<Table*> old_table_{nullptr};  ///< drains via MigrateStep
+  size_t migrate_pos_ = 0;  ///< first not-yet-scanned old slot
+  size_t size_ = 0;         ///< live entries
+  size_t zombies_ = 0;      ///< erased-but-not-yet-unlinked entries
+  std::atomic<Node*> head_{nullptr};
   Node* tail_ = nullptr;
+  const EpochContext* ctx_ = nullptr;
 
   std::vector<std::unique_ptr<Slot[]>> slabs_;
   size_t slab_cap_ = 0;   // nodes in the newest slab

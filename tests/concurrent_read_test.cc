@@ -1,0 +1,323 @@
+// Concurrent-read torture tests: reader threads enumerate pinned snapshots
+// of a serving ShardedCatalog while the writer keeps applying randomized
+// batches. The consistency oracle is differential prefix replay: the writer
+// mirrors every batch into a plain (non-serving) QueryCatalog and records
+// that reference's full result map under the epoch the batch published.
+// Every result set a reader observes at pinned epoch e must then be
+// *exactly* the reference state at batch boundary e — not a mix of
+// boundaries, not a mid-batch state — no matter how far the writer has
+// advanced, including across major rebalances and while an incremental
+// migration frontier is mid-flight.
+//
+// The sweep covers K ∈ {1, 2, 3} shards × {amortized, incremental} major
+// rebalancing, 40 randomized batch rounds each (240 total), with two
+// scanning readers plus one "stalled" reader that pins a single epoch
+// across the rest of the run and re-verifies it at the end. Run under TSan:
+// any unsynchronized reader/writer access is a hard failure. IVME_SEED
+// offsets every seed (tests/support/seed.h).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/catalog.h"
+#include "src/core/sharded_catalog.h"
+#include "tests/support/catalog.h"
+#include "tests/support/seed.h"
+
+namespace ivme {
+namespace {
+
+using testing::MustParse;
+
+EngineOptions Options(RebalanceMode mode) {
+  EngineOptions options;
+  options.epsilon = 0.5;
+  options.mode = EvalMode::kDynamic;
+  options.rebalance_mode = mode;
+  return options;
+}
+
+/// Valid mixed stream over R, S (arity 2): deletes only target live
+/// tuples, with an insert bias so the database grows and crosses major-
+/// rebalance thresholds repeatedly.
+class StreamGen {
+ public:
+  explicit StreamGen(uint64_t seed) : rng_(seed) {}
+
+  Update Next(Value domain) {
+    const char* names[] = {"R", "S"};
+    const size_t r = rng_.Below(2);
+    auto& live = live_[r];
+    if (!live.empty() && rng_.Chance(0.35)) {
+      const size_t pick = rng_.Below(live.size());
+      Update u{names[r], live[pick], -1};
+      live[pick] = live.back();
+      live.pop_back();
+      return u;
+    }
+    Tuple t{rng_.Range(0, domain), rng_.Range(0, domain)};
+    live.push_back(t);
+    return Update{names[r], std::move(t), 1};
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+  std::vector<Tuple> live_[2];
+};
+
+/// One torture configuration: K shards, one rebalance mode, `rounds`
+/// batches, `num_readers` scanning readers plus one stalled reader.
+void RunTorture(uint64_t seed, size_t num_shards, RebalanceMode mode, int rounds,
+                int num_readers) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " shards=" + std::to_string(num_shards) +
+               " mode=" + (mode == RebalanceMode::kIncremental ? "incremental" : "amortized"));
+
+  // Shardable query set with consistent routing (root B: R column 1, S
+  // column 0). K == 1 additionally registers a self-join so reader paths
+  // cross mirror storage.
+  std::vector<std::pair<std::string, std::string>> queries = {
+      {"join", "Q(A, C) = R(A, B), S(B, C)"},
+      {"semi", "Q(B) = R(A, B), S(B, C)"},
+  };
+  if (num_shards == 1) queries.push_back({"mirror", "Q(A) = R(A, B), R(A, B2)"});
+
+  ShardedCatalogOptions opt;
+  opt.num_shards = num_shards;
+  ShardedCatalog catalog(opt);
+  QueryCatalog reference;  // plain, never serving: the prefix-replay oracle
+  std::vector<std::string> names;
+  for (const auto& [name, text] : queries) {
+    std::string why;
+    ASSERT_TRUE(catalog.RegisterQuery(name, MustParse(text), Options(mode), &why)) << why;
+    reference.RegisterQuery(name, MustParse(text), Options(mode));
+    names.push_back(name);
+  }
+  catalog.EnableServing();
+  catalog.Preprocess();
+  reference.Preprocess();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<Epoch, std::vector<QueryResult>> refs;  // epoch -> per-query result
+  bool done = false;
+
+  // The post-setup state is the first observable snapshot.
+  {
+    std::vector<QueryResult> initial;
+    for (const auto& name : names) initial.push_back(reference.EvaluateToMap(name));
+    std::lock_guard<std::mutex> lock(mu);
+    refs[catalog.epoch_manager().published()] = std::move(initial);
+  }
+
+  // Scanning readers: pin, look up the reference for exactly that epoch
+  // (waiting if the writer has published but not yet recorded it), and
+  // demand equality. Occasionally re-read after yielding so the comparison
+  // also runs once the writer has moved several epochs ahead.
+  auto scan_reader = [&](uint64_t rseed) {
+    Rng rng(rseed);
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (done) break;
+      }
+      ReadSnapshot snap = catalog.AcquireSnapshot();
+      const Epoch e = snap.epoch();
+      std::vector<QueryResult> expected;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return refs.count(e) != 0 || done; });
+        auto it = refs.find(e);
+        if (it == refs.end()) {
+          ADD_FAILURE() << "published epoch " << e << " was never recorded";
+          break;
+        }
+        expected = it->second;
+      }
+      for (size_t q = 0; q < names.size(); ++q) {
+        EXPECT_EQ(catalog.EvaluateToMapAt(names[q], e), expected[q])
+            << "query " << names[q] << " at epoch " << e;
+      }
+      if (rng.Chance(0.3)) {
+        std::this_thread::yield();  // let the writer lap this pin
+        EXPECT_EQ(catalog.EvaluateToMapAt(names[0], e), expected[0])
+            << "repeatable read of " << names[0] << " at epoch " << e;
+      }
+    }
+  };
+
+  // Stalled reader: once a third of the run has passed, pin ONE epoch and
+  // hold it until the writer is done — across every major rebalance and
+  // mid-migration boundary that follows — then re-verify the snapshot.
+  auto stalled_reader = [&] {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] {
+        return refs.size() > static_cast<size_t>(rounds) / 3 || done;
+      });
+    }
+    ReadSnapshot snap = catalog.AcquireSnapshot();
+    const Epoch e = snap.epoch();
+    std::vector<QueryResult> expected;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return refs.count(e) != 0 || done; });
+      auto it = refs.find(e);
+      if (it == refs.end()) {
+        ADD_FAILURE() << "published epoch " << e << " was never recorded";
+        return;
+      }
+      expected = it->second;
+    }
+    for (size_t q = 0; q < names.size(); ++q) {
+      EXPECT_EQ(catalog.EvaluateToMapAt(names[q], e), expected[q])
+          << "stalled pin, first read, query " << names[q] << " at epoch " << e;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done; });
+    }
+    for (size_t q = 0; q < names.size(); ++q) {
+      EXPECT_EQ(catalog.EvaluateToMapAt(names[q], e), expected[q])
+          << "stalled pin, end-of-run re-read, query " << names[q] << " at epoch " << e;
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < num_readers; ++i) {
+    readers.emplace_back(scan_reader, seed ^ (0xBEEF0000ull + static_cast<uint64_t>(i)));
+  }
+  readers.emplace_back(stalled_reader);
+
+  // Writer: randomized batches, each mirrored into the reference and its
+  // result recorded under the epoch the serving catalog just published.
+  StreamGen gen(seed);
+  for (int round = 0; round < rounds; ++round) {
+    UpdateBatch batch;
+    const size_t n = 1 + gen.rng().Below(10);
+    for (size_t i = 0; i < n; ++i) batch.push_back(gen.Next(/*domain=*/8));
+    catalog.ApplyBatch(batch);
+    reference.ApplyBatch(batch);
+    std::vector<QueryResult> result;
+    for (const auto& name : names) result.push_back(reference.EvaluateToMap(name));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      refs[catalog.epoch_manager().published()] = std::move(result);
+    }
+    cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  for (auto& reader : readers) reader.join();
+
+  // The workload grows from empty, so the size invariant must have forced
+  // at least one major rebalance per shard-0 query.
+  size_t majors = 0, slices = 0;
+  for (size_t s = 0; s < catalog.num_shards(); ++s) {
+    const QueryStats stats = catalog.FindQuery(names[0], s)->GetStats();
+    majors += stats.major_rebalances;
+    slices += stats.rebalance_slices;
+  }
+  EXPECT_GT(majors, 0u);
+  if (mode == RebalanceMode::kIncremental) EXPECT_GT(slices, 0u);
+
+  // Quiescent differential: the serving catalog's live state equals the
+  // reference, and every per-query invariant holds.
+  for (const auto& name : names) {
+    EXPECT_EQ(catalog.EvaluateToMap(name), reference.EvaluateToMap(name)) << name;
+  }
+  std::string error;
+  EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+
+  // With every pin dropped, two more boundaries drain all retired memory.
+  catalog.ApplyBatch(UpdateBatch{});
+  catalog.ApplyBatch(UpdateBatch{});
+  EXPECT_EQ(catalog.RetiredObjects(), 0u);
+}
+
+using TortureParam = std::tuple<size_t, RebalanceMode>;
+
+class ConcurrentReadTortureTest : public ::testing::TestWithParam<TortureParam> {};
+
+TEST_P(ConcurrentReadTortureTest, SnapshotsMatchSomeBatchBoundary) {
+  const size_t shards = std::get<0>(GetParam());
+  const RebalanceMode mode = std::get<1>(GetParam());
+  const uint64_t base = testing::SeedBase(0x70A70000ull);
+  const uint64_t seed =
+      base + 100 * shards + (mode == RebalanceMode::kIncremental ? 7 : 0);
+  RunTorture(seed, shards, mode, /*rounds=*/40, /*num_readers=*/2);
+}
+
+std::string TortureName(const ::testing::TestParamInfo<TortureParam>& info) {
+  const size_t shards = std::get<0>(info.param);
+  const RebalanceMode mode = std::get<1>(info.param);
+  return "K" + std::to_string(shards) +
+         (mode == RebalanceMode::kIncremental ? "_incremental" : "_amortized");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConcurrentReadTortureTest,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{2}, size_t{3}),
+                       ::testing::Values(RebalanceMode::kAmortized,
+                                         RebalanceMode::kIncremental)),
+    TortureName);
+
+// Registration and teardown while readers are live: RegisterQuery /
+// DropQuery quiesce the epoch gate, so a reader that raced its pin either
+// completes before the structural change or pins after it — never during.
+TEST(ConcurrentReadTest, StructuralChangesQuiesceReaders) {
+  const uint64_t seed = testing::SeedBase(0x70A7BEEFull);
+  ShardedCatalogOptions opt;
+  opt.num_shards = 1;
+  ShardedCatalog catalog(opt);
+  ASSERT_TRUE(catalog.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"),
+                                    Options(RebalanceMode::kAmortized)));
+  catalog.EnableServing();
+  catalog.Preprocess();
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    Rng rng(seed);
+    while (!done.load()) {
+      ReadSnapshot snap = catalog.AcquireSnapshot();
+      const QueryResult a = catalog.EvaluateToMapAt("join", snap.epoch());
+      std::this_thread::yield();
+      const QueryResult b = catalog.EvaluateToMapAt("join", snap.epoch());
+      EXPECT_EQ(a, b);
+    }
+  });
+
+  StreamGen gen(seed);
+  for (int round = 0; round < 30; ++round) {
+    UpdateBatch batch;
+    for (size_t i = 0; i < 6; ++i) batch.push_back(gen.Next(/*domain=*/6));
+    catalog.ApplyBatch(batch);
+    if (round == 10) {
+      ASSERT_TRUE(catalog.RegisterQuery("late", MustParse("Q(B) = R(A, B), S(B, C)"),
+                                        Options(RebalanceMode::kAmortized)));
+    }
+    if (round == 20) EXPECT_TRUE(catalog.DropQuery("late"));
+  }
+  done.store(true);
+  reader.join();
+
+  std::string error;
+  EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+}
+
+}  // namespace
+}  // namespace ivme

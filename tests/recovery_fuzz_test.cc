@@ -24,6 +24,7 @@
 #include "src/core/durable_catalog.h"
 #include "tests/support/catalog.h"
 #include "tests/support/durability.h"
+#include "tests/support/seed.h"
 
 namespace ivme {
 namespace {
@@ -55,11 +56,7 @@ bool InFlightOpIsDurable(const std::string& point) {
          point == "catalog:after_apply";
 }
 
-uint64_t SeedBase() {
-  const char* env = std::getenv("IVME_SEED");
-  if (env != nullptr && *env != '\0') return std::strtoull(env, nullptr, 0);
-  return 0xC4A50000ull;
-}
+uint64_t SeedBase() { return testing::SeedBase(0xC4A50000ull); }
 
 void RunScenario(uint64_t seed) {
   Rng rng(seed);

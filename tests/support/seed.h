@@ -1,0 +1,28 @@
+// Shared seed plumbing for the randomized suites (recovery fuzzing, the
+// concurrent-read torture tests, epoch-reclamation stress): every suite
+// derives its scenario seeds from one base that IVME_SEED overrides, and
+// every failure message includes the exact seed, so
+//   IVME_SEED=<printed value> ./the_test --gtest_filter=<the case>
+// reproduces a CI failure locally bit-for-bit.
+#ifndef IVME_TESTS_SUPPORT_SEED_H_
+#define IVME_TESTS_SUPPORT_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace ivme {
+namespace testing {
+
+/// Base seed of a randomized suite: the value of IVME_SEED (any strtoull
+/// format, e.g. decimal or 0x-hex) when set and non-empty, otherwise
+/// `default_base`. Suites mix the base into each scenario's seed.
+inline uint64_t SeedBase(uint64_t default_base) {
+  const char* env = std::getenv("IVME_SEED");
+  if (env != nullptr && *env != '\0') return std::strtoull(env, nullptr, 0);
+  return default_base;
+}
+
+}  // namespace testing
+}  // namespace ivme
+
+#endif  // IVME_TESTS_SUPPORT_SEED_H_

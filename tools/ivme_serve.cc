@@ -1,0 +1,207 @@
+// Minimal concurrent serving daemon over the sharded multi-query catalog:
+// the dashboard_server telemetry workload (one stream, several registered
+// panels) with the reads moved OFF the ingest thread. The main thread
+// ingests consolidated batches while N reader threads serve panel queries
+// from pinned epoch snapshots (ShardedCatalog::AcquireSnapshot +
+// EnumerateAt, ARCHITECTURE.md §9) — every answer is a consistent
+// batch-boundary state, never a mid-batch view, and readers never block
+// ingestion.
+//
+//   ./tools/ivme_serve [events] [shards] [readers]
+//
+// Defaults: 48000 events, 1 shard, 2 readers. The process ingests the
+// whole stream, reporting per-interval ingest rate, reads served, reader
+// p99, the published epoch, and retired-but-unreclaimed objects; on
+// shutdown it drains the reclamation queues and verifies invariants.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/sharded_catalog.h"
+
+using namespace ivme;
+
+namespace {
+
+struct ReaderStats {
+  std::mutex mu;
+  size_t reads = 0;
+  std::vector<double> latencies_us;
+};
+
+double P99(std::vector<double>& us) {
+  if (us.empty()) return 0;
+  std::sort(us.begin(), us.end());
+  return us[static_cast<size_t>(0.99 * static_cast<double>(us.size() - 1))];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int events = argc > 1 ? std::atoi(argv[1]) : 48000;
+  const size_t shards = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 1;
+  const size_t readers = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 2;
+
+  ShardedCatalogOptions catalog_options;
+  catalog_options.num_shards = shards;
+  ShardedCatalog catalog(catalog_options);
+  EngineOptions options;
+  options.epsilon = 0.5;
+  options.rebalance_mode = RebalanceMode::kIncremental;
+
+  // The dashboard panels. All three root on Device (column 0 everywhere),
+  // so they shard consistently at any K.
+  std::string why;
+  const auto panels = std::vector<std::pair<std::string, std::string>>{
+      {"devices", "Q(Device) = Metrics(Device, Sensor)"},
+      {"placement", "Q(Device, Rack, Sensor) = Metrics(Device, Sensor), Fleet(Device, Rack)"},
+      {"hotlist", "Q(Device, Sensor) = Metrics(Device, Sensor), Hot(Device)"},
+  };
+  for (const auto& [name, text] : panels) {
+    const auto q = ConjunctiveQuery::Parse(text);
+    IVME_CHECK(q.has_value());
+    if (!catalog.RegisterQuery(name, *q, options, &why)) {
+      std::fprintf(stderr, "cannot register %s: %s\n", name.c_str(), why.c_str());
+      return 1;
+    }
+  }
+
+  Rng rng(20260808);
+  const Value devices = 1200, racks = 24, sensors = 64;
+  for (Value d = 0; d < devices; ++d) {
+    catalog.LoadTuple("Fleet", Tuple{d, d % racks}, 1);
+    if (d % 37 == 0) catalog.LoadTuple("Hot", Tuple{d}, 1);
+  }
+  catalog.Preprocess();
+  catalog.EnableServing();
+  std::printf("serving: %zu panels, %zu shard(s), %zu reader(s), %zu store tuples, epoch %llu\n",
+              catalog.num_queries(), catalog.num_shards(), readers, catalog.store_size(),
+              static_cast<unsigned long long>(catalog.epoch_manager().published()));
+
+  // Readers: each request pins the newest snapshot, drains one panel
+  // (round-robin), and releases. A 1ms pause between requests keeps this a
+  // demo, not a spin loop.
+  std::atomic<bool> stop{false};
+  std::vector<ReaderStats> stats(readers);
+  std::vector<std::thread> pool;
+  for (size_t r = 0; r < readers; ++r) {
+    pool.emplace_back([&catalog, &stop, &stats, &panels, r] {
+      Tuple t;
+      Mult m = 0;
+      size_t turn = r;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& panel = panels[turn++ % panels.size()].first;
+        const auto start = std::chrono::steady_clock::now();
+        ReadSnapshot snapshot = catalog.AcquireSnapshot();
+        auto it = catalog.EnumerateAt(panel, snapshot.epoch());
+        size_t drained = 0;
+        while (it->Next(&t, &m)) ++drained;
+        it.reset();
+        snapshot.Release();
+        const double us =
+            std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+                .count();
+        {
+          std::lock_guard<std::mutex> lock(stats[r].mu);
+          ++stats[r].reads;
+          stats[r].latencies_us.push_back(us);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  // Ingest: the dashboard telemetry stream, batched at 128.
+  std::vector<Tuple> live_metrics;
+  std::vector<Value> hot;
+  for (Value d = 0; d < devices; d += 37) hot.push_back(d);
+  UpdateBatch batch;
+  size_t applied = 0, batches = 0, last_reads = 0;
+  auto interval_start = std::chrono::steady_clock::now();
+  size_t interval_applied = 0;
+  for (int e = 0; e < events; ++e) {
+    const Value device =
+        rng.Chance(0.5) ? rng.Range(0, devices / 50) : rng.Range(0, devices - 1);
+    if (!live_metrics.empty() && rng.Chance(0.4)) {
+      const size_t pick = rng.Below(live_metrics.size());
+      batch.push_back(Update{"Metrics", live_metrics[pick], -1});
+      live_metrics[pick] = live_metrics.back();
+      live_metrics.pop_back();
+    } else if (rng.Chance(0.02) && !hot.empty()) {
+      const size_t pick = rng.Below(hot.size());
+      batch.push_back(Update{"Hot", Tuple{hot[pick]}, -1});
+      hot[pick] = hot.back();
+      hot.pop_back();
+    } else if (rng.Chance(0.02)) {
+      const Value d = rng.Range(0, devices - 1);
+      batch.push_back(Update{"Hot", Tuple{d}, 1});
+      hot.push_back(d);
+    } else {
+      Tuple reading{device, rng.Range(0, sensors - 1)};
+      live_metrics.push_back(reading);
+      batch.push_back(Update{"Metrics", std::move(reading), 1});
+    }
+    if (batch.size() == 128) {
+      applied += catalog.ApplyBatch(batch).applied;
+      interval_applied += batch.size();
+      batch.clear();
+      ++batches;
+      const auto now = std::chrono::steady_clock::now();
+      const double elapsed = std::chrono::duration<double>(now - interval_start).count();
+      if (elapsed >= 1.0) {
+        size_t reads = 0;
+        std::vector<double> window_us;
+        for (auto& lane : stats) {
+          std::lock_guard<std::mutex> lock(lane.mu);
+          reads += lane.reads;
+          window_us.insert(window_us.end(), lane.latencies_us.begin(), lane.latencies_us.end());
+          lane.latencies_us.clear();
+        }
+        std::printf("epoch %-6llu ingest %7.0f/s  reads %5zu (+%zu, p99 %.1f us)  retired %zu\n",
+                    static_cast<unsigned long long>(catalog.epoch_manager().published()),
+                    static_cast<double>(interval_applied) / elapsed, reads, reads - last_reads,
+                    P99(window_us), catalog.RetiredObjects());
+        last_reads = reads;
+        interval_start = now;
+        interval_applied = 0;
+      }
+    }
+  }
+  if (!batch.empty()) {
+    applied += catalog.ApplyBatch(batch).applied;
+    ++batches;
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : pool) thread.join();
+
+  size_t total_reads = 0;
+  for (auto& lane : stats) total_reads += lane.reads;
+  std::printf("shutdown: %d events in %zu batches (%zu net entries), %zu reads served, "
+              "epoch %llu\n",
+              events, batches, applied, total_reads,
+              static_cast<unsigned long long>(catalog.epoch_manager().published()));
+  // The invariant check recomputes view storage, which itself retires nodes
+  // in serving mode — so check first, then drain.
+  std::string error;
+  if (!catalog.CheckInvariants(&error)) {
+    std::fprintf(stderr, "invariant violation: %s\n", error.c_str());
+    return 1;
+  }
+  // Two idle publishes after the last reader unpins reclaim everything.
+  catalog.ApplyBatch(UpdateBatch{});
+  catalog.ApplyBatch(UpdateBatch{});
+  if (catalog.RetiredObjects() != 0) {
+    std::fprintf(stderr, "retired objects leaked after drain\n");
+    return 1;
+  }
+  std::printf("invariants hold; reclamation queues drained\n");
+  return 0;
+}
