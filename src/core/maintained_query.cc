@@ -137,8 +137,9 @@ double MaintainedQuery::theta() const {
 }
 
 void MaintainedQuery::Preprocess() {
-  IVME_CHECK_MSG(!preprocessed_, "Preprocess called twice for query " << name_);
-  preprocessed_ = true;
+  IVME_CHECK_MSG(!preprocessed_.load(std::memory_order_relaxed),
+                 "Preprocess called twice for query " << name_);
+  preprocessed_.store(true, std::memory_order_release);
   // Fill self-join mirrors from the live shared relation (late registration
   // starts from whatever the store already holds).
   for (auto& slot : slots_) {
@@ -166,7 +167,8 @@ void MaintainedQuery::Preprocess() {
 }
 
 std::unique_ptr<ResultEnumerator> MaintainedQuery::Enumerate() const {
-  IVME_CHECK_MSG(preprocessed_, "Preprocess before enumerating");
+  IVME_CHECK_MSG(preprocessed_.load(std::memory_order_acquire),
+                 "Preprocess before enumerating");
   return std::make_unique<ResultEnumerator>(query_, plan_);
 }
 
@@ -176,7 +178,8 @@ QueryResult MaintainedQuery::EvaluateToMap() const {
 }
 
 std::unique_ptr<ResultEnumerator> MaintainedQuery::EnumerateAt(Epoch epoch) const {
-  IVME_CHECK_MSG(preprocessed_, "Preprocess before enumerating");
+  IVME_CHECK_MSG(preprocessed_.load(std::memory_order_acquire),
+                 "Preprocess before enumerating");
   return std::make_unique<ResultEnumerator>(query_, plan_, epoch);
 }
 
@@ -655,7 +658,7 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
   size_t total = 0;
   for (auto& slot : slots_) total += slot.storage->size();
   if (total != n_) return fail("tracked N does not match storage sizes");
-  if (options_.enable_rebalancing && preprocessed_) {
+  if (options_.enable_rebalancing && preprocessed_.load(std::memory_order_relaxed)) {
     if (!(m_ / 4 <= n_ && n_ < m_)) {
       return fail("size invariant floor(M/4) <= N < M violated: N=" + std::to_string(n_) +
                   " M=" + std::to_string(m_));

@@ -10,6 +10,7 @@
 #ifndef IVME_CORE_MAINTAINED_QUERY_H_
 #define IVME_CORE_MAINTAINED_QUERY_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -110,7 +111,7 @@ class MaintainedQuery : public StorageProvider {
   /// mirrors, partitions the relations (θ = M^ε with M = 2N+1), and
   /// materializes all views. Call exactly once.
   void Preprocess();
-  bool preprocessed() const { return preprocessed_; }
+  bool preprocessed() const { return preprocessed_.load(std::memory_order_acquire); }
 
   /// True when `relation` names an atom of this query.
   bool UsesRelation(const std::string& relation) const;
@@ -294,7 +295,11 @@ class MaintainedQuery : public StorageProvider {
   std::vector<Slot> slots_;
   std::vector<RelationGroup> groups_;
   CompiledPlan plan_;
-  bool preprocessed_ = false;
+  // Atomic because reader threads (EnumerateAt via a pinned snapshot) check
+  // it while the one-time Preprocess may still be running on the writer; the
+  // built state itself is published by the catalog's quiesce gate, this flag
+  // only needs to be race-free.
+  std::atomic<bool> preprocessed_{false};
   size_t n_ = 0;
   size_t m_ = 1;
   QueryStats stats_;

@@ -62,7 +62,10 @@ class ShardedCatalog {
   /// Pins the newest published snapshot for a reader thread (RAII; released
   /// on destruction). Enumerate the snapshot with EnumerateAt /
   /// EvaluateToMapAt at snapshot.epoch(). Thread-safe; blocks while a
-  /// structural change (register/drop) holds the quiesce gate.
+  /// structural change (register/drop) holds the quiesce gate. The one-time
+  /// Preprocess() must have completed (happened-before the reader thread's
+  /// start) before the first call — a snapshot pinned mid-Preprocess has no
+  /// consistent state to enumerate.
   ReadSnapshot AcquireSnapshot() const;
 
   /// Merged enumeration / drain of `name` as of a pinned snapshot epoch.

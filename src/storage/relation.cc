@@ -170,15 +170,17 @@ Mult Relation::MultiplicityAt(const Tuple& tuple, Epoch epoch) const {
 Mult Relation::EntryMultAt(const Entry* entry, Epoch epoch) {
   if (epoch == kLiveEpoch) return EntryMult(entry);
   const EntryPayload& p = entry->value;
-  // Fast path: the entry was last touched at or before our epoch, so the
-  // current value is ours — unless a first-touch races in between, which
-  // the history re-check detects (the writer pushes the history record
-  // BEFORE advancing last_touch and storing the new mult, all release).
-  const MultVersion* h1 = p.history.load(std::memory_order_acquire);
-  if (p.last_touch.load(std::memory_order_acquire) <= epoch) {
+  // Fast path: seqlock on last_touch. If the entry was last first-touched
+  // at or before our epoch, the current mult is ours — unless a racing
+  // first-touch intervenes. The writer stores last_touch = w (release)
+  // BEFORE the new mult (release), so an acquire load that observes the
+  // working-epoch mult also observes last_touch == w on the re-read;
+  // last_touch is monotone, so a stable re-read proves the mult we loaded
+  // was stored at an epoch ≤ ours.
+  const Epoch t1 = p.last_touch.load(std::memory_order_acquire);
+  if (t1 <= epoch) {
     const Mult v = p.mult.load(std::memory_order_acquire);
-    const MultVersion* h2 = p.history.load(std::memory_order_acquire);
-    if (h1 == h2) return v;
+    if (p.last_touch.load(std::memory_order_acquire) == t1) return v;
   }
   // Slow path: find the newest closed version whose window covers epoch.
   // Records pruned concurrently stay readable (freed only after a grace
