@@ -29,6 +29,14 @@ inline bool SmokeFromArgs(int argc, char** argv) {
   return false;
 }
 
+/// True when `flag` (e.g. "--insert-only") appears in argv.
+inline bool FlagFromArgs(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
 /// The RNG seed shared by every bench: `--seed N` / `--seed=N` on the
 /// command line (or the IVME_SEED environment variable) overrides
 /// `fallback`, the bench's historical constant. Published BENCH_*.json runs

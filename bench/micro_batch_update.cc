@@ -13,9 +13,13 @@
 // Shape check: batch size 64 must give ≥ 1.5× the amortized per-update
 // throughput of batch size 1 at ε = 0.5.
 //
-//   ./build/micro_batch_update [--smoke]
+//   ./build/micro_batch_update [--smoke] [--insert-only]
 //
-// --smoke (or IVME_SMOKE=1) shrinks the workload for CI.
+// --smoke (or IVME_SMOKE=1) shrinks the workload for CI. --insert-only
+// switches the stream to pure inserts and declares both relations
+// insert_only, exercising the monotone maintenance fast paths (no
+// below-zero validation, no M-halving, monotone indicators); the JSON rows
+// record the mode in their "insert_only" field.
 #include <cstring>
 #include <string>
 #include <vector>
@@ -40,8 +44,11 @@ struct Measurement {
 };
 
 Measurement Run(double eps, const std::vector<Tuple>& r, const std::vector<Tuple>& s,
-                const std::vector<workload::Update>& stream, size_t batch_size) {
-  auto query = ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
+                const std::vector<workload::Update>& stream, size_t batch_size,
+                bool insert_only) {
+  auto query = ConjunctiveQuery::Parse(
+      insert_only ? "Q(A, C) = insert_only R(A, B), insert_only S(B, C)"
+                  : "Q(A, C) = R(A, B), S(B, C)");
   IVME_CHECK(query.has_value());
   EngineOptions options;
   options.epsilon = eps;
@@ -76,6 +83,7 @@ Measurement Run(double eps, const std::vector<Tuple>& r, const std::vector<Tuple
 int main(int argc, char** argv) {
   Config config;
   const bool smoke = bench::SmokeFromArgs(argc, argv);
+  const bool insert_only = bench::FlagFromArgs(argc, argv, "--insert-only");
   const uint64_t seed = bench::SeedFromArgs(argc, argv, 1);
   if (smoke) {
     config.base_tuples = 2000;
@@ -100,8 +108,10 @@ int main(int argc, char** argv) {
     if (rng.Chance(0.9)) return hot[rng.Below(hot.size())];
     return Tuple{rng.Range(0, 4000000), rng.Range(0, 2000)};
   };
-  const auto stream =
-      workload::MixedStream("R", r, config.stream_length, 0.4, fresh, seed + 10);
+  // --insert-only drops the delete fraction to zero: every step inserts, so
+  // the stream is valid against insert_only-declared relations.
+  const auto stream = workload::MixedStream("R", r, config.stream_length,
+                                            insert_only ? 0.0 : 0.4, fresh, seed + 10);
 
   const std::vector<double> epsilons = {0.0, 0.5, 1.0};
   const std::vector<size_t> batch_sizes = {1, 8, 64, 512};
@@ -109,8 +119,10 @@ int main(int argc, char** argv) {
   bench::JsonReporter json("micro_batch_update");
   json.SetSeed(seed);
   std::printf("batched vs single-tuple maintenance, Q(A,C) = R(A,B), S(B,C); "
-              "N0=%zu per relation, %zu updates\n",
-              config.base_tuples, config.stream_length);
+              "N0=%zu per relation, %zu updates%s\n",
+              config.base_tuples, config.stream_length,
+              insert_only ? " (insert-only: pure inserts, relations declared insert_only)"
+                          : "");
   bench::PrintRule();
   std::printf("%-8s %-6s %12s %14s %14s %10s %8s %8s\n", "eps", "batch", "us/update",
               "updates/s", "net entries", "consolid.", "minor", "major");
@@ -120,7 +132,7 @@ int main(int argc, char** argv) {
   for (const double eps : epsilons) {
     double base_updates_per_sec = 0;
     for (const size_t batch_size : batch_sizes) {
-      const Measurement m = Run(eps, r, s, stream, batch_size);
+      const Measurement m = Run(eps, r, s, stream, batch_size, insert_only);
       const double us_per_update =
           m.seconds * 1e6 / static_cast<double>(config.stream_length);
       const double updates_per_sec = static_cast<double>(config.stream_length) / m.seconds;
@@ -136,6 +148,7 @@ int main(int argc, char** argv) {
       if (eps == 0.5 && batch_size == 64 && speedup < 1.5) shape_ok = false;
       json.Add("eps" + std::to_string(eps).substr(0, 3) + "/b" + std::to_string(batch_size),
                {{"epsilon", eps},
+                {"insert_only", insert_only ? 1.0 : 0.0},
                 {"batch_size", static_cast<double>(batch_size)},
                 {"us_per_update", us_per_update},
                 {"updates_per_sec", updates_per_sec},

@@ -17,9 +17,12 @@
 // magnitude in incremental mode while p50 and aggregate throughput stay
 // flat.
 //
-//   ./build/micro_latency_tail [--smoke] [--seed N]
+//   ./build/micro_latency_tail [--smoke] [--seed N] [--insert-only]
 //
-// --smoke (or IVME_SMOKE=1) shrinks the workload for CI.
+// --smoke (or IVME_SMOKE=1) shrinks the workload for CI. --insert-only
+// keeps only the grow phase (no deletes) and declares both relations
+// insert_only — the monotone setting where only upward majors exist; the
+// JSON rows record the mode in their "insert_only" field.
 #include <algorithm>
 #include <cstdlib>
 #include <string>
@@ -49,7 +52,7 @@ struct Workload {
   std::vector<ivme::Update> stream;
 };
 
-Workload BuildWorkload(size_t n0, size_t grow, uint64_t seed) {
+Workload BuildWorkload(size_t n0, size_t grow, uint64_t seed, bool insert_only) {
   // Fig1-style base: Zipf join keys, so the views and light parts carry
   // real weight into every rebuild.
   Workload w;
@@ -72,6 +75,7 @@ Workload BuildWorkload(size_t n0, size_t grow, uint64_t seed) {
     }
     inserted.push_back(w.stream.back());
   }
+  if (insert_only) return w;  // monotone growth only: no delete phase
   for (const auto& u : inserted) {
     w.stream.push_back({u.relation, u.tuple, -1});
   }
@@ -85,8 +89,10 @@ Workload BuildWorkload(size_t n0, size_t grow, uint64_t seed) {
   return w;
 }
 
-ModeResult RunMode(const Workload& w, double eps, RebalanceMode mode) {
-  const auto query = *ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
+ModeResult RunMode(const Workload& w, double eps, RebalanceMode mode, bool insert_only) {
+  const auto query = *ConjunctiveQuery::Parse(
+      insert_only ? "Q(A, C) = insert_only R(A, B), insert_only S(B, C)"
+                  : "Q(A, C) = R(A, B), S(B, C)");
   EngineOptions opts;
   opts.epsilon = eps;
   opts.mode = EvalMode::kDynamic;
@@ -127,14 +133,16 @@ ModeResult RunMode(const Workload& w, double eps, RebalanceMode mode) {
 
 int main(int argc, char** argv) {
   const bool smoke = SmokeFromArgs(argc, argv);
+  const bool insert_only = FlagFromArgs(argc, argv, "--insert-only");
   const uint64_t seed = SeedFromArgs(argc, argv, 41);
   const size_t n0 = smoke ? 1500 : 8000;
   const size_t grow = smoke ? 5000 : 29000;
-  const Workload w = BuildWorkload(n0, grow, seed);
+  const Workload w = BuildWorkload(n0, grow, seed, insert_only);
 
   std::printf(
-      "Update-latency tail — Q(A,C)=R(A,B),S(B,C), N0=%zu, %zu-update stream, seed=%llu\n",
-      2 * n0, w.stream.size(), static_cast<unsigned long long>(seed));
+      "Update-latency tail — Q(A,C)=R(A,B),S(B,C), N0=%zu, %zu-update stream, seed=%llu%s\n",
+      2 * n0, w.stream.size(), static_cast<unsigned long long>(seed),
+      insert_only ? " (insert-only: grow phase only, relations declared insert_only)" : "");
   PrintRule();
   std::printf("%5s %-12s | %9s %9s %9s %10s | %10s | %6s %7s %9s\n", "eps", "mode", "p50(us)",
               "p99(us)", "p99.9(us)", "max(us)", "amort(us)", "major", "slices", "migrated");
@@ -145,14 +153,15 @@ int main(int argc, char** argv) {
   bool tail_ok = true, throughput_ok = true;
   std::vector<std::string> verdict_lines;
   for (const double eps : {0.5, 1.0}) {
-    const ModeResult amortized = RunMode(w, eps, RebalanceMode::kAmortized);
-    const ModeResult incremental = RunMode(w, eps, RebalanceMode::kIncremental);
+    const ModeResult amortized = RunMode(w, eps, RebalanceMode::kAmortized, insert_only);
+    const ModeResult incremental = RunMode(w, eps, RebalanceMode::kIncremental, insert_only);
     for (const ModeResult* m : {&amortized, &incremental}) {
       std::printf("%5.2f %-12s | %9.2f %9.2f %9.1f %10.1f | %10.3f | %6zu %7zu %9zu\n", eps,
                   m->label.c_str(), m->p50_us, m->p99_us, m->p999_us, m->max_us, m->amort_us,
                   m->stats.major_rebalances, m->stats.rebalance_slices, m->stats.migrated_keys);
       json.Add("eps=" + std::to_string(eps) + "/" + m->label,
-               {{"p50_us", m->p50_us},
+               {{"insert_only", insert_only ? 1.0 : 0.0},
+                {"p50_us", m->p50_us},
                 {"p99_us", m->p99_us},
                 {"p999_us", m->p999_us},
                 {"max_us", m->max_us},

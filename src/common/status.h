@@ -13,20 +13,35 @@ namespace ivme {
 /// Outcome of a fallible operation: OK, or an error with a message. Recovery
 /// and shell code branch on ok() and report message(); internal invariants
 /// whose violation means memory corruption keep using IVME_CHECK.
+///
+/// Errors come in two kinds. Error() marks structural misuse (unknown
+/// relation, wrong arity, catalog not live) — the caller broke the API
+/// contract. Rejected() marks data-plane refusals that are part of normal
+/// operation (write to a static relation, delete from an insert-only one,
+/// below-zero multiplicity): the request was well-formed but the declared
+/// integrity rules forbid it, and the store is unchanged. Both are !ok().
 class Status {
  public:
   Status() = default;  ///< OK
 
   static Status Ok() { return Status(); }
-  static Status Error(std::string message) { return Status(std::move(message)); }
+  static Status Error(std::string message) {
+    return Status(std::move(message), /*rejected=*/false);
+  }
+  static Status Rejected(std::string message) {
+    return Status(std::move(message), /*rejected=*/true);
+  }
 
   bool ok() const { return ok_; }
+  bool rejected() const { return rejected_; }
   const std::string& message() const { return message_; }
 
  private:
-  explicit Status(std::string message) : ok_(false), message_(std::move(message)) {}
+  Status(std::string message, bool rejected)
+      : ok_(false), rejected_(rejected), message_(std::move(message)) {}
 
   bool ok_ = true;
+  bool rejected_ = false;
   std::string message_;
 };
 

@@ -93,24 +93,102 @@ void QueryCatalog::Preprocess() {
   for (auto& query : queries_) query->Preprocess();
 }
 
-bool QueryCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
-  const ScopedLatencyTimer timer(&update_latency_);
-  IVME_CHECK_MSG(live_, "Preprocess before updating");
+Status QueryCatalog::CheckWritable(const std::string& relation, Mult mult) const {
+  if (!live_) return Status::Error("Preprocess before updating");
   for (const auto& query : queries_) {
-    IVME_CHECK_MSG(query->mode() == EvalMode::kDynamic, "updates need dynamic mode");
+    if (query->mode() != EvalMode::kDynamic) {
+      return Status::Error("query " + query->name() +
+                           " uses static evaluation; updates need dynamic mode");
+    }
   }
-  if (mult == 0) return true;
+  if (store_->Find(relation) == nullptr) {
+    return Status::Error("unknown relation " + relation);
+  }
+  const Mutability mutability = store_->MutabilityOf(relation);
+  if (mutability == Mutability::kStatic) {
+    return Status::Rejected("relation " + relation + " is declared static; writes are rejected");
+  }
+  if (mutability == Mutability::kInsertOnly && mult < 0) {
+    return Status::Rejected("relation " + relation +
+                            " is declared insert_only; deletes are rejected");
+  }
+  return Status::Ok();
+}
+
+Status QueryCatalog::CheckBatchWritable(const Update* updates, size_t count) const {
+  if (!live_) return Status::Error("Preprocess before updating");
+  for (const auto& query : queries_) {
+    if (query->mode() != EvalMode::kDynamic) {
+      return Status::Error("query " + query->name() +
+                           " uses static evaluation; updates need dynamic mode");
+    }
+  }
+  // Streams usually run many records into one relation: memoize the last
+  // lookup instead of probing the store per record.
+  const std::string* memo_relation = nullptr;
+  const Relation* memo_stored = nullptr;
+  Mutability memo_mutability = Mutability::kDynamic;
+  for (size_t i = 0; i < count; ++i) {
+    const Update& u = updates[i];
+    if (memo_relation == nullptr || *memo_relation != u.relation) {
+      memo_stored = store_->Find(u.relation);
+      if (memo_stored == nullptr) {
+        return Status::Error("unknown relation " + u.relation);
+      }
+      memo_mutability = store_->MutabilityOf(u.relation);
+      memo_relation = &u.relation;
+    }
+    if (u.tuple.size() != memo_stored->schema().size()) {
+      return Status::Error("relation " + u.relation + " has arity " +
+                           std::to_string(memo_stored->schema().size()) +
+                           "; got a tuple of arity " + std::to_string(u.tuple.size()));
+    }
+    if (memo_mutability == Mutability::kStatic) {
+      return Status::Rejected("relation " + u.relation +
+                              " is declared static; writes are rejected");
+    }
+    if (memo_mutability == Mutability::kInsertOnly && u.mult < 0) {
+      return Status::Rejected("relation " + u.relation +
+                              " is declared insert_only; deletes are rejected");
+    }
+  }
+  return Status::Ok();
+}
+
+bool QueryCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
+  const Status status = TryApplyUpdate(relation, tuple, mult);
+  if (status.ok()) return true;
+  // Data-plane rejections keep the historical bool surface; structural
+  // misuse stays fatal for the unchecked API.
+  IVME_CHECK_MSG(status.rejected(), status.message());
+  return false;
+}
+
+Status QueryCatalog::TryApplyUpdate(const std::string& relation, const Tuple& tuple,
+                                    Mult mult) {
+  const ScopedLatencyTimer timer(&update_latency_);
+  Status writable = CheckWritable(relation, mult);
+  if (!writable.ok()) return writable;
+  if (mult == 0) return Status::Ok();
   Relation* stored = store_->Find(relation);
-  IVME_CHECK_MSG(stored != nullptr, "unknown relation " << relation);
+  if (tuple.size() != stored->schema().size()) {
+    return Status::Error("relation " + relation + " has arity " +
+                         std::to_string(stored->schema().size()) + "; got a tuple of arity " +
+                         std::to_string(tuple.size()));
+  }
   // Reject deletes below zero (Section 3) against the shared store — every
   // query sees the same base, so they can never disagree.
-  if (mult < 0 && stored->Multiplicity(tuple) < -mult) return false;
+  if (mult < 0 && stored->Multiplicity(tuple) < -mult) {
+    return Status::Rejected("delete below zero: " + relation + " holds " +
+                            std::to_string(stored->Multiplicity(tuple)) + " of " +
+                            tuple.ToString() + ", delta is " + std::to_string(mult));
+  }
   const auto res = store_->Apply(relation, tuple, mult);
   const int support = SupportChange(res.before, res.after);
   for (auto& query : queries_) {
     if (query->UsesRelation(relation)) query->ApplySingle(relation, tuple, mult, support);
   }
-  return true;
+  return Status::Ok();
 }
 
 BatchResult QueryCatalog::ApplyBatch(const UpdateBatch& updates) {
@@ -118,13 +196,29 @@ BatchResult QueryCatalog::ApplyBatch(const UpdateBatch& updates) {
 }
 
 BatchResult QueryCatalog::ApplyBatch(const Update* updates, size_t count) {
-  const ScopedLatencyTimer timer(&batch_latency_);
-  IVME_CHECK_MSG(live_, "Preprocess before updating");
-  for (const auto& query : queries_) {
-    IVME_CHECK_MSG(query->mode() == EvalMode::kDynamic, "updates need dynamic mode");
-  }
   BatchResult result;
-  if (count == 0) return result;
+  const Status status = TryApplyBatch(updates, count, &result);
+  if (status.ok()) return result;
+  IVME_CHECK_MSG(status.rejected(), status.message());
+  // Atomic whole-batch rejection: nothing applied, every record refused.
+  result.applied = 0;
+  result.rejected = count;
+  return result;
+}
+
+Status QueryCatalog::TryApplyBatch(const UpdateBatch& updates, BatchResult* result) {
+  return TryApplyBatch(updates.data(), updates.size(), result);
+}
+
+Status QueryCatalog::TryApplyBatch(const Update* updates, size_t count, BatchResult* result) {
+  const ScopedLatencyTimer timer(&batch_latency_);
+  *result = BatchResult{};
+  // Whole-batch gate: structural errors and atomic rejections fire before
+  // any base write, so a refused batch leaves the store untouched (the old
+  // mid-batch unknown-relation abort could leave earlier groups applied).
+  Status writable = CheckBatchWritable(updates, count);
+  if (!writable.ok()) return writable;
+  if (count == 0) return Status::Ok();
 
   // Phase 1: consolidate per relation (insert/delete cancellation, weighted
   // merge). Touch order is first-appearance order, so application stays
@@ -139,14 +233,22 @@ BatchResult QueryCatalog::ApplyBatch(const Update* updates, size_t count) {
 
     // Phase 2a: validate net deletes against the pre-batch store. Net
     // entries address distinct tuples, so the checks are independent.
+    // Insert-only relations skip the per-entry store probe altogether:
+    // every record was positive (gated above), so every net entry is too
+    // (Abo Khamis et al. — consolidation drops below-zero validation).
     const Relation* stored = store_->Find(relation);
-    IVME_CHECK_MSG(stored != nullptr, "unknown relation " << relation);
-    for (auto* node = delta.First(); node != nullptr; node = node->next) {
-      if (node->value < 0 && stored->Multiplicity(node->key) < -node->value) {
-        node->value = 0;
-        ++result.rejected;
-      } else if (node->value != 0) {
-        ++result.applied;
+    if (store_->MutabilityOf(relation) == Mutability::kInsertOnly) {
+      for (auto* node = delta.First(); node != nullptr; node = node->next) {
+        if (node->value != 0) ++result->applied;
+      }
+    } else {
+      for (auto* node = delta.First(); node != nullptr; node = node->next) {
+        if (node->value < 0 && stored->Multiplicity(node->key) < -node->value) {
+          node->value = 0;
+          ++result->rejected;
+        } else if (node->value != 0) {
+          ++result->applied;
+        }
       }
     }
 
@@ -172,7 +274,7 @@ BatchResult QueryCatalog::ApplyBatch(const Update* updates, size_t count) {
     if (!share_scratch_[qi].touched) continue;
     queries_[qi]->FinishBatch(share_scratch_[qi].records, share_scratch_[qi].net_entries);
   }
-  return result;
+  return Status::Ok();
 }
 
 std::unique_ptr<ResultEnumerator> QueryCatalog::Enumerate(const std::string& name) const {

@@ -84,10 +84,33 @@ class QueryCatalog {
 
   /// Applies a single-tuple insert (m > 0) or delete (m < 0): validates
   /// against the store, writes base storage once, then maintains every
-  /// query reading the relation. Returns false (and changes nothing) when a
-  /// delete exceeds the stored multiplicity. Requires a live catalog whose
-  /// queries are all dynamic.
+  /// query reading the relation. Returns false (and changes nothing) when
+  /// the write is rejected by the data-plane rules (delete below zero,
+  /// write to a static relation, delete from an insert-only relation);
+  /// structural misuse (catalog not live, static-evaluation query, unknown
+  /// relation, wrong arity) is a hard error. TryApplyUpdate reports both as
+  /// a structured Status instead.
   bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Validating variant of ApplyUpdate: structural misuse is
+  /// Status::Error, data-plane refusals are Status::Rejected (see
+  /// common/status.h); the store is unchanged on either. Never aborts.
+  Status TryApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// The write-path gate shared by every catalog layer: catalog live, all
+  /// queries dynamic-evaluation, `relation` known (Error cases); relation
+  /// not declared static, and not a delete into an insert-only relation
+  /// (Rejected cases). Does not inspect tuples — per-tuple arity and
+  /// below-zero checks stay with the appliers. The durable layer runs this
+  /// before logging, so invalid writes never reach the WAL.
+  Status CheckWritable(const std::string& relation, Mult mult) const;
+
+  /// CheckWritable over a whole batch: first violation wins, with
+  /// per-relation memoization so runs of records into one relation cost one
+  /// lookup. Rejections here are atomic — the whole batch is refused before
+  /// any base write (unlike per-entry below-zero skips, which apply the
+  /// rest of the batch).
+  Status CheckBatchWritable(const Update* updates, size_t count) const;
 
   /// Applies `count` updates as one batch: consolidates per relation
   /// (insert/delete cancellation, multiplicity merging, per-entry
@@ -98,6 +121,17 @@ class QueryCatalog {
   /// record must address a relation attached to the store.
   BatchResult ApplyBatch(const Update* updates, size_t count);
   BatchResult ApplyBatch(const UpdateBatch& updates);
+
+  /// Validating variant of ApplyBatch. Structural misuse (not live, a
+  /// static-evaluation query, an unknown relation anywhere in the batch) is
+  /// Status::Error with nothing applied — including the former mid-batch
+  /// unknown-relation abort, which now fails atomically before any base
+  /// write. A batch touching a static relation, or deleting from an
+  /// insert-only one, is Status::Rejected with nothing applied. Per-entry
+  /// below-zero deletes keep the historical semantics: the entry is skipped
+  /// and counted in result->rejected while the rest of the batch applies.
+  Status TryApplyBatch(const Update* updates, size_t count, BatchResult* result);
+  Status TryApplyBatch(const UpdateBatch& updates, BatchResult* result);
 
   /// Opens an enumeration session over `name`'s current result.
   std::unique_ptr<ResultEnumerator> Enumerate(const std::string& name) const;

@@ -608,20 +608,36 @@ void DurableCatalog::Preprocess() {
 }
 
 bool DurableCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
-  if (dead()) return false;
-  if (!durable()) return catalog_->ApplyUpdate(relation, tuple, mult);
-  if (mult == 0) return true;
+  const Status status = TryApplyUpdate(relation, tuple, mult);
+  if (status.ok()) return true;
+  if (injector_->crashed()) return false;
+  IVME_CHECK_MSG(status.rejected(), status.message());
+  return false;
+}
+
+Status DurableCatalog::TryApplyUpdate(const std::string& relation, const Tuple& tuple,
+                                      Mult mult) {
+  if (dead()) return Status::Error("catalog crashed (injected fault)");
+  if (!durable()) return catalog_->TryApplyUpdate(relation, tuple, mult);
+  // Gate before logging: a structural error or mutability rejection never
+  // reaches the WAL. Only below-zero stays post-log (it depends on stored
+  // multiplicities, which replay reconstructs deterministically).
+  Status status = catalog_->CheckWritable(relation, tuple, mult);
+  if (!status.ok()) return status;
+  if (mult == 0) return Status::Ok();
   net_scratch_.clear();
   net_scratch_.push_back(Update{relation, tuple, mult});
-  const Status status = AppendRecord(WalRecordType::kBatch, EncodeBatchPayload(net_scratch_));
+  status = AppendRecord(WalRecordType::kBatch, EncodeBatchPayload(net_scratch_));
   if (!status.ok()) {
     IVME_CHECK_MSG(injector_->crashed(), status.message());
-    return false;
+    return Status::Error("catalog crashed (injected fault)");
   }
-  if (injector_->ShouldCrash("catalog:after_wal_append")) return false;
-  const bool applied = catalog_->ApplyUpdate(relation, tuple, mult);
+  if (injector_->ShouldCrash("catalog:after_wal_append")) {
+    return Status::Error("catalog crashed (injected fault)");
+  }
+  status = catalog_->TryApplyUpdate(relation, tuple, mult);
   injector_->ShouldCrash("catalog:after_apply");
-  return applied;
+  return status;
 }
 
 BatchResult DurableCatalog::ApplyBatch(const UpdateBatch& updates) {
@@ -629,10 +645,29 @@ BatchResult DurableCatalog::ApplyBatch(const UpdateBatch& updates) {
 }
 
 BatchResult DurableCatalog::ApplyBatch(const Update* updates, size_t count) {
-  if (dead()) return BatchResult{};
-  if (!durable()) return catalog_->ApplyBatch(updates, count);
   BatchResult result;
-  if (count == 0) return result;
+  const Status status = TryApplyBatch(updates, count, &result);
+  if (status.ok()) return result;
+  if (injector_->crashed()) return BatchResult{};
+  IVME_CHECK_MSG(status.rejected(), status.message());
+  result.applied = 0;
+  result.rejected = count;
+  return result;
+}
+
+Status DurableCatalog::TryApplyBatch(const UpdateBatch& updates, BatchResult* result) {
+  return TryApplyBatch(updates.data(), updates.size(), result);
+}
+
+Status DurableCatalog::TryApplyBatch(const Update* updates, size_t count, BatchResult* result) {
+  *result = BatchResult{};
+  if (dead()) return Status::Error("catalog crashed (injected fault)");
+  if (!durable()) return catalog_->TryApplyBatch(updates, count, result);
+  // Gate before consolidation and logging: a structural error or a
+  // whole-batch mutability rejection never reaches the WAL.
+  Status status = catalog_->CheckBatchWritable(updates, count);
+  if (!status.ok()) return status;
+  if (count == 0) return Status::Ok();
 
   // Log the batch's consolidated net deltas, not its raw records: replaying
   // the net entries through ApplyBatch re-consolidates them as an identity
@@ -651,17 +686,19 @@ BatchResult DurableCatalog::ApplyBatch(const Update* updates, size_t count) {
       if (node->value != 0) net_scratch_.push_back(Update{relation, node->key, node->value});
     }
   }
-  if (net_scratch_.empty()) return result;  // fully cancelled: nothing to log or apply
+  if (net_scratch_.empty()) return Status::Ok();  // fully cancelled: nothing to log or apply
 
-  const Status status = AppendRecord(WalRecordType::kBatch, EncodeBatchPayload(net_scratch_));
+  status = AppendRecord(WalRecordType::kBatch, EncodeBatchPayload(net_scratch_));
   if (!status.ok()) {
     IVME_CHECK_MSG(injector_->crashed(), status.message());
-    return BatchResult{};
+    return Status::Error("catalog crashed (injected fault)");
   }
-  if (injector_->ShouldCrash("catalog:after_wal_append")) return BatchResult{};
-  result = catalog_->ApplyBatch(net_scratch_);
+  if (injector_->ShouldCrash("catalog:after_wal_append")) {
+    return Status::Error("catalog crashed (injected fault)");
+  }
+  status = catalog_->TryApplyBatch(net_scratch_.data(), net_scratch_.size(), result);
   injector_->ShouldCrash("catalog:after_apply");
-  return result;
+  return status;
 }
 
 DurabilityStats DurableCatalog::durability_stats() const {

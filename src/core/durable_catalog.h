@@ -125,6 +125,16 @@ class DurableCatalog {
   BatchResult ApplyBatch(const Update* updates, size_t count);
   BatchResult ApplyBatch(const UpdateBatch& updates);
 
+  /// Validating variants (see ShardedCatalog::TryApplyUpdate/TryApplyBatch).
+  /// The write gate runs BEFORE the WAL append: a structural error or a
+  /// mutability rejection (write to a static relation, insert-only delete)
+  /// is never logged, so replay only sees appliable records. Per-entry
+  /// below-zero deletes stay post-log — replay re-derives the same
+  /// rejections deterministically against the replayed state.
+  Status TryApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+  Status TryApplyBatch(const Update* updates, size_t count, BatchResult* result);
+  Status TryApplyBatch(const UpdateBatch& updates, BatchResult* result);
+
   /// Takes a snapshot checkpoint at the current LSN: captures the state
   /// synchronously, rotates the WAL to a fresh segment, then (on the
   /// background thread when configured) writes + renames the snapshot,

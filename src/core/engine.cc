@@ -31,12 +31,24 @@ bool Engine::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult m
   return catalog_.ApplyUpdate(relation, tuple, mult);
 }
 
+Status Engine::TryApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
+  return catalog_.TryApplyUpdate(relation, tuple, mult);
+}
+
 Engine::BatchResult Engine::ApplyBatch(const Update* updates, size_t count) {
   return catalog_.ApplyBatch(updates, count);
 }
 
 Engine::BatchResult Engine::ApplyBatch(const UpdateBatch& updates) {
   return catalog_.ApplyBatch(updates);
+}
+
+Status Engine::TryApplyBatch(const Update* updates, size_t count, BatchResult* result) {
+  return catalog_.TryApplyBatch(updates, count, result);
+}
+
+Status Engine::TryApplyBatch(const UpdateBatch& updates, BatchResult* result) {
+  return catalog_.TryApplyBatch(updates, result);
 }
 
 std::unique_ptr<ResultEnumerator> Engine::Enumerate() const { return query_->Enumerate(); }

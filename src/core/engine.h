@@ -58,12 +58,24 @@ class Engine : public StorageProvider {
   /// dynamic mode and a preprocessed engine.
   bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
 
+  /// Validating variant (see QueryCatalog::TryApplyUpdate): structural
+  /// misuse is Status::Error, data-plane refusals — delete below zero,
+  /// write to a static relation, delete from an insert-only relation — are
+  /// Status::Rejected; the store is unchanged on either.
+  Status TryApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
   /// Applies `count` updates as one batch: net-delta consolidation, one
   /// maintenance pass per relation, deferred rebalancing (see
   /// QueryCatalog::ApplyBatch for the full contract). A net delete larger
   /// than the stored multiplicity rejects that entry only.
   BatchResult ApplyBatch(const Update* updates, size_t count);
   BatchResult ApplyBatch(const UpdateBatch& updates);
+
+  /// Validating variant (see QueryCatalog::TryApplyBatch): a batch touching
+  /// a static relation or deleting from an insert-only one is refused whole
+  /// with Status::Rejected and nothing applied.
+  Status TryApplyBatch(const Update* updates, size_t count, BatchResult* result);
+  Status TryApplyBatch(const UpdateBatch& updates, BatchResult* result);
 
   /// Opens an enumeration session over the current result.
   std::unique_ptr<ResultEnumerator> Enumerate() const;

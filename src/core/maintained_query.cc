@@ -24,6 +24,14 @@ MaintainedQuery::MaintainedQuery(std::string name, ConjunctiveQuery q, EngineOpt
     : name_(std::move(name)), query_(std::move(q)), options_(options), store_(store) {
   IVME_CHECK_MSG(options_.epsilon >= 0.0 && options_.epsilon <= 1.0,
                  "epsilon must lie in [0, 1]");
+  // Effective mutability: programmatic overrides win over query-text
+  // prefixes, merged before anything reads the declarations (slots, the
+  // store attachment, and ToString — checkpoints persist the merged form).
+  for (const auto& o : options_.mutability) query_.SetMutability(o.relation, o.mutability);
+  monotone_n_ = true;
+  for (size_t a = 0; a < query_.num_atoms(); ++a) {
+    if (query_.atom_mutability(a) == Mutability::kDynamic) monotone_n_ = false;
+  }
   // One slot per atom occurrence. The first occurrence of each relation
   // symbol borrows the store's shared relation; repeated occurrences get a
   // private mirror (their deltas must apply in sequence — footnote 2 — so a
@@ -33,11 +41,13 @@ MaintainedQuery::MaintainedQuery(std::string name, ConjunctiveQuery q, EngineOpt
     Slot slot;
     slot.atom_index = static_cast<int>(a);
     slot.relation = query_.atom(a).relation;
+    slot.mutability = query_.atom_mutability(a);
     RelationGroup* group = FindGroup(slot.relation);
     if (group == nullptr) {
       groups_.push_back(RelationGroup{slot.relation, {}});
       group = &groups_.back();
-      slot.storage = store_->Attach(slot.relation, query_.atom(a).schema.size());
+      slot.storage =
+          store_->Attach(slot.relation, query_.atom(a).schema.size(), slot.mutability);
     } else {
       slot.mirror = std::make_unique<Relation>(
           query_.atom(a).schema, slot.relation + "#" + std::to_string(a) + "@" + name_);
@@ -48,6 +58,7 @@ MaintainedQuery::MaintainedQuery(std::string name, ConjunctiveQuery q, EngineOpt
   }
   plan_ = BuildPlan(query_, options_.mode, this);
   RegisterLeaves();
+  ComputeStaticFlags();
 }
 
 MaintainedQuery::~MaintainedQuery() {
@@ -98,6 +109,7 @@ void MaintainedQuery::RegisterLeaves() {
       info.partition = leaf->partition;
       info.triple = triple.get();
       info.light_leaf = leaf;
+      info.mutability = slot.mutability;
       slot.infos.push_back(info);
     });
     ForEachLeaf(triple->all_tree.get(), [&](ViewNode* leaf) {
@@ -132,6 +144,64 @@ void MaintainedQuery::RegisterLeaves() {
   }
 }
 
+void MaintainedQuery::ComputeStaticFlags() {
+  // Per-node rules: a light-part leaf is static iff its relation is
+  // declared static (then the partition is frozen at the preprocessing θ);
+  // a full-relation leaf never depends on the threshold but is fully static
+  // only for a static relation; an indicator reference inherits from its
+  // triple; a view ANDs its children. Triples may nest (an indicator tree
+  // can reference another triple's H), so the triple flags settle by
+  // fixpoint — starting optimistic and relaxing only ever flips flags to
+  // false, which terminates.
+  std::function<void(ViewNode*)> annotate = [&](ViewNode* node) {
+    bool threshold = true;
+    bool fully = true;
+    if (node->IsLeaf()) {
+      const bool st = slots_[static_cast<size_t>(node->atom_index)].is_static();
+      fully = st;
+      if (node->partition != nullptr) threshold = st;
+    } else if (node->IsIndicator()) {
+      threshold = fully = node->triple != nullptr && node->triple->is_static;
+    }
+    for (auto& child : node->children) {
+      annotate(child.get());
+      threshold = threshold && child->threshold_static;
+      fully = fully && child->fully_static;
+    }
+    node->threshold_static = threshold;
+    node->fully_static = fully;
+  };
+  for (auto& triple : plan_.triples) triple->is_static = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& triple : plan_.triples) {
+      if (!triple->is_static) continue;
+      annotate(triple->all_tree.get());
+      annotate(triple->light_tree.get());
+      if (!triple->all_tree->fully_static || !triple->light_tree->fully_static) {
+        triple->is_static = false;
+        changed = true;
+      }
+    }
+  }
+  // Final annotation against the settled triple flags.
+  for (auto& triple : plan_.triples) {
+    annotate(triple->all_tree.get());
+    annotate(triple->light_tree.get());
+  }
+  for (auto& tree : plan_.trees) annotate(tree->root.get());
+}
+
+void MaintainedQuery::MaterializeThresholdViews(ViewNode* node) {
+  // A threshold_static subtree reads no repartitioned light part and no
+  // rebalance-affected indicator: its views still equal the join of their
+  // children, so the whole subtree is skipped (Kara et al. 2024).
+  if (node->threshold_static) return;
+  for (auto& child : node->children) MaterializeThresholdViews(child.get());
+  if (node->kind == NodeKind::kView) MaterializeNode(node);
+}
+
 double MaintainedQuery::theta() const {
   return std::pow(static_cast<double>(m_), options_.epsilon);
 }
@@ -155,6 +225,10 @@ void MaintainedQuery::Preprocess() {
   for (auto& slot : slots_) n_ += slot.storage->size();
   m_ = 2 * n_ + 1;
   const double th = theta();
+  // Static relations are partitioned once against this θ and frozen; the
+  // Definition 11 bands keep holding against it because their contents
+  // never change (CheckInvariants checks them against frozen_theta_).
+  frozen_theta_ = th;
   for (auto& slot : slots_) {
     for (auto& part : slot.partitions) part->StrictRepartition(th);
   }
@@ -191,6 +265,10 @@ QueryResult MaintainedQuery::EvaluateToMapAt(Epoch epoch) const {
 namespace {
 
 void SetTreeEpochContext(ViewNode* node, const EpochContext* ctx) {
+  // fully_static subtrees are never written after Preprocess; unversioned
+  // storage answers every epoch with its (constant) current contents, so
+  // they never grow version chains.
+  if (node->fully_static) return;
   if (node->owned_storage != nullptr) node->owned_storage->SetEpochContext(ctx);
   for (auto& child : node->children) SetTreeEpochContext(child.get(), ctx);
 }
@@ -199,11 +277,16 @@ void SetTreeEpochContext(ViewNode* node, const EpochContext* ctx) {
 
 void MaintainedQuery::SetEpochContext(const EpochContext* ctx) {
   for (auto& slot : slots_) {
+    // Static relations' mirrors and light parts are frozen at Preprocess —
+    // same reasoning as RelationStore::SetEpochContext for the base
+    // relation: no version chains needed.
+    if (slot.is_static()) continue;
     if (slot.mirror != nullptr) slot.mirror->SetEpochContext(ctx);
     for (auto& partition : slot.partitions) partition->light()->SetEpochContext(ctx);
   }
   for (auto& tree : plan_.trees) SetTreeEpochContext(tree->root.get(), ctx);
   for (auto& triple : plan_.triples) {
+    if (triple->is_static) continue;
     SetTreeEpochContext(triple->all_tree.get(), ctx);
     SetTreeEpochContext(triple->light_tree.get(), ctx);
     triple->h->SetEpochContext(ctx);
@@ -214,6 +297,10 @@ void MaintainedQuery::ApplySingle(const std::string& relation, const Tuple& tupl
                                   int support_change) {
   RelationGroup* group = FindGroup(relation);
   IVME_CHECK_MSG(group != nullptr, "unknown relation " << relation);
+  // Backstop only: the owning catalog rejects writes to static relations
+  // with a structured Status before the shared base write.
+  IVME_CHECK_MSG(query_.MutabilityOf(relation) != Mutability::kStatic,
+                 "delta propagated to static relation " << relation);
   for (size_t si : group->slot_indices) {
     ApplyUpdateToSlot(slots_[si], tuple, mult, support_change);
   }
@@ -290,6 +377,11 @@ void MaintainedQuery::ApplyLightDelta(SlotPartition& info, const Tuple& tuple, M
   const Tuple key = info.partition->KeyOf(tuple);
   const Mult l_before = info.triple->light_tree->storage->Multiplicity(key);
   PropagateUp(info.light_leaf, {{tuple, mult}});
+  // Monotone indicator form (Abo Khamis et al.): a positive delta into an
+  // insert-only slot can only grow L(key), so when ∃L already held it
+  // cannot flip — skip re-reading the L root. (Key moves pass negative
+  // deltas even for insert-only slots and take the general path.)
+  if (info.mutability == Mutability::kInsertOnly && mult > 0 && l_before != 0) return;
   const Mult l_after = info.triple->light_tree->storage->Multiplicity(key);
   const int l_change = SupportChange(l_before, l_after);
   if (l_change != 0) {
@@ -351,7 +443,13 @@ size_t MaintainedQuery::TargetM() const {
   // batch can move N past several powers of two, hence the loops.
   size_t target = m_;
   while (n_ >= target) target *= 2;
-  while (n_ < target / 4) target = target / 2 >= 2 ? target / 2 - 1 : 1;
+  // With no dynamic atom N is monotone (insert-only relations only grow,
+  // static ones never change), so the floor ⌊M/4⌋ ≤ N can only have been
+  // broken by a doubling that already restored it — the halving scan is
+  // dead (Abo Khamis et al.).
+  if (!monotone_n_) {
+    while (n_ < target / 4) target = target / 2 >= 2 ? target / 2 - 1 : 1;
+  }
   return target;
 }
 
@@ -379,6 +477,9 @@ void MaintainedQuery::StartIncrementalRebalanceIfNeeded() {
   // checks, which already run under the new θ.
   for (size_t si = 0; si < slots_.size(); ++si) {
     Slot& slot = slots_[si];
+    // Static slots' partitions are frozen at the preprocessing θ — their
+    // keys never enter the migration queue (Kara et al. 2024).
+    if (slot.is_static()) continue;
     for (size_t ii = 0; ii < slot.infos.size(); ++ii) {
       const SlotPartition& info = slot.infos[ii];
       const auto& index = info.partition->base()->index(info.partition->base_index_id());
@@ -428,6 +529,16 @@ uint64_t MaintainedQuery::MigrateKey(const RebalanceTask::WorkItem& item) {
 
 void MaintainedQuery::MinorCheckKey(SlotPartition& info, const Tuple& key, double th) {
   const size_t light_count = info.partition->LightCountForKey(key);
+  if (info.mutability == Mutability::kInsertOnly) {
+    // Key degrees are monotone: a heavy key can never fall under θ/2
+    // between strict reclassifications (majors in amortized mode, MigrateKey
+    // in incremental mode), so the heavy→light check — and its base-count
+    // lookup — is dead. Only light→heavy promotion remains.
+    if (static_cast<double>(light_count) >= 1.5 * th) {
+      MinorRebalancing(info, key, /*insert=*/false);
+    }
+    return;
+  }
   const size_t base_count = info.partition->BaseCountForKey(key);
   if (light_count == 0 && static_cast<double>(base_count) < 0.5 * th && base_count > 0) {
     MinorRebalancing(info, key, /*insert=*/true);
@@ -441,6 +552,10 @@ void MaintainedQuery::ApplyGroupDelta(const std::string& relation,
   if (delta.applied.empty()) return;
   RelationGroup* group = FindGroup(relation);
   IVME_CHECK_MSG(group != nullptr, "unknown relation " << relation);
+  // Backstop only: the owning catalog rejects static-relation groups with a
+  // structured Status before any base write.
+  IVME_CHECK_MSG(query_.MutabilityOf(relation) != Mutability::kStatic,
+                 "delta propagated to static relation " << relation);
   // Slots of a repeated relation symbol update in sequence (footnote 2).
   for (size_t si : group->slot_indices) {
     ApplyBatchDeltaToSlot(slots_[si], delta);
@@ -530,6 +645,10 @@ void MaintainedQuery::ApplyBatchDeltaToSlot(Slot& slot,
     }
     PropagateUp(info.light_leaf, batch_light_scratch_);
     for (const auto* snap = keys.First(); snap != nullptr; snap = snap->next) {
+      // Monotone indicator form: an insert-only slot's consolidated delta
+      // is all-positive, so ∃L(key) cannot flip once set — skip the per-key
+      // L-root lookup (Abo Khamis et al.).
+      if (info.mutability == Mutability::kInsertOnly && snap->value.l_before != 0) continue;
       const Mult l_after = info.triple->light_tree->storage->Multiplicity(snap->key);
       const int l_change = SupportChange(snap->value.l_before, l_after);
       if (l_change != 0) ApplyNotLChangeToH(info.triple, snap->key, -l_change);
@@ -600,18 +719,26 @@ void MaintainedQuery::MajorRebalancing() {
   ++stats_.major_rebalances;
   const double th = theta();
   for (auto& slot : slots_) {
+    // Static slots keep their preprocessing-time partition: the contents
+    // never changed, so reclassifying against the new θ buys nothing and
+    // the frozen bands stay valid (Kara et al. 2024).
+    if (slot.is_static()) continue;
     for (auto& part : slot.partitions) part->StrictRepartition(th);
   }
   RecomputeThresholdViews();
 }
 
 void MaintainedQuery::RecomputeThresholdViews() {
-  // All-trees do not depend on the threshold; everything else does.
+  // All-trees do not depend on the threshold; everything else does —
+  // except static triples (nothing under them moved) and threshold_static
+  // subtrees inside the dynamic trees (no repartitioned light part, no
+  // rebalance-affected indicator below).
   for (auto& triple : plan_.triples) {
-    MaterializeTree(triple->light_tree.get());
+    if (triple->is_static) continue;
+    MaterializeThresholdViews(triple->light_tree.get());
     triple->RecomputeH();
   }
-  for (auto& tree : plan_.trees) MaterializeTree(tree->root.get());
+  for (auto& tree : plan_.trees) MaterializeThresholdViews(tree->root.get());
 }
 
 QueryStats MaintainedQuery::GetStats() const {
@@ -717,6 +844,11 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
     }
   }
   for (auto& slot : slots_) {
+    // Static slots were strictly partitioned once at frozen_theta_ and
+    // never touched again: their bands hold against that θ, not the live
+    // one (which may have drifted arbitrarily far).
+    const double slot_th_light = slot.is_static() ? frozen_theta_ : th_light;
+    const double slot_th_heavy = slot.is_static() ? frozen_theta_ : th_heavy;
     for (auto& part : slot.partitions) {
       const Relation* light = part->light();
       for (const Relation::Entry* e = light->First(); e != nullptr;
@@ -728,7 +860,7 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
       const auto& light_index = light->index(part->light_index_id());
       for (const Relation::BucketNode* b = light_index.FirstKey(); b != nullptr;
            b = TupleMap<Relation::Bucket>::NextLive(b)) {
-        if (static_cast<double>(b->value.count) >= 1.5 * th_light) {
+        if (static_cast<double>(b->value.count) >= 1.5 * slot_th_light) {
           return fail("light part degree >= 3/2·θ in " + light->name() +
                       (migrating ? " (θ envelope high)" : ""));
         }
@@ -741,7 +873,7 @@ bool MaintainedQuery::CheckInvariants(std::string* error) {
       for (const Relation::BucketNode* b = base_index.FirstKey(); b != nullptr;
            b = TupleMap<Relation::Bucket>::NextLive(b)) {
         if (!part->KeyInLight(b->key) &&
-            static_cast<double>(b->value.count) < 0.5 * th_heavy) {
+            static_cast<double>(b->value.count) < 0.5 * slot_th_heavy) {
           return fail("heavy key with degree < θ/2 in " + slot.storage->name() +
                       (migrating ? " (θ envelope low)" : ""));
         }

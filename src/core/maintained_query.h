@@ -44,6 +44,14 @@ enum class RebalanceMode {
   kIncremental,
 };
 
+/// Programmatic per-relation mutability declaration (equivalent to the
+/// "static R(...)" / "insert_only R(...)" query-text prefixes; see
+/// data/mutability.h). Applied to the query before the plan is built.
+struct MutabilityOverride {
+  std::string relation;
+  Mutability mutability = Mutability::kDynamic;
+};
+
 /// Engine configuration (shared by MaintainedQuery, Engine, and the
 /// catalogs; one instance per registered query).
 struct EngineOptions {
@@ -66,6 +74,11 @@ struct EngineOptions {
   /// (RebalanceTask::SliceBudget). Higher drains migrations faster at the
   /// cost of a higher worst-case update latency.
   double rebalance_budget = 8.0;
+
+  /// Per-relation mutability declarations, merged into the query (wins over
+  /// any query-text prefix) before the plan is built. Overrides naming
+  /// relations the query does not read are ignored.
+  std::vector<MutabilityOverride> mutability;
 };
 
 /// Per-query maintenance statistics.
@@ -206,6 +219,7 @@ class MaintainedQuery : public StorageProvider {
     ViewNode* all_leaf = nullptr;  ///< this slot's leaf in triple->all_tree
     ViewNode* light_leaf = nullptr;  ///< this slot's leaf in triple->light_tree
     std::vector<ViewNode*> main_light_leaves;
+    Mutability mutability = Mutability::kDynamic;  ///< the owning slot's
   };
 
   /// One atom occurrence. The first occurrence of a relation symbol reads
@@ -214,6 +228,7 @@ class MaintainedQuery : public StorageProvider {
   struct Slot {
     int atom_index = -1;
     std::string relation;
+    Mutability mutability = Mutability::kDynamic;
     Relation* storage = nullptr;  ///< shared relation or mirror.get()
     std::unique_ptr<Relation> mirror;  ///< null for the first occurrence
     std::vector<std::unique_ptr<RelationPartition>> partitions;
@@ -221,6 +236,7 @@ class MaintainedQuery : public StorageProvider {
     std::vector<ViewNode*> main_full_leaves;
 
     bool shared() const { return mirror == nullptr; }
+    bool is_static() const { return mutability == Mutability::kStatic; }
   };
 
   /// Slots sharing one relation symbol, in occurrence order.
@@ -254,6 +270,15 @@ class MaintainedQuery : public StorageProvider {
   };
 
   void RegisterLeaves();
+  /// Annotates the plan with the Kara 2024 static-specialization flags:
+  /// IndicatorTriple::is_static (fixpoint over nested indicator references)
+  /// and the per-node threshold_static / fully_static flags. Run once after
+  /// RegisterLeaves.
+  void ComputeStaticFlags();
+  /// MaterializeTree restricted to subtrees some threshold-dependent input
+  /// of which belongs to a dynamic relation; threshold_static subtrees are
+  /// provably unchanged by a repartition and are skipped whole.
+  void MaterializeThresholdViews(ViewNode* node);
   RelationGroup* FindGroup(const std::string& relation);
   void ApplyUpdateToSlot(Slot& slot, const Tuple& tuple, Mult mult, int support_change);
   /// Figure 19 for one tuple: main trees, indicators, light parts, and the
@@ -302,6 +327,15 @@ class MaintainedQuery : public StorageProvider {
   std::atomic<bool> preprocessed_{false};
   size_t n_ = 0;
   size_t m_ = 1;
+  /// θ at Preprocess time. Static relations' partitions are strictly
+  /// partitioned once against this threshold and frozen: their contents
+  /// never change, so the Definition 11 bands keep holding against it no
+  /// matter how far the live θ drifts (Kara et al. 2024).
+  double frozen_theta_ = 0.0;
+  /// No atom is kDynamic: N is monotone non-decreasing after Preprocess, so
+  /// the size invariant can only break upward (TargetM skips the halving
+  /// scan).
+  bool monotone_n_ = false;
   QueryStats stats_;
   RebalanceTask rebalance_task_;  ///< in-flight incremental migration state
   std::vector<std::pair<Tuple, Mult>> move_scratch_;  ///< reused by key moves

@@ -121,6 +121,24 @@ bool ShardedCatalog::RegisterQuery(const std::string& name, const ConjunctiveQue
       }
     }
   }
+  // Mutability agreement: a relation's declaration is as sticky as its
+  // arity (RelationStore records it at first Attach and hard-errors on a
+  // conflicting re-attach), so validate the effective declaration —
+  // query-text prefix merged with options.mutability overrides, overrides
+  // winning in order — against the live store before committing.
+  for (const std::string& relation : q.RelationNames()) {
+    Mutability declared = q.MutabilityOf(relation);
+    for (const MutabilityOverride& o : options.mutability) {
+      if (o.relation == relation) declared = o.mutability;
+    }
+    const Relation* stored = shards_[0]->store().Find(relation);
+    if (stored == nullptr) continue;
+    const Mutability live = shards_[0]->store().MutabilityOf(relation);
+    if (live != declared) {
+      return fail("relation " + relation + " is already attached as " + MutabilityName(live) +
+                  "; " + name + " declares it " + MutabilityName(declared));
+    }
+  }
 
   bool root_is_free = true;
   std::vector<Route> new_routes;
@@ -275,17 +293,72 @@ bool ShardedCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple
   return applied;
 }
 
+Status ShardedCatalog::CheckWritable(const std::string& relation, const Tuple& tuple,
+                                     Mult mult) const {
+  const Status status = shards_[0]->CheckWritable(relation, mult);
+  if (!status.ok()) return status;
+  const Relation* stored = shards_[0]->store().Find(relation);
+  if (tuple.size() != stored->schema().size()) {
+    return Status::Error("relation " + relation + " has arity " +
+                         std::to_string(stored->schema().size()) + "; got a tuple of arity " +
+                         std::to_string(tuple.size()));
+  }
+  return Status::Ok();
+}
+
+Status ShardedCatalog::CheckBatchWritable(const Update* updates, size_t count) const {
+  return shards_[0]->CheckBatchWritable(updates, count);
+}
+
+Status ShardedCatalog::TryApplyUpdate(const std::string& relation, const Tuple& tuple,
+                                      Mult mult) {
+  const ScopedLatencyTimer timer(&update_latency_);
+  // Validate against shard 0 before routing, like TryLoadTupleImpl: a
+  // wrong-arity tuple or unknown relation must not reach ShardOf.
+  Status status = CheckWritable(relation, tuple, mult);
+  if (!status.ok()) return status;
+  BeginMutation();
+  status = shards_[ShardOf(relation, tuple)]->TryApplyUpdate(relation, tuple, mult);
+  PublishAndReclaim();
+  return status;
+}
+
 BatchResult ShardedCatalog::ApplyBatch(const UpdateBatch& updates) {
   return ApplyBatch(updates.data(), updates.size());
 }
 
 BatchResult ShardedCatalog::ApplyBatch(const Update* updates, size_t count) {
+  BatchResult result;
+  const Status status = TryApplyBatch(updates, count, &result);
+  if (status.ok()) return result;
+  IVME_CHECK_MSG(status.rejected(), status.message());
+  result.applied = 0;
+  result.rejected = count;
+  return result;
+}
+
+Status ShardedCatalog::TryApplyBatch(const UpdateBatch& updates, BatchResult* result) {
+  return TryApplyBatch(updates.data(), updates.size(), result);
+}
+
+Status ShardedCatalog::TryApplyBatch(const Update* updates, size_t count, BatchResult* result) {
   const ScopedLatencyTimer timer(&batch_latency_);
+  *result = BatchResult{};
   BeginMutation();
   if (shards_.size() == 1) {
-    const BatchResult result = shards_[0]->ApplyBatch(updates, count);
+    const Status status = shards_[0]->TryApplyBatch(updates, count, result);
     PublishAndReclaim();
-    return result;
+    return status;
+  }
+  // Whole-batch gate at the facade, against shard 0's store (every shard
+  // attaches the same relations with the same arities and declarations):
+  // a structural error or mutability rejection is atomic across shards,
+  // and a wrong-arity tuple never reaches ShardOf below. What remains for
+  // the shards is per-entry below-zero rejection, which they count.
+  const Status writable = shards_[0]->CheckBatchWritable(updates, count);
+  if (!writable.ok()) {
+    PublishAndReclaim();
+    return writable;
   }
 
   // Consolidate ONCE at the splitter (shared NetDeltaConsolidator), then
@@ -315,8 +388,8 @@ BatchResult ShardedCatalog::ApplyBatch(const Update* updates, size_t count) {
     if (split_scratch_[s].empty()) continue;
     QueryCatalog* catalog = shards_[s].get();
     const UpdateBatch* sub = &split_scratch_[s];
-    BatchResult* result = &result_scratch_[s];
-    task_scratch_.push_back([catalog, sub, result] { *result = catalog->ApplyBatch(*sub); });
+    BatchResult* out = &result_scratch_[s];
+    task_scratch_.push_back([catalog, sub, out] { *out = catalog->ApplyBatch(*sub); });
   }
   if (pool_ != nullptr) {
     pool_->Run(task_scratch_);
@@ -324,16 +397,15 @@ BatchResult ShardedCatalog::ApplyBatch(const Update* updates, size_t count) {
     for (const auto& task : task_scratch_) task();
   }
 
-  BatchResult total;
-  for (const BatchResult& result : result_scratch_) {
-    total.applied += result.applied;
-    total.rejected += result.rejected;
+  for (const BatchResult& shard_result : result_scratch_) {
+    result->applied += shard_result.applied;
+    result->rejected += shard_result.rejected;
   }
   // The pool barrier above orders every worker's stores before the Publish
   // inside PublishAndReclaim, so a reader pinning the new epoch sees the
   // fully applied batch on every shard.
   PublishAndReclaim();
-  return total;
+  return Status::Ok();
 }
 
 std::unique_ptr<MergedEnumerator> ShardedCatalog::Enumerate(const std::string& name) const {

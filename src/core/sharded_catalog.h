@@ -80,8 +80,10 @@ class ShardedCatalog {
   /// introspection; call at quiescent points only).
   size_t RetiredObjects() const;
 
-  /// Registers `q` in every shard. The query's relation arities must agree
-  /// with the live store; with K > 1 it must additionally be shardable
+  /// Registers `q` in every shard. The query's relation arities and
+  /// mutability declarations (query-text prefixes merged with
+  /// `options.mutability` overrides) must agree with the live store; with
+  /// K > 1 it must additionally be shardable
   /// (connected, variable root, consistent root column per relation — see
   /// ShardedEngine::CanShard) and its root columns must agree with the
   /// routing already established by earlier queries on shared relations.
@@ -115,8 +117,25 @@ class ShardedCatalog {
   /// Preprocesses every shard, in parallel when the pool has workers.
   void Preprocess();
 
-  /// Routes the update to its shard and applies it there.
+  /// Routes the update to its shard and applies it there. Returns false
+  /// (nothing changed) on a data-plane refusal — delete below zero, write to
+  /// a static relation, delete from an insert-only relation; structural
+  /// misuse is a hard error (TryApplyUpdate reports both as a Status).
   bool ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// Validating variant of ApplyUpdate (see QueryCatalog::TryApplyUpdate).
+  /// Validates against shard 0 before routing — a wrong-arity tuple must not
+  /// reach ShardOf — then applies in the owning shard. Never aborts.
+  Status TryApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// The pre-routing write gates (see QueryCatalog::CheckWritable /
+  /// CheckBatchWritable), evaluated against shard 0's store — every shard
+  /// attaches the same relations with the same arities and declarations.
+  /// CheckWritable additionally validates the tuple's arity, which ShardOf's
+  /// root-column read depends on. The durable layer runs these before
+  /// logging, so invalid writes never reach the WAL.
+  Status CheckWritable(const std::string& relation, const Tuple& tuple, Mult mult) const;
+  Status CheckBatchWritable(const Update* updates, size_t count) const;
 
   /// Consolidates the batch once (shared NetDeltaConsolidator), splits the
   /// surviving net entries per shard by root-value hash, and applies the
@@ -124,6 +143,15 @@ class ShardedCatalog {
   /// per-shard validation and counts match the unsharded catalog.
   BatchResult ApplyBatch(const Update* updates, size_t count);
   BatchResult ApplyBatch(const UpdateBatch& updates);
+
+  /// Validating variant of ApplyBatch (see QueryCatalog::TryApplyBatch):
+  /// the whole batch is gated at the facade — against shard 0's store —
+  /// before any consolidation or routing, so a structural error or a
+  /// mutability rejection (static relation touched, insert-only delete)
+  /// refuses the batch atomically across all shards. Per-entry below-zero
+  /// deletes keep the historical skip-and-count semantics per shard.
+  Status TryApplyBatch(const Update* updates, size_t count, BatchResult* result);
+  Status TryApplyBatch(const UpdateBatch& updates, BatchResult* result);
 
   /// Merged enumeration of `name`: concatenation when the query's root is
   /// free (disjoint shard results), multiplicity-summing merge otherwise.

@@ -90,6 +90,17 @@ struct ViewNode {
   // Maintenance plumbing.
   std::vector<DeltaPlan> delta_plans;  ///< one per child position
 
+  // Mutability specialization (computed once by MaintainedQuery after the
+  // plan is built; Kara et al. 2024). threshold_static: no input of this
+  // subtree depends on the heavy/light threshold of a dynamic relation
+  // (every light-part leaf belongs to a static relation and every indicator
+  // reference is to a static triple) — major rebalancing skips recomputing
+  // the subtree. fully_static: additionally no full-relation leaf of a
+  // dynamic relation — the subtree's storages never change after
+  // Preprocess, so they are never versioned.
+  bool threshold_static = false;
+  bool fully_static = false;
+
   bool IsLeaf() const { return kind == NodeKind::kLeaf; }
   bool IsIndicator() const { return kind == NodeKind::kIndicator; }
 
@@ -117,6 +128,12 @@ struct IndicatorTriple {
   std::unique_ptr<Relation> h;
   std::vector<ViewNode*> h_refs;  ///< ∃H gate nodes in the main trees
   std::string name;               ///< e.g. "H_B"
+
+  /// Every atom under the triple belongs to a static relation (and every
+  /// nested indicator reference is to a static triple): All, L, and H are
+  /// constant after Preprocess. Major rebalancing skips the triple and its
+  /// storages are never versioned. Computed by MaintainedQuery.
+  bool is_static = false;
 
   /// Recomputes H from the current All and L roots (used by preprocessing
   /// and major rebalancing).

@@ -1,0 +1,42 @@
+// Per-relation mutability declarations. IVM^ε (the source paper) pays for
+// full insert-delete generality on every relation; two follow-ups show the
+// cost is avoidable when the workload is declared up front:
+//
+//  - kStatic ("Tractable Conjunctive Queries over Static and Dynamic
+//    Relations", Kara et al. 2024): the relation never changes after
+//    preprocessing. Its views are materialized once, its partitions are
+//    frozen at the preprocessing threshold, and delta propagation,
+//    indicator upkeep, and minor/major rebalancing skip its atoms.
+//
+//  - kInsertOnly ("Insert-Only versus Insert-Delete in Dynamic Query
+//    Evaluation", Abo Khamis et al.): only positive deltas ever arrive.
+//    Below-zero validation is unnecessary, multiplicity version chains
+//    never cross the zero floor downward, and per-key light counts are
+//    monotone between majors (the heavy→light minor check is dead).
+//
+// kDynamic is the default and keeps the full Theorem 2/4 machinery.
+#ifndef IVME_DATA_MUTABILITY_H_
+#define IVME_DATA_MUTABILITY_H_
+
+#include <cstdint>
+
+namespace ivme {
+
+enum class Mutability : uint8_t {
+  kDynamic = 0,     ///< arbitrary inserts and deletes (default)
+  kInsertOnly = 1,  ///< only positive deltas after the initial load
+  kStatic = 2,      ///< no changes after Preprocess; writes are rejected
+};
+
+inline const char* MutabilityName(Mutability m) {
+  switch (m) {
+    case Mutability::kDynamic: return "dynamic";
+    case Mutability::kInsertOnly: return "insert_only";
+    case Mutability::kStatic: return "static";
+  }
+  return "?";
+}
+
+}  // namespace ivme
+
+#endif  // IVME_DATA_MUTABILITY_H_

@@ -51,6 +51,22 @@ struct Parser {
     return std::nullopt;
   }
 
+  // Optional mutability modifier in front of a body atom. "static" /
+  // "insert_only" is a modifier only when the next token is not '(' — a
+  // relation literally named "static" stays parseable.
+  Mutability Modifier() {
+    size_t save = pos;
+    auto word = Ident();
+    if (word.has_value() && (*word == "static" || *word == "insert_only")) {
+      SkipSpace();
+      if (pos < text.size() && text[pos] != '(') {
+        return *word == "static" ? Mutability::kStatic : Mutability::kInsertOnly;
+      }
+    }
+    pos = save;
+    return Mutability::kDynamic;
+  }
+
   // Parses "Name ( v1, v2, ... )" with a possibly empty variable list.
   std::optional<std::pair<std::string, std::vector<std::string>>> AtomText() {
     auto name = Ident();
@@ -78,14 +94,28 @@ std::optional<ConjunctiveQuery> ConjunctiveQuery::Parse(const std::string& text)
   if (!head.has_value()) return std::nullopt;
   if (!p.Eat('=')) return std::nullopt;
   std::vector<std::pair<std::string, std::vector<std::string>>> atoms;
+  std::vector<Mutability> declared;
   while (true) {
+    Mutability m = p.Modifier();
     auto atom = p.AtomText();
     if (!atom.has_value()) return std::nullopt;
     atoms.push_back(std::move(*atom));
+    declared.push_back(m);
     if (p.AtEnd()) break;
     if (!p.Eat(',')) return std::nullopt;
   }
   if (atoms.empty()) return std::nullopt;
+  // A declaration applies to the relation symbol; two different non-default
+  // declarations for one symbol conflict.
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (size_t j = i + 1; j < atoms.size(); ++j) {
+      if (atoms[i].first != atoms[j].first) continue;
+      if (declared[i] != Mutability::kDynamic && declared[j] != Mutability::kDynamic &&
+          declared[i] != declared[j]) {
+        return std::nullopt;
+      }
+    }
+  }
   // Head variables must occur in the body, and atoms must not be nullary
   // (footnote 1 of the paper: at least one atom has a non-empty schema; we
   // require it of every atom).
@@ -113,7 +143,11 @@ std::optional<ConjunctiveQuery> ConjunctiveQuery::Parse(const std::string& text)
       if (head->second[i] == head->second[j]) return std::nullopt;
     }
   }
-  return Make(head->first, head->second, atoms);
+  ConjunctiveQuery q = Make(head->first, head->second, atoms);
+  for (size_t i = 0; i < declared.size(); ++i) {
+    if (declared[i] != Mutability::kDynamic) q.SetMutability(atoms[i].first, declared[i]);
+  }
+  return q;
 }
 
 ConjunctiveQuery ConjunctiveQuery::Make(
@@ -140,6 +174,7 @@ ConjunctiveQuery ConjunctiveQuery::Make(
   head_ids.reserve(head.size());
   for (const auto& v : head) head_ids.push_back(var_id(v));
   q.free_ = Schema(std::move(head_ids));
+  q.atom_mutability_.assign(q.atoms_.size(), Mutability::kDynamic);
   q.Finalize();
   return q;
 }
@@ -187,10 +222,41 @@ bool ConjunctiveQuery::HasRepeatedSymbol(const std::string& rel) const {
   return count > 1;
 }
 
+Mutability ConjunctiveQuery::MutabilityOf(const std::string& rel) const {
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].relation == rel) return atom_mutability_[i];
+  }
+  return Mutability::kDynamic;
+}
+
+void ConjunctiveQuery::SetMutability(const std::string& rel, Mutability m) {
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].relation == rel) atom_mutability_[i] = m;
+  }
+}
+
+bool ConjunctiveQuery::HasNonDynamicAtoms() const {
+  for (Mutability m : atom_mutability_) {
+    if (m != Mutability::kDynamic) return true;
+  }
+  return false;
+}
+
 std::string ConjunctiveQuery::ToString() const {
   std::string out = name_ + free_.ToString(var_names_) + " = ";
+  std::vector<std::string> prefixed;
   for (size_t i = 0; i < atoms_.size(); ++i) {
     if (i > 0) out += ", ";
+    if (atom_mutability_[i] != Mutability::kDynamic) {
+      bool first = true;
+      for (const auto& p : prefixed) {
+        if (p == atoms_[i].relation) first = false;
+      }
+      if (first) {
+        out += std::string(MutabilityName(atom_mutability_[i])) + " ";
+        prefixed.push_back(atoms_[i].relation);
+      }
+    }
     out += atoms_[i].relation + atoms_[i].schema.ToString(var_names_);
   }
   return out;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/data/mutability.h"
 #include "src/data/schema.h"
 
 namespace ivme {
@@ -25,8 +26,13 @@ struct Atom {
 class ConjunctiveQuery {
  public:
   /// Parses "Q(A, C) = R(A, B), S(B, C)". Variables are single identifiers;
-  /// the head may be empty ("Q() = ...") for Boolean queries. Returns
-  /// std::nullopt on malformed input.
+  /// the head may be empty ("Q() = ...") for Boolean queries. Body atoms may
+  /// carry a mutability prefix, "static S(B, C)" or "insert_only R(A, B)";
+  /// the declaration applies to the relation symbol (every occurrence).
+  /// Returns std::nullopt on malformed input, including conflicting
+  /// declarations for one relation. A relation literally named "static" or
+  /// "insert_only" is still parseable: the word is a modifier only when not
+  /// directly followed by '('.
   static std::optional<ConjunctiveQuery> Parse(const std::string& text);
 
   /// Programmatic construction; atom schemas and the head use variable
@@ -70,6 +76,22 @@ class ConjunctiveQuery {
   /// True when `rel` names more than one atom.
   bool HasRepeatedSymbol(const std::string& rel) const;
 
+  /// Declared mutability of atom `i` (kDynamic unless declared otherwise).
+  Mutability atom_mutability(size_t i) const { return atom_mutability_[i]; }
+
+  /// Declared mutability of relation `rel`; kDynamic when the relation is
+  /// not part of the query.
+  Mutability MutabilityOf(const std::string& rel) const;
+
+  /// Declares the mutability of every atom of `rel`. No-op when the query
+  /// has no such atom.
+  void SetMutability(const std::string& rel, Mutability m);
+
+  /// True when some atom is declared non-dynamic.
+  bool HasNonDynamicAtoms() const;
+
+  /// Round-trips through Parse: non-dynamic relations are emitted with
+  /// their mutability prefix on their first occurrence.
   std::string ToString() const;
 
  private:
@@ -81,6 +103,7 @@ class ConjunctiveQuery {
   Schema free_;
   Schema all_vars_;
   std::vector<Atom> atoms_;
+  std::vector<Mutability> atom_mutability_;  ///< parallel to atoms_
   std::vector<std::vector<int>> atoms_of_;
 };
 

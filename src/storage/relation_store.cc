@@ -31,19 +31,24 @@ const RelationStore::Entry* RelationStore::FindEntry(const std::string& name) co
   return nullptr;
 }
 
-Relation* RelationStore::Attach(const std::string& name, size_t arity) {
+Relation* RelationStore::Attach(const std::string& name, size_t arity, Mutability mutability) {
   Entry* entry = FindEntry(name);
   if (entry == nullptr) {
     // Canonical column schema: variable id i is column i. Queries resolve
     // their own schemas to column positions when indexing.
     Schema columns;
     for (size_t i = 0; i < arity; ++i) columns.Append(static_cast<VarId>(i));
-    entries_.push_back(Entry{name, 0, std::make_unique<Relation>(std::move(columns), name)});
+    entries_.push_back(
+        Entry{name, 0, mutability, std::make_unique<Relation>(std::move(columns), name)});
     entry = &entries_.back();
   }
   IVME_CHECK_MSG(entry->relation->schema().size() == arity,
                  "relation " << name << " already exists with arity "
                              << entry->relation->schema().size() << ", requested " << arity);
+  IVME_CHECK_MSG(entry->mutability == mutability,
+                 "relation " << name << " already declared "
+                             << MutabilityName(entry->mutability) << ", requested "
+                             << MutabilityName(mutability));
   ++entry->refcount;
   return entry->relation.get();
 }
@@ -63,6 +68,11 @@ Relation* RelationStore::Find(const std::string& name) const {
 size_t RelationStore::RefCount(const std::string& name) const {
   const Entry* entry = FindEntry(name);
   return entry != nullptr ? entry->refcount : 0;
+}
+
+Mutability RelationStore::MutabilityOf(const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  return entry != nullptr ? entry->mutability : Mutability::kDynamic;
 }
 
 Relation::ApplyResult RelationStore::Apply(const std::string& name, const Tuple& tuple,
@@ -117,7 +127,13 @@ std::vector<std::string> RelationStore::RelationNames() const {
 }
 
 void RelationStore::SetEpochContext(const EpochContext* ctx) {
-  for (auto& entry : entries_) entry.relation->SetEpochContext(ctx);
+  for (auto& entry : entries_) {
+    // Static relations stay unversioned: plain-mode nodes are live at every
+    // epoch, so constant contents answer any snapshot correctly without
+    // version chains.
+    if (entry.mutability == Mutability::kStatic) continue;
+    entry.relation->SetEpochContext(ctx);
+  }
 }
 
 }  // namespace ivme

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/data/mutability.h"
 #include "src/data/update.h"
 #include "src/storage/relation.h"
 
@@ -48,9 +49,14 @@ class RelationStore {
   RelationStore& operator=(const RelationStore&) = delete;
 
   /// Creates the relation (canonical column schema) or attaches to the
-  /// existing one; either way the reference count grows by one. An arity
-  /// mismatch with an existing relation is a hard error.
-  Relation* Attach(const std::string& name, size_t arity);
+  /// existing one; either way the reference count grows by one. An arity or
+  /// mutability mismatch with an existing relation is a hard error —
+  /// catalogs validate both before attaching and report structured errors;
+  /// the CHECK here is the backstop for direct store users. Mutability is a
+  /// property of the stored data and stays sticky for the relation's
+  /// lifetime (like arity), even across refcount zero.
+  Relation* Attach(const std::string& name, size_t arity,
+                   Mutability mutability = Mutability::kDynamic);
 
   /// Drops one reference. The relation and its contents are kept even at
   /// zero references — the store is the database, queries only borrow it.
@@ -61,6 +67,9 @@ class RelationStore {
 
   /// Number of queries currently attached to `name` (0 when absent).
   size_t RefCount(const std::string& name) const;
+
+  /// Declared mutability of `name` (kDynamic when absent).
+  Mutability MutabilityOf(const std::string& name) const;
 
   /// Applies one single-tuple write to `name` (which must exist) and counts
   /// it as a base-storage write.
@@ -85,13 +94,18 @@ class RelationStore {
 
   /// Enters (ctx != nullptr) or leaves versioned mode on every currently
   /// stored relation (the owning catalog re-applies after new attachments).
-  /// Quiesced points only (see Relation::SetEpochContext).
+  /// Static relations are skipped: their contents are constant after
+  /// preprocessing, and an unversioned relation answers epoch reads with
+  /// its current contents (plain-mode nodes are born live at every epoch) —
+  /// so they never grow version chains at all. Quiesced points only (see
+  /// Relation::SetEpochContext).
   void SetEpochContext(const EpochContext* ctx);
 
  private:
   struct Entry {
     std::string name;
     size_t refcount = 0;
+    Mutability mutability = Mutability::kDynamic;
     std::unique_ptr<Relation> relation;
   };
 

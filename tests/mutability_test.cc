@@ -1,0 +1,545 @@
+// Per-relation mutability declarations (static / insert_only / dynamic):
+//   - parse/ToString round-trips of the query-text prefixes, including the
+//     conflicting-declaration rejection;
+//   - structured rejection at every write surface — Engine, QueryCatalog,
+//     ShardedCatalog (K ∈ {1,2,3}), DurableCatalog — with Status::Rejected
+//     for data-plane refusals (static write, insert-only delete) and
+//     Status::Error for structural misuse (unknown relation), plus
+//     whole-batch atomicity: a batch touching a static relation applies
+//     nothing anywhere;
+//   - RegisterQuery refusing a declaration that disagrees with the live
+//     store attachment, with the reason naming both sides;
+//   - differential fuzz: engines with mixed declarations run the same valid
+//     stream (singles and random chunks) as an all-dynamic twin, both
+//     checked against brute force and against each other;
+//   - crash-point recovery fuzz: declarations survive WAL replay and
+//     snapshot restore — the recovered catalog still rejects static writes
+//     and insert-only deletes, and matches a never-crashed reference.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/common/rng.h"
+#include "src/core/durable_catalog.h"
+#include "src/core/engine.h"
+#include "src/core/sharded_catalog.h"
+#include "tests/support/catalog.h"
+#include "tests/support/durability.h"
+#include "tests/support/mirror.h"
+#include "tests/support/seed.h"
+
+namespace ivme {
+namespace {
+
+using testing::DiffLogicalState;
+using testing::MirroredEngine;
+using testing::MustParse;
+using testing::TempDir;
+
+std::vector<std::pair<Tuple, Mult>> SortedEngineResult(const Engine& engine) {
+  std::vector<std::pair<Tuple, Mult>> result;
+  auto it = engine.Enumerate();
+  Tuple t;
+  Mult m = 0;
+  while (it->Next(&t, &m)) result.emplace_back(t, m);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(MutabilityParse, PrefixesRoundTrip) {
+  const auto q = ConjunctiveQuery::Parse("Q(A, C) = static R(A, B), insert_only S(B, C)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->MutabilityOf("R"), Mutability::kStatic);
+  EXPECT_EQ(q->MutabilityOf("S"), Mutability::kInsertOnly);
+
+  const std::string text = q->ToString();
+  EXPECT_NE(text.find("static R("), std::string::npos) << text;
+  EXPECT_NE(text.find("insert_only S("), std::string::npos) << text;
+
+  const auto reparsed = ConjunctiveQuery::Parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->ToString(), text);
+  EXPECT_EQ(reparsed->MutabilityOf("R"), Mutability::kStatic);
+  EXPECT_EQ(reparsed->MutabilityOf("S"), Mutability::kInsertOnly);
+}
+
+TEST(MutabilityParse, DefaultIsDynamicWithNoPrefix) {
+  const auto q = ConjunctiveQuery::Parse("Q(A, C) = R(A, B), S(B, C)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->MutabilityOf("R"), Mutability::kDynamic);
+  EXPECT_EQ(q->MutabilityOf("S"), Mutability::kDynamic);
+  EXPECT_EQ(q->ToString().find("static"), std::string::npos);
+  EXPECT_EQ(q->ToString().find("insert_only"), std::string::npos);
+}
+
+TEST(MutabilityParse, DeclarationCoversRepeatedOccurrences) {
+  // One non-default declaration for a repeated symbol applies to all of its
+  // occurrences; an undeclared occurrence is not a conflict.
+  const auto q = ConjunctiveQuery::Parse("Q(A) = static R(A, B), R(B, C)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->MutabilityOf("R"), Mutability::kStatic);
+}
+
+TEST(MutabilityParse, ConflictingDeclarationsRejected) {
+  EXPECT_FALSE(
+      ConjunctiveQuery::Parse("Q(A) = static R(A, B), insert_only R(B, C)").has_value());
+}
+
+// ------------------------------------------------------- engine rejection
+
+TEST(MutabilityRejection, EngineLayer) {
+  const auto q = MustParse("Q(A, C) = insert_only R(A, B), static S(B, C)");
+  EngineOptions options;
+  options.epsilon = 0.5;
+  Engine engine(q, options);
+  engine.LoadTuple("R", Tuple({1, 2}), 1);
+  engine.LoadTuple("S", Tuple({2, 3}), 1);
+  engine.Preprocess();
+
+  // Static write and insert-only delete: data-plane refusals.
+  Status s = engine.TryApplyUpdate("S", Tuple({7, 8}), 1);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.rejected()) << s.message();
+  s = engine.TryApplyUpdate("R", Tuple({1, 2}), -1);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.rejected()) << s.message();
+
+  // Unknown relation: structural misuse, not a rejection.
+  s = engine.TryApplyUpdate("T", Tuple({1, 2}), 1);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.rejected()) << s.message();
+
+  // Valid inserts still flow; the plain wrapper refuses without aborting.
+  EXPECT_TRUE(engine.TryApplyUpdate("R", Tuple({9, 2}), 1).ok());
+  EXPECT_FALSE(engine.ApplyUpdate("S", Tuple({7, 8}), 1));
+  EXPECT_FALSE(engine.ApplyUpdate("R", Tuple({9, 2}), -1));
+
+  // A batch touching the static relation is refused atomically: no entry
+  // applies, not even the valid ones.
+  const auto before = SortedEngineResult(engine);
+  UpdateBatch batch = {{"R", Tuple({11, 2}), 1}, {"S", Tuple({2, 12}), 1}};
+  Engine::BatchResult result;
+  s = engine.TryApplyBatch(batch, &result);
+  EXPECT_TRUE(s.rejected()) << s.message();
+  EXPECT_EQ(result.applied, 0u);
+  EXPECT_EQ(SortedEngineResult(engine), before);
+  const auto wrapped = engine.ApplyBatch(batch);
+  EXPECT_EQ(wrapped.applied, 0u);
+  EXPECT_EQ(wrapped.rejected, batch.size());
+  EXPECT_EQ(SortedEngineResult(engine), before);
+}
+
+TEST(MutabilityRejection, EngineOptionsOverride) {
+  // Programmatic overrides declare mutability without query-text prefixes.
+  const auto q = MustParse("Q(A, C) = R(A, B), S(B, C)");
+  EngineOptions options;
+  options.epsilon = 0.5;
+  options.mutability = {{"S", Mutability::kStatic}, {"R", Mutability::kInsertOnly}};
+  Engine engine(q, options);
+  engine.LoadTuple("R", Tuple({1, 2}), 1);
+  engine.LoadTuple("S", Tuple({2, 3}), 1);
+  engine.Preprocess();
+  EXPECT_TRUE(engine.TryApplyUpdate("S", Tuple({4, 5}), 1).rejected());
+  EXPECT_TRUE(engine.TryApplyUpdate("R", Tuple({1, 2}), -1).rejected());
+  EXPECT_TRUE(engine.TryApplyUpdate("R", Tuple({6, 7}), 1).ok());
+}
+
+// ------------------------------------------------------ catalog rejection
+
+TEST(MutabilityRejection, QueryCatalogLayer) {
+  QueryCatalog catalog;
+  EngineOptions options;
+  options.epsilon = 0.5;
+  ASSERT_NE(catalog.RegisterQuery("Q", MustParse("Q(A, C) = R(A, B), static S(B, C)"),
+                                  options),
+            nullptr);
+  catalog.LoadTuple("R", Tuple({1, 2}), 1);
+  catalog.LoadTuple("S", Tuple({2, 3}), 1);
+  catalog.Preprocess();
+
+  EXPECT_TRUE(catalog.TryApplyUpdate("S", Tuple({4, 5}), 1).rejected());
+  EXPECT_TRUE(catalog.CheckWritable("S", 1).rejected());
+  EXPECT_FALSE(catalog.ApplyUpdate("S", Tuple({4, 5}), 1));
+  EXPECT_TRUE(catalog.TryApplyUpdate("R", Tuple({5, 2}), 1).ok());
+
+  Update updates[2] = {{"R", Tuple({6, 2}), 1}, {"S", Tuple({2, 7}), 1}};
+  BatchResult result;
+  EXPECT_TRUE(catalog.TryApplyBatch(updates, 2, &result).rejected());
+  EXPECT_EQ(result.applied, 0u);
+  const BatchResult wrapped = catalog.ApplyBatch(updates, 2);
+  EXPECT_EQ(wrapped.applied, 0u);
+  EXPECT_EQ(wrapped.rejected, 2u);
+}
+
+TEST(MutabilityRejection, ShardedCatalogLayerAndConflict) {
+  for (size_t num_shards : {1u, 2u, 3u}) {
+    SCOPED_TRACE("K=" + std::to_string(num_shards));
+    ShardedCatalogOptions catalog_options;
+    catalog_options.num_shards = num_shards;
+    ShardedCatalog catalog(catalog_options);
+    EngineOptions options;
+    options.epsilon = 0.5;
+    std::string why;
+    ASSERT_TRUE(catalog.RegisterQuery("Q", MustParse("Q(A, C) = R(A, B), static S(B, C)"),
+                                      options, &why))
+        << why;
+
+    // A second query disagreeing with the live attachment is refused, and
+    // the reason names both declarations.
+    EXPECT_FALSE(catalog.RegisterQuery("P", MustParse("P(B) = S(B, C)"), options, &why));
+    EXPECT_NE(why.find("static"), std::string::npos) << why;
+    // An agreeing declaration registers fine.
+    ASSERT_TRUE(
+        catalog.RegisterQuery("P", MustParse("P(B) = static S(B, C)"), options, &why))
+        << why;
+
+    catalog.LoadTuple("R", Tuple({1, 2}), 1);
+    catalog.LoadTuple("S", Tuple({2, 3}), 1);
+    catalog.Preprocess();
+
+    EXPECT_TRUE(catalog.TryApplyUpdate("S", Tuple({4, 5}), 1).rejected());
+    EXPECT_FALSE(catalog.ApplyUpdate("S", Tuple({4, 5}), 1));
+    EXPECT_TRUE(catalog.TryApplyUpdate("R", Tuple({5, 2}), 1).ok());
+
+    UpdateBatch batch = {{"R", Tuple({6, 2}), 1}, {"S", Tuple({2, 7}), 1}};
+    BatchResult result;
+    EXPECT_TRUE(catalog.TryApplyBatch(batch, &result).rejected());
+    EXPECT_EQ(result.applied, 0u);
+    const BatchResult wrapped = catalog.ApplyBatch(batch);
+    EXPECT_EQ(wrapped.applied, 0u);
+    EXPECT_EQ(wrapped.rejected, batch.size());
+    std::string error;
+    EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+  }
+}
+
+// ------------------------------------------------------- differential fuzz
+
+const char* Prefix(Mutability m) {
+  switch (m) {
+    case Mutability::kStatic:
+      return "static ";
+    case Mutability::kInsertOnly:
+      return "insert_only ";
+    case Mutability::kDynamic:
+      return "";
+  }
+  return "";
+}
+
+struct FuzzPlan {
+  Mutability r = Mutability::kDynamic;
+  Mutability s = Mutability::kDynamic;
+  std::string declared_text;
+  EngineOptions options;
+};
+
+FuzzPlan DrawPlan(Rng& rng) {
+  const Mutability kinds[] = {Mutability::kDynamic, Mutability::kInsertOnly,
+                              Mutability::kStatic};
+  FuzzPlan plan;
+  plan.r = kinds[rng.Below(3)];
+  plan.s = kinds[rng.Below(3)];
+  plan.declared_text = std::string("Q(A, C) = ") + Prefix(plan.r) + "R(A, B), " +
+                       Prefix(plan.s) + "S(B, C)";
+  plan.options.epsilon = std::vector<double>{0.0, 0.5, 1.0}[rng.Below(3)];
+  plan.options.mode = EvalMode::kDynamic;
+  plan.options.rebalance_mode =
+      rng.Chance(0.5) ? RebalanceMode::kIncremental : RebalanceMode::kAmortized;
+  return plan;
+}
+
+Tuple DrawTuple(Rng& rng, Value domain) {
+  return Tuple({static_cast<Value>(rng.Below(static_cast<uint64_t>(domain))),
+                static_cast<Value>(rng.Below(static_cast<uint64_t>(domain)))});
+}
+
+/// A random valid update against the declarations: inserts everywhere
+/// writable, deletes only of live tuples of fully-dynamic relations (each
+/// live entry is consumed when drawn, so a stream built from this is valid
+/// in any chunking — in-batch insert/delete pairs net to zero, never below).
+struct StreamState {
+  std::vector<std::pair<std::string, Tuple>> live_dynamic;
+};
+
+ivme::Update DrawUpdate(Rng& rng, const FuzzPlan& plan, Value domain, StreamState& state) {
+  std::vector<std::pair<std::string, Mutability>> writable;
+  if (plan.r != Mutability::kStatic) writable.emplace_back("R", plan.r);
+  if (plan.s != Mutability::kStatic) writable.emplace_back("S", plan.s);
+  const auto& [relation, mutability] = writable[rng.Below(writable.size())];
+  if (mutability == Mutability::kDynamic && !state.live_dynamic.empty() &&
+      rng.Chance(0.35)) {
+    const size_t pick = rng.Below(state.live_dynamic.size());
+    ivme::Update u{state.live_dynamic[pick].first, state.live_dynamic[pick].second, -1};
+    state.live_dynamic[pick] = state.live_dynamic.back();
+    state.live_dynamic.pop_back();
+    return u;
+  }
+  ivme::Update u{relation, DrawTuple(rng, domain), 1};
+  if (mutability == Mutability::kDynamic) state.live_dynamic.emplace_back(u.relation, u.tuple);
+  return u;
+}
+
+void RunEngineFuzz(uint64_t seed) {
+  Rng rng(seed);
+  const FuzzPlan plan = DrawPlan(rng);
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " query=" + plan.declared_text);
+
+  MirroredEngine declared(plan.declared_text, plan.options);
+  MirroredEngine all_dynamic("Q(A, C) = R(A, B), S(B, C)", plan.options);
+
+  const Value domain = 2 + static_cast<Value>(rng.Below(6));
+  for (int i = static_cast<int>(rng.Below(40)); i > 0; --i) {
+    const std::string relation = rng.Chance(0.5) ? "R" : "S";
+    const Tuple t = DrawTuple(rng, domain);
+    declared.Load(relation, t, 1);
+    all_dynamic.Load(relation, t, 1);
+  }
+  declared.Preprocess();
+  all_dynamic.Preprocess();
+
+  if (plan.r == Mutability::kStatic && plan.s == Mutability::kStatic) {
+    // Fully static query: nothing is writable; the preprocessed state is
+    // the whole story.
+    EXPECT_EQ(declared.FullCheck(), "");
+    EXPECT_EQ(SortedEngineResult(declared.engine()),
+              SortedEngineResult(all_dynamic.engine()));
+    return;
+  }
+
+  StreamState state;
+  for (int step = 0; step < 50; ++step) {
+    if (rng.Chance(0.4)) {
+      UpdateBatch batch;
+      const size_t size = 1 + rng.Below(8);
+      for (size_t i = 0; i < size; ++i) {
+        batch.push_back(DrawUpdate(rng, plan, domain, state));
+      }
+      declared.UpdateBatch(batch);
+      all_dynamic.UpdateBatch(batch);
+    } else {
+      const ivme::Update u = DrawUpdate(rng, plan, domain, state);
+      EXPECT_TRUE(declared.Update(u.relation, u.tuple, u.mult));
+      EXPECT_TRUE(all_dynamic.Update(u.relation, u.tuple, u.mult));
+    }
+    if (step % 10 == 9) {
+      ASSERT_EQ(declared.FullCheck(), "") << "step " << step;
+    }
+  }
+  EXPECT_EQ(declared.FullCheck(), "");
+  EXPECT_EQ(all_dynamic.FullCheck(), "");
+  EXPECT_EQ(SortedEngineResult(declared.engine()), SortedEngineResult(all_dynamic.engine()));
+}
+
+class MutabilityFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutabilityFuzzTest, DeclaredMatchesAllDynamic) {
+  for (uint64_t scenario = 0; scenario < 3; ++scenario) {
+    RunEngineFuzz(testing::SeedBase(0x3C0DE000ull) +
+                  1000 * static_cast<uint64_t>(GetParam()) + scenario);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutabilityFuzzTest, ::testing::Range(0, 15));
+
+void RunShardedFuzz(uint64_t seed) {
+  Rng rng(seed);
+  const FuzzPlan plan = DrawPlan(rng);
+  const size_t num_shards = 1 + rng.Below(3);
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " K=" + std::to_string(num_shards) +
+               " query=" + plan.declared_text);
+
+  ShardedCatalogOptions catalog_options;
+  catalog_options.num_shards = num_shards;
+  ShardedCatalog declared(catalog_options);
+  ShardedCatalog all_dynamic(catalog_options);
+  std::string why;
+  ASSERT_TRUE(
+      declared.RegisterQuery("Q", MustParse(plan.declared_text), plan.options, &why))
+      << why;
+  ASSERT_TRUE(all_dynamic.RegisterQuery("Q", MustParse("Q(A, C) = R(A, B), S(B, C)"),
+                                        plan.options, &why))
+      << why;
+
+  const Value domain = 2 + static_cast<Value>(rng.Below(6));
+  for (int i = static_cast<int>(rng.Below(40)); i > 0; --i) {
+    const std::string relation = rng.Chance(0.5) ? "R" : "S";
+    const Tuple t = DrawTuple(rng, domain);
+    declared.LoadTuple(relation, t, 1);
+    all_dynamic.LoadTuple(relation, t, 1);
+  }
+  declared.Preprocess();
+  all_dynamic.Preprocess();
+
+  if (plan.r == Mutability::kStatic && plan.s == Mutability::kStatic) {
+    EXPECT_EQ(DiffLogicalState(declared, all_dynamic), "");
+    return;
+  }
+
+  StreamState state;
+  for (int step = 0; step < 40; ++step) {
+    if (rng.Chance(0.4)) {
+      UpdateBatch batch;
+      const size_t size = 1 + rng.Below(8);
+      for (size_t i = 0; i < size; ++i) {
+        batch.push_back(DrawUpdate(rng, plan, domain, state));
+      }
+      const BatchResult a = declared.ApplyBatch(batch);
+      const BatchResult b = all_dynamic.ApplyBatch(batch);
+      EXPECT_EQ(a.applied, b.applied);
+      EXPECT_EQ(a.rejected, 0u);
+    } else {
+      const ivme::Update u = DrawUpdate(rng, plan, domain, state);
+      EXPECT_TRUE(declared.ApplyUpdate(u.relation, u.tuple, u.mult));
+      EXPECT_TRUE(all_dynamic.ApplyUpdate(u.relation, u.tuple, u.mult));
+    }
+  }
+  EXPECT_EQ(DiffLogicalState(declared, all_dynamic), "");
+  std::string error;
+  EXPECT_TRUE(declared.CheckInvariants(&error)) << error;
+}
+
+class MutabilityShardedFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutabilityShardedFuzzTest, DeclaredMatchesAllDynamic) {
+  for (uint64_t scenario = 0; scenario < 2; ++scenario) {
+    RunShardedFuzz(testing::SeedBase(0x3C0DE100ull) +
+                   1000 * static_cast<uint64_t>(GetParam()) + scenario);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutabilityShardedFuzzTest, ::testing::Range(0, 10));
+
+// --------------------------------------------------- durability & recovery
+
+/// The recovered catalog must still enforce the declarations — the spec
+/// text round-trips through the WAL (kRegister payload) and snapshots.
+void ExpectDeclarationsEnforced(DurableCatalog& catalog) {
+  EXPECT_TRUE(catalog.TryApplyUpdate("S", Tuple({1, 2}), 1).rejected());
+  EXPECT_TRUE(catalog.TryApplyUpdate("R", Tuple({1, 2}), -1).rejected());
+  UpdateBatch batch = {{"R", Tuple({3, 4}), 1}, {"S", Tuple({4, 5}), 1}};
+  BatchResult result;
+  EXPECT_TRUE(catalog.TryApplyBatch(batch, &result).rejected());
+  EXPECT_EQ(result.applied, 0u);
+}
+
+void RunRecoveryScenario(uint64_t seed) {
+  Rng rng(seed);
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+
+  FaultInjector injector;
+  FaultInjector reference_injector;  // never armed
+  DurabilityOptions durability;
+  durability.fsync = FsyncPolicy::kBatch;
+  durability.background_checkpoint = false;
+  durability.injector = &injector;
+  DurabilityOptions reference_options;
+  reference_options.injector = &reference_injector;
+  ShardedCatalogOptions catalog_options;
+  catalog_options.num_shards = 1 + rng.Below(3);
+
+  auto durable = std::make_unique<DurableCatalog>(catalog_options, durability);
+  DurableCatalog reference(catalog_options, reference_options);
+
+  EngineOptions options;
+  options.epsilon = std::vector<double>{0.0, 0.5, 1.0}[rng.Below(3)];
+  options.mode = EvalMode::kDynamic;
+  std::string why;
+  const auto q = MustParse("Q(A, C) = insert_only R(A, B), static S(B, C)");
+  ASSERT_TRUE(durable->RegisterQuery("Q", q, options, &why)) << why;
+  ASSERT_TRUE(reference.RegisterQuery("Q", q, options, &why)) << why;
+  const Value domain = 2 + static_cast<Value>(rng.Below(5));
+  for (int i = static_cast<int>(rng.Below(25)); i > 0; --i) {
+    const std::string rel = rng.Chance(0.5) ? "R" : "S";
+    const Tuple t = DrawTuple(rng, domain);
+    ASSERT_TRUE(durable->TryLoadTuple(rel, t, 1).ok());
+    ASSERT_TRUE(reference.TryLoadTuple(rel, t, 1).ok());
+  }
+  durable->Preprocess();
+  reference.Preprocess();
+  ASSERT_TRUE(durable->AttachDir(dir.path()).ok());
+
+  // One crash point over a stream of valid inserts plus rejected attempts.
+  // Rejections are refused before the WAL append, so they never consume a
+  // crash hit and never appear in the reference.
+  const char* const points[] = {"wal:before_append", "wal:append_torn", "wal:before_sync",
+                                "catalog:after_wal_append", "catalog:after_apply"};
+  const std::string point = points[rng.Below(5)];
+  injector.Reset();
+  injector.Arm(point, 1 + rng.Below(15));
+  const bool in_flight_durable =
+      point == "wal:before_sync" || point == "catalog:after_wal_append" ||
+      point == "catalog:after_apply";
+
+  for (int step = 0; step < 30 && !injector.crashed(); ++step) {
+    if (rng.Chance(0.2)) {
+      // A rejected write (static insert or insert-only delete): refused up
+      // front, so it produces no WAL traffic and consumes no crash hit.
+      const bool was_crashed = injector.crashed();
+      const Status refused =
+          rng.Chance(0.5) ? durable->TryApplyUpdate("S", DrawTuple(rng, domain), 1)
+                          : durable->TryApplyUpdate("R", DrawTuple(rng, domain), -1);
+      EXPECT_TRUE(refused.rejected()) << "step " << step << ": " << refused.message();
+      EXPECT_EQ(injector.crashed(), was_crashed);
+      continue;
+    }
+    const Tuple t = DrawTuple(rng, domain);
+    (void)durable->ApplyUpdate("R", t, 1);
+    if (!injector.crashed() || in_flight_durable) {
+      (void)reference.ApplyUpdate("R", t, 1);
+    }
+  }
+  const std::string fired = injector.crash_point();
+  durable.reset();  // the process "dies"; suppressed writes stay suppressed
+
+  FaultInjector recovery_injector;
+  DurabilityOptions recovery_options = durability;
+  recovery_options.injector = &recovery_injector;
+  Status status;
+  auto recovered =
+      DurableCatalog::Open(dir.path(), ShardedCatalogOptions(), recovery_options, &status);
+  ASSERT_NE(recovered, nullptr) << "point=" << fired << ": " << status.message();
+
+  EXPECT_EQ(DiffLogicalState(recovered->catalog(), reference.catalog()), "")
+      << "point=" << fired;
+  // WAL replay rebuilt the query from its spec text: the declarations and
+  // their enforcement came back with it.
+  ExpectDeclarationsEnforced(*recovered);
+  ASSERT_TRUE(recovered->ApplyUpdate("R", Tuple({1, 1}), 1));
+  ASSERT_TRUE(reference.ApplyUpdate("R", Tuple({1, 1}), 1));
+
+  // Snapshot restore: checkpoint, reopen, same enforcement.
+  ASSERT_TRUE(recovered->Checkpoint().ok());
+  recovered.reset();
+  auto reopened =
+      DurableCatalog::Open(dir.path(), ShardedCatalogOptions(), recovery_options, &status);
+  ASSERT_NE(reopened, nullptr) << status.message();
+  EXPECT_EQ(DiffLogicalState(reopened->catalog(), reference.catalog()), "")
+      << "point=" << fired << " (post-checkpoint)";
+  ExpectDeclarationsEnforced(*reopened);
+  std::string error;
+  EXPECT_TRUE(reopened->catalog().CheckInvariants(&error)) << error;
+}
+
+class MutabilityRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutabilityRecoveryTest, DeclarationsSurviveCrashes) {
+  for (uint64_t scenario = 0; scenario < 2; ++scenario) {
+    SCOPED_TRACE("scenario " + std::to_string(scenario));
+    RunRecoveryScenario(testing::SeedBase(0x3C0DE200ull) +
+                        1000 * static_cast<uint64_t>(GetParam()) + scenario);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutabilityRecoveryTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace ivme

@@ -19,7 +19,13 @@
 //   batch end         apply the buffered updates as one consolidated batch
 //   batch abort       drop the buffered updates
 //   register N Q(..)  register query Q under name N (preprocesses from the
-//                     live store; with shards > 1 it must route consistently)
+//                     live store; with shards > 1 it must route consistently).
+//                     Atoms may carry mutability prefixes — e.g.
+//                     `register J Q(A,C) = R(A,B), static S(B,C)` — declaring
+//                     the relation static (never updated after preprocessing)
+//                     or insert_only (never deleted from); declarations are
+//                     sticky per relation and later writes that violate them
+//                     are rejected with the reason printed
 //   drop N            unregister query N (the store keeps its relations)
 //   use N             make N the target of ?, count, widths, trees
 //   queries           list registered queries (the active one is starred)
@@ -115,9 +121,12 @@ void PrintStats(const Shell& shell) {
       const Relation* stored = catalog.shard(s).store().Find(relation);
       if (stored != nullptr) size += stored->size();
     }
-    std::printf(" %s=%s(x%zu)", relation.c_str(),
+    const Mutability mutability = catalog.shard(0).store().MutabilityOf(relation);
+    std::printf(" %s=%s(x%zu%s%s)", relation.c_str(),
                 WithThousands(static_cast<long long>(size)).c_str(),
-                catalog.shard(0).store().RefCount(relation));
+                catalog.shard(0).store().RefCount(relation),
+                mutability == Mutability::kDynamic ? "" : ",",
+                mutability == Mutability::kDynamic ? "" : MutabilityName(mutability));
   }
   std::printf("\n");
   // Ingest tail latency as the caller of this layer experiences it
@@ -382,9 +391,15 @@ int main(int argc, char** argv) {
         pending.clear();
         std::printf("batch open; +/- commands buffer until 'batch end'\n");
       } else if (sub == "end" && batching) {
-        const auto result = shell.durable->ApplyBatch(pending);
-        std::printf("applied %zu updates as %zu net entries (%zu rejected) (store=%zu)\n",
-                    pending.size(), result.applied, result.rejected, shell.cat().store_size());
+        BatchResult result;
+        const Status status = shell.durable->TryApplyBatch(pending, &result);
+        if (!status.ok()) {
+          std::printf("! batch refused: %s\n", status.message().c_str());
+        } else {
+          std::printf("applied %zu updates as %zu net entries (%zu rejected) (store=%zu)\n",
+                      pending.size(), result.applied, result.rejected,
+                      shell.cat().store_size());
+        }
         batching = false;
         pending.clear();
       } else if (sub == "abort" && batching) {
@@ -423,9 +438,12 @@ int main(int argc, char** argv) {
         std::printf("buffered (%zu pending)\n", pending.size());
         continue;
       }
-      const bool ok = shell.durable->ApplyUpdate(rel, Tuple(std::move(values)), mult);
-      std::printf(ok ? "ok (store=%zu)\n" : "rejected (delete below zero) (store=%zu)\n",
-                  shell.cat().store_size());
+      const Status status = shell.durable->TryApplyUpdate(rel, Tuple(std::move(values)), mult);
+      if (status.ok()) {
+        std::printf("ok (store=%zu)\n", shell.cat().store_size());
+      } else {
+        std::printf("! rejected: %s\n", status.message().c_str());
+      }
     } else if (cmd == "?") {
       if (shell.active.empty()) {
         std::printf("! no registered queries\n");
