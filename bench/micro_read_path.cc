@@ -1,0 +1,286 @@
+// Read-path micro-benchmark: quiescent fast lanes vs the always-versioned
+// snapshot path, and parallel snapshot enumeration across shard counts
+// (ARCHITECTURE.md §11).
+//
+// Part 1 — lanes (K = 1, free-root Q(A,B,C) = R(A,B), S(B,C)):
+//   direct     serving disabled; Enumerate() resolves ReadMode::kDirect and
+//              reads live heads with no visibility checks at all.
+//   fast_pin   serving enabled, catalog quiescent (no pins below the
+//              published epoch, all retire logs empty): a pin at the
+//              published epoch resolves ReadMode::kFastPin.
+//   versioned  a stalled pin holds epoch P while delete/reinsert churn runs
+//              on top, leaving real zombies and version records; the drain
+//              at P resolves ReadMode::kVersioned and pays per-entry
+//              visibility checks. Content at P equals the quiescent content
+//              (the churn is net-zero), so all three rows drain the same
+//              logical result — the delta is pure lane overhead.
+//   fast_pin and versioned samples interleave round-by-round in one binary
+//   so drift cannot masquerade as a lane effect; read-lane counters verify
+//   each sample took the lane it claims to measure.
+//
+// Part 2 — parallel drains (K ∈ {1, 2, 4}, num_threads = K): full drains of
+// the same data via DrainMode::kLazy vs DrainMode::kParallel.
+//
+// Shape checks:
+//   1. fast_pin throughput ≥ 1.2× versioned (enforced without --smoke), and
+//   2. parallel K=4 throughput ≥ 1.5× K=1 (enforced only on ≥ 4 hardware
+//      threads — a single-core host timeshares the shard drains).
+//
+//   ./build/micro_read_path [--smoke] [--seed N]
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/counters.h"
+#include "src/common/rng.h"
+#include "src/core/sharded_catalog.h"
+
+using namespace ivme;
+
+namespace {
+
+struct Config {
+  size_t base_tuples = 20000;  // per relation
+  /// Delete/reinsert targets per churn cycle. Defaults to the whole of R:
+  /// at the pinned epoch every entry then carries a version chain and every
+  /// reinserted generation is a zombie the versioned lane must skip — the
+  /// workload the lane split exists for.
+  size_t churn_tuples = 20000;
+  size_t churn_cycles = 5;        // zombie generations under the stalled pin
+  size_t rounds = 6;              // interleaved fast/versioned sample pairs
+  size_t drains_per_sample = 4;   // consecutive drains per lane sample
+  size_t drain_iters = 3;         // full drains per parallel sample
+};
+
+/// Sparse join (join-key degree ~ 1): the result has about one row per
+/// stored entry, so per-entry visibility work is per-row and the lane
+/// split is what the drain actually measures. A high-degree join would
+/// amortize the per-entry checks over many output rows and hide the lanes
+/// behind tuple materialization.
+void LoadBase(ShardedCatalog* catalog, const Config& config, uint64_t seed,
+              std::vector<Tuple>* churn_targets) {
+  Rng rng(seed);
+  const size_t domain = config.base_tuples;
+  for (size_t i = 0; i < config.base_tuples; ++i) {
+    const Tuple r{rng.Range(0, 4000000), static_cast<Value>(rng.Below(domain))};
+    catalog->LoadTuple("R", r, 1);
+    catalog->LoadTuple("S", Tuple{static_cast<Value>(rng.Below(domain)), rng.Range(0, 4000000)},
+                       1);
+    if (churn_targets != nullptr && churn_targets->size() < config.churn_tuples) {
+      churn_targets->push_back(r);
+    }
+  }
+}
+
+void RegisterJoin(ShardedCatalog* catalog) {
+  EngineOptions engine;
+  engine.epsilon = 0.5;
+  engine.mode = EvalMode::kDynamic;
+  engine.rebalance_mode = RebalanceMode::kIncremental;
+  std::string why;
+  const auto q = ConjunctiveQuery::Parse("Q(A, B, C) = R(A, B), S(B, C)");
+  IVME_CHECK(q.has_value());
+  IVME_CHECK_MSG(catalog->RegisterQuery("join", *q, engine, &why), why);
+}
+
+size_t Drain(MergedEnumerator* it) {
+  RowBuffer rows;
+  size_t total = 0;
+  for (;;) {
+    rows.Clear();
+    const size_t got = it->FillBatch(&rows, 1024);
+    total += got;
+    if (got < 1024) break;
+  }
+  return total;
+}
+
+struct LaneSample {
+  double seconds = 0;
+  size_t rows = 0;
+  size_t drains = 0;
+  double RowsPerSec() const { return static_cast<double>(rows) / seconds; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  const bool smoke = bench::SmokeFromArgs(argc, argv);
+  const uint64_t seed = bench::SeedFromArgs(argc, argv, 7);
+  if (smoke) {
+    config.base_tuples = 2000;
+    config.churn_tuples = 2000;
+    config.rounds = 2;
+    config.drains_per_sample = 2;
+    config.drain_iters = 2;
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  bench::JsonReporter json("micro_read_path");
+  json.SetSeed(seed);
+  std::printf("read path, Q(A,B,C) = R(A,B), S(B,C); N0=%zu per relation, churn %zu x %zu, "
+              "%zu rounds, %u hardware threads\n",
+              config.base_tuples, config.churn_tuples, config.churn_cycles, config.rounds,
+              cores);
+  bench::PrintRule();
+
+  // --- Part 1: read lanes, K = 1 ------------------------------------------
+  LaneSample direct, fast_pin, versioned;
+  {
+    ShardedCatalogOptions options;
+    options.num_shards = 1;
+    ShardedCatalog catalog(options);
+    RegisterJoin(&catalog);
+    std::vector<Tuple> churn;
+    LoadBase(&catalog, config, seed, &churn);
+    catalog.Preprocess();
+
+    // Serving disabled: ReadMode::kDirect.
+    ResetCounters();
+    for (size_t i = 0; i < config.rounds * config.drains_per_sample; ++i) {
+      bench::Timer one;
+      auto it = catalog.Enumerate("join");
+      direct.rows += Drain(it.get());
+      direct.seconds += one.Seconds();
+      ++direct.drains;
+    }
+    IVME_CHECK_MSG(AggregateCounters().read_fast_lane == config.rounds * config.drains_per_sample,
+                   "direct drains did not take the fast lane");
+
+    catalog.EnableServing();
+    // Two idle boundaries converge fast_epoch to the published epoch
+    // (retires move pending → limbo → free across two boundaries).
+    catalog.ApplyBatch(UpdateBatch{});
+    catalog.ApplyBatch(UpdateBatch{});
+
+    const size_t baseline_rows = direct.rows / direct.drains;
+    for (size_t round = 0; round < config.rounds; ++round) {
+      // Fast lane: pin the published epoch of a quiescent catalog.
+      ResetCounters();
+      {
+        ReadSnapshot snapshot = catalog.AcquireSnapshot();
+        for (size_t d = 0; d < config.drains_per_sample; ++d) {
+          bench::Timer one;
+          auto it = catalog.EnumerateAt("join", snapshot.epoch());
+          const size_t rows = Drain(it.get());
+          fast_pin.seconds += one.Seconds();
+          fast_pin.rows += rows;
+          ++fast_pin.drains;
+          IVME_CHECK_MSG(rows == baseline_rows, "fast-lane drain lost rows");
+        }
+      }
+      IVME_CHECK_MSG(AggregateCounters().read_fast_lane == config.drains_per_sample,
+                     "quiescent pinned drain did not take the fast lane");
+
+      // Versioned lane: stall a pin at P, churn net-zero delete/reinsert
+      // cycles on top (real zombies + version records), then drain at P.
+      ReadSnapshot stalled = catalog.AcquireSnapshot();
+      const Epoch pinned = stalled.epoch();
+      for (size_t cycle = 0; cycle < config.churn_cycles; ++cycle) {
+        UpdateBatch deletes, reinserts;
+        for (const Tuple& t : churn) deletes.push_back(Update{"R", t, -1});
+        for (const Tuple& t : churn) reinserts.push_back(Update{"R", t, 1});
+        catalog.ApplyBatch(deletes);
+        catalog.ApplyBatch(reinserts);
+      }
+      ResetCounters();
+      for (size_t d = 0; d < config.drains_per_sample; ++d) {
+        bench::Timer one;
+        auto it = catalog.EnumerateAt("join", pinned);
+        const size_t rows = Drain(it.get());
+        versioned.seconds += one.Seconds();
+        versioned.rows += rows;
+        ++versioned.drains;
+        IVME_CHECK_MSG(rows == baseline_rows, "versioned drain at the pinned epoch lost rows");
+      }
+      IVME_CHECK_MSG(AggregateCounters().read_versioned == config.drains_per_sample,
+                     "churned pinned drain did not take the versioned lane");
+      stalled.Release();
+      catalog.ApplyBatch(UpdateBatch{});
+      catalog.ApplyBatch(UpdateBatch{});  // flatten: next round is fast again
+    }
+    IVME_CHECK_MSG(catalog.RetiredObjects() == 0, "retired objects leaked");
+  }
+
+  std::printf("%-12s %10s %14s %14s %12s\n", "lane", "drains", "rows/drain", "ms/drain",
+              "rows/s");
+  bench::PrintRule();
+  const double fast_vs_versioned = fast_pin.RowsPerSec() / versioned.RowsPerSec();
+  const std::pair<const char*, const LaneSample*> lanes[] = {
+      {"direct", &direct}, {"fast_pin", &fast_pin}, {"versioned", &versioned}};
+  for (const auto& [name, sample] : lanes) {
+    std::printf("%-12s %10zu %14zu %14.2f %12.0f\n", name, sample->drains,
+                sample->rows / sample->drains,
+                sample->seconds * 1e3 / static_cast<double>(sample->drains),
+                sample->RowsPerSec());
+    json.Add(std::string("lane/") + name,
+             {{"hardware_threads", static_cast<double>(cores)},
+              {"drains", static_cast<double>(sample->drains)},
+              {"rows_per_drain", static_cast<double>(sample->rows / sample->drains)},
+              {"rows_per_sec", sample->RowsPerSec()}});
+  }
+  bench::PrintRule();
+  std::printf("fast_pin vs versioned: %.2fx\n\n", fast_vs_versioned);
+
+  // --- Part 2: parallel drains, K in {1, 2, 4} -----------------------------
+  std::printf("%-6s %-10s %10s %14s %12s\n", "K", "mode", "drains", "ms/drain", "rows/s");
+  bench::PrintRule();
+  double k1_parallel = 0, k4_parallel = 0;
+  size_t reference_rows = 0;
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    ShardedCatalogOptions options;
+    options.num_shards = shards;
+    options.num_threads = shards;  // force a pool even on a single-core host
+    ShardedCatalog catalog(options);
+    RegisterJoin(&catalog);
+    LoadBase(&catalog, config, seed, nullptr);
+    catalog.Preprocess();
+    for (const DrainMode mode : {DrainMode::kLazy, DrainMode::kParallel}) {
+      const char* mode_name = mode == DrainMode::kLazy ? "lazy" : "parallel";
+      size_t rows = 0;
+      Drain(catalog.Enumerate("join", mode).get());  // warm-up
+      bench::Timer timer;
+      for (size_t i = 0; i < config.drain_iters; ++i) {
+        rows += Drain(catalog.Enumerate("join", mode).get());
+      }
+      const double seconds = timer.Seconds();
+      const double rate = static_cast<double>(rows) / seconds;
+      if (reference_rows == 0) reference_rows = rows / config.drain_iters;
+      IVME_CHECK_MSG(rows / config.drain_iters == reference_rows,
+                     "shard count changed the drained row count");
+      if (mode == DrainMode::kParallel) {
+        if (shards == 1) k1_parallel = rate;
+        if (shards == 4) k4_parallel = rate;
+      }
+      std::printf("%-6zu %-10s %10zu %14.2f %12.0f\n", shards, mode_name, config.drain_iters,
+                  seconds * 1e3 / static_cast<double>(config.drain_iters), rate);
+      json.Add("parallel/K" + std::to_string(shards) + "/" + mode_name,
+               {{"shards", static_cast<double>(shards)},
+                {"hardware_threads", static_cast<double>(cores)},
+                {"rows_per_drain", static_cast<double>(rows / config.drain_iters)},
+                {"rows_per_sec", rate}});
+    }
+  }
+  bench::PrintRule();
+
+  const bool fast_ok = fast_vs_versioned >= 1.2;
+  const bool parallel_ok = k4_parallel >= 1.5 * k1_parallel;
+  const bool enforce_parallel = !smoke && cores >= 4;
+  const char* fast_qualifier = smoke ? " (advisory under --smoke)" : "";
+  const char* parallel_qualifier =
+      smoke ? " (advisory under --smoke)" : (cores < 4 ? " (advisory: < 4 cores)" : "");
+  std::printf("shape check (fast_pin >= 1.2x versioned): %s%s\n", bench::Verdict(fast_ok),
+              fast_qualifier);
+  std::printf("shape check (parallel K=4 >= 1.5x K=1): %s%s\n", bench::Verdict(parallel_ok),
+              parallel_qualifier);
+  json.Add("shape", {{"fast_vs_versioned", fast_vs_versioned},
+                     {"parallel_k4_vs_k1", k4_parallel / k1_parallel},
+                     {"hardware_threads", static_cast<double>(cores)},
+                     {"fast_ok", fast_ok ? 1.0 : 0.0},
+                     {"parallel_ok", parallel_ok ? 1.0 : 0.0}});
+  const bool pass = (fast_ok || smoke) && (parallel_ok || !enforce_parallel);
+  return pass ? 0 : 1;
+}

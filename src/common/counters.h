@@ -39,11 +39,27 @@ struct CostCounters {
   /// mirror occurrences — is not counted here).
   uint64_t base_writes = 0;
 
+  /// Read sessions opened (one per ResultEnumerator / grounded lookup
+  /// session). Every read lands in exactly one of the two lane counters
+  /// below, so reads == read_fast_lane + read_versioned.
+  uint64_t reads = 0;
+
+  /// Read sessions that resolved a fast lane (ReadMode::kDirect or
+  /// kFastPin): version-chain walks and zombie filters skipped.
+  uint64_t read_fast_lane = 0;
+
+  /// Read sessions that ran the full snapshot filtering path
+  /// (ReadMode::kVersioned).
+  uint64_t read_versioned = 0;
+
   CostCounters& operator+=(const CostCounters& other) {
     materialize_steps += other.materialize_steps;
     delta_steps += other.delta_steps;
     enum_steps += other.enum_steps;
     base_writes += other.base_writes;
+    reads += other.reads;
+    read_fast_lane += other.read_fast_lane;
+    read_versioned += other.read_versioned;
     return *this;
   }
 };

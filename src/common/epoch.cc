@@ -8,7 +8,7 @@ namespace ivme {
 
 Epoch EpochManager::Pin() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !exclusive_; });
+  cv_.wait(lock, [this] { return !exclusive_ && !disabled_; });
   // Read published under the lock so BeginExclusive's drain-wait cannot
   // miss a pin that raced with it.
   const Epoch e = published_.load(std::memory_order_acquire);
@@ -67,6 +67,36 @@ void EpochManager::EndExclusive() {
     exclusive_ = false;
   }
   cv_.notify_all();
+}
+
+void EpochManager::Disable() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !exclusive_; });
+  disabled_ = true;
+  cv_.wait(lock, [this] { return pins_.empty(); });
+}
+
+void EpochManager::Enable() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    disabled_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool EpochManager::disabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disabled_;
+}
+
+bool EpochManager::TryPin(Epoch* epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !exclusive_; });
+  if (disabled_) return false;
+  const Epoch e = published_.load(std::memory_order_acquire);
+  ++pins_[e];
+  *epoch = e;
+  return true;
 }
 
 void RetireLog::Retire(Epoch death, Action unlink, Action free_fn, void* owner,

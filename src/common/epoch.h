@@ -88,12 +88,26 @@ class EpochManager {
   void BeginExclusive();
   void EndExclusive();
 
+  /// Serving shutdown gate (DisableServing). Disable() refuses all future
+  /// pins and waits for the active ones to drain; Enable() re-admits them.
+  /// Unlike BeginExclusive, the disabled state is permanent until Enable():
+  /// readers switch to TryPin and take the unversioned path when refused.
+  void Disable();
+  void Enable();
+  bool disabled() const;
+
+  /// Pin unless serving is disabled. Returns false (no pin taken) when
+  /// disabled; the check happens under the pin mutex, so a successful
+  /// TryPin is always observed by a subsequent Disable()'s drain-wait.
+  bool TryPin(Epoch* epoch);
+
  private:
   std::atomic<Epoch> published_{0};
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<Epoch, size_t> pins_;  // epoch -> pin count
   bool exclusive_ = false;
+  bool disabled_ = false;
 };
 
 /// RAII reader pin. Default-constructed = unpinned live access.
@@ -121,6 +135,21 @@ class ReadSnapshot {
   }
   ReadSnapshot(const ReadSnapshot&) = delete;
   ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+
+  /// Pins unless serving is disabled (EpochManager::TryPin); returns an
+  /// unpinned snapshot (pinned() == false, epoch() == kLiveEpoch) when
+  /// refused. The caller may then read the live state directly ONLY if it
+  /// knows no writer can run concurrently (it is the writer, or the
+  /// application quiesced) — a refused pin carries no protection.
+  static ReadSnapshot TryAcquire(EpochManager* manager) {
+    ReadSnapshot snapshot;
+    Epoch epoch = kLiveEpoch;
+    if (manager->TryPin(&epoch)) {
+      snapshot.manager_ = manager;
+      snapshot.epoch_ = epoch;
+    }
+    return snapshot;
+  }
 
   /// The pinned epoch, or kLiveEpoch when default-constructed.
   Epoch epoch() const { return epoch_; }
@@ -208,12 +237,72 @@ struct EpochContext {
   RetireLog* log = nullptr;
   const std::atomic<Epoch>* published = nullptr;
 
+  /// Quiescence signal maintained by the serving facade: equals the
+  /// published epoch P when, at the last batch boundary, no reader pinned
+  /// below P and every retire log was empty (so no zombie node, dead index
+  /// link, or multiplicity-version chain is reachable anywhere); kLiveEpoch
+  /// otherwise. Readers pinned at exactly this epoch may skip version
+  /// filtering (ReadMode::kFastPin). Null when the facade predates fast
+  /// lanes or never serves.
+  const std::atomic<Epoch>* fast_epoch = nullptr;
+
   /// The epoch currently being built by the writer. Relaxed: only the
   /// writer itself calls this.
   Epoch working() const {
     return published->load(std::memory_order_relaxed) + 1;
   }
 };
+
+/// How a cursor/lookup session filters node visibility. Resolved ONCE per
+/// enumerator/cursor acquisition, not per node — the whole point of the
+/// fast lanes is to hoist the versioning branches out of the inner loop.
+enum class ReadMode : uint8_t {
+  /// Unversioned storage (no EpochContext): every node present is live,
+  /// multiplicities are plain loads. Zero filtering.
+  kDirect,
+  /// Versioned storage, reader pinned at the quiescent published epoch
+  /// (EpochContext::fast_epoch == pin): no zombies or version chains exist
+  /// at or below the pin, so visibility is a single plain `birth <= e`
+  /// compare and multiplicities take the seqlock fast path unconditionally.
+  kFastPin,
+  /// Full snapshot filtering: birth/death window checks plus multiplicity
+  /// version-chain walks (the PR 7 path).
+  kVersioned,
+};
+
+/// A resolved read session: the snapshot epoch plus the filtering mode
+/// every probe under this session uses. Copied by value into cursors.
+struct ReadView {
+  Epoch epoch = kLiveEpoch;
+  ReadMode mode = ReadMode::kDirect;
+};
+
+/// Resolves the cheapest sound ReadView for a read at `epoch` against
+/// storage attached to `ctx` (null = unversioned storage).
+///
+/// Soundness of kFastPin under a concurrent writer building P+1: the
+/// fast_epoch value was set to P at the last batch boundary, when no
+/// version history or zombie existed at any epoch ≤ P. A concurrent batch
+/// only creates nodes with birth = P+1 > e (hidden by the birth check) and
+/// zombies with death = P+1 > e (still visible — correct, they were live at
+/// P). Multiplicity writes for P+1 push a closed version first and bump
+/// last_touch to P+1, so the seqlock re-check diverts epoch-P readers to
+/// the history walk exactly when needed — EntryMultView keeps that
+/// fallback. Hence kFastPin never skips a check whose outcome could differ.
+inline ReadView ResolveReadView(const EpochContext* ctx, Epoch epoch) {
+  if (ctx == nullptr) return ReadView{kLiveEpoch, ReadMode::kDirect};
+  if (epoch == kLiveEpoch) {
+    // Live read of versioned storage: zombies are physically linked until
+    // reclaimed, so the full filter must run (at e = kLiveEpoch the window
+    // check degenerates to "death not yet set").
+    return ReadView{kLiveEpoch, ReadMode::kVersioned};
+  }
+  if (ctx->fast_epoch != nullptr &&
+      ctx->fast_epoch->load(std::memory_order_acquire) == epoch) {
+    return ReadView{epoch, ReadMode::kFastPin};
+  }
+  return ReadView{epoch, ReadMode::kVersioned};
+}
 
 }  // namespace ivme
 

@@ -1,5 +1,7 @@
 #include "src/common/thread_pool.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace ivme {
@@ -27,6 +29,22 @@ size_t ThreadPool::DefaultThreads(size_t num_shards) {
   return threads <= 1 ? 0 : threads;
 }
 
+void ThreadPool::RunOne(std::unique_lock<std::mutex>& lock,
+                        const std::function<void()>& task, Batch* batch) {
+  lock.unlock();
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  if (error != nullptr && batch->first_error == nullptr) {
+    batch->first_error = std::move(error);
+  }
+  if (--batch->remaining == 0) batch_done_.notify_all();
+}
+
 void ThreadPool::Run(const std::vector<std::function<void()>>& tasks) {
   if (workers_.empty()) {
     for (const auto& task : tasks) {
@@ -34,43 +52,45 @@ void ThreadPool::Run(const std::vector<std::function<void()>>& tasks) {
     }
     return;
   }
+  Batch batch;  // this call's barrier, alive on this stack until it drains
   std::unique_lock<std::mutex> lock(mu_);
-  IVME_CHECK_MSG(in_flight_ == 0, "ThreadPool::Run is not reentrant");
-  queue_.clear();
   for (const auto& task : tasks) {
-    if (task) queue_.push_back(&task);
+    if (!task) continue;
+    queue_.emplace_back(&task, &batch);
+    ++batch.remaining;
   }
-  if (queue_.empty()) return;
-  next_task_ = 0;
-  in_flight_ = queue_.size();
-  first_error_ = nullptr;
+  if (batch.remaining == 0) return;
   work_available_.notify_all();
-  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+  // Participate: run our own queued tasks instead of blocking, so this
+  // batch makes progress even when every worker is busy elsewhere (or this
+  // very call is executing on a worker thread). Once the workers have
+  // claimed the rest, wait for them at the barrier.
+  while (batch.remaining > 0) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&batch](const auto& entry) { return entry.second == &batch; });
+    if (it != queue_.end()) {
+      const std::function<void()>* task = it->first;
+      queue_.erase(it);
+      RunOne(lock, *task, &batch);
+    } else {
+      batch_done_.wait(lock, [&batch] { return batch.remaining == 0; });
+    }
+  }
   // Rethrow the first task failure at the barrier, on the calling thread —
   // an exception escaping a worker would std::terminate the process.
-  if (first_error_ != nullptr) {
-    std::exception_ptr error = std::move(first_error_);
-    first_error_ = nullptr;
-    std::rethrow_exception(error);
+  if (batch.first_error != nullptr) {
+    std::rethrow_exception(batch.first_error);
   }
 }
 
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_available_.wait(lock, [this] { return shutdown_ || next_task_ < queue_.size(); });
+    work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
     if (shutdown_) return;
-    const std::function<void()>* task = queue_[next_task_++];
-    lock.unlock();
-    std::exception_ptr error;
-    try {
-      (*task)();
-    } catch (...) {
-      error = std::current_exception();
-    }
-    lock.lock();
-    if (error != nullptr && first_error_ == nullptr) first_error_ = std::move(error);
-    if (--in_flight_ == 0) batch_done_.notify_one();
+    auto [task, batch] = queue_.front();
+    queue_.pop_front();
+    RunOne(lock, *task, batch);
   }
 }
 

@@ -1,20 +1,32 @@
-// A small fixed-size worker pool for shard-parallel maintenance. The only
-// entry point is a barrier: Run() executes a set of independent tasks and
-// returns when all of them have finished, so callers never observe a
-// half-applied fan-out. The completion handshake (mutex + condition
-// variable) orders everything the workers wrote — shard state, thread-local
-// cost counters — before Run() returns on the caller. A task that throws
-// does not take the process down: the exception is captured on the worker
-// and the first one rethrown from Run() after the barrier.
+// A small fixed-size worker pool for shard-parallel maintenance and
+// shard-parallel enumeration. The only entry point is a barrier: Run()
+// executes a set of independent tasks and returns when all of them have
+// finished, so callers never observe a half-applied fan-out. The completion
+// handshake (mutex + condition variable) orders everything the workers
+// wrote — shard state, thread-local cost counters, per-shard row buffers —
+// before Run() returns on the caller. A task that throws does not take the
+// process down: the exception is captured and the first one rethrown from
+// Run() after the barrier.
+//
+// Run() is safe to call from MULTIPLE threads at once and re-entrantly
+// from inside a task: each call owns a private batch descriptor on its own
+// stack, tasks carry a pointer to their batch, and the calling thread
+// participates in executing its own queued tasks instead of blocking. That
+// participation is the progress guarantee — even if every worker is busy
+// with other batches (or this call *is* running on a worker), the caller
+// drains its own batch itself, so no Run() can deadlock waiting for pool
+// capacity.
 #ifndef IVME_COMMON_THREAD_POOL_H_
 #define IVME_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace ivme {
@@ -31,16 +43,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Executes every task and blocks until the last one finishes. Tasks must
-  /// be independent (they run concurrently in unspecified order) and must
-  /// not call Run() on the same pool. Empty tasks are skipped.
+  /// Executes every task and blocks until the last one finishes. Tasks of
+  /// one call must be independent (they run concurrently in unspecified
+  /// order). Empty tasks are skipped. Concurrent Run() calls from different
+  /// threads — e.g. parallel readers enumerating while the writer fans out
+  /// a batch — interleave safely; their tasks share the workers.
   ///
   /// Exceptions: a throwing task never escapes its worker thread (which
   /// would std::terminate the process). Every task still runs to the
-  /// barrier; the FIRST captured exception is rethrown here on the calling
-  /// thread, later ones are dropped. The pool stays usable afterwards. In
-  /// inline mode an exception propagates directly (nothing after the
-  /// throwing task runs) — the caller sees a throw from Run() either way.
+  /// barrier; the FIRST captured exception of this batch is rethrown here
+  /// on the calling thread, later ones are dropped. The pool stays usable
+  /// afterwards. In inline mode an exception propagates directly (nothing
+  /// after the throwing task runs) — the caller sees a throw from Run()
+  /// either way.
   void Run(const std::vector<std::function<void()>>& tasks);
 
   /// Worker threads backing the pool (0 = inline execution).
@@ -51,15 +66,25 @@ class ThreadPool {
   static size_t DefaultThreads(size_t num_shards);
 
  private:
+  /// One Run() call's barrier state, allocated on the caller's stack —
+  /// guarded by mu_ like everything else here.
+  struct Batch {
+    size_t remaining = 0;  ///< tasks queued or executing
+    std::exception_ptr first_error;
+  };
+
   void WorkerLoop();
+  /// Runs `task` outside the lock, then records completion into `batch`.
+  /// Returns with the lock re-held.
+  void RunOne(std::unique_lock<std::mutex>& lock, const std::function<void()>& task,
+              Batch* batch);
 
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable batch_done_;
-  std::vector<const std::function<void()>*> queue_;  ///< tasks of the active Run
-  size_t next_task_ = 0;     ///< queue_ index handed out next
-  size_t in_flight_ = 0;     ///< queued + executing tasks of the active Run
-  std::exception_ptr first_error_;  ///< first exception of the active Run
+  /// Pending tasks across all active Run() calls, each tagged with its
+  /// batch. FIFO across batches; callers prefer their own entries.
+  std::deque<std::pair<const std::function<void()>*, Batch*>> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

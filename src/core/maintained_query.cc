@@ -243,7 +243,8 @@ void MaintainedQuery::Preprocess() {
 std::unique_ptr<ResultEnumerator> MaintainedQuery::Enumerate() const {
   IVME_CHECK_MSG(preprocessed_.load(std::memory_order_acquire),
                  "Preprocess before enumerating");
-  return std::make_unique<ResultEnumerator>(query_, plan_);
+  return std::make_unique<ResultEnumerator>(query_, plan_,
+                                            ResolveReadView(epoch_ctx_, kLiveEpoch));
 }
 
 QueryResult MaintainedQuery::EvaluateToMap() const {
@@ -254,7 +255,8 @@ QueryResult MaintainedQuery::EvaluateToMap() const {
 std::unique_ptr<ResultEnumerator> MaintainedQuery::EnumerateAt(Epoch epoch) const {
   IVME_CHECK_MSG(preprocessed_.load(std::memory_order_acquire),
                  "Preprocess before enumerating");
-  return std::make_unique<ResultEnumerator>(query_, plan_, epoch);
+  return std::make_unique<ResultEnumerator>(query_, plan_,
+                                            ResolveReadView(epoch_ctx_, epoch));
 }
 
 QueryResult MaintainedQuery::EvaluateToMapAt(Epoch epoch) const {
@@ -291,6 +293,7 @@ void MaintainedQuery::SetEpochContext(const EpochContext* ctx) {
     SetTreeEpochContext(triple->light_tree.get(), ctx);
     triple->h->SetEpochContext(ctx);
   }
+  epoch_ctx_ = ctx;
 }
 
 void MaintainedQuery::ApplySingle(const std::string& relation, const Tuple& tuple, Mult mult,

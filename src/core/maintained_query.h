@@ -153,7 +153,9 @@ class MaintainedQuery : public StorageProvider {
   /// net entries into the stats.
   void FinishBatch(size_t records, size_t net_entries);
 
-  /// Opens an enumeration session over the current result.
+  /// Opens an enumeration session over the current result. Outside
+  /// versioned mode (no epoch context) this is a kDirect fast-lane session:
+  /// the cursors skip the version-chain and zombie filters entirely.
   std::unique_ptr<ResultEnumerator> Enumerate() const;
 
   /// Drains a full enumeration into a map (convenience for tests/examples).
@@ -162,6 +164,9 @@ class MaintainedQuery : public StorageProvider {
   /// As-of variants: enumerate / drain the published snapshot `epoch`.
   /// Requires versioned mode (SetEpochContext) and a pinned epoch; safe to
   /// run concurrently with the maintenance writer (ARCHITECTURE.md §9).
+  /// The session's ReadView is resolved here, once: when the context's
+  /// fast_epoch equals `epoch` (catalog fully reclaimed at the published
+  /// epoch) the session takes the kFastPin lane (ARCHITECTURE.md §11).
   std::unique_ptr<ResultEnumerator> EnumerateAt(Epoch epoch) const;
   QueryResult EvaluateToMapAt(Epoch epoch) const;
 
@@ -169,7 +174,10 @@ class MaintainedQuery : public StorageProvider {
   /// relation: self-join mirrors, light parts, view storages, and indicator
   /// H relations. The store-shared base relations are covered separately by
   /// RelationStore::SetEpochContext. Quiesced points only, with the
-  /// RetireLog drained (see Relation::SetEpochContext).
+  /// RetireLog drained (see Relation::SetEpochContext). The context is also
+  /// kept here as the session-resolution anchor for Enumerate/EnumerateAt —
+  /// storage-level contexts cannot serve that role because fully_static
+  /// subtrees legitimately keep a null context in versioned mode.
   void SetEpochContext(const EpochContext* ctx);
 
   // --- introspection ---
@@ -337,6 +345,8 @@ class MaintainedQuery : public StorageProvider {
   /// scan).
   bool monotone_n_ = false;
   QueryStats stats_;
+  /// Versioned-mode context (null outside), anchor for ReadView resolution.
+  const EpochContext* epoch_ctx_ = nullptr;
   RebalanceTask rebalance_task_;  ///< in-flight incremental migration state
   std::vector<std::pair<Tuple, Mult>> move_scratch_;  ///< reused by key moves
   std::vector<KeySnapshot> snap_scratch_;  ///< reused by ApplyDeltaToSlot

@@ -23,7 +23,7 @@ ShardedCatalog::ShardedCatalog(ShardedCatalogOptions options) : options_(options
 }
 
 ShardedCatalog::~ShardedCatalog() {
-  if (epochs_ == nullptr) return;
+  if (!serving_) return;
   // No readers may outlive the catalog (their pins would deadlock here,
   // which is the bug surfacing early). Drain every log so zombies are freed
   // and the relations can leave versioned mode before the shards destruct.
@@ -33,20 +33,47 @@ ShardedCatalog::~ShardedCatalog() {
 }
 
 void ShardedCatalog::EnableServing() {
-  if (epochs_ != nullptr) return;
-  epochs_ = std::make_unique<EpochManager>();
-  retire_logs_.reserve(shards_.size());
-  contexts_.resize(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    retire_logs_.push_back(std::make_unique<RetireLog>());
-    contexts_[s] = EpochContext{retire_logs_[s].get(), epochs_->published_ptr()};
-    shards_[s]->SetEpochContext(&contexts_[s]);
+  if (serving_) return;
+  if (epochs_ == nullptr) {
+    epochs_ = std::make_unique<EpochManager>();
+    retire_logs_.reserve(shards_.size());
+    contexts_.resize(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      retire_logs_.push_back(std::make_unique<RetireLog>());
+      contexts_[s] =
+          EpochContext{retire_logs_[s].get(), epochs_->published_ptr(), &fast_epoch_};
+    }
   }
+  for (size_t s = 0; s < shards_.size(); ++s) shards_[s]->SetEpochContext(&contexts_[s]);
+  // Quiescent by construction: the logs are empty and no pin exists, so the
+  // published epoch is fast from the first snapshot on.
+  fast_epoch_.store(epochs_->published(), std::memory_order_release);
+  serving_ = true;
+  epochs_->Enable();  // no-op on the first call; re-admits pins after a flip
+}
+
+void ShardedCatalog::DisableServing() {
+  if (!serving_) return;
+  // Refuse all future pins and wait out the active readers; from here no
+  // reader can be in flight until EnableServing re-admits them.
+  epochs_->Disable();
+  // Free every retired object and leave versioned mode: with the version
+  // machinery detached, reads take the branch-light kDirect lane and the
+  // existing version chains converge to plain single-version nodes.
+  for (auto& log : retire_logs_) log->Drain();
+  for (auto& shard : shards_) shard->SetEpochContext(nullptr);
+  fast_epoch_.store(kLiveEpoch, std::memory_order_release);
+  serving_ = false;
 }
 
 ReadSnapshot ShardedCatalog::AcquireSnapshot() const {
   IVME_CHECK_MSG(epochs_ != nullptr, "EnableServing before AcquireSnapshot");
   return ReadSnapshot(epochs_.get());
+}
+
+ReadSnapshot ShardedCatalog::TryAcquireSnapshot() const {
+  IVME_CHECK_MSG(epochs_ != nullptr, "EnableServing before TryAcquireSnapshot");
+  return ReadSnapshot::TryAcquire(epochs_.get());
 }
 
 size_t ShardedCatalog::RetiredObjects() const {
@@ -56,21 +83,32 @@ size_t ShardedCatalog::RetiredObjects() const {
 }
 
 void ShardedCatalog::BeginMutation() {
-  if (epochs_ == nullptr) return;
+  if (!serving_) return;
   std::vector<Epoch> keeps = epochs_->KeepEpochs();
   for (auto& log : retire_logs_) log->set_keep_epochs(keeps);
 }
 
 void ShardedCatalog::PublishAndReclaim() {
-  if (epochs_ == nullptr) return;
+  if (!serving_) return;
   epochs_->Publish();
+  const Epoch p = epochs_->published();
   const Epoch floor = epochs_->PinFloor();
-  const Epoch working = epochs_->published() + 1;
-  for (auto& log : retire_logs_) log->Reclaim(floor, working);
+  const Epoch working = p + 1;
+  // The published epoch is "fast" when this boundary reaches full
+  // quiescence: no reader pinned below P (floor == P) and — after this
+  // reclaim pass — no retired object left anywhere. Then no zombie, dead
+  // index link, or multiplicity-version chain is reachable at any epoch
+  // ≤ P, and a reader pinned exactly at P can skip version filtering.
+  bool clean = floor == p;
+  for (auto& log : retire_logs_) {
+    log->Reclaim(floor, working);
+    clean = clean && log->empty();
+  }
+  fast_epoch_.store(clean ? p : kLiveEpoch, std::memory_order_release);
 }
 
 void ShardedCatalog::QuiescedStructuralChange(const std::function<void()>& fn) {
-  if (epochs_ == nullptr) {
+  if (!serving_) {
     fn();
     return;
   }
@@ -84,6 +122,8 @@ void ShardedCatalog::QuiescedStructuralChange(const std::function<void()>& fn) {
   for (auto& shard : shards_) shard->SetEpochContext(nullptr);
   fn();
   for (size_t s = 0; s < shards_.size(); ++s) shards_[s]->SetEpochContext(&contexts_[s]);
+  // Quiescent again: logs drained above, no pin can exist while exclusive.
+  fast_epoch_.store(epochs_->published(), std::memory_order_release);
   epochs_->EndExclusive();
 }
 
@@ -408,7 +448,8 @@ Status ShardedCatalog::TryApplyBatch(const Update* updates, size_t count, BatchR
   return Status::Ok();
 }
 
-std::unique_ptr<MergedEnumerator> ShardedCatalog::Enumerate(const std::string& name) const {
+std::unique_ptr<MergedEnumerator> ShardedCatalog::Enumerate(const std::string& name,
+                                                            DrainMode mode) const {
   bool disjoint = true;
   for (size_t i = 0; i < root_free_names_.size(); ++i) {
     if (root_free_names_[i] == name) disjoint = root_free_[i];
@@ -416,17 +457,18 @@ std::unique_ptr<MergedEnumerator> ShardedCatalog::Enumerate(const std::string& n
   std::vector<std::unique_ptr<ResultEnumerator>> streams;
   streams.reserve(shards_.size());
   for (const auto& shard : shards_) streams.push_back(shard->Enumerate(name));
-  return std::make_unique<MergedEnumerator>(std::move(streams),
-                                            disjoint || shards_.size() == 1);
+  return std::make_unique<MergedEnumerator>(
+      std::move(streams), disjoint || shards_.size() == 1, mode, pool_.get());
 }
 
 QueryResult ShardedCatalog::EvaluateToMap(const std::string& name) const {
-  auto it = Enumerate(name);
+  auto it = Enumerate(name, pool_ != nullptr ? DrainMode::kParallel : DrainMode::kLazy);
   return DrainEnumeration(*it);
 }
 
 std::unique_ptr<MergedEnumerator> ShardedCatalog::EnumerateAt(const std::string& name,
-                                                              Epoch epoch) const {
+                                                              Epoch epoch,
+                                                              DrainMode mode) const {
   // root_free_* and the shard query registries only change inside the
   // quiesce gate, so reading them from a pinned reader thread is safe.
   bool disjoint = true;
@@ -436,12 +478,13 @@ std::unique_ptr<MergedEnumerator> ShardedCatalog::EnumerateAt(const std::string&
   std::vector<std::unique_ptr<ResultEnumerator>> streams;
   streams.reserve(shards_.size());
   for (const auto& shard : shards_) streams.push_back(shard->EnumerateAt(name, epoch));
-  return std::make_unique<MergedEnumerator>(std::move(streams),
-                                            disjoint || shards_.size() == 1);
+  return std::make_unique<MergedEnumerator>(
+      std::move(streams), disjoint || shards_.size() == 1, mode, pool_.get());
 }
 
 QueryResult ShardedCatalog::EvaluateToMapAt(const std::string& name, Epoch epoch) const {
-  auto it = EnumerateAt(name, epoch);
+  auto it =
+      EnumerateAt(name, epoch, pool_ != nullptr ? DrainMode::kParallel : DrainMode::kLazy);
   return DrainEnumeration(*it);
 }
 

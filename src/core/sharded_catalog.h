@@ -55,9 +55,20 @@ class ShardedCatalog {
   /// versioned. From then on each ApplyUpdate / ApplyBatch / Preprocess
   /// publishes a new snapshot epoch at its boundary and reclaims retired
   /// memory once no pinned reader needs it; RegisterQuery / DropQuery
-  /// quiesce readers. Call at a quiescent point; idempotent.
+  /// quiesce readers. Call at a quiescent point; idempotent. Re-enabling
+  /// after DisableServing reuses the same EpochManager (readers may hold a
+  /// pointer to it across the flip) and re-enters versioned mode.
   void EnableServing();
-  bool serving() const { return epochs_ != nullptr; }
+
+  /// Leaves serving mode: refuses all future pins, waits out the active
+  /// readers, frees every retired object, and detaches the epoch contexts —
+  /// subsequent reads take the branch-light kDirect lane. Writer thread
+  /// only; idempotent. Readers must use TryAcquireSnapshot across a
+  /// disable/enable flip (AcquireSnapshot asserts serving mode was entered
+  /// at least once and blocks, but a refused TryPin is the only race-free
+  /// signal that the catalog left serving mode).
+  void DisableServing();
+  bool serving() const { return serving_; }
 
   /// Pins the newest published snapshot for a reader thread (RAII; released
   /// on destruction). Enumerate the snapshot with EnumerateAt /
@@ -68,9 +79,20 @@ class ShardedCatalog {
   /// consistent state to enumerate.
   ReadSnapshot AcquireSnapshot() const;
 
+  /// Like AcquireSnapshot, but a disabled manager (DisableServing) refuses
+  /// the pin instead of blocking: the returned snapshot is unpinned and the
+  /// caller must either retry later or — only when it knows no writer runs
+  /// concurrently — read the live state (which then takes the kDirect
+  /// lane). EnableServing must have been called at least once.
+  ReadSnapshot TryAcquireSnapshot() const;
+
   /// Merged enumeration / drain of `name` as of a pinned snapshot epoch.
   /// Safe to run from any reader thread concurrently with ApplyBatch.
-  std::unique_ptr<MergedEnumerator> EnumerateAt(const std::string& name, Epoch epoch) const;
+  /// DrainMode::kParallel fans the per-shard drains onto the catalog's
+  /// ThreadPool (shared with the writer's batch fan-out; Run() is
+  /// concurrency-safe), identical output order.
+  std::unique_ptr<MergedEnumerator> EnumerateAt(const std::string& name, Epoch epoch,
+                                                DrainMode mode = DrainMode::kLazy) const;
   QueryResult EvaluateToMapAt(const std::string& name, Epoch epoch) const;
 
   /// Serving-mode epoch state. Valid only when serving().
@@ -155,7 +177,9 @@ class ShardedCatalog {
 
   /// Merged enumeration of `name`: concatenation when the query's root is
   /// free (disjoint shard results), multiplicity-summing merge otherwise.
-  std::unique_ptr<MergedEnumerator> Enumerate(const std::string& name) const;
+  /// DrainMode::kParallel drains the shard streams on the pool up front.
+  std::unique_ptr<MergedEnumerator> Enumerate(const std::string& name,
+                                              DrainMode mode = DrainMode::kLazy) const;
   QueryResult EvaluateToMap(const std::string& name) const;
 
   /// Union of every shard's contents for `relation`.
@@ -224,10 +248,20 @@ class ShardedCatalog {
   std::unique_ptr<ThreadPool> pool_;  ///< null for single-shard catalogs
 
   // Serving mode (null / empty until EnableServing). contexts_ is sized
-  // once and never resized: relations hold pointers into it.
+  // once and never resized: relations hold pointers into it. epochs_ is
+  // created once and never destroyed — readers racing a DisableServing
+  // still dereference it inside TryPin. serving_ tracks the enable/disable
+  // flips (writer/structural thread only; readers learn the state from
+  // TryPin's mutex-guarded answer, never from this flag).
   std::unique_ptr<EpochManager> epochs_;
+  bool serving_ = false;
   std::vector<std::unique_ptr<RetireLog>> retire_logs_;
   std::vector<EpochContext> contexts_;
+
+  /// The quiescence signal behind EpochContext::fast_epoch (see epoch.h):
+  /// the published epoch P when the last batch boundary left no pin below P
+  /// and every retire log empty; kLiveEpoch otherwise.
+  std::atomic<Epoch> fast_epoch_{kLiveEpoch};
 
   /// Sticky per-relation routing (root column), established by the first
   /// registering query that reads the relation.

@@ -5,52 +5,73 @@
 
 namespace ivme {
 
+size_t Cursor::FillBatch(RowBuffer* out, size_t limit) {
+  size_t n = 0;
+  Tuple* t = nullptr;
+  Mult* m = nullptr;
+  while (n < limit) {
+    out->Slot(&t, &m);
+    if (!Next(t, m)) break;
+    out->Commit();
+    ++n;
+  }
+  return n;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
 // RowScanner: iterates the rows of σ_{ctx}(V) using the compiled scan mode
-// (full scan / index scan / point lookup).
+// (full scan / index scan / point lookup). The ReadView is resolved once at
+// construction: fast-lane sessions run the whole scan without touching
+// death epochs or version chains.
 // ---------------------------------------------------------------------------
 
 class RowScanner {
  public:
-  RowScanner(const ViewNode* node, Epoch epoch) : node_(node), epoch_(epoch) {}
+  RowScanner(const ViewNode* node, const ReadView& view) : node_(node), view_(view) {}
 
   void Open(const Tuple& ctx) {
     const size_t bound = node_->bound_schema.size();
     if (bound == 0) {
       mode_ = Mode::kFull;
-      entry_ = node_->storage->FirstAt(epoch_);
+      entry_ = node_->storage->FirstView(view_);
     } else if (bound == node_->schema.size()) {
       mode_ = Mode::kPoint;
       point_row_.AssignProjection(ctx, node_->ctx_to_bound);
-      point_mult_ = node_->storage->MultiplicityAt(point_row_, epoch_);
+      point_mult_ = node_->storage->MultiplicityView(point_row_, view_);
       point_done_ = point_mult_ == 0;
     } else {
       mode_ = Mode::kIndex;
       IVME_CHECK(node_->scan_index_id >= 0);
       point_row_.AssignProjection(ctx, node_->ctx_to_bound);  // scratch: index key
       link_ = node_->storage->index(node_->scan_index_id)
-                  .FirstForKeyAt(point_row_, epoch_);
+                  .FirstForKeyView(point_row_, view_);
     }
   }
 
   /// Returns the next row (pointer valid until the next call) or nullptr.
   const Tuple* Next(Mult* mult) {
     ++LocalCounters().enum_steps;
+    return NextRaw(mult);
+  }
+
+  /// Next() without the per-row cost-counter bump — batched callers account
+  /// a whole batch at once (CoveringCursor::FillBatch).
+  const Tuple* NextRaw(Mult* mult) {
     switch (mode_) {
       case Mode::kFull: {
         if (entry_ == nullptr) return nullptr;
         const Tuple* row = &entry_->key;
-        *mult = Relation::EntryMultAt(entry_, epoch_);
-        entry_ = Relation::NextAt(entry_, epoch_);
+        *mult = Relation::EntryMultView(entry_, view_);
+        entry_ = Relation::NextView(entry_, view_);
         return row;
       }
       case Mode::kIndex: {
         if (link_ == nullptr) return nullptr;
         const Tuple* row = &link_->entry->key;
-        *mult = Relation::EntryMultAt(link_->entry, epoch_);
-        link_ = Relation::Index::NextLinkAt(link_, epoch_);
+        *mult = Relation::EntryMultView(link_->entry, view_);
+        link_ = Relation::Index::NextLinkView(link_, view_);
         return row;
       }
       case Mode::kPoint: {
@@ -67,7 +88,7 @@ class RowScanner {
   enum class Mode { kFull, kIndex, kPoint };
 
   const ViewNode* node_;
-  Epoch epoch_;
+  ReadView view_;
   Mode mode_ = Mode::kFull;
   const Relation::Entry* entry_ = nullptr;
   const Relation::IndexLink* link_ = nullptr;
@@ -79,27 +100,27 @@ class RowScanner {
 // Scans the heavy-indicator keys σ_{ctx}(∃H) of a union node.
 class IndicatorScanner {
  public:
-  IndicatorScanner(const ViewNode* node, Epoch epoch)
+  IndicatorScanner(const ViewNode* node, const ReadView& view)
       : node_(node),
         indicator_(node->children[static_cast<size_t>(node->indicator_child)].get()),
-        epoch_(epoch) {}
+        view_(view) {}
 
   void Open(const Tuple& ctx) {
     const Relation* h = indicator_->storage;
     const size_t bound = node_->ctx_to_indicator_bound.size();
     if (bound == 0) {
       mode_ = Mode::kFull;
-      entry_ = h->FirstAt(epoch_);
+      entry_ = h->FirstView(view_);
     } else if (bound == indicator_->schema.size()) {
       mode_ = Mode::kPoint;
       point_row_.AssignProjection(ctx, node_->ctx_to_indicator_bound);
-      point_done_ = h->MultiplicityAt(point_row_, epoch_) == 0;
+      point_done_ = h->MultiplicityView(point_row_, view_) == 0;
     } else {
       mode_ = Mode::kIndex;
       IVME_CHECK(node_->indicator_scan_index_id >= 0);
       point_row_.AssignProjection(ctx, node_->ctx_to_indicator_bound);  // scratch: index key
       link_ = h->index(node_->indicator_scan_index_id)
-                  .FirstForKeyAt(point_row_, epoch_);
+                  .FirstForKeyView(point_row_, view_);
     }
   }
 
@@ -108,13 +129,13 @@ class IndicatorScanner {
       case Mode::kFull: {
         if (entry_ == nullptr) return nullptr;
         const Tuple* row = &entry_->key;
-        entry_ = Relation::NextAt(entry_, epoch_);
+        entry_ = Relation::NextView(entry_, view_);
         return row;
       }
       case Mode::kIndex: {
         if (link_ == nullptr) return nullptr;
         const Tuple* row = &link_->entry->key;
-        link_ = Relation::Index::NextLinkAt(link_, epoch_);
+        link_ = Relation::Index::NextLinkView(link_, view_);
         return row;
       }
       case Mode::kPoint: {
@@ -131,7 +152,7 @@ class IndicatorScanner {
 
   const ViewNode* node_;
   const ViewNode* indicator_;
-  Epoch epoch_;
+  ReadView view_;
   Mode mode_ = Mode::kFull;
   const Relation::Entry* entry_ = nullptr;
   const Relation::IndexLink* link_ = nullptr;
@@ -147,10 +168,10 @@ class IndicatorScanner {
 
 class RowProductIter {
  public:
-  RowProductIter(const ViewNode* node, Epoch epoch) : node_(node) {
+  RowProductIter(const ViewNode* node, const ReadView& view) : node_(node) {
     for (const auto& child : node->children) {
       if (child->IsIndicator()) continue;
-      kids_.push_back(MakeCursor(child.get(), epoch));
+      kids_.push_back(MakeCursor(child.get(), view));
     }
     kid_emits_.resize(kids_.size());
     kid_mults_.assign(kids_.size(), 0);
@@ -220,8 +241,8 @@ class RowProductIter {
 
 class CoveringCursor : public Cursor {
  public:
-  CoveringCursor(const ViewNode* node, Epoch epoch)
-      : node_(node), scanner_(node, epoch) {}
+  CoveringCursor(const ViewNode* node, const ReadView& view)
+      : node_(node), scanner_(node, view) {}
 
   void Open(const Tuple& ctx) override { scanner_.Open(ctx); }
 
@@ -232,6 +253,25 @@ class CoveringCursor : public Cursor {
     return true;
   }
 
+  size_t FillBatch(RowBuffer* out, size_t limit) override {
+    // The scan-shaped hot loop: no virtual dispatch per row, one counter
+    // update per batch (n emitted rows plus the terminal miss, matching
+    // the per-row accounting of Next).
+    size_t n = 0;
+    Tuple* t = nullptr;
+    Mult* m = nullptr;
+    while (n < limit) {
+      out->Slot(&t, &m);
+      const Tuple* row = scanner_.NextRaw(m);
+      if (row == nullptr) break;
+      t->AssignProjection(*row, node_->row_emit_positions);
+      out->Commit();
+      ++n;
+    }
+    LocalCounters().enum_steps += n + (n < limit ? 1 : 0);
+    return n;
+  }
+
  private:
   const ViewNode* node_;
   RowScanner scanner_;
@@ -239,8 +279,8 @@ class CoveringCursor : public Cursor {
 
 class ProductCursor : public Cursor {
  public:
-  ProductCursor(const ViewNode* node, Epoch epoch)
-      : node_(node), scanner_(node, epoch), prod_(node, epoch) {}
+  ProductCursor(const ViewNode* node, const ReadView& view)
+      : node_(node), scanner_(node, view), prod_(node, view) {}
 
   void Open(const Tuple& ctx) override {
     scanner_.Open(ctx);
@@ -272,18 +312,18 @@ class ProductCursor : public Cursor {
 // node, implemented iteratively (level j consumes the union of levels < j).
 class UnionCursor : public Cursor {
  public:
-  UnionCursor(const ViewNode* node, Epoch epoch)
-      : node_(node), epoch_(epoch) {}
+  UnionCursor(const ViewNode* node, const ReadView& view)
+      : node_(node), view_(view) {}
 
   void Open(const Tuple& ctx) override {
     buckets_.clear();
-    IndicatorScanner heavies(node_, epoch_);
+    IndicatorScanner heavies(node_, view_);
     heavies.Open(ctx);
     while (const Tuple* h = heavies.Next()) {
       // The grounding contributes only when the gated join view has the
       // key: V(h) ≠ 0 guarantees every child has matching tuples.
-      if (node_->storage->MultiplicityAt(*h, epoch_) == 0) continue;
-      buckets_.push_back(std::make_unique<BucketState>(node_, *h, epoch_));
+      if (node_->storage->MultiplicityView(*h, view_) == 0) continue;
+      buckets_.push_back(std::make_unique<BucketState>(node_, *h, view_));
     }
   }
 
@@ -294,7 +334,7 @@ class UnionCursor : public Cursor {
     for (auto& bucket : buckets_) {
       if (!have) {
         have = bucket->iter.Next(&t, &ignored);  // drain this level
-      } else if (LookupGrounded(node_, bucket->row, t, epoch_) != 0) {
+      } else if (LookupGrounded(node_, bucket->row, t, view_) != 0) {
         // The prefix tuple also occurs in this bucket: emit this bucket's
         // next tuple instead. It always exists (Durand–Strozecki: the
         // number of such replacements is bounded by the bucket size).
@@ -305,7 +345,7 @@ class UnionCursor : public Cursor {
     if (!have) return false;
     Mult m = 0;
     for (auto& bucket : buckets_) {
-      m += LookupGrounded(node_, bucket->row, t, epoch_);
+      m += LookupGrounded(node_, bucket->row, t, view_);
     }
     *emit = t;
     *mult = m;
@@ -317,49 +357,58 @@ class UnionCursor : public Cursor {
     Tuple row;
     RowProductIter iter;
 
-    BucketState(const ViewNode* node, const Tuple& h, Epoch epoch)
-        : row(h), iter(node, epoch) {
+    BucketState(const ViewNode* node, const Tuple& h, const ReadView& view)
+        : row(h), iter(node, view) {
       iter.Open(row);
     }
   };
 
   const ViewNode* node_;
-  Epoch epoch_;
+  ReadView view_;
   std::vector<std::unique_ptr<BucketState>> buckets_;
 };
 
 }  // namespace
 
-std::unique_ptr<Cursor> MakeCursor(const ViewNode* node, Epoch epoch) {
+std::unique_ptr<Cursor> MakeCursor(const ViewNode* node, const ReadView& view) {
   switch (node->enum_mode) {
     case EnumMode::kCovering:
-      return std::make_unique<CoveringCursor>(node, epoch);
+      return std::make_unique<CoveringCursor>(node, view);
     case EnumMode::kProduct:
-      return std::make_unique<ProductCursor>(node, epoch);
+      return std::make_unique<ProductCursor>(node, view);
     case EnumMode::kUnion:
-      return std::make_unique<UnionCursor>(node, epoch);
+      return std::make_unique<UnionCursor>(node, view);
   }
   IVME_UNREACHABLE("unknown enum mode");
 }
 
+std::unique_ptr<Cursor> MakeCursor(const ViewNode* node, Epoch epoch) {
+  return MakeCursor(node, ReadView{epoch, ReadMode::kVersioned});
+}
+
 Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t,
-                    Epoch epoch) {
+                    const ReadView& view) {
   ++LocalCounters().enum_steps;
-  if (node->storage->MultiplicityAt(row, epoch) == 0) return 0;
+  if (node->storage->MultiplicityView(row, view) == 0) return 0;
   Mult m = 1;
   for (size_t i = 0; i < node->children.size(); ++i) {
     const ViewNode* child = node->children[i].get();
     if (child->IsIndicator()) continue;
     const Tuple slice = ProjectTuple(t, node->child_emit_slices[i]);
-    const Mult cm = LookupTree(child, row, slice, epoch);
+    const Mult cm = LookupTree(child, row, slice, view);
     if (cm == 0) return 0;
     m *= cm;
   }
   return m;
 }
 
+Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t,
+                    Epoch epoch) {
+  return LookupGrounded(node, row, t, ReadView{epoch, ReadMode::kVersioned});
+}
+
 Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t,
-                Epoch epoch) {
+                const ReadView& view) {
   switch (node->enum_mode) {
     case EnumMode::kCovering: {
       Tuple row;
@@ -368,7 +417,7 @@ Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t,
         row.PushBack(src.child == -1 ? ctx[static_cast<size_t>(src.pos)]
                                      : t[static_cast<size_t>(src.pos)]);
       }
-      return node->storage->MultiplicityAt(row, epoch);
+      return node->storage->MultiplicityView(row, view);
     }
     case EnumMode::kProduct: {
       Tuple row;
@@ -377,19 +426,24 @@ Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t,
         row.PushBack(src.child == -1 ? ctx[static_cast<size_t>(src.pos)]
                                      : t[static_cast<size_t>(src.pos)]);
       }
-      return LookupGrounded(node, row, t, epoch);
+      return LookupGrounded(node, row, t, view);
     }
     case EnumMode::kUnion: {
-      IndicatorScanner heavies(node, epoch);
+      IndicatorScanner heavies(node, view);
       heavies.Open(ctx);
       Mult m = 0;
       while (const Tuple* h = heavies.Next()) {
-        m += LookupGrounded(node, *h, t, epoch);
+        m += LookupGrounded(node, *h, t, view);
       }
       return m;
     }
   }
   IVME_UNREACHABLE("unknown enum mode");
+}
+
+Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t,
+                Epoch epoch) {
+  return LookupTree(node, ctx, t, ReadView{epoch, ReadMode::kVersioned});
 }
 
 }  // namespace ivme

@@ -7,10 +7,14 @@
 // fixed by the parent. Lookup* are the stateless membership/multiplicity
 // probes the Union algorithm needs for deduplication.
 //
-// Every entry point takes a snapshot epoch (default kLiveEpoch = the
-// current state, writer-thread-only). With a pinned epoch the cursor reads
-// the relations' as-of state and is safe to run concurrently with the
-// maintenance writer (ARCHITECTURE.md §9).
+// Every entry point takes either a snapshot epoch (default kLiveEpoch =
+// the current state, writer-thread-only) or a fully resolved ReadView.
+// The ReadView decides ONCE, at cursor construction, how node visibility
+// and multiplicities are filtered (ARCHITECTURE.md §11): kDirect and
+// kFastPin sessions skip the version-chain and zombie machinery in the
+// inner loops. With a pinned epoch the cursor reads the relations' as-of
+// state and is safe to run concurrently with the maintenance writer
+// (ARCHITECTURE.md §9).
 #ifndef IVME_ENUMERATE_CURSOR_H_
 #define IVME_ENUMERATE_CURSOR_H_
 
@@ -21,6 +25,47 @@
 #include "src/core/view_node.h"
 
 namespace ivme {
+
+/// A batch of enumerated rows: parallel tuple/multiplicity arrays whose
+/// slots (and their Tuples' heap spill, for arity > 4) are reused across
+/// Clear() calls, so steady-state batched enumeration allocates nothing.
+class RowBuffer {
+ public:
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  Mult mult(size_t i) const { return mults_[i]; }
+
+  /// Forgets the rows but keeps every slot's capacity.
+  void Clear() { size_ = 0; }
+
+  /// Exposes the next free slot for the producer to fill; the row becomes
+  /// part of the buffer only after Commit().
+  void Slot(Tuple** tuple, Mult** mult) {
+    if (size_ == tuples_.size()) {
+      tuples_.emplace_back();
+      mults_.push_back(0);
+    }
+    *tuple = &tuples_[size_];
+    *mult = &mults_[size_];
+  }
+  void Commit() { ++size_; }
+
+  /// Copy-append (convenience for non-slot producers).
+  void Append(const Tuple& tuple, Mult mult) {
+    Tuple* t = nullptr;
+    Mult* m = nullptr;
+    Slot(&t, &m);
+    *t = tuple;
+    *m = mult;
+    Commit();
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+  std::vector<Mult> mults_;
+  size_t size_ = 0;
+};
 
 /// Abstract iterator over the emit tuples of a view (sub)tree.
 class Cursor {
@@ -34,10 +79,19 @@ class Cursor {
   /// Produces the next distinct tuple over the node's emit_schema together
   /// with its multiplicity; false at the end.
   virtual bool Next(Tuple* emit, Mult* mult) = 0;
+
+  /// Appends up to `limit` rows to `out` (which is NOT cleared) and returns
+  /// how many were produced; fewer than `limit` means the stream ended.
+  /// Amortizes the virtual dispatch and per-row epoch checks of Next over a
+  /// whole batch; scan-shaped cursors override it with a tight loop.
+  virtual size_t FillBatch(RowBuffer* out, size_t limit);
 };
 
-/// Creates the cursor matching the node's compiled EnumMode, reading the
-/// snapshot at `epoch`.
+/// Creates the cursor matching the node's compiled EnumMode under a
+/// resolved session view.
+std::unique_ptr<Cursor> MakeCursor(const ViewNode* node, const ReadView& view);
+
+/// Epoch convenience: full version filtering at `epoch` (the PR 7 path).
 std::unique_ptr<Cursor> MakeCursor(const ViewNode* node,
                                    Epoch epoch = kLiveEpoch);
 
@@ -45,10 +99,14 @@ std::unique_ptr<Cursor> MakeCursor(const ViewNode* node,
 /// `ctx` — full tree semantics (sums over heavy groundings at union nodes).
 /// O(1) per materialized-view probe; O(#heavy keys) at union nodes.
 Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t,
+                const ReadView& view);
+Mult LookupTree(const ViewNode* node, const Tuple& ctx, const Tuple& t,
                 Epoch epoch = kLiveEpoch);
 
 /// Multiplicity of `t` in one heavy grounding of a union node: the bucket
 /// whose root row is `row` (a tuple over the node's schema = keys).
+Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t,
+                    const ReadView& view);
 Mult LookupGrounded(const ViewNode* node, const Tuple& row, const Tuple& t,
                     Epoch epoch = kLiveEpoch);
 

@@ -1,16 +1,28 @@
 #include "src/enumerate/enumerator.h"
 
 #include "src/common/check.h"
+#include "src/common/counters.h"
 
 namespace ivme {
+
+namespace {
+
+bool IsIdentity(const std::vector<int>& positions) {
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i] != static_cast<int>(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ComponentUnion
 // ---------------------------------------------------------------------------
 
 ResultEnumerator::ComponentUnion::ComponentUnion(
-    const std::vector<const ViewNode*>& roots, Epoch epoch)
-    : roots_(roots), epoch_(epoch) {
+    const std::vector<const ViewNode*>& roots, const ReadView& view)
+    : roots_(roots), view_(view) {
   IVME_CHECK(!roots_.empty());
   emit_ = roots_[0]->emit_schema;
   for (const ViewNode* root : roots_) {
@@ -18,7 +30,7 @@ ResultEnumerator::ComponentUnion::ComponentUnion(
                    "trees of one component must emit the same variables");
     comp_to_tree_.push_back(ProjectionPositions(emit_, root->emit_schema));
     tree_to_comp_.push_back(ProjectionPositions(root->emit_schema, emit_));
-    cursors_.push_back(MakeCursor(root, epoch));
+    cursors_.push_back(MakeCursor(root, view));
   }
 }
 
@@ -26,12 +38,27 @@ void ResultEnumerator::ComponentUnion::Open() {
   for (auto& cursor : cursors_) cursor->Open(Tuple{});
 }
 
+bool ResultEnumerator::ComponentUnion::tree_emit_matches_component(size_t i) const {
+  return IsIdentity(tree_to_comp_[i]);
+}
+
 Mult ResultEnumerator::ComponentUnion::LookupInTree(size_t i, const Tuple& comp_tuple) const {
   return LookupTree(roots_[i], Tuple{}, ProjectTuple(comp_tuple, comp_to_tree_[i]),
-                    epoch_);
+                    view_);
 }
 
 bool ResultEnumerator::ComponentUnion::Next(Tuple* out, Mult* mult) {
+  // Single-tree fast path: no cross-tree dedup, and the cursor already
+  // reports the tree's multiplicity for its emitted tuple — skip the
+  // redundant LookupInTree hash probe per row.
+  if (cursors_.size() == 1) {
+    Tuple raw;
+    Mult m = 0;
+    if (!cursors_[0]->Next(&raw, &m)) return false;
+    out->AssignProjection(raw, tree_to_comp_[0]);
+    *mult = m;
+    return true;
+  }
   // The Union algorithm (Figure 15) across trees, exactly as at heavy
   // groundings: level i consumes the deduplicated union of levels < i.
   bool have = false;
@@ -64,13 +91,24 @@ bool ResultEnumerator::ComponentUnion::Next(Tuple* out, Mult* mult) {
 
 ResultEnumerator::ResultEnumerator(const ConjunctiveQuery& q,
                                    const CompiledPlan& plan, Epoch epoch)
+    : ResultEnumerator(q, plan, ReadView{epoch, ReadMode::kVersioned}) {}
+
+ResultEnumerator::ResultEnumerator(const ConjunctiveQuery& q,
+                                   const CompiledPlan& plan, const ReadView& view)
     : query_(q) {
+  CostCounters& counters = LocalCounters();
+  ++counters.reads;
+  if (view.mode == ReadMode::kVersioned) {
+    ++counters.read_versioned;
+  } else {
+    ++counters.read_fast_lane;
+  }
   std::vector<std::vector<const ViewNode*>> roots(static_cast<size_t>(plan.num_components));
   for (const auto& tree : plan.trees) {
     roots[static_cast<size_t>(tree->component)].push_back(tree->root.get());
   }
   for (auto& group : roots) {
-    components_.push_back(std::make_unique<ComponentUnion>(group, epoch));
+    components_.push_back(std::make_unique<ComponentUnion>(group, view));
   }
   current_.resize(components_.size());
   mults_.assign(components_.size(), 0);
@@ -86,6 +124,21 @@ ResultEnumerator::ResultEnumerator(const ConjunctiveQuery& q,
     }
     IVME_CHECK_MSG(found, "free variable not produced by any component");
   }
+  if (ResolveDirectRoot()) direct_root_ = components_[0]->sole_cursor();
+}
+
+bool ResultEnumerator::ResolveDirectRoot() {
+  // The whole result is one tree's stream exactly when there is a single
+  // component holding a single tree whose emit order is the component
+  // order, and the head projection is the identity over that component.
+  if (components_.size() != 1) return false;
+  if (components_[0]->sole_cursor() == nullptr) return false;
+  if (!components_[0]->tree_emit_matches_component(0)) return false;
+  if (out_sources_.size() != components_[0]->emit_schema().size()) return false;
+  for (size_t i = 0; i < out_sources_.size(); ++i) {
+    if (out_sources_[i].first != 0 || out_sources_[i].second != i) return false;
+  }
+  return true;
 }
 
 bool ResultEnumerator::AdvanceComponent(size_t i) {
@@ -94,6 +147,15 @@ bool ResultEnumerator::AdvanceComponent(size_t i) {
 
 bool ResultEnumerator::Next(Tuple* out, Mult* mult) {
   if (done_) return false;
+  if (direct_root_ != nullptr) {
+    if (!direct_opened_) {
+      direct_root_->Open(Tuple{});
+      direct_opened_ = true;
+    }
+    if (direct_root_->Next(out, mult)) return true;
+    done_ = true;
+    return false;
+  }
   if (!primed_) {
     // Prime the odometer: every component must produce a first tuple.
     for (size_t i = 0; i < components_.size(); ++i) {
@@ -133,6 +195,29 @@ bool ResultEnumerator::Next(Tuple* out, Mult* mult) {
   }
   *mult = m;
   return true;
+}
+
+size_t ResultEnumerator::FillBatch(RowBuffer* out, size_t limit) {
+  if (direct_root_ != nullptr) {
+    if (done_) return 0;
+    if (!direct_opened_) {
+      direct_root_->Open(Tuple{});
+      direct_opened_ = true;
+    }
+    const size_t n = direct_root_->FillBatch(out, limit);
+    if (n < limit) done_ = true;
+    return n;
+  }
+  size_t n = 0;
+  Tuple* t = nullptr;
+  Mult* m = nullptr;
+  while (n < limit) {
+    out->Slot(&t, &m);
+    if (!Next(t, m)) break;
+    out->Commit();
+    ++n;
+  }
+  return n;
 }
 
 }  // namespace ivme

@@ -18,19 +18,26 @@
 
 namespace ivme {
 
-/// Drains any enumerator with a `bool Next(Tuple*, Mult*)` interface
-/// (ResultEnumerator, MergedEnumerator) into a tuple → multiplicity map,
-/// checking the distinct-tuple contract. Shared by the EvaluateToMap
+/// Drains any enumerator with `Next(Tuple*, Mult*)` + `FillBatch` —
+/// ResultEnumerator, MergedEnumerator — into a tuple → multiplicity map,
+/// checking the distinct-tuple contract. Batched: one virtual-ish call per
+/// kDrainChunk rows instead of per row. Shared by the EvaluateToMap
 /// conveniences of MaintainedQuery, ShardedEngine, and the catalogs.
 template <typename Enumerator>
 std::map<Tuple, Mult> DrainEnumeration(Enumerator& it) {
+  constexpr size_t kDrainChunk = 256;
   std::map<Tuple, Mult> result;
-  Tuple t;
-  Mult m = 0;
-  while (it.Next(&t, &m)) {
-    IVME_CHECK_MSG(result.find(t) == result.end(),
-                   "enumerator produced duplicate tuple " << t.ToString());
-    result[t] = m;
+  RowBuffer batch;
+  for (;;) {
+    batch.Clear();
+    const size_t n = it.FillBatch(&batch, kDrainChunk);
+    for (size_t i = 0; i < n; ++i) {
+      const auto [pos, inserted] = result.emplace(batch.tuple(i), batch.mult(i));
+      IVME_CHECK_MSG(inserted,
+                     "enumerator produced duplicate tuple " << batch.tuple(i).ToString());
+      (void)pos;
+    }
+    if (n < kDrainChunk) break;
   }
   return result;
 }
@@ -40,29 +47,52 @@ std::map<Tuple, Mult> DrainEnumeration(Enumerator& it) {
 /// concurrent updates invalidate open enumerators; with a pinned snapshot
 /// epoch the stream reads the published as-of state and may run
 /// concurrently with maintenance (ARCHITECTURE.md §9).
+///
+/// Construction resolves the session's ReadView once and charges the
+/// read-side cost counters (reads + read_fast_lane/read_versioned).
 class ResultEnumerator {
  public:
+  /// Full version filtering at `epoch` — for storage without a resolvable
+  /// context (plain engines) and writer-side live reads.
   ResultEnumerator(const ConjunctiveQuery& q, const CompiledPlan& plan,
                    Epoch epoch = kLiveEpoch);
+
+  /// Resolved-session constructor (MaintainedQuery::EnumerateAt resolves
+  /// the view against its epoch context once per session).
+  ResultEnumerator(const ConjunctiveQuery& q, const CompiledPlan& plan,
+                   const ReadView& view);
 
   /// Next distinct result tuple (over free_vars() in head order) and its
   /// multiplicity; false at the end of the result.
   bool Next(Tuple* out, Mult* mult);
 
+  /// Appends up to `limit` rows to `out` (not cleared); fewer than `limit`
+  /// means the stream ended. When the plan is a single covering root whose
+  /// emit order already matches the head (the ε = 1 / materialized-result
+  /// shape), this forwards straight to the root cursor's batched scan.
+  size_t FillBatch(RowBuffer* out, size_t limit);
+
  private:
   /// Union across the view trees of one connected component.
   class ComponentUnion {
    public:
-    ComponentUnion(const std::vector<const ViewNode*>& roots, Epoch epoch);
+    ComponentUnion(const std::vector<const ViewNode*>& roots, const ReadView& view);
     void Open();
     bool Next(Tuple* out, Mult* mult);  // over the component emit schema
     const Schema& emit_schema() const { return emit_; }
+
+    /// The lone tree's cursor (single-tree components only; used for the
+    /// direct-root FillBatch forwarding).
+    Cursor* sole_cursor() const {
+      return roots_.size() == 1 ? cursors_[0].get() : nullptr;
+    }
+    bool tree_emit_matches_component(size_t i) const;
 
    private:
     Mult LookupInTree(size_t i, const Tuple& comp_tuple) const;
 
     std::vector<const ViewNode*> roots_;
-    Epoch epoch_;
+    ReadView view_;
     std::vector<std::unique_ptr<Cursor>> cursors_;
     std::vector<std::vector<int>> comp_to_tree_;  // reorder comp → tree emit
     std::vector<std::vector<int>> tree_to_comp_;  // reorder tree → comp emit
@@ -70,6 +100,9 @@ class ResultEnumerator {
   };
 
   bool AdvanceComponent(size_t i);
+  /// True when the whole result is the single root cursor's stream with
+  /// identity projections end to end.
+  bool ResolveDirectRoot();
 
   const ConjunctiveQuery& query_;
   std::vector<std::unique_ptr<ComponentUnion>> components_;
@@ -77,6 +110,8 @@ class ResultEnumerator {
   std::vector<Mult> mults_;
   // For each free variable: which component and which emit position.
   std::vector<std::pair<size_t, size_t>> out_sources_;
+  Cursor* direct_root_ = nullptr;  ///< non-null: FillBatch forwards here
+  bool direct_opened_ = false;
   bool primed_ = false;
   bool done_ = false;
 };

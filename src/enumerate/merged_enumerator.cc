@@ -1,24 +1,87 @@
 #include "src/enumerate/merged_enumerator.h"
 
+#include <functional>
+
+#include "src/common/thread_pool.h"
+
 namespace ivme {
 
+namespace {
+
+// Per-task drain granularity. Large enough that the FillBatch call overhead
+// vanishes; the buffer grows geometrically underneath regardless.
+constexpr size_t kShardDrainChunk = 1024;
+
+void DrainShard(ResultEnumerator* shard, RowBuffer* out) {
+  for (;;) {
+    const size_t n = shard->FillBatch(out, kShardDrainChunk);
+    if (n < kShardDrainChunk) break;
+  }
+}
+
+}  // namespace
+
 MergedEnumerator::MergedEnumerator(std::vector<std::unique_ptr<ResultEnumerator>> shards,
-                                   bool disjoint)
+                                   bool disjoint, DrainMode mode, ThreadPool* pool)
     : shards_(std::move(shards)), disjoint_(disjoint) {
+  if (mode == DrainMode::kParallel && shards_.size() > 1) {
+    // Fan the shard drains out; each task owns its shard's enumerator and
+    // its own RowBuffer, so tasks share nothing. Run() is the barrier that
+    // publishes the buffers (and the tasks' thread-local cost counters).
+    buffers_.resize(shards_.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      tasks.push_back([this, i] { DrainShard(shards_[i].get(), &buffers_[i]); });
+    }
+    if (pool != nullptr) {
+      pool->Run(tasks);
+    } else {
+      for (const auto& task : tasks) task();
+    }
+    shards_.clear();
+    buffered_ = true;
+  }
   if (disjoint_) return;
   // Overlap possible: sum every shard's stream into one map, then stream
-  // the map. Entries keep first-appearance order across shards.
-  Tuple t;
-  Mult m = 0;
-  for (auto& shard : shards_) {
-    while (shard->Next(&t, &m)) merged_.Emplace(t).first->value += m;
+  // the map. Entries keep first-appearance order across shards — the merge
+  // pass walks the (possibly parallel-drained) shards in shard order, so
+  // the stream is identical to the serial drain.
+  if (buffered_) {
+    for (auto& buf : buffers_) {
+      for (size_t i = 0; i < buf.size(); ++i) {
+        merged_.Emplace(buf.tuple(i)).first->value += buf.mult(i);
+      }
+    }
+    buffers_.clear();
+    buffered_ = false;
+  } else {
+    Tuple t;
+    Mult m = 0;
+    for (auto& shard : shards_) {
+      while (shard->Next(&t, &m)) merged_.Emplace(t).first->value += m;
+    }
+    shards_.clear();
   }
-  shards_.clear();
   next_ = merged_.First();
 }
 
 bool MergedEnumerator::Next(Tuple* out, Mult* mult) {
   if (disjoint_) {
+    if (buffered_) {
+      while (buf_shard_ < buffers_.size()) {
+        const RowBuffer& buf = buffers_[buf_shard_];
+        if (buf_row_ < buf.size()) {
+          *out = buf.tuple(buf_row_);
+          *mult = buf.mult(buf_row_);
+          ++buf_row_;
+          return true;
+        }
+        ++buf_shard_;
+        buf_row_ = 0;
+      }
+      return false;
+    }
     while (current_ < shards_.size()) {
       if (shards_[current_]->Next(out, mult)) return true;
       ++current_;
@@ -30,6 +93,28 @@ bool MergedEnumerator::Next(Tuple* out, Mult* mult) {
   *mult = next_->value;
   next_ = next_->next;
   return true;
+}
+
+size_t MergedEnumerator::FillBatch(RowBuffer* out, size_t limit) {
+  if (disjoint_ && !buffered_) {
+    // Lazy concatenation: forward the batched pulls shard by shard.
+    size_t n = 0;
+    while (n < limit && current_ < shards_.size()) {
+      n += shards_[current_]->FillBatch(out, limit - n);
+      if (n < limit) ++current_;
+    }
+    return n;
+  }
+  size_t n = 0;
+  Tuple* t = nullptr;
+  Mult* m = nullptr;
+  while (n < limit) {
+    out->Slot(&t, &m);
+    if (!Next(t, m)) break;
+    out->Commit();
+    ++n;
+  }
+  return n;
 }
 
 }  // namespace ivme

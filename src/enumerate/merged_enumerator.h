@@ -8,6 +8,11 @@
 // shards with its multiplicity split between them; the enumerator then
 // eagerly drains all shards into one multiplicity-summing map and streams
 // that (O(result) space, like any dedup over a projection).
+//
+// DrainMode::kParallel fans the per-shard drains onto a ThreadPool: each
+// task batches its own shard's stream into a private RowBuffer, and the
+// buffers are streamed (disjoint) or merge-summed (bound root) in shard
+// order afterwards, so the output is byte-identical to the serial stream.
 #ifndef IVME_ENUMERATE_MERGED_ENUMERATOR_H_
 #define IVME_ENUMERATE_MERGED_ENUMERATOR_H_
 
@@ -19,6 +24,14 @@
 
 namespace ivme {
 
+class ThreadPool;
+
+/// How a MergedEnumerator consumes its shard streams.
+enum class DrainMode {
+  kLazy,      ///< pull shard-by-shard on demand (serial; no pool use)
+  kParallel,  ///< drain all shards up front on the pool, then stream buffers
+};
+
 /// Concatenates (disjoint shards) or merges (overlapping projections) the
 /// result streams of a sharded engine's per-shard enumerators. Same
 /// contract as ResultEnumerator: distinct tuples over the query's free
@@ -27,17 +40,31 @@ class MergedEnumerator {
  public:
   /// `disjoint` asserts that no output tuple occurs in more than one shard
   /// stream (root variable free). With `disjoint` false the constructor
-  /// drains every shard up front.
-  MergedEnumerator(std::vector<std::unique_ptr<ResultEnumerator>> shards, bool disjoint);
+  /// drains every shard up front. DrainMode::kParallel additionally runs
+  /// the per-shard drains as pool tasks (inline when `pool` is null or has
+  /// no workers); the merged stream order is unchanged.
+  MergedEnumerator(std::vector<std::unique_ptr<ResultEnumerator>> shards,
+                   bool disjoint, DrainMode mode = DrainMode::kLazy,
+                   ThreadPool* pool = nullptr);
 
   /// Next distinct result tuple and its multiplicity; false at the end.
   bool Next(Tuple* out, Mult* mult);
 
+  /// Appends up to `limit` rows to `out` (not cleared); fewer than `limit`
+  /// means the stream ended.
+  size_t FillBatch(RowBuffer* out, size_t limit);
+
  private:
   std::vector<std::unique_ptr<ResultEnumerator>> shards_;
-  size_t current_ = 0;  ///< shard being drained (disjoint mode)
+  size_t current_ = 0;  ///< shard being drained (disjoint lazy mode)
 
   bool disjoint_ = true;
+  /// Parallel-drain results, one buffer per shard, streamed in shard order.
+  std::vector<RowBuffer> buffers_;
+  bool buffered_ = false;
+  size_t buf_shard_ = 0;  ///< stream position over buffers_
+  size_t buf_row_ = 0;
+
   TupleMap<Mult> merged_;                       ///< merge mode: summed result
   const TupleMap<Mult>::Node* next_ = nullptr;  ///< merge mode: stream position
 };

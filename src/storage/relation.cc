@@ -25,22 +25,21 @@ size_t Relation::Index::CountForKey(const Tuple& key) const {
   return node != nullptr ? node->value.count : 0;
 }
 
-const Relation::IndexLink* Relation::Index::FirstForKeyAt(const Tuple& key,
-                                                          Epoch epoch) const {
-  const BucketNode* node = buckets_.FindAt(key, epoch);
+const Relation::IndexLink* Relation::Index::FirstForKeyView(const Tuple& key,
+                                                            const ReadView& view) const {
+  const BucketNode* node = buckets_.FindView(key, view);
   if (node == nullptr) return nullptr;
   const IndexLink* link = node->value.head.load(std::memory_order_acquire);
-  while (link != nullptr &&
-         !TupleMap<EntryPayload>::LiveAt(link->entry, epoch)) {
+  while (link != nullptr && !TupleMap<EntryPayload>::Visible(link->entry, view)) {
     link = link->next.load(std::memory_order_acquire);
   }
   return link;
 }
 
-const Relation::IndexLink* Relation::Index::NextLinkAt(const IndexLink* link,
-                                                       Epoch epoch) {
+const Relation::IndexLink* Relation::Index::NextLinkView(const IndexLink* link,
+                                                         const ReadView& view) {
   const IndexLink* n = link->next.load(std::memory_order_acquire);
-  while (n != nullptr && !TupleMap<EntryPayload>::LiveAt(n->entry, epoch)) {
+  while (n != nullptr && !TupleMap<EntryPayload>::Visible(n->entry, view)) {
     n = n->next.load(std::memory_order_acquire);
   }
   return n;
@@ -218,19 +217,30 @@ void Relation::StoreMult(Entry* entry, Mult after, bool inserted) {
     p.history.store(rec, std::memory_order_release);
     p.last_touch.store(w, std::memory_order_release);
     PruneHistory(&p, w);
+    if (!p.flatten_queued) {
+      // Schedule a re-prune for when the pin floor passes this epoch: the
+      // records this write just made obsolete-for-future-pins then drop
+      // without waiting for another write to the same entry, so quiescent
+      // serving catalogs converge back to flat single-version entries.
+      p.flatten_queued = true;
+      ctx_->log->Retire(w, &FlattenHistoryThunk, &NoopThunk, this, entry);
+    }
   }
   p.mult.store(after, std::memory_order_release);
 }
 
-void Relation::PruneHistory(EntryPayload* payload, Epoch working) {
+void Relation::PruneHistory(EntryPayload* payload, Epoch upper) {
   // Keep, for every epoch k that a reader may resolve (pinned epochs plus
   // the published one, snapshotted at batch start), the newest record with
   // from ≤ k; unlink the rest into limbo. Walk newest→oldest with the
   // keep-set largest→smallest: the record covering [from, upper) is needed
-  // iff some keep epoch falls in that window.
+  // iff some keep epoch falls in that window. The newest record's window
+  // ends at `upper` = last_touch — keep epochs at or above it are served by
+  // the entry's current mult, so with no pins below last_touch the chain
+  // empties completely.
   const std::vector<Epoch>& keeps = ctx_->log->keep_epochs();
+  const Epoch working = ctx_->working();
   auto it = keeps.rbegin();
-  Epoch upper = working;
   std::atomic<MultVersion*>* slot = &payload->history;
   MultVersion* rec = slot->load(std::memory_order_relaxed);
   while (rec != nullptr) {
@@ -252,6 +262,33 @@ void Relation::PruneHistory(EntryPayload* payload, Epoch working) {
 
 void Relation::FreeMultVersionThunk(void* /*owner*/, void* object) {
   delete static_cast<MultVersion*>(object);
+}
+
+void Relation::FlattenHistoryThunk(void* owner, void* object) {
+  // Phase 1 of the flatten retire: the pin floor has passed the epoch of
+  // the first-touch that queued it, and the facade refreshed keep_epochs at
+  // this batch boundary — prune against the *current* pin set. The entry's
+  // memory is valid even if it became a zombie since (its own free is a
+  // later log entry, FIFO), and any keep epoch at or above last_touch is
+  // served by the entry's current mult.
+  auto* self = static_cast<Relation*>(owner);
+  auto* entry = static_cast<Entry*>(object);
+  EntryPayload& p = entry->value;
+  p.flatten_queued = false;
+  self->PruneHistory(&p, p.last_touch.load(std::memory_order_relaxed));
+}
+
+void Relation::NoopThunk(void* /*owner*/, void* /*object*/) {}
+
+size_t Relation::DebugVersionRecords() const {
+  size_t records = 0;
+  for (const Entry* entry = First(); entry != nullptr; entry = NextLive(entry)) {
+    for (const MultVersion* r = entry->value.history.load(std::memory_order_relaxed);
+         r != nullptr; r = r->older.load(std::memory_order_relaxed)) {
+      ++records;
+    }
+  }
+  return records;
 }
 
 Relation::ApplyResult Relation::Apply(const Tuple& tuple, Mult delta) {

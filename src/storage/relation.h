@@ -60,6 +60,11 @@ class Relation {
     std::vector<IndexLink*> links;
     std::atomic<Epoch> last_touch{0};
     std::atomic<MultVersion*> history{nullptr};
+    /// Writer-only: a FlattenHistoryThunk is queued on the RetireLog and
+    /// has not run yet. Keeps at most one flatten outstanding per entry, so
+    /// long-lived serving relations converge back to single-version nodes
+    /// once the pin floor catches up (ARCHITECTURE.md §11).
+    bool flatten_queued = false;
 
     ~EntryPayload() {
       // Pruned records were unlinked into the RetireLog's limbo list and
@@ -133,10 +138,20 @@ class Relation {
     }
 
     /// Reader-side: the entry list for `key` as of `epoch`.
-    const IndexLink* FirstForKeyAt(const Tuple& key, Epoch epoch) const;
+    const IndexLink* FirstForKeyAt(const Tuple& key, Epoch epoch) const {
+      return FirstForKeyView(key, ReadView{epoch, ReadMode::kVersioned});
+    }
 
     /// Successor of `link` among entries alive at `epoch`.
-    static const IndexLink* NextLinkAt(const IndexLink* link, Epoch epoch);
+    static const IndexLink* NextLinkAt(const IndexLink* link, Epoch epoch) {
+      return NextLinkView(link, ReadView{epoch, ReadMode::kVersioned});
+    }
+
+    /// Reader-side entry list under a resolved session view (fast lanes
+    /// skip the per-link death check, see TupleMap::Visible).
+    const IndexLink* FirstForKeyView(const Tuple& key, const ReadView& view) const;
+
+    static const IndexLink* NextLinkView(const IndexLink* link, const ReadView& view);
 
     /// Writer-side successor (filters zombies).
     static const IndexLink* NextLink(const IndexLink* link) {
@@ -205,6 +220,21 @@ class Relation {
     return entry->value.mult.load(std::memory_order_relaxed);
   }
 
+  /// Session-view multiplicity. kDirect skips the seqlock entirely (plain
+  /// load); kFastPin keeps the seqlock + history fallback — a concurrent
+  /// writer's first touch at P+1 closes our value into the history chain,
+  /// and the seqlock re-check diverts exactly those reads there.
+  static Mult EntryMultView(const Entry* entry, const ReadView& view) {
+    if (view.mode == ReadMode::kDirect) return EntryMult(entry);
+    return EntryMultAt(entry, view.epoch);
+  }
+
+  /// Session-view lookup + multiplicity (0 when absent).
+  Mult MultiplicityView(const Tuple& tuple, const ReadView& view) const {
+    const Entry* entry = map_.FindView(tuple, view);
+    return entry != nullptr ? EntryMultView(entry, view) : 0;
+  }
+
   struct ApplyResult {
     Mult before = 0;
     Mult after = 0;
@@ -255,6 +285,12 @@ class Relation {
     return TupleMap<EntryPayload>::NextAt(entry, epoch);
   }
 
+  /// Reader-side enumeration under a resolved session view.
+  const Entry* FirstView(const ReadView& view) const { return map_.FirstView(view); }
+  static const Entry* NextView(const Entry* entry, const ReadView& view) {
+    return TupleMap<EntryPayload>::NextView(entry, view);
+  }
+
   /// Live entry lookup (nullptr when absent). Writer-side.
   const Entry* Find(const Tuple& tuple) const { return map_.Find(tuple); }
 
@@ -263,14 +299,36 @@ class Relation {
     return map_.FindAt(tuple, epoch);
   }
 
+  /// Reader-side lookup under a resolved session view.
+  const Entry* FindView(const Tuple& tuple, const ReadView& view) const {
+    return map_.FindView(tuple, view);
+  }
+
+  /// Total MultVersion records linked on live entries (tests/introspection;
+  /// writer-side). Flattening drives this back to 0 once no pin needs any
+  /// closed version.
+  size_t DebugVersionRecords() const;
+
  private:
   /// Sets a live entry's multiplicity at the working epoch, maintaining
   /// the version chain (first touch per epoch closes the previous version)
   /// and pruning records no pinned epoch needs.
   void StoreMult(Entry* entry, Mult after, bool inserted);
-  void PruneHistory(EntryPayload* payload, Epoch working);
+
+  /// Unlinks every history record no keep-epoch needs, given that the
+  /// newest closed record's window ends at `upper` (the entry's last_touch:
+  /// the current mult covers [last_touch, ∞) for readers at or above it).
+  /// Unlinked records go to limbo stamped with the current working epoch.
+  void PruneHistory(EntryPayload* payload, Epoch upper);
 
   static void FreeMultVersionThunk(void* owner, void* object);
+
+  /// RetireLog phase-1 thunk queued by StoreMult's first-touch: re-prunes
+  /// the entry's history once the pin floor has passed the touch epoch, so
+  /// chains shed records as soon as no pin needs them (instead of waiting
+  /// for the next write to the same entry).
+  static void FlattenHistoryThunk(void* owner, void* object);
+  static void NoopThunk(void* owner, void* object);
 
   Schema schema_;
   std::string name_;

@@ -118,6 +118,24 @@ class TupleMap {
     return n->birth <= epoch && epoch < death;
   }
 
+  /// Per-session visibility filter (see ReadMode). kDirect skips every
+  /// check; kFastPin keeps only the plain birth compare — sound because a
+  /// fast-pin session is pinned at the quiescent published epoch, where no
+  /// zombie or version chain exists at or below the pin, and any node a
+  /// concurrent writer creates has birth > pin; kVersioned is the full
+  /// [birth, death) window check.
+  static bool Visible(const Node* n, const ReadView& view) {
+    switch (view.mode) {
+      case ReadMode::kDirect:
+        return true;
+      case ReadMode::kFastPin:
+        return n->birth <= view.epoch;
+      case ReadMode::kVersioned:
+        return LiveAt(n, view.epoch);
+    }
+    return false;  // unreachable
+  }
+
   /// First live node in enumeration order (insertion order), or nullptr.
   /// Writer-side view: skips zombies.
   Node* First() const { return FirstAt(kLiveEpoch); }
@@ -127,16 +145,25 @@ class TupleMap {
 
   /// Reader-side enumeration as of `epoch` (kLiveEpoch = current state).
   Node* FirstAt(Epoch epoch) const {
+    return FirstView(ReadView{epoch, ReadMode::kVersioned});
+  }
+
+  static Node* NextAt(const Node* node, Epoch epoch) {
+    return NextView(node, ReadView{epoch, ReadMode::kVersioned});
+  }
+
+  /// Reader-side enumeration under a resolved session view.
+  Node* FirstView(const ReadView& view) const {
     Node* n = head_.load(std::memory_order_acquire);
-    while (n != nullptr && !LiveAt(n, epoch)) {
+    while (n != nullptr && !Visible(n, view)) {
       n = n->next.load(std::memory_order_acquire);
     }
     return n;
   }
 
-  static Node* NextAt(const Node* node, Epoch epoch) {
+  static Node* NextView(const Node* node, const ReadView& view) {
     Node* n = node->next.load(std::memory_order_acquire);
-    while (n != nullptr && !LiveAt(n, epoch)) {
+    while (n != nullptr && !Visible(n, view)) {
       n = n->next.load(std::memory_order_acquire);
     }
     return n;
@@ -148,6 +175,11 @@ class TupleMap {
 
   /// Reader-side lookup as of `epoch`. Safe concurrently with the writer.
   Node* FindAt(const Tuple& key, Epoch epoch) const {
+    return FindView(key, ReadView{epoch, ReadMode::kVersioned});
+  }
+
+  /// Reader-side lookup under a resolved session view.
+  Node* FindView(const Tuple& key, const ReadView& view) const {
     const uint64_t h = key.Hash();
     // Snapshot BOTH table pointers before probing, table_ first: if a node
     // migrates into the new table after our new-table probe misses it, the
@@ -158,9 +190,9 @@ class TupleMap {
     // epoch (migration copies pointers, nodes never leave a table).
     const Table* t = table_.load(std::memory_order_acquire);
     const Table* old = old_table_.load(std::memory_order_acquire);
-    if (Node* n = Probe(t, h, key, epoch)) return n;
+    if (Node* n = Probe(t, h, key, view)) return n;
     if (old != nullptr && old != t) {
-      if (Node* n = Probe(old, h, key, epoch)) return n;
+      if (Node* n = Probe(old, h, key, view)) return n;
     }
     return nullptr;
   }
@@ -174,9 +206,10 @@ class TupleMap {
   /// two are disambiguated by their disjoint [birth, death) windows.
   std::pair<Node*, bool> Emplace(const Tuple& key) {
     const uint64_t h = key.Hash();
+    const ReadView live{kLiveEpoch, ReadMode::kVersioned};
     Table* t = table_.load(std::memory_order_relaxed);
     Table* old = old_table_.load(std::memory_order_relaxed);
-    if (Node* n = Probe(t, h, key, kLiveEpoch)) {
+    if (Node* n = Probe(t, h, key, live)) {
       // Hits advance the migration too: a multiplicity-bump-heavy phase
       // (mostly re-touching existing keys) must still drain the old array
       // instead of paying the two-table probe indefinitely.
@@ -184,7 +217,7 @@ class TupleMap {
       return {n, false};
     }
     if (old != nullptr) {
-      if (Node* n = Probe(old, h, key, kLiveEpoch)) {
+      if (Node* n = Probe(old, h, key, live)) {
         MigrateStep();
         return {n, false};
       }
@@ -313,17 +346,17 @@ class TupleMap {
     free_head_ = slot;
   }
 
-  /// Linear probe for a key match live at `epoch`. Reader-safe: slots are
-  /// acquire-loaded, and matching nodes were fully initialized before their
-  /// slot store (release).
+  /// Linear probe for a key match visible under `view`. Reader-safe: slots
+  /// are acquire-loaded, and matching nodes were fully initialized before
+  /// their slot store (release).
   static Node* Probe(const Table* t, uint64_t h, const Tuple& key,
-                     Epoch epoch) {
+                     const ReadView& view) {
     const size_t mask = t->capacity - 1;
     for (size_t i = h & mask;; i = (i + 1) & mask) {
       Node* n = t->slots[i].load(std::memory_order_acquire);
       if (n == nullptr) return nullptr;
       if (n == Tombstone()) continue;
-      if (n->hash == h && LiveAt(n, epoch) && n->key == key) return n;
+      if (n->hash == h && Visible(n, view) && n->key == key) return n;
     }
   }
 

@@ -1,0 +1,427 @@
+// Read-path tests: parallel snapshot enumeration and the quiescent fast
+// lanes (ARCHITECTURE.md §11).
+//
+//   - Differential: DrainMode::kParallel must produce the byte-identical
+//     row stream of the serial drain — same tuples, same multiplicities,
+//     same order — across K ∈ {1, 2, 4} shards, for a free-root query
+//     (disjoint concatenation) and a bound-root query (multiplicity-summing
+//     merge), via both Next() and FillBatch(), live and at a pinned epoch.
+//   - Lane resolution: a snapshot pinned at a quiescent published epoch
+//     takes the kFastPin lane, a pin held below the published epoch forces
+//     kVersioned on later sessions, and both lanes return exactly the same
+//     results (the read counters prove which lane ran).
+//   - Flattening: version chains built up under a stalled pin converge back
+//     to single-version entries once the pin drops and the retire log's
+//     flatten thunks run.
+//   - Serving flip torture (run under TSan): readers TryAcquireSnapshot in
+//     a loop while the writer flips DisableServing/EnableServing between
+//     batches; refused pins retry, granted pins must see exactly the batch
+//     boundary they pinned.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/counters.h"
+#include "src/common/rng.h"
+#include "src/core/catalog.h"
+#include "src/core/sharded_catalog.h"
+#include "tests/support/catalog.h"
+#include "tests/support/seed.h"
+
+namespace ivme {
+namespace {
+
+using testing::MustParse;
+
+EngineOptions Options() {
+  EngineOptions options;
+  options.epsilon = 0.5;
+  options.mode = EvalMode::kDynamic;
+  return options;
+}
+
+using Rows = std::vector<std::pair<Tuple, Mult>>;
+
+Rows DrainNext(MergedEnumerator& it) {
+  Rows rows;
+  Tuple t;
+  Mult m = 0;
+  while (it.Next(&t, &m)) rows.emplace_back(t, m);
+  return rows;
+}
+
+Rows DrainFill(MergedEnumerator& it, size_t chunk) {
+  Rows rows;
+  RowBuffer batch;
+  for (;;) {
+    batch.Clear();
+    const size_t n = it.FillBatch(&batch, chunk);
+    for (size_t i = 0; i < n; ++i) rows.emplace_back(batch.tuple(i), batch.mult(i));
+    if (n < chunk) break;
+  }
+  return rows;
+}
+
+/// Loads the same random R/S data into `catalog` and `reference`.
+void LoadRandom(ShardedCatalog* catalog, QueryCatalog* reference, uint64_t seed,
+                size_t tuples, Value domain) {
+  Rng rng(seed);
+  for (const char* relation : {"R", "S"}) {
+    for (size_t i = 0; i < tuples; ++i) {
+      const Tuple t{rng.Range(0, domain), rng.Range(0, domain)};
+      catalog->LoadTuple(relation, t, 1);
+      if (reference != nullptr) reference->LoadTuple(relation, t, 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel vs serial differential
+// ---------------------------------------------------------------------------
+
+class ParallelDrainTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelDrainTest, ParallelStreamIsByteIdenticalToSerial) {
+  const size_t shards = GetParam();
+  const uint64_t seed = testing::SeedBase(0x4EAD0000ull) ^ shards;
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " shards=" + std::to_string(shards));
+
+  ShardedCatalogOptions opt;
+  opt.num_shards = shards;
+  opt.num_threads = shards;  // force a pool even on single-core hosts
+  ShardedCatalog catalog(opt);
+  QueryCatalog reference;
+
+  // Both queries route on B (R column 1, S column 0). "free" emits the
+  // root, so shard streams are disjoint and concatenate; "bound" projects
+  // it away, so shard results overlap and merge-sum.
+  std::string why;
+  ASSERT_TRUE(catalog.RegisterQuery("free", MustParse("Q(A, B, C) = R(A, B), S(B, C)"),
+                                    Options(), &why))
+      << why;
+  ASSERT_TRUE(catalog.RegisterQuery("bound", MustParse("Q(A, C) = R(A, B), S(B, C)"),
+                                    Options(), &why))
+      << why;
+  reference.RegisterQuery("free", MustParse("Q(A, B, C) = R(A, B), S(B, C)"), Options());
+  reference.RegisterQuery("bound", MustParse("Q(A, C) = R(A, B), S(B, C)"), Options());
+
+  LoadRandom(&catalog, &reference, seed, /*tuples=*/300, /*domain=*/25);
+  catalog.Preprocess();
+  reference.Preprocess();
+
+  for (const char* name : {"free", "bound"}) {
+    SCOPED_TRACE(name);
+    const Rows serial = DrainNext(*catalog.Enumerate(name));
+    // Odd chunk size so batch boundaries land mid-shard and mid-merge.
+    EXPECT_EQ(DrainFill(*catalog.Enumerate(name), 7), serial);
+    EXPECT_EQ(DrainNext(*catalog.Enumerate(name, DrainMode::kParallel)), serial);
+    EXPECT_EQ(DrainFill(*catalog.Enumerate(name, DrainMode::kParallel), 7), serial);
+
+    // Same content as the unsharded reference (order-insensitive).
+    EXPECT_EQ(catalog.EvaluateToMap(name), reference.EvaluateToMap(name));
+  }
+
+  // The same holds for a pinned snapshot read under live maintenance.
+  catalog.EnableServing();
+  catalog.ApplyUpdate("R", Tuple{100, 100}, 1);
+  reference.ApplyUpdate("R", Tuple{100, 100}, 1);
+  const ReadSnapshot snap = catalog.AcquireSnapshot();
+  for (const char* name : {"free", "bound"}) {
+    SCOPED_TRACE(name);
+    const Rows serial = DrainNext(*catalog.EnumerateAt(name, snap.epoch()));
+    EXPECT_EQ(DrainFill(*catalog.EnumerateAt(name, snap.epoch()), 7), serial);
+    EXPECT_EQ(DrainNext(*catalog.EnumerateAt(name, snap.epoch(), DrainMode::kParallel)),
+              serial);
+    EXPECT_EQ(DrainFill(*catalog.EnumerateAt(name, snap.epoch(), DrainMode::kParallel), 7),
+              serial);
+    EXPECT_EQ(catalog.EvaluateToMapAt(name, snap.epoch()), reference.EvaluateToMap(name));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ParallelDrainTest, ::testing::Values(1, 2, 4));
+
+// ---------------------------------------------------------------------------
+// Lane resolution and equality
+// ---------------------------------------------------------------------------
+
+TEST(ReadPathTest, FastLaneAndVersionedLaneReturnIdenticalResults) {
+  const uint64_t seed = testing::SeedBase(0x4EAD1000ull);
+  ShardedCatalogOptions opt;
+  opt.num_shards = 2;
+  opt.num_threads = 2;
+  ShardedCatalog catalog(opt);
+  QueryCatalog reference;
+  std::string why;
+  ASSERT_TRUE(catalog.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"),
+                                    Options(), &why))
+      << why;
+  reference.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"), Options());
+  LoadRandom(&catalog, &reference, seed, /*tuples=*/120, /*domain=*/12);
+  catalog.EnableServing();
+  catalog.Preprocess();
+  reference.Preprocess();
+
+  // Two idle boundaries reclaim whatever preprocessing retired; the
+  // published epoch is then quiescent and snapshots take the fast lane.
+  catalog.ApplyBatch(UpdateBatch{});
+  catalog.ApplyBatch(UpdateBatch{});
+  ASSERT_EQ(catalog.RetiredObjects(), 0u);
+
+  const QueryResult expected_before = reference.EvaluateToMap("join");
+  {
+    const ReadSnapshot snap = catalog.AcquireSnapshot();
+    ResetCounters();
+    EXPECT_EQ(catalog.EvaluateToMapAt("join", snap.epoch()), expected_before);
+    const CostCounters counters = AggregateCounters();
+    EXPECT_EQ(counters.reads, 2u);  // one session per shard
+    EXPECT_EQ(counters.read_fast_lane, 2u);
+    EXPECT_EQ(counters.read_versioned, 0u);
+  }
+
+  // A stalled pin below the next published epoch forces later sessions
+  // onto the versioned lane; results must not change for either epoch.
+  ReadSnapshot stalled = catalog.AcquireSnapshot();
+  UpdateBatch churn;
+  churn.push_back(Update{"R", Tuple{0, 0}, 1});
+  churn.push_back(Update{"S", Tuple{0, 0}, 1});
+  catalog.ApplyBatch(churn);
+  reference.ApplyBatch(churn);
+  UpdateBatch churn2;
+  churn2.push_back(Update{"R", Tuple{0, 0}, -1});
+  catalog.ApplyBatch(churn2);
+  reference.ApplyBatch(churn2);
+  const QueryResult expected_after = reference.EvaluateToMap("join");
+
+  {
+    const ReadSnapshot snap = catalog.AcquireSnapshot();
+    ASSERT_GT(snap.epoch(), stalled.epoch());
+    ResetCounters();
+    EXPECT_EQ(catalog.EvaluateToMapAt("join", snap.epoch()), expected_after);
+    EXPECT_EQ(catalog.EvaluateToMapAt("join", stalled.epoch()), expected_before);
+    const CostCounters counters = AggregateCounters();
+    EXPECT_EQ(counters.reads, 4u);
+    EXPECT_EQ(counters.read_fast_lane, 0u);
+    EXPECT_EQ(counters.read_versioned, 4u);
+  }
+
+  // Pin dropped: two boundaries later the catalog is quiescent again and
+  // the fast lane is back.
+  stalled.Release();
+  catalog.ApplyBatch(UpdateBatch{});
+  catalog.ApplyBatch(UpdateBatch{});
+  EXPECT_EQ(catalog.RetiredObjects(), 0u);
+  {
+    const ReadSnapshot snap = catalog.AcquireSnapshot();
+    ResetCounters();
+    EXPECT_EQ(catalog.EvaluateToMapAt("join", snap.epoch()), expected_after);
+    const CostCounters counters = AggregateCounters();
+    EXPECT_EQ(counters.read_fast_lane, 2u);
+    EXPECT_EQ(counters.read_versioned, 0u);
+  }
+
+  // Serving disabled entirely: reads resolve kDirect (also a fast lane).
+  catalog.DisableServing();
+  ResetCounters();
+  EXPECT_EQ(catalog.EvaluateToMap("join"), expected_after);
+  const CostCounters counters = AggregateCounters();
+  EXPECT_EQ(counters.read_fast_lane, 2u);
+  EXPECT_EQ(counters.read_versioned, 0u);
+  std::string error;
+  EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Version-chain flattening
+// ---------------------------------------------------------------------------
+
+TEST(ReadPathTest, VersionChainsFlattenAfterStalledPinDrops) {
+  const uint64_t seed = testing::SeedBase(0x4EAD2000ull);
+  ShardedCatalogOptions opt;
+  opt.num_shards = 1;
+  ShardedCatalog catalog(opt);
+  std::string why;
+  ASSERT_TRUE(catalog.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"),
+                                    Options(), &why))
+      << why;
+  LoadRandom(&catalog, /*reference=*/nullptr, seed, /*tuples=*/60, /*domain=*/8);
+  // The churn target must pre-exist and stay live: multiplicity *changes*
+  // (not insert/delete cycles) are what grow per-entry version chains.
+  catalog.LoadTuple("R", Tuple{0, 0}, 2);
+  catalog.LoadTuple("S", Tuple{0, 0}, 1);
+  catalog.EnableServing();
+  catalog.Preprocess();
+  const QueryResult before = catalog.EvaluateToMap("join");
+
+  // Churn the same tuple's multiplicity under a stalled pin: the entry
+  // accumulates a version record per epoch (the pin keeps them alive).
+  ReadSnapshot stalled = catalog.AcquireSnapshot();
+  const Relation* r = catalog.shard(0).store().Find("R");
+  ASSERT_NE(r, nullptr);
+  for (int round = 0; round < 6; ++round) {
+    UpdateBatch batch;
+    batch.push_back(Update{"R", Tuple{0, 0}, round % 2 == 0 ? 1 : -1});
+    catalog.ApplyBatch(batch);
+  }
+  EXPECT_GT(r->DebugVersionRecords(), 0u);
+  EXPECT_EQ(catalog.EvaluateToMapAt("join", stalled.epoch()), before);
+
+  // Pin released: the next boundaries run the queued flatten thunks and
+  // the chains converge to single-version entries (long-lived serving
+  // catalogs do not accumulate history).
+  stalled.Release();
+  catalog.ApplyBatch(UpdateBatch{});
+  catalog.ApplyBatch(UpdateBatch{});
+  EXPECT_EQ(r->DebugVersionRecords(), 0u);
+  EXPECT_EQ(catalog.RetiredObjects(), 0u);
+
+  // Quiescent again: the next snapshot is a fast-lane session.
+  const ReadSnapshot snap = catalog.AcquireSnapshot();
+  ResetCounters();
+  (void)catalog.EvaluateToMapAt("join", snap.epoch());
+  const CostCounters counters = AggregateCounters();
+  EXPECT_EQ(counters.read_versioned, 0u);
+  EXPECT_GT(counters.read_fast_lane, 0u);
+  std::string error;
+  EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Serving flip torture (TSan)
+// ---------------------------------------------------------------------------
+
+TEST(ReadPathTest, ServingFlipTortureWithTryPinReaders) {
+  const uint64_t seed = testing::SeedBase(0x4EAD3000ull);
+  constexpr int kRounds = 36;
+  constexpr int kFlipEvery = 6;
+  constexpr int kReaders = 2;
+
+  ShardedCatalogOptions opt;
+  opt.num_shards = 2;
+  opt.num_threads = 2;
+  ShardedCatalog catalog(opt);
+  QueryCatalog reference;
+  std::string why;
+  ASSERT_TRUE(catalog.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"),
+                                    Options(), &why))
+      << why;
+  reference.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"), Options());
+  LoadRandom(&catalog, &reference, seed, /*tuples=*/40, /*domain=*/6);
+  catalog.EnableServing();
+  catalog.Preprocess();
+  reference.Preprocess();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<Epoch, QueryResult> refs;  // epoch -> reference result at that boundary
+  bool done = false;
+  std::atomic<size_t> granted{0};
+  std::atomic<size_t> refused{0};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    refs[catalog.epoch_manager().published()] = reference.EvaluateToMap("join");
+  }
+
+  // Readers: TryAcquireSnapshot in a loop. A refused pin means serving is
+  // (or is about to be) disabled — retry; a granted pin must read exactly
+  // the pinned batch boundary, in parallel drain mode.
+  auto reader = [&] {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (done) break;
+      }
+      ReadSnapshot snap = catalog.TryAcquireSnapshot();
+      if (!snap.pinned()) {
+        refused.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+        continue;
+      }
+      granted.fetch_add(1, std::memory_order_relaxed);
+      const Epoch e = snap.epoch();
+      QueryResult expected;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return refs.count(e) != 0 || done; });
+        auto it = refs.find(e);
+        if (it == refs.end()) {
+          ADD_FAILURE() << "published epoch " << e << " was never recorded";
+          break;
+        }
+        expected = it->second;
+      }
+      auto enumerator = catalog.EnumerateAt("join", e, DrainMode::kParallel);
+      EXPECT_EQ(DrainEnumeration(*enumerator), expected) << "epoch " << e;
+    }
+  };
+  std::vector<std::thread> readers;
+  for (int i = 0; i < kReaders; ++i) readers.emplace_back(reader);
+
+  Rng rng(seed);
+  auto apply_round = [&] {
+    UpdateBatch batch;
+    const size_t n = 1 + rng.Below(8);
+    for (size_t i = 0; i < n; ++i) {
+      const char* relation = rng.Below(2) == 0 ? "R" : "S";
+      const Mult mult = rng.Chance(0.3) ? -1 : 1;
+      Tuple t{rng.Range(0, 6), rng.Range(0, 6)};
+      batch.push_back(Update{relation, std::move(t), mult});
+    }
+    // Below-zero deletes are skipped identically on both sides.
+    catalog.ApplyBatch(batch);
+    reference.ApplyBatch(batch);
+  };
+
+  for (int round = 0; round < kRounds; ++round) {
+    if (round % kFlipEvery == kFlipEvery - 1) {
+      // Flip: wait out the pinned readers, run a couple of rounds in plain
+      // (kDirect) mode, verify the writer's own direct read, then record
+      // the re-published state BEFORE re-admitting pins — the epoch number
+      // does not advance while disabled, but its contents do.
+      catalog.DisableServing();
+      apply_round();
+      apply_round();
+      EXPECT_EQ(catalog.EvaluateToMap("join"), reference.EvaluateToMap("join"));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        refs[catalog.epoch_manager().published()] = reference.EvaluateToMap("join");
+      }
+      catalog.EnableServing();
+      cv.notify_all();
+      continue;
+    }
+    apply_round();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      refs[catalog.epoch_manager().published()] = reference.EvaluateToMap("join");
+    }
+    cv.notify_all();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  for (auto& t : readers) t.join();
+  EXPECT_GT(granted.load(), 0u);
+
+  // Quiescent wrap-up: serial equals parallel equals reference; all
+  // retired memory reclaimed; invariants hold on every shard.
+  EXPECT_EQ(catalog.EvaluateToMap("join"), reference.EvaluateToMap("join"));
+  catalog.ApplyBatch(UpdateBatch{});
+  catalog.ApplyBatch(UpdateBatch{});
+  EXPECT_EQ(catalog.RetiredObjects(), 0u);
+  std::string error;
+  EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+}
+
+}  // namespace
+}  // namespace ivme

@@ -133,6 +133,75 @@ TEST(ThreadPoolTest, InlineModePropagatesExceptions) {
   EXPECT_EQ(ran, 1);
 }
 
+TEST(ThreadPoolTest, ConcurrentRunsFromMultipleThreadsShareTheWorkers) {
+  // Parallel readers drain shard streams on the same pool the writer fans
+  // batches out on — Run() must interleave safely across calling threads.
+  ThreadPool pool(2);
+  static constexpr int kCallers = 4;
+  static constexpr int kRoundsPerCaller = 16;
+  static constexpr int kTasksPerRun = 8;
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &total] {
+      for (int round = 0; round < kRoundsPerCaller; ++round) {
+        std::atomic<int> mine{0};
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < kTasksPerRun; ++i) {
+          tasks.push_back([&mine] { mine.fetch_add(1, std::memory_order_relaxed); });
+        }
+        pool.Run(tasks);
+        // The barrier covers exactly this caller's batch.
+        EXPECT_EQ(mine.load(), kTasksPerRun);
+        total.fetch_add(mine.load(), std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), kCallers * kRoundsPerCaller * kTasksPerRun);
+}
+
+TEST(ThreadPoolTest, ReentrantRunFromInsideATaskDoesNotDeadlock) {
+  // More outer tasks than workers, and every outer task starts a nested
+  // Run: caller participation must guarantee progress even when every
+  // worker is itself blocked inside an outer task's nested barrier.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 6; ++i) {
+    outer.push_back([&pool, &inner_total] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 8; ++j) {
+        inner.push_back([&inner_total] { inner_total.fetch_add(1, std::memory_order_relaxed); });
+      }
+      pool.Run(inner);
+    });
+  }
+  pool.Run(outer);
+  EXPECT_EQ(inner_total.load(), 6 * 8);
+}
+
+TEST(ThreadPoolTest, ConcurrentBatchExceptionsStayWithTheirCaller) {
+  ThreadPool pool(2);
+  std::atomic<int> clean_total{0};
+  std::thread thrower([&pool] {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<std::function<void()>> tasks;
+      tasks.push_back([] { throw std::runtime_error("mine"); });
+      EXPECT_THROW(pool.Run(tasks), std::runtime_error);
+    }
+  });
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&clean_total] { clean_total.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Run(tasks);  // must never observe the other caller's exception
+  }
+  thrower.join();
+  EXPECT_EQ(clean_total.load(), 64);
+}
+
 TEST(ThreadPoolTest, DefaultThreadsIsBoundedByShardsAndCores) {
   EXPECT_EQ(ThreadPool::DefaultThreads(1), 0u);
   const size_t hw = std::thread::hardware_concurrency();

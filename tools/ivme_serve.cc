@@ -33,6 +33,7 @@ namespace {
 struct ReaderStats {
   std::mutex mu;
   size_t reads = 0;
+  size_t rows = 0;
   std::vector<double> latencies_us;
 };
 
@@ -93,8 +94,8 @@ int main(int argc, char** argv) {
   std::vector<std::thread> pool;
   for (size_t r = 0; r < readers; ++r) {
     pool.emplace_back([&catalog, &stop, &stats, &panels, r] {
-      Tuple t;
-      Mult m = 0;
+      RowBuffer rows;  // slot reuse: steady-state drains allocate nothing
+      constexpr size_t kChunk = 128;
       size_t turn = r;
       while (!stop.load(std::memory_order_relaxed)) {
         const auto& panel = panels[turn++ % panels.size()].first;
@@ -102,7 +103,12 @@ int main(int argc, char** argv) {
         ReadSnapshot snapshot = catalog.AcquireSnapshot();
         auto it = catalog.EnumerateAt(panel, snapshot.epoch());
         size_t drained = 0;
-        while (it->Next(&t, &m)) ++drained;
+        for (;;) {
+          rows.Clear();
+          const size_t got = it->FillBatch(&rows, kChunk);
+          drained += got;
+          if (got < kChunk) break;
+        }
         it.reset();
         snapshot.Release();
         const double us =
@@ -111,6 +117,7 @@ int main(int argc, char** argv) {
         {
           std::lock_guard<std::mutex> lock(stats[r].mu);
           ++stats[r].reads;
+          stats[r].rows += drained;
           stats[r].latencies_us.push_back(us);
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -123,7 +130,7 @@ int main(int argc, char** argv) {
   std::vector<Value> hot;
   for (Value d = 0; d < devices; d += 37) hot.push_back(d);
   UpdateBatch batch;
-  size_t applied = 0, batches = 0, last_reads = 0;
+  size_t applied = 0, batches = 0, last_reads = 0, last_rows = 0;
   auto interval_start = std::chrono::steady_clock::now();
   size_t interval_applied = 0;
   for (int e = 0; e < events; ++e) {
@@ -156,19 +163,23 @@ int main(int argc, char** argv) {
       const auto now = std::chrono::steady_clock::now();
       const double elapsed = std::chrono::duration<double>(now - interval_start).count();
       if (elapsed >= 1.0) {
-        size_t reads = 0;
+        size_t reads = 0, rows = 0;
         std::vector<double> window_us;
         for (auto& lane : stats) {
           std::lock_guard<std::mutex> lock(lane.mu);
           reads += lane.reads;
+          rows += lane.rows;
           window_us.insert(window_us.end(), lane.latencies_us.begin(), lane.latencies_us.end());
           lane.latencies_us.clear();
         }
-        std::printf("epoch %-6llu ingest %7.0f/s  reads %5zu (+%zu, p99 %.1f us)  retired %zu\n",
+        std::printf("epoch %-6llu ingest %7.0f/s  reads %5zu (+%zu, %7.0f rows/s, p99 %.1f us)"
+                    "  retired %zu\n",
                     static_cast<unsigned long long>(catalog.epoch_manager().published()),
                     static_cast<double>(interval_applied) / elapsed, reads, reads - last_reads,
-                    P99(window_us), catalog.RetiredObjects());
+                    static_cast<double>(rows - last_rows) / elapsed, P99(window_us),
+                    catalog.RetiredObjects());
         last_reads = reads;
+        last_rows = rows;
         interval_start = now;
         interval_applied = 0;
       }
@@ -182,11 +193,14 @@ int main(int argc, char** argv) {
   stop.store(true, std::memory_order_relaxed);
   for (auto& thread : pool) thread.join();
 
-  size_t total_reads = 0;
-  for (auto& lane : stats) total_reads += lane.reads;
-  std::printf("shutdown: %d events in %zu batches (%zu net entries), %zu reads served, "
-              "epoch %llu\n",
-              events, batches, applied, total_reads,
+  size_t total_reads = 0, total_rows = 0;
+  for (auto& lane : stats) {
+    total_reads += lane.reads;
+    total_rows += lane.rows;
+  }
+  std::printf("shutdown: %d events in %zu batches (%zu net entries), %zu reads served "
+              "(%zu rows), epoch %llu\n",
+              events, batches, applied, total_reads, total_rows,
               static_cast<unsigned long long>(catalog.epoch_manager().published()));
   // The invariant check recomputes view storage, which itself retires nodes
   // in serving mode — so check first, then drain.

@@ -450,15 +450,19 @@ int main(int argc, char** argv) {
         continue;
       }
       auto it = shell.cat().Enumerate(shell.active);
-      Tuple t;
-      Mult m = 0;
-      size_t shown = 0;
-      while (shown < 50 && it->Next(&t, &m)) {
-        std::printf("  %s x%lld\n", t.ToString().c_str(), static_cast<long long>(m));
-        ++shown;
+      RowBuffer rows;
+      const size_t shown = it->FillBatch(&rows, 50);
+      for (size_t i = 0; i < shown; ++i) {
+        std::printf("  %s x%lld\n", rows.tuple(i).ToString().c_str(),
+                    static_cast<long long>(rows.mult(i)));
       }
       size_t rest = 0;
-      while (it->Next(&t, &m)) ++rest;
+      for (;;) {
+        rows.Clear();
+        const size_t got = it->FillBatch(&rows, 256);
+        rest += got;
+        if (got < 256) break;
+      }
       if (rest > 0) std::printf("  ... and %zu more\n", rest);
       if (shown == 0) std::printf("  (empty)\n");
     } else if (cmd == "count") {
@@ -467,10 +471,14 @@ int main(int argc, char** argv) {
         continue;
       }
       auto it = shell.cat().Enumerate(shell.active);
-      Tuple t;
-      Mult m = 0;
+      RowBuffer rows;
       size_t count = 0;
-      while (it->Next(&t, &m)) ++count;
+      for (;;) {
+        rows.Clear();
+        const size_t got = it->FillBatch(&rows, 256);
+        count += got;
+        if (got < 256) break;
+      }
       std::printf("%zu distinct tuples\n", count);
     } else if (cmd == "stats") {
       PrintStats(shell);
