@@ -54,6 +54,37 @@ inline uint64_t ParseSeedOrDie(const char* text) {
   return static_cast<uint64_t>(value);
 }
 
+/// Double-valued flag (`--zipf 1.2` / `--zipf=1.2`): the skew-sensitive
+/// benches take their stream's Zipf exponent this way and record it in the
+/// JSON rows. Same hard-error contract as --seed: a malformed value would
+/// silently measure a different workload than requested.
+inline double ParseDoubleOrDie(const char* flag, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "invalid %s value '%s' (expected a number)\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+inline double DoubleFromArgs(int argc, char** argv, const char* flag, double fallback) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return ParseDoubleOrDie(flag, argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return ParseDoubleOrDie(flag, argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
 inline uint64_t SeedFromArgs(int argc, char** argv, uint64_t fallback) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0) {

@@ -17,12 +17,15 @@
 // magnitude in incremental mode while p50 and aggregate throughput stay
 // flat.
 //
-//   ./build/micro_latency_tail [--smoke] [--seed N] [--insert-only]
+//   ./build/micro_latency_tail [--smoke] [--seed N] [--insert-only] [--zipf S]
 //
 // --smoke (or IVME_SMOKE=1) shrinks the workload for CI. --insert-only
 // keeps only the grow phase (no deletes) and declares both relations
 // insert_only — the monotone setting where only upward majors exist; the
-// JSON rows record the mode in their "insert_only" field.
+// JSON rows record the mode in their "insert_only" field. --zipf S sets
+// the base data's join-key Zipf exponent (default 1.1) — higher skew
+// piles more weight into the light parts the rebuilds move — and is
+// recorded in the JSON rows.
 #include <algorithm>
 #include <cstdlib>
 #include <string>
@@ -52,13 +55,13 @@ struct Workload {
   std::vector<ivme::Update> stream;
 };
 
-Workload BuildWorkload(size_t n0, size_t grow, uint64_t seed, bool insert_only) {
+Workload BuildWorkload(size_t n0, size_t grow, uint64_t seed, bool insert_only, double zipf) {
   // Fig1-style base: Zipf join keys, so the views and light parts carry
   // real weight into every rebuild.
   Workload w;
   const Value num_keys = static_cast<Value>(n0 / 8 + 16);
-  w.r = workload::ZipfTuples(n0, 2, 1, num_keys, 1.1, 4000000, seed);
-  w.s = workload::ZipfTuples(n0, 2, 0, num_keys, 1.1, 4000000, seed + 1);
+  w.r = workload::ZipfTuples(n0, 2, 1, num_keys, zipf, 4000000, seed);
+  w.s = workload::ZipfTuples(n0, 2, 0, num_keys, zipf, 4000000, seed + 1);
 
   // Grow phase: fresh single-tuple inserts (frequently-updated keys grow
   // heavy) until N crosses the doubling threshold M = 2·(2·n0)+1 and keeps
@@ -135,13 +138,15 @@ int main(int argc, char** argv) {
   const bool smoke = SmokeFromArgs(argc, argv);
   const bool insert_only = FlagFromArgs(argc, argv, "--insert-only");
   const uint64_t seed = SeedFromArgs(argc, argv, 41);
+  const double zipf = DoubleFromArgs(argc, argv, "--zipf", 1.1);
   const size_t n0 = smoke ? 1500 : 8000;
   const size_t grow = smoke ? 5000 : 29000;
-  const Workload w = BuildWorkload(n0, grow, seed, insert_only);
+  const Workload w = BuildWorkload(n0, grow, seed, insert_only, zipf);
 
   std::printf(
-      "Update-latency tail — Q(A,C)=R(A,B),S(B,C), N0=%zu, %zu-update stream, seed=%llu%s\n",
-      2 * n0, w.stream.size(), static_cast<unsigned long long>(seed),
+      "Update-latency tail — Q(A,C)=R(A,B),S(B,C), N0=%zu, %zu-update stream, seed=%llu, "
+      "zipf=%.2f%s\n",
+      2 * n0, w.stream.size(), static_cast<unsigned long long>(seed), zipf,
       insert_only ? " (insert-only: grow phase only, relations declared insert_only)" : "");
   PrintRule();
   std::printf("%5s %-12s | %9s %9s %9s %10s | %10s | %6s %7s %9s\n", "eps", "mode", "p50(us)",
@@ -161,6 +166,7 @@ int main(int argc, char** argv) {
                   m->stats.major_rebalances, m->stats.rebalance_slices, m->stats.migrated_keys);
       json.Add("eps=" + std::to_string(eps) + "/" + m->label,
                {{"insert_only", insert_only ? 1.0 : 0.0},
+                {"zipf", zipf},
                 {"p50_us", m->p50_us},
                 {"p99_us", m->p99_us},
                 {"p999_us", m->p999_us},

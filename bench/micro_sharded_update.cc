@@ -19,9 +19,12 @@
 //      (the facade adds no measurable overhead), and
 //   2. K=4 gives ≥ 2× the aggregate throughput of K=1.
 //
-//   ./build/micro_sharded_update [--smoke]
+//   ./build/micro_sharded_update [--smoke] [--zipf S]
 //
-// --smoke (or IVME_SMOKE=1) shrinks the workload for CI.
+// --smoke (or IVME_SMOKE=1) shrinks the workload for CI. --zipf S sets the
+// Zipf exponent of the base data's join-key distribution (default 1.1;
+// higher = more skew concentrated on fewer keys) and is recorded in the
+// JSON rows.
 #include <cstring>
 #include <memory>
 #include <string>
@@ -91,6 +94,7 @@ int main(int argc, char** argv) {
   Config config;
   const bool smoke = bench::SmokeFromArgs(argc, argv);
   const uint64_t seed = bench::SeedFromArgs(argc, argv, 1);
+  const double zipf = bench::DoubleFromArgs(argc, argv, "--zipf", 1.1);
   if (smoke) {
     config.base_tuples = 2000;
     config.stream_length = 3000;
@@ -98,8 +102,8 @@ int main(int argc, char** argv) {
 
   // Zipf-skewed base data (same family as micro_batch_update): a few heavy
   // join keys plus a long light tail, on the shared key B.
-  const auto r = workload::ZipfTuples(config.base_tuples, 2, 1, 2000, 1.1, 4000000, seed);
-  const auto s = workload::ZipfTuples(config.base_tuples, 2, 0, 2000, 1.1, 4000000, seed + 1);
+  const auto r = workload::ZipfTuples(config.base_tuples, 2, 1, 2000, zipf, 4000000, seed);
+  const auto s = workload::ZipfTuples(config.base_tuples, 2, 0, 2000, zipf, 4000000, seed + 1);
 
   // Ingestion stream on R: a small hot set takes a share of the inserts
   // (repeated records consolidate), the rest draw a fresh A against a
@@ -134,8 +138,8 @@ int main(int argc, char** argv) {
   bench::JsonReporter json("micro_sharded_update");
   json.SetSeed(seed);
   std::printf("sharded vs unsharded batched maintenance, Q(A,C) = R(A,B), S(B,C); "
-              "N0=%zu per relation, %zu updates, batch %zu\n",
-              config.base_tuples, config.stream_length, config.batch_size);
+              "N0=%zu per relation, %zu updates, batch %zu, zipf=%.2f\n",
+              config.base_tuples, config.stream_length, config.batch_size, zipf);
   bench::PrintRule();
   std::printf("%-8s %-10s %12s %14s %12s %8s %8s %8s\n", "eps", "engine", "us/update",
               "updates/s", "net entries", "minor", "major", "threads");
@@ -161,6 +165,7 @@ int main(int argc, char** argv) {
       if (eps == 0.5 && shards == 4 && tput < 2.0 * k1_tput) k4_ok = false;
       json.Add("eps" + std::to_string(eps).substr(0, 3) + "/" + label,
                {{"epsilon", eps},
+                {"zipf", zipf},
                 {"shards", static_cast<double>(shards)},
                 {"threads", static_cast<double>(m.threads)},
                 {"batch_size", static_cast<double>(config.batch_size)},

@@ -121,6 +121,55 @@ SnapshotQuerySpec SpecFromQuery(const MaintainedQuery& query) {
   return spec;
 }
 
+std::string EncodeDictionaryPayload(const StringDictionary& dict, uint64_t first_id,
+                                    uint64_t end_id) {
+  ByteSink sink;
+  sink.PutU32(static_cast<uint32_t>(first_id));
+  sink.PutU32(static_cast<uint32_t>(end_id - first_id));
+  for (uint64_t id = first_id; id < end_id; ++id) {
+    sink.PutString(dict.String(static_cast<uint32_t>(id)));
+  }
+  return sink.TakeBytes();
+}
+
+Status DecodeDictionaryPayload(const std::string& payload, uint32_t* first_id,
+                               std::vector<std::string>* strings) {
+  strings->clear();
+  ByteSource src(payload.data(), payload.size());
+  uint32_t count = 0;
+  if (!src.GetU32(first_id) || !src.GetU32(&count)) {
+    return Status::Error("dictionary record: bad header");
+  }
+  strings->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string s;
+    if (!src.GetString(&s)) {
+      return Status::Error("dictionary record: truncated string " + std::to_string(i));
+    }
+    strings->push_back(std::move(s));
+  }
+  if (src.remaining() != 0) return Status::Error("dictionary record: trailing bytes");
+  return Status::Ok();
+}
+
+// Re-interns `strings` as ids [first_id, first_id + n). Ids are assigned
+// densely in intern order, so replaying the deltas in LSN order onto a
+// snapshot's full dictionary reproduces the exact id assignment; any
+// mismatch means the dictionary history diverged from the data it tags.
+Status ReinternStrings(StringDictionary* dict, uint32_t first_id,
+                       const std::vector<std::string>& strings) {
+  for (size_t i = 0; i < strings.size(); ++i) {
+    const Value v = dict->Intern(strings[i]);
+    const uint32_t expected = first_id + static_cast<uint32_t>(i);
+    if (DictIdOf(v) != expected) {
+      return Status::Error("dictionary id mismatch: \"" + strings[i] + "\" interned as id " +
+                           std::to_string(DictIdOf(v)) + ", expected " +
+                           std::to_string(expected));
+    }
+  }
+  return Status::Ok();
+}
+
 EngineOptions OptionsFromSpec(const SnapshotQuerySpec& spec) {
   EngineOptions options;
   options.epsilon = spec.epsilon;
@@ -229,6 +278,9 @@ Status DurableCatalog::Recover(const std::string& dir) {
   }
 
   next_lsn_ = last_lsn + 1;
+  // Every id interned so far came from the snapshot or a replayed delta —
+  // both still on disk — so only ids beyond this watermark need logging.
+  synced_dict_size_ = catalog_->dictionary()->size();
   dir_ = dir;
   status = wal_.Open(dir_ + "/" + WalSegmentFileName(next_lsn_), durability_.fsync,
                      durability_.fsync_interval, injector_);
@@ -251,6 +303,10 @@ Status DurableCatalog::LoadSnapshot(const SnapshotData& snapshot) {
   ShardedCatalogOptions options = catalog_options_;
   options.num_shards = static_cast<size_t>(snapshot.num_shards);
   auto catalog = std::make_unique<ShardedCatalog>(options);
+  // Dictionary first: the relation loads below carry tagged ids, and the
+  // write gate rejects any id that is not yet interned.
+  Status interned = ReinternStrings(catalog->dictionary().get(), 0, snapshot.dictionary);
+  if (!interned.ok()) return interned;
   for (const SnapshotQuerySpec& spec : snapshot.queries) {
     std::optional<ConjunctiveQuery> query = ConjunctiveQuery::Parse(spec.text);
     if (!query.has_value()) {
@@ -335,6 +391,13 @@ Status DurableCatalog::ApplyWalRecord(const WalRecord& record) {
       }
       return RebuildAt(static_cast<size_t>(num_shards), nullptr);
     }
+    case WalRecordType::kDictionary: {
+      uint32_t first_id = 0;
+      std::vector<std::string> strings;
+      Status status = DecodeDictionaryPayload(record.payload, &first_id, &strings);
+      if (!status.ok()) return status;
+      return ReinternStrings(catalog_->dictionary().get(), first_id, strings);
+    }
   }
   return Status::Error("unknown WAL record type " +
                        std::to_string(static_cast<int>(record.type)));
@@ -374,6 +437,12 @@ SnapshotData DurableCatalog::CaptureSnapshot() const {
   snapshot.lsn = next_lsn_ - 1;
   snapshot.num_shards = catalog_->num_shards();
   snapshot.live = catalog_->shard(0).preprocessed();
+  const StringDictionary& dict = *catalog_->dictionary();
+  const size_t dict_size = dict.size();
+  snapshot.dictionary.reserve(dict_size);
+  for (size_t id = 0; id < dict_size; ++id) {
+    snapshot.dictionary.push_back(dict.String(static_cast<uint32_t>(id)));
+  }
   for (const std::string& name : catalog_->QueryNames()) {
     snapshot.queries.push_back(SpecFromQuery(*catalog_->FindQuery(name)));
   }
@@ -484,6 +553,17 @@ Status DurableCatalog::AppendRecord(WalRecordType type, const std::string& paylo
   return Status::Ok();
 }
 
+Status DurableCatalog::SyncDictionary() {
+  const StringDictionary& dict = *catalog_->dictionary();
+  const uint64_t size = dict.size();
+  if (size <= synced_dict_size_) return Status::Ok();
+  const Status status = AppendRecord(
+      WalRecordType::kDictionary, EncodeDictionaryPayload(dict, synced_dict_size_, size));
+  if (!status.ok()) return status;
+  synced_dict_size_ = size;
+  return Status::Ok();
+}
+
 bool DurableCatalog::RegisterQuery(const std::string& name, const ConjunctiveQuery& q,
                                    EngineOptions options, std::string* why) {
   if (dead()) {
@@ -548,6 +628,9 @@ Status DurableCatalog::RebuildAt(size_t num_shards, std::vector<std::string>* dr
   ShardedCatalogOptions options = catalog_options_;
   options.num_shards = num_shards;
   auto rebuilt = std::make_unique<ShardedCatalog>(options);
+  // The dumped tuples carry the old catalog's dictionary ids; the rebuilt
+  // catalog must resolve them identically.
+  rebuilt->AdoptDictionary(catalog_->dictionary());
   for (size_t i = 0; i < specs.size(); ++i) {
     std::string why;
     if (!rebuilt->RegisterQuery(specs[i].name, queries[i], OptionsFromSpec(specs[i]), &why)) {
@@ -582,7 +665,10 @@ Status DurableCatalog::TryLoad(const std::string& relation,
   Status status = catalog_->TryLoad(relation, tuples);
   if (!status.ok()) return status;
   if (durable() && !tuples.empty()) {
-    status = AppendRecord(WalRecordType::kLoad, EncodeLoadPayload(relation, tuples));
+    status = SyncDictionary();
+    if (status.ok()) {
+      status = AppendRecord(WalRecordType::kLoad, EncodeLoadPayload(relation, tuples));
+    }
     if (!status.ok() && !injector_->crashed()) return status;
   }
   return Status::Ok();
@@ -627,7 +713,11 @@ Status DurableCatalog::TryApplyUpdate(const std::string& relation, const Tuple& 
   if (mult == 0) return Status::Ok();
   net_scratch_.clear();
   net_scratch_.push_back(Update{relation, tuple, mult});
-  status = AppendRecord(WalRecordType::kBatch, EncodeBatchPayload(net_scratch_));
+  // New dictionary ids ride ahead of the data record that references them.
+  status = SyncDictionary();
+  if (status.ok()) {
+    status = AppendRecord(WalRecordType::kBatch, EncodeBatchPayload(net_scratch_));
+  }
   if (!status.ok()) {
     IVME_CHECK_MSG(injector_->crashed(), status.message());
     return Status::Error("catalog crashed (injected fault)");
@@ -688,7 +778,10 @@ Status DurableCatalog::TryApplyBatch(const Update* updates, size_t count, BatchR
   }
   if (net_scratch_.empty()) return Status::Ok();  // fully cancelled: nothing to log or apply
 
-  status = AppendRecord(WalRecordType::kBatch, EncodeBatchPayload(net_scratch_));
+  status = SyncDictionary();
+  if (status.ok()) {
+    status = AppendRecord(WalRecordType::kBatch, EncodeBatchPayload(net_scratch_));
+  }
   if (!status.ok()) {
     IVME_CHECK_MSG(injector_->crashed(), status.message());
     return Status::Error("catalog crashed (injected fault)");

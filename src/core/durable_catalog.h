@@ -160,6 +160,13 @@ class DurableCatalog {
   /// Assigns the next LSN and appends one record (WAL side only).
   Status AppendRecord(WalRecordType type, const std::string& payload);
 
+  /// Logs every dictionary id interned since the last sync as one
+  /// kDictionary delta record. Must run BEFORE the data record whose tuples
+  /// carry the new ids, so replay re-interns them first. The synced
+  /// watermark only advances here — never at checkpoints — so a crashed
+  /// checkpoint can always fall back to snapshot + WAL without id holes.
+  Status SyncDictionary();
+
   /// Captures the full logical state at the current LSN.
   SnapshotData CaptureSnapshot() const;
 
@@ -189,6 +196,7 @@ class DurableCatalog {
 
   WalWriter wal_;
   uint64_t next_lsn_ = 1;
+  uint64_t synced_dict_size_ = 0;  ///< dictionary ids already in the WAL
   uint64_t checkpoint_lsn_ = 0;
   uint64_t rotated_records_ = 0;  ///< WAL stats accumulated over closed segments
   uint64_t rotated_bytes_ = 0;

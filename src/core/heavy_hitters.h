@@ -1,0 +1,91 @@
+// SpaceSaving heavy-hitter sketch (Metwally et al.) over root values: a
+// fixed number of counters tracking the approximately most frequent keys of
+// a stream. An item with true frequency f is reported with a count in
+// [f, f + error], and any item whose frequency exceeds total/capacity is
+// guaranteed to be tracked — exactly the guarantee the skew router needs to
+// find root values hot enough to overflow (their degree dwarfs total/K, far
+// above total/capacity for capacity > K).
+//
+// The sketch is maintained at consolidation time on the writer thread; no
+// concurrency. Capacity is small (tens), so the min search is a linear scan
+// over a dense array — no heap, no allocation after construction.
+#ifndef IVME_CORE_HEAVY_HITTERS_H_
+#define IVME_CORE_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/value.h"
+
+namespace ivme {
+
+class SpaceSavingSketch {
+ public:
+  struct Entry {
+    Value value = 0;
+    uint64_t count = 0;  ///< upper bound on the true frequency
+    uint64_t error = 0;  ///< count - error lower-bounds the true frequency
+  };
+
+  explicit SpaceSavingSketch(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+    entries_.reserve(capacity_);
+    index_.reserve(capacity_ * 2);
+  }
+
+  /// Observes `v` with weight `w`.
+  void Add(Value v, uint64_t w = 1) {
+    total_ += w;
+    const auto it = index_.find(v);
+    if (it != index_.end()) {
+      entries_[it->second].count += w;
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      index_.emplace(v, entries_.size());
+      entries_.push_back(Entry{v, w, 0});
+      return;
+    }
+    // Evict the minimum counter: the newcomer inherits its count as error.
+    size_t min_i = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].count < entries_[min_i].count) min_i = i;
+    }
+    Entry& slot = entries_[min_i];
+    index_.erase(slot.value);
+    index_.emplace(v, min_i);
+    slot.error = slot.count;
+    slot.count += w;
+    slot.value = v;
+  }
+
+  /// Tracked entries, unordered. Counts upper-bound true frequencies.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Total weight observed.
+  uint64_t total() const { return total_; }
+
+  /// Lower bound on the true frequency of `v` (0 when untracked).
+  uint64_t GuaranteedCount(Value v) const {
+    const auto it = index_.find(v);
+    if (it == index_.end()) return 0;
+    const Entry& e = entries_[it->second];
+    return e.count - e.error;
+  }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+    total_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::vector<Entry> entries_;
+  std::unordered_map<Value, size_t> index_;
+};
+
+}  // namespace ivme
+
+#endif  // IVME_CORE_HEAVY_HITTERS_H_

@@ -1,5 +1,7 @@
 #include "src/core/sharded_catalog.h"
 
+#include <chrono>
+
 #include "src/common/check.h"
 #include "src/core/sharded_engine.h"
 #include "src/query/variable_order.h"
@@ -12,14 +14,31 @@ ShardedCatalog::ShardedCatalog(ShardedCatalogOptions options) : options_(options
   for (size_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<QueryCatalog>());
   }
+  // One dictionary for the whole catalog: interned ids ride inside routed
+  // tuples, so every shard slice must resolve them identically.
+  dictionary_ = shards_[0]->store().dictionary();
+  for (size_t s = 1; s < options_.num_shards; ++s) {
+    shards_[s]->store().ShareDictionary(dictionary_);
+  }
+  loads_ = std::make_unique<ShardLoadCell[]>(options_.num_shards);
   if (options_.num_shards > 1) {
     const size_t threads = options_.num_threads != 0
                                ? options_.num_threads
                                : ThreadPool::DefaultThreads(options_.num_shards);
     if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
     split_scratch_.resize(options_.num_shards);
+    replica_scratch_.resize(options_.num_shards);
     result_scratch_.resize(options_.num_shards);
+    if (options_.skew.enabled) {
+      sketch_ = std::make_unique<SpaceSavingSketch>(options_.skew.sketch_capacity);
+    }
   }
+}
+
+void ShardedCatalog::AdoptDictionary(std::shared_ptr<StringDictionary> dict) {
+  IVME_CHECK_MSG(dict != nullptr, "cannot adopt a null dictionary");
+  for (auto& shard : shards_) shard->store().ShareDictionary(dict);
+  dictionary_ = std::move(dict);
 }
 
 ShardedCatalog::~ShardedCatalog() {
@@ -181,6 +200,7 @@ bool ShardedCatalog::RegisterQuery(const std::string& name, const ConjunctiveQue
   }
 
   bool root_is_free = true;
+  int root_out = -1;
   std::vector<Route> new_routes;
   if (shards_.size() > 1) {
     if (!ShardedEngine::CanShard(q, why)) return false;
@@ -189,6 +209,33 @@ bool ShardedCatalog::RegisterQuery(const std::string& name, const ConjunctiveQue
     const VariableOrder vo = VariableOrder::Canonical(q);
     const VarId root_var = vo.roots()[0]->var;
     root_is_free = q.IsFree(root_var);
+    if (root_is_free) root_out = q.free_vars().PositionOf(root_var);
+    if (skew_routing()) {
+      // Hot-key promotion migrates stored tuples and repairs the merged
+      // stream per root value; both are only unconditionally sound when the
+      // root is visible in the output, no relation symbol repeats (a
+      // self-join could read one symbol from two routing columns), and
+      // every relation accepts the migration deltas.
+      if (!root_is_free) {
+        return fail("skew-aware routing requires a free root variable; " + name +
+                    " projects its root away");
+      }
+      for (const std::string& relation : q.RelationNames()) {
+        if (q.HasRepeatedSymbol(relation)) {
+          return fail("skew-aware routing cannot handle the self-join on " + relation +
+                      " in " + name);
+        }
+        Mutability declared = q.MutabilityOf(relation);
+        for (const MutabilityOverride& o : options.mutability) {
+          if (o.relation == relation) declared = o.mutability;
+        }
+        if (declared != Mutability::kDynamic) {
+          return fail("skew-aware routing migrates stored tuples and needs dynamic "
+                      "relations; " +
+                      name + " declares " + relation + " " + MutabilityName(declared));
+        }
+      }
+    }
     for (const std::string& relation : q.RelationNames()) {
       int pos = -1;
       for (const Atom& atom : q.atoms()) {
@@ -224,6 +271,7 @@ bool ShardedCatalog::RegisterQuery(const std::string& name, const ConjunctiveQue
     }
     root_free_names_.push_back(name);
     root_free_.push_back(root_is_free);
+    root_out_pos_.push_back(root_out);
   });
   return true;
 }
@@ -236,6 +284,7 @@ bool ShardedCatalog::DropQuery(const std::string& name) {
       if (root_free_names_[i] != name) continue;
       root_free_names_.erase(root_free_names_.begin() + static_cast<long>(i));
       root_free_.erase(root_free_.begin() + static_cast<long>(i));
+      root_out_pos_.erase(root_out_pos_.begin() + static_cast<long>(i));
       break;
     }
     // routes_ stays: the stored data remains sharded by it.
@@ -247,16 +296,215 @@ MaintainedQuery* ShardedCatalog::FindQuery(const std::string& name, size_t s) co
   return shards_[s]->FindQuery(name);
 }
 
+std::shared_ptr<const OverflowTable> ShardedCatalog::overflow() const {
+  return std::atomic_load(&overflow_);
+}
+
+size_t ShardedCatalog::NonRootShard(const Tuple& tuple, size_t root_pos) const {
+  // Spread placement: hash of everything BUT the root column, so one hot
+  // root value's tuples scatter across all shards deterministically.
+  Tuple rest;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i != root_pos) rest.PushBack(tuple[i]);
+  }
+  return static_cast<size_t>(rest.Hash() % static_cast<uint64_t>(shards_.size()));
+}
+
+ShardedCatalog::RouteDecision ShardedCatalog::Decide(const Route& route, const Tuple& tuple,
+                                                     const OverflowTable* table) const {
+  const size_t pos = static_cast<size_t>(route.root_pos);
+  if (table != nullptr) {
+    const OverflowEntry* entry = table->Find(tuple[pos]);
+    if (entry != nullptr) {
+      if (entry->spread_relation == route.relation) {
+        return RouteDecision{false, NonRootShard(tuple, pos)};
+      }
+      // Replicated relation: one copy per shard keeps every shard's join
+      // for this root value local. `shard` reports the primary home.
+      return RouteDecision{true, entry->primary};
+    }
+  }
+  if (tuple.size() == 1 && pos == 0) {
+    // Unary relation: the tuple is the root key; reuse its cached hash
+    // (identical to ShardOfRootValue, which hashes the unary key tuple).
+    return RouteDecision{
+        false, static_cast<size_t>(tuple.Hash() % static_cast<uint64_t>(shards_.size()))};
+  }
+  return RouteDecision{false, ShardOfRootValue(tuple[pos], shards_.size())};
+}
+
 size_t ShardedCatalog::ShardOf(const std::string& relation, const Tuple& tuple) const {
   if (shards_.size() == 1) return 0;
   const Route* route = FindRoute(relation);
   IVME_CHECK_MSG(route != nullptr, "no routing established for relation " << relation);
-  const size_t pos = static_cast<size_t>(route->root_pos);
-  if (tuple.size() == 1 && pos == 0) {
-    // Unary relation: the tuple is the root key; reuse its cached hash.
-    return static_cast<size_t>(tuple.Hash() % static_cast<uint64_t>(shards_.size()));
+  const auto table = overflow();
+  return Decide(*route, tuple, table.get()).shard;
+}
+
+Status ShardedCatalog::CheckDictValues(const std::string& relation, const Tuple& tuple) const {
+  Value bad = 0;
+  if (ValidateDictValues(tuple, *dictionary_, &bad)) return Status::Ok();
+  return Status::Error("relation " + relation + ": value " + std::to_string(bad) +
+                       " lies in the reserved dictionary-id range but is not an " +
+                       "interned string (raw integers must stay below 2^62)");
+}
+
+ShardLoadStats ShardedCatalog::ShardLoad(size_t s) const {
+  ShardLoadStats stats;
+  stats.routed_tuples = loads_[s].routed_tuples.load(std::memory_order_relaxed);
+  stats.net_entries = loads_[s].net_entries.load(std::memory_order_relaxed);
+  stats.apply_nanos = loads_[s].apply_nanos.load(std::memory_order_relaxed);
+  return stats;
+}
+
+LoadImbalance ShardedCatalog::ComputeImbalance() const {
+  LoadImbalance imbalance;
+  uint64_t total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const uint64_t routed = loads_[s].routed_tuples.load(std::memory_order_relaxed);
+    total += routed;
+    if (routed > imbalance.max_tuples) imbalance.max_tuples = routed;
   }
-  return ShardOfRootValue(tuple[pos], shards_.size());
+  imbalance.mean_tuples = static_cast<double>(total) / static_cast<double>(shards_.size());
+  imbalance.max_mean = total == 0 ? 1.0
+                                  : static_cast<double>(imbalance.max_tuples) /
+                                        imbalance.mean_tuples;
+  return imbalance;
+}
+
+void ShardedCatalog::ResetLoadStats() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    loads_[s].routed_tuples.store(0, std::memory_order_relaxed);
+    loads_[s].net_entries.store(0, std::memory_order_relaxed);
+    loads_[s].apply_nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<OverflowEntry> ShardedCatalog::OverflowEntries() const {
+  const auto table = overflow();
+  return table != nullptr ? table->entries : std::vector<OverflowEntry>{};
+}
+
+Status ShardedCatalog::PromoteHotKey(Value root, const std::string& spread_relation) {
+  BeginMutation();
+  const Status status = PromoteLocked(root, spread_relation);
+  PublishAndReclaim();
+  return status;
+}
+
+Status ShardedCatalog::PromoteLocked(Value root, const std::string& spread_relation) {
+  if (!skew_routing()) return Status::Error("skew routing is not enabled");
+  if (!shards_[0]->preprocessed()) {
+    return Status::Error("hot-key promotion requires a preprocessed catalog");
+  }
+  const Route* spread = FindRoute(spread_relation);
+  if (spread == nullptr) {
+    return Status::Error("no routing established for relation " + spread_relation);
+  }
+  const Relation* stored = shards_[0]->store().Find(spread_relation);
+  if (stored == nullptr || stored->schema().size() < 2) {
+    return Status::Error("spread relation " + spread_relation +
+                         " must have arity >= 2 (spreading hashes the non-root columns)");
+  }
+  // The RegisterQuery gate enforces all-dynamic under skew routing; this is
+  // the backstop for catalogs whose gate predates a route.
+  for (const Route& route : routes_) {
+    if (shards_[0]->store().MutabilityOf(route.relation) != Mutability::kDynamic) {
+      return Status::Error("hot-key migration needs dynamic relations; " + route.relation +
+                           " is " + MutabilityName(shards_[0]->store().MutabilityOf(route.relation)));
+    }
+  }
+  const auto current = overflow();
+  if (current != nullptr) {
+    if (current->Find(root) != nullptr) {
+      return Status::Error("root value " + std::to_string(root) + " is already promoted");
+    }
+    if (current->entries.size() >= options_.skew.max_overflow) {
+      return Status::Error("overflow table is full");
+    }
+  }
+  const size_t primary = ShardOfRootValue(root, shards_.size());
+
+  // Collect the migration before touching anything: pre-promotion, every
+  // stored tuple of this root value lives in the primary shard. The spread
+  // relation's tuples move to their non-root-hash shard; every other
+  // relation's tuples gain one replica per remaining shard.
+  std::vector<UpdateBatch> moves(shards_.size());
+  for (const Route& route : routes_) {
+    const Relation* relation = shards_[primary]->store().Find(route.relation);
+    if (relation == nullptr) continue;
+    const size_t pos = static_cast<size_t>(route.root_pos);
+    for (const Relation::Entry* e = relation->First(); e != nullptr;
+         e = Relation::NextLive(e)) {
+      if (e->key[pos] != root) continue;
+      const Mult mult = Relation::EntryMult(e);
+      if (route.relation == spread_relation) {
+        const size_t target = NonRootShard(e->key, pos);
+        if (target == primary) continue;
+        moves[primary].push_back(Update{route.relation, e->key, -mult});
+        moves[target].push_back(Update{route.relation, e->key, mult});
+      } else {
+        for (size_t s = 0; s < shards_.size(); ++s) {
+          if (s != primary) moves[s].push_back(Update{route.relation, e->key, mult});
+        }
+      }
+    }
+  }
+  // Apply through the normal per-shard maintenance path so every query's
+  // views follow the data. All relations are dynamic and the multiplicities
+  // are exact, so nothing can reject.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (moves[s].empty()) continue;
+    const BatchResult result = shards_[s]->ApplyBatch(moves[s]);
+    IVME_CHECK_MSG(result.rejected == 0,
+                   "hot-key migration rejected updates in shard " << s);
+  }
+  auto next = std::make_shared<OverflowTable>();
+  if (current != nullptr) next->entries = current->entries;
+  next->entries.push_back(OverflowEntry{root, spread_relation, primary});
+  std::atomic_store(&overflow_, std::shared_ptr<const OverflowTable>(std::move(next)));
+  return Status::Ok();
+}
+
+void ShardedCatalog::MaybePromote() {
+  if (sketch_ == nullptr || !shards_[0]->preprocessed()) return;
+  if (sketch_->total() < options_.skew.min_total) return;
+  const auto current = overflow();
+  if (current != nullptr && current->entries.size() >= options_.skew.max_overflow) return;
+  const double fair =
+      static_cast<double>(sketch_->total()) / static_cast<double>(shards_.size());
+  const double threshold = options_.skew.promote_ratio * fair;
+  for (const SpaceSavingSketch::Entry& hot : sketch_->entries()) {
+    const uint64_t guaranteed = hot.count - hot.error;
+    if (static_cast<double>(guaranteed) < threshold) continue;
+    if (current != nullptr && current->Find(hot.value) != nullptr) continue;
+    // Spread the relation holding the most tuples of this root value (its
+    // degree is what overloads the primary shard). Unary relations never
+    // spread — their tuple IS the root key. Promotion is rare, so the scan
+    // over the primary shard is acceptable.
+    const size_t primary = ShardOfRootValue(hot.value, shards_.size());
+    const Route* best = nullptr;
+    size_t best_count = 0;
+    for (const Route& route : routes_) {
+      const Relation* relation = shards_[primary]->store().Find(route.relation);
+      if (relation == nullptr || relation->schema().size() < 2) continue;
+      const size_t pos = static_cast<size_t>(route.root_pos);
+      size_t count = 0;
+      for (const Relation::Entry* e = relation->First(); e != nullptr;
+           e = Relation::NextLive(e)) {
+        if (e->key[pos] == hot.value) ++count;
+      }
+      if (count > best_count) {
+        best = &route;
+        best_count = count;
+      }
+    }
+    if (best == nullptr) continue;
+    const Status status = PromoteLocked(hot.value, best->relation);
+    IVME_CHECK_MSG(status.ok(), status.message());
+    // At most one promotion per boundary; the next batch re-evaluates.
+    return;
+  }
 }
 
 void ShardedCatalog::Load(const std::string& relation,
@@ -307,7 +555,29 @@ Status ShardedCatalog::TryLoadTupleImpl(const std::string& relation, const Tuple
     return Status::Error("loaded tuples need positive multiplicities; " + relation + " got " +
                          std::to_string(mult) + " for " + tuple.ToString());
   }
-  return shards_[ShardOf(relation, tuple)]->TryLoadTuple(relation, tuple, mult);
+  const Status dict = CheckDictValues(relation, tuple);
+  if (!dict.ok()) return dict;
+  if (shards_.size() == 1) {
+    loads_[0].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+    return shards_[0]->TryLoadTuple(relation, tuple, mult);
+  }
+  const Route* route = FindRoute(relation);
+  IVME_CHECK_MSG(route != nullptr, "no routing established for relation " << relation);
+  const auto table = overflow();
+  const RouteDecision decision = Decide(*route, tuple, table.get());
+  if (!decision.replicate) {
+    loads_[decision.shard].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+    return shards_[decision.shard]->TryLoadTuple(relation, tuple, mult);
+  }
+  // Replicated overflow tuple: one copy per shard. Shard stores are
+  // identical for this relation+root, so any failure is shard-uniform and
+  // the first shard's status speaks for all.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    loads_[s].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+    const Status status = shards_[s]->TryLoadTuple(relation, tuple, mult);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
 }
 
 void ShardedCatalog::Preprocess() {
@@ -328,7 +598,30 @@ void ShardedCatalog::Preprocess() {
 bool ShardedCatalog::ApplyUpdate(const std::string& relation, const Tuple& tuple, Mult mult) {
   const ScopedLatencyTimer timer(&update_latency_);
   BeginMutation();
-  const bool applied = shards_[ShardOf(relation, tuple)]->ApplyUpdate(relation, tuple, mult);
+  bool applied = false;
+  if (shards_.size() == 1) {
+    loads_[0].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+    applied = shards_[0]->ApplyUpdate(relation, tuple, mult);
+  } else {
+    const Route* route = FindRoute(relation);
+    IVME_CHECK_MSG(route != nullptr, "no routing established for relation " << relation);
+    if (sketch_ != nullptr) sketch_->Add(tuple[static_cast<size_t>(route->root_pos)]);
+    const auto table = overflow();
+    const RouteDecision decision = Decide(*route, tuple, table.get());
+    if (!decision.replicate) {
+      loads_[decision.shard].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+      applied = shards_[decision.shard]->ApplyUpdate(relation, tuple, mult);
+    } else {
+      // Replicas are identical, so every shard accepts or rejects alike;
+      // the primary's answer speaks for all.
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        loads_[s].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+        const bool shard_applied = shards_[s]->ApplyUpdate(relation, tuple, mult);
+        if (s == decision.shard) applied = shard_applied;
+      }
+    }
+    MaybePromote();
+  }
   PublishAndReclaim();
   return applied;
 }
@@ -343,11 +636,17 @@ Status ShardedCatalog::CheckWritable(const std::string& relation, const Tuple& t
                          std::to_string(stored->schema().size()) + "; got a tuple of arity " +
                          std::to_string(tuple.size()));
   }
-  return Status::Ok();
+  return CheckDictValues(relation, tuple);
 }
 
 Status ShardedCatalog::CheckBatchWritable(const Update* updates, size_t count) const {
-  return shards_[0]->CheckBatchWritable(updates, count);
+  const Status status = shards_[0]->CheckBatchWritable(updates, count);
+  if (!status.ok()) return status;
+  for (size_t i = 0; i < count; ++i) {
+    const Status dict = CheckDictValues(updates[i].relation, updates[i].tuple);
+    if (!dict.ok()) return dict;
+  }
+  return Status::Ok();
 }
 
 Status ShardedCatalog::TryApplyUpdate(const std::string& relation, const Tuple& tuple,
@@ -358,7 +657,27 @@ Status ShardedCatalog::TryApplyUpdate(const std::string& relation, const Tuple& 
   Status status = CheckWritable(relation, tuple, mult);
   if (!status.ok()) return status;
   BeginMutation();
-  status = shards_[ShardOf(relation, tuple)]->TryApplyUpdate(relation, tuple, mult);
+  if (shards_.size() == 1) {
+    loads_[0].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+    status = shards_[0]->TryApplyUpdate(relation, tuple, mult);
+  } else {
+    const Route* route = FindRoute(relation);
+    IVME_CHECK_MSG(route != nullptr, "no routing established for relation " << relation);
+    if (sketch_ != nullptr) sketch_->Add(tuple[static_cast<size_t>(route->root_pos)]);
+    const auto table = overflow();
+    const RouteDecision decision = Decide(*route, tuple, table.get());
+    if (!decision.replicate) {
+      loads_[decision.shard].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+      status = shards_[decision.shard]->TryApplyUpdate(relation, tuple, mult);
+    } else {
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        loads_[s].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+        const Status shard_status = shards_[s]->TryApplyUpdate(relation, tuple, mult);
+        if (s == decision.shard) status = shard_status;
+      }
+    }
+    MaybePromote();
+  }
   PublishAndReclaim();
   return status;
 }
@@ -386,6 +705,8 @@ Status ShardedCatalog::TryApplyBatch(const Update* updates, size_t count, BatchR
   *result = BatchResult{};
   BeginMutation();
   if (shards_.size() == 1) {
+    loads_[0].routed_tuples.fetch_add(count, std::memory_order_relaxed);
+    loads_[0].net_entries.fetch_add(count, std::memory_order_relaxed);
     const Status status = shards_[0]->TryApplyBatch(updates, count, result);
     PublishAndReclaim();
     return status;
@@ -395,7 +716,7 @@ Status ShardedCatalog::TryApplyBatch(const Update* updates, size_t count, BatchR
   // a structural error or mutability rejection is atomic across shards,
   // and a wrong-arity tuple never reaches ShardOf below. What remains for
   // the shards is per-entry below-zero rejection, which they count.
-  const Status writable = shards_[0]->CheckBatchWritable(updates, count);
+  const Status writable = CheckBatchWritable(updates, count);
   if (!writable.ok()) {
     PublishAndReclaim();
     return writable;
@@ -406,18 +727,42 @@ Status ShardedCatalog::TryApplyBatch(const Update* updates, size_t count, BatchR
   // per-shard validation and result counts match the unsharded catalog.
   // Each shard's own consolidation pass over the already-net sub-batch is
   // an identity map. (Per-shard `updates` stats consequently count net
-  // entries, not raw records.)
+  // entries, not raw records.) Under skew routing the consolidation pass
+  // doubles as the sketch feed, and overflow root values fan out: spread
+  // tuples go to their non-root-hash shard, replicated tuples to every
+  // shard. Replica copies apply to shard state but only the primary copy
+  // counts toward `applied`/`rejected` — the replicas hold the same
+  // multiplicities, so their per-entry outcomes mirror the primary's and
+  // the logical counts match the unsharded catalog.
   consolidator_.Begin();
   for (size_t i = 0; i < count; ++i) consolidator_.Add(updates[i]);
 
+  const auto table = overflow();
   for (auto& sub : split_scratch_) sub.clear();
+  for (auto& sub : replica_scratch_) sub.clear();
   for (const size_t group : consolidator_.touched()) {
     const std::string& relation = consolidator_.relation(group);
+    const Route* route = FindRoute(relation);
+    IVME_CHECK_MSG(route != nullptr, "no routing established for relation " << relation);
     for (const auto* node = consolidator_.delta(group).First(); node != nullptr;
          node = node->next) {
       if (node->value == 0) continue;  // cancelled in full
-      split_scratch_[ShardOf(relation, node->key)].push_back(
-          Update{relation, node->key, node->value});
+      if (sketch_ != nullptr) {
+        sketch_->Add(node->key[static_cast<size_t>(route->root_pos)]);
+      }
+      const RouteDecision decision = Decide(*route, node->key, table.get());
+      if (!decision.replicate) {
+        split_scratch_[decision.shard].push_back(Update{relation, node->key, node->value});
+        loads_[decision.shard].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+        loads_[decision.shard].net_entries.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        for (size_t s = 0; s < shards_.size(); ++s) {
+          auto& sub = s == decision.shard ? split_scratch_[s] : replica_scratch_[s];
+          sub.push_back(Update{relation, node->key, node->value});
+          loads_[s].routed_tuples.fetch_add(1, std::memory_order_relaxed);
+          loads_[s].net_entries.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
   }
 
@@ -425,11 +770,24 @@ Status ShardedCatalog::TryApplyBatch(const Update* updates, size_t count, BatchR
   task_scratch_.clear();
   for (size_t s = 0; s < shards_.size(); ++s) {
     result_scratch_[s] = BatchResult();
-    if (split_scratch_[s].empty()) continue;
+    if (split_scratch_[s].empty() && replica_scratch_[s].empty()) continue;
     QueryCatalog* catalog = shards_[s].get();
     const UpdateBatch* sub = &split_scratch_[s];
+    const UpdateBatch* replicas = &replica_scratch_[s];
     BatchResult* out = &result_scratch_[s];
-    task_scratch_.push_back([catalog, sub, out] { *out = catalog->ApplyBatch(*sub); });
+    ShardLoadCell* cell = &loads_[s];
+    task_scratch_.push_back([catalog, sub, replicas, out, cell] {
+      const auto start = std::chrono::steady_clock::now();
+      if (!sub->empty()) *out = catalog->ApplyBatch(*sub);
+      // Replica copies: applied for state, counts discarded (the primary
+      // shard already counted this entry's outcome).
+      if (!replicas->empty()) catalog->ApplyBatch(*replicas);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      cell->apply_nanos.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()),
+          std::memory_order_relaxed);
+    });
   }
   if (pool_ != nullptr) {
     pool_->Run(task_scratch_);
@@ -441,11 +799,40 @@ Status ShardedCatalog::TryApplyBatch(const Update* updates, size_t count, BatchR
     result->applied += shard_result.applied;
     result->rejected += shard_result.rejected;
   }
+  // Hot-key check at the batch boundary, inside the mutation bracket: a
+  // promotion migrates the stored tuples (including this batch's) and
+  // publishes the grown overflow table before the epoch publishes.
+  MaybePromote();
   // The pool barrier above orders every worker's stores before the Publish
   // inside PublishAndReclaim, so a reader pinning the new epoch sees the
   // fully applied batch on every shard.
   PublishAndReclaim();
   return Status::Ok();
+}
+
+std::shared_ptr<const OverflowMergeSpec> ShardedCatalog::BuildOverflowSpec(
+    const std::string& name, bool disjoint) const {
+  if (!disjoint || shards_.size() == 1) return nullptr;
+  const auto table = overflow();
+  if (table == nullptr || table->entries.empty()) return nullptr;
+  int root_pos = -1;
+  for (size_t i = 0; i < root_free_names_.size(); ++i) {
+    if (root_free_names_[i] == name) root_pos = root_out_pos_[i];
+  }
+  if (root_pos < 0) return nullptr;
+  const MaintainedQuery* query = shards_[0]->FindQuery(name);
+  if (query == nullptr) return nullptr;
+  auto spec = std::make_shared<OverflowMergeSpec>();
+  spec->root_pos = root_pos;
+  spec->keys.reserve(table->entries.size());
+  for (const OverflowEntry& entry : table->entries) {
+    // Queries reading the spread relation see partial per-shard slices for
+    // this root value (sum them); queries over replicated relations only
+    // see one identical copy per shard (keep the primary's).
+    spec->keys.push_back(OverflowMergeKey{entry.root, query->UsesRelation(entry.spread_relation),
+                                          entry.primary});
+  }
+  return spec;
 }
 
 std::unique_ptr<MergedEnumerator> ShardedCatalog::Enumerate(const std::string& name,
@@ -454,11 +841,12 @@ std::unique_ptr<MergedEnumerator> ShardedCatalog::Enumerate(const std::string& n
   for (size_t i = 0; i < root_free_names_.size(); ++i) {
     if (root_free_names_[i] == name) disjoint = root_free_[i];
   }
+  disjoint = disjoint || shards_.size() == 1;
   std::vector<std::unique_ptr<ResultEnumerator>> streams;
   streams.reserve(shards_.size());
   for (const auto& shard : shards_) streams.push_back(shard->Enumerate(name));
-  return std::make_unique<MergedEnumerator>(
-      std::move(streams), disjoint || shards_.size() == 1, mode, pool_.get());
+  return std::make_unique<MergedEnumerator>(std::move(streams), disjoint, mode, pool_.get(),
+                                            BuildOverflowSpec(name, disjoint));
 }
 
 QueryResult ShardedCatalog::EvaluateToMap(const std::string& name) const {
@@ -475,11 +863,17 @@ std::unique_ptr<MergedEnumerator> ShardedCatalog::EnumerateAt(const std::string&
   for (size_t i = 0; i < root_free_names_.size(); ++i) {
     if (root_free_names_[i] == name) disjoint = root_free_[i];
   }
+  disjoint = disjoint || shards_.size() == 1;
   std::vector<std::unique_ptr<ResultEnumerator>> streams;
   streams.reserve(shards_.size());
   for (const auto& shard : shards_) streams.push_back(shard->EnumerateAt(name, epoch));
-  return std::make_unique<MergedEnumerator>(
-      std::move(streams), disjoint || shards_.size() == 1, mode, pool_.get());
+  // The overflow table only grows and a promotion replays the full join
+  // state of its root value into the new placement before publishing, so
+  // the newest table merges any pinned epoch correctly: pre-promotion
+  // epochs hold all of a root's rows in its primary shard, where both the
+  // sum and the keep-primary rule reproduce the unpromoted stream.
+  return std::make_unique<MergedEnumerator>(std::move(streams), disjoint, mode, pool_.get(),
+                                            BuildOverflowSpec(name, disjoint));
 }
 
 QueryResult ShardedCatalog::EvaluateToMapAt(const std::string& name, Epoch epoch) const {
@@ -502,12 +896,26 @@ Status ShardedCatalog::TryDumpRelation(const std::string& relation,
   if (shards_[0]->store().Find(relation) == nullptr) {
     return Status::Error("unknown relation " + relation);
   }
-  for (const auto& shard : shards_) {
+  // Replicated overflow copies are a physical routing artifact: the logical
+  // relation holds each tuple once, so the dump keeps only the primary
+  // shard's copy. (Snapshots and resharding rebuild from this dump, which
+  // is what lets a rebuilt catalog start from an empty overflow table.)
+  const auto table = shards_.size() > 1 ? overflow() : nullptr;
+  const Route* route = table != nullptr ? FindRoute(relation) : nullptr;
+  for (size_t s = 0; s < shards_.size(); ++s) {
     std::vector<std::pair<Tuple, Mult>> part;
-    Status status = shard->TryDumpRelation(relation, &part);
+    Status status = shards_[s]->TryDumpRelation(relation, &part);
     if (!status.ok()) return status;
-    out->insert(out->end(), std::make_move_iterator(part.begin()),
-                std::make_move_iterator(part.end()));
+    for (auto& entry : part) {
+      if (route != nullptr) {
+        const OverflowEntry* hot =
+            table->Find(entry.first[static_cast<size_t>(route->root_pos)]);
+        if (hot != nullptr && hot->spread_relation != relation && s != hot->primary) {
+          continue;  // replica copy; the primary shard's survives
+        }
+      }
+      out->push_back(std::move(entry));
+    }
   }
   return Status::Ok();
 }
@@ -545,18 +953,34 @@ bool ShardedCatalog::CheckInvariants(std::string* error) {
     }
   }
   if (shards_.size() > 1) {
-    // Routing invariant: every stored tuple lives in the shard its root
-    // value hashes to.
+    // Routing invariant: every stored tuple lives in the shard the current
+    // overflow table routes it to; tuples of replicated (overflow,
+    // non-spread) relation slices must exist identically in EVERY shard.
+    const auto table = overflow();
     for (const auto& route : routes_) {
       for (size_t s = 0; s < shards_.size(); ++s) {
         if (shards_[s]->store().Find(route.relation) == nullptr) continue;
         for (const auto& [tuple, mult] : shards_[s]->DumpRelation(route.relation)) {
-          (void)mult;
-          if (ShardOf(route.relation, tuple) != s) {
+          const RouteDecision decision = Decide(route, tuple, table.get());
+          if (!decision.replicate) {
+            if (decision.shard != s) {
+              if (error != nullptr) {
+                *error = "tuple " + tuple.ToString() + " of " + route.relation +
+                         " stored in shard " + std::to_string(s) + " but routed to shard " +
+                         std::to_string(decision.shard);
+              }
+              return false;
+            }
+            continue;
+          }
+          for (size_t other = 0; other < shards_.size(); ++other) {
+            if (other == s) continue;
+            const Relation* slice = shards_[other]->store().Find(route.relation);
+            if (slice != nullptr && slice->Multiplicity(tuple) == mult) continue;
             if (error != nullptr) {
-              *error = "tuple " + tuple.ToString() + " of " + route.relation +
-                       " stored in shard " + std::to_string(s) + " but routed to shard " +
-                       std::to_string(ShardOf(route.relation, tuple));
+              *error = "replicated tuple " + tuple.ToString() + " of " + route.relation +
+                       " has multiplicity " + std::to_string(mult) + " in shard " +
+                       std::to_string(s) + " but not in shard " + std::to_string(other);
             }
             return false;
           }

@@ -9,6 +9,7 @@
 #ifndef IVME_CORE_SHARDED_CATALOG_H_
 #define IVME_CORE_SHARDED_CATALOG_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,10 +19,32 @@
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/core/catalog.h"
+#include "src/core/heavy_hitters.h"
 #include "src/data/consolidate.h"
+#include "src/data/dictionary.h"
 #include "src/enumerate/merged_enumerator.h"
 
 namespace ivme {
+
+/// Skew-aware routing knobs (two-level router; see ARCHITECTURE.md §12).
+struct SkewRoutingOptions {
+  /// Off by default: pure hash routing, no sketch, no overflow table.
+  bool enabled = false;
+
+  /// Counters of the SpaceSaving sketch over root values.
+  size_t sketch_capacity = 32;
+
+  /// A root value is hot when its guaranteed frequency reaches
+  /// `promote_ratio` × (total routed entries / K) — i.e. a multiple of one
+  /// shard's fair share of the stream.
+  double promote_ratio = 0.25;
+
+  /// No promotion before this many routed net entries were observed.
+  uint64_t min_total = 1024;
+
+  /// Maximum overflow-table entries (promotions are sticky).
+  size_t max_overflow = 16;
+};
 
 /// Configuration of a sharded catalog.
 struct ShardedCatalogOptions {
@@ -32,6 +55,47 @@ struct ShardedCatalogOptions {
   /// Worker threads for batch application and preprocessing. 0 picks
   /// ThreadPool::DefaultThreads(num_shards).
   size_t num_threads = 0;
+
+  /// Hot-key overflow routing. Enabling it tightens RegisterQuery's gate
+  /// (free root, no repeated relation symbols, all relations dynamic) so
+  /// every later promotion is unconditionally sound.
+  SkewRoutingOptions skew;
+};
+
+/// Per-shard write-load accounting (shell `stats`, serve reports, router).
+struct ShardLoadStats {
+  uint64_t routed_tuples = 0;  ///< entries handed to the shard (all writes)
+  uint64_t net_entries = 0;    ///< consolidated batch net entries routed
+  uint64_t apply_nanos = 0;    ///< wall time of the shard's batch applies
+};
+
+/// Shard-load imbalance summary over routed tuples.
+struct LoadImbalance {
+  double max_mean = 1.0;  ///< max shard load / mean shard load (1 = balanced)
+  uint64_t max_tuples = 0;
+  double mean_tuples = 0.0;
+};
+
+/// One promoted hot root value of the two-level router.
+struct OverflowEntry {
+  Value root = 0;
+  /// The single relation whose `root`-tuples spread across shards by their
+  /// non-root hash; every other relation's `root`-tuples are replicated to
+  /// all shards, so each shard still joins locally.
+  std::string spread_relation;
+  size_t primary = 0;  ///< hash shard of `root` (pre-promotion home)
+};
+
+/// Immutable overflow-table snapshot (copy-on-write across promotions).
+struct OverflowTable {
+  std::vector<OverflowEntry> entries;
+
+  const OverflowEntry* Find(Value root) const {
+    for (const OverflowEntry& e : entries) {
+      if (e.root == root) return &e;
+    }
+    return nullptr;
+  }
 };
 
 /// A QueryCatalog surface over K shard catalogs.
@@ -220,8 +284,43 @@ class ShardedCatalog {
   size_t store_size() const;
 
   /// The shard index a tuple of `relation` routes to. Requires established
-  /// routing (some registered query reads `relation`) when K > 1.
+  /// routing (some registered query reads `relation`) when K > 1. Tuples of
+  /// replicated relations under an overflow root value report their primary
+  /// shard (one copy lives in every shard).
   size_t ShardOf(const std::string& relation, const Tuple& tuple) const;
+
+  // --- dictionary ---
+
+  /// The catalog-wide string dictionary, shared by every shard slice (the
+  /// router hashes interned ids, so ids must agree across shards).
+  const std::shared_ptr<StringDictionary>& dictionary() const { return dictionary_; }
+
+  /// Shares an existing dictionary into every shard (rebuild/reshard paths:
+  /// dumped tuples carry ids of the old catalog's dictionary). The current
+  /// dictionary must still be empty.
+  void AdoptDictionary(std::shared_ptr<StringDictionary> dict);
+
+  // --- skew-aware routing (ARCHITECTURE.md §12) ---
+
+  bool skew_routing() const { return options_.skew.enabled && shards_.size() > 1; }
+
+  /// Write-load counters of shard `s` since construction / ResetLoadStats.
+  ShardLoadStats ShardLoad(size_t s) const;
+
+  /// Max/mean routed-tuple imbalance across shards.
+  LoadImbalance ComputeImbalance() const;
+
+  /// Clears every shard's load counters (e.g. to exclude a load phase).
+  void ResetLoadStats();
+
+  /// Current overflow entries (copy; the table itself is immutable).
+  std::vector<OverflowEntry> OverflowEntries() const;
+
+  /// Test hook / manual override: promotes `root` with `spread_relation`
+  /// as the spreading relation, migrating its stored tuples. Requires skew
+  /// routing, a preprocessed catalog, and a routed, non-unary, dynamic
+  /// spread relation; rejects duplicates and a full table. Writer thread.
+  Status PromoteHotKey(Value root, const std::string& spread_relation);
 
  private:
   struct Route {
@@ -229,8 +328,35 @@ class ShardedCatalog {
     int root_pos = 0;
   };
 
+  /// Routing decision for one tuple: one target shard, or replicate-to-all
+  /// (overflow root value, non-spread relation).
+  struct RouteDecision {
+    bool replicate = false;
+    size_t shard = 0;  ///< target; the primary shard when replicating
+  };
+
   const Route* FindRoute(const std::string& relation) const;
   Status TryLoadTupleImpl(const std::string& relation, const Tuple& tuple, Mult mult);
+
+  /// The live overflow table (atomic shared_ptr load; may be null).
+  std::shared_ptr<const OverflowTable> overflow() const;
+
+  /// Routes one tuple under `table` (which may be null).
+  RouteDecision Decide(const Route& route, const Tuple& tuple,
+                       const OverflowTable* table) const;
+
+  /// Shard of the tuple's non-root hash (spread placement).
+  size_t NonRootShard(const Tuple& tuple, size_t root_pos) const;
+
+  /// Reserved-range (dictionary id) validation of one tuple.
+  Status CheckDictValues(const std::string& relation, const Tuple& tuple) const;
+
+  /// Sketch-driven promotion check; no-op unless thresholds trip. Must run
+  /// inside a mutation bracket on the writer thread.
+  void MaybePromote();
+
+  /// PromoteHotKey's body, inside the caller's mutation bracket.
+  Status PromoteLocked(Value root, const std::string& spread_relation);
 
   /// Serving mode: refreshes each shard log's keep-epoch snapshot before a
   /// mutation starts (no-op otherwise).
@@ -268,9 +394,39 @@ class ShardedCatalog {
   std::vector<Route> routes_;
 
   /// Per registered query: whether its root variable is free (drives the
-  /// merged-enumeration mode). Parallel to QueryNames() order.
+  /// merged-enumeration mode) and, when free, the root's position in the
+  /// output schema (drives the overflow merge). Parallel vectors.
   std::vector<std::string> root_free_names_;
   std::vector<bool> root_free_;
+  std::vector<int> root_out_pos_;
+
+  /// Builds the per-query overflow merge spec (null when the table is
+  /// empty, K == 1, or the root is bound).
+  std::shared_ptr<const OverflowMergeSpec> BuildOverflowSpec(const std::string& name,
+                                                             bool disjoint) const;
+
+  /// Catalog-wide string dictionary (shared into every shard's store).
+  std::shared_ptr<StringDictionary> dictionary_;
+
+  /// Per-shard write-load counters. Atomics: batch-apply tasks record their
+  /// own shard's apply time from worker threads, and serve-mode reporters
+  /// read mid-batch.
+  struct ShardLoadCell {
+    std::atomic<uint64_t> routed_tuples{0};
+    std::atomic<uint64_t> net_entries{0};
+    std::atomic<uint64_t> apply_nanos{0};
+  };
+  std::unique_ptr<ShardLoadCell[]> loads_;
+
+  /// SpaceSaving sketch over root values, fed at consolidation time on the
+  /// writer thread (null unless skew routing is active).
+  std::unique_ptr<SpaceSavingSketch> sketch_;
+
+  /// Copy-on-write overflow table: readers load it via std::atomic_load at
+  /// enumerator construction; promotions (writer thread, inside a mutation
+  /// bracket) publish a fresh copy. Entries are sticky — the table only
+  /// grows, so any pinned epoch is answered correctly by the newest table.
+  std::shared_ptr<const OverflowTable> overflow_;
 
   LatencyHistogram update_latency_;  ///< facade-level ApplyUpdate timings
   LatencyHistogram batch_latency_;   ///< facade-level ApplyBatch timings
@@ -278,6 +434,7 @@ class ShardedCatalog {
   // ApplyBatch scratch (capacity persists across batches).
   NetDeltaConsolidator consolidator_;
   std::vector<UpdateBatch> split_scratch_;
+  std::vector<UpdateBatch> replica_scratch_;  ///< overflow copies, uncounted
   std::vector<BatchResult> result_scratch_;
   std::vector<std::function<void()>> task_scratch_;
 };

@@ -1,0 +1,78 @@
+#include "src/data/dictionary.h"
+
+#include "src/common/check.h"
+#include "src/data/tuple.h"
+
+namespace ivme {
+
+StringDictionary::StringDictionary() = default;
+
+StringDictionary::~StringDictionary() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+Value StringDictionary::Intern(const std::string& s) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(s);
+  if (it != index_.end()) return MakeDictValue(it->second);
+
+  const size_t id = size_.load(std::memory_order_relaxed);
+  IVME_CHECK_MSG(id < kChunkSize * kMaxChunks, "string dictionary is full");
+  const size_t chunk_idx = id / kChunkSize;
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    // Release: a reader that sees this pointer sees the constructed chunk.
+    chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  // Publish the string before the size: a reader that observes size > id
+  // (acquire) observes the fully written string.
+  chunk->items[id % kChunkSize] = s;
+  size_.store(id + 1, std::memory_order_release);
+  index_.emplace(s, static_cast<uint32_t>(id));
+  return MakeDictValue(static_cast<uint32_t>(id));
+}
+
+Value StringDictionary::Find(const std::string& s) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(s);
+  return it != index_.end() ? MakeDictValue(it->second) : 0;
+}
+
+const std::string* StringDictionary::Lookup(Value v) const {
+  if (!IsDictValue(v)) return nullptr;
+  const size_t id = DictIdOf(v);
+  // Bits 32..61 must be zero: a reserved-range value whose low 32 bits
+  // happen to name a live id is still forged if it doesn't round-trip.
+  if (v != MakeDictValue(static_cast<uint32_t>(id))) return nullptr;
+  if (id >= size_.load(std::memory_order_acquire)) return nullptr;
+  const Chunk* chunk = chunks_[id / kChunkSize].load(std::memory_order_acquire);
+  return &chunk->items[id % kChunkSize];
+}
+
+const std::string& StringDictionary::String(uint32_t id) const {
+  const std::string* s = Lookup(MakeDictValue(id));
+  IVME_CHECK_MSG(s != nullptr, "dictionary id " << id << " out of range");
+  return *s;
+}
+
+std::string StringDictionary::FormatValue(Value v) const {
+  const std::string* s = Lookup(v);
+  if (s == nullptr) return std::to_string(v);
+  return "\"" + *s + "\"";
+}
+
+bool ValidateDictValues(const Tuple& tuple, const StringDictionary& dict, Value* bad) {
+  for (const Value v : tuple) {
+    if (!IsDictValue(v)) continue;
+    if (dict.Lookup(v) == nullptr) {
+      if (bad != nullptr) *bad = v;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ivme

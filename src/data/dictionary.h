@@ -1,0 +1,88 @@
+// Shared string dictionary: interns strings to dense 32-bit ids carried as
+// tagged Values (value.h), so tuples stay fixed-width and string equality
+// on the hot path is integer equality. One dictionary is shared by every
+// shard slice of a catalog — ids must agree across shards because the
+// router hashes them.
+//
+// Concurrency contract (ARCHITECTURE.md §9): the id space is append-only
+// and ids are never reused, so readers never block. Lookup() walks a
+// chunked, pointer-stable id → string table guarded only by acquire loads
+// of the published size and the chunk pointers; a snapshot reader pinned at
+// any epoch resolves every id reachable from its epoch's tuples (ids are
+// interned before the tuples carrying them are published). Intern() takes
+// a mutex — writes are the cold path — and publishes the string before the
+// size, so a reader that observes the new size observes the string.
+#ifndef IVME_DATA_DICTIONARY_H_
+#define IVME_DATA_DICTIONARY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/data/value.h"
+
+namespace ivme {
+
+class Tuple;
+
+/// Append-only intern table: string ↔ dense id (as tagged Value).
+class StringDictionary {
+ public:
+  /// Strings per chunk × chunk slots: 4096 × 4096 = 16M distinct strings.
+  static constexpr size_t kChunkSize = 1 << 12;
+  static constexpr size_t kMaxChunks = 1 << 12;
+
+  StringDictionary();
+  ~StringDictionary();
+
+  StringDictionary(const StringDictionary&) = delete;
+  StringDictionary& operator=(const StringDictionary&) = delete;
+
+  /// Interns `s` (idempotent) and returns its tagged Value. Thread-safe;
+  /// safe to call concurrently with Lookup from reader threads.
+  Value Intern(const std::string& s);
+
+  /// The tagged Value of `s` if already interned, or 0 (never a valid
+  /// dictionary Value) when absent. Takes the intern mutex.
+  Value Find(const std::string& s) const;
+
+  /// The string behind a tagged Value, or nullptr when `v` is not a live
+  /// dictionary id. Lock-free; safe from pinned reader threads concurrent
+  /// with Intern. The pointee is immutable and lives as long as the
+  /// dictionary (ids are never reclaimed).
+  const std::string* Lookup(Value v) const;
+
+  /// Number of interned strings (ids are exactly [0, size())). Acquire
+  /// load: every id below the returned size resolves via Lookup.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// The string of id `id` (< size()). Lock-free, like Lookup.
+  const std::string& String(uint32_t id) const;
+
+  /// Renders `v` for humans: the quoted string for live dictionary ids,
+  /// the decimal integer otherwise.
+  std::string FormatValue(Value v) const;
+
+ private:
+  struct Chunk {
+    std::string items[kChunkSize];
+  };
+
+  std::atomic<Chunk*> chunks_[kMaxChunks] = {};
+  std::atomic<size_t> size_{0};
+
+  mutable std::mutex mu_;                          ///< guards index_ + growth
+  std::unordered_map<std::string, uint32_t> index_;  ///< string → id
+};
+
+/// True when every reserved-range value of `tuple` is a live id of `dict`;
+/// otherwise false with `*bad` set to the offending value. The catalog's
+/// write gates call this so a raw integer forged into the reserved range is
+/// rejected loudly instead of colliding with an interned string.
+bool ValidateDictValues(const Tuple& tuple, const StringDictionary& dict, Value* bad);
+
+}  // namespace ivme
+
+#endif  // IVME_DATA_DICTIONARY_H_

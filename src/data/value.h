@@ -1,5 +1,17 @@
 // Domain values. The data model of Section 3 works over discrete domains;
-// values are encoded as 64-bit integers (dictionary-encode strings upstream).
+// values are encoded as 64-bit integers. Strings are dictionary-encoded
+// (src/data/dictionary.h): an interned string rides as a *tagged* 64-bit id
+// so Value stays fixed-width on the hot path and a dictionary id can never
+// silently compare equal (or hash-collide) with a raw integer that happens
+// to share its bit pattern.
+//
+// Bit layout: the top two bits of a Value select its kind.
+//   00 / 10 / 11  — raw integers (all negatives and positives < 2^62)
+//   01            — interned string id (low 32 bits are the dense id)
+// Raw integers in [2^62, 2^63) are therefore reserved; the catalog's write
+// gates reject tuples carrying a reserved-range value that is not a live
+// dictionary id, so the ambiguity is a loud structured error, never a
+// silent collision.
 #ifndef IVME_DATA_VALUE_H_
 #define IVME_DATA_VALUE_H_
 
@@ -14,6 +26,26 @@ using Value = int64_t;
 /// deltas may carry negative ones (Section 3, "Modeling Updates Using
 /// Multiplicities").
 using Mult = int64_t;
+
+/// Top-two-bit tag selecting interned string ids within the Value space.
+constexpr uint64_t kDictTagMask = 3ULL << 62;
+constexpr uint64_t kDictTag = 1ULL << 62;
+
+/// True when `v` lies in the reserved dictionary-id range (tag bits 01).
+/// Whether it names a *live* id is the dictionary's to answer.
+inline bool IsDictValue(Value v) {
+  return (static_cast<uint64_t>(v) & kDictTagMask) == kDictTag;
+}
+
+/// The tagged Value of dictionary id `id`.
+inline Value MakeDictValue(uint32_t id) {
+  return static_cast<Value>(kDictTag | static_cast<uint64_t>(id));
+}
+
+/// The dense id behind a tagged dictionary Value (IsDictValue(v) required).
+inline uint32_t DictIdOf(Value v) {
+  return static_cast<uint32_t>(static_cast<uint64_t>(v) & 0xffffffffULL);
+}
 
 }  // namespace ivme
 

@@ -22,9 +22,12 @@ void DrainShard(ResultEnumerator* shard, RowBuffer* out) {
 }  // namespace
 
 MergedEnumerator::MergedEnumerator(std::vector<std::unique_ptr<ResultEnumerator>> shards,
-                                   bool disjoint, DrainMode mode, ThreadPool* pool)
+                                   bool disjoint, DrainMode mode, ThreadPool* pool,
+                                   std::shared_ptr<const OverflowMergeSpec> overflow)
     : shards_(std::move(shards)), disjoint_(disjoint) {
-  if (mode == DrainMode::kParallel && shards_.size() > 1) {
+  const bool need_overflow_merge = disjoint_ && shards_.size() > 1 &&
+                                   overflow != nullptr && !overflow->keys.empty();
+  if ((mode == DrainMode::kParallel || need_overflow_merge) && shards_.size() > 1) {
     // Fan the shard drains out; each task owns its shard's enumerator and
     // its own RowBuffer, so tasks share nothing. Run() is the barrier that
     // publishes the buffers (and the tasks' thread-local cost counters).
@@ -34,7 +37,7 @@ MergedEnumerator::MergedEnumerator(std::vector<std::unique_ptr<ResultEnumerator>
     for (size_t i = 0; i < shards_.size(); ++i) {
       tasks.push_back([this, i] { DrainShard(shards_[i].get(), &buffers_[i]); });
     }
-    if (pool != nullptr) {
+    if (mode == DrainMode::kParallel && pool != nullptr) {
       pool->Run(tasks);
     } else {
       for (const auto& task : tasks) task();
@@ -42,6 +45,7 @@ MergedEnumerator::MergedEnumerator(std::vector<std::unique_ptr<ResultEnumerator>
     shards_.clear();
     buffered_ = true;
   }
+  if (need_overflow_merge) ApplyOverflowMerge(*overflow);
   if (disjoint_) return;
   // Overlap possible: sum every shard's stream into one map, then stream
   // the map. Entries keep first-appearance order across shards — the merge
@@ -64,6 +68,39 @@ MergedEnumerator::MergedEnumerator(std::vector<std::unique_ptr<ResultEnumerator>
     shards_.clear();
   }
   next_ = merged_.First();
+}
+
+void MergedEnumerator::ApplyOverflowMerge(const OverflowMergeSpec& spec) {
+  // The shard streams agree on all non-overflow root values (disjoint) and
+  // disagree only on the listed keys: `sum` keys carry partial slices in
+  // every shard (the query reads the spread relation), `!sum` keys carry
+  // identical full copies (replicated relations only), of which exactly the
+  // primary shard's survives. Rebuild one combined buffer in shard order —
+  // pass-through rows first, then the summed rows of the `sum` keys in
+  // first-appearance order — so the stream stays deterministic and keeps
+  // the distinct-tuple contract.
+  const size_t pos = static_cast<size_t>(spec.root_pos);
+  std::vector<RowBuffer> merged(1);
+  RowBuffer& out = merged[0];
+  TupleMap<Mult> summed;
+  for (size_t s = 0; s < buffers_.size(); ++s) {
+    const RowBuffer& buf = buffers_[s];
+    for (size_t i = 0; i < buf.size(); ++i) {
+      const Tuple& t = buf.tuple(i);
+      const OverflowMergeKey* key = spec.FindKey(t[pos]);
+      if (key == nullptr) {
+        out.Append(t, buf.mult(i));
+      } else if (key->sum) {
+        summed.Emplace(t).first->value += buf.mult(i);
+      } else if (s == key->primary) {
+        out.Append(t, buf.mult(i));
+      }
+    }
+  }
+  for (const auto* node = summed.First(); node != nullptr; node = node->next) {
+    if (node->value != 0) out.Append(node->key, node->value);
+  }
+  buffers_ = std::move(merged);
 }
 
 bool MergedEnumerator::Next(Tuple* out, Mult* mult) {

@@ -32,6 +32,34 @@ enum class DrainMode {
   kParallel,  ///< drain all shards up front on the pool, then stream buffers
 };
 
+/// Merge rule for one overflow (hot) root value under skew-aware routing:
+/// its tuples no longer live in a single shard, so the per-shard output
+/// streams are not disjoint for this root value even when the root is free.
+struct OverflowMergeKey {
+  Value root = 0;
+  /// True when the enumerated query reads the overflow value's *spread*
+  /// relation: every shard then contributes a partial result slice for this
+  /// root and the slices merge by multiplicity sum. False when the query
+  /// reads only replicated relations: every shard computes an identical
+  /// copy and only the primary shard's stream is kept.
+  bool sum = true;
+  size_t primary = 0;  ///< hash shard of the root value (kept when !sum)
+};
+
+/// Output positions + keys a MergedEnumerator needs to repair disjointness
+/// for overflow root values. Built per query by the sharded catalog.
+struct OverflowMergeSpec {
+  int root_pos = 0;  ///< position of the root variable in output tuples
+  std::vector<OverflowMergeKey> keys;
+
+  const OverflowMergeKey* FindKey(Value v) const {
+    for (const OverflowMergeKey& key : keys) {
+      if (key.root == v) return &key;
+    }
+    return nullptr;
+  }
+};
+
 /// Concatenates (disjoint shards) or merges (overlapping projections) the
 /// result streams of a sharded engine's per-shard enumerators. Same
 /// contract as ResultEnumerator: distinct tuples over the query's free
@@ -43,9 +71,19 @@ class MergedEnumerator {
   /// drains every shard up front. DrainMode::kParallel additionally runs
   /// the per-shard drains as pool tasks (inline when `pool` is null or has
   /// no workers); the merged stream order is unchanged.
+  ///
+  /// `overflow` (may be null / empty) lists the overflow root values whose
+  /// shard streams are NOT disjoint despite a free root (skew-aware
+  /// routing): rows carrying an overflow root value are merged per the
+  /// key's rule (multiplicity sum across shards, or primary-shard-only for
+  /// replicated copies) while all other rows stream as the plain disjoint
+  /// concatenation. A non-empty spec forces an eager drain even under
+  /// DrainMode::kLazy. Ignored when `disjoint` is false (the summing merge
+  /// already handles arbitrary overlap).
   MergedEnumerator(std::vector<std::unique_ptr<ResultEnumerator>> shards,
                    bool disjoint, DrainMode mode = DrainMode::kLazy,
-                   ThreadPool* pool = nullptr);
+                   ThreadPool* pool = nullptr,
+                   std::shared_ptr<const OverflowMergeSpec> overflow = nullptr);
 
   /// Next distinct result tuple and its multiplicity; false at the end.
   bool Next(Tuple* out, Mult* mult);
@@ -55,6 +93,11 @@ class MergedEnumerator {
   size_t FillBatch(RowBuffer* out, size_t limit);
 
  private:
+  /// Overflow repair pass: drains every shard (if not already drained) and
+  /// rebuilds buffers_ as one combined stream with overflow-key rows merged
+  /// per their rule. Called from the constructor only.
+  void ApplyOverflowMerge(const OverflowMergeSpec& spec);
+
   std::vector<std::unique_ptr<ResultEnumerator>> shards_;
   size_t current_ = 0;  ///< shard being drained (disjoint lazy mode)
 

@@ -17,7 +17,9 @@ namespace ivme {
 namespace {
 
 constexpr uint32_t kSnapshotMagic = 0x49564D45;  // "IVME"
-constexpr uint32_t kSnapshotVersion = 1;
+// Version 2 adds the string-dictionary section between the header and the
+// query specs; version-1 files (no dictionary) are still readable.
+constexpr uint32_t kSnapshotVersion = 2;
 
 Status SyncDir(const std::string& dir) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
@@ -39,6 +41,8 @@ std::string Serialize(const SnapshotData& data) {
   sink.PutU64(data.lsn);
   sink.PutU64(data.num_shards);
   sink.PutU8(data.live ? 1 : 0);
+  sink.PutU32(static_cast<uint32_t>(data.dictionary.size()));
+  for (const std::string& s : data.dictionary) sink.PutString(s);
   sink.PutU32(static_cast<uint32_t>(data.queries.size()));
   for (const SnapshotQuerySpec& query : data.queries) {
     sink.PutString(query.name);
@@ -122,17 +126,33 @@ Status ReadSnapshotFile(const std::string& path, SnapshotData* out) {
   if (!source.GetU32(&magic) || magic != kSnapshotMagic) {
     return Status::Error(path + ": bad snapshot magic");
   }
-  if (!source.GetU32(&version) || version != kSnapshotVersion) {
+  if (!source.GetU32(&version) || version < 1 || version > kSnapshotVersion) {
     return Status::Error(path + ": unsupported snapshot version");
   }
   SnapshotData data;
   uint8_t live = 0;
-  uint32_t num_queries = 0;
-  if (!source.GetU64(&data.lsn) || !source.GetU64(&data.num_shards) ||
-      !source.GetU8(&live) || !source.GetU32(&num_queries)) {
+  if (!source.GetU64(&data.lsn) || !source.GetU64(&data.num_shards) || !source.GetU8(&live)) {
     return Status::Error(path + ": truncated snapshot header");
   }
   data.live = live != 0;
+  if (version >= 2) {
+    uint32_t num_strings = 0;
+    if (!source.GetU32(&num_strings)) {
+      return Status::Error(path + ": truncated dictionary count");
+    }
+    data.dictionary.reserve(num_strings);
+    for (uint32_t i = 0; i < num_strings; ++i) {
+      std::string s;
+      if (!source.GetString(&s)) {
+        return Status::Error(path + ": truncated dictionary string");
+      }
+      data.dictionary.push_back(std::move(s));
+    }
+  }
+  uint32_t num_queries = 0;
+  if (!source.GetU32(&num_queries)) {
+    return Status::Error(path + ": truncated query count");
+  }
   for (uint32_t i = 0; i < num_queries; ++i) {
     SnapshotQuerySpec query;
     if (!source.GetString(&query.name) || !source.GetString(&query.text) ||

@@ -46,6 +46,10 @@ struct SnapshotData {
   uint64_t lsn = 0;         ///< WAL position; recovery replays records > lsn
   uint64_t num_shards = 1;  ///< shard count to rebuild with
   bool live = false;        ///< whether Preprocess had run
+  /// String dictionary in id order (id i = dictionary[i]): re-interned
+  /// before any relation loads, so tagged tuple values resolve. Empty for
+  /// version-1 snapshots (written before dictionary encoding existed).
+  std::vector<std::string> dictionary;
   std::vector<SnapshotQuerySpec> queries;
   std::vector<SnapshotRelation> relations;
 };

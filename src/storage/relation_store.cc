@@ -17,6 +17,15 @@ int Support(Mult before, Mult after) {
 
 }  // namespace
 
+RelationStore::RelationStore() : dictionary_(std::make_shared<StringDictionary>()) {}
+
+void RelationStore::ShareDictionary(std::shared_ptr<StringDictionary> dict) {
+  IVME_CHECK_MSG(dict != nullptr, "cannot share a null dictionary");
+  IVME_CHECK_MSG(dictionary_ == dict || dictionary_->size() == 0,
+                 "cannot replace a non-empty dictionary: interned ids would dangle");
+  dictionary_ = std::move(dict);
+}
+
 RelationStore::Entry* RelationStore::FindEntry(const std::string& name) {
   for (auto& entry : entries_) {
     if (entry.name == name) return &entry;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/data/dictionary.h"
 #include "src/data/mutability.h"
 #include "src/data/update.h"
 #include "src/storage/relation.h"
@@ -44,9 +45,20 @@ class RelationStore {
     long long net_support = 0;
   };
 
-  RelationStore() = default;
+  RelationStore();
   RelationStore(const RelationStore&) = delete;
   RelationStore& operator=(const RelationStore&) = delete;
+
+  /// The store's string dictionary: interned ids ride inside stored tuples
+  /// as tagged Values (value.h). Owned jointly — the shard slices of one
+  /// sharded catalog share a single dictionary (ids must agree across
+  /// shards because the router hashes them; see ShareDictionary).
+  const std::shared_ptr<StringDictionary>& dictionary() const { return dictionary_; }
+
+  /// Replaces this store's dictionary with a shared one. The current
+  /// dictionary must still be empty (no interned id may be stranded) —
+  /// catalogs share at construction / rebuild time, before any data moves.
+  void ShareDictionary(std::shared_ptr<StringDictionary> dict);
 
   /// Creates the relation (canonical column schema) or attaches to the
   /// existing one; either way the reference count grows by one. An arity or
@@ -113,6 +125,7 @@ class RelationStore {
   const Entry* FindEntry(const std::string& name) const;
 
   std::vector<Entry> entries_;
+  std::shared_ptr<StringDictionary> dictionary_;
 };
 
 }  // namespace ivme

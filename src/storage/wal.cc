@@ -20,7 +20,7 @@ constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc32
 
 bool KnownType(uint8_t type) {
   return type >= static_cast<uint8_t>(WalRecordType::kBatch) &&
-         type <= static_cast<uint8_t>(WalRecordType::kReshard);
+         type <= static_cast<uint8_t>(WalRecordType::kDictionary);
 }
 
 }  // namespace

@@ -41,6 +41,7 @@ enum class WalRecordType : uint8_t {
   kRegisterQuery = 4,  ///< query registration (name, text, engine options)
   kDropQuery = 5,      ///< query removal (name)
   kReshard = 6,        ///< shard-count change (new K)
+  kDictionary = 7,     ///< string-dictionary delta (first id + strings)
 };
 
 /// One decoded WAL record.

@@ -1,0 +1,96 @@
+#include "src/workload/geo_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace ivme {
+namespace workload {
+
+namespace {
+
+std::string Label(const char* kind, size_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s-%06zu", kind, id);
+  return buf;
+}
+
+}  // namespace
+
+const char* GeoJoinQueryText() {
+  return "Q(CI, CN, C, S, N, CU, UN) = geo(CI, C, S, N), city(CI, CN), "
+         "customer(CI, CU, UN)";
+}
+
+GeoJoinData GenerateGeoJoin(const GeoJoinConfig& config, StringDictionary* dict) {
+  IVME_CHECK_MSG(dict != nullptr, "geo-join generation needs a dictionary");
+  IVME_CHECK_MSG(config.nations > 0 && config.states_per_nation > 0 &&
+                     config.counties_per_state > 0 && config.cities_per_county > 0,
+                 "geo-join hierarchy levels must be positive");
+  Rng rng(config.seed);
+  GeoJoinData data;
+
+  // Walk the hierarchy top-down, interning each level's key once and
+  // emitting one denormalized geo row plus one city-name row per city.
+  std::vector<Value> cities;
+  size_t city_id = 0;
+  for (size_t n = 0; n < config.nations; ++n) {
+    const Value nation = dict->Intern(Label("nation", n));
+    for (size_t s = 0; s < config.states_per_nation; ++s) {
+      const Value state = dict->Intern(Label("state", n * config.states_per_nation + s));
+      for (size_t c = 0; c < config.counties_per_state; ++c) {
+        const size_t county_id =
+            (n * config.states_per_nation + s) * config.counties_per_state + c;
+        const Value county = dict->Intern(Label("county", county_id));
+        for (size_t t = 0; t < config.cities_per_county; ++t, ++city_id) {
+          const Value city = dict->Intern(Label("city", city_id));
+          data.geo.emplace_back(Tuple{city, county, state, nation}, 1);
+          data.city.emplace_back(Tuple{city, dict->Intern(Label("cityname", city_id))}, 1);
+          cities.push_back(city);
+        }
+      }
+    }
+  }
+  data.num_cities = cities.size();
+
+  // Customers-per-city degrees: Zipf(skew) over a shuffled city ranking, so
+  // the hot cities land on arbitrary hash shards rather than always the
+  // same ones. Each customer FK-references its city and carries its own
+  // interned id and name.
+  std::vector<size_t> ranking(cities.size());
+  for (size_t i = 0; i < ranking.size(); ++i) ranking[i] = i;
+  for (size_t i = ranking.size(); i > 1; --i) {
+    std::swap(ranking[i - 1], ranking[rng.Below(i)]);
+  }
+  std::vector<double> cdf(cities.size());
+  double total = 0;
+  for (size_t k = 0; k < cdf.size(); ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), config.zipf_skew);
+    cdf[k] = total;
+  }
+  std::vector<size_t> degree(cities.size(), 0);
+  data.customer.reserve(config.customers);
+  for (size_t u = 0; u < config.customers; ++u) {
+    const double pick = rng.NextDouble() * total;
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), pick) - cdf.begin());
+    const size_t city_index = ranking[std::min(rank, cities.size() - 1)];
+    ++degree[city_index];
+    data.customer.emplace_back(Tuple{cities[city_index], dict->Intern(Label("cust", u)),
+                                     dict->Intern(Label("custname", u % 1024))},
+                               1);
+  }
+  size_t hottest = 0;
+  for (size_t i = 1; i < degree.size(); ++i) {
+    if (degree[i] > degree[hottest]) hottest = i;
+  }
+  data.hottest_city = cities[hottest];
+  data.hottest_degree = degree[hottest];
+  return data;
+}
+
+}  // namespace workload
+}  // namespace ivme

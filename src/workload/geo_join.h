@@ -1,0 +1,65 @@
+// Geo-join FK workload: a denormalized geographic hierarchy keyed by
+// dictionary-encoded string ids, used to exercise skew-aware routing. One
+// star query joins three relations on the city root:
+//
+//   Q(CI, CN, C, S, N, CU, UN) = geo(CI, C, S, N), city(CI, CN),
+//                                customer(CI, CU, UN)
+//
+//   geo(CI, C, S, N)      city → county → state → nation (one row per city)
+//   city(CI, CN)          city id → display name
+//   customer(CI, CU, UN)  customers, FK to their city
+//
+// Every key (CI, C, S, N, CU) and every name (CN, UN) is an interned
+// string, so the whole pipeline — routing, join state, enumeration,
+// durability — runs on tagged dictionary Values. Customer degrees per city
+// follow Zipf(skew) over a shuffled city ranking: a handful of hot cities
+// absorb most of the customer mass (~1% of cities carry the bulk at
+// skew ≥ 1), which is exactly the load profile that overloads one hash
+// shard and triggers hot-key promotion.
+#ifndef IVME_WORKLOAD_GEO_JOIN_H_
+#define IVME_WORKLOAD_GEO_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/data/dictionary.h"
+#include "src/data/tuple.h"
+
+namespace ivme {
+namespace workload {
+
+struct GeoJoinConfig {
+  size_t nations = 4;
+  size_t states_per_nation = 5;
+  size_t counties_per_state = 5;
+  size_t cities_per_county = 4;  ///< total cities = product of the four
+  size_t customers = 20000;
+  /// Zipf exponent of the customers-per-city degree distribution
+  /// (0 = uniform, 1+ = a few hot cities dominate).
+  double zipf_skew = 1.0;
+  uint64_t seed = 42;
+};
+
+/// The generated relation contents (insert multiplicities, all 1).
+struct GeoJoinData {
+  std::vector<std::pair<Tuple, Mult>> geo;       ///< geo(CI, C, S, N)
+  std::vector<std::pair<Tuple, Mult>> city;      ///< city(CI, CN)
+  std::vector<std::pair<Tuple, Mult>> customer;  ///< customer(CI, CU, UN)
+  size_t num_cities = 0;
+  Value hottest_city = 0;        ///< root value with the largest degree
+  size_t hottest_degree = 0;     ///< its customer count
+};
+
+/// The star query text (ConjunctiveQuery::Parse syntax).
+const char* GeoJoinQueryText();
+
+/// Generates the hierarchy and customer set, interning every key and name
+/// through `dict` (shared with the catalog the data will be loaded into).
+GeoJoinData GenerateGeoJoin(const GeoJoinConfig& config, StringDictionary* dict);
+
+}  // namespace workload
+}  // namespace ivme
+
+#endif  // IVME_WORKLOAD_GEO_JOIN_H_

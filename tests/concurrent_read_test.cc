@@ -31,6 +31,8 @@
 #include "src/common/rng.h"
 #include "src/core/catalog.h"
 #include "src/core/sharded_catalog.h"
+#include "src/data/dictionary.h"
+#include "src/data/value.h"
 #include "tests/support/catalog.h"
 #include "tests/support/seed.h"
 
@@ -317,6 +319,87 @@ TEST(ConcurrentReadTest, StructuralChangesQuiesceReaders) {
 
   std::string error;
   EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+}
+
+// Dictionary interning under live snapshot readers: the writer keeps
+// interning fresh strings and inserting tuples tagged with them while two
+// readers race the intern frontier. Intern publishes string-before-size
+// (release store), so a reader may see Lookup(id) == nullptr for an id it
+// was not handed through a result — but never a torn string. Any tagged
+// value visible in a pinned snapshot was interned before the batch that
+// carried it published, so it must always resolve. Run under TSan: the
+// lock-free Lookup against the interning writer is the race surface.
+TEST(ConcurrentReadTest, InterningRacesSnapshotReaders) {
+  const uint64_t seed = testing::SeedBase(0xD1C70000ull);
+  ShardedCatalogOptions opt;
+  opt.num_shards = 2;
+  ShardedCatalog catalog(opt);
+  ASSERT_TRUE(catalog.RegisterQuery("join", MustParse("Q(A, C) = R(A, B), S(B, C)"),
+                                    Options(RebalanceMode::kAmortized)));
+  catalog.EnableServing();
+  catalog.Preprocess();
+  const std::shared_ptr<StringDictionary>& dict = catalog.dictionary();
+
+  std::atomic<bool> done{false};
+
+  // Result reader: resolves every tagged value its snapshot exposes back
+  // to the deterministic string for its id.
+  std::thread result_reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      ReadSnapshot snap = catalog.AcquireSnapshot();
+      const QueryResult result = catalog.EvaluateToMapAt("join", snap.epoch());
+      for (const auto& [tuple, mult] : result) {
+        for (const Value v : tuple) {
+          if (!IsDictValue(v)) continue;
+          const std::string* s = dict->Lookup(v);
+          ASSERT_NE(s, nullptr) << "snapshot-visible id must resolve";
+          EXPECT_EQ(*s, "w" + std::to_string(DictIdOf(v)));
+          EXPECT_EQ(dict->FormatValue(v), "\"" + *s + "\"");
+        }
+      }
+    }
+  });
+
+  // Probing reader: hammers ids around the frontier without any pin.
+  // nullptr is fine for an id not yet published; a non-null result must
+  // already be a complete string.
+  std::thread probe_reader([&] {
+    Rng rng(seed ^ 0x9999ull);
+    uint64_t resolved = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const uint32_t id = static_cast<uint32_t>(rng.Below(2048));
+      const std::string* s = dict->Lookup(MakeDictValue(id));
+      if (s != nullptr) {
+        ++resolved;
+        EXPECT_EQ(*s, "w" + std::to_string(id));
+      }
+    }
+    EXPECT_GT(resolved, 0u);
+  });
+
+  // Writer: fresh interns every round, tagged values on both a root-side
+  // column and the payloads so they route through both shards.
+  Rng rng(seed);
+  uint32_t next = 0;
+  for (int round = 0; round < 300; ++round) {
+    UpdateBatch batch;
+    for (int i = 0; i < 4; ++i) {
+      const Value tagged = dict->Intern("w" + std::to_string(next));
+      ASSERT_EQ(tagged, MakeDictValue(next));
+      ++next;
+      const Value join_key = static_cast<Value>(rng.Below(16));
+      batch.push_back(Update{"R", Tuple({tagged, join_key}), 1});
+      batch.push_back(Update{"S", Tuple({join_key, tagged}), 1});
+    }
+    catalog.ApplyBatch(batch);
+  }
+  done.store(true, std::memory_order_release);
+  result_reader.join();
+  probe_reader.join();
+
+  std::string error;
+  EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+  EXPECT_EQ(dict->size(), static_cast<size_t>(next));
 }
 
 }  // namespace

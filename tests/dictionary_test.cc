@@ -1,0 +1,346 @@
+// Dictionary-encoding tests: intern/lookup round-trips, the tagged-Value
+// scheme's disjointness from raw integers, forged-id rejection at the
+// catalog's write gates, a regression mixing int-keyed and string-keyed
+// relations in one query (differential vs brute force), concurrent intern
+// and lookup, and a durable save/open round-trip where every string key
+// must survive snapshot + WAL-delta replay with its id intact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/brute_force.h"
+#include "src/core/durable_catalog.h"
+#include "src/core/sharded_catalog.h"
+#include "src/data/dictionary.h"
+#include "src/data/value.h"
+#include "src/storage/database.h"
+#include "tests/support/catalog.h"
+#include "tests/support/durability.h"
+
+namespace ivme {
+namespace {
+
+using testing::DiffLogicalState;
+using testing::MustParse;
+using testing::SortedDump;
+using testing::TempDir;
+
+// --- tag scheme -----------------------------------------------------------
+
+TEST(DictValueTest, TagBitsPartitionTheValueSpace) {
+  // Raw integers outside [2^62, 2^63) are never dictionary values.
+  EXPECT_FALSE(IsDictValue(0));
+  EXPECT_FALSE(IsDictValue(1));
+  EXPECT_FALSE(IsDictValue(-1));
+  EXPECT_FALSE(IsDictValue(int64_t{1} << 61));
+  EXPECT_FALSE(IsDictValue(std::numeric_limits<int64_t>::min()));
+  // The whole upper quarter [2^62, 2^63) of the positives is reserved.
+  EXPECT_TRUE(IsDictValue(std::numeric_limits<int64_t>::max()));
+  EXPECT_FALSE(IsDictValue(std::numeric_limits<int64_t>::max() >> 1));
+
+  // Every id maps into the reserved range and round-trips.
+  for (const uint32_t id : {0u, 1u, 4095u, 4096u, 0xffffffffu}) {
+    const Value v = MakeDictValue(id);
+    EXPECT_TRUE(IsDictValue(v));
+    EXPECT_EQ(DictIdOf(v), id);
+    EXPECT_NE(v, static_cast<Value>(id)) << "tagged id must differ from the raw integer";
+  }
+}
+
+// --- intern / lookup ------------------------------------------------------
+
+TEST(DictionaryTest, InternIsIdempotentAndDense) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  const Value a = dict.Intern("alpha");
+  const Value b = dict.Intern("beta");
+  EXPECT_TRUE(IsDictValue(a));
+  EXPECT_TRUE(IsDictValue(b));
+  EXPECT_EQ(DictIdOf(a), 0u);
+  EXPECT_EQ(DictIdOf(b), 1u);
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(*dict.Lookup(a), "alpha");
+  EXPECT_EQ(*dict.Lookup(b), "beta");
+  EXPECT_EQ(dict.String(0), "alpha");
+  EXPECT_EQ(dict.String(1), "beta");
+}
+
+TEST(DictionaryTest, FindAbsentReturnsZero) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.Find("missing"), 0);
+  dict.Intern("present");
+  EXPECT_EQ(dict.Find("missing"), 0);
+  EXPECT_EQ(dict.Find("present"), MakeDictValue(0));
+}
+
+TEST(DictionaryTest, LookupRejectsNonLiveValues) {
+  StringDictionary dict;
+  dict.Intern("only");
+  EXPECT_EQ(dict.Lookup(42), nullptr);                  // raw integer
+  EXPECT_EQ(dict.Lookup(MakeDictValue(1)), nullptr);    // id beyond size
+  EXPECT_EQ(dict.Lookup(MakeDictValue(999)), nullptr);  // far beyond size
+  EXPECT_NE(dict.Lookup(MakeDictValue(0)), nullptr);
+}
+
+TEST(DictionaryTest, InternAcrossChunkBoundary) {
+  // kChunkSize strings fill chunk 0; the next Intern must allocate chunk 1
+  // and all earlier ids must still resolve.
+  StringDictionary dict;
+  const size_t n = StringDictionary::kChunkSize + 3;
+  for (size_t i = 0; i < n; ++i) {
+    const Value v = dict.Intern("s" + std::to_string(i));
+    EXPECT_EQ(DictIdOf(v), static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(dict.size(), n);
+  EXPECT_EQ(dict.String(0), "s0");
+  EXPECT_EQ(dict.String(static_cast<uint32_t>(StringDictionary::kChunkSize)),
+            "s" + std::to_string(StringDictionary::kChunkSize));
+}
+
+TEST(DictionaryTest, FormatValueQuotesLiveIdsOnly) {
+  StringDictionary dict;
+  const Value v = dict.Intern("berlin");
+  EXPECT_EQ(dict.FormatValue(v), "\"berlin\"");
+  EXPECT_EQ(dict.FormatValue(7), "7");
+  EXPECT_EQ(dict.FormatValue(-3), "-3");
+}
+
+TEST(DictionaryTest, ValidateDictValuesFlagsForgedIds) {
+  StringDictionary dict;
+  const Value live = dict.Intern("live");
+  Value bad = 0;
+  EXPECT_TRUE(ValidateDictValues(Tuple{live, 17, -4}, dict, &bad));
+  const Value forged = MakeDictValue(12345);
+  EXPECT_FALSE(ValidateDictValues(Tuple{live, forged}, dict, &bad));
+  EXPECT_EQ(bad, forged);
+}
+
+TEST(DictionaryTest, ConcurrentInternAndLookup) {
+  // Writers intern disjoint namespaces while readers resolve every id the
+  // published size admits; under TSan this validates the publish order
+  // (string before size).
+  StringDictionary dict;
+  constexpr size_t kWriters = 3;
+  constexpr size_t kPerWriter = 2000;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&dict, w] {
+      for (size_t i = 0; i < kPerWriter; ++i) {
+        const Value v = dict.Intern("w" + std::to_string(w) + "-" + std::to_string(i));
+        ASSERT_NE(dict.Lookup(v), nullptr);
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&dict, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t n = dict.size();
+      for (uint32_t id = 0; id < n; ++id) {
+        const std::string* s = dict.Lookup(MakeDictValue(id));
+        ASSERT_NE(s, nullptr);
+        ASSERT_FALSE(s->empty());
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(dict.size(), kWriters * kPerWriter);
+}
+
+// --- catalog write gates --------------------------------------------------
+
+TEST(DictionaryCatalogTest, WriteGatesRejectForgedReservedRangeValues) {
+  ShardedCatalogOptions options;
+  options.num_shards = 2;
+  ShardedCatalog catalog(options);
+  std::string why;
+  ASSERT_TRUE(catalog.RegisterQuery("q", MustParse("Q(A, B) = R(A, B), S(A)"), EngineOptions{},
+                                    &why))
+      << why;
+
+  const Value live = catalog.dictionary()->Intern("live");
+  const Value forged = MakeDictValue(77);  // not a live id
+  EXPECT_TRUE(catalog.TryLoadTuple("R", Tuple{live, 1}, 1).ok());
+  EXPECT_FALSE(catalog.TryLoadTuple("R", Tuple{forged, 1}, 1).ok());
+  EXPECT_FALSE(catalog.TryLoad("S", {{Tuple{forged}, 1}}).ok());
+  catalog.Preprocess();
+
+  EXPECT_TRUE(catalog.TryApplyUpdate("S", Tuple{live}, 1).ok());
+  EXPECT_FALSE(catalog.TryApplyUpdate("S", Tuple{forged}, 1).ok());
+  // A reserved-range value that is not even a representable id.
+  const Value junk = static_cast<Value>(kDictTag | (uint64_t{1} << 40));
+  EXPECT_FALSE(catalog.TryApplyUpdate("R", Tuple{junk, 2}, 1).ok());
+
+  // Batch gate: one forged entry refuses the whole batch atomically.
+  BatchResult result;
+  UpdateBatch batch = {Update{"S", Tuple{live}, 1}, Update{"R", Tuple{forged, 3}, 1}};
+  EXPECT_FALSE(catalog.TryApplyBatch(batch, &result).ok());
+  const QueryResult before = catalog.EvaluateToMap("q");
+  EXPECT_EQ(before.count(Tuple{live, 1}), 1u);
+}
+
+// --- mixed int / string keys (regression) ---------------------------------
+
+TEST(DictionaryCatalogTest, MixedIntAndStringKeysInOneQuery) {
+  // One query joining a string-keyed relation against an int-payload one:
+  // the tag bits must keep interned ids and raw integers from ever
+  // colliding in the join maps. Differential vs brute force at K=1 and K=2.
+  const ConjunctiveQuery q = MustParse("Q(A, B, C) = R(A, B), S(A, C)");
+  for (const size_t shards : {size_t{1}, size_t{2}}) {
+    ShardedCatalogOptions options;
+    options.num_shards = shards;
+    ShardedCatalog catalog(options);
+    std::string why;
+    ASSERT_TRUE(catalog.RegisterQuery("q", q, EngineOptions{}, &why)) << why;
+    StringDictionary& dict = *catalog.dictionary();
+
+    Database mirror;
+    for (const auto& atom : q.atoms()) {
+      if (mirror.Find(atom.relation) == nullptr) mirror.AddRelation(atom.relation, atom.schema);
+    }
+    auto load = [&](const std::string& rel, const Tuple& t) {
+      ASSERT_TRUE(catalog.TryLoadTuple(rel, t, 1).ok());
+      mirror.Find(rel)->Apply(t, 1);
+    };
+
+    const Value berlin = dict.Intern("berlin");
+    const Value tokyo = dict.Intern("tokyo");
+    const Value lima = dict.Intern("lima");
+    // The raw integers deliberately collide with the ids' low bits: without
+    // the tag, R(0, ...) and R("berlin", ...) would join incorrectly.
+    load("R", Tuple{berlin, 10});
+    load("R", Tuple{tokyo, 20});
+    load("R", Tuple{0, 30});
+    load("R", Tuple{1, 40});
+    load("S", Tuple{berlin, dict.Intern("bear")});
+    load("S", Tuple{0, 99});
+    load("S", Tuple{lima, 7});
+    catalog.Preprocess();
+
+    auto check = [&](const char* when) {
+      const QueryResult expected = BruteForceEvaluate(q, mirror);
+      EXPECT_EQ(catalog.EvaluateToMap("q"), expected) << when << " K=" << shards;
+      std::string error;
+      EXPECT_TRUE(catalog.CheckInvariants(&error)) << error;
+    };
+    check("after load");
+
+    auto update = [&](const std::string& rel, const Tuple& t, Mult m) {
+      ASSERT_TRUE(catalog.TryApplyUpdate(rel, t, m).ok());
+      mirror.Find(rel)->Apply(t, m);
+    };
+    update("S", Tuple{tokyo, 5}, 1);
+    update("R", Tuple{lima, 50}, 1);
+    update("R", Tuple{0, 30}, -1);
+    update("S", Tuple{berlin, dict.Intern("ber")}, 2);
+    check("after updates");
+
+    // The string root must appear in results as its tagged id.
+    const QueryResult result = catalog.EvaluateToMap("q");
+    EXPECT_EQ(result.count(Tuple{tokyo, 20, 5}), 1u);
+    EXPECT_EQ(result.count(Tuple{berlin, 10, dict.Find("bear")}), 1u);
+    EXPECT_EQ(result.count(Tuple{0, 30, 99}), 0u) << "deleted int-keyed row resurfaced";
+  }
+}
+
+// --- durability -----------------------------------------------------------
+
+TEST(DictionaryDurabilityTest, SaveOpenRoundTripWithStringKeys) {
+  // Strings interned before the snapshot ride in the snapshot's dictionary
+  // section; strings interned after it ride as kDictionary WAL deltas. Both
+  // must replay to the same ids.
+  TempDir dir;
+  ShardedCatalogOptions catalog_options;
+  catalog_options.num_shards = 2;
+  DurabilityOptions durability;
+  durability.fsync = FsyncPolicy::kAlways;
+  durability.background_checkpoint = false;
+
+  Status status;
+  auto durable = DurableCatalog::Open(dir.path(), catalog_options, durability, &status);
+  ASSERT_NE(durable, nullptr) << status.message();
+  std::string why;
+  ASSERT_TRUE(durable->RegisterQuery("q", MustParse("Q(A, B, C) = R(A, B), S(A, C)"),
+                                     EngineOptions{}, &why))
+      << why;
+  StringDictionary& dict = *durable->catalog().dictionary();
+
+  ASSERT_TRUE(durable->TryLoad("R", {{Tuple{dict.Intern("oslo"), 1}, 1},
+                                     {Tuple{dict.Intern("cairo"), 2}, 1}})
+                  .ok());
+  ASSERT_TRUE(durable->TryLoad("S", {{Tuple{dict.Intern("oslo"), dict.Intern("fjord")}, 1}}).ok());
+  durable->Preprocess();
+  ASSERT_TRUE(durable->Checkpoint().ok());  // dictionary → snapshot section
+
+  // Post-checkpoint strings reach disk only through kDictionary deltas.
+  BatchResult result;
+  UpdateBatch batch = {Update{"R", Tuple{dict.Intern("quito"), 3}, 1},
+                       Update{"S", Tuple{dict.Intern("quito"), dict.Intern("andes")}, 1},
+                       Update{"S", Tuple{dict.Find("cairo"), 11}, 1}};
+  ASSERT_TRUE(durable->TryApplyBatch(batch, &result).ok());
+  const QueryResult expected = durable->catalog().EvaluateToMap("q");
+  const auto expected_r = SortedDump(durable->catalog(), "R");
+  const size_t dict_size = dict.size();
+  std::map<std::string, Value> ids;
+  for (const char* s : {"oslo", "cairo", "fjord", "quito", "andes"}) ids[s] = dict.Find(s);
+  durable.reset();
+
+  auto reopened = DurableCatalog::Open(dir.path(), ShardedCatalogOptions{}, durability, &status);
+  ASSERT_NE(reopened, nullptr) << status.message();
+  const StringDictionary& redict = *reopened->catalog().dictionary();
+  ASSERT_EQ(redict.size(), dict_size);
+  for (const auto& [s, id] : ids) {
+    EXPECT_EQ(redict.Find(s), id) << "id of " << s << " changed across recovery";
+  }
+  EXPECT_EQ(reopened->catalog().EvaluateToMap("q"), expected);
+  EXPECT_EQ(SortedDump(reopened->catalog(), "R"), expected_r);
+
+  // The recovered dictionary keeps interning (fresh ids append cleanly).
+  ASSERT_TRUE(
+      reopened->TryApplyUpdate("S", Tuple{redict.Find("oslo"),
+                                          reopened->catalog().dictionary()->Intern("new")},
+                               1)
+          .ok());
+  std::string error;
+  EXPECT_TRUE(reopened->catalog().CheckInvariants(&error)) << error;
+}
+
+TEST(DictionaryDurabilityTest, AttachDirSnapshotsTheDictionary) {
+  // AttachDir writes a full snapshot of an ephemeral catalog — including
+  // ids interned before durability began.
+  TempDir dir;
+  DurabilityOptions durability;
+  durability.background_checkpoint = false;  // AttachDir's snapshot lands before Open
+  auto durable = std::make_unique<DurableCatalog>(ShardedCatalogOptions{}, durability);
+  std::string why;
+  ASSERT_TRUE(durable->RegisterQuery("q", MustParse("Q(A) = R(A, B)"), EngineOptions{}, &why))
+      << why;
+  StringDictionary& dict = *durable->catalog().dictionary();
+  ASSERT_TRUE(durable->TryLoadTuple("R", Tuple{dict.Intern("pre-attach"), 1}, 1).ok());
+  durable->Preprocess();
+  ASSERT_TRUE(durable->AttachDir(dir.path()).ok());
+  ASSERT_TRUE(durable->TryApplyUpdate("R", Tuple{dict.Intern("post-attach"), 2}, 1).ok());
+  const QueryResult expected = durable->catalog().EvaluateToMap("q");
+  const Value pre = dict.Find("pre-attach");
+  const Value post = dict.Find("post-attach");
+  durable.reset();
+
+  Status status;
+  auto reopened = DurableCatalog::Open(dir.path(), ShardedCatalogOptions{}, DurabilityOptions{},
+                                       &status);
+  ASSERT_NE(reopened, nullptr) << status.message();
+  EXPECT_EQ(reopened->catalog().dictionary()->Find("pre-attach"), pre);
+  EXPECT_EQ(reopened->catalog().dictionary()->Find("post-attach"), post);
+  EXPECT_EQ(reopened->catalog().EvaluateToMap("q"), expected);
+}
+
+}  // namespace
+}  // namespace ivme

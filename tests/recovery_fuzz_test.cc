@@ -19,6 +19,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/core/durable_catalog.h"
@@ -98,10 +100,32 @@ void RunScenario(uint64_t seed) {
   ASSERT_TRUE(durable->RegisterQuery("P", p, options, &why)) << why;
   ASSERT_TRUE(reference.RegisterQuery("P", p, options, &why)) << why;
   const Value domain = 2 + static_cast<Value>(rng.Below(5));
+
+  // String-keyed values ride the whole crash matrix: a pool interned into
+  // both catalogs before the injector arms (identical dense ids — Intern is
+  // order-deterministic), drawn by the workload alongside raw ints for both
+  // the routing root and the payload. AttachDir below snapshots the pool and
+  // advances the dictionary sync watermark, so no kDictionary WAL record is
+  // in flight inside the armed window.
+  std::vector<Value> pool;
+  for (int i = 0; i < 6; ++i) {
+    const std::string s = "key" + std::to_string(i);
+    const Value v = durable->catalog().dictionary()->Intern(s);
+    ASSERT_EQ(v, reference.catalog().dictionary()->Intern(s));
+    pool.push_back(v);
+  }
+  auto root_value = [&]() -> Value {
+    if (rng.Chance(0.3)) return pool[rng.Below(pool.size())];
+    return static_cast<Value>(rng.Below(static_cast<uint64_t>(domain)));
+  };
+  auto payload_value = [&]() -> Value {
+    if (rng.Chance(0.3)) return pool[rng.Below(pool.size())];
+    return static_cast<Value>(rng.Below(30));
+  };
+
   for (int i = static_cast<int>(rng.Below(20)); i > 0; --i) {
     const std::string rel = rng.Chance(0.5) ? "R0" : "R1";
-    const Tuple t({static_cast<Value>(rng.Below(static_cast<uint64_t>(domain))),
-                   static_cast<Value>(rng.Below(30))});
+    const Tuple t({root_value(), payload_value()});
     ASSERT_TRUE(durable->TryLoadTuple(rel, t, 1).ok());
     ASSERT_TRUE(reference.TryLoadTuple(rel, t, 1).ok());
   }
@@ -150,18 +174,15 @@ void RunScenario(uint64_t seed) {
       UpdateBatch batch;
       const size_t size = 1 + rng.Below(10);
       for (size_t i = 0; i < size; ++i) {
-        batch.push_back(
-            Update{rng.Chance(0.5) ? "R0" : "R1",
-                   Tuple({static_cast<Value>(rng.Below(static_cast<uint64_t>(domain))),
-                          static_cast<Value>(rng.Below(30))}),
-                   rng.Chance(0.35) ? -1 : 1});
+        batch.push_back(Update{rng.Chance(0.5) ? "R0" : "R1",
+                               Tuple({root_value(), payload_value()}),
+                               rng.Chance(0.35) ? -1 : 1});
       }
       (void)durable->ApplyBatch(batch);
       mirror_if_durable([&] { reference.ApplyBatch(batch); });
     } else {
       const std::string rel = rng.Chance(0.5) ? "R0" : "R1";
-      const Tuple t({static_cast<Value>(rng.Below(static_cast<uint64_t>(domain))),
-                     static_cast<Value>(rng.Below(30))});
+      const Tuple t({root_value(), payload_value()});
       const Mult mult = rng.Chance(0.35) ? -1 : 1;
       (void)durable->ApplyUpdate(rel, t, mult);
       mirror_if_durable([&] { reference.ApplyUpdate(rel, t, mult); });
@@ -188,6 +209,15 @@ void RunScenario(uint64_t seed) {
   std::string error;
   EXPECT_TRUE(recovered->catalog().CheckInvariants(&error))
       << "seed=" << seed << " point=" << fired << ": " << error;
+  // The snapshot-carried dictionary must resolve every pool id to its
+  // original string — the dumped tuples above compare by raw tagged Value,
+  // which is only meaningful if the id assignment survived verbatim.
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const std::string* s = recovered->catalog().dictionary()->Lookup(pool[i]);
+    ASSERT_NE(s, nullptr) << "seed=" << seed << " point=" << fired
+                          << ": pool id " << i << " lost in recovery";
+    EXPECT_EQ(*s, "key" + std::to_string(i)) << "seed=" << seed;
+  }
   if (crashed && fired == "wal:append_torn") {
     EXPECT_TRUE(recovered->durability_stats().recovered_torn_tail)
         << "seed=" << seed << ": a torn append must be detected as a torn tail";
@@ -197,10 +227,17 @@ void RunScenario(uint64_t seed) {
   }
 
   // The recovered catalog keeps serving: a few more updates + one reopen.
+  // Each tail update interns a FRESH string, so its kDictionary WAL delta
+  // must ride ahead of the batch record and replay through the reopen.
+  // Both dictionaries hold exactly the pool here (nothing interned inside
+  // the armed window), so fresh ids stay aligned.
   if (recovered->catalog().num_queries() > 0 && recovered->catalog().shard(0).preprocessed()) {
     for (int i = 0; i < 5; ++i) {
-      const Tuple t({static_cast<Value>(rng.Below(static_cast<uint64_t>(domain))),
-                     static_cast<Value>(rng.Below(30))});
+      const std::string fresh = "tail" + std::to_string(i);
+      const Value tagged = recovered->catalog().dictionary()->Intern(fresh);
+      ASSERT_EQ(tagged, reference.catalog().dictionary()->Intern(fresh))
+          << "seed=" << seed << ": post-recovery intern order diverged";
+      const Tuple t({root_value(), tagged});
       (void)recovered->ApplyUpdate("R0", t, 1);
       (void)reference.ApplyUpdate("R0", t, 1);
     }

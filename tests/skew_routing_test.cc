@@ -1,0 +1,380 @@
+// Skew-aware routing tests: the SpaceSaving sketch's guarantees, the
+// RegisterQuery gate that keeps every promotion sound, manual and automatic
+// hot-key promotion (differential vs an unsharded catalog and brute force,
+// including deletes of spread and replicated tuples after promotion), the
+// routing invariant and DumpRelation dedup across promotions, shard-load
+// accounting, and snapshot reads pinned across a promotion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/brute_force.h"
+#include "src/common/rng.h"
+#include "src/core/heavy_hitters.h"
+#include "src/core/sharded_catalog.h"
+#include "src/storage/database.h"
+#include "tests/support/catalog.h"
+
+namespace ivme {
+namespace {
+
+using testing::MustParse;
+
+// --- SpaceSaving sketch ---------------------------------------------------
+
+TEST(SpaceSavingTest, ExactUnderCapacity) {
+  SpaceSavingSketch sketch(8);
+  for (int i = 0; i < 5; ++i) {
+    for (int rep = 0; rep <= i; ++rep) sketch.Add(i);
+  }
+  EXPECT_EQ(sketch.total(), 15u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sketch.GuaranteedCount(i), static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(sketch.GuaranteedCount(99), 0u);
+}
+
+TEST(SpaceSavingTest, HeavyHitterSurvivesEviction) {
+  // One value with frequency far above total/capacity must stay tracked
+  // through a churn of singletons, with a positive guaranteed count.
+  SpaceSavingSketch sketch(4);
+  constexpr Value kHot = 1000;
+  for (int round = 0; round < 200; ++round) {
+    sketch.Add(kHot);
+    sketch.Add(2000 + round);  // fresh singleton each round
+  }
+  EXPECT_EQ(sketch.total(), 400u);
+  const uint64_t guaranteed = sketch.GuaranteedCount(kHot);
+  EXPECT_GT(guaranteed, 0u);
+  EXPECT_LE(guaranteed, 200u);
+  bool tracked = false;
+  for (const auto& e : sketch.entries()) {
+    if (e.value == kHot) {
+      tracked = true;
+      EXPECT_GE(e.count, 200u) << "count must upper-bound the true frequency";
+    }
+  }
+  EXPECT_TRUE(tracked);
+}
+
+TEST(SpaceSavingTest, WeightedAddAndClear) {
+  SpaceSavingSketch sketch(4);
+  sketch.Add(7, 50);
+  sketch.Add(8, 3);
+  EXPECT_EQ(sketch.total(), 53u);
+  EXPECT_EQ(sketch.GuaranteedCount(7), 50u);
+  sketch.Clear();
+  EXPECT_EQ(sketch.total(), 0u);
+  EXPECT_EQ(sketch.GuaranteedCount(7), 0u);
+  EXPECT_TRUE(sketch.entries().empty());
+}
+
+// --- harness --------------------------------------------------------------
+
+ShardedCatalogOptions SkewOptions(size_t shards, uint64_t min_total = 1u << 62) {
+  ShardedCatalogOptions options;
+  options.num_shards = shards;
+  options.skew.enabled = true;
+  options.skew.min_total = min_total;  // default: out of reach (manual promotion only)
+  return options;
+}
+
+constexpr const char* kStarQuery = "Q(A, B, C) = R(A, B), S(A, C)";
+
+/// A skew-routed catalog, an unsharded reference, and a brute-force mirror
+/// fed identical writes.
+class SkewHarness {
+ public:
+  explicit SkewHarness(ShardedCatalogOptions options, const std::string& text = kStarQuery)
+      : query_(MustParse(text)), sharded_(options), reference_(ShardedCatalogOptions{}) {
+    std::string why;
+    EXPECT_TRUE(sharded_.RegisterQuery("q", query_, EngineOptions{}, &why)) << why;
+    EXPECT_TRUE(reference_.RegisterQuery("q", query_, EngineOptions{}, &why)) << why;
+    for (const auto& atom : query_.atoms()) {
+      if (mirror_.Find(atom.relation) == nullptr) {
+        mirror_.AddRelation(atom.relation, atom.schema);
+      }
+    }
+  }
+
+  ShardedCatalog& sharded() { return sharded_; }
+
+  void Load(const std::string& rel, const Tuple& t, Mult m = 1) {
+    ASSERT_TRUE(sharded_.TryLoadTuple(rel, t, m).ok());
+    ASSERT_TRUE(reference_.TryLoadTuple(rel, t, m).ok());
+    mirror_.Find(rel)->Apply(t, m);
+  }
+
+  void Preprocess() {
+    sharded_.Preprocess();
+    reference_.Preprocess();
+  }
+
+  void Batch(const UpdateBatch& batch) {
+    BatchResult a, b;
+    ASSERT_TRUE(sharded_.TryApplyBatch(batch, &a).ok());
+    ASSERT_TRUE(reference_.TryApplyBatch(batch, &b).ok());
+    ASSERT_EQ(a.applied, b.applied);
+    ASSERT_EQ(a.rejected, b.rejected);
+    for (const auto& u : batch) mirror_.Find(u.relation)->Apply(u.tuple, u.mult);
+  }
+
+  /// Result equality (sharded vs reference vs brute force), routing
+  /// invariants, and DumpRelation dedup against the mirror.
+  void FullCheck(const char* when) {
+    const QueryResult expected = BruteForceEvaluate(query_, mirror_);
+    EXPECT_EQ(reference_.EvaluateToMap("q"), expected) << when << " (reference)";
+    EXPECT_EQ(sharded_.EvaluateToMap("q"), expected) << when << " (sharded)";
+    std::string error;
+    EXPECT_TRUE(sharded_.CheckInvariants(&error)) << when << ": " << error;
+    for (const std::string& rel : query_.RelationNames()) {
+      auto dump = sharded_.DumpRelation(rel);
+      std::sort(dump.begin(), dump.end());
+      auto want = reference_.DumpRelation(rel);
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(dump, want) << when << ": dump of " << rel
+                            << " must count replicated copies once";
+    }
+  }
+
+ private:
+  ConjunctiveQuery query_;
+  ShardedCatalog sharded_;
+  ShardedCatalog reference_;
+  Database mirror_;
+};
+
+// --- RegisterQuery gate ---------------------------------------------------
+
+TEST(SkewRoutingTest, GateRejectsBoundRoot) {
+  ShardedCatalog catalog(SkewOptions(2));
+  std::string why;
+  // Root A is projected away: concatenation-by-root is the merge the
+  // overflow router relies on, so the registration must fail loudly.
+  EXPECT_FALSE(catalog.RegisterQuery("q", MustParse("Q(B) = R(A, B), S(A)"), EngineOptions{},
+                                     &why));
+  EXPECT_NE(why.find("root"), std::string::npos) << why;
+}
+
+TEST(SkewRoutingTest, GateRejectsSelfJoin) {
+  ShardedCatalog catalog(SkewOptions(2));
+  std::string why;
+  EXPECT_FALSE(catalog.RegisterQuery("q", MustParse("Q(A, B, C) = R(A, B), R(A, C)"),
+                                     EngineOptions{}, &why));
+  EXPECT_NE(why.find("self-join"), std::string::npos) << why;
+}
+
+TEST(SkewRoutingTest, GateRejectsNonDynamicRelations) {
+  ShardedCatalog catalog(SkewOptions(2));
+  std::string why;
+  EngineOptions options;
+  options.mutability.push_back({"S", Mutability::kStatic});
+  EXPECT_FALSE(catalog.RegisterQuery("q", MustParse(kStarQuery), options, &why));
+  EXPECT_NE(why.find("dynamic"), std::string::npos) << why;
+
+  // The same query registers fine without skew routing.
+  ShardedCatalogOptions plain;
+  plain.num_shards = 2;
+  ShardedCatalog hash_only(plain);
+  EXPECT_TRUE(hash_only.RegisterQuery("q", MustParse(kStarQuery), options, &why)) << why;
+}
+
+// --- manual promotion -----------------------------------------------------
+
+TEST(SkewRoutingTest, PromoteHotKeyPreconditions) {
+  ShardedCatalog catalog(SkewOptions(4));
+  std::string why;
+  ASSERT_TRUE(catalog.RegisterQuery("q", MustParse(kStarQuery), EngineOptions{}, &why)) << why;
+  catalog.Load("R", {{Tuple{1, 1}, 1}});
+  catalog.Preprocess();
+
+  EXPECT_FALSE(catalog.PromoteHotKey(1, "nope").ok()) << "unknown relation";
+  ASSERT_TRUE(catalog.PromoteHotKey(1, "S").ok());
+  EXPECT_FALSE(catalog.PromoteHotKey(1, "S").ok()) << "duplicate promotion";
+  EXPECT_FALSE(catalog.PromoteHotKey(1, "R").ok()) << "duplicate under another spread";
+  ASSERT_EQ(catalog.OverflowEntries().size(), 1u);
+  EXPECT_EQ(catalog.OverflowEntries()[0].root, 1);
+  EXPECT_EQ(catalog.OverflowEntries()[0].spread_relation, "S");
+
+  // K=1 / disabled catalogs refuse promotion outright.
+  ShardedCatalog single(SkewOptions(1));
+  ASSERT_TRUE(single.RegisterQuery("q", MustParse(kStarQuery), EngineOptions{}, &why)) << why;
+  single.Preprocess();
+  EXPECT_FALSE(single.PromoteHotKey(1, "S").ok());
+}
+
+TEST(SkewRoutingTest, PromotionMigratesAndStaysCorrect) {
+  SkewHarness h(SkewOptions(4));
+  constexpr Value kHot = 42;
+  // Hot root: many S partners and a handful of R rows; cold roots around it.
+  for (Value b = 0; b < 4; ++b) h.Load("R", Tuple{kHot, 100 + b});
+  for (Value c = 0; c < 64; ++c) h.Load("S", Tuple{kHot, 200 + c});
+  for (Value a = 0; a < 20; ++a) {
+    h.Load("R", Tuple{a, a + 1});
+    h.Load("S", Tuple{a, a + 2});
+  }
+  h.Preprocess();
+  h.FullCheck("before promotion");
+
+  ASSERT_TRUE(h.sharded().PromoteHotKey(kHot, "S").ok());
+  h.FullCheck("after promotion");
+
+  // Post-promotion writes take the two-level route: spread tuples land by
+  // non-root hash, replicated (R) tuples must reach every shard.
+  UpdateBatch grow;
+  for (Value c = 0; c < 32; ++c) grow.push_back(Update{"S", Tuple{kHot, 500 + c}, 1});
+  grow.push_back(Update{"R", Tuple{kHot, 900}, 1});
+  grow.push_back(Update{"R", Tuple{7, 901}, 1});
+  h.Batch(grow);
+  h.FullCheck("after post-promotion inserts");
+
+  // Deletes of both kinds: spread S rows (pre- and post-promotion ones) and
+  // a replicated R row, which must vanish from every shard's copy.
+  UpdateBatch shrink;
+  shrink.push_back(Update{"S", Tuple{kHot, 200}, -1});
+  shrink.push_back(Update{"S", Tuple{kHot, 500}, -1});
+  shrink.push_back(Update{"R", Tuple{kHot, 100}, -1});
+  shrink.push_back(Update{"S", Tuple{3, 5}, -1});
+  h.Batch(shrink);
+  h.FullCheck("after deletes");
+
+  // Deleting every replicated R row of the hot root empties its join
+  // results without disturbing the cold roots.
+  UpdateBatch wipe;
+  for (Value b = 1; b < 4; ++b) wipe.push_back(Update{"R", Tuple{kHot, 100 + b}, -1});
+  wipe.push_back(Update{"R", Tuple{kHot, 900}, -1});
+  h.Batch(wipe);
+  h.FullCheck("after wiping the hot root's R rows");
+}
+
+TEST(SkewRoutingTest, PromotionOnReplicatedOnlyQueryKeepsPrimary) {
+  // A second query that does NOT read the spread relation: its merge must
+  // keep the primary shard's rows only (every shard holds a full replica of
+  // the hot root's non-spread tuples).
+  SkewHarness h(SkewOptions(4));
+  std::string why;
+  ASSERT_TRUE(h.sharded().RegisterQuery("r_only", MustParse("Q(A, B) = R(A, B)"),
+                                        EngineOptions{}, &why))
+      << why;
+  constexpr Value kHot = 5;
+  for (Value b = 0; b < 6; ++b) h.Load("R", Tuple{kHot, 10 + b});
+  for (Value c = 0; c < 48; ++c) h.Load("S", Tuple{kHot, 100 + c});
+  h.Load("R", Tuple{6, 1});
+  h.Preprocess();
+  ASSERT_TRUE(h.sharded().PromoteHotKey(kHot, "S").ok());
+
+  QueryResult want;
+  for (Value b = 0; b < 6; ++b) want[Tuple{kHot, 10 + b}] = 1;
+  want[Tuple{6, 1}] = 1;
+  EXPECT_EQ(h.sharded().EvaluateToMap("r_only"), want)
+      << "replicated copies must not inflate multiplicities";
+  h.FullCheck("r_only coexists");
+}
+
+// --- automatic promotion --------------------------------------------------
+
+TEST(SkewRoutingTest, SkewedStreamTriggersAutoPromotion) {
+  ShardedCatalogOptions options = SkewOptions(4, /*min_total=*/128);
+  SkewHarness h(options);
+  constexpr Value kHot = 77;
+  for (Value a = 0; a < 16; ++a) h.Load("R", Tuple{a % 8, a});
+  h.Load("R", Tuple{kHot, 1});
+  h.Preprocess();
+
+  // ~70% of the stream hits the hot root: its guaranteed count crosses
+  // promote_ratio × total/K long before the cold tail does.
+  Rng rng(99);
+  UpdateBatch batch;
+  for (int i = 0; i < 1200; ++i) {
+    const bool hot = rng.NextDouble() < 0.7;
+    const Value root = hot ? kHot : static_cast<Value>(rng.Below(8));
+    batch.push_back(Update{"S", Tuple{root, static_cast<Value>(i)}, 1});
+    if (batch.size() == 64) {
+      h.Batch(batch);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) h.Batch(batch);
+
+  const auto entries = h.sharded().OverflowEntries();
+  ASSERT_FALSE(entries.empty()) << "the hot root never auto-promoted";
+  EXPECT_EQ(entries[0].root, kHot);
+  EXPECT_EQ(entries[0].spread_relation, "S");
+  h.FullCheck("after auto-promotion");
+}
+
+// --- load accounting ------------------------------------------------------
+
+TEST(SkewRoutingTest, ShardLoadCountsRoutedEntries) {
+  ShardedCatalog catalog(SkewOptions(2));
+  std::string why;
+  ASSERT_TRUE(catalog.RegisterQuery("q", MustParse(kStarQuery), EngineOptions{}, &why)) << why;
+  catalog.Load("R", {{Tuple{1, 1}, 1}, {Tuple{2, 2}, 1}, {Tuple{3, 3}, 1}});
+  catalog.Preprocess();
+  uint64_t loaded = 0;
+  for (size_t s = 0; s < 2; ++s) loaded += catalog.ShardLoad(s).routed_tuples;
+  EXPECT_EQ(loaded, 3u);
+
+  catalog.ResetLoadStats();
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(catalog.ShardLoad(s).routed_tuples, 0u);
+    EXPECT_EQ(catalog.ShardLoad(s).net_entries, 0u);
+  }
+
+  UpdateBatch batch;
+  for (Value a = 0; a < 10; ++a) batch.push_back(Update{"S", Tuple{a, a}, 1});
+  batch.push_back(Update{"S", Tuple{0, 0}, -1});  // consolidates away with a 0-net pair
+  batch.push_back(Update{"S", Tuple{0, 0}, 1});
+  BatchResult result;
+  ASSERT_TRUE(catalog.TryApplyBatch(batch, &result).ok());
+  uint64_t routed = 0, net = 0;
+  for (size_t s = 0; s < 2; ++s) {
+    routed += catalog.ShardLoad(s).routed_tuples;
+    net += catalog.ShardLoad(s).net_entries;
+  }
+  EXPECT_EQ(net, 10u) << "only surviving net entries are routed";
+  EXPECT_EQ(routed, 10u);
+
+  const LoadImbalance imbalance = catalog.ComputeImbalance();
+  EXPECT_GE(imbalance.max_mean, 1.0);
+  EXPECT_EQ(imbalance.mean_tuples, 5.0);
+}
+
+// --- snapshot reads across promotion --------------------------------------
+
+TEST(SkewRoutingTest, PinnedSnapshotSurvivesPromotion) {
+  SkewHarness h(SkewOptions(4));
+  constexpr Value kHot = 9;
+  for (Value c = 0; c < 40; ++c) h.Load("S", Tuple{kHot, c});
+  h.Load("R", Tuple{kHot, 1});
+  h.Load("R", Tuple{2, 2});
+  h.Load("S", Tuple{2, 3});
+  h.Preprocess();
+  h.sharded().EnableServing();
+
+  const QueryResult before = h.sharded().EvaluateToMap("q");
+  {
+    ReadSnapshot pinned = h.sharded().AcquireSnapshot();
+
+    // Promotion migrates the hot root's rows and post-promotion writes
+    // change the live result; the pinned epoch must keep answering the old
+    // one.
+    ASSERT_TRUE(h.sharded().PromoteHotKey(kHot, "S").ok());
+    UpdateBatch batch = {Update{"S", Tuple{kHot, 100}, 1}, Update{"R", Tuple{kHot, 5}, 1}};
+    h.Batch(batch);
+
+    EXPECT_EQ(h.sharded().EvaluateToMapAt("q", pinned.epoch()), before);
+    ReadSnapshot fresh = h.sharded().AcquireSnapshot();
+    EXPECT_EQ(h.sharded().EvaluateToMapAt("q", fresh.epoch()),
+              h.sharded().EvaluateToMap("q"));
+    // Pins release here: DisableServing waits out every active reader.
+  }
+  h.FullCheck("after promotion under a pinned reader");
+  h.sharded().DisableServing();
+}
+
+}  // namespace
+}  // namespace ivme

@@ -11,8 +11,10 @@
 //
 // Defaults: 48000 events, 1 shard, 2 readers. The process ingests the
 // whole stream, reporting per-interval ingest rate, reads served, reader
-// p99, the published epoch, and retired-but-unreclaimed objects; on
-// shutdown it drains the reclamation queues and verifies invariants.
+// p99, the published epoch, retired-but-unreclaimed objects, and (at
+// K > 1) the shard write-load imbalance ratio max/mean — 1.00 means the
+// router spread the interval's writes perfectly; on shutdown it drains
+// the reclamation queues and verifies invariants.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -173,11 +175,15 @@ int main(int argc, char** argv) {
           lane.latencies_us.clear();
         }
         std::printf("epoch %-6llu ingest %7.0f/s  reads %5zu (+%zu, %7.0f rows/s, p99 %.1f us)"
-                    "  retired %zu\n",
+                    "  retired %zu",
                     static_cast<unsigned long long>(catalog.epoch_manager().published()),
                     static_cast<double>(interval_applied) / elapsed, reads, reads - last_reads,
                     static_cast<double>(rows - last_rows) / elapsed, P99(window_us),
                     catalog.RetiredObjects());
+        if (catalog.num_shards() > 1) {
+          std::printf("  imb %.2f", catalog.ComputeImbalance().max_mean);
+        }
+        std::printf("\n");
         last_reads = reads;
         last_rows = rows;
         interval_start = now;

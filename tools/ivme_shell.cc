@@ -6,14 +6,19 @@
 // a cockpit for the shared-store fan-out, the shared-nothing sharding
 // layer, and the WAL + snapshot durability stack.
 //
-//   ./tools/ivme_shell "Q(A, C) = R(A, B), S(B, C)" [epsilon] [shards] [mode]
+//   ./tools/ivme_shell "Q(A, C) = R(A, B), S(B, C)" [epsilon] [shards] [mode] [skew]
 //
 // `mode` is `amortized` (default) or `incremental` — the major-rebalance
 // strategy every registered query runs with (EngineOptions::rebalance_mode):
 // synchronous stop-the-world rebuilds vs bounded-work migration slices.
+// A trailing `skew` enables hot-key overflow routing (two-level router;
+// promotions show up under `stats`).
 //
 // Commands (stdin; a leading backslash is accepted on any command):
-//   + R 1 2 [m]       insert tuple (1,2) into R with multiplicity m (default 1)
+//   + R 1 2 [m]       insert tuple (1,2) into R with multiplicity m (default 1).
+//                     Values are integers or "quoted strings" — strings are
+//                     interned into the catalog's shared dictionary and print
+//                     back quoted in `?` output
 //   - R 1 2 [m]       delete m copies (default 1)
 //   batch begin       start buffering +/- commands instead of applying them
 //   batch end         apply the buffered updates as one consolidated batch
@@ -37,7 +42,8 @@
 //   checkpoint        write a snapshot now and truncate the WAL behind it
 //   ?                 enumerate the active query's result (first 50 tuples)
 //   count             number of distinct result tuples of the active query
-//   stats             shared-store size, per-query N, M, θ, durability counters
+//   stats             shared-store size, per-shard routed load + imbalance,
+//                     per-query N, M, θ, durability counters
 //   widths            active query's classification and widths
 //   trees             print the active query's view trees (per shard)
 //   check             verify all internal invariants (incl. routing)
@@ -45,6 +51,7 @@
 //   quit              exit
 #include <cstdio>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -53,6 +60,7 @@
 
 #include "src/common/fmt.h"
 #include "src/core/durable_catalog.h"
+#include "src/data/dictionary.h"
 #include "src/core/sharded_engine.h"
 #include "src/query/classify.h"
 #include "src/query/hypergraph.h"
@@ -108,7 +116,45 @@ struct Shell {
     const Relation* stored = cat().shard(0).store().Find(relation);
     return stored != nullptr ? static_cast<int>(stored->schema().size()) : -1;
   }
+
+  /// Dictionary-aware tuple rendering: interned ids print as their quoted
+  /// strings, everything else as plain integers.
+  std::string FormatTuple(const Tuple& t) const {
+    const StringDictionary& dict = *cat().dictionary();
+    std::string out = "(";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += dict.FormatValue(t[i]);
+    }
+    return out + ")";
+  }
 };
+
+/// Reads the rest of `in` as tuple values: raw integers, or "quoted
+/// strings" interned into the catalog's dictionary. Returns false (with a
+/// message) on a malformed token.
+bool ReadValues(std::istringstream& in, Shell* shell, std::vector<Value>* values) {
+  for (;;) {
+    in >> std::ws;
+    const int c = in.peek();
+    if (c == std::char_traits<char>::eof()) return true;
+    if (c == '"') {
+      std::string s;
+      if (!(in >> std::quoted(s))) {
+        std::printf("! unterminated string literal\n");
+        return false;
+      }
+      values->push_back(shell->cat().dictionary()->Intern(s));
+    } else {
+      Value v = 0;
+      if (!(in >> v)) {
+        std::printf("! expected an integer or a \"quoted string\"\n");
+        return false;
+      }
+      values->push_back(v);
+    }
+  }
+}
 
 void PrintStats(const Shell& shell) {
   const ShardedCatalog& catalog = shell.cat();
@@ -135,6 +181,35 @@ void PrintStats(const Shell& shell) {
   std::printf("  latency: updates %s | batches %s\n",
               catalog.update_latency().Summary().c_str(),
               catalog.batch_latency().Summary().c_str());
+  // Router accounting: what each shard was handed since start (or the last
+  // ResetLoadStats) and how lopsided the spread is — max/mean of 1.00 is a
+  // perfectly balanced write load.
+  if (catalog.num_shards() > 1) {
+    std::printf("  load:");
+    for (size_t s = 0; s < catalog.num_shards(); ++s) {
+      const ShardLoadStats load = catalog.ShardLoad(s);
+      std::printf("%s shard %zu routed=%s net=%s", s == 0 ? "" : " |", s,
+                  WithThousands(static_cast<long long>(load.routed_tuples)).c_str(),
+                  WithThousands(static_cast<long long>(load.net_entries)).c_str());
+    }
+    const LoadImbalance imbalance = catalog.ComputeImbalance();
+    std::printf("\n  imbalance: max/mean=%.2f (max=%s mean=%.1f)\n", imbalance.max_mean,
+                WithThousands(static_cast<long long>(imbalance.max_tuples)).c_str(),
+                imbalance.mean_tuples);
+    const std::vector<OverflowEntry> overflow = catalog.OverflowEntries();
+    if (!overflow.empty()) {
+      std::printf("  hot keys:");
+      for (const OverflowEntry& e : overflow) {
+        std::printf(" %s (spread %s, primary shard %zu)",
+                    catalog.dictionary()->FormatValue(e.root).c_str(),
+                    e.spread_relation.c_str(), e.primary);
+      }
+      std::printf("\n");
+    }
+  }
+  if (catalog.dictionary()->size() > 0) {
+    std::printf("  dictionary: %zu interned string(s)\n", catalog.dictionary()->size());
+  }
   // Durability counters: WAL volume, checkpoint positions, and what the
   // last Open had to replay.
   const DurabilityStats d = shell.durable->durability_stats();
@@ -176,9 +251,10 @@ void PrintStats(const Shell& shell) {
   }
 }
 
-std::unique_ptr<DurableCatalog> MakeCatalog(size_t shards) {
+std::unique_ptr<DurableCatalog> MakeCatalog(size_t shards, bool skew) {
   ShardedCatalogOptions options;
   options.num_shards = shards;
+  options.skew.enabled = skew;
   return std::make_unique<DurableCatalog>(options);
 }
 
@@ -188,7 +264,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s \"Q(A, C) = R(A, B), S(B, C)\" [epsilon] [shards] "
-                 "[amortized|incremental]\n",
+                 "[amortized|incremental] [skew]\n",
                  argv[0]);
     return 2;
   }
@@ -217,12 +293,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  const bool skew = argc > 5 && std::string(argv[5]) == "skew";
   std::string why;
   if (shards > 1 && !ShardedEngine::CanShard(*query, &why)) {
     std::fprintf(stderr, "cannot shard this query (%s); running with 1 shard\n", why.c_str());
     shards = 1;
   }
-  shell.durable = MakeCatalog(shards);
+  shell.durable = MakeCatalog(shards, skew);
   shell.active = query->name();
   if (!shell.durable->RegisterQuery(shell.active, *query, shell.QueryOptions(), &why)) {
     std::fprintf(stderr, "could not register query: %s\n", why.c_str());
@@ -232,11 +309,11 @@ int main(int argc, char** argv) {
 
   PrintWidths(*query);
   std::printf(
-      "catalog ready at eps=%.2f with %zu shard(s), %s rebalancing; active query '%s'; "
+      "catalog ready at eps=%.2f with %zu shard(s), %s rebalancing%s; active query '%s'; "
       "type 'help'\n",
       shell.epsilon, shell.cat().num_shards(),
       shell.rebalance_mode == RebalanceMode::kIncremental ? "incremental" : "amortized",
-      shell.active.c_str());
+      skew ? ", skew routing on" : "", shell.active.c_str());
 
   std::string line;
   UpdateBatch pending;  // updates buffered between `batch begin` and `batch end`
@@ -421,8 +498,7 @@ int main(int argc, char** argv) {
         continue;
       }
       std::vector<Value> values;
-      Value v = 0;
-      while (in >> v) values.push_back(v);
+      if (!ReadValues(in, &shell, &values)) continue;
       Mult mult = 1;
       if (values.size() == static_cast<size_t>(arity) + 1) {
         mult = values.back();
@@ -453,7 +529,7 @@ int main(int argc, char** argv) {
       RowBuffer rows;
       const size_t shown = it->FillBatch(&rows, 50);
       for (size_t i = 0; i < shown; ++i) {
-        std::printf("  %s x%lld\n", rows.tuple(i).ToString().c_str(),
+        std::printf("  %s x%lld\n", shell.FormatTuple(rows.tuple(i)).c_str(),
                     static_cast<long long>(rows.mult(i)));
       }
       size_t rest = 0;
